@@ -1,0 +1,85 @@
+//! Whole-protocol benchmarks: the simulation throughput of a complete query
+//! execution (external join and SENS-Join) and of the base station's
+//! conservative pre-join. These bound how long the figure sweeps take and
+//! double as regression guards for the simulator's hot paths.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensjoin_bench::paper_network;
+use sensjoin_core::workload::RangeQueryFamily;
+use sensjoin_core::{ContinuousSensJoin, ExternalJoin, JoinMethod, MediatedJoin, SensJoin};
+use sensjoin_query::parse;
+
+fn bench_protocols(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(20);
+    for n in [300usize, 1500] {
+        let mut snet = paper_network(n, 11);
+        let cal = RangeQueryFamily::ratio_33().calibrate(&snet, 0.05);
+        let cq = snet
+            .compile(&parse(&cal.sql).expect("valid"))
+            .expect("compiles");
+        group.bench_with_input(BenchmarkId::new("external", n), &n, |b, _| {
+            b.iter(|| {
+                ExternalJoin
+                    .execute(black_box(&mut snet), &cq)
+                    .expect("runs")
+            })
+        });
+        let mut snet2 = paper_network(n, 11);
+        group.bench_with_input(BenchmarkId::new("sens-join", n), &n, |b, _| {
+            b.iter(|| {
+                SensJoin::default()
+                    .execute(black_box(&mut snet2), &cq)
+                    .expect("runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let mut group = c.benchmark_group("variants");
+    group.sample_size(20);
+    let n = 300usize;
+    let mut snet = paper_network(n, 13);
+    let cal = RangeQueryFamily::ratio_33().calibrate(&snet, 0.05);
+    let cq = snet
+        .compile(&parse(&cal.sql).expect("valid"))
+        .expect("compiles");
+    group.bench_function("mediated/300", |b| {
+        b.iter(|| {
+            MediatedJoin
+                .execute(black_box(&mut snet), &cq)
+                .expect("runs")
+        })
+    });
+    // Warm continuous round on an unchanged snapshot (the steady state).
+    let mut cont = ContinuousSensJoin::new();
+    cont.execute_round(&mut snet, &cq).expect("cold round");
+    group.bench_function("continuous-warm/300", |b| {
+        b.iter(|| cont.execute_round(black_box(&mut snet), &cq).expect("runs"))
+    });
+    group.finish();
+}
+
+fn bench_calibration(c: &mut Criterion) {
+    let snet = paper_network(300, 5);
+    c.bench_function("workload/calibrate_300", |b| {
+        b.iter(|| RangeQueryFamily::ratio_33().calibrate(black_box(&snet), 0.05))
+    });
+}
+
+fn bench_network_build(c: &mut Criterion) {
+    c.bench_function("network/build_1500", |b| {
+        b.iter(|| paper_network(black_box(1500), 9))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_protocols,
+    bench_variants,
+    bench_calibration,
+    bench_network_build
+);
+criterion_main!(benches);

@@ -1,0 +1,18 @@
+//! §V discussion check: Bloom filters vs the quadtree representation.
+//!
+//! ```sh
+//! cargo run --release -p sensjoin-bench --bin bloom_comparison
+//! ```
+//! Set `SENSJOIN_N` to override the network size (default 1500).
+
+fn main() {
+    let n: usize = std::env::var("SENSJOIN_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let seed: u64 = std::env::var("SENSJOIN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sensjoin_bench::SEED);
+    println!("{}", sensjoin_bench::experiments::bloom_comparison(n, seed));
+}

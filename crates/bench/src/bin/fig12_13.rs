@@ -1,0 +1,18 @@
+//! Reproduces Figs. 12 and 13: influence of the join-attribute ratio.
+//!
+//! ```sh
+//! cargo run --release -p sensjoin-bench --bin fig12_13
+//! ```
+//! Set `SENSJOIN_N` to override the network size (default 1500).
+
+fn main() {
+    let n: usize = std::env::var("SENSJOIN_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let seed: u64 = std::env::var("SENSJOIN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sensjoin_bench::SEED);
+    println!("{}", sensjoin_bench::experiments::fig12_13(n, seed));
+}

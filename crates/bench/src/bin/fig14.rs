@@ -1,0 +1,21 @@
+//! Reproduces Fig. 14: influence of the network size (constant density).
+//!
+//! ```sh
+//! cargo run --release -p sensjoin-bench --bin fig14
+//! ```
+//! Set `SENSJOIN_SCALE` (0.0–1.0, default 1.0) to shrink the sweep sizes.
+
+fn main() {
+    let scale: f64 = std::env::var("SENSJOIN_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.0);
+    let sizes: Vec<usize> = [1000usize, 1500, 2000, 2500]
+        .iter()
+        .map(|&n| ((n as f64 * scale) as usize).max(50))
+        .collect();
+    println!(
+        "{}",
+        sensjoin_bench::experiments::fig14(&sizes, sensjoin_bench::SEED)
+    );
+}

@@ -1,0 +1,18 @@
+//! Reproduces the §VI-A packet-size discussion (48 B vs 124 B).
+//!
+//! ```sh
+//! cargo run --release -p sensjoin-bench --bin packet_size
+//! ```
+//! Set `SENSJOIN_N` to override the network size (default 1500).
+
+fn main() {
+    let n: usize = std::env::var("SENSJOIN_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let seed: u64 = std::env::var("SENSJOIN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sensjoin_bench::SEED);
+    println!("{}", sensjoin_bench::experiments::packet_size(n, seed));
+}

@@ -1,0 +1,18 @@
+//! Seed robustness: headline metrics over independent topologies.
+//!
+//! ```sh
+//! cargo run --release -p sensjoin-bench --bin variance
+//! ```
+//! Set `SENSJOIN_N` / `SENSJOIN_REPS` to override size and repetitions.
+
+fn main() {
+    let n: usize = std::env::var("SENSJOIN_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let reps: u64 = std::env::var("SENSJOIN_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    println!("{}", sensjoin_bench::experiments::variance(n, reps));
+}

@@ -1,0 +1,117 @@
+//! Minimal Markdown table/report builder for experiment output.
+
+/// A Markdown report section with a title, prose and tables.
+#[derive(Debug, Default, Clone)]
+pub struct Report {
+    buf: String,
+}
+
+impl Report {
+    /// Starts a report with a section heading.
+    pub fn new(title: &str) -> Self {
+        let mut r = Report::default();
+        r.buf.push_str("## ");
+        r.buf.push_str(title);
+        r.buf.push_str("\n\n");
+        r
+    }
+
+    /// Adds a paragraph.
+    pub fn para(&mut self, text: &str) -> &mut Self {
+        self.buf.push_str(text);
+        self.buf.push_str("\n\n");
+        self
+    }
+
+    /// Adds a table with a header row and data rows.
+    pub fn table(&mut self, header: &[&str], rows: &[Vec<String>]) -> &mut Self {
+        self.buf.push('|');
+        for h in header {
+            self.buf.push_str(&format!(" {h} |"));
+        }
+        self.buf.push_str("\n|");
+        for _ in header {
+            self.buf.push_str("---|");
+        }
+        self.buf.push('\n');
+        for row in rows {
+            debug_assert_eq!(row.len(), header.len(), "row width mismatch");
+            self.buf.push('|');
+            for cell in row {
+                self.buf.push_str(&format!(" {cell} |"));
+            }
+            self.buf.push('\n');
+        }
+        self.buf.push('\n');
+        self
+    }
+
+    /// Adds a fenced ASCII bar chart (one bar per labeled value; bars scale
+    /// to the maximum).
+    pub fn bar_chart(&mut self, title: &str, rows: &[(String, f64)]) -> &mut Self {
+        const WIDTH: f64 = 48.0;
+        let max = rows
+            .iter()
+            .map(|(_, v)| *v)
+            .fold(0.0f64, f64::max)
+            .max(1e-12);
+        let label_w = rows.iter().map(|(l, _)| l.len()).max().unwrap_or(0);
+        self.buf.push_str("```text\n");
+        self.buf.push_str(title);
+        self.buf.push('\n');
+        for (label, value) in rows {
+            let bar = "#".repeat(((value / max) * WIDTH).round().max(0.0) as usize);
+            self.buf
+                .push_str(&format!("{label:>label_w$} | {bar} {value:.1}\n"));
+        }
+        self.buf.push_str("```\n\n");
+        self
+    }
+
+    /// The accumulated Markdown.
+    pub fn finish(self) -> String {
+        self.buf
+    }
+}
+
+/// Formats a float with one decimal.
+pub fn f1(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Formats a percentage with one decimal.
+pub fn pct(v: f64) -> String {
+    format!("{v:.1} %")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut r = Report::new("Fig. X");
+        r.para("Some prose.");
+        r.table(
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["3".into(), "4".into()]],
+        );
+        let md = r.finish();
+        assert!(md.starts_with("## Fig. X\n"));
+        assert!(md.contains("| a | b |"));
+        assert!(md.contains("| 3 | 4 |"));
+        assert_eq!(f1(1.25), "1.2");
+        assert_eq!(pct(33.333), "33.3 %");
+    }
+
+    #[test]
+    fn bar_chart_renders() {
+        let mut r = Report::new("Chart");
+        r.bar_chart("savings", &[("a".into(), 10.0), ("bb".into(), 20.0)]);
+        let md = r.finish();
+        assert!(md.contains("```text"));
+        // The larger value gets the full-width bar.
+        assert!(md.contains(&"#".repeat(48)));
+        assert!(md.contains(" a |"));
+    }
+}

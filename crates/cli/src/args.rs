@@ -1,0 +1,182 @@
+//! A small, dependency-free command-line argument parser.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, `--key value` options and positionals.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// `--key value` / `--flag` options (flags map to `"true"`).
+    pub options: BTreeMap<String, String>,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+}
+
+/// Errors parsing the command line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ArgError {
+    /// `--key` given twice.
+    Duplicate(String),
+    /// An option value failed to parse.
+    BadValue {
+        /// The option name.
+        key: String,
+        /// The raw value.
+        value: String,
+        /// Expected type, for the message.
+        expected: &'static str,
+    },
+    /// An unknown option was supplied.
+    Unknown(String),
+}
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ArgError::Duplicate(k) => write!(f, "option --{k} given twice"),
+            ArgError::BadValue {
+                key,
+                value,
+                expected,
+            } => {
+                write!(f, "option --{key}: expected {expected}, got {value:?}")
+            }
+            ArgError::Unknown(k) => write!(f, "unknown option --{k}"),
+        }
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name). Options may appear
+    /// before or after the subcommand; `--flag` without a following value
+    /// (or followed by another option) becomes a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, ArgError> {
+        let mut args = Args::default();
+        let raw: Vec<String> = raw.into_iter().collect();
+        let mut i = 0;
+        while i < raw.len() {
+            let a = &raw[i];
+            if let Some(key) = a.strip_prefix("--") {
+                let (key, inline) = match key.split_once('=') {
+                    Some((k, v)) => (k.to_owned(), Some(v.to_owned())),
+                    None => (key.to_owned(), None),
+                };
+                let value = match inline {
+                    Some(v) => v,
+                    None => {
+                        if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                            i += 1;
+                            raw[i].clone()
+                        } else {
+                            "true".to_owned()
+                        }
+                    }
+                };
+                if args.options.insert(key.clone(), value).is_some() {
+                    return Err(ArgError::Duplicate(key));
+                }
+            } else if args.command.is_none() {
+                args.command = Some(a.clone());
+            } else {
+                args.positional.push(a.clone());
+            }
+            i += 1;
+        }
+        Ok(args)
+    }
+
+    /// Typed option lookup with a default.
+    pub fn get_or<T: std::str::FromStr>(
+        &self,
+        key: &str,
+        default: T,
+        expected: &'static str,
+    ) -> Result<T, ArgError> {
+        match self.options.get(key) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| ArgError::BadValue {
+                key: key.to_owned(),
+                value: v.clone(),
+                expected,
+            }),
+        }
+    }
+
+    /// String option lookup.
+    pub fn get_str(&self, key: &str) -> Option<&str> {
+        self.options.get(key).map(String::as_str)
+    }
+
+    /// Boolean flag lookup.
+    pub fn flag(&self, key: &str) -> bool {
+        self.options.get(key).is_some_and(|v| v != "false")
+    }
+
+    /// Rejects options outside the allowed set.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), ArgError> {
+        for k in self.options.keys() {
+            if !allowed.contains(&k.as_str()) {
+                return Err(ArgError::Unknown(k.clone()));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn subcommand_and_options() {
+        let a = parse("run --nodes 500 --seed 7 extra");
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get_or("nodes", 0usize, "int").unwrap(), 500);
+        assert_eq!(a.get_or("seed", 0u64, "int").unwrap(), 7);
+        assert_eq!(a.positional, vec!["extra"]);
+    }
+
+    #[test]
+    fn equals_syntax_and_flags() {
+        let a = parse("topology --nodes=200 --verbose");
+        assert_eq!(a.get_or("nodes", 0usize, "int").unwrap(), 200);
+        assert!(a.flag("verbose"));
+        assert!(!a.flag("quiet"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse("run");
+        assert_eq!(a.get_or("nodes", 1500usize, "int").unwrap(), 1500);
+    }
+
+    #[test]
+    fn errors() {
+        assert_eq!(
+            Args::parse(["--x".into(), "1".into(), "--x".into(), "2".into()]),
+            Err(ArgError::Duplicate("x".into()))
+        );
+        let a = parse("run --nodes abc");
+        assert!(matches!(
+            a.get_or("nodes", 0usize, "integer"),
+            Err(ArgError::BadValue { .. })
+        ));
+        let a = parse("run --bogus 1");
+        assert!(a.ensure_known(&["nodes"]).is_err());
+        assert!(a.ensure_known(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn option_before_command() {
+        let a = parse("--seed 3 run");
+        assert_eq!(a.command.as_deref(), Some("run"));
+        assert_eq!(a.get_or("seed", 0u64, "int").unwrap(), 3);
+    }
+}

@@ -1,0 +1,530 @@
+//! Subcommand implementations.
+
+use crate::args::Args;
+use crate::csvdata;
+use sensjoin_core::workload::RangeQueryFamily;
+use sensjoin_core::{
+    CostModel, ExternalJoin, JoinMethod, JoinOutcome, JoinResult, MediatedJoin, SensJoin,
+    SensJoinConfig, SensorNetwork, SensorNetworkBuilder,
+};
+use sensjoin_field::{presets, Area, Placement};
+use sensjoin_query::parse;
+use sensjoin_relation::NodeId;
+use sensjoin_sim::BaseChoice;
+use std::io::{BufRead, Write};
+
+const USAGE: &str = "\
+sensjoin — SENS-Join over a simulated wireless sensor network
+
+USAGE:
+  sensjoin run --sql \"SELECT ...\"  run one query
+  sensjoin shell                     interactive SQL loop
+  sensjoin topology                  routing-tree statistics
+  sensjoin sweep                     selectivity sweep (SENS vs external)
+  sensjoin advise --sql ... --fraction F   cost-model method advice
+
+COMMON OPTIONS:
+  --data FILE      load a trace CSV (x,y,attrs...) instead of generating
+  --nodes N        network size                      [default: 500]
+  --area  S        square side length in meters      [default: density-scaled]
+  --seed  S        placement/data seed               [default: 1]
+  --base  POS      base station: corner|center       [default: corner]
+  --fields PRESET  indoor|outdoor|uncorrelated       [default: indoor]
+
+run/shell OPTIONS:
+  --sql QUERY      the join query (run only)
+  --method M       sens|external|mediated|noquad|all [default: all]
+
+sweep OPTIONS:
+  --fractions L    comma list of result percentages  [default: 1,5,25,60]
+";
+
+/// Dispatches a parsed command line; returns the process exit code.
+pub fn dispatch(args: &Args) -> i32 {
+    let result = match args.command.as_deref() {
+        Some("run") => cmd_run(args),
+        Some("advise") => cmd_advise(args),
+        Some("shell") => cmd_shell(args),
+        Some("topology") => cmd_topology(args),
+        Some("sweep") => cmd_sweep(args),
+        Some("help") | None => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Some(other) => Err(format!("unknown command {other:?}\n\n{USAGE}")),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            1
+        }
+    }
+}
+
+fn build_network(args: &Args) -> Result<SensorNetwork, String> {
+    let nodes: usize = args
+        .get_or("nodes", 500, "integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 1, "integer")
+        .map_err(|e| e.to_string())?;
+    let external = match args.get_str("data") {
+        Some(path) => {
+            let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+            Some(csvdata::parse_csv(&text)?)
+        }
+        None => None,
+    };
+    let area = match args.get_str("area") {
+        Some(s) => {
+            let side: f64 = s.parse().map_err(|_| format!("bad --area {s:?}"))?;
+            Area::new(side, side)
+        }
+        None => match &external {
+            Some(d) => csvdata::bounding_area(d),
+            None => Area::for_constant_density(nodes),
+        },
+    };
+    let base = match args.get_str("base").unwrap_or("corner") {
+        "corner" => BaseChoice::NearestCorner,
+        "center" => BaseChoice::NearestCenter,
+        other => return Err(format!("bad --base {other:?} (corner|center)")),
+    };
+    let fields = match args.get_str("fields").unwrap_or("indoor") {
+        "indoor" => presets::indoor_climate(),
+        "outdoor" => presets::outdoor_environment(),
+        "uncorrelated" => presets::uncorrelated(),
+        other => return Err(format!("bad --fields {other:?}")),
+    };
+    let mut builder = SensorNetworkBuilder::new()
+        .area(area)
+        .placement(Placement::UniformRandom { n: nodes })
+        .fields(fields)
+        .base(base)
+        .seed(seed);
+    if let Some(d) = external {
+        builder = builder.data(d);
+    }
+    builder.build().map_err(|e| e.to_string())
+}
+
+fn cmd_advise(args: &Args) -> Result<(), String> {
+    args.ensure_known(&[
+        "nodes", "area", "seed", "base", "fields", "sql", "fraction", "data",
+    ])
+    .map_err(|e| e.to_string())?;
+    let sql = args
+        .get_str("sql")
+        .ok_or("advise needs --sql \"SELECT ...\"")?
+        .to_owned();
+    let fraction: f64 = args
+        .get_or("fraction", 0.05, "number in 0..=1")
+        .map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err("--fraction must be between 0 and 1".into());
+    }
+    let snet = build_network(args)?;
+    let query = parse(&sql).map_err(|e| e.to_string())?;
+    let cq = snet.compile(&query).map_err(|e| e.to_string())?;
+    let model = CostModel::new(&snet, &cq);
+    let beta = model.estimate_beta();
+    let ext = model.external();
+    let sens = model.sens_join(fraction, beta, &SensJoinConfig::default());
+    println!(
+        "network: {} nodes, tree depth {}",
+        snet.len(),
+        snet.net().routing().max_depth()
+    );
+    println!("assumed result fraction: {:.1} %", fraction * 100.0);
+    println!("quadtree density: {beta:.1} bits/point (measured)\n");
+    println!(
+        "predicted external join: {:>8.0} packets {:>10.0} bytes",
+        ext.packets, ext.bytes
+    );
+    println!(
+        "predicted SENS-Join:     {:>8.0} packets {:>10.0} bytes",
+        sens.packets, sens.bytes
+    );
+    println!("\nadvice: {:?}", model.recommend(fraction, beta));
+    Ok(())
+}
+
+fn methods_for(name: &str) -> Result<Vec<Box<dyn JoinMethod>>, String> {
+    Ok(match name {
+        "sens" => vec![Box::new(SensJoin::default())],
+        "external" => vec![Box::new(ExternalJoin)],
+        "mediated" => vec![Box::new(MediatedJoin)],
+        "noquad" => vec![Box::new(SensJoin::no_quadtree())],
+        "all" => vec![
+            Box::new(ExternalJoin),
+            Box::new(SensJoin::default()),
+            Box::new(MediatedJoin),
+        ],
+        other => return Err(format!("bad --method {other:?}")),
+    })
+}
+
+fn execute_and_print(snet: &mut SensorNetwork, sql: &str, methods: &str) -> Result<(), String> {
+    let query = parse(sql).map_err(|e| e.to_string())?;
+    let cq = snet.compile(&query).map_err(|e| e.to_string())?;
+    let mut outcomes: Vec<(String, JoinOutcome)> = Vec::new();
+    for method in methods_for(methods)? {
+        let out = method.execute(snet, &cq).map_err(|e| e.to_string())?;
+        outcomes.push((method.name().to_owned(), out));
+    }
+    // Result (identical across methods by construction).
+    let (_, first) = &outcomes[0];
+    match &first.result {
+        JoinResult::Aggregate(vals) => {
+            print!("result:");
+            for (item, v) in cq.select().iter().zip(vals) {
+                match v {
+                    Some(v) => print!("  {} = {v:.4}", item.name),
+                    None => print!("  {} = NULL", item.name),
+                }
+            }
+            println!();
+        }
+        JoinResult::Rows(rows) => {
+            println!(
+                "result: {} rows ({} contributing nodes)",
+                rows.len(),
+                first.contributors.len()
+            );
+            for row in rows.iter().take(10) {
+                let cells: Vec<String> = row.iter().map(|v| format!("{v:.3}")).collect();
+                println!("  ({})", cells.join(", "));
+            }
+            if rows.len() > 10 {
+                println!("  ... {} more", rows.len() - 10);
+            }
+        }
+    }
+    println!(
+        "\n{:<12} {:>9} {:>10} {:>12} {:>10}",
+        "method", "packets", "bytes", "energy [mJ]", "time [ms]"
+    );
+    for (name, out) in &outcomes {
+        println!(
+            "{:<12} {:>9} {:>10} {:>12.1} {:>10.0}",
+            name,
+            out.stats.total_tx_packets(),
+            out.stats.total_tx_bytes(),
+            out.stats.total_energy_uj() / 1000.0,
+            out.latency_us as f64 / 1000.0
+        );
+    }
+    // Cross-check.
+    for (name, out) in &outcomes[1..] {
+        if !out.result.same_result(&first.result) {
+            return Err(format!("method {name} produced a different result — bug!"));
+        }
+    }
+    Ok(())
+}
+
+fn cmd_run(args: &Args) -> Result<(), String> {
+    args.ensure_known(&[
+        "nodes", "area", "seed", "base", "fields", "sql", "method", "trace", "data",
+    ])
+    .map_err(|e| e.to_string())?;
+    let sql = args
+        .get_str("sql")
+        .ok_or("run needs --sql \"SELECT ...\"")?
+        .to_owned();
+    let methods = args.get_str("method").unwrap_or("all").to_owned();
+    let trace_path = args.get_str("trace").map(str::to_owned);
+    if trace_path.is_some() && methods == "all" {
+        return Err("--trace needs a single --method (the trace covers one execution)".into());
+    }
+    let mut snet = build_network(args)?;
+    println!(
+        "network: {} nodes, tree depth {}, base {}",
+        snet.len(),
+        snet.net().routing().max_depth(),
+        snet.base()
+    );
+    if trace_path.is_some() {
+        snet.net_mut().set_tracing(true);
+    }
+    execute_and_print(&mut snet, &sql, &methods)?;
+    if let Some(path) = trace_path {
+        let trace = snet.net().trace().expect("tracing was enabled");
+        std::fs::write(&path, trace.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "\nwrote {} trace records ({} packets) to {path}",
+            trace.len(),
+            trace.total_packets()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_shell(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["nodes", "area", "seed", "base", "fields", "method", "data"])
+        .map_err(|e| e.to_string())?;
+    let methods = args.get_str("method").unwrap_or("all").to_owned();
+    let mut snet = build_network(args)?;
+    println!(
+        "network: {} nodes, tree depth {} — enter a query ending in ONCE, or 'quit'",
+        snet.len(),
+        snet.net().routing().max_depth()
+    );
+    let stdin = std::io::stdin();
+    loop {
+        print!("sensjoin> ");
+        std::io::stdout().flush().ok();
+        let mut line = String::new();
+        if stdin
+            .lock()
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            break;
+        }
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if line.eq_ignore_ascii_case("quit") || line.eq_ignore_ascii_case("exit") {
+            break;
+        }
+        if let Err(e) = execute_and_print(&mut snet, line, &methods) {
+            eprintln!("error: {e}");
+        }
+    }
+    Ok(())
+}
+
+/// Renders an ASCII map of the deployment: digits are routing-tree depths
+/// (mod 10), `B` the base station, `!` unreachable nodes, `.` empty space.
+fn ascii_map(snet: &SensorNetwork, cols: usize, rows: usize) -> String {
+    let topo = snet.net().topology();
+    let routing = snet.net().routing();
+    let area = topo.area();
+    let mut grid = vec![vec!['.'; cols]; rows];
+    for v in (0..snet.len() as u32).map(NodeId) {
+        let p = topo.position(v);
+        let cx = ((p.x / area.width * cols as f64) as usize).min(cols - 1);
+        let cy = ((p.y / area.height * rows as f64) as usize).min(rows - 1);
+        let ch = if v == snet.base() {
+            'B'
+        } else {
+            match routing.depth(v) {
+                Some(d) => char::from_digit(d % 10, 10).unwrap_or('?'),
+                None => '!',
+            }
+        };
+        // Base station and failures win over plain depth digits.
+        let cur = grid[rows - 1 - cy][cx];
+        if cur == '.' || ch == 'B' || (ch == '!' && cur != 'B') {
+            grid[rows - 1 - cy][cx] = ch;
+        }
+    }
+    let mut out = String::new();
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push_str("|\n");
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(cols));
+    out.push_str("+\n");
+    out
+}
+
+fn cmd_topology(args: &Args) -> Result<(), String> {
+    args.ensure_known(&["nodes", "area", "seed", "base", "fields", "map", "data"])
+        .map_err(|e| e.to_string())?;
+    let snet = build_network(args)?;
+    let routing = snet.net().routing();
+    let topo = snet.net().topology();
+    let n = snet.len();
+    let reachable = n - routing.unreachable().len();
+    let mut depth_hist: std::collections::BTreeMap<u32, usize> = Default::default();
+    let mut max_children = 0usize;
+    let mut leaf = 0usize;
+    for v in (0..n as u32).map(NodeId) {
+        if let Some(d) = routing.depth(v) {
+            *depth_hist.entry(d).or_default() += 1;
+            max_children = max_children.max(routing.children(v).len());
+            if routing.children(v).is_empty() {
+                leaf += 1;
+            }
+        }
+    }
+    let avg_neighbors: f64 = (0..n as u32)
+        .map(|i| topo.neighbors(NodeId(i)).len())
+        .sum::<usize>() as f64
+        / n as f64;
+    println!("nodes:         {n} ({reachable} reachable)");
+    println!(
+        "area:          {:.0} m x {:.0} m",
+        topo.area().width,
+        topo.area().height
+    );
+    println!("radio range:   {:.0} m", topo.range());
+    println!("avg neighbors: {avg_neighbors:.1}");
+    println!("base station:  {}", snet.base());
+    println!("tree depth:    {}", routing.max_depth());
+    println!("leaf nodes:    {leaf}");
+    println!("max children:  {max_children}");
+    println!("depth histogram:");
+    for (d, count) in depth_hist {
+        println!("  {d:>3}: {}", "#".repeat((count * 60 / n).max(1)));
+    }
+    if args.flag("map") {
+        println!("\nmap (digits = tree depth mod 10, B = base, ! = unreachable):");
+        print!("{}", ascii_map(&snet, 72, 24));
+    }
+    Ok(())
+}
+
+fn cmd_sweep(args: &Args) -> Result<(), String> {
+    args.ensure_known(&[
+        "nodes",
+        "area",
+        "seed",
+        "base",
+        "fields",
+        "fractions",
+        "data",
+    ])
+    .map_err(|e| e.to_string())?;
+    let fractions: Vec<f64> = args
+        .get_str("fractions")
+        .unwrap_or("1,5,25,60")
+        .split(',')
+        .map(|s| s.trim().parse::<f64>().map(|p| p / 100.0))
+        .collect::<Result<_, _>>()
+        .map_err(|e| format!("bad --fractions: {e}"))?;
+    let mut snet = build_network(args)?;
+    let family = RangeQueryFamily::ratio_33();
+    println!(
+        "{:>10} {:>16} {:>16} {:>9}",
+        "fraction", "external [pkts]", "SENS-Join [pkts]", "saving"
+    );
+    for f in fractions {
+        let cal = family.calibrate(&snet, f);
+        let q = parse(&cal.sql).map_err(|e| e.to_string())?;
+        let cq = snet.compile(&q).map_err(|e| e.to_string())?;
+        let ext = ExternalJoin
+            .execute(&mut snet, &cq)
+            .map_err(|e| e.to_string())?;
+        let sj = SensJoin::default()
+            .execute(&mut snet, &cq)
+            .map_err(|e| e.to_string())?;
+        println!(
+            "{:>9.1}% {:>16} {:>16} {:>8.1}%",
+            100.0 * cal.achieved_fraction,
+            ext.stats.total_tx_packets(),
+            sj.stats.total_tx_packets(),
+            100.0
+                * (1.0 - sj.stats.total_tx_packets() as f64 / ext.stats.total_tx_packets() as f64)
+        );
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from)).unwrap()
+    }
+
+    #[test]
+    fn help_succeeds() {
+        assert_eq!(dispatch(&args("help")), 0);
+        assert_eq!(dispatch(&Args::default()), 0);
+    }
+
+    #[test]
+    fn unknown_command_fails() {
+        assert_ne!(dispatch(&args("frobnicate")), 0);
+    }
+
+    #[test]
+    fn run_executes_query() {
+        let a = args("run --nodes 80 --seed 2 --method sens --sql placeholder");
+        // Patch in a real query (whitespace split would break it).
+        let mut a = a;
+        a.options.insert(
+            "sql".into(),
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 4.0 ONCE"
+                .into(),
+        );
+        assert_eq!(dispatch(&a), 0);
+    }
+
+    #[test]
+    fn run_rejects_bad_sql() {
+        let mut a = args("run --nodes 50 --method sens");
+        a.options.insert("sql".into(), "SELEKT nonsense".into());
+        assert_ne!(dispatch(&a), 0);
+        // And missing --sql entirely.
+        assert_ne!(dispatch(&args("run --nodes 50")), 0);
+    }
+
+    #[test]
+    fn ascii_map_renders() {
+        let a = args("topology --nodes 120 --seed 4 --map");
+        assert_eq!(dispatch(&a), 0);
+        // Direct render check.
+        let snet = build_network(&args("topology --nodes 120 --seed 4")).unwrap();
+        let map = ascii_map(&snet, 40, 16);
+        assert_eq!(map.matches('B').count(), 1);
+        assert!(map.lines().count() == 18); // 16 rows + 2 borders
+        assert!(map.chars().any(|c| c.is_ascii_digit()));
+    }
+
+    #[test]
+    fn topology_and_sweep_run() {
+        assert_eq!(dispatch(&args("topology --nodes 100 --seed 3")), 0);
+        assert_eq!(
+            dispatch(&args("sweep --nodes 120 --seed 3 --fractions 5,25")),
+            0
+        );
+    }
+
+    #[test]
+    fn trace_writes_csv_consistent_with_stats() {
+        let dir = std::env::temp_dir().join("sensjoin-cli-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.csv");
+        let mut a = args("run --nodes 80 --seed 2 --method sens");
+        a.options.insert(
+            "sql".into(),
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 4.0 ONCE"
+                .into(),
+        );
+        a.options
+            .insert("trace".into(), path.to_str().unwrap().to_owned());
+        assert_eq!(dispatch(&a), 0);
+        let csv = std::fs::read_to_string(&path).unwrap();
+        assert!(csv.starts_with("seq,phase,from,to,bytes,packets\n"));
+        assert!(csv.lines().count() > 10);
+        // --trace with --method all is ambiguous.
+        let mut bad = args("run --nodes 50 --method all --trace /tmp/x.csv");
+        bad.options.insert(
+            "sql".into(),
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B ONCE".into(),
+        );
+        assert_ne!(dispatch(&bad), 0);
+    }
+
+    #[test]
+    fn bad_options_rejected() {
+        assert_ne!(dispatch(&args("run --bogus 1")), 0);
+        assert_ne!(dispatch(&args("topology --base nowhere")), 0);
+        assert_ne!(dispatch(&args("topology --fields lava")), 0);
+    }
+}

@@ -1,0 +1,26 @@
+//! `sensjoin` — run join queries over simulated sensor networks.
+//!
+//! ```text
+//! sensjoin run --sql "SELECT ..." [--nodes N] [--seed S] [--method all]
+//! sensjoin shell [--nodes N] [--seed S]        interactive SQL loop
+//! sensjoin topology [--nodes N] [--seed S]     routing-tree statistics
+//! sensjoin sweep [--fractions 1,5,25] [...]    selectivity sweep
+//! ```
+
+mod args;
+mod commands;
+mod csvdata;
+
+use args::Args;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let code = match Args::parse(raw) {
+        Ok(args) => commands::dispatch(&args),
+        Err(e) => {
+            eprintln!("error: {e}");
+            2
+        }
+    };
+    std::process::exit(code);
+}

@@ -1,0 +1,151 @@
+//! MSB-first bit I/O for the compressed stream formats.
+
+/// Bit-level writer (MSB-first within each byte).
+#[derive(Debug, Default)]
+pub struct BitWriter {
+    buf: Vec<u8>,
+    len: usize,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends one bit.
+    #[inline]
+    pub fn push_bit(&mut self, bit: bool) {
+        if self.len / 8 == self.buf.len() {
+            self.buf.push(0);
+        }
+        if bit {
+            self.buf[self.len / 8] |= 0x80 >> (self.len % 8);
+        }
+        self.len += 1;
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first.
+    #[inline]
+    pub fn push_bits(&mut self, value: u64, count: u32) {
+        debug_assert!(count <= 64);
+        for i in (0..count).rev() {
+            self.push_bit((value >> i) & 1 == 1);
+        }
+    }
+
+    /// Appends a Huffman code given as `(code, len)` (code already MSB-first).
+    #[inline]
+    pub fn push_code(&mut self, code: u32, len: u8) {
+        self.push_bits(u64::from(code), u32::from(len));
+    }
+
+    /// Pads to a byte boundary with zero bits.
+    pub fn align_byte(&mut self) {
+        while !self.len.is_multiple_of(8) {
+            self.push_bit(false);
+        }
+    }
+
+    /// Appends whole bytes (must be byte-aligned).
+    pub fn push_bytes(&mut self, bytes: &[u8]) {
+        debug_assert_eq!(self.len % 8, 0, "push_bytes requires alignment");
+        self.buf.extend_from_slice(bytes);
+        self.len += bytes.len() * 8;
+    }
+
+    /// Bits written so far.
+    pub fn len_bits(&self) -> usize {
+        self.len
+    }
+
+    /// Returns the padded byte buffer.
+    pub fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Bit-level reader (MSB-first within each byte).
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> BitReader<'a> {
+    /// Reads from `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Self { buf, pos: 0 }
+    }
+
+    /// Reads one bit.
+    #[inline]
+    pub fn read_bit(&mut self) -> Option<bool> {
+        if self.pos >= self.buf.len() * 8 {
+            return None;
+        }
+        let bit = (self.buf[self.pos / 8] >> (7 - self.pos % 8)) & 1 == 1;
+        self.pos += 1;
+        Some(bit)
+    }
+
+    /// Reads `count` bits MSB-first.
+    #[inline]
+    pub fn read_bits(&mut self, count: u32) -> Option<u64> {
+        debug_assert!(count <= 64);
+        let mut v = 0u64;
+        for _ in 0..count {
+            v = (v << 1) | u64::from(self.read_bit()?);
+        }
+        Some(v)
+    }
+
+    /// Skips to the next byte boundary.
+    pub fn align_byte(&mut self) {
+        self.pos = self.pos.div_ceil(8) * 8;
+    }
+
+    /// Reads `n` whole bytes (must be byte-aligned).
+    pub fn read_bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        debug_assert_eq!(self.pos % 8, 0);
+        let start = self.pos / 8;
+        if start + n > self.buf.len() {
+            return None;
+        }
+        self.pos += n * 8;
+        Some(&self.buf[start..start + n])
+    }
+
+    /// Bit position.
+    #[allow(dead_code)] // diagnostic helper, exercised in tests
+    pub fn position(&self) -> usize {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mixed_roundtrip() {
+        let mut w = BitWriter::new();
+        w.push_bits(0b110, 3);
+        w.align_byte();
+        w.push_bytes(&[0xAB, 0xCD]);
+        w.push_bits(0x3FF, 10);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.read_bits(3), Some(0b110));
+        r.align_byte();
+        assert_eq!(r.read_bytes(2), Some(&[0xAB, 0xCD][..]));
+        assert_eq!(r.read_bits(10), Some(0x3FF));
+    }
+
+    #[test]
+    fn end_of_stream() {
+        let mut r = BitReader::new(&[0x80]);
+        assert_eq!(r.read_bits(8), Some(0x80));
+        assert_eq!(r.read_bit(), None);
+    }
+}

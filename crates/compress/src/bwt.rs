@@ -1,0 +1,306 @@
+//! The "bzip2-like" codec: block-wise Burrows–Wheeler transform,
+//! move-to-front, zero-run-length coding and a dynamic Huffman back end.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::checksum::adler32;
+use crate::huffman::{Decoder, Encoder};
+use crate::mtf::{mtf_decode, mtf_encode};
+use crate::{Codec, DecompressError};
+
+/// Container magic ("SB" for sensor-bzip).
+const MAGIC: [u8; 2] = [b'S', b'B'];
+/// Maximum block size. Real bzip2 uses 100 KiB–900 KiB; pre-computation
+/// messages are far smaller, so blocks rarely split at all.
+const BLOCK: usize = 1 << 15;
+/// Entropy alphabet: 0..=255 MTF symbols, 256 = zero-run escape, 257 = EOB.
+const NSYM: usize = 258;
+const ZRUN: usize = 256;
+const EOB: usize = 257;
+
+/// Sorts the cyclic rotations of `data` by prefix doubling, returning the
+/// BWT (last column) and the primary index (row of the original string).
+pub fn bwt_forward(data: &[u8]) -> (Vec<u8>, u32) {
+    let n = data.len();
+    if n == 0 {
+        return (Vec::new(), 0);
+    }
+    let mut order: Vec<u32> = (0..n as u32).collect();
+    let mut rank: Vec<u32> = data.iter().map(|&b| u32::from(b)).collect();
+    let mut next_rank = vec![0u32; n];
+    let mut k = 1usize;
+    loop {
+        let key = |i: u32| -> (u32, u32) {
+            let i = i as usize;
+            (rank[i], rank[(i + k) % n])
+        };
+        order.sort_unstable_by_key(|&i| key(i));
+        next_rank[order[0] as usize] = 0;
+        for w in 1..n {
+            let prev = order[w - 1];
+            let cur = order[w];
+            next_rank[cur as usize] = next_rank[prev as usize] + u32::from(key(prev) != key(cur));
+        }
+        std::mem::swap(&mut rank, &mut next_rank);
+        if rank[order[n - 1] as usize] as usize == n - 1 || k >= n {
+            break;
+        }
+        k *= 2;
+    }
+    let mut last = Vec::with_capacity(n);
+    let mut primary = 0u32;
+    for (row, &start) in order.iter().enumerate() {
+        if start == 0 {
+            primary = row as u32;
+        }
+        last.push(data[(start as usize + n - 1) % n]);
+    }
+    (last, primary)
+}
+
+/// Inverts [`bwt_forward`].
+///
+/// Returns `None` if `primary` is out of range.
+pub fn bwt_inverse(last: &[u8], primary: u32) -> Option<Vec<u8>> {
+    let n = last.len();
+    if n == 0 {
+        return if primary == 0 { Some(Vec::new()) } else { None };
+    }
+    if primary as usize >= n {
+        return None;
+    }
+    let mut counts = [0usize; 256];
+    for &c in last {
+        counts[usize::from(c)] += 1;
+    }
+    let mut starts = [0usize; 256];
+    let mut sum = 0;
+    for c in 0..256 {
+        starts[c] = sum;
+        sum += counts[c];
+    }
+    let mut occ = [0usize; 256];
+    let mut lf = vec![0u32; n];
+    for (i, &c) in last.iter().enumerate() {
+        let c = usize::from(c);
+        lf[i] = (starts[c] + occ[c]) as u32;
+        occ[c] += 1;
+    }
+    let mut out = vec![0u8; n];
+    let mut row = primary as usize;
+    for slot in out.iter_mut().rev() {
+        *slot = last[row];
+        row = lf[row] as usize;
+    }
+    Some(out)
+}
+
+/// Zero-run-length encodes an MTF stream into entropy symbols.
+fn zrle_encode(mtf: &[u8]) -> Vec<(usize, u32)> {
+    // (symbol, run_payload); run_payload only meaningful for ZRUN.
+    let mut out = Vec::with_capacity(mtf.len() / 2 + 2);
+    let mut i = 0;
+    while i < mtf.len() {
+        if mtf[i] == 0 {
+            let mut run = 1u32;
+            while i + (run as usize) < mtf.len() && mtf[i + run as usize] == 0 {
+                run += 1;
+            }
+            out.push((ZRUN, run));
+            i += run as usize;
+        } else {
+            out.push((usize::from(mtf[i]), 0));
+            i += 1;
+        }
+    }
+    out.push((EOB, 0));
+    out
+}
+
+/// The "bzip2-like" codec.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Bwt;
+
+impl Codec for Bwt {
+    fn name(&self) -> &'static str {
+        "bwt-mtf-huffman (bzip2-like)"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let mut w = BitWriter::new();
+        w.push_bytes(&MAGIC);
+        let n_blocks = data.len().div_ceil(BLOCK);
+        w.push_bits(n_blocks as u64, 16);
+        for block in data.chunks(BLOCK) {
+            let (last, primary) = bwt_forward(block);
+            let symbols = zrle_encode(&mtf_encode(&last));
+            let mut freq = vec![0u64; NSYM];
+            for &(s, _) in &symbols {
+                freq[s] += 1;
+            }
+            let (enc, lengths) = Encoder::from_freqs(&freq);
+            w.push_bits(block.len() as u64, 16);
+            w.push_bits(u64::from(primary), 16);
+            // 4-bit code lengths don't fit (max 15 does); 4 bits per length.
+            for &l in &lengths {
+                w.push_bits(u64::from(l), 4);
+            }
+            for &(s, run) in &symbols {
+                enc.emit(s, &mut w);
+                if s == ZRUN {
+                    // Elias-style: 5-bit width, then the run value itself.
+                    let bits = 32 - run.leading_zeros();
+                    w.push_bits(u64::from(bits), 5);
+                    w.push_bits(u64::from(run), bits);
+                }
+            }
+            w.align_byte();
+        }
+        w.push_bits(u64::from(adler32(data)), 32);
+        w.finish()
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        let mut r = BitReader::new(data);
+        if r.read_bytes(2) != Some(&MAGIC[..]) {
+            return Err(DecompressError::BadMagic);
+        }
+        let n_blocks = r.read_bits(16).ok_or(DecompressError::Truncated)? as usize;
+        let mut out = Vec::new();
+        for _ in 0..n_blocks {
+            let len = r.read_bits(16).ok_or(DecompressError::Truncated)? as usize;
+            let primary = r.read_bits(16).ok_or(DecompressError::Truncated)? as u32;
+            let mut lengths = vec![0u8; NSYM];
+            for l in lengths.iter_mut() {
+                *l = r.read_bits(4).ok_or(DecompressError::Truncated)? as u8;
+            }
+            let dec = Decoder::from_lengths(&lengths);
+            let mut mtf = Vec::with_capacity(len);
+            loop {
+                let s = dec.read_symbol(&mut r)?;
+                match s {
+                    EOB => break,
+                    ZRUN => {
+                        let bits = r.read_bits(5).ok_or(DecompressError::Truncated)? as u32;
+                        if bits == 0 || bits > 17 {
+                            return Err(DecompressError::Corrupt("bad zero-run width"));
+                        }
+                        let run = r.read_bits(bits).ok_or(DecompressError::Truncated)?;
+                        if mtf.len() + run as usize > len {
+                            return Err(DecompressError::Corrupt("zero run overflow"));
+                        }
+                        mtf.extend(std::iter::repeat_n(0u8, run as usize));
+                    }
+                    s => {
+                        if mtf.len() >= len {
+                            return Err(DecompressError::Corrupt("block overflow"));
+                        }
+                        mtf.push(s as u8);
+                    }
+                }
+            }
+            if mtf.len() != len {
+                return Err(DecompressError::Corrupt("block underflow"));
+            }
+            let last = mtf_decode(&mtf);
+            let block =
+                bwt_inverse(&last, primary).ok_or(DecompressError::Corrupt("bad primary index"))?;
+            out.extend_from_slice(&block);
+            r.align_byte();
+        }
+        let sum = r.read_bits(32).ok_or(DecompressError::Truncated)? as u32;
+        if sum != adler32(&out) {
+            return Err(DecompressError::ChecksumMismatch);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bwt_banana() {
+        // Classic example: rotations of "banana" sorted; last column.
+        let (last, primary) = bwt_forward(b"banana");
+        assert_eq!(bwt_inverse(&last, primary).unwrap(), b"banana");
+        // "banana" BWT (cyclic, no sentinel) is "nnbaaa".
+        assert_eq!(&last, b"nnbaaa");
+    }
+
+    #[test]
+    fn bwt_roundtrip_various() {
+        for data in [
+            b"".to_vec(),
+            b"a".to_vec(),
+            b"abracadabra".to_vec(),
+            b"mississippi".to_vec(),
+            vec![0u8; 1000],
+            (0u8..=255).cycle().take(5000).collect(),
+        ] {
+            let (last, primary) = bwt_forward(&data);
+            assert_eq!(bwt_inverse(&last, primary).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn bwt_all_equal_rotations() {
+        // Degenerate input where all rotations compare equal.
+        let data = vec![b'x'; 64];
+        let (last, primary) = bwt_forward(&data);
+        assert_eq!(bwt_inverse(&last, primary).unwrap(), data);
+    }
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let packed = Bwt.compress(data);
+        assert_eq!(Bwt.decompress(&packed).unwrap(), data, "len {}", data.len());
+        packed
+    }
+
+    #[test]
+    fn codec_roundtrip() {
+        roundtrip(b"");
+        roundtrip(b"x");
+        roundtrip(&b"the quick brown fox ".repeat(100));
+        roundtrip(&(0u32..20_000).map(|i| (i % 7) as u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn multi_block_roundtrip() {
+        let data: Vec<u8> = (0u32..100_000).map(|i| (i / 100) as u8).collect();
+        assert!(data.len() > BLOCK);
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn repetitive_text_compresses() {
+        let data = b"sensor reading 21.5 sensor reading 21.6 ".repeat(100);
+        let packed = roundtrip(&data);
+        assert!(
+            packed.len() < data.len() / 3,
+            "{} of {}",
+            packed.len(),
+            data.len()
+        );
+    }
+
+    #[test]
+    fn small_input_overhead_exceeds_savings() {
+        // The paper's observation: bzip2 *grows* small inputs (5666 > 5619
+        // packets in §VI-B).
+        let data = b"21.5;400;300";
+        let packed = Bwt.compress(data);
+        assert!(packed.len() > data.len());
+        assert_eq!(Bwt.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn corrupt_detected() {
+        let data = b"correct horse battery staple".repeat(10);
+        let mut packed = Bwt.compress(&data);
+        let mid = packed.len() / 2;
+        packed[mid] ^= 0x10;
+        assert!(Bwt.decompress(&packed).is_err());
+        assert_eq!(Bwt.decompress(b"XY"), Err(DecompressError::BadMagic));
+    }
+}

@@ -1,0 +1,300 @@
+//! Canonical Huffman coding with length-limited codes.
+//!
+//! Both compressed formats use canonical codes: only the code *lengths* are
+//! stored in headers; codes are reconstructed deterministically (shorter
+//! codes first, ties by symbol index). Lengths are limited to
+//! [`MAX_CODE_LEN`]; if the optimal tree is deeper, symbol frequencies are
+//! repeatedly halved (floored at 1) until it fits — the standard practical
+//! workaround, costing a negligible fraction of a bit per symbol.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::DecompressError;
+
+/// Maximum Huffman code length (as in DEFLATE).
+pub const MAX_CODE_LEN: u8 = 15;
+
+/// Computes canonical code lengths for `freqs` (0 = symbol absent).
+///
+/// Returns one length per symbol; all-zero frequencies yield all-zero
+/// lengths. A single present symbol gets length 1.
+pub fn code_lengths(freqs: &[u64]) -> Vec<u8> {
+    let mut freqs = freqs.to_vec();
+    loop {
+        let lengths = huffman_lengths(&freqs);
+        if lengths.iter().all(|&l| l <= MAX_CODE_LEN) {
+            return lengths;
+        }
+        for f in freqs.iter_mut().filter(|f| **f > 0) {
+            *f = (*f >> 1).max(1);
+        }
+    }
+}
+
+/// Unrestricted Huffman code lengths via the classic two-queue algorithm.
+fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
+    #[derive(Debug)]
+    struct Node {
+        freq: u64,
+        kids: Option<(usize, usize)>,
+        symbol: usize,
+    }
+    let mut nodes: Vec<Node> = freqs
+        .iter()
+        .enumerate()
+        .filter(|&(_, &f)| f > 0)
+        .map(|(s, &f)| Node {
+            freq: f,
+            kids: None,
+            symbol: s,
+        })
+        .collect();
+    let mut lengths = vec![0u8; freqs.len()];
+    match nodes.len() {
+        0 => return lengths,
+        1 => {
+            lengths[nodes[0].symbol] = 1;
+            return lengths;
+        }
+        _ => {}
+    }
+    // Min-heap over (freq, node index).
+    let mut heap: std::collections::BinaryHeap<std::cmp::Reverse<(u64, usize)>> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| std::cmp::Reverse((n.freq, i)))
+        .collect();
+    while heap.len() > 1 {
+        let std::cmp::Reverse((fa, a)) = heap.pop().expect("len > 1");
+        let std::cmp::Reverse((fb, b)) = heap.pop().expect("len > 1");
+        let parent = nodes.len();
+        nodes.push(Node {
+            freq: fa + fb,
+            kids: Some((a, b)),
+            symbol: usize::MAX,
+        });
+        heap.push(std::cmp::Reverse((fa + fb, parent)));
+    }
+    // Depth-first depth assignment from the root.
+    let root = nodes.len() - 1;
+    let mut stack = vec![(root, 0u8)];
+    while let Some((i, depth)) = stack.pop() {
+        match nodes[i].kids {
+            Some((a, b)) => {
+                stack.push((a, depth + 1));
+                stack.push((b, depth + 1));
+            }
+            None => lengths[nodes[i].symbol] = depth.max(1),
+        }
+    }
+    lengths
+}
+
+/// Assigns canonical codes (MSB-first values) from lengths.
+pub fn canonical_codes(lengths: &[u8]) -> Vec<u32> {
+    let max_len = lengths.iter().copied().max().unwrap_or(0);
+    let mut bl_count = vec![0u32; usize::from(max_len) + 1];
+    for &l in lengths {
+        if l > 0 {
+            bl_count[usize::from(l)] += 1;
+        }
+    }
+    let mut next_code = vec![0u32; usize::from(max_len) + 2];
+    let mut code = 0u32;
+    for bits in 1..=usize::from(max_len) {
+        code = (code + bl_count[bits - 1]) << 1;
+        next_code[bits] = code;
+    }
+    lengths
+        .iter()
+        .map(|&l| {
+            if l == 0 {
+                0
+            } else {
+                let c = next_code[usize::from(l)];
+                next_code[usize::from(l)] += 1;
+                c
+            }
+        })
+        .collect()
+}
+
+/// An encoding table: canonical `(code, length)` per symbol.
+#[derive(Debug, Clone)]
+pub struct Encoder {
+    codes: Vec<u32>,
+    lengths: Vec<u8>,
+}
+
+impl Encoder {
+    /// Builds an encoder from code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        Self {
+            codes: canonical_codes(lengths),
+            lengths: lengths.to_vec(),
+        }
+    }
+
+    /// Builds an encoder (and the lengths to ship) from frequencies.
+    pub fn from_freqs(freqs: &[u64]) -> (Self, Vec<u8>) {
+        let lengths = code_lengths(freqs);
+        (Self::from_lengths(&lengths), lengths)
+    }
+
+    /// Emits the code for `symbol`.
+    ///
+    /// # Panics
+    /// Panics (debug) if the symbol has no code.
+    #[inline]
+    pub fn emit(&self, symbol: usize, w: &mut BitWriter) {
+        let len = self.lengths[symbol];
+        debug_assert!(len > 0, "symbol {symbol} has no code");
+        w.push_code(self.codes[symbol], len);
+    }
+
+    /// Length of the code for `symbol` in bits (0 if absent).
+    #[inline]
+    pub fn len_of(&self, symbol: usize) -> u8 {
+        self.lengths[symbol]
+    }
+}
+
+/// A decoding table for canonical codes: per-length first-code ranges.
+#[derive(Debug, Clone)]
+pub struct Decoder {
+    /// For each length l: (first_code, first_index, count).
+    ranges: Vec<(u32, u32, u32)>,
+    /// Symbols sorted by (length, symbol).
+    symbols: Vec<u32>,
+    max_len: u8,
+}
+
+impl Decoder {
+    /// Builds a decoder from code lengths.
+    pub fn from_lengths(lengths: &[u8]) -> Self {
+        let max_len = lengths.iter().copied().max().unwrap_or(0);
+        let mut symbols: Vec<u32> = (0..lengths.len() as u32)
+            .filter(|&s| lengths[s as usize] > 0)
+            .collect();
+        symbols.sort_by_key(|&s| (lengths[s as usize], s));
+        let codes = canonical_codes(lengths);
+        let mut ranges = vec![(0u32, 0u32, 0u32); usize::from(max_len) + 1];
+        let mut idx = 0u32;
+        for l in 1..=max_len {
+            let count = lengths.iter().filter(|&&x| x == l).count() as u32;
+            let first_code = symbols
+                .get(idx as usize)
+                .filter(|&&s| lengths[s as usize] == l)
+                .map(|&s| codes[s as usize])
+                .unwrap_or(0);
+            ranges[usize::from(l)] = (first_code, idx, count);
+            idx += count;
+        }
+        Self {
+            ranges,
+            symbols,
+            max_len,
+        }
+    }
+
+    /// Decodes one symbol from the reader.
+    pub fn read_symbol(&self, r: &mut BitReader<'_>) -> Result<usize, DecompressError> {
+        let mut code = 0u32;
+        for l in 1..=self.max_len {
+            code = (code << 1) | u32::from(r.read_bit().ok_or(DecompressError::Truncated)?);
+            let (first, idx, count) = self.ranges[usize::from(l)];
+            if count > 0 && code >= first && code < first + count {
+                return Ok(self.symbols[(idx + code - first) as usize] as usize);
+            }
+        }
+        Err(DecompressError::Corrupt("invalid Huffman code"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_symbols(freqs: &[u64], stream: &[usize]) {
+        let (enc, lengths) = Encoder::from_freqs(freqs);
+        let dec = Decoder::from_lengths(&lengths);
+        let mut w = BitWriter::new();
+        for &s in stream {
+            enc.emit(s, &mut w);
+        }
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        for &s in stream {
+            assert_eq!(dec.read_symbol(&mut r).unwrap(), s);
+        }
+    }
+
+    #[test]
+    fn skewed_frequencies() {
+        let freqs = [1000, 500, 100, 10, 1, 0, 3];
+        roundtrip_symbols(&freqs, &[0, 1, 2, 3, 4, 6, 0, 0, 1]);
+        let lengths = code_lengths(&freqs);
+        // More frequent symbols never get longer codes.
+        assert!(lengths[0] <= lengths[1]);
+        assert!(lengths[1] <= lengths[2]);
+        assert_eq!(lengths[5], 0);
+    }
+
+    #[test]
+    fn single_symbol_alphabet() {
+        let lengths = code_lengths(&[0, 42, 0]);
+        assert_eq!(lengths, vec![0, 1, 0]);
+        roundtrip_symbols(&[0, 42, 0], &[1, 1, 1]);
+    }
+
+    #[test]
+    fn kraft_inequality_holds() {
+        let freqs: Vec<u64> = (1..=300).map(|i| i * i).collect();
+        let lengths = code_lengths(&freqs);
+        let kraft: f64 = lengths
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-i32::from(l)))
+            .sum();
+        assert!(kraft <= 1.0 + 1e-9, "kraft sum {kraft}");
+        assert!(lengths.iter().all(|&l| l <= MAX_CODE_LEN));
+    }
+
+    #[test]
+    fn length_limit_enforced() {
+        // Fibonacci-like frequencies force deep optimal trees.
+        let mut freqs = vec![1u64; 40];
+        let (mut a, mut b) = (1u64, 1u64);
+        for f in freqs.iter_mut() {
+            *f = a;
+            let c = a + b;
+            a = b;
+            b = c;
+        }
+        let lengths = code_lengths(&freqs);
+        assert!(lengths.iter().all(|&l| l > 0 && l <= MAX_CODE_LEN));
+        // Still decodable.
+        roundtrip_symbols(&freqs, &[0, 39, 20, 5]);
+    }
+
+    #[test]
+    fn canonical_code_order() {
+        // lengths (2,1,3,3) -> canonical: sym1=0, sym0=10, sym2=110, sym3=111
+        let codes = canonical_codes(&[2, 1, 3, 3]);
+        assert_eq!(codes, vec![0b10, 0b0, 0b110, 0b111]);
+    }
+
+    #[test]
+    fn invalid_code_detected() {
+        // Alphabet {0,1} with lengths [1,0]: only code '0' valid at len 1...
+        // lengths [1] for symbol 0 only; reading '1' forever is invalid.
+        let dec = Decoder::from_lengths(&[1, 0]);
+        let bytes = [0xFF];
+        let mut r = BitReader::new(&bytes);
+        assert!(dec.read_symbol(&mut r).is_err());
+    }
+
+    #[test]
+    fn empty_alphabet() {
+        assert_eq!(code_lengths(&[0, 0, 0]), vec![0, 0, 0]);
+    }
+}

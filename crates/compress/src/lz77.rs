@@ -1,0 +1,182 @@
+//! Greedy LZ77 matching with hash chains (the zlib matcher, simplified).
+
+/// Sliding-window size (32 KiB, as in zlib).
+pub const WINDOW: usize = 32 * 1024;
+/// Minimum useful match length.
+pub const MIN_MATCH: usize = 3;
+/// Maximum match length (as in DEFLATE).
+pub const MAX_MATCH: usize = 258;
+/// Maximum hash-chain probes per position.
+const MAX_CHAIN: usize = 128;
+
+/// One LZ77 token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Token {
+    /// A literal byte.
+    Literal(u8),
+    /// A back-reference: copy `len` bytes from `dist` bytes back.
+    Match {
+        /// Match length, `MIN_MATCH..=MAX_MATCH`.
+        len: u16,
+        /// Distance, `1..=WINDOW`.
+        dist: u16,
+    },
+}
+
+#[inline]
+fn hash3(data: &[u8], i: usize) -> usize {
+    let h = (u32::from(data[i]) << 16) ^ (u32::from(data[i + 1]) << 8) ^ u32::from(data[i + 2]);
+    (h.wrapping_mul(2654435761) >> 17) as usize & (HASH_SIZE - 1)
+}
+
+const HASH_SIZE: usize = 1 << 14;
+
+/// Tokenizes `data` with greedy longest-match parsing.
+pub fn tokenize(data: &[u8]) -> Vec<Token> {
+    let mut tokens = Vec::with_capacity(data.len() / 2 + 1);
+    if data.len() < MIN_MATCH {
+        tokens.extend(data.iter().map(|&b| Token::Literal(b)));
+        return tokens;
+    }
+    // head[h] = most recent position with hash h; prev[i % WINDOW] = previous
+    // position in the chain of i.
+    let mut head = vec![usize::MAX; HASH_SIZE];
+    let mut prev = vec![usize::MAX; WINDOW];
+    let mut i = 0;
+    while i < data.len() {
+        let mut best_len = 0usize;
+        let mut best_dist = 0usize;
+        if i + MIN_MATCH <= data.len() {
+            let h = hash3(data, i);
+            let mut cand = head[h];
+            let mut probes = 0;
+            while cand != usize::MAX && i - cand <= WINDOW && probes < MAX_CHAIN {
+                let max_len = (data.len() - i).min(MAX_MATCH);
+                let mut l = 0;
+                while l < max_len && data[cand + l] == data[i + l] {
+                    l += 1;
+                }
+                if l > best_len {
+                    best_len = l;
+                    best_dist = i - cand;
+                    if l == max_len {
+                        break;
+                    }
+                }
+                cand = prev[cand % WINDOW];
+                probes += 1;
+            }
+            // Update chains for position i.
+            prev[i % WINDOW] = head[h];
+            head[h] = i;
+        }
+        if best_len >= MIN_MATCH {
+            tokens.push(Token::Match {
+                len: best_len as u16,
+                dist: best_dist as u16,
+            });
+            // Insert skipped positions into the hash chains so later matches
+            // can reference inside this match.
+            for j in i + 1..(i + best_len).min(data.len().saturating_sub(MIN_MATCH - 1)) {
+                let h = hash3(data, j);
+                prev[j % WINDOW] = head[h];
+                head[h] = j;
+            }
+            i += best_len;
+        } else {
+            tokens.push(Token::Literal(data[i]));
+            i += 1;
+        }
+    }
+    tokens
+}
+
+/// Expands a token stream back into bytes.
+///
+/// Returns `None` on an out-of-range back-reference.
+pub fn expand(tokens: &[Token]) -> Option<Vec<u8>> {
+    let mut out = Vec::new();
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => out.push(b),
+            Token::Match { len, dist } => {
+                let dist = usize::from(dist);
+                let len = usize::from(len);
+                if dist == 0 || dist > out.len() {
+                    return None;
+                }
+                let start = out.len() - dist;
+                // Overlapping copies are legal (dist < len repeats).
+                for k in 0..len {
+                    let b = out[start + k];
+                    out.push(b);
+                }
+            }
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) {
+        let toks = tokenize(data);
+        assert_eq!(expand(&toks).unwrap(), data);
+    }
+
+    #[test]
+    fn empty_and_tiny() {
+        roundtrip(b"");
+        roundtrip(b"a");
+        roundtrip(b"ab");
+    }
+
+    #[test]
+    fn repetitive_input_produces_matches() {
+        let data = b"abcabcabcabcabcabcabc";
+        let toks = tokenize(data);
+        assert!(toks.iter().any(|t| matches!(t, Token::Match { .. })));
+        assert!(toks.len() < data.len());
+        roundtrip(data);
+    }
+
+    #[test]
+    fn overlapping_match_rle_style() {
+        let data = vec![b'x'; 500];
+        let toks = tokenize(&data);
+        // A run compresses to a literal plus dist-1 matches.
+        assert!(toks.len() <= 4, "{} tokens", toks.len());
+        assert_eq!(expand(&toks).unwrap(), data);
+    }
+
+    #[test]
+    fn incompressible_input() {
+        // Pseudo-random bytes: mostly literals but still correct.
+        let data: Vec<u8> = (0u32..2000)
+            .map(|i| (i.wrapping_mul(2654435761) >> 13) as u8)
+            .collect();
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn long_match_capped() {
+        let data = vec![7u8; 10_000];
+        for t in tokenize(&data) {
+            if let Token::Match { len, .. } = t {
+                assert!(usize::from(len) <= MAX_MATCH);
+            }
+        }
+        roundtrip(&data);
+    }
+
+    #[test]
+    fn bad_backreference_rejected() {
+        assert_eq!(expand(&[Token::Match { len: 3, dist: 5 }]), None);
+        assert_eq!(
+            expand(&[Token::Literal(1), Token::Match { len: 3, dist: 0 }]),
+            None
+        );
+    }
+}

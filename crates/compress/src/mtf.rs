@@ -1,0 +1,60 @@
+//! Move-to-front transform (the bzip2 stage between BWT and entropy coding).
+
+/// Applies move-to-front: each byte is replaced by its index in a
+/// recency-ordered alphabet, which is then rotated to put the byte first.
+/// After a BWT, the output is heavily skewed towards small values.
+pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
+    let mut alphabet: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&b| {
+            let idx = alphabet
+                .iter()
+                .position(|&a| a == b)
+                .expect("byte in alphabet");
+            alphabet[..=idx].rotate_right(1);
+            idx as u8
+        })
+        .collect()
+}
+
+/// Inverts [`mtf_encode`].
+pub fn mtf_decode(data: &[u8]) -> Vec<u8> {
+    let mut alphabet: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&idx| {
+            let b = alphabet[usize::from(idx)];
+            alphabet[..=usize::from(idx)].rotate_right(1);
+            b
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip() {
+        let data: Vec<u8> = b"bananaaa mississippi".to_vec();
+        assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+    }
+
+    #[test]
+    fn runs_become_zeros() {
+        let enc = mtf_encode(b"aaaabbbb");
+        assert_eq!(&enc[1..4], &[0, 0, 0]);
+        assert_eq!(&enc[5..], &[0, 0, 0]);
+    }
+
+    #[test]
+    fn empty() {
+        assert_eq!(mtf_encode(b""), Vec::<u8>::new());
+        assert_eq!(mtf_decode(b""), Vec::<u8>::new());
+    }
+
+    #[test]
+    fn all_bytes_roundtrip() {
+        let data: Vec<u8> = (0..=255).chain((0..=255).rev()).collect();
+        assert_eq!(mtf_decode(&mtf_encode(&data)), data);
+    }
+}

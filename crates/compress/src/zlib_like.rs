@@ -1,0 +1,428 @@
+//! The "zlib-like" codec: LZ77 tokens entropy-coded with canonical Huffman
+//! codes using DEFLATE's length/distance code structure, in a container with
+//! a magic, a per-stream block-mode choice (stored / static / dynamic codes)
+//! and an Adler-32 trailer — the same structural costs real zlib pays, which
+//! is what makes it a fair §VI-B baseline.
+
+use crate::bitio::{BitReader, BitWriter};
+use crate::checksum::adler32;
+use crate::huffman::{Decoder, Encoder};
+use crate::lz77::{expand, tokenize, Token};
+use crate::{Codec, DecompressError};
+
+/// Container magic ("SZ" for sensor-zlib).
+const MAGIC: [u8; 2] = [b'S', b'Z'];
+/// End-of-block symbol in the literal/length alphabet.
+const EOB: usize = 256;
+/// Literal/length alphabet size.
+const NLIT: usize = 286;
+/// Distance alphabet size.
+const NDIST: usize = 30;
+
+/// DEFLATE length code bases (codes 257..=285 encode lengths 3..=258).
+const LEN_BASE: [u16; 29] = [
+    3, 4, 5, 6, 7, 8, 9, 10, 11, 13, 15, 17, 19, 23, 27, 31, 35, 43, 51, 59, 67, 83, 99, 115, 131,
+    163, 195, 227, 258,
+];
+const LEN_EXTRA: [u8; 29] = [
+    0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 2, 2, 2, 2, 3, 3, 3, 3, 4, 4, 4, 4, 5, 5, 5, 5, 0,
+];
+/// DEFLATE distance code bases (codes 0..=29 encode distances 1..=32768).
+const DIST_BASE: [u16; 30] = [
+    1, 2, 3, 4, 5, 7, 9, 13, 17, 25, 33, 49, 65, 97, 129, 193, 257, 385, 513, 769, 1025, 1537,
+    2049, 3073, 4097, 6145, 8193, 12289, 16385, 24577,
+];
+const DIST_EXTRA: [u8; 30] = [
+    0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9, 9, 10, 10, 11, 11, 12, 12, 13,
+    13,
+];
+
+/// Maps a match length (3..=258) to `(code_offset, extra_bits, extra_value)`.
+fn length_code(len: u16) -> (usize, u8, u16) {
+    let idx = LEN_BASE.iter().rposition(|&b| b <= len).expect("len >= 3");
+    (idx, LEN_EXTRA[idx], len - LEN_BASE[idx])
+}
+
+/// Maps a distance (1..=32768) to `(code, extra_bits, extra_value)`.
+fn dist_code(dist: u16) -> (usize, u8, u16) {
+    let idx = DIST_BASE
+        .iter()
+        .rposition(|&b| b <= dist)
+        .expect("dist >= 1");
+    (idx, DIST_EXTRA[idx], dist - DIST_BASE[idx])
+}
+
+/// DEFLATE's fixed literal/length code lengths.
+fn static_lit_lengths() -> Vec<u8> {
+    let mut l = vec![8u8; 288];
+    for x in l.iter_mut().take(256).skip(144) {
+        *x = 9;
+    }
+    for x in l.iter_mut().take(280).skip(256) {
+        *x = 7;
+    }
+    l.truncate(NLIT);
+    l
+}
+
+fn static_dist_lengths() -> Vec<u8> {
+    vec![5u8; NDIST]
+}
+
+/// The "zlib-like" codec. Stateless; construct with `Lz77Huffman`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Lz77Huffman;
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Stored = 0,
+    Static = 1,
+    Dynamic = 2,
+}
+
+impl Codec for Lz77Huffman {
+    fn name(&self) -> &'static str {
+        "lz77-huffman (zlib-like)"
+    }
+
+    fn compress(&self, data: &[u8]) -> Vec<u8> {
+        let tokens = tokenize(data);
+        // Gather frequencies, EOB included.
+        let mut lit_freq = vec![0u64; NLIT];
+        let mut dist_freq = vec![0u64; NDIST];
+        lit_freq[EOB] = 1;
+        for &t in &tokens {
+            match t {
+                Token::Literal(b) => lit_freq[usize::from(b)] += 1,
+                Token::Match { len, dist } => {
+                    lit_freq[257 + length_code(len).0] += 1;
+                    dist_freq[dist_code(dist).0] += 1;
+                }
+            }
+        }
+        let (dyn_lit, dyn_lit_lens) = Encoder::from_freqs(&lit_freq);
+        let (dyn_dist, dyn_dist_lens) = Encoder::from_freqs(&dist_freq);
+        let static_lit = Encoder::from_lengths(&static_lit_lengths());
+        let static_dist = Encoder::from_lengths(&static_dist_lengths());
+
+        let payload_bits = |lit: &Encoder, dist: &Encoder| -> usize {
+            let mut bits = usize::from(lit.len_of(EOB));
+            for &t in &tokens {
+                bits += match t {
+                    Token::Literal(b) => usize::from(lit.len_of(usize::from(b))),
+                    Token::Match { len, dist: d } => {
+                        let (lc, le, _) = length_code(len);
+                        let (dc, de, _) = dist_code(d);
+                        usize::from(lit.len_of(257 + lc))
+                            + usize::from(le)
+                            + usize::from(dist.len_of(dc))
+                            + usize::from(de)
+                    }
+                };
+            }
+            bits
+        };
+
+        let header_bits = {
+            let mut probe = BitWriter::new();
+            write_lengths(&dyn_lit_lens, &mut probe);
+            write_lengths(&dyn_dist_lens, &mut probe);
+            probe.len_bits()
+        };
+        let stored_bits = 8 /* pad upper bound */ + 32 + data.len() * 8;
+        let static_bits = payload_bits(&static_lit, &static_dist);
+        let dynamic_bits = header_bits + payload_bits(&dyn_lit, &dyn_dist);
+        let mode = if stored_bits <= static_bits && stored_bits <= dynamic_bits {
+            Mode::Stored
+        } else if static_bits <= dynamic_bits {
+            Mode::Static
+        } else {
+            Mode::Dynamic
+        };
+
+        let mut w = BitWriter::new();
+        w.push_bytes(&MAGIC);
+        w.push_bits(mode as u64, 2);
+        match mode {
+            Mode::Stored => {
+                w.align_byte();
+                w.push_bits(data.len() as u64, 32);
+                w.push_bytes(data);
+            }
+            Mode::Static => {
+                write_tokens(&tokens, &static_lit, &static_dist, &mut w);
+            }
+            Mode::Dynamic => {
+                write_lengths(&dyn_lit_lens, &mut w);
+                write_lengths(&dyn_dist_lens, &mut w);
+                write_tokens(&tokens, &dyn_lit, &dyn_dist, &mut w);
+            }
+        }
+        w.align_byte();
+        w.push_bits(u64::from(adler32(data)), 32);
+        w.finish()
+    }
+
+    fn decompress(&self, data: &[u8]) -> Result<Vec<u8>, DecompressError> {
+        let mut r = BitReader::new(data);
+        if r.read_bytes(2) != Some(&MAGIC[..]) {
+            return Err(DecompressError::BadMagic);
+        }
+        let mode = r.read_bits(2).ok_or(DecompressError::Truncated)?;
+        let out = match mode {
+            0 => {
+                r.align_byte();
+                let len = r.read_bits(32).ok_or(DecompressError::Truncated)? as usize;
+                r.read_bytes(len)
+                    .ok_or(DecompressError::Truncated)?
+                    .to_vec()
+            }
+            1 => {
+                let lit = Decoder::from_lengths(&static_lit_lengths());
+                let dist = Decoder::from_lengths(&static_dist_lengths());
+                read_tokens(&lit, &dist, &mut r)?
+            }
+            2 => {
+                let lit_lens = read_lengths(NLIT, &mut r)?;
+                let dist_lens = read_lengths(NDIST, &mut r)?;
+                let lit = Decoder::from_lengths(&lit_lens);
+                let dist = Decoder::from_lengths(&dist_lens);
+                read_tokens(&lit, &dist, &mut r)?
+            }
+            _ => return Err(DecompressError::Corrupt("unknown block mode")),
+        };
+        r.align_byte();
+        let sum = r.read_bits(32).ok_or(DecompressError::Truncated)? as u32;
+        if sum != adler32(&out) {
+            return Err(DecompressError::ChecksumMismatch);
+        }
+        Ok(out)
+    }
+}
+
+fn write_tokens(tokens: &[Token], lit: &Encoder, dist: &Encoder, w: &mut BitWriter) {
+    for &t in tokens {
+        match t {
+            Token::Literal(b) => lit.emit(usize::from(b), w),
+            Token::Match { len, dist: d } => {
+                let (lc, le, lv) = length_code(len);
+                lit.emit(257 + lc, w);
+                w.push_bits(u64::from(lv), u32::from(le));
+                let (dc, de, dv) = dist_code(d);
+                dist.emit(dc, w);
+                w.push_bits(u64::from(dv), u32::from(de));
+            }
+        }
+    }
+    lit.emit(EOB, w);
+}
+
+fn read_tokens(
+    lit: &Decoder,
+    dist: &Decoder,
+    r: &mut BitReader<'_>,
+) -> Result<Vec<u8>, DecompressError> {
+    let mut tokens = Vec::new();
+    loop {
+        let s = lit.read_symbol(r)?;
+        if s == EOB {
+            break;
+        }
+        if s < 256 {
+            tokens.push(Token::Literal(s as u8));
+        } else {
+            let lc = s - 257;
+            if lc >= LEN_BASE.len() {
+                return Err(DecompressError::Corrupt("bad length code"));
+            }
+            let extra = r
+                .read_bits(u32::from(LEN_EXTRA[lc]))
+                .ok_or(DecompressError::Truncated)?;
+            let len = LEN_BASE[lc] + extra as u16;
+            let dc = dist.read_symbol(r)?;
+            if dc >= DIST_BASE.len() {
+                return Err(DecompressError::Corrupt("bad distance code"));
+            }
+            let dextra = r
+                .read_bits(u32::from(DIST_EXTRA[dc]))
+                .ok_or(DecompressError::Truncated)?;
+            let d = DIST_BASE[dc] + dextra as u16;
+            tokens.push(Token::Match { len, dist: d });
+        }
+    }
+    expand(&tokens).ok_or(DecompressError::Corrupt("backreference out of range"))
+}
+
+/// Writes a code-length sequence: 9-bit count, then 5-bit tokens where
+/// `0..=15` are literal lengths, `16` starts a zero run (7-bit count-1) and
+/// `17` repeats the previous length (4-bit count-1).
+fn write_lengths(lengths: &[u8], w: &mut BitWriter) {
+    w.push_bits(lengths.len() as u64, 9);
+    let mut i = 0;
+    while i < lengths.len() {
+        let l = lengths[i];
+        let mut run = 1;
+        while i + run < lengths.len() && lengths[i + run] == l {
+            run += 1;
+        }
+        if l == 0 && run >= 2 {
+            let mut left = run;
+            while left > 0 {
+                let n = left.min(128);
+                w.push_bits(16, 5);
+                w.push_bits(n as u64 - 1, 7);
+                left -= n;
+            }
+        } else {
+            w.push_bits(u64::from(l), 5);
+            let mut left = run - 1;
+            while left > 0 {
+                let n = left.min(16);
+                w.push_bits(17, 5);
+                w.push_bits(n as u64 - 1, 4);
+                left -= n;
+            }
+        }
+        i += run;
+    }
+}
+
+fn read_lengths(expect: usize, r: &mut BitReader<'_>) -> Result<Vec<u8>, DecompressError> {
+    let count = r.read_bits(9).ok_or(DecompressError::Truncated)? as usize;
+    if count != expect {
+        return Err(DecompressError::Corrupt("alphabet size mismatch"));
+    }
+    let mut out: Vec<u8> = Vec::with_capacity(count);
+    while out.len() < count {
+        let tok = r.read_bits(5).ok_or(DecompressError::Truncated)?;
+        match tok {
+            0..=15 => out.push(tok as u8),
+            16 => {
+                let n = r.read_bits(7).ok_or(DecompressError::Truncated)? as usize + 1;
+                if out.len() + n > count {
+                    return Err(DecompressError::Corrupt("zero run overflow"));
+                }
+                out.extend(std::iter::repeat_n(0, n));
+            }
+            17 => {
+                let n = r.read_bits(4).ok_or(DecompressError::Truncated)? as usize + 1;
+                let prev = *out
+                    .last()
+                    .ok_or(DecompressError::Corrupt("repeat at start"))?;
+                if out.len() + n > count {
+                    return Err(DecompressError::Corrupt("repeat run overflow"));
+                }
+                out.extend(std::iter::repeat_n(prev, n));
+            }
+            _ => return Err(DecompressError::Corrupt("bad length token")),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(data: &[u8]) -> Vec<u8> {
+        let packed = Lz77Huffman.compress(data);
+        assert_eq!(Lz77Huffman.decompress(&packed).unwrap(), data);
+        packed
+    }
+
+    #[test]
+    fn empty_input() {
+        let packed = roundtrip(b"");
+        assert!(packed.len() <= 8, "{} bytes for empty", packed.len());
+    }
+
+    #[test]
+    fn text_compresses() {
+        let data = b"the quick brown fox jumps over the lazy dog, \
+                     the quick brown fox jumps over the lazy dog"
+            .repeat(20);
+        let packed = roundtrip(&data);
+        assert!(packed.len() < data.len() / 4);
+    }
+
+    #[test]
+    fn small_input_has_overhead() {
+        // The paper's point: tiny inputs gain little or nothing.
+        let data = b"21.5,44.1";
+        let packed = roundtrip(data);
+        assert!(packed.len() + 4 > data.len());
+    }
+
+    #[test]
+    fn random_input_stored_mode() {
+        let data: Vec<u8> = (0u32..4096)
+            .map(|i| (i.wrapping_mul(0x9E3779B9) >> 11) as u8)
+            .collect();
+        let packed = roundtrip(&data);
+        // Stored mode caps the blow-up at container overhead.
+        assert!(packed.len() <= data.len() + 16);
+    }
+
+    #[test]
+    fn runs_compress_extremely_well() {
+        let data = vec![0u8; 10_000];
+        let packed = roundtrip(&data);
+        assert!(packed.len() < 100, "{} bytes", packed.len());
+    }
+
+    #[test]
+    fn corrupt_magic_rejected() {
+        let mut packed = Lz77Huffman.compress(b"hello world hello world");
+        packed[0] = b'X';
+        assert_eq!(
+            Lz77Huffman.decompress(&packed),
+            Err(DecompressError::BadMagic)
+        );
+    }
+
+    #[test]
+    fn corrupt_payload_detected() {
+        let data = b"hello world hello world hello world".repeat(4);
+        let mut packed = Lz77Huffman.compress(&data);
+        let mid = packed.len() / 2;
+        packed[mid] ^= 0x40;
+        assert!(Lz77Huffman.decompress(&packed).is_err());
+    }
+
+    #[test]
+    fn truncated_stream_detected() {
+        let data = b"hello world hello world".repeat(8);
+        let packed = Lz77Huffman.compress(&data);
+        assert!(Lz77Huffman.decompress(&packed[..packed.len() - 5]).is_err());
+    }
+
+    #[test]
+    fn length_and_dist_code_tables() {
+        assert_eq!(length_code(3), (0, 0, 0));
+        assert_eq!(length_code(10), (7, 0, 0));
+        assert_eq!(length_code(11), (8, 1, 0));
+        assert_eq!(length_code(12), (8, 1, 1));
+        assert_eq!(length_code(258), (28, 0, 0));
+        assert_eq!(dist_code(1), (0, 0, 0));
+        assert_eq!(dist_code(5), (4, 1, 0));
+        assert_eq!(dist_code(6), (4, 1, 1));
+        assert_eq!(dist_code(32768), (29, 13, 8191));
+    }
+
+    #[test]
+    fn length_header_roundtrip() {
+        let lens: Vec<u8> = (0..NLIT)
+            .map(|i| match i % 7 {
+                0 | 1 => 0,
+                2 => 5,
+                3 => 5,
+                _ => 9,
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        write_lengths(&lens, &mut w);
+        let bytes = w.finish();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(read_lengths(NLIT, &mut r).unwrap(), lens);
+    }
+}

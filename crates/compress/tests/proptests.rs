@@ -1,0 +1,65 @@
+//! Property-based round-trip tests for both compressors.
+
+use proptest::prelude::*;
+use sensjoin_compress::{Bwt, Codec, Identity, Lz77Huffman};
+
+/// Strategy producing realistic byte streams: random, repetitive, and
+/// sensor-like structured data.
+fn data_strategy() -> impl Strategy<Value = Vec<u8>> {
+    prop_oneof![
+        // Arbitrary bytes.
+        prop::collection::vec(any::<u8>(), 0..2048),
+        // Highly repetitive.
+        (any::<u8>(), 0usize..4096).prop_map(|(b, n)| vec![b; n]),
+        // Sensor-record-like: repeating small structures with drift.
+        (0u16..1000, 1usize..400).prop_map(|(base, n)| {
+            (0..n)
+                .flat_map(|i| {
+                    let v = base.wrapping_add((i % 17) as u16);
+                    v.to_le_bytes()
+                })
+                .collect()
+        }),
+        // Text-like.
+        "[a-z ]{0,1500}".prop_map(|s| s.into_bytes()),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn lz77_roundtrip(data in data_strategy()) {
+        let packed = Lz77Huffman.compress(&data);
+        prop_assert_eq!(Lz77Huffman.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn bwt_roundtrip(data in data_strategy()) {
+        let packed = Bwt.compress(&data);
+        prop_assert_eq!(Bwt.decompress(&packed).unwrap(), data);
+    }
+
+    #[test]
+    fn identity_roundtrip(data in data_strategy()) {
+        let packed = Identity.compress(&data);
+        prop_assert_eq!(Identity.decompress(&packed).unwrap(), data);
+    }
+
+    /// Compression is bounded: stored-mode fallback caps expansion.
+    #[test]
+    fn lz77_bounded_expansion(data in prop::collection::vec(any::<u8>(), 0..2048)) {
+        let packed = Lz77Huffman.compress(&data);
+        prop_assert!(packed.len() <= data.len() + 16,
+            "{} from {}", packed.len(), data.len());
+    }
+
+    /// Codecs never mistake each other's containers for their own.
+    #[test]
+    fn magic_disambiguates(data in prop::collection::vec(any::<u8>(), 1..512)) {
+        let z = Lz77Huffman.compress(&data);
+        let b = Bwt.compress(&data);
+        prop_assert!(Bwt.decompress(&z).is_err());
+        prop_assert!(Lz77Huffman.decompress(&b).is_err());
+    }
+}

@@ -1,0 +1,47 @@
+//! Adversarial-input robustness for the decompressors: arbitrary and
+//! corrupted streams must produce clean errors, never panics or hangs.
+
+use proptest::prelude::*;
+use sensjoin_compress::{Bwt, Codec, Lz77Huffman};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lz77_random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Lz77Huffman.decompress(&bytes);
+    }
+
+    #[test]
+    fn bwt_random_bytes_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Bwt.decompress(&bytes);
+    }
+
+    /// Magic-prefixed garbage exercises the structural parsers, not just the
+    /// magic check.
+    #[test]
+    fn magic_prefixed_garbage(mut bytes in prop::collection::vec(any::<u8>(), 2..256)) {
+        bytes[0] = b'S';
+        bytes[1] = b'Z';
+        let _ = Lz77Huffman.decompress(&bytes);
+        bytes[1] = b'B';
+        let _ = Bwt.decompress(&bytes);
+    }
+
+    /// Truncating a valid stream anywhere yields an error, never a wrong
+    /// silent success (the checksum guards the tail).
+    #[test]
+    fn truncation_detected(
+        data in prop::collection::vec(any::<u8>(), 1..512),
+        cut_fraction in 0.05f64..0.95,
+    ) {
+        for codec in [&Lz77Huffman as &dyn Codec, &Bwt] {
+            let packed = codec.compress(&data);
+            let cut = ((packed.len() as f64 * cut_fraction) as usize).min(packed.len() - 1);
+            if let Ok(out) = codec.decompress(&packed[..cut]) {
+                prop_assert_eq!(out, data.clone(),
+                    "truncated stream decoded to wrong data ({})", codec.name());
+            }
+        }
+    }
+}

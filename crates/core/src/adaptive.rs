@@ -1,0 +1,131 @@
+//! Adaptive method selection across repeated executions.
+//!
+//! A `SAMPLE PERIOD` query re-executes periodically, and the best join
+//! method depends on the (drifting) result fraction — below the break-even
+//! SENS-Join wins, above it the external join does (Fig. 10). The base
+//! station observes the fraction for free in every execution, so it can
+//! re-plan each round with the [`CostModel`]: that is exactly what
+//! [`AdaptiveJoin`] does. The first round runs SENS-Join (whose
+//! pre-computation also measures the quadtree density parameter); every
+//! later round runs whichever method the model predicts cheaper for the
+//! fraction observed last round.
+
+use crate::costmodel::{CostModel, MethodChoice};
+use crate::outcome::{JoinOutcome, ProtocolError};
+use crate::snetwork::SensorNetwork;
+use crate::{ExternalJoin, JoinMethod, SensJoin, SensJoinConfig};
+use sensjoin_query::CompiledQuery;
+
+/// A stateful executor that re-plans the join method every round.
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveJoin {
+    /// SENS-Join parameters used when SENS-Join is chosen.
+    pub config: SensJoinConfig,
+    /// The fraction observed in the previous round.
+    last_fraction: Option<f64>,
+    /// Measured quadtree bits/point (from the first round's model).
+    beta: Option<f64>,
+    /// What the last round executed (for reporting).
+    last_choice: Option<MethodChoice>,
+}
+
+impl AdaptiveJoin {
+    /// Creates an adaptive executor with paper-default SENS-Join parameters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The method executed in the most recent round.
+    pub fn last_choice(&self) -> Option<MethodChoice> {
+        self.last_choice
+    }
+
+    /// The fraction observed in the most recent round.
+    pub fn last_fraction(&self) -> Option<f64> {
+        self.last_fraction
+    }
+
+    /// Executes one round, re-planning from the previous round's observation.
+    pub fn execute_round(
+        &mut self,
+        snet: &mut SensorNetwork,
+        query: &CompiledQuery,
+    ) -> Result<JoinOutcome, ProtocolError> {
+        let choice = match self.last_fraction {
+            None => MethodChoice::SensJoin, // cold start: measure cheaply
+            Some(fraction) => {
+                let model = CostModel::new(snet, query);
+                let beta = *self.beta.get_or_insert_with(|| model.estimate_beta());
+                model.recommend(fraction, beta)
+            }
+        };
+        let outcome = match choice {
+            MethodChoice::SensJoin => {
+                SensJoin::with_config(self.config.clone()).execute(snet, query)?
+            }
+            MethodChoice::External => ExternalJoin.execute(snet, query)?,
+        };
+        self.last_fraction = Some(outcome.contributor_fraction(snet.len()));
+        self.last_choice = Some(choice);
+        Ok(outcome)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snetwork::SensorNetworkBuilder;
+    use crate::workload::RangeQueryFamily;
+    use sensjoin_field::{Area, Placement};
+    use sensjoin_query::parse;
+    use sensjoin_sim::BaseChoice;
+
+    fn snet(seed: u64) -> SensorNetwork {
+        SensorNetworkBuilder::new()
+            .area(Area::new(500.0, 500.0))
+            .placement(Placement::UniformRandom { n: 350 })
+            .base(BaseChoice::NearestCorner)
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn adapts_to_the_selectivity_regime() {
+        let mut s = snet(3);
+        let family = RangeQueryFamily::ratio_33();
+        // Selective query: after the cold round, stays on SENS-Join.
+        let cal = family.calibrate(&s, 0.03);
+        let cq = s.compile(&parse(&cal.sql).unwrap()).unwrap();
+        let mut adaptive = AdaptiveJoin::new();
+        for _ in 0..3 {
+            adaptive.execute_round(&mut s, &cq).unwrap();
+        }
+        assert_eq!(adaptive.last_choice(), Some(MethodChoice::SensJoin));
+        // Unselective query: switches to the external join after observing
+        // the high fraction in round 1.
+        let cal2 = family.calibrate(&s, 0.95);
+        let cq2 = s.compile(&parse(&cal2.sql).unwrap()).unwrap();
+        let mut adaptive = AdaptiveJoin::new();
+        let first = adaptive.execute_round(&mut s, &cq2).unwrap();
+        assert_eq!(adaptive.last_choice(), Some(MethodChoice::SensJoin));
+        let second = adaptive.execute_round(&mut s, &cq2).unwrap();
+        assert_eq!(adaptive.last_choice(), Some(MethodChoice::External));
+        assert!(first.result.same_result(&second.result));
+        // The switch paid off.
+        assert!(second.stats.total_tx_packets() < first.stats.total_tx_packets());
+    }
+
+    #[test]
+    fn results_stay_exact_across_switches() {
+        let mut s = snet(9);
+        let cal = RangeQueryFamily::ratio_33().calibrate(&s, 0.5);
+        let cq = s.compile(&parse(&cal.sql).unwrap()).unwrap();
+        let reference = ExternalJoin.execute(&mut s, &cq).unwrap();
+        let mut adaptive = AdaptiveJoin::new();
+        for round in 0..3 {
+            let out = adaptive.execute_round(&mut s, &cq).unwrap();
+            assert!(out.result.same_result(&reference.result), "round {round}");
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Protocol configuration.
+
+use sensjoin_relation::AttrType;
+
+/// How join-attribute tuple sets are represented on the wire during the
+/// pre-computation (§V / §VI-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Representation {
+    /// The paper's pointerless quadtree over Z-order numbers (default).
+    #[default]
+    Quadtree,
+    /// Raw quantized join-attribute tuples, no compact representation
+    /// (the "SENS_No-Quad" variant of Fig. 16).
+    Raw,
+    /// Raw tuples compressed hop-by-hop with the zlib-like codec (§VI-B).
+    Zlib,
+    /// Raw tuples compressed hop-by-hop with the bzip2-like codec (§VI-B).
+    Bzip2,
+}
+
+impl Representation {
+    /// Name used in experiment tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Representation::Quadtree => "quadtree",
+            Representation::Raw => "raw",
+            Representation::Zlib => "zlib-like",
+            Representation::Bzip2 => "bzip2-like",
+        }
+    }
+}
+
+/// Quantization ranges and resolutions per attribute (§V-B).
+///
+/// "These ranges are specific to the environment of the WSN. It is therefore
+/// possible to fix them while setting up the network" — the configuration
+/// maps attribute names to `[min, max]` bounds and a resolution; unknown
+/// attributes fall back to a per-type default resolution and must get their
+/// range from the deployment (the builder derives generous bounds from the
+/// field specs, mimicking setup-time estimation).
+#[derive(Debug, Clone, Default)]
+pub struct QuantizationConfig {
+    entries: Vec<(String, f64, f64, f64)>,
+}
+
+impl QuantizationConfig {
+    /// Empty configuration (everything from per-type defaults + deployment
+    /// ranges).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets `[min, max]` and resolution for attribute `name`.
+    pub fn with(mut self, name: impl Into<String>, min: f64, max: f64, resolution: f64) -> Self {
+        self.entries.push((name.into(), min, max, resolution));
+        self
+    }
+
+    /// Looks up the configuration for `name`.
+    pub fn get(&self, name: &str) -> Option<(f64, f64, f64)> {
+        self.entries
+            .iter()
+            .find(|(n, ..)| n == name)
+            .map(|&(_, min, max, res)| (min, max, res))
+    }
+
+    /// The paper's experiment resolutions: 0.1 °C for temperatures, 1 m for
+    /// coordinates (§V-B); other types get resolutions of comparable
+    /// relative coarseness.
+    pub fn default_resolution(ty: AttrType) -> f64 {
+        match ty {
+            AttrType::Celsius => 0.1,
+            AttrType::Meters => 1.0,
+            AttrType::Percent => 0.25,
+            AttrType::Hectopascal => 0.1,
+            AttrType::Lux => 25.0,
+            AttrType::Volts => 0.01,
+            AttrType::Raw(_) => 1.0,
+        }
+    }
+}
+
+/// All SENS-Join protocol parameters.
+#[derive(Debug, Clone)]
+pub struct SensJoinConfig {
+    /// Treecut threshold `D_max` in bytes (paper: 30; must stay below the
+    /// maximum packet payload, §IV-E). `0` disables Treecut.
+    pub dmax: usize,
+    /// Memory cap for a node's `SubtreeJoinAtts` in bytes (paper: 500).
+    /// Nodes whose subtree synopsis exceeds it forward the filter unpruned.
+    pub filter_memory_limit: usize,
+    /// Enables Selective Filter Forwarding (§IV-C). Disabled, the filter is
+    /// flooded to every active node (ablation).
+    pub selective_forwarding: bool,
+    /// Wire representation of join-attribute tuple sets.
+    pub representation: Representation,
+    /// Quantization overrides.
+    pub quantization: QuantizationConfig,
+    /// Multiplies every dimension's resolution (ablation: §V-B "the
+    /// performance ... is insensitive to the resolution ... as long as it is
+    /// not too coarse").
+    pub resolution_scale: f64,
+}
+
+impl Default for SensJoinConfig {
+    fn default() -> Self {
+        Self {
+            dmax: 30,
+            filter_memory_limit: 500,
+            selective_forwarding: true,
+            representation: Representation::Quadtree,
+            quantization: QuantizationConfig::new(),
+            resolution_scale: 1.0,
+        }
+    }
+}
+
+impl SensJoinConfig {
+    /// The paper's defaults.
+    pub fn paper() -> Self {
+        Self::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SensJoinConfig::default();
+        assert_eq!(c.dmax, 30);
+        assert_eq!(c.filter_memory_limit, 500);
+        assert!(c.selective_forwarding);
+        assert_eq!(c.representation, Representation::Quadtree);
+    }
+
+    #[test]
+    fn quantization_lookup() {
+        let q = QuantizationConfig::new().with("temp", -10.0, 50.0, 0.1);
+        assert_eq!(q.get("temp"), Some((-10.0, 50.0, 0.1)));
+        assert_eq!(q.get("hum"), None);
+        assert_eq!(
+            QuantizationConfig::default_resolution(AttrType::Celsius),
+            0.1
+        );
+        assert_eq!(
+            QuantizationConfig::default_resolution(AttrType::Meters),
+            1.0
+        );
+    }
+
+    #[test]
+    fn representation_names() {
+        assert_eq!(Representation::Quadtree.name(), "quadtree");
+        assert_eq!(Representation::Bzip2.name(), "bzip2-like");
+    }
+}

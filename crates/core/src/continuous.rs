@@ -1,0 +1,651 @@
+//! Continuous queries with temporal filter reuse — the paper's stated
+//! follow-on work (§VIII: "we currently investigate if the filtering can be
+//! optimized for continuous queries by exploiting temporal correlations").
+//!
+//! A `SAMPLE PERIOD` query re-executes every period. Re-running SENS-Join
+//! from scratch repays the full pre-computation each round even when the
+//! physical fields barely moved. [`ContinuousSensJoin`] keeps state between
+//! rounds and ships only *deltas*:
+//!
+//! * **Delta collection** — a node reports its quantized join-attribute cell
+//!   only when it *changed*; deltas are counted (two descendants may occupy
+//!   the same cell), aggregated up the tree, and the base station maintains
+//!   a reference-counted cell population.
+//! * **Filter-delta dissemination** — the base recomputes the filter
+//!   (CPU-only) and disseminates only added/removed filter cells, pruned per
+//!   subtree exactly like Selective Filter Forwarding.
+//! * **ε-suppressed final phase** — a matching node re-sends its complete
+//!   tuple only when it newly matches or a referenced attribute drifted by
+//!   more than `epsilon` since it last reported; nodes leaving the filter
+//!   send a 2-byte retraction. The base answers each round from its tuple
+//!   cache.
+//!
+//! With `epsilon = 0` every value change of a matching node is re-reported
+//! and the result is **exact** each round; with `epsilon > 0` the result is
+//! computed from ≤ε-stale attribute values (the standard approximate-caching
+//! trade-off in sensor databases). Treecut is disabled in continuous mode —
+//! proxies would hold stale tuples across rounds — and nodes spend a little
+//! more memory on counted subtree synopses; both trade-offs are inherent to
+//! the delta design.
+//!
+//! Round 0 flows through the very same delta machinery (everything is an
+//! "add"), so a single code path serves cold start and steady state.
+
+use crate::config::{Representation, SensJoinConfig};
+use crate::engine::{exact_join, prejoin_filter, JoinSpace};
+use crate::outcome::{JoinOutcome, ProtocolError};
+use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg};
+use crate::snetwork::SensorNetwork;
+use crate::wave::{down_wave, up_wave};
+use sensjoin_quadtree::{Point, PointSet, RelFlags};
+use sensjoin_query::CompiledQuery;
+use sensjoin_relation::NodeId;
+use std::collections::{BTreeMap, HashMap};
+
+/// Phase labels of the continuous rounds.
+pub const PHASE_DELTA_COLLECTION: &str = "1-delta-collection";
+/// Filter-delta dissemination label.
+pub const PHASE_FILTER_DELTA: &str = "2-filter-delta";
+/// ε-suppressed final phase label.
+pub const PHASE_FINAL_DELTA: &str = "3-final-delta";
+
+/// Counted cell population: per cell, one counter per relation-role bit.
+type Counts = HashMap<u64, [i64; 8]>;
+
+fn apply_delta(into: &mut Counts, delta: &Counts) {
+    for (&z, d) in delta {
+        let e = into.entry(z).or_insert([0; 8]);
+        for b in 0..8 {
+            e[b] += d[b];
+        }
+        if e.iter().all(|&c| c == 0) {
+            into.remove(&z);
+        }
+    }
+}
+
+fn counts_to_set(counts: &Counts) -> PointSet {
+    PointSet::from_points(counts.iter().filter_map(|(&z, c)| {
+        let mut flags = 0u8;
+        for (b, &cnt) in c.iter().enumerate() {
+            debug_assert!(cnt >= 0, "negative cell count");
+            if cnt > 0 {
+                flags |= 1 << b;
+            }
+        }
+        (flags != 0).then_some(Point {
+            z,
+            flags: RelFlags(flags),
+        })
+    }))
+}
+
+fn flag_bits(flags: u8) -> impl Iterator<Item = usize> {
+    (0..8).filter(move |&b| flags & (1 << b) != 0)
+}
+
+/// A cell-population delta traveling up the tree in phase 1. Additions and
+/// removals aggregate *separately*: two nodes swapping cells must not cancel
+/// each other out, or the base could never re-announce the filter state of
+/// the swapped-into cell to its new holder.
+#[derive(Debug, Clone, Default)]
+struct Delta {
+    adds: Counts,
+    dels: Counts,
+}
+
+impl Delta {
+    fn record(&mut self, z: u64, flags: u8, sign: i64) {
+        let map = if sign > 0 {
+            &mut self.adds
+        } else {
+            &mut self.dels
+        };
+        let e = map.entry(z).or_insert([0; 8]);
+        for b in flag_bits(flags) {
+            e[b] += sign.abs();
+        }
+    }
+
+    fn merge(&mut self, other: &Delta) {
+        apply_delta(&mut self.adds, &other.adds);
+        apply_delta(&mut self.dels, &other.dels);
+    }
+
+    /// The net population change (adds − dels).
+    fn net(&self) -> Counts {
+        let mut net = self.adds.clone();
+        for (&z, d) in &self.dels {
+            let e = net.entry(z).or_insert([0; 8]);
+            for b in 0..8 {
+                e[b] -= d[b];
+            }
+            if e.iter().all(|&c| c == 0) {
+                net.remove(&z);
+            }
+        }
+        net
+    }
+
+    fn is_empty(&self) -> bool {
+        self.adds.is_empty() && self.dels.is_empty()
+    }
+
+    /// Wire size: the added and removed cell sets travel quadtree-encoded;
+    /// multiplicities beyond the first per (cell, role) cost one extra byte.
+    fn wire_size(&self, space: &JoinSpace) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        let mut extra = 0usize;
+        let to_set = |counts: &Counts, extra: &mut usize| -> PointSet {
+            PointSet::from_points(counts.iter().filter_map(|(&z, c)| {
+                let mut flags = 0u8;
+                for (b, &cnt) in c.iter().enumerate() {
+                    if cnt > 0 {
+                        flags |= 1 << b;
+                        *extra += (cnt - 1) as usize;
+                    }
+                }
+                (flags != 0).then_some(Point {
+                    z,
+                    flags: RelFlags(flags),
+                })
+            }))
+        };
+        let adds = to_set(&self.adds, &mut extra);
+        let dels = to_set(&self.dels, &mut extra);
+        JoinAttrMsg::filter_wire_size(&adds, Representation::Quadtree, space)
+            + JoinAttrMsg::filter_wire_size(&dels, Representation::Quadtree, space)
+            + extra
+            + 1 // add/del split marker
+    }
+}
+
+/// A filter delta traveling down the tree in phase 2.
+#[derive(Debug, Clone, Default)]
+struct FilterDelta {
+    added: PointSet,
+    removed: PointSet,
+}
+
+impl FilterDelta {
+    fn is_empty(&self) -> bool {
+        self.added.is_empty() && self.removed.is_empty()
+    }
+
+    fn wire_size(&self, space: &JoinSpace) -> usize {
+        if self.is_empty() {
+            return 0;
+        }
+        JoinAttrMsg::filter_wire_size(&self.added, Representation::Quadtree, space)
+            + JoinAttrMsg::filter_wire_size(&self.removed, Representation::Quadtree, space)
+            + 1
+    }
+
+    /// Applies the delta to a node's filter view.
+    fn apply(&self, filter: &mut PointSet) {
+        let mut merged = filter.union(&self.added);
+        if !self.removed.is_empty() {
+            merged = PointSet::from_points(merged.iter().filter_map(|p| {
+                let lost = self.removed.flags_of(p.z).map_or(0, |f| f.0);
+                let kept = p.flags.0 & !lost;
+                (kept != 0).then_some(Point {
+                    z: p.z,
+                    flags: RelFlags(kept),
+                })
+            }));
+        }
+        *filter = merged;
+    }
+}
+
+/// Final-phase message: fresh tuples plus retractions.
+#[derive(Default)]
+struct FinalDelta {
+    tuples: Vec<FullRec>,
+    retractions: Vec<NodeId>,
+    bytes: usize,
+}
+
+/// Per-round persistent state.
+struct State {
+    space: JoinSpace,
+    /// Per node: (z, flags) last reported into the population.
+    last_cell: Vec<Option<(u64, u8)>>,
+    /// Per node: master values last shipped to the base.
+    last_values: Vec<Option<Vec<f64>>>,
+    /// Per node: whether the node's tuple is cached at the base.
+    matched: Vec<bool>,
+    /// Per node: current (delta-maintained) filter view.
+    node_filter: Vec<PointSet>,
+    /// Per node: counted cell population of its subtree (incl. itself).
+    subtree: Vec<Counts>,
+    /// Base station: global population and current filter.
+    global: Counts,
+    filter: PointSet,
+    /// Base station: tuple cache (flags at send time + master values).
+    cache: BTreeMap<NodeId, (u8, Vec<f64>)>,
+    /// Master indices of attributes referenced by the query (drift scope).
+    drift_attrs: Vec<usize>,
+    rounds: u64,
+}
+
+/// The continuous SENS-Join executor. Create once per `SAMPLE PERIOD`
+/// query; call [`ContinuousSensJoin::execute_round`] after each resample.
+///
+/// # Example
+///
+/// ```
+/// use sensjoin_core::{ContinuousSensJoin, SensorNetworkBuilder};
+/// use sensjoin_field::{presets, Area, Placement};
+/// use sensjoin_query::parse;
+///
+/// let mut snet = SensorNetworkBuilder::new()
+///     .area(Area::new(300.0, 300.0))
+///     .placement(Placement::UniformRandom { n: 100 })
+///     .seed(3)
+///     .build()
+///     .unwrap();
+/// let q = parse(
+///     "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+///      WHERE A.temp - B.temp > 4.0 SAMPLE PERIOD 30",
+/// ).unwrap();
+/// let cq = snet.compile(&q).unwrap();
+/// let mut cont = ContinuousSensJoin::new(); // epsilon = 0: exact rounds
+/// let cold = cont.execute_round(&mut snet, &cq).unwrap();
+/// // Unchanged snapshot: the steady state is free.
+/// let warm = cont.execute_round(&mut snet, &cq).unwrap();
+/// assert_eq!(warm.stats.total_tx_packets(), 0);
+/// assert!(warm.result.same_result(&cold.result));
+/// ```
+pub struct ContinuousSensJoin {
+    /// Protocol parameters (Treecut is ignored — continuous mode keeps every
+    /// node active).
+    pub config: SensJoinConfig,
+    /// Value-drift threshold for re-reporting (0 = exact results).
+    pub epsilon: f64,
+    state: Option<State>,
+}
+
+impl ContinuousSensJoin {
+    /// An exact (`epsilon = 0`) continuous executor with paper defaults.
+    pub fn new() -> Self {
+        Self::with_epsilon(0.0)
+    }
+
+    /// A continuous executor tolerating ≤`epsilon` staleness per referenced
+    /// attribute.
+    pub fn with_epsilon(epsilon: f64) -> Self {
+        assert!(epsilon >= 0.0);
+        Self {
+            config: SensJoinConfig::default(),
+            epsilon,
+            state: None,
+        }
+    }
+
+    /// Number of rounds executed so far.
+    pub fn rounds(&self) -> u64 {
+        self.state.as_ref().map_or(0, |s| s.rounds)
+    }
+
+    /// Executes one round on the network's current snapshot.
+    pub fn execute_round(
+        &mut self,
+        snet: &mut SensorNetwork,
+        query: &CompiledQuery,
+    ) -> Result<JoinOutcome, ProtocolError> {
+        snet.net_mut().reset_stats();
+        let n = snet.len();
+        if self.state.is_none() {
+            let space = JoinSpace::build(query, snet, &self.config);
+            let master = snet.master_schema();
+            let mut names: Vec<&str> = Vec::new();
+            for r in 0..query.num_relations() {
+                for &a in query.referenced_attrs(r) {
+                    let name = query.schema(r).attrs()[a].name();
+                    if !names.contains(&name) {
+                        names.push(name);
+                    }
+                }
+            }
+            let drift_attrs = names
+                .iter()
+                .map(|&nm| master.index_of(nm).expect("validated"))
+                .collect();
+            self.state = Some(State {
+                space,
+                last_cell: vec![None; n],
+                last_values: vec![None; n],
+                matched: vec![false; n],
+                node_filter: vec![PointSet::new(); n],
+                subtree: (0..n).map(|_| Counts::default()).collect(),
+                global: Counts::default(),
+                filter: PointSet::new(),
+                cache: BTreeMap::new(),
+                drift_attrs,
+                rounds: 0,
+            });
+        }
+        let st = self.state.as_mut().expect("just initialized");
+        let space = st.space.clone();
+        let data = collect_node_data(snet, query, &space);
+        let base = snet.base();
+
+        // ---- Phase 1: delta collection ----
+        let last_cell = &mut st.last_cell;
+        let subtree = &mut st.subtree;
+        let (base_delta, t1) = up_wave(
+            snet.net_mut(),
+            &|_| true,
+            |v, received: Vec<Delta>| {
+                let mut merged = Delta::default();
+                for d in received {
+                    merged.merge(&d);
+                }
+                let cur = data[v.0 as usize].rec.as_ref().map(|r| (r.z, r.flags.0));
+                let last = last_cell[v.0 as usize];
+                if cur != last {
+                    if let Some((z, f)) = last {
+                        merged.record(z, f, -1);
+                    }
+                    if let Some((z, f)) = cur {
+                        merged.record(z, f, 1);
+                    }
+                    last_cell[v.0 as usize] = cur;
+                }
+                apply_delta(&mut subtree[v.0 as usize], &merged.net());
+                merged
+            },
+            |d| d.wire_size(&space),
+            PHASE_DELTA_COLLECTION,
+        );
+
+        // ---- Base station: population update + filter recomputation ----
+        apply_delta(&mut st.global, &base_delta.net());
+        let population = counts_to_set(&st.global);
+        let new_filter = prejoin_filter(query, &space, &population);
+        let mut added = PointSet::new();
+        let mut removed = PointSet::new();
+        for p in new_filter.iter() {
+            let old = st.filter.flags_of(p.z).map_or(0, |f| f.0);
+            let gained = p.flags.0 & !old;
+            if gained != 0 {
+                added.insert(p.z, RelFlags(gained));
+            }
+        }
+        for p in st.filter.iter() {
+            let new = new_filter.flags_of(p.z).map_or(0, |f| f.0);
+            let lost = p.flags.0 & !new;
+            if lost != 0 {
+                removed.insert(p.z, RelFlags(lost));
+            }
+        }
+        // Re-announce filter entries for cells whose population grew this
+        // round: a node that just *moved into* an already-filtered cell has
+        // no way to know the cell matches (its filter view predates its
+        // move), so the unchanged filter entry must flow to it again. The
+        // subtree pruning then routes it exactly to the mover's branch.
+        for (&z, c) in &base_delta.adds {
+            if c.iter().any(|&x| x > 0) {
+                if let Some(f) = new_filter.flags_of(z) {
+                    added.insert(z, f);
+                }
+            }
+        }
+        st.filter = new_filter;
+        let full_delta = FilterDelta { added, removed };
+
+        // ---- Phase 2: filter-delta dissemination ----
+        let node_filter = &mut st.node_filter;
+        let subtree = &st.subtree;
+        let t2 = down_wave(
+            snet.net_mut(),
+            &|_| true,
+            |v, received: Option<&FilterDelta>| {
+                let fd: &FilterDelta = match received {
+                    Some(fd) => {
+                        fd.apply(&mut node_filter[v.0 as usize]);
+                        fd
+                    }
+                    None => &full_delta, // base station originates
+                };
+                if fd.is_empty() {
+                    return None;
+                }
+                // Prune to the child subtrees' cells (Selective Filter
+                // Forwarding on deltas).
+                let sub = counts_to_set(&subtree[v.0 as usize]);
+                let pruned = FilterDelta {
+                    added: fd.added.intersect(&sub),
+                    removed: fd.removed.intersect(&sub),
+                };
+                (!pruned.is_empty()).then_some(pruned)
+            },
+            |fd| fd.wire_size(&space),
+            PHASE_FILTER_DELTA,
+        );
+        // The base's own filter view is the filter itself.
+        st.node_filter[base.0 as usize] = st.filter.clone();
+
+        // ---- Phase 3: ε-suppressed final phase ----
+        let epsilon = self.epsilon;
+        let node_filter = &st.node_filter;
+        let last_values = &mut st.last_values;
+        let matched = &mut st.matched;
+        let drift_attrs = &st.drift_attrs;
+        let (final_delta, t3) = up_wave(
+            snet.net_mut(),
+            &|_| true,
+            |v, received: Vec<FinalDelta>| {
+                let mut out = FinalDelta::default();
+                for mut f in received {
+                    out.bytes += f.bytes;
+                    out.tuples.append(&mut f.tuples);
+                    out.retractions.append(&mut f.retractions);
+                }
+                let i = v.0 as usize;
+                let matching = data[i]
+                    .rec
+                    .as_ref()
+                    .is_some_and(|rec| node_filter[i].contains_matching(rec.z, rec.flags));
+                if matching {
+                    let rec = data[i].rec.as_ref().expect("matching implies a tuple");
+                    let drifted = match &last_values[i] {
+                        None => true,
+                        Some(old) => drift_attrs
+                            .iter()
+                            .any(|&a| (old[a] - rec.values[a]).abs() > epsilon),
+                    };
+                    if !matched[i] || drifted {
+                        last_values[i] = Some(rec.values.clone());
+                        if v != base {
+                            out.bytes += rec.bytes;
+                        }
+                        out.tuples.push(rec.clone());
+                    }
+                } else if matched[i] {
+                    if v != base {
+                        out.bytes += 2; // origin id retraction
+                    }
+                    out.retractions.push(v);
+                    last_values[i] = None;
+                }
+                matched[i] = matching;
+                out
+            },
+            |f| f.bytes,
+            PHASE_FINAL_DELTA,
+        );
+
+        // ---- Base station: cache maintenance + result ----
+        for rec in final_delta.tuples {
+            st.cache.insert(rec.origin, (rec.flags.0, rec.values));
+        }
+        for origin in final_delta.retractions {
+            st.cache.remove(&origin);
+        }
+        let master = snet.master_schema().clone();
+        let tuples_per_rel: Vec<Vec<(NodeId, Vec<f64>)>> = (0..query.num_relations())
+            .map(|r| {
+                let flag = space.flag(r);
+                st.cache
+                    .iter()
+                    .filter(|(_, (f, _))| RelFlags(*f).intersects(flag))
+                    .map(|(&origin, (_, values))| {
+                        (origin, project_to_schema(&master, query.schema(r), values))
+                    })
+                    .collect()
+            })
+            .collect();
+        let computation = exact_join(query, &tuples_per_rel);
+        st.rounds += 1;
+        Ok(JoinOutcome {
+            result: computation.result,
+            stats: snet.net().stats().clone(),
+            latency_us: t1.then(t2).then(t3).pipelined,
+            latency_slotted_us: t1.then(t2).then(t3).slotted,
+            contributors: computation.contributors,
+        })
+    }
+}
+
+impl Default for ContinuousSensJoin {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snetwork::SensorNetworkBuilder;
+    use crate::{ExternalJoin, JoinMethod};
+    use sensjoin_field::{presets, Area, FieldSpec, Placement};
+    use sensjoin_query::parse;
+
+    fn snet(seed: u64) -> SensorNetwork {
+        SensorNetworkBuilder::new()
+            .area(Area::new(400.0, 400.0))
+            .placement(Placement::UniformRandom { n: 150 })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    const SQL: &str = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                       WHERE A.temp - B.temp > 3.0 SAMPLE PERIOD 30";
+
+    #[test]
+    fn exact_rounds_match_fresh_execution() {
+        let mut s = snet(4);
+        let cq = s.compile(&parse(SQL).unwrap()).unwrap();
+        let mut cont = ContinuousSensJoin::new();
+        for round in 0..4u64 {
+            s.resample(&presets::indoor_climate(), 500 + round);
+            let fresh = ExternalJoin.execute(&mut s, &cq).unwrap();
+            let cont_out = cont.execute_round(&mut s, &cq).unwrap();
+            assert!(
+                fresh.result.same_result(&cont_out.result),
+                "round {round}: {} vs {} rows",
+                fresh.result.len(),
+                cont_out.result.len()
+            );
+            assert_eq!(fresh.contributors, cont_out.contributors, "round {round}");
+        }
+        assert_eq!(cont.rounds(), 4);
+    }
+
+    #[test]
+    fn unchanged_snapshot_costs_nothing() {
+        let mut s = snet(5);
+        let cq = s.compile(&parse(SQL).unwrap()).unwrap();
+        let mut cont = ContinuousSensJoin::new();
+        let first = cont.execute_round(&mut s, &cq).unwrap();
+        assert!(first.stats.total_tx_packets() > 0);
+        // Same snapshot again: no cell changed, no value drifted.
+        let second = cont.execute_round(&mut s, &cq).unwrap();
+        assert_eq!(
+            second.stats.total_tx_packets(),
+            0,
+            "steady state must be free"
+        );
+        assert!(first.result.same_result(&second.result));
+    }
+
+    #[test]
+    fn slow_drift_with_epsilon_is_cheap() {
+        let mut s = snet(6);
+        let cq = s.compile(&parse(SQL).unwrap()).unwrap();
+        let mut cont = ContinuousSensJoin::with_epsilon(0.5);
+        // Drifting fields: tiny per-round noise.
+        let drift_fields = |round: u64| -> Vec<FieldSpec> {
+            let mut f = presets::indoor_climate();
+            for spec in &mut f {
+                spec.noise = 0.001 * (round as f64 + 1.0);
+            }
+            f
+        };
+        s.resample(&drift_fields(0), 100);
+        let cold = cont.execute_round(&mut s, &cq).unwrap();
+        let mut warm_total = 0u64;
+        for round in 1..5u64 {
+            // Re-generate with the *same* seed: the underlying field is
+            // identical, only the white noise differs slightly.
+            s.resample(&drift_fields(round), 100);
+            let out = cont.execute_round(&mut s, &cq).unwrap();
+            warm_total += out.stats.total_tx_packets();
+        }
+        assert!(
+            warm_total / 4 < cold.stats.total_tx_packets() / 4,
+            "warm rounds ({warm_total} pkts over 4) should be far below the cold \
+             round ({} pkts)",
+            cold.stats.total_tx_packets()
+        );
+    }
+
+    #[test]
+    fn epsilon_bounds_staleness() {
+        let mut s = snet(7);
+        let cq = s.compile(&parse(SQL).unwrap()).unwrap();
+        let eps = 0.25;
+        let mut cont = ContinuousSensJoin::with_epsilon(eps);
+        for round in 0..3u64 {
+            s.resample(&presets::indoor_climate(), 900 + round);
+            let out = cont.execute_round(&mut s, &cq).unwrap();
+            // Every cached value is within eps of the node's true reading on
+            // the referenced attributes.
+            let st = cont.state.as_ref().unwrap();
+            for (&origin, (_, cached)) in &st.cache {
+                for &a in &st.drift_attrs {
+                    let truth = s.readings(origin)[a];
+                    assert!(
+                        (cached[a] - truth).abs() <= eps + 1e-12,
+                        "round {round}: cache of {origin} stale by {}",
+                        (cached[a] - truth).abs()
+                    );
+                }
+            }
+            let _ = out;
+        }
+    }
+
+    #[test]
+    fn retractions_shrink_the_cache() {
+        let mut s = snet(8);
+        let cq = s.compile(&parse(SQL).unwrap()).unwrap();
+        let mut cont = ContinuousSensJoin::new();
+        s.resample(&presets::indoor_climate(), 1);
+        cont.execute_round(&mut s, &cq).unwrap();
+        let cached_before = cont.state.as_ref().unwrap().cache.len();
+        // A radically different snapshot: most old matches dissolve.
+        s.resample(&presets::uncorrelated(), 2);
+        let out = cont.execute_round(&mut s, &cq).unwrap();
+        let st = cont.state.as_ref().unwrap();
+        // Cache is consistent: exactly the currently matched nodes.
+        let matched_now = st.matched.iter().filter(|&&m| m).count();
+        assert_eq!(st.cache.len(), matched_now);
+        let _ = (cached_before, out);
+    }
+}

@@ -1,0 +1,477 @@
+//! The base-station join engine: conservative pre-join and exact join.
+
+use crate::config::SensJoinConfig;
+use crate::outcome::JoinResult;
+use crate::snetwork::SensorNetwork;
+use sensjoin_quadtree::{Point, PointSet, RelFlags, TreeShape};
+use sensjoin_query::{CompiledQuery, Interval};
+use sensjoin_relation::NodeId;
+use sensjoin_zorder::{Dimension, ZSpace};
+use std::collections::BTreeSet;
+
+/// The shared quantization space of a query (§V-B) plus the bookkeeping to
+/// move between relations, dimensions and quadtree keys.
+#[derive(Debug, Clone)]
+pub struct JoinSpace {
+    zspace: ZSpace,
+    /// Per relation: dimension index of each join attribute (parallel to
+    /// `CompiledQuery::join_attrs(rel)`).
+    maps: Vec<Vec<usize>>,
+    shape: TreeShape,
+}
+
+impl JoinSpace {
+    /// Builds the space for `query` over `snet`'s environment: ranges come
+    /// from the quantization config or, failing that, from setup-time
+    /// estimation ([`SensorNetwork::attr_bounds`]); resolutions come from
+    /// the config or the per-type defaults, scaled by
+    /// `config.resolution_scale`.
+    pub fn build(query: &CompiledQuery, snet: &SensorNetwork, config: &SensJoinConfig) -> Self {
+        let (dim_specs, maps) = query.join_layout();
+        let dims: Vec<Dimension> = if dim_specs.is_empty() {
+            // No join attributes (pure cross product): a degenerate
+            // single-cell space. Every tuple lands in the same cell and the
+            // pre-join keeps everything — correct, never beneficial.
+            vec![Dimension::new("_any", 0.0, 0.0, 1.0)]
+        } else {
+            dim_specs
+                .iter()
+                .map(|(name, ty)| {
+                    let (min, max, res) = match config.quantization.get(name) {
+                        Some(cfg) => cfg,
+                        None => {
+                            let (lo, hi) = snet
+                                .attr_bounds(name)
+                                .unwrap_or_else(|| panic!("no range for attribute {name:?}"));
+                            let res = crate::config::QuantizationConfig::default_resolution(*ty);
+                            (lo, hi, res)
+                        }
+                    };
+                    Dimension::new(name.clone(), min, max, res * config.resolution_scale)
+                })
+                .collect()
+        };
+        let zspace = ZSpace::new(dims).expect("join space dimensions fit 64 bits");
+        let flag_bits = query.num_relations().min(8) as u8;
+        let shape = TreeShape::new(zspace.level_schedule(), flag_bits);
+        Self {
+            zspace,
+            maps,
+            shape,
+        }
+    }
+
+    /// The underlying Z-order space.
+    pub fn zspace(&self) -> &ZSpace {
+        &self.zspace
+    }
+
+    /// The quadtree shape (flag level + interleave levels).
+    pub fn shape(&self) -> &TreeShape {
+        &self.shape
+    }
+
+    /// Relation flag for relation `rel`.
+    pub fn flag(&self, rel: usize) -> RelFlags {
+        RelFlags::relation(rel, self.maps.len())
+    }
+
+    /// Encodes a node's join-attribute values. `dim_values[d]` is the value
+    /// for dimension `d`, or `None` when no member relation of the node
+    /// covers that dimension (encoded as cell 0).
+    pub fn encode(&self, dim_values: &[Option<f64>]) -> u64 {
+        let coords: Vec<u64> = self
+            .zspace
+            .dims()
+            .iter()
+            .zip(dim_values)
+            .map(|(d, v)| v.map_or(0, |v| d.coordinate(v)))
+            .collect();
+        self.zspace.encode_cells(&coords)
+    }
+
+    /// Collects the dimension values of `node` for its member relations:
+    /// dimension `maps[rel][p]` receives the value of join attribute `p` of
+    /// relation `rel`.
+    pub fn dim_values(
+        &self,
+        query: &CompiledQuery,
+        values_per_rel: &[Option<Vec<f64>>],
+    ) -> Vec<Option<f64>> {
+        let mut out = vec![None; self.zspace.arity()];
+        for (rel, vals) in values_per_rel.iter().enumerate() {
+            if let Some(vals) = vals {
+                for (p, &attr) in query.join_attrs(rel).iter().enumerate() {
+                    out[self.maps[rel][p]] = Some(vals[attr]);
+                }
+            }
+        }
+        out
+    }
+
+    /// The interval of join attribute `attr` of relation `rel` for a point
+    /// with the given cell box.
+    fn attr_interval(
+        &self,
+        query: &CompiledQuery,
+        cell_box: &[(f64, f64)],
+        rel: usize,
+        attr: usize,
+    ) -> Interval {
+        let p = query
+            .join_attrs(rel)
+            .iter()
+            .position(|&a| a == attr)
+            .expect("join predicates only reference join attributes");
+        let (lo, hi) = cell_box[self.maps[rel][p]];
+        Interval::new(lo, hi)
+    }
+}
+
+/// Computes the join filter (§IV step 1a): the set of quantized
+/// join-attribute tuples that *possibly* have a join partner, with the
+/// relation roles in which they matched.
+///
+/// Conservative by construction — every real match survives quantization
+/// because predicates are evaluated with interval arithmetic over the cells.
+pub fn prejoin_filter(query: &CompiledQuery, space: &JoinSpace, points: &PointSet) -> PointSet {
+    let n = query.num_relations();
+    // Role lists: indices of points usable as relation r.
+    let lists: Vec<Vec<usize>> = (0..n)
+        .map(|r| {
+            let flag = space.flag(r);
+            points
+                .points()
+                .iter()
+                .enumerate()
+                .filter(|(_, p)| p.flags.intersects(flag))
+                .map(|(i, _)| i)
+                .collect()
+        })
+        .collect();
+    // Pre-decode every point's cell box once.
+    let boxes: Vec<Vec<(f64, f64)>> = points
+        .points()
+        .iter()
+        .map(|p| space.zspace.cell_box(p.z))
+        .collect();
+    // Predicates annotated with the highest relation they reference, so a
+    // partial binding of relations 0..=k can check them as early as possible.
+    let pred_rels: Vec<usize> = query
+        .join_preds()
+        .iter()
+        .map(|p| p.relations().into_iter().max().unwrap_or(0))
+        .collect();
+
+    let mut matched: Vec<u8> = vec![0; points.len()];
+    let mut binding: Vec<usize> = Vec::with_capacity(n);
+    descend(
+        query,
+        space,
+        &lists,
+        &boxes,
+        &pred_rels,
+        &mut binding,
+        &mut matched,
+    );
+
+    PointSet::from_points(
+        matched
+            .iter()
+            .enumerate()
+            .filter(|&(_, &f)| f != 0)
+            .map(|(i, &f)| Point {
+                z: points.points()[i].z,
+                flags: RelFlags(f),
+            }),
+    )
+}
+
+fn descend(
+    query: &CompiledQuery,
+    space: &JoinSpace,
+    lists: &[Vec<usize>],
+    boxes: &[Vec<(f64, f64)>],
+    pred_rels: &[usize],
+    binding: &mut Vec<usize>,
+    matched: &mut [u8],
+) {
+    let rel = binding.len();
+    if rel == lists.len() {
+        // Full binding survived every predicate: mark all roles.
+        for (r, &idx) in binding.iter().enumerate() {
+            matched[idx] |= space.flag(r).0;
+        }
+        return;
+    }
+    for &idx in &lists[rel] {
+        binding.push(idx);
+        let env = |r: usize, a: usize| -> Interval {
+            space.attr_interval(query, &boxes[binding[r]], r, a)
+        };
+        let ok = query
+            .join_preds()
+            .iter()
+            .zip(pred_rels)
+            .filter(|&(_, &maxrel)| maxrel == rel)
+            .all(|(p, _)| sensjoin_query::eval_predicate_interval(p, &env).possible());
+        if ok && !query.is_const_false() {
+            descend(query, space, lists, boxes, pred_rels, binding, matched);
+        }
+        binding.pop();
+    }
+}
+
+/// The exact join at the base station plus contribution tracking.
+#[derive(Debug, Clone)]
+pub struct JoinComputation {
+    /// The query answer.
+    pub result: JoinResult,
+    /// Origins of tuples appearing in at least one result row.
+    pub contributors: BTreeSet<NodeId>,
+}
+
+/// Computes the exact join over complete tuples. `tuples[rel]` are the
+/// candidate tuples of relation `rel`: `(origin node, values aligned to the
+/// relation's schema)`. Local predicates are assumed already applied at the
+/// nodes; join predicates are evaluated here with full precision.
+pub fn exact_join(query: &CompiledQuery, tuples: &[Vec<(NodeId, Vec<f64>)>]) -> JoinComputation {
+    assert_eq!(tuples.len(), query.num_relations());
+    let pred_rels: Vec<usize> = query
+        .join_preds()
+        .iter()
+        .map(|p| p.relations().into_iter().max().unwrap_or(0))
+        .collect();
+    let mut rows: Vec<Vec<f64>> = Vec::new();
+    let mut keys: Vec<Vec<f64>> = Vec::new();
+    let mut contributors = BTreeSet::new();
+    let mut binding: Vec<usize> = Vec::with_capacity(tuples.len());
+    if !query.is_const_false() {
+        exact_descend(
+            query,
+            tuples,
+            &pred_rels,
+            &mut binding,
+            &mut rows,
+            &mut keys,
+            &mut contributors,
+        );
+    }
+    let result = if query.has_group_by() {
+        // Group rows by key (bitwise f64 keys: all methods compute the same
+        // expressions, so grouping is deterministic) and fold each group.
+        let mut groups: std::collections::BTreeMap<Vec<u64>, Vec<Vec<f64>>> = Default::default();
+        for (key, row) in keys.into_iter().zip(rows) {
+            let kb: Vec<u64> = key.iter().map(|v| v.to_bits()).collect();
+            groups.entry(kb).or_default().push(row);
+        }
+        JoinResult::Rows(groups.values().map(|g| query.fold_group(g)).collect())
+    } else if query.is_aggregate() {
+        JoinResult::Aggregate(query.aggregate(&rows))
+    } else {
+        JoinResult::Rows(rows)
+    };
+    JoinComputation {
+        result,
+        contributors,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn exact_descend(
+    query: &CompiledQuery,
+    tuples: &[Vec<(NodeId, Vec<f64>)>],
+    pred_rels: &[usize],
+    binding: &mut Vec<usize>,
+    rows: &mut Vec<Vec<f64>>,
+    keys: &mut Vec<Vec<f64>>,
+    contributors: &mut BTreeSet<NodeId>,
+) {
+    let rel = binding.len();
+    if rel == tuples.len() {
+        let env = |r: usize, a: usize| -> f64 { tuples[r][binding[r]].1[a] };
+        rows.push(query.eval_select_row(&env));
+        if query.has_group_by() {
+            keys.push(query.eval_group_key(&env));
+        }
+        for (r, &idx) in binding.iter().enumerate() {
+            contributors.insert(tuples[r][idx].0);
+        }
+        return;
+    }
+    for idx in 0..tuples[rel].len() {
+        binding.push(idx);
+        let env = |r: usize, a: usize| -> f64 { tuples[r][binding[r]].1[a] };
+        let ok = query
+            .join_preds()
+            .iter()
+            .zip(pred_rels)
+            .filter(|&(_, &maxrel)| maxrel == rel)
+            .all(|(p, _)| sensjoin_query::eval_predicate(p, &env));
+        if ok {
+            exact_descend(query, tuples, pred_rels, binding, rows, keys, contributors);
+        }
+        binding.pop();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snetwork::SensorNetworkBuilder;
+    use sensjoin_field::{Area, Placement};
+    use sensjoin_query::parse;
+
+    fn setup(sql: &str) -> (SensorNetwork, CompiledQuery, JoinSpace) {
+        let snet = SensorNetworkBuilder::new()
+            .area(Area::new(300.0, 300.0))
+            .placement(Placement::UniformRandom { n: 80 })
+            .seed(11)
+            .build()
+            .unwrap();
+        let q = parse(sql).unwrap();
+        let cq = snet.compile(&q).unwrap();
+        let space = JoinSpace::build(&cq, &snet, &SensJoinConfig::default());
+        (snet, cq, space)
+    }
+
+    /// All tuples of the network, per relation.
+    fn all_tuples(snet: &SensorNetwork, cq: &CompiledQuery) -> Vec<Vec<(NodeId, Vec<f64>)>> {
+        (0..cq.num_relations())
+            .map(|r| {
+                let schema = cq.schema(r);
+                (0..snet.len() as u32)
+                    .map(NodeId)
+                    .filter(|&n| snet.belongs(n, schema.name()))
+                    .map(|n| (n, snet.values_for(n, schema)))
+                    .filter(|(_, v)| cq.eval_local(r, v))
+                    .collect()
+            })
+            .collect()
+    }
+
+    /// Encodes every node into the join space (test helper mirroring the
+    /// protocol's node-side encoding).
+    fn all_points(snet: &SensorNetwork, cq: &CompiledQuery, space: &JoinSpace) -> PointSet {
+        let mut set = PointSet::new();
+        for n in (0..snet.len() as u32).map(NodeId) {
+            let per_rel: Vec<Option<Vec<f64>>> = (0..cq.num_relations())
+                .map(|r| {
+                    let schema = cq.schema(r);
+                    if snet.belongs(n, schema.name()) {
+                        let v = snet.values_for(n, schema);
+                        cq.eval_local(r, &v).then_some(v)
+                    } else {
+                        None
+                    }
+                })
+                .collect();
+            let mut flags = 0u8;
+            for (r, v) in per_rel.iter().enumerate() {
+                if v.is_some() {
+                    flags |= space.flag(r).0;
+                }
+            }
+            if flags != 0 {
+                let dims = space.dim_values(cq, &per_rel);
+                set.insert(space.encode(&dims), RelFlags(flags));
+            }
+        }
+        set
+    }
+
+    #[test]
+    fn filter_never_loses_a_joining_tuple() {
+        let (snet, cq, space) = setup(
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.2 ONCE",
+        );
+        let tuples = all_tuples(&snet, &cq);
+        let exact = exact_join(&cq, &tuples);
+        let points = all_points(&snet, &cq, &space);
+        let filter = prejoin_filter(&cq, &space, &points);
+        // Every contributing node's cell must be in the filter with its role.
+        for &n in &exact.contributors {
+            let v = snet.values_for(n, cq.schema(0));
+            let dims = space.dim_values(&cq, &[Some(v.clone()), Some(v)]);
+            let z = space.encode(&dims);
+            assert!(
+                filter.contains_matching(z, RelFlags::BOTH),
+                "contributor {n} missing from filter"
+            );
+        }
+        // And the filter is selective (not everything).
+        assert!(filter.len() <= points.len());
+    }
+
+    #[test]
+    fn exact_join_matches_bruteforce() {
+        let (snet, cq, _) = setup(
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 1.5 ONCE",
+        );
+        let tuples = all_tuples(&snet, &cq);
+        let res = exact_join(&cq, &tuples);
+        // Brute force over pairs.
+        let mut expect = 0;
+        let ti = 2; // temp index in schema
+        for (_, a) in &tuples[0] {
+            for (_, b) in &tuples[1] {
+                if a[ti] - b[ti] > 1.5 {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(res.result.len(), expect);
+    }
+
+    #[test]
+    fn aggregate_query_result() {
+        let (snet, cq, _) = setup(
+            "SELECT MIN(distance(A.x, A.y, B.x, B.y)) FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 1.0 ONCE",
+        );
+        let tuples = all_tuples(&snet, &cq);
+        let res = exact_join(&cq, &tuples);
+        match res.result {
+            JoinResult::Aggregate(vals) => {
+                assert_eq!(vals.len(), 1);
+                if !res.contributors.is_empty() {
+                    assert!(vals[0].is_some());
+                    assert!(vals[0].unwrap() >= 0.0);
+                }
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cross_join_degenerate_space() {
+        let (snet, cq, space) = setup("SELECT A.temp, B.temp FROM Sensors A, Sensors B ONCE");
+        // No join predicates: single-cell space, everything in the filter.
+        assert_eq!(space.zspace().total_bits(), 0);
+        let points = all_points(&snet, &cq, &space);
+        assert_eq!(points.len(), 1);
+        let filter = prejoin_filter(&cq, &space, &points);
+        assert_eq!(filter.len(), 1);
+        assert_eq!(filter.points()[0].flags, RelFlags::BOTH);
+    }
+
+    #[test]
+    fn three_way_join_filter() {
+        let (snet, cq, space) = setup(
+            "SELECT A.temp, B.temp, C.temp FROM Sensors A, Sensors B, Sensors C \
+             WHERE |A.temp - B.temp| < 0.1 AND |B.temp - C.temp| < 0.1 ONCE",
+        );
+        let tuples = all_tuples(&snet, &cq);
+        let exact = exact_join(&cq, &tuples);
+        let points = all_points(&snet, &cq, &space);
+        let filter = prejoin_filter(&cq, &space, &points);
+        for &n in &exact.contributors {
+            let v = snet.values_for(n, cq.schema(0));
+            let dims = space.dim_values(&cq, &[Some(v.clone()), Some(v.clone()), Some(v)]);
+            let z = space.encode(&dims);
+            assert!(filter.contains_matching(z, RelFlags(0b111)));
+        }
+    }
+}

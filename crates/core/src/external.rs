@@ -1,0 +1,193 @@
+//! The external join: the state-of-the-art general-purpose baseline (§VI).
+
+use crate::config::SensJoinConfig;
+use crate::engine::{exact_join, JoinSpace};
+use crate::outcome::{JoinOutcome, ProtocolError};
+use crate::repr::{collect_node_data, project_to_schema, FullRec};
+use crate::snetwork::SensorNetwork;
+use crate::wave::up_wave;
+use crate::JoinMethod;
+use sensjoin_query::CompiledQuery;
+use sensjoin_relation::NodeId;
+
+/// Sends both input relations to the base station and joins there.
+///
+/// The implementation is the paper's "state-of-the-art" variant: selections
+/// and projections are performed as early as possible (nodes only ship the
+/// attributes the query references, §VI), and tuples are aggregated into
+/// packets as they move up the routing tree. Despite its simplicity it is
+/// *optimal* when the join selectivity is very low, and it is the baseline
+/// every figure of the evaluation compares against.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExternalJoin;
+
+/// Tuples accumulated on the way up.
+struct Batch {
+    tuples: Vec<FullRec>,
+    bytes: usize,
+}
+
+impl JoinMethod for ExternalJoin {
+    fn name(&self) -> &'static str {
+        "external"
+    }
+
+    fn execute(
+        &self,
+        snet: &mut SensorNetwork,
+        query: &CompiledQuery,
+    ) -> Result<JoinOutcome, ProtocolError> {
+        snet.net_mut().reset_stats();
+        // The join space is only used to precompute node data uniformly with
+        // SENS-Join (z-numbers are ignored here).
+        let space = JoinSpace::build(query, snet, &SensJoinConfig::default());
+        let data = collect_node_data(snet, query, &space);
+
+        let (base_batch, timing) = up_wave(
+            snet.net_mut(),
+            &|_| true,
+            |v, received: Vec<Batch>| {
+                let mut tuples = Vec::new();
+                let mut bytes = 0;
+                for mut b in received {
+                    bytes += b.bytes;
+                    tuples.append(&mut b.tuples);
+                }
+                if let Some(rec) = &data[v.0 as usize].rec {
+                    bytes += rec.bytes;
+                    tuples.push(rec.clone());
+                }
+                Batch { tuples, bytes }
+            },
+            |b| b.bytes,
+            "collection",
+        );
+
+        let master = snet.master_schema().clone();
+        let tuples_per_rel: Vec<Vec<(NodeId, Vec<f64>)>> = (0..query.num_relations())
+            .map(|r| {
+                let flag = space.flag(r);
+                base_batch
+                    .tuples
+                    .iter()
+                    .filter(|rec| rec.flags.intersects(flag))
+                    .map(|rec| {
+                        (
+                            rec.origin,
+                            project_to_schema(&master, query.schema(r), &rec.values),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let computation = exact_join(query, &tuples_per_rel);
+        Ok(JoinOutcome {
+            result: computation.result,
+            stats: snet.net().stats().clone(),
+            latency_us: timing.pipelined,
+            latency_slotted_us: timing.slotted,
+            contributors: computation.contributors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::outcome::JoinResult;
+    use crate::snetwork::SensorNetworkBuilder;
+    use sensjoin_field::{Area, Placement};
+    use sensjoin_query::parse;
+
+    fn snet(n: usize, seed: u64) -> SensorNetwork {
+        SensorNetworkBuilder::new()
+            .area(Area::new(300.0, 300.0))
+            .placement(Placement::UniformRandom { n })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn matches_oracle_join() {
+        let mut s = snet(70, 2);
+        let q = parse(
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 2.0 ONCE",
+        )
+        .unwrap();
+        let cq = s.compile(&q).unwrap();
+        let out = ExternalJoin.execute(&mut s, &cq).unwrap();
+        // Oracle: brute force over readings of reachable nodes (nodes cut
+        // off from the base station cannot contribute).
+        let ti = s.master_index("temp").unwrap();
+        let temps: Vec<f64> = (0..s.len() as u32)
+            .filter(|&i| s.net().routing().depth(NodeId(i)).is_some())
+            .map(|i| s.readings(NodeId(i))[ti])
+            .collect();
+        let mut expect = 0;
+        for a in &temps {
+            for b in &temps {
+                if a - b > 2.0 {
+                    expect += 1;
+                }
+            }
+        }
+        assert_eq!(out.result.len(), expect);
+    }
+
+    #[test]
+    fn every_node_transmits_once_per_packetload() {
+        let mut s = snet(60, 4);
+        let q = parse(
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.01 ONCE",
+        )
+        .unwrap();
+        let cq = s.compile(&q).unwrap();
+        let out = ExternalJoin.execute(&mut s, &cq).unwrap();
+        // Every non-base reachable node ships >= 1 packet (it has a tuple).
+        let base = s.base();
+        for i in 0..s.len() as u32 {
+            let v = NodeId(i);
+            if v != base && s.net().routing().depth(v).is_some() {
+                assert!(out.stats.node(v).tx_packets >= 1, "{v} silent");
+            }
+        }
+        // Total bytes shipped = sum over nodes of (subtree tuples x 4 bytes):
+        // spot-check the base's children carried everything.
+        assert_eq!(
+            out.stats.phase("collection").tx_packets,
+            out.stats.total_tx_packets()
+        );
+    }
+
+    #[test]
+    fn aggregate_query() {
+        let mut s = snet(50, 9);
+        let q = parse(
+            "SELECT MIN(distance(A.x, A.y, B.x, B.y)) FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 1.0 ONCE",
+        )
+        .unwrap();
+        let cq = s.compile(&q).unwrap();
+        let out = ExternalJoin.execute(&mut s, &cq).unwrap();
+        match out.result {
+            JoinResult::Aggregate(v) => assert_eq!(v.len(), 1),
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn latency_positive_and_bounded() {
+        let mut s = snet(60, 1);
+        let q = parse(
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.1 ONCE",
+        )
+        .unwrap();
+        let cq = s.compile(&q).unwrap();
+        let out = ExternalJoin.execute(&mut s, &cq).unwrap();
+        assert!(out.latency_us > 0);
+    }
+}

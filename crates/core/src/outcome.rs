@@ -1,0 +1,126 @@
+//! Execution outcomes: query results plus cost accounting.
+
+use sensjoin_relation::NodeId;
+use sensjoin_sim::{NetworkStats, Time};
+use std::collections::BTreeSet;
+
+/// Errors during protocol execution.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ProtocolError {
+    /// The base station is cut off from every other node.
+    BaseIsolated,
+    /// Internal representation failure (decode of a wire message).
+    Representation(String),
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::BaseIsolated => write!(f, "base station has no neighbors"),
+            ProtocolError::Representation(msg) => write!(f, "representation error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}
+
+/// The computed query answer.
+#[derive(Debug, Clone)]
+pub enum JoinResult {
+    /// Non-aggregate query: one row of SELECT values per joining binding.
+    Rows(Vec<Vec<f64>>),
+    /// Aggregate query: one value per SELECT item (`None` = SQL NULL).
+    Aggregate(Vec<Option<f64>>),
+}
+
+impl JoinResult {
+    /// Number of result rows (aggregates count as one).
+    pub fn len(&self) -> usize {
+        match self {
+            JoinResult::Rows(r) => r.len(),
+            JoinResult::Aggregate(_) => 1,
+        }
+    }
+
+    /// Whether the result is empty.
+    pub fn is_empty(&self) -> bool {
+        match self {
+            JoinResult::Rows(r) => r.is_empty(),
+            JoinResult::Aggregate(_) => false,
+        }
+    }
+
+    /// Multiset equality of results, independent of row order. Values are
+    /// compared exactly: all join methods evaluate the same expressions on
+    /// the same tuple values, so agreeing methods agree bitwise.
+    pub fn same_result(&self, other: &JoinResult) -> bool {
+        match (self, other) {
+            (JoinResult::Rows(a), JoinResult::Rows(b)) => {
+                if a.len() != b.len() {
+                    return false;
+                }
+                let mut x = a.clone();
+                let mut y = b.clone();
+                let key = |r: &Vec<f64>| r.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+                x.sort_by_key(key);
+                y.sort_by_key(key);
+                x == y
+            }
+            (JoinResult::Aggregate(a), JoinResult::Aggregate(b)) => a == b,
+            _ => false,
+        }
+    }
+}
+
+/// Everything a protocol execution produces.
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// The query answer (identical across correct join methods).
+    pub result: JoinResult,
+    /// Per-node / per-phase transmission and energy statistics.
+    pub stats: NetworkStats,
+    /// End-to-end latency (query start to result availability) under the
+    /// pipelined model, in µs (see `wave::WaveTiming`).
+    pub latency_us: Time,
+    /// End-to-end latency under TAG-style slotted level scheduling, in µs —
+    /// the model the paper's §VII response-time bound reflects.
+    pub latency_slotted_us: Time,
+    /// Nodes whose tuples appear in at least one result row — the paper's
+    /// "fraction of nodes that contribute to the result" numerator.
+    pub contributors: BTreeSet<NodeId>,
+}
+
+impl JoinOutcome {
+    /// Fraction of network nodes contributing to the result.
+    pub fn contributor_fraction(&self, network_size: usize) -> f64 {
+        self.contributors.len() as f64 / network_size as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_equality_ignores_order() {
+        let a = JoinResult::Rows(vec![vec![1.0, 2.0], vec![3.0, 4.0], vec![1.0, 2.0]]);
+        let b = JoinResult::Rows(vec![vec![3.0, 4.0], vec![1.0, 2.0], vec![1.0, 2.0]]);
+        let c = JoinResult::Rows(vec![vec![3.0, 4.0], vec![1.0, 2.0]]);
+        assert!(a.same_result(&b));
+        assert!(!a.same_result(&c));
+        assert_eq!(a.len(), 3);
+    }
+
+    #[test]
+    fn aggregate_equality() {
+        let a = JoinResult::Aggregate(vec![Some(1.0), None]);
+        let b = JoinResult::Aggregate(vec![Some(1.0), None]);
+        let c = JoinResult::Aggregate(vec![Some(2.0), None]);
+        assert!(a.same_result(&b));
+        assert!(!a.same_result(&c));
+        assert!(!a.same_result(&JoinResult::Rows(vec![])));
+        assert_eq!(a.len(), 1);
+        assert!(!a.is_empty());
+        assert!(JoinResult::Rows(vec![]).is_empty());
+    }
+}

@@ -1,0 +1,473 @@
+//! The SENS-Join protocol (paper §IV).
+
+use crate::config::{Representation, SensJoinConfig};
+use crate::engine::{exact_join, prejoin_filter, JoinSpace};
+use crate::outcome::{JoinOutcome, ProtocolError};
+use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg};
+use crate::snetwork::SensorNetwork;
+use crate::wave::{down_wave, up_wave};
+use crate::JoinMethod;
+use sensjoin_quadtree::PointSet;
+use sensjoin_query::CompiledQuery;
+use sensjoin_relation::NodeId;
+
+/// Phase labels used in statistics (Fig. 15's cost breakdown).
+pub const PHASE_COLLECTION: &str = "1-join-attribute-collection";
+/// Filter-dissemination phase label.
+pub const PHASE_FILTER: &str = "2-filter-dissemination";
+/// Final-result phase label.
+pub const PHASE_FINAL: &str = "3-final-result";
+
+/// The SENS-Join method: pre-computation (join-attribute collection +
+/// filter dissemination) followed by the final result computation.
+///
+/// All protocol parameters live in [`SensJoinConfig`]; the default is the
+/// paper's configuration (`D_max` = 30 B, 500 B filter memory, quadtree
+/// representation, Selective Filter Forwarding on).
+#[derive(Debug, Clone, Default)]
+pub struct SensJoin {
+    /// Protocol parameters.
+    pub config: SensJoinConfig,
+}
+
+impl SensJoin {
+    /// A SENS-Join instance with explicit configuration.
+    pub fn with_config(config: SensJoinConfig) -> Self {
+        Self { config }
+    }
+
+    /// The Fig. 16 variant: no compact representation, raw join-attribute
+    /// tuples during the pre-computation.
+    pub fn no_quadtree() -> Self {
+        Self::with_config(SensJoinConfig {
+            representation: Representation::Raw,
+            ..SensJoinConfig::default()
+        })
+    }
+}
+
+/// Message of the Join-Attribute-Collection phase: a node forwards either
+/// complete tuples (below the Treecut threshold) or a join-attribute
+/// structure (paper §IV-B: "Due to Treecut, a node either sends complete
+/// tuples or join-attribute tuples").
+enum UpMsg {
+    Full { tuples: Vec<FullRec>, bytes: usize },
+    Attrs(JoinAttrMsg),
+}
+
+/// Final-phase message: complete tuples of filtered nodes.
+struct Batch {
+    tuples: Vec<FullRec>,
+    bytes: usize,
+}
+
+/// Per-node protocol state surviving between phases.
+#[derive(Default)]
+struct NodeState {
+    /// Whether the node stays awake after the collection phase (Treecut
+    /// nodes exit the query, Fig. 2 line 18).
+    active: bool,
+    /// Complete tuples stored on behalf of cut descendants (proxy role).
+    proxy: Vec<FullRec>,
+    /// The node's own tuple (if it contributes).
+    own: Option<FullRec>,
+    /// Join-attribute tuples of the subtree, memorized during collection for
+    /// Selective Filter Forwarding (`None` if over the memory cap).
+    subtree_atts: Option<PointSet>,
+    /// The filter as received during dissemination (`None` = pruned away:
+    /// nothing in this subtree joins).
+    received_filter: Option<PointSet>,
+}
+
+impl JoinMethod for SensJoin {
+    fn name(&self) -> &'static str {
+        match self.config.representation {
+            Representation::Quadtree => "sens-join",
+            Representation::Raw => "sens-join/no-quad",
+            Representation::Zlib => "sens-join/zlib",
+            Representation::Bzip2 => "sens-join/bzip2",
+        }
+    }
+
+    fn execute(
+        &self,
+        snet: &mut SensorNetwork,
+        query: &CompiledQuery,
+    ) -> Result<JoinOutcome, ProtocolError> {
+        snet.net_mut().reset_stats();
+        let cfg = &self.config;
+        let space = JoinSpace::build(query, snet, cfg);
+        let data = collect_node_data(snet, query, &space);
+        let base = snet.base();
+        let n = snet.len();
+        let mut states: Vec<NodeState> = (0..n).map(|_| NodeState::default()).collect();
+        let repr = cfg.representation;
+
+        // ---- Phase 1: Join-Attribute-Collection (Fig. 2) ----
+        let shape = space.shape().clone();
+        let (base_msg, t1) = up_wave(
+            snet.net_mut(),
+            &|_| true,
+            |v, received: Vec<UpMsg>| {
+                let mut fulls: Vec<FullRec> = Vec::new();
+                let mut full_bytes = 0usize;
+                let mut attr_msgs: Vec<JoinAttrMsg> = Vec::new();
+                for msg in received {
+                    match msg {
+                        UpMsg::Full { mut tuples, bytes } => {
+                            full_bytes += bytes;
+                            fulls.append(&mut tuples);
+                        }
+                        UpMsg::Attrs(ja) => attr_msgs.push(ja),
+                    }
+                }
+                let own = data[v.0 as usize].rec.clone();
+                let own_bytes = own.as_ref().map_or(0, |r| r.bytes);
+                let treecut = v != base
+                    && cfg.dmax > 0
+                    && attr_msgs.is_empty()
+                    && full_bytes + own_bytes <= cfg.dmax;
+                if treecut {
+                    // Hand the complete tuples to the parent and exit the
+                    // query (Fig. 2 lines 14-18).
+                    if let Some(rec) = own {
+                        fulls.push(rec);
+                    }
+                    states[v.0 as usize].active = false;
+                    UpMsg::Full {
+                        tuples: fulls,
+                        bytes: full_bytes + own_bytes,
+                    }
+                } else {
+                    let st = &mut states[v.0 as usize];
+                    st.active = true;
+                    // Merge received structures (Fig. 2 line 10).
+                    let mut ja = JoinAttrMsg::new();
+                    for m in &attr_msgs {
+                        ja.merge(m);
+                    }
+                    // Memorize the subtree's join-attribute tuples for
+                    // Selective Filter Forwarding — the *received* ones only
+                    // (Fig. 2 line 21); own and proxied tuples are checked
+                    // directly against the incoming filter later. The stored
+                    // form is always the compact quadtree (only the §VI-B
+                    // collection experiment varies the wire representation).
+                    // The base station is powered and ignores the memory cap.
+                    let stored_size =
+                        JoinAttrMsg::filter_wire_size(&ja.set, Representation::Quadtree, &space);
+                    if cfg.selective_forwarding
+                        && (v == base || stored_size <= cfg.filter_memory_limit)
+                    {
+                        st.subtree_atts = Some(ja.set.clone());
+                    }
+                    // Act as proxy for received complete tuples (line 20)
+                    // and fold their join-attribute projections in (line 22).
+                    for rec in &fulls {
+                        ja.insert(rec.z, rec.flags, &rec.coords);
+                    }
+                    st.proxy = fulls;
+                    if let Some(rec) = own {
+                        ja.insert(rec.z, rec.flags, &rec.coords);
+                        st.own = Some(rec);
+                    }
+                    UpMsg::Attrs(ja)
+                }
+            },
+            |m| match m {
+                UpMsg::Full { bytes, .. } => *bytes,
+                UpMsg::Attrs(ja) => ja.wire_size(repr, &shape),
+            },
+            PHASE_COLLECTION,
+        );
+
+        // ---- Base station: conservative pre-join (step 1a) ----
+        let points = match base_msg {
+            UpMsg::Attrs(ja) => ja.set,
+            UpMsg::Full { .. } => unreachable!("base never applies Treecut"),
+        };
+        let filter = prejoin_filter(query, &space, &points);
+
+        // ---- Phase 2: Filter-Dissemination (Fig. 3) ----
+        let active: Vec<bool> = states.iter().map(|s| s.active).collect();
+        let participates = move |v: NodeId| active[v.0 as usize];
+        let selective = cfg.selective_forwarding;
+        let t2 = down_wave(
+            snet.net_mut(),
+            &participates,
+            |v, received: Option<&PointSet>| {
+                let st = &mut states[v.0 as usize];
+                let incoming: &PointSet = match received {
+                    Some(f) => {
+                        st.received_filter = Some(f.clone());
+                        f
+                    }
+                    None => &filter, // base station originates
+                };
+                if !selective {
+                    // Ablation: flood the unpruned filter everywhere.
+                    return Some(incoming.clone());
+                }
+                match &st.subtree_atts {
+                    Some(atts) => {
+                        let pruned = incoming.intersect(atts);
+                        (!pruned.is_empty()).then_some(pruned)
+                    }
+                    // Over the memory cap: cannot prune, forward as-is.
+                    None => Some(incoming.clone()),
+                }
+            },
+            // The filter always travels in the compact quadtree form; the
+            // representation knob only varies the collection step (§VI-B).
+            |set| JoinAttrMsg::filter_wire_size(set, Representation::Quadtree, &space),
+            PHASE_FILTER,
+        );
+
+        // ---- Phase 3: Final-Result-Computation (§IV-D) ----
+        let active2: Vec<bool> = states.iter().map(|s| s.active).collect();
+        let participates3 = move |v: NodeId| active2[v.0 as usize];
+        let (final_batch, t3) = up_wave(
+            snet.net_mut(),
+            &participates3,
+            |v, received: Vec<Batch>| {
+                let mut tuples = Vec::new();
+                let mut bytes = 0usize;
+                for mut b in received {
+                    bytes += b.bytes;
+                    tuples.append(&mut b.tuples);
+                }
+                let st = &states[v.0 as usize];
+                if v == base {
+                    // Base-held tuples (own + proxied) are already at their
+                    // destination; attach them free of charge.
+                    for rec in st.own.iter().chain(&st.proxy) {
+                        tuples.push(rec.clone());
+                    }
+                } else if let Some(f) = &st.received_filter {
+                    for rec in st.own.iter().chain(&st.proxy) {
+                        if f.contains_matching(rec.z, rec.flags) {
+                            bytes += rec.bytes;
+                            tuples.push(rec.clone());
+                        }
+                    }
+                }
+                Batch { tuples, bytes }
+            },
+            |b| b.bytes,
+            PHASE_FINAL,
+        );
+
+        // ---- Exact join over the filtered complete tuples ----
+        let master = snet.master_schema().clone();
+        let tuples_per_rel: Vec<Vec<(NodeId, Vec<f64>)>> = (0..query.num_relations())
+            .map(|r| {
+                let flag = space.flag(r);
+                final_batch
+                    .tuples
+                    .iter()
+                    .filter(|rec| rec.flags.intersects(flag))
+                    .map(|rec| {
+                        (
+                            rec.origin,
+                            project_to_schema(&master, query.schema(r), &rec.values),
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
+        let computation = exact_join(query, &tuples_per_rel);
+        Ok(JoinOutcome {
+            result: computation.result,
+            stats: snet.net().stats().clone(),
+            latency_us: t1.then(t2).then(t3).pipelined,
+            latency_slotted_us: t1.then(t2).then(t3).slotted,
+            contributors: computation.contributors,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::snetwork::SensorNetworkBuilder;
+    use crate::ExternalJoin;
+    use sensjoin_field::{Area, Placement};
+    use sensjoin_query::parse;
+
+    fn snet(n: usize, seed: u64) -> SensorNetwork {
+        SensorNetworkBuilder::new()
+            .area(Area::new(350.0, 350.0))
+            .placement(Placement::UniformRandom { n })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn compiled(s: &SensorNetwork, sql: &str) -> CompiledQuery {
+        s.compile(&parse(sql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn result_identical_to_external_join() {
+        for seed in [1, 2, 3] {
+            let mut s = snet(90, seed);
+            let cq = compiled(
+                &s,
+                "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                 WHERE |A.temp - B.temp| < 0.1 ONCE",
+            );
+            let ext = ExternalJoin.execute(&mut s, &cq).unwrap();
+            let sj = SensJoin::default().execute(&mut s, &cq).unwrap();
+            assert!(
+                ext.result.same_result(&sj.result),
+                "seed {seed}: {} vs {} rows",
+                ext.result.len(),
+                sj.result.len()
+            );
+            assert_eq!(ext.contributors, sj.contributors);
+        }
+    }
+
+    #[test]
+    fn selective_query_saves_transmissions() {
+        // Savings need a tree deep enough for packet aggregation to matter
+        // (the paper uses 1500 nodes; 400 over a wider area with a corner
+        // base station suffices here).
+        let mut s = SensorNetworkBuilder::new()
+            .area(Area::new(600.0, 600.0))
+            .placement(Placement::UniformRandom { n: 400 })
+            .base(sensjoin_sim::BaseChoice::NearestCorner)
+            .seed(7)
+            .build()
+            .unwrap();
+        let fam = crate::workload::RangeQueryFamily::ratio_33();
+        let cal = fam.calibrate(&s, 0.05);
+        let cq = compiled(&s, &cal.sql);
+        let ext = ExternalJoin.execute(&mut s, &cq).unwrap();
+        let sj = SensJoin::default().execute(&mut s, &cq).unwrap();
+        assert!(
+            sj.stats.total_tx_packets() < ext.stats.total_tx_packets(),
+            "sens {} !< ext {}",
+            sj.stats.total_tx_packets(),
+            ext.stats.total_tx_packets()
+        );
+    }
+
+    #[test]
+    fn phases_are_labeled() {
+        let mut s = snet(100, 5);
+        let cq = compiled(
+            &s,
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.05 ONCE",
+        );
+        let sj = SensJoin::default().execute(&mut s, &cq).unwrap();
+        let p1 = sj.stats.phase(PHASE_COLLECTION).tx_packets;
+        let p2 = sj.stats.phase(PHASE_FILTER).tx_packets;
+        let p3 = sj.stats.phase(PHASE_FINAL).tx_packets;
+        assert!(p1 > 0);
+        assert_eq!(p1 + p2 + p3, sj.stats.total_tx_packets());
+    }
+
+    #[test]
+    fn no_quadtree_variant_is_larger_but_correct() {
+        let mut s = snet(120, 11);
+        let cq = compiled(
+            &s,
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.05 ONCE",
+        );
+        let quad = SensJoin::default().execute(&mut s, &cq).unwrap();
+        let raw = SensJoin::no_quadtree().execute(&mut s, &cq).unwrap();
+        assert!(quad.result.same_result(&raw.result));
+        let quad_p1 = quad.stats.phase(PHASE_COLLECTION).tx_bytes;
+        let raw_p1 = raw.stats.phase(PHASE_COLLECTION).tx_bytes;
+        assert!(quad_p1 < raw_p1, "quadtree {quad_p1} !< raw {raw_p1}");
+    }
+
+    #[test]
+    fn treecut_disabled_still_correct() {
+        let mut s = snet(80, 13);
+        let cq = compiled(
+            &s,
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.1 ONCE",
+        );
+        let ext = ExternalJoin.execute(&mut s, &cq).unwrap();
+        let nocut = SensJoin::with_config(SensJoinConfig {
+            dmax: 0,
+            ..Default::default()
+        })
+        .execute(&mut s, &cq)
+        .unwrap();
+        assert!(ext.result.same_result(&nocut.result));
+    }
+
+    #[test]
+    fn selective_forwarding_disabled_still_correct_but_costlier() {
+        let mut s = snet(130, 17);
+        let cq = compiled(
+            &s,
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.01 AND distance(A.x, A.y, B.x, B.y) > 200 ONCE",
+        );
+        let on = SensJoin::default().execute(&mut s, &cq).unwrap();
+        let off = SensJoin::with_config(SensJoinConfig {
+            selective_forwarding: false,
+            ..Default::default()
+        })
+        .execute(&mut s, &cq)
+        .unwrap();
+        assert!(on.result.same_result(&off.result));
+        let on_f = on.stats.phase(PHASE_FILTER).tx_packets;
+        let off_f = off.stats.phase(PHASE_FILTER).tx_packets;
+        assert!(on_f <= off_f, "selective {on_f} > flooded {off_f}");
+    }
+
+    #[test]
+    fn aggregate_query_identical() {
+        let mut s = snet(70, 23);
+        let cq = compiled(
+            &s,
+            "SELECT MIN(distance(A.x, A.y, B.x, B.y)) FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 2.0 ONCE",
+        );
+        let ext = ExternalJoin.execute(&mut s, &cq).unwrap();
+        let sj = SensJoin::default().execute(&mut s, &cq).unwrap();
+        assert!(ext.result.same_result(&sj.result));
+    }
+
+    #[test]
+    fn empty_result_sends_no_final_tuples() {
+        let mut s = snet(90, 29);
+        let cq = compiled(
+            &s,
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 1000 ONCE",
+        );
+        let sj = SensJoin::default().execute(&mut s, &cq).unwrap();
+        assert!(sj.result.is_empty());
+        assert_eq!(sj.stats.phase(PHASE_FINAL).tx_bytes, 0);
+        // Filter dissemination is pruned at the root: nothing joins.
+        assert_eq!(sj.stats.phase(PHASE_FILTER).tx_packets, 0);
+    }
+
+    #[test]
+    fn latency_within_twice_external() {
+        // §VII: "the response time of SENS-Join is upper bounded by at most
+        // twice the duration of the external join".
+        let mut s = snet(150, 31);
+        let cq = compiled(
+            &s,
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.1 ONCE",
+        );
+        let ext = ExternalJoin.execute(&mut s, &cq).unwrap();
+        let sj = SensJoin::default().execute(&mut s, &cq).unwrap();
+        assert!(
+            sj.latency_us <= 2 * ext.latency_us + 10_000,
+            "sens {} vs ext {}",
+            sj.latency_us,
+            ext.latency_us
+        );
+    }
+}

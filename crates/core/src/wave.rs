@@ -1,0 +1,300 @@
+//! Tree-synchronized communication waves.
+//!
+//! SENS-Join and the external join are phase-structured (paper Fig. 1):
+//! within a phase, data flows either leaf→root (*up waves*: collection
+//! phases) or root→leaf (*down wave*: filter dissemination) along the
+//! routing tree, with nodes waking exactly when their children's data is due
+//! (TAG-style scheduling, [18]). Because siblings in different subtrees
+//! transmit concurrently, a phase's latency is the longest chain of
+//! dependent transfers — which these helpers compute while charging every
+//! transmission through [`Network::unicast`] / [`Network::broadcast`].
+
+use sensjoin_relation::NodeId;
+use sensjoin_sim::{Network, RoutingTree, Time};
+
+/// A phase's latency under the two scheduling models.
+///
+/// * `pipelined` — data-volume-driven: a node forwards as soon as all its
+///   children reported; siblings in disjoint subtrees transmit concurrently.
+///   The phase takes as long as its longest chain of dependent transfers.
+/// * `slotted` — TAG-style level scheduling: each tree level gets a time
+///   window sized for that level's slowest transmitter, and the phase walks
+///   the levels one window at a time. This is the schedule the paper's
+///   response-time bound (§VII) reflects.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct WaveTiming {
+    /// Longest dependent-transfer chain.
+    pub pipelined: Time,
+    /// Sum over levels of the level's slowest transfer.
+    pub slotted: Time,
+}
+
+impl WaveTiming {
+    /// Sequential composition of phases.
+    pub fn then(self, next: WaveTiming) -> WaveTiming {
+        WaveTiming {
+            pipelined: self.pipelined + next.pipelined,
+            slotted: self.slotted + next.slotted,
+        }
+    }
+}
+
+/// Runs a leaf→root wave over all nodes for which `participates` holds
+/// (participants must form a root-closed subtree: every participant's parent
+/// participates). The wave runs on the network's current routing tree; use
+/// [`up_wave_on`] to run on a different tree (e.g. one rooted at an
+/// in-network mediator).
+///
+/// For each node, `produce(node, received_from_children)` builds the message
+/// to forward; `size_of` gives its wire size in bytes (0-byte messages cost
+/// nothing). Returns the message produced at the root and the phase's
+/// completion time.
+pub fn up_wave<M>(
+    net: &mut Network,
+    participates: &dyn Fn(NodeId) -> bool,
+    produce: impl FnMut(NodeId, Vec<M>) -> M,
+    size_of: impl Fn(&M) -> usize,
+    phase: &str,
+) -> (M, WaveTiming) {
+    let tree = net.routing().clone();
+    up_wave_on(net, &tree, participates, produce, size_of, phase)
+}
+
+/// [`up_wave`] over an explicit routing tree (its edges must be topology
+/// links, which [`RoutingTree::build`] guarantees).
+pub fn up_wave_on<M>(
+    net: &mut Network,
+    tree: &RoutingTree,
+    participates: &dyn Fn(NodeId) -> bool,
+    mut produce: impl FnMut(NodeId, Vec<M>) -> M,
+    size_of: impl Fn(&M) -> usize,
+    phase: &str,
+) -> (M, WaveTiming) {
+    let order = tree.bottom_up_order();
+    let n = net.len();
+    let mut inbox: Vec<Vec<M>> = (0..n).map(|_| Vec::new()).collect();
+    // completion[v] = time v's transfer to its parent finished.
+    let mut completion: Vec<Time> = vec![0; n];
+    // Slowest transfer per tree level (for the slotted schedule).
+    let mut level_max: std::collections::BTreeMap<u32, Time> = Default::default();
+    let mut base_msg = None;
+    let mut base_time = 0;
+    for v in order {
+        if !participates(v) {
+            continue;
+        }
+        let received = std::mem::take(&mut inbox[v.0 as usize]);
+        let ready = completion[v.0 as usize]; // max over children, see below
+        let msg = produce(v, received);
+        match tree.parent(v) {
+            Some(parent) => {
+                debug_assert!(participates(parent), "participants must be root-closed");
+                let bytes = size_of(&msg);
+                let dt = net.unicast(v, parent, bytes, phase);
+                if dt > 0 {
+                    let level = tree.depth(v).expect("participant is reachable");
+                    let m = level_max.entry(level).or_default();
+                    *m = (*m).max(dt);
+                }
+                let done = ready + dt;
+                let p = parent.0 as usize;
+                completion[p] = completion[p].max(done);
+                inbox[p].push(msg);
+            }
+            None => {
+                base_time = ready;
+                base_msg = Some(msg);
+            }
+        }
+    }
+    let timing = WaveTiming {
+        pipelined: base_time,
+        slotted: level_max.values().sum(),
+    };
+    (base_msg.expect("the tree root always participates"), timing)
+}
+
+/// Runs a root→leaf wave. `produce(node, received)` is called with `None`
+/// at the base station and `Some(msg)` at nodes that received one; it
+/// returns the message to broadcast to the node's participating children
+/// (`None` suppresses forwarding — Selective Filter Forwarding's pruning).
+/// A single broadcast reaches all participating children (one transmission,
+/// one reception each — paper Fig. 3 `broadcast(SubtreeFilter)`).
+///
+/// Returns the phase's completion time.
+pub fn down_wave<M: Clone>(
+    net: &mut Network,
+    participates: &dyn Fn(NodeId) -> bool,
+    mut produce: impl FnMut(NodeId, Option<&M>) -> Option<M>,
+    size_of: impl Fn(&M) -> usize,
+    phase: &str,
+) -> WaveTiming {
+    let base = net.base();
+    let mut latest: Time = 0;
+    let mut level_max: std::collections::BTreeMap<u32, Time> = Default::default();
+    // (node, message to process, arrival time)
+    let mut queue: std::collections::VecDeque<(NodeId, Option<M>, Time)> =
+        std::collections::VecDeque::new();
+    queue.push_back((base, None, 0));
+    while let Some((v, received, at)) = queue.pop_front() {
+        latest = latest.max(at);
+        let out = produce(v, received.as_ref());
+        let Some(out) = out else { continue };
+        let children: Vec<NodeId> = net
+            .routing()
+            .children(v)
+            .iter()
+            .copied()
+            .filter(|&c| participates(c))
+            .collect();
+        if children.is_empty() {
+            continue;
+        }
+        let bytes = size_of(&out);
+        let dt = net.broadcast(v, &children, bytes, phase);
+        if dt > 0 {
+            let level = net.routing().depth(v).expect("broadcaster is reachable");
+            let m = level_max.entry(level).or_default();
+            *m = (*m).max(dt);
+        }
+        for c in children {
+            queue.push_back((c, Some(out.clone()), at + dt));
+        }
+    }
+    WaveTiming {
+        pipelined: latest,
+        slotted: level_max.values().sum(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensjoin_field::{Area, Placement};
+    use sensjoin_sim::NetworkBuilder;
+
+    fn net() -> Network {
+        let area = Area::new(250.0, 250.0);
+        let pos = Placement::UniformRandom { n: 80 }.generate(area, 5);
+        NetworkBuilder::new().build(pos, area).unwrap()
+    }
+
+    #[test]
+    fn up_wave_counts_every_node() {
+        let mut net = net();
+        let reachable = net.len() - net.routing().unreachable().len();
+        // Each node sends one 4-byte unit per subtree node: message = count.
+        let (total, t) = up_wave(
+            &mut net,
+            &|_| true,
+            |_, recv: Vec<usize>| recv.iter().sum::<usize>() + 1,
+            |m| m * 4,
+            "test",
+        );
+        assert_eq!(total, reachable);
+        assert!(t.pipelined > 0);
+        // The slotted schedule can never beat pipelining.
+        assert!(t.slotted >= t.pipelined);
+        // Every non-base node transmitted at least one packet.
+        let zero_tx = (0..net.len() as u32)
+            .filter(|&i| {
+                let v = sensjoin_relation::NodeId(i);
+                v != net.base()
+                    && net.routing().depth(v).is_some()
+                    && net.stats().node(v).tx_packets == 0
+            })
+            .count();
+        assert_eq!(zero_tx, 0);
+    }
+
+    #[test]
+    fn up_wave_latency_exceeds_single_hop() {
+        let mut net = net();
+        let depth = net.routing().max_depth() as u64;
+        let (_, t) = up_wave(&mut net, &|_| true, |_, _: Vec<()>| (), |_| 10, "test");
+        let hop = net.radio().transfer_us(10);
+        assert!(
+            t.pipelined >= depth * hop,
+            "latency {} < {depth} hops x {hop}",
+            t.pipelined
+        );
+        // Equal-size messages: the slotted schedule is exactly depth x hop.
+        assert_eq!(t.slotted, depth * hop);
+    }
+
+    #[test]
+    fn down_wave_reaches_everyone_once() {
+        let mut net = net();
+        let mut visits = vec![0u32; net.len()];
+        down_wave(
+            &mut net,
+            &|_| true,
+            |v, _recv| {
+                visits[v.0 as usize] += 1;
+                Some(7u8)
+            },
+            |_| 5,
+            "test",
+        );
+        let reachable = net.len() - net.routing().unreachable().len();
+        let visited = visits.iter().filter(|&&v| v == 1).count();
+        assert_eq!(visited, reachable);
+        assert!(visits.iter().all(|&v| v <= 1));
+        // Broadcast economy: #transmissions = #nodes with children, while
+        // #receptions = #reachable nodes - 1.
+        let rx: u64 = (0..net.len() as u32)
+            .map(|i| net.stats().node(sensjoin_relation::NodeId(i)).rx_packets)
+            .sum();
+        assert_eq!(rx, reachable as u64 - 1);
+    }
+
+    #[test]
+    fn down_wave_pruning_stops_subtrees() {
+        let mut net = net();
+        let base = net.base();
+        // Forward only from the base: depth-1 nodes receive, nobody deeper.
+        let mut received = vec![false; net.len()];
+        down_wave(
+            &mut net,
+            &|_| true,
+            |v, recv| {
+                if recv.is_some() {
+                    received[v.0 as usize] = true;
+                }
+                (v == base).then_some(1u8)
+            },
+            |_| 3,
+            "test",
+        );
+        for i in 0..net.len() as u32 {
+            let v = sensjoin_relation::NodeId(i);
+            let expect = net.routing().parent(v) == Some(base);
+            assert_eq!(received[i as usize], expect, "{v}");
+        }
+    }
+
+    #[test]
+    fn up_wave_partial_participation() {
+        let mut net = net();
+        // Only depth <= 1 participates (root-closed set).
+        let depths: Vec<Option<u32>> = (0..net.len() as u32)
+            .map(|i| net.routing().depth(sensjoin_relation::NodeId(i)))
+            .collect();
+        let participates = move |v: NodeId| depths[v.0 as usize].is_some_and(|d| d <= 1);
+        let (count, _) = up_wave(
+            &mut net,
+            &participates,
+            |_, recv: Vec<usize>| recv.iter().sum::<usize>() + 1,
+            |_| 2,
+            "test",
+        );
+        let expect = (0..net.len() as u32)
+            .filter(|&i| {
+                net.routing()
+                    .depth(sensjoin_relation::NodeId(i))
+                    .is_some_and(|d| d <= 1)
+            })
+            .count();
+        assert_eq!(count, expect);
+    }
+}

@@ -1,0 +1,219 @@
+//! Node placement over a rectangular deployment area.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A node position in meters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Position {
+    /// X coordinate in meters.
+    pub x: f64,
+    /// Y coordinate in meters.
+    pub y: f64,
+}
+
+impl Position {
+    /// Creates a position.
+    pub fn new(x: f64, y: f64) -> Self {
+        Self { x, y }
+    }
+
+    /// Euclidean distance to `other` in meters.
+    #[inline]
+    pub fn distance(&self, other: &Position) -> f64 {
+        ((self.x - other.x).powi(2) + (self.y - other.y).powi(2)).sqrt()
+    }
+}
+
+/// A rectangular deployment area (meters).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Area {
+    /// Width in meters.
+    pub width: f64,
+    /// Height in meters.
+    pub height: f64,
+}
+
+impl Area {
+    /// Creates an area.
+    ///
+    /// # Panics
+    /// Panics on non-positive extents.
+    pub fn new(width: f64, height: f64) -> Self {
+        assert!(width > 0.0 && height > 0.0, "area extents must be positive");
+        Self { width, height }
+    }
+
+    /// The paper's default experiment area: 1050 m × 1050 m (§VI).
+    pub fn paper_default() -> Self {
+        Self::new(1050.0, 1050.0)
+    }
+
+    /// Scales the area to hold `n` nodes at the same node density as the
+    /// paper default holds 1500 (used by the Fig. 14 network-size sweep:
+    /// "we vary the area of the network to keep the node density constant").
+    pub fn for_constant_density(n: usize) -> Self {
+        let side = 1050.0 * (n as f64 / 1500.0).sqrt();
+        Self::new(side, side)
+    }
+
+    /// The center of the area.
+    pub fn center(&self) -> Position {
+        Position::new(self.width / 2.0, self.height / 2.0)
+    }
+}
+
+/// A node placement strategy.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Placement {
+    /// `n` nodes placed independently and uniformly at random — the paper's
+    /// setting.
+    UniformRandom {
+        /// Number of nodes.
+        n: usize,
+    },
+    /// A regular grid with per-node uniform jitter (fraction of cell size in
+    /// `0.0..=0.5`). Useful for worst/best-case routing-tree shapes.
+    JitteredGrid {
+        /// Grid columns.
+        nx: usize,
+        /// Grid rows.
+        ny: usize,
+        /// Jitter as a fraction of the cell pitch.
+        jitter: f64,
+    },
+    /// Gaussian clusters: `per_cluster` nodes around each of `centers`
+    /// uniform-random cluster centers. Models the "two small regions"
+    /// scenarios the specialized related-work joins require.
+    Clustered {
+        /// Number of clusters.
+        centers: usize,
+        /// Nodes per cluster.
+        per_cluster: usize,
+        /// Cluster standard deviation in meters.
+        sigma: f64,
+    },
+}
+
+impl Placement {
+    /// Generates positions inside `area`, deterministically from `seed`.
+    pub fn generate(&self, area: Area, seed: u64) -> Vec<Position> {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        match *self {
+            Placement::UniformRandom { n } => (0..n)
+                .map(|_| {
+                    Position::new(
+                        rng.gen_range(0.0..area.width),
+                        rng.gen_range(0.0..area.height),
+                    )
+                })
+                .collect(),
+            Placement::JitteredGrid { nx, ny, jitter } => {
+                assert!((0.0..=0.5).contains(&jitter), "jitter must be in 0..=0.5");
+                let (dx, dy) = (area.width / nx as f64, area.height / ny as f64);
+                let mut out = Vec::with_capacity(nx * ny);
+                for iy in 0..ny {
+                    for ix in 0..nx {
+                        let jx = rng.gen_range(-jitter..=jitter) * dx;
+                        let jy = rng.gen_range(-jitter..=jitter) * dy;
+                        out.push(Position::new(
+                            ((ix as f64 + 0.5) * dx + jx).clamp(0.0, area.width),
+                            ((iy as f64 + 0.5) * dy + jy).clamp(0.0, area.height),
+                        ));
+                    }
+                }
+                out
+            }
+            Placement::Clustered {
+                centers,
+                per_cluster,
+                sigma,
+            } => {
+                let mut out = Vec::with_capacity(centers * per_cluster);
+                for _ in 0..centers {
+                    let cx = rng.gen_range(0.0..area.width);
+                    let cy = rng.gen_range(0.0..area.height);
+                    for _ in 0..per_cluster {
+                        // Box-Muller for a 2-D Gaussian offset.
+                        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                        let u2: f64 = rng.gen_range(0.0..std::f64::consts::TAU);
+                        let r = sigma * (-2.0 * u1.ln()).sqrt();
+                        out.push(Position::new(
+                            (cx + r * u2.cos()).clamp(0.0, area.width),
+                            (cy + r * u2.sin()).clamp(0.0, area.height),
+                        ));
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_is_deterministic_and_in_bounds() {
+        let area = Area::new(100.0, 50.0);
+        let a = Placement::UniformRandom { n: 200 }.generate(area, 1);
+        let b = Placement::UniformRandom { n: 200 }.generate(area, 1);
+        let c = Placement::UniformRandom { n: 200 }.generate(area, 2);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(a
+            .iter()
+            .all(|p| (0.0..=100.0).contains(&p.x) && (0.0..=50.0).contains(&p.y)));
+    }
+
+    #[test]
+    fn grid_counts_and_spacing() {
+        let area = Area::new(100.0, 100.0);
+        let pts = Placement::JitteredGrid {
+            nx: 10,
+            ny: 10,
+            jitter: 0.0,
+        }
+        .generate(area, 0);
+        assert_eq!(pts.len(), 100);
+        assert!((pts[0].x - 5.0).abs() < 1e-9);
+        assert!((pts[11].x - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clusters_stay_near_centers() {
+        let area = Area::new(1000.0, 1000.0);
+        let pts = Placement::Clustered {
+            centers: 3,
+            per_cluster: 50,
+            sigma: 10.0,
+        }
+        .generate(area, 5);
+        assert_eq!(pts.len(), 150);
+        // Nodes of a cluster lie within a few sigma of their center: check
+        // the spread of each group of 50.
+        for chunk in pts.chunks(50) {
+            let cx = chunk.iter().map(|p| p.x).sum::<f64>() / 50.0;
+            let cy = chunk.iter().map(|p| p.y).sum::<f64>() / 50.0;
+            let center = Position::new(cx, cy);
+            let far = chunk.iter().filter(|p| p.distance(&center) > 60.0).count();
+            assert!(far <= 2, "{far} outliers");
+        }
+    }
+
+    #[test]
+    fn constant_density_scaling() {
+        let a = Area::for_constant_density(1500);
+        assert!((a.width - 1050.0).abs() < 1e-9);
+        let b = Area::for_constant_density(2500);
+        let density_a = 1500.0 / (a.width * a.height);
+        let density_b = 2500.0 / (b.width * b.height);
+        assert!((density_a - density_b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_euclidean() {
+        assert!((Position::new(0.0, 0.0).distance(&Position::new(3.0, 4.0)) - 5.0).abs() < 1e-12);
+    }
+}

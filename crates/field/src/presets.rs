@@ -1,0 +1,64 @@
+//! Ready-made attribute generators for the experiments.
+
+use crate::FieldSpec;
+
+/// Intel-Lab-like indoor climate: temperature, humidity (anti-correlated
+/// with temperature), pressure and light. Matches the magnitudes of the MIT
+/// Intel Lab trace the paper cites for its spatial-correlation argument
+/// (Fig. 4): temperatures in the high teens to low twenties with smooth
+/// spatial drift.
+pub fn indoor_climate() -> Vec<FieldSpec> {
+    vec![
+        FieldSpec::simple("temp", 21.0, 2.5, 250.0, 0.05),
+        FieldSpec::simple("hum", 42.0, 4.0, 350.0, 0.3).coupled_to(0, -1.2),
+        FieldSpec::simple("pres", 1013.0, 1.5, 600.0, 0.1),
+        FieldSpec::simple("light", 400.0, 150.0, 120.0, 5.0),
+    ]
+}
+
+/// Outdoor environmental monitoring: larger swings, shorter correlation
+/// lengths (microclimates), used by the Q1/Q2-style example queries.
+pub fn outdoor_environment() -> Vec<FieldSpec> {
+    vec![
+        FieldSpec::simple("temp", 15.0, 6.0, 180.0, 0.1),
+        FieldSpec::simple("hum", 55.0, 10.0, 220.0, 0.5).coupled_to(0, -0.8),
+        FieldSpec::simple("pres", 1009.0, 3.0, 800.0, 0.2),
+        FieldSpec::simple("light", 20_000.0, 9_000.0, 90.0, 200.0),
+    ]
+}
+
+/// A deliberately *uncorrelated* data set (tiny correlation length relative
+/// to typical deployments): the adversarial case for the quadtree
+/// representation, used by ablation benches.
+pub fn uncorrelated() -> Vec<FieldSpec> {
+    vec![
+        FieldSpec::simple("temp", 21.0, 2.5, 1.0, 0.5),
+        FieldSpec::simple("hum", 42.0, 4.0, 1.0, 1.0),
+        FieldSpec::simple("pres", 1013.0, 1.5, 1.0, 0.5),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_expected_attributes() {
+        let specs = indoor_climate();
+        let names: Vec<&str> = specs.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["temp", "hum", "pres", "light"]);
+        assert!(outdoor_environment().len() >= 3);
+        assert!(uncorrelated().iter().all(|s| s.correlation_length <= 1.0));
+    }
+
+    #[test]
+    fn couplings_reference_earlier_specs() {
+        for specs in [indoor_climate(), outdoor_environment(), uncorrelated()] {
+            for (i, s) in specs.iter().enumerate() {
+                if let Some((j, _)) = s.cross {
+                    assert!(j < i);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,60 @@
+//! Adversarial-input robustness: the decoder must reject, never panic on or
+//! misinterpret, arbitrary byte strings. Wire messages in a WSN can be
+//! corrupted; a malformed structure must surface as `DecodeError`.
+
+use proptest::prelude::*;
+use sensjoin_quadtree::{
+    decode, encode, DecodeError, EncodedTree, Point, PointSet, RelFlags, TreeShape,
+};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes either decode into a valid set or error cleanly.
+    #[test]
+    fn random_bytes_never_panic(
+        bytes in prop::collection::vec(any::<u8>(), 0..64),
+        trim in 0usize..8,
+    ) {
+        let shape = TreeShape::new(&[2, 2, 2, 2], 2);
+        let len_bits = (bytes.len() * 8).saturating_sub(trim);
+        let tree = EncodedTree { bytes, len_bits };
+        if let Ok(set) = decode(&tree, &shape) {
+            // Whatever decoded must re-encode and round-trip; errors are
+            // clean rejections.
+            let re = encode(&set, &shape);
+            prop_assert_eq!(decode(&re, &shape).unwrap(), set);
+        }
+    }
+
+    /// Single-bit corruption of a valid encoding is either detected or
+    /// yields a different-but-valid set — never a crash.
+    #[test]
+    fn bit_flips_handled(
+        pts in prop::collection::vec((0u64..=255, 1u8..=3), 1..30),
+        flip in 0usize..64,
+    ) {
+        let shape = TreeShape::new(&[2, 2, 2, 2], 2);
+        let set = PointSet::from_points(
+            pts.iter().map(|&(z, f)| Point { z, flags: RelFlags(f) }),
+        );
+        let mut tree = encode(&set, &shape);
+        prop_assume!(tree.len_bits > 0);
+        let bit = flip % tree.len_bits;
+        tree.bytes[bit / 8] ^= 0x80 >> (bit % 8);
+        match decode(&tree, &shape) {
+            Ok(other) => {
+                let re = encode(&other, &shape);
+                prop_assert_eq!(decode(&re, &shape).unwrap(), other);
+            }
+            Err(
+                DecodeError::UnexpectedEnd
+                | DecodeError::EmptyMask
+                | DecodeError::TrailingBits { .. }
+                | DecodeError::DuplicatePoint { .. }
+                | DecodeError::EmptyFlags
+                | DecodeError::TooDeep,
+            ) => {}
+        }
+    }
+}

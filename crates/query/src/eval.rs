@@ -1,0 +1,138 @@
+//! Scalar evaluation of compiled expressions.
+
+use crate::compile::CExpr;
+use crate::{BinOp, CmpOp};
+
+/// Supplies the concrete value of attribute `attr` of relation `rel` for the
+/// current binding (typically a pair of tuples in a two-way join).
+pub trait EvalEnv {
+    /// The value of `(rel, attr)`.
+    fn value(&self, rel: usize, attr: usize) -> f64;
+}
+
+impl<F: Fn(usize, usize) -> f64> EvalEnv for F {
+    fn value(&self, rel: usize, attr: usize) -> f64 {
+        self(rel, attr)
+    }
+}
+
+/// Evaluates an arithmetic expression.
+///
+/// # Panics
+/// Panics on boolean nodes — the compiler rejects those in arithmetic
+/// positions.
+pub fn eval_expr(expr: &CExpr, env: &impl EvalEnv) -> f64 {
+    match expr {
+        CExpr::Number(n) => *n,
+        CExpr::Col { rel, attr } => env.value(*rel, *attr),
+        CExpr::Neg(e) => -eval_expr(e, env),
+        CExpr::Abs(e) => eval_expr(e, env).abs(),
+        CExpr::Bin { op, lhs, rhs } => {
+            let l = eval_expr(lhs, env);
+            let r = eval_expr(rhs, env);
+            match op {
+                BinOp::Add => l + r,
+                BinOp::Sub => l - r,
+                BinOp::Mul => l * r,
+                BinOp::Div => l / r,
+            }
+        }
+        CExpr::Distance { args } => {
+            let [x1, y1, x2, y2] = args.as_ref();
+            let dx = eval_expr(x1, env) - eval_expr(x2, env);
+            let dy = eval_expr(y1, env) - eval_expr(y2, env);
+            (dx * dx + dy * dy).sqrt()
+        }
+        CExpr::Cmp { .. } | CExpr::And(..) | CExpr::Or(..) | CExpr::Not(..) => {
+            unreachable!("boolean expression in arithmetic position (rejected at compile)")
+        }
+    }
+}
+
+/// Evaluates a predicate. NaN comparisons are false (SQL-unknown collapses
+/// to false for filtering purposes).
+pub fn eval_predicate(expr: &CExpr, env: &impl EvalEnv) -> bool {
+    match expr {
+        CExpr::Cmp { op, lhs, rhs } => {
+            let l = eval_expr(lhs, env);
+            let r = eval_expr(rhs, env);
+            match op {
+                CmpOp::Lt => l < r,
+                CmpOp::Le => l <= r,
+                CmpOp::Gt => l > r,
+                CmpOp::Ge => l >= r,
+                CmpOp::Eq => l == r,
+                CmpOp::Ne => l != r,
+            }
+        }
+        CExpr::And(a, b) => eval_predicate(a, env) && eval_predicate(b, env),
+        CExpr::Or(a, b) => eval_predicate(a, env) || eval_predicate(b, env),
+        CExpr::Not(e) => !eval_predicate(e, env),
+        other => unreachable!("arithmetic expression {other:?} in predicate position"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn col(rel: usize, attr: usize) -> CExpr {
+        CExpr::Col { rel, attr }
+    }
+
+    #[test]
+    fn arithmetic_evaluation() {
+        // |(0,0) - (1,0)| * 2 with env values 5 and 8.
+        let e = CExpr::Bin {
+            op: BinOp::Mul,
+            lhs: Box::new(CExpr::Abs(Box::new(CExpr::Bin {
+                op: BinOp::Sub,
+                lhs: Box::new(col(0, 0)),
+                rhs: Box::new(col(1, 0)),
+            }))),
+            rhs: Box::new(CExpr::Number(2.0)),
+        };
+        let env = |rel: usize, _attr: usize| if rel == 0 { 5.0 } else { 8.0 };
+        assert_eq!(eval_expr(&e, &env), 6.0);
+    }
+
+    #[test]
+    fn distance_evaluation() {
+        let e = CExpr::Distance {
+            args: Box::new([
+                CExpr::Number(0.0),
+                CExpr::Number(0.0),
+                CExpr::Number(3.0),
+                CExpr::Number(4.0),
+            ]),
+        };
+        let env = |_: usize, _: usize| 0.0;
+        assert!((eval_expr(&e, &env) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn predicate_logic() {
+        let lt = CExpr::Cmp {
+            op: CmpOp::Lt,
+            lhs: Box::new(CExpr::Number(1.0)),
+            rhs: Box::new(CExpr::Number(2.0)),
+        };
+        let gt = CExpr::Cmp {
+            op: CmpOp::Gt,
+            lhs: Box::new(CExpr::Number(1.0)),
+            rhs: Box::new(CExpr::Number(2.0)),
+        };
+        let env = |_: usize, _: usize| 0.0;
+        assert!(eval_predicate(&lt, &env));
+        assert!(!eval_predicate(&gt, &env));
+        assert!(!eval_predicate(
+            &CExpr::And(Box::new(lt.clone()), Box::new(gt.clone())),
+            &env
+        ));
+        assert!(eval_predicate(
+            &CExpr::Or(Box::new(lt), Box::new(gt.clone())),
+            &env
+        ));
+        assert!(eval_predicate(&CExpr::Not(Box::new(gt)), &env));
+    }
+}

@@ -1,0 +1,341 @@
+//! Interval arithmetic and three-valued predicate evaluation.
+//!
+//! The pre-join at the base station operates on *quantized* join-attribute
+//! values — each value is only known up to its quantization cell. To decide
+//! whether a pair of cells can contain joining tuples, every join expression
+//! is evaluated over closed intervals; comparisons return three-valued truth
+//! ([`Tri`]). A pair survives the pre-join iff the predicate is *possibly*
+//! true. Over-approximation is safe (false positives: complete tuples are
+//! shipped unnecessarily, §V-B footnote 2); under-approximation would lose
+//! result rows and is impossible by construction: every interval operation
+//! here returns a superset of the true image.
+
+use crate::compile::CExpr;
+use crate::{BinOp, CmpOp};
+
+/// A closed interval `[lo, hi]`; bounds may be infinite (boundary
+/// quantization cells extend to ±∞ to absorb range clamping).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Interval {
+    /// Lower bound.
+    pub lo: f64,
+    /// Upper bound.
+    pub hi: f64,
+}
+
+#[allow(clippy::should_implement_trait)] // named set ops, not operator overloads
+impl Interval {
+    /// Creates `[lo, hi]`.
+    ///
+    /// # Panics
+    /// Panics (debug) if `lo > hi` or a bound is NaN.
+    pub fn new(lo: f64, hi: f64) -> Self {
+        debug_assert!(!lo.is_nan() && !hi.is_nan());
+        debug_assert!(lo <= hi, "invalid interval [{lo}, {hi}]");
+        Self { lo, hi }
+    }
+
+    /// The degenerate interval `[v, v]`.
+    pub fn point(v: f64) -> Self {
+        Self::new(v, v)
+    }
+
+    /// The whole real line.
+    pub fn whole() -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            hi: f64::INFINITY,
+        }
+    }
+
+    /// Whether `v` lies inside the interval.
+    pub fn contains(&self, v: f64) -> bool {
+        self.lo <= v && v <= self.hi
+    }
+
+    /// Interval addition.
+    pub fn add(self, o: Interval) -> Interval {
+        Interval::new(add_lo(self.lo, o.lo), add_hi(self.hi, o.hi))
+    }
+
+    /// Interval subtraction.
+    pub fn sub(self, o: Interval) -> Interval {
+        Interval::new(add_lo(self.lo, -o.hi), add_hi(self.hi, -o.lo))
+    }
+
+    /// Negation.
+    pub fn neg(self) -> Interval {
+        Interval::new(-self.hi, -self.lo)
+    }
+
+    /// Absolute value.
+    pub fn abs(self) -> Interval {
+        if self.lo >= 0.0 {
+            self
+        } else if self.hi <= 0.0 {
+            self.neg()
+        } else {
+            Interval::new(0.0, self.hi.max(-self.lo))
+        }
+    }
+
+    /// Multiplication (inf-safe: `0 · ±∞` is treated as 0, which is correct
+    /// for images of real sets).
+    pub fn mul(self, o: Interval) -> Interval {
+        let cands = [
+            mul1(self.lo, o.lo),
+            mul1(self.lo, o.hi),
+            mul1(self.hi, o.lo),
+            mul1(self.hi, o.hi),
+        ];
+        let lo = cands.iter().copied().fold(f64::INFINITY, f64::min);
+        let hi = cands.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        Interval::new(lo, hi)
+    }
+
+    /// Square (tighter than `mul(self)` when the interval spans zero).
+    pub fn square(self) -> Interval {
+        if self.lo >= 0.0 {
+            Interval::new(mul1(self.lo, self.lo), mul1(self.hi, self.hi))
+        } else if self.hi <= 0.0 {
+            Interval::new(mul1(self.hi, self.hi), mul1(self.lo, self.lo))
+        } else {
+            Interval::new(0.0, mul1(self.lo, self.lo).max(mul1(self.hi, self.hi)))
+        }
+    }
+
+    /// Division; if the divisor contains zero the result widens to the whole
+    /// line (conservative).
+    pub fn div(self, o: Interval) -> Interval {
+        if o.contains(0.0) {
+            return Interval::whole();
+        }
+        let inv = Interval::new(1.0 / o.hi, 1.0 / o.lo);
+        self.mul(inv)
+    }
+
+    /// Square root of the non-negative part (domain-clamped: callers only
+    /// apply it to squared sums).
+    pub fn sqrt(self) -> Interval {
+        Interval::new(self.lo.max(0.0).sqrt(), self.hi.max(0.0).sqrt())
+    }
+}
+
+// inf-safe helpers: -inf + inf can only arise from programmer error here
+// because we always add lows to lows and highs to highs of valid intervals —
+// but clamp defensively anyway.
+fn add_lo(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if s.is_nan() {
+        f64::NEG_INFINITY
+    } else {
+        s
+    }
+}
+
+fn add_hi(a: f64, b: f64) -> f64 {
+    let s = a + b;
+    if s.is_nan() {
+        f64::INFINITY
+    } else {
+        s
+    }
+}
+
+fn mul1(a: f64, b: f64) -> f64 {
+    if a == 0.0 || b == 0.0 {
+        0.0
+    } else {
+        a * b
+    }
+}
+
+/// Three-valued truth.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Tri {
+    /// Certainly true for all values in the cells.
+    True,
+    /// Certainly false for all values in the cells.
+    False,
+    /// Depends on the concrete values.
+    Maybe,
+}
+
+#[allow(clippy::should_implement_trait)] // Kleene logic, not std::ops::Not
+impl Tri {
+    /// Kleene conjunction.
+    pub fn and(self, o: Tri) -> Tri {
+        match (self, o) {
+            (Tri::False, _) | (_, Tri::False) => Tri::False,
+            (Tri::True, Tri::True) => Tri::True,
+            _ => Tri::Maybe,
+        }
+    }
+
+    /// Kleene disjunction.
+    pub fn or(self, o: Tri) -> Tri {
+        match (self, o) {
+            (Tri::True, _) | (_, Tri::True) => Tri::True,
+            (Tri::False, Tri::False) => Tri::False,
+            _ => Tri::Maybe,
+        }
+    }
+
+    /// Negation.
+    pub fn not(self) -> Tri {
+        match self {
+            Tri::True => Tri::False,
+            Tri::False => Tri::True,
+            Tri::Maybe => Tri::Maybe,
+        }
+    }
+
+    /// Whether the predicate could hold — the pre-join's survival test.
+    pub fn possible(self) -> bool {
+        self != Tri::False
+    }
+}
+
+/// Evaluates an arithmetic expression over intervals. `env` supplies the
+/// interval of attribute `attr` of relation `rel`.
+pub fn eval_expr_interval(expr: &CExpr, env: &impl Fn(usize, usize) -> Interval) -> Interval {
+    match expr {
+        CExpr::Number(n) => Interval::point(*n),
+        CExpr::Col { rel, attr } => env(*rel, *attr),
+        CExpr::Neg(e) => eval_expr_interval(e, env).neg(),
+        CExpr::Abs(e) => eval_expr_interval(e, env).abs(),
+        CExpr::Bin { op, lhs, rhs } => {
+            let l = eval_expr_interval(lhs, env);
+            let r = eval_expr_interval(rhs, env);
+            match op {
+                BinOp::Add => l.add(r),
+                BinOp::Sub => l.sub(r),
+                BinOp::Mul => l.mul(r),
+                BinOp::Div => l.div(r),
+            }
+        }
+        CExpr::Distance { args } => {
+            let [x1, y1, x2, y2] = args.as_ref();
+            let dx = eval_expr_interval(x1, env).sub(eval_expr_interval(x2, env));
+            let dy = eval_expr_interval(y1, env).sub(eval_expr_interval(y2, env));
+            dx.square().add(dy.square()).sqrt()
+        }
+        CExpr::Cmp { .. } | CExpr::And(..) | CExpr::Or(..) | CExpr::Not(..) => {
+            unreachable!("boolean expression in arithmetic position (rejected at compile)")
+        }
+    }
+}
+
+/// Evaluates a predicate over intervals, returning three-valued truth.
+pub fn eval_predicate_interval(expr: &CExpr, env: &impl Fn(usize, usize) -> Interval) -> Tri {
+    match expr {
+        CExpr::Cmp { op, lhs, rhs } => {
+            let l = eval_expr_interval(lhs, env);
+            let r = eval_expr_interval(rhs, env);
+            match op {
+                CmpOp::Lt => cmp_lt(l, r),
+                CmpOp::Le => cmp_le(l, r),
+                CmpOp::Gt => cmp_lt(r, l),
+                CmpOp::Ge => cmp_le(r, l),
+                CmpOp::Eq => cmp_eq(l, r),
+                CmpOp::Ne => cmp_eq(l, r).not(),
+            }
+        }
+        CExpr::And(a, b) => eval_predicate_interval(a, env).and(eval_predicate_interval(b, env)),
+        CExpr::Or(a, b) => eval_predicate_interval(a, env).or(eval_predicate_interval(b, env)),
+        CExpr::Not(e) => eval_predicate_interval(e, env).not(),
+        other => unreachable!("arithmetic expression {other:?} in predicate position"),
+    }
+}
+
+fn cmp_lt(l: Interval, r: Interval) -> Tri {
+    if l.hi < r.lo {
+        Tri::True
+    } else if l.lo >= r.hi {
+        Tri::False
+    } else {
+        Tri::Maybe
+    }
+}
+
+fn cmp_le(l: Interval, r: Interval) -> Tri {
+    if l.hi <= r.lo {
+        Tri::True
+    } else if l.lo > r.hi {
+        Tri::False
+    } else {
+        Tri::Maybe
+    }
+}
+
+fn cmp_eq(l: Interval, r: Interval) -> Tri {
+    if l.hi < r.lo || r.hi < l.lo {
+        Tri::False
+    } else if l.lo == l.hi && r.lo == r.hi && l.lo == r.lo {
+        Tri::True
+    } else {
+        Tri::Maybe
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(lo: f64, hi: f64) -> Interval {
+        Interval::new(lo, hi)
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(iv(1.0, 2.0).add(iv(10.0, 20.0)), iv(11.0, 22.0));
+        assert_eq!(iv(1.0, 2.0).sub(iv(10.0, 20.0)), iv(-19.0, -8.0));
+        assert_eq!(iv(-2.0, 3.0).mul(iv(4.0, 5.0)), iv(-10.0, 15.0));
+        assert_eq!(iv(-2.0, 3.0).abs(), iv(0.0, 3.0));
+        assert_eq!(iv(-3.0, -1.0).abs(), iv(1.0, 3.0));
+        assert_eq!(iv(-2.0, 3.0).square(), iv(0.0, 9.0));
+        assert_eq!(iv(4.0, 9.0).sqrt(), iv(2.0, 3.0));
+    }
+
+    #[test]
+    fn division_with_zero_divisor_widens() {
+        assert_eq!(iv(1.0, 2.0).div(iv(-1.0, 1.0)), Interval::whole());
+        assert_eq!(iv(4.0, 8.0).div(iv(2.0, 4.0)), iv(1.0, 4.0));
+    }
+
+    #[test]
+    fn infinite_bounds_are_safe() {
+        let unbounded = iv(f64::NEG_INFINITY, 5.0);
+        let r = unbounded.mul(iv(0.0, 2.0));
+        assert_eq!(r.lo, f64::NEG_INFINITY);
+        assert_eq!(r.hi, 10.0);
+        let s = unbounded.add(iv(1.0, f64::INFINITY));
+        assert_eq!(s, Interval::whole());
+        assert_eq!(iv(0.0, f64::INFINITY).square().hi, f64::INFINITY);
+    }
+
+    #[test]
+    fn tri_logic() {
+        use Tri::*;
+        assert_eq!(True.and(Maybe), Maybe);
+        assert_eq!(False.and(Maybe), False);
+        assert_eq!(True.or(Maybe), True);
+        assert_eq!(False.or(Maybe), Maybe);
+        assert_eq!(Maybe.not(), Maybe);
+        assert!(Maybe.possible());
+        assert!(!False.possible());
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(cmp_lt(iv(1.0, 2.0), iv(3.0, 4.0)), Tri::True);
+        assert_eq!(cmp_lt(iv(3.0, 4.0), iv(1.0, 2.0)), Tri::False);
+        assert_eq!(cmp_lt(iv(1.0, 3.0), iv(2.0, 4.0)), Tri::Maybe);
+        // Touching intervals: 2 < 2 is false but 1.9 < 2 possible.
+        assert_eq!(cmp_lt(iv(1.0, 2.0), iv(2.0, 4.0)), Tri::Maybe);
+        assert_eq!(cmp_le(iv(1.0, 2.0), iv(2.0, 4.0)), Tri::True);
+        assert_eq!(cmp_eq(iv(1.0, 2.0), iv(3.0, 4.0)), Tri::False);
+        assert_eq!(cmp_eq(iv(2.0, 2.0), iv(2.0, 2.0)), Tri::True);
+        assert_eq!(cmp_eq(iv(1.0, 3.0), iv(2.0, 5.0)), Tri::Maybe);
+    }
+}

@@ -1,0 +1,68 @@
+#![warn(missing_docs)]
+
+//! Declarative join queries over sensor relations.
+//!
+//! The paper's interface (§III) is a TinyDB-flavored SQL dialect:
+//!
+//! ```sql
+//! SELECT R1.attrs, ..., Rn.attrs
+//! FROM Relation_1 R1, ..., Relation_n Rn
+//! WHERE preds(R1) AND ... AND preds(Rn)
+//!   AND join-exprs(R1.join-attrs, ..., Rn.join-attrs)
+//! {SAMPLE PERIOD x | ONCE}
+//! ```
+//!
+//! This crate provides:
+//!
+//! * a hand-written tokenizer and recursive-descent parser ([`parse`]) for that
+//!   dialect, including `|x|` absolute-value bars, the `distance(x1,y1,x2,y2)`
+//!   builtin and `MIN`/`MAX`/`SUM`/`AVG`/`COUNT` aggregates (queries Q1/Q2
+//!   of the paper parse verbatim),
+//! * the [`ast`] — untyped expressions over qualified attribute references,
+//! * [`CompiledQuery`] — name resolution against schemas, conjunct
+//!   classification into *local* predicates (single relation, evaluated at
+//!   the node, §III "Optionally, the WHERE-clauses can narrow down the
+//!   scope") and *join* predicates (≥ 2 relations), and extraction of the
+//!   per-relation **join attributes** (paper Definition 1),
+//! * scalar predicate/expression evaluation over tuple bindings, and
+//! * [`interval`] — interval-arithmetic evaluation returning three-valued
+//!   truth. This generalizes the paper's footnote 2 (widening Θ-join
+//!   constants to the quantization resolution) to *arbitrary* join
+//!   expressions: the pre-join asks "can any concrete values inside these
+//!   quantization cells satisfy the condition?", which can yield false
+//!   positives but never false negatives.
+//!
+//! # Example
+//!
+//! ```
+//! use sensjoin_query::{parse, CompiledQuery};
+//! use sensjoin_relation::{Schema, Attribute, AttrType};
+//!
+//! let q = parse(
+//!     "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+//!      WHERE |A.temp - B.temp| < 0.3 \
+//!      AND distance(A.x, A.y, B.x, B.y) > 100 ONCE",
+//! ).unwrap();
+//! let schema = Schema::new("Sensors", vec![
+//!     Attribute::new("x", AttrType::Meters),
+//!     Attribute::new("y", AttrType::Meters),
+//!     Attribute::new("temp", AttrType::Celsius),
+//!     Attribute::new("hum", AttrType::Percent),
+//! ]);
+//! let cq = CompiledQuery::compile(&q, &[schema.clone(), schema]).unwrap();
+//! assert_eq!(cq.join_attrs(0), &[0, 1, 2]); // x, y, temp
+//! assert_eq!(cq.num_relations(), 2);
+//! ```
+
+pub mod ast;
+mod compile;
+mod eval;
+pub mod interval;
+mod parser;
+mod token;
+
+pub use ast::{AggFunc, BinOp, CmpOp, Expr, Query, SelectItem, Temporal};
+pub use compile::{CExpr, CompileError, CompiledQuery, CompiledSelect};
+pub use eval::{eval_expr, eval_predicate, EvalEnv};
+pub use interval::{eval_expr_interval, eval_predicate_interval, Interval, Tri};
+pub use parser::{parse, ParseError};

@@ -1,0 +1,437 @@
+//! Recursive-descent parser for the query dialect.
+
+use crate::ast::{AggFunc, BinOp, CmpOp, Expr, FromItem, Query, SelectItem, Temporal};
+use crate::token::{tokenize, Keyword, Token};
+
+/// A parse error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// Description of what went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        message: message.into(),
+    })
+}
+
+/// Parses a query string.
+///
+/// Grammar (informally):
+///
+/// ```text
+/// query    := SELECT select (',' select)* FROM from (',' from)*
+///             [WHERE or_expr] [GROUP BY or_expr (',' or_expr)*]
+///             (ONCE | SAMPLE PERIOD number)
+/// select   := [agg '('] or_expr [')'] [AS ident]
+/// from     := ident [ident]
+/// or_expr  := and_expr (OR and_expr)*
+/// and_expr := not_expr (AND not_expr)*
+/// not_expr := NOT not_expr | cmp
+/// cmp      := sum [cmpop sum]
+/// sum      := term (('+'|'-') term)*
+/// term     := unary (('*'|'/') unary)*
+/// unary    := '-' unary | primary
+/// primary  := number | '|' or_expr '|' | '(' or_expr ')'
+///           | 'abs' '(' or_expr ')'
+///           | 'distance' '(' or_expr ',' ... ')'   -- 4 args
+///           | ident '.' ident
+/// ```
+pub fn parse(input: &str) -> Result<Query, ParseError> {
+    let tokens = tokenize(input).map_err(|e| ParseError {
+        message: format!("{} (at byte {})", e.message, e.at),
+    })?;
+    let mut p = Parser { tokens, pos: 0 };
+    let q = p.query()?;
+    if p.pos != p.tokens.len() {
+        return err(format!("trailing input after query: {:?}", p.tokens[p.pos]));
+    }
+    Ok(q)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, t: &Token) -> bool {
+        if self.peek() == Some(t) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, t: Token) -> Result<(), ParseError> {
+        match self.next() {
+            Some(got) if got == t => Ok(()),
+            Some(got) => err(format!("expected {t:?}, found {got:?}")),
+            None => err(format!("expected {t:?}, found end of input")),
+        }
+    }
+
+    fn keyword(&mut self, k: Keyword) -> Result<(), ParseError> {
+        self.expect(Token::Keyword(k))
+    }
+
+    fn query(&mut self) -> Result<Query, ParseError> {
+        self.keyword(Keyword::Select)?;
+        let mut select = vec![self.select_item()?];
+        while self.eat(&Token::Comma) {
+            select.push(self.select_item()?);
+        }
+        self.keyword(Keyword::From)?;
+        let mut from = vec![self.from_item()?];
+        while self.eat(&Token::Comma) {
+            from.push(self.from_item()?);
+        }
+        let predicate = if self.eat(&Token::Keyword(Keyword::Where)) {
+            Some(self.or_expr()?)
+        } else {
+            None
+        };
+        let mut group_by = Vec::new();
+        if self.eat(&Token::Keyword(Keyword::Group)) {
+            self.keyword(Keyword::By)?;
+            group_by.push(self.or_expr()?);
+            while self.eat(&Token::Comma) {
+                group_by.push(self.or_expr()?);
+            }
+        }
+        let temporal = match self.next() {
+            Some(Token::Keyword(Keyword::Once)) => Temporal::Once,
+            Some(Token::Keyword(Keyword::Sample)) => {
+                self.keyword(Keyword::Period)?;
+                match self.next() {
+                    Some(Token::Number(x)) if x > 0.0 => Temporal::SamplePeriod(x),
+                    other => return err(format!("expected positive period, found {other:?}")),
+                }
+            }
+            other => return err(format!("expected ONCE or SAMPLE PERIOD, found {other:?}")),
+        };
+        Ok(Query {
+            select,
+            from,
+            predicate,
+            group_by,
+            temporal,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<SelectItem, ParseError> {
+        let agg = match self.peek() {
+            Some(Token::Keyword(Keyword::Min)) => Some(AggFunc::Min),
+            Some(Token::Keyword(Keyword::Max)) => Some(AggFunc::Max),
+            Some(Token::Keyword(Keyword::Sum)) => Some(AggFunc::Sum),
+            Some(Token::Keyword(Keyword::Avg)) => Some(AggFunc::Avg),
+            Some(Token::Keyword(Keyword::Count)) => Some(AggFunc::Count),
+            _ => None,
+        };
+        if agg.is_some() {
+            self.pos += 1;
+            self.expect(Token::LParen)?;
+        }
+        let expr = self.or_expr()?;
+        if agg.is_some() {
+            self.expect(Token::RParen)?;
+        }
+        let alias = if self.eat(&Token::Keyword(Keyword::As)) {
+            match self.next() {
+                Some(Token::Ident(name)) => Some(name),
+                other => return err(format!("expected alias, found {other:?}")),
+            }
+        } else {
+            None
+        };
+        Ok(SelectItem { agg, expr, alias })
+    }
+
+    #[allow(clippy::wrong_self_convention)] // parses a FROM item, not a conversion
+    fn from_item(&mut self) -> Result<FromItem, ParseError> {
+        let relation = match self.next() {
+            Some(Token::Ident(name)) => name,
+            other => return err(format!("expected relation name, found {other:?}")),
+        };
+        let alias = if matches!(self.peek(), Some(Token::Ident(_))) {
+            match self.next() {
+                Some(Token::Ident(a)) => a,
+                _ => unreachable!("peeked an identifier"),
+            }
+        } else {
+            relation.clone()
+        };
+        Ok(FromItem { relation, alias })
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.and_expr()?;
+        while self.eat(&Token::Keyword(Keyword::Or)) {
+            let rhs = self.and_expr()?;
+            e = Expr::Or(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.not_expr()?;
+        while self.eat(&Token::Keyword(Keyword::And)) {
+            let rhs = self.not_expr()?;
+            e = Expr::And(Box::new(e), Box::new(rhs));
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Keyword(Keyword::Not)) {
+            Ok(Expr::Not(Box::new(self.not_expr()?)))
+        } else {
+            self.cmp()
+        }
+    }
+
+    fn cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.sum()?;
+        let op = match self.peek() {
+            Some(Token::Lt) => CmpOp::Lt,
+            Some(Token::Le) => CmpOp::Le,
+            Some(Token::Gt) => CmpOp::Gt,
+            Some(Token::Ge) => CmpOp::Ge,
+            Some(Token::Eq) => CmpOp::Eq,
+            Some(Token::Ne) => CmpOp::Ne,
+            _ => return Ok(lhs),
+        };
+        self.pos += 1;
+        let rhs = self.sum()?;
+        Ok(Expr::Cmp {
+            op,
+            lhs: Box::new(lhs),
+            rhs: Box::new(rhs),
+        })
+    }
+
+    fn sum(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.term()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Plus) => BinOp::Add,
+                Some(Token::Minus) => BinOp::Sub,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.term()?;
+            e = Expr::Bin {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(e)
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut e = self.unary()?;
+        loop {
+            let op = match self.peek() {
+                Some(Token::Star) => BinOp::Mul,
+                Some(Token::Slash) => BinOp::Div,
+                _ => break,
+            };
+            self.pos += 1;
+            let rhs = self.unary()?;
+            e = Expr::Bin {
+                op,
+                lhs: Box::new(e),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(e)
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&Token::Minus) {
+            Ok(Expr::Neg(Box::new(self.unary()?)))
+        } else {
+            self.primary()
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        match self.next() {
+            Some(Token::Number(n)) => Ok(Expr::Number(n)),
+            Some(Token::Bar) => {
+                let inner = self.or_expr()?;
+                self.expect(Token::Bar)?;
+                Ok(Expr::Abs(Box::new(inner)))
+            }
+            Some(Token::LParen) => {
+                let inner = self.or_expr()?;
+                self.expect(Token::RParen)?;
+                Ok(inner)
+            }
+            Some(Token::Ident(name)) => {
+                if name.eq_ignore_ascii_case("abs") && self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let inner = self.or_expr()?;
+                    self.expect(Token::RParen)?;
+                    return Ok(Expr::Abs(Box::new(inner)));
+                }
+                if name.eq_ignore_ascii_case("distance") && self.peek() == Some(&Token::LParen) {
+                    self.pos += 1;
+                    let a = self.or_expr()?;
+                    self.expect(Token::Comma)?;
+                    let b = self.or_expr()?;
+                    self.expect(Token::Comma)?;
+                    let c = self.or_expr()?;
+                    self.expect(Token::Comma)?;
+                    let d = self.or_expr()?;
+                    self.expect(Token::RParen)?;
+                    return Ok(Expr::Distance {
+                        args: Box::new([a, b, c, d]),
+                    });
+                }
+                self.expect(Token::Dot)?;
+                match self.next() {
+                    Some(Token::Ident(attr)) => Ok(Expr::Attr {
+                        qualifier: name,
+                        attr,
+                    }),
+                    other => err(format!("expected attribute after '.', found {other:?}")),
+                }
+            }
+            other => err(format!("expected expression, found {other:?}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The paper's Q1 parses verbatim.
+    #[test]
+    fn paper_q1() {
+        let q = parse(
+            "SELECT MIN(distance(A.x, A.y, B.x, B.y)) \
+             FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 10.0 \
+             ONCE",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 1);
+        assert_eq!(q.select[0].agg, Some(AggFunc::Min));
+        assert_eq!(q.from.len(), 2);
+        assert_eq!(q.from[0].alias, "A");
+        assert_eq!(q.from[1].relation, "Sensors");
+        assert_eq!(q.temporal, Temporal::Once);
+        assert!(q.predicate.is_some());
+    }
+
+    /// The paper's Q2 parses verbatim.
+    #[test]
+    fn paper_q2() {
+        let q = parse(
+            "SELECT |A.hum - B.hum|, |A.pres - B.pres| \
+             FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.3 \
+             AND distance(A.x, A.y, B.x, B.y) > 100 \
+             ONCE",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert!(matches!(q.select[0].expr, Expr::Abs(_)));
+        let conjs = q.predicate.as_ref().unwrap().conjuncts().len();
+        assert_eq!(conjs, 2);
+    }
+
+    #[test]
+    fn sample_period() {
+        let q = parse("SELECT A.t FROM S A SAMPLE PERIOD 30").unwrap();
+        assert_eq!(q.temporal, Temporal::SamplePeriod(30.0));
+        assert!(q.predicate.is_none());
+        assert!(parse("SELECT A.t FROM S A SAMPLE PERIOD 0").is_err());
+    }
+
+    #[test]
+    fn precedence() {
+        let q = parse("SELECT A.x FROM S A WHERE A.a + A.b * 2 < 10 AND NOT A.c > 1 ONCE").unwrap();
+        let p = q.predicate.unwrap();
+        let cs = p.conjuncts();
+        assert_eq!(cs.len(), 2);
+        match cs[0] {
+            Expr::Cmp { lhs, .. } => match lhs.as_ref() {
+                Expr::Bin {
+                    op: BinOp::Add,
+                    rhs,
+                    ..
+                } => {
+                    assert!(matches!(rhs.as_ref(), Expr::Bin { op: BinOp::Mul, .. }));
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(cs[1], Expr::Not(_)));
+    }
+
+    #[test]
+    fn aliases_and_as() {
+        let q = parse("SELECT A.x AS pos_x FROM Sensors A ONCE").unwrap();
+        assert_eq!(q.select[0].alias.as_deref(), Some("pos_x"));
+    }
+
+    #[test]
+    fn default_alias_is_relation_name() {
+        let q = parse("SELECT Sensors.x FROM Sensors ONCE").unwrap();
+        assert_eq!(q.from[0].alias, "Sensors");
+    }
+
+    #[test]
+    fn three_way_join() {
+        let q = parse(
+            "SELECT A.t, B.t, C.t FROM R A, S B, T C \
+             WHERE A.t < B.t AND B.t < C.t ONCE",
+        )
+        .unwrap();
+        assert_eq!(q.from.len(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        assert!(parse("").is_err());
+        assert!(parse("SELECT FROM S ONCE").is_err());
+        assert!(parse("SELECT A.x FROM S A").is_err()); // missing temporal
+        assert!(parse("SELECT A.x FROM S A ONCE garbage").is_err());
+        assert!(parse("SELECT A.x FROM S A WHERE A.x < ONCE").is_err());
+        assert!(parse("SELECT distance(A.x, A.y) FROM S A ONCE").is_err()); // arity
+        assert!(parse("SELECT |A.x FROM S A ONCE").is_err()); // unclosed bar
+    }
+
+    #[test]
+    fn nested_abs_and_negation() {
+        let q = parse("SELECT abs(A.x - -3) FROM S A ONCE").unwrap();
+        assert!(matches!(q.select[0].expr, Expr::Abs(_)));
+    }
+}

@@ -1,0 +1,80 @@
+//! Parser robustness: arbitrary input must never panic, and every
+//! successfully parsed query must round-trip through compilation checks
+//! without internal inconsistencies.
+
+use proptest::prelude::*;
+use sensjoin_query::{parse, CompiledQuery};
+use sensjoin_relation::{AttrType, Attribute, Schema};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Arbitrary strings: parse returns Ok or Err, never panics.
+    #[test]
+    fn arbitrary_strings_never_panic(s in "\\PC{0,200}") {
+        let _ = parse(&s);
+    }
+
+    /// Strings made of dialect tokens: much higher parse success rate, same
+    /// no-panic requirement, and parsed queries compile or fail cleanly.
+    #[test]
+    fn token_soup_never_panics(
+        toks in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("AND"), Just("OR"),
+                Just("NOT"), Just("ONCE"), Just("SAMPLE"), Just("PERIOD"), Just("MIN"),
+                Just("("), Just(")"), Just(","), Just("."), Just("|"),
+                Just("+"), Just("-"), Just("*"), Just("/"), Just("<"), Just(">"),
+                Just("="), Just("A"), Just("B"), Just("Sensors"), Just("temp"),
+                Just("distance"), Just("abs"), Just("1"), Just("2.5"),
+            ],
+            0..30,
+        )
+    ) {
+        let s = toks.join(" ");
+        if let Ok(q) = parse(&s) {
+            let schema = Schema::new(
+                "Sensors",
+                vec![
+                    Attribute::new("x", AttrType::Meters),
+                    Attribute::new("y", AttrType::Meters),
+                    Attribute::new("temp", AttrType::Celsius),
+                ],
+            );
+            let schemas: Vec<Schema> = q.from.iter().map(|_| schema.clone()).collect();
+            // Compiling may fail (unknown aliases, type errors) but must not
+            // panic; on success the invariants hold.
+            if let Ok(cq) = CompiledQuery::compile(&q, &schemas) {
+                for r in 0..cq.num_relations() {
+                    // Join attributes are referenced attributes.
+                    for a in cq.join_attrs(r) {
+                        prop_assert!(cq.referenced_attrs(r).contains(a));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Well-formed generated queries always parse and compile.
+    #[test]
+    fn generated_queries_accepted(
+        c in -100.0f64..100.0,
+        op in prop_oneof![Just("<"), Just(">"), Just("<="), Just(">="), Just("="), Just("!=")],
+        agg in prop_oneof![Just(""), Just("MIN"), Just("MAX"), Just("AVG"), Just("SUM"), Just("COUNT")],
+    ) {
+        let select = if agg.is_empty() {
+            "A.temp".to_owned()
+        } else {
+            format!("{agg}(A.temp)")
+        };
+        let sql = format!(
+            "SELECT {select} FROM Sensors A, Sensors B WHERE A.temp - B.temp {op} {c} ONCE"
+        );
+        let q = parse(&sql).expect("generated SQL parses");
+        let schema = Schema::new(
+            "Sensors",
+            vec![Attribute::new("temp", AttrType::Celsius)],
+        );
+        CompiledQuery::compile(&q, &[schema.clone(), schema]).expect("compiles");
+    }
+}

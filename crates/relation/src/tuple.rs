@@ -1,0 +1,226 @@
+//! Tuples and tuple sets.
+
+use crate::{NodeId, Value};
+
+/// A row of attribute values, in schema order.
+///
+/// Tuples are immutable after construction. A tuple remembers the node that
+/// produced it (`origin`): SENS-Join needs this to route the *complete* tuple
+/// of a filtered node in the final phase, and result reporting exposes it.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Box<[Value]>,
+    origin: Option<NodeId>,
+}
+
+impl Tuple {
+    /// Creates a tuple with no origin (e.g. a join *output* row).
+    pub fn new(values: Vec<Value>) -> Self {
+        Self {
+            values: values.into_boxed_slice(),
+            origin: None,
+        }
+    }
+
+    /// Creates a tuple produced by `node`.
+    pub fn with_origin(values: Vec<Value>, node: NodeId) -> Self {
+        Self {
+            values: values.into_boxed_slice(),
+            origin: Some(node),
+        }
+    }
+
+    /// The value at attribute index `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of bounds (schema mismatch is a programming
+    /// error).
+    #[inline]
+    pub fn get(&self, i: usize) -> Value {
+        self.values[i]
+    }
+
+    /// All values in schema order.
+    #[inline]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of attributes.
+    #[inline]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The node that produced this tuple, if any.
+    #[inline]
+    pub fn origin(&self) -> Option<NodeId> {
+        self.origin
+    }
+
+    /// Projects the tuple on the attribute indices `indices`, preserving the
+    /// origin. With the join attributes as `indices`, this implements
+    /// π_JoinAttr(T) — the *join-attribute tuple* T' of paper Definition 1.
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple {
+            values: indices.iter().map(|&i| self.values[i]).collect(),
+            origin: self.origin,
+        }
+    }
+
+    /// Concatenates two tuples (used to form join output rows).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(&self.values);
+        v.extend_from_slice(&other.values);
+        Tuple::new(v)
+    }
+}
+
+impl std::fmt::Display for Tuple {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// A multiset of tuples, kept in a canonical (sorted) order so that result
+/// comparison between join methods is well-defined.
+///
+/// Join results are multisets: two pairs of nodes can legitimately produce
+/// identical output rows, and an energy-optimizing join method must not
+/// silently deduplicate them.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TupleSet {
+    tuples: Vec<Tuple>,
+}
+
+impl TupleSet {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builds from a vector (takes ownership, normalizes order).
+    pub fn from_vec(mut tuples: Vec<Tuple>) -> Self {
+        tuples.sort_by(cmp_tuples);
+        Self { tuples }
+    }
+
+    /// Inserts a tuple, keeping canonical order lazily (sorted on read).
+    pub fn push(&mut self, t: Tuple) {
+        self.tuples.push(t);
+    }
+
+    /// Number of tuples (with multiplicity).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// The tuples in canonical order.
+    pub fn canonical(mut self) -> Vec<Tuple> {
+        self.tuples.sort_by(cmp_tuples);
+        self.tuples
+    }
+
+    /// Iterates in insertion order (use [`TupleSet::canonical`] to compare).
+    pub fn iter(&self) -> impl Iterator<Item = &Tuple> {
+        self.tuples.iter()
+    }
+
+    /// Multiset equality, independent of insertion order and origins.
+    pub fn same_rows(&self, other: &TupleSet) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let mut a: Vec<&Tuple> = self.tuples.iter().collect();
+        let mut b: Vec<&Tuple> = other.tuples.iter().collect();
+        a.sort_by(|x, y| cmp_tuples(x, y));
+        b.sort_by(|x, y| cmp_tuples(x, y));
+        a.iter().zip(&b).all(|(x, y)| x.values() == y.values())
+    }
+}
+
+impl FromIterator<Tuple> for TupleSet {
+    fn from_iter<I: IntoIterator<Item = Tuple>>(iter: I) -> Self {
+        Self::from_vec(iter.into_iter().collect())
+    }
+}
+
+fn cmp_tuples(a: &Tuple, b: &Tuple) -> std::cmp::Ordering {
+    let la = a.values().len();
+    let lb = b.values().len();
+    la.cmp(&lb).then_with(|| {
+        for (x, y) in a.values().iter().zip(b.values()) {
+            let c = x.total_cmp(y);
+            if c != std::cmp::Ordering::Equal {
+                return c;
+            }
+        }
+        std::cmp::Ordering::Equal
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(vals: &[f64]) -> Tuple {
+        Tuple::new(vals.iter().map(|&v| Value::new(v)).collect())
+    }
+
+    #[test]
+    fn projection_is_join_attribute_tuple() {
+        let full = Tuple::with_origin(
+            vec![Value::new(1.0), Value::new(2.0), Value::new(3.0)],
+            NodeId(5),
+        );
+        let ja = full.project(&[0, 2]);
+        assert_eq!(ja.values(), &[Value::new(1.0), Value::new(3.0)]);
+        assert_eq!(ja.origin(), Some(NodeId(5)));
+    }
+
+    #[test]
+    fn concat_joins_rows() {
+        let row = t(&[1.0]).concat(&t(&[2.0, 3.0]));
+        assert_eq!(row.arity(), 3);
+        assert_eq!(row.get(2).as_f64(), 3.0);
+    }
+
+    #[test]
+    fn multiset_equality_ignores_order() {
+        let a = TupleSet::from_vec(vec![t(&[1.0]), t(&[2.0]), t(&[1.0])]);
+        let b = TupleSet::from_vec(vec![t(&[2.0]), t(&[1.0]), t(&[1.0])]);
+        assert!(a.same_rows(&b));
+    }
+
+    #[test]
+    fn multiset_respects_multiplicity() {
+        let a = TupleSet::from_vec(vec![t(&[1.0]), t(&[1.0])]);
+        let b = TupleSet::from_vec(vec![t(&[1.0])]);
+        assert!(!a.same_rows(&b));
+    }
+
+    #[test]
+    fn multiset_differs_on_values() {
+        let a = TupleSet::from_vec(vec![t(&[1.0])]);
+        let b = TupleSet::from_vec(vec![t(&[1.5])]);
+        assert!(!a.same_rows(&b));
+    }
+
+    #[test]
+    fn display_tuple() {
+        assert_eq!(t(&[1.0, 2.5]).to_string(), "(1, 2.5)");
+    }
+}

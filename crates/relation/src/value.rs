@@ -1,0 +1,116 @@
+//! Attribute values.
+
+/// A single attribute value.
+///
+/// Sensor measurements are real-valued. The wire representation is decided by
+/// the [`Schema`](crate::Schema) (a fixed number of bytes per attribute, two
+/// by default, matching the paper's cost accounting in §IV-B); `Value` itself
+/// is the *logical* value used by predicate evaluation and the join engine.
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct Value(f64);
+
+impl Value {
+    /// The logical value as `f64`.
+    #[inline]
+    pub fn as_f64(self) -> f64 {
+        self.0
+    }
+
+    /// Builds a value, normalizing `-0.0` to `0.0` so that equality and
+    /// ordering behave like set semantics on measurements.
+    #[inline]
+    pub fn new(v: f64) -> Self {
+        debug_assert!(v.is_finite(), "sensor values must be finite, got {v}");
+        Value(if v == 0.0 { 0.0 } else { v })
+    }
+
+    /// Total ordering (values are always finite, so this never panics).
+    #[inline]
+    pub fn total_cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::new(v)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Self {
+        Value::new(v as f64)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::new(v as f64)
+    }
+}
+
+impl From<u32> for Value {
+    fn from(v: u32) -> Self {
+        Value::new(v as f64)
+    }
+}
+
+impl Eq for Value {}
+
+#[allow(clippy::derive_ord_xor_partial_ord)]
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.total_cmp(other)
+    }
+}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Finite + normalized -0.0 makes bit-hashing consistent with Eq.
+        self.0.to_bits().hash(state);
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+
+    fn hash_of(v: Value) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
+    #[test]
+    fn negative_zero_normalized() {
+        assert_eq!(Value::new(-0.0), Value::new(0.0));
+        assert_eq!(hash_of(Value::new(-0.0)), hash_of(Value::new(0.0)));
+    }
+
+    #[test]
+    fn ordering_is_numeric() {
+        let mut vs = vec![Value::new(3.5), Value::new(-1.0), Value::new(0.0)];
+        vs.sort();
+        assert_eq!(vs, vec![Value::new(-1.0), Value::new(0.0), Value::new(3.5)]);
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from(2i32).as_f64(), 2.0);
+        assert_eq!(Value::from(2u32).as_f64(), 2.0);
+        assert_eq!(Value::from(2.5f32).as_f64(), 2.5);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Value::new(1.25).to_string(), "1.25");
+    }
+}

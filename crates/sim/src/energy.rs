@@ -1,0 +1,100 @@
+//! Radio energy accounting.
+
+/// Per-packet energy model: a fixed per-packet cost plus a per-byte cost,
+/// for transmission and reception separately (microjoules).
+///
+/// The fixed share models channel acquisition, preamble/synchronization and
+/// MAC overheads, which on real motes dominate the marginal byte cost — the
+/// paper's footnote 1 calibration point: "removing about 10 bytes from a
+/// packet incurs a saving in the order of 5 % for SunSPOTs or MicaZ".
+/// With `E(b) = fixed + per_byte·b`, a 10-byte reduction on a ~35-byte
+/// packet saves 5 % when `fixed ≈ 165·per_byte`; the presets respect that
+/// ratio. Comparisons between join methods depend on this *ratio*, not on
+/// absolute joule values.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Fixed cost per transmitted packet (µJ).
+    pub tx_fixed: f64,
+    /// Cost per transmitted byte (µJ).
+    pub tx_per_byte: f64,
+    /// Fixed cost per received packet (µJ).
+    pub rx_fixed: f64,
+    /// Cost per received byte (µJ).
+    pub rx_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// MicaZ / CC2420 at 250 kbit/s: ≈1.7 µJ per transmitted byte
+    /// (17.4 mA · 3 V · 32 µs), fixed costs per the footnote-1 ratio.
+    pub fn micaz() -> Self {
+        Self {
+            tx_fixed: 280.0,
+            tx_per_byte: 1.7,
+            rx_fixed: 250.0,
+            rx_per_byte: 1.9,
+        }
+    }
+
+    /// SunSPOT (CC2420 radio as well, higher MCU overhead during
+    /// transmission bursts).
+    pub fn sunspot() -> Self {
+        Self {
+            tx_fixed: 330.0,
+            tx_per_byte: 2.0,
+            rx_fixed: 300.0,
+            rx_per_byte: 2.2,
+        }
+    }
+
+    /// A byte-proportional model with no per-packet cost; used by ablations
+    /// to show how conclusions change if packet overhead is ignored.
+    pub fn byte_proportional(per_byte: f64) -> Self {
+        Self {
+            tx_fixed: 0.0,
+            tx_per_byte: per_byte,
+            rx_fixed: 0.0,
+            rx_per_byte: per_byte,
+        }
+    }
+
+    /// Energy to transmit one packet carrying `bytes` payload+header (µJ).
+    #[inline]
+    pub fn tx(&self, bytes: usize) -> f64 {
+        self.tx_fixed + self.tx_per_byte * bytes as f64
+    }
+
+    /// Energy to receive one packet carrying `bytes` (µJ).
+    #[inline]
+    pub fn rx(&self, bytes: usize) -> f64 {
+        self.rx_fixed + self.rx_per_byte * bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn footnote1_ratio_holds() {
+        // Removing 10 bytes from a ~35-byte packet saves about 5 %.
+        let m = EnergyModel::micaz();
+        let with = m.tx(35 + 12);
+        let without = m.tx(25 + 12);
+        let saving = 1.0 - without / with;
+        assert!((0.03..=0.07).contains(&saving), "saving {saving}");
+    }
+
+    #[test]
+    fn monotone_in_bytes() {
+        let m = EnergyModel::sunspot();
+        assert!(m.tx(48) > m.tx(10));
+        assert!(m.rx(48) > m.rx(10));
+    }
+
+    #[test]
+    fn byte_proportional_has_no_fixed_cost() {
+        let m = EnergyModel::byte_proportional(2.0);
+        assert_eq!(m.tx(0), 0.0);
+        assert_eq!(m.tx(10), 20.0);
+    }
+}

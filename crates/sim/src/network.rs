@@ -1,0 +1,430 @@
+//! The network facade protocols run against.
+
+use crate::{EnergyModel, NetworkStats, RadioConfig, RoutingTree, Time, Topology, Trace};
+use sensjoin_field::{Area, Position};
+use sensjoin_relation::NodeId;
+
+/// Errors constructing a [`Network`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum NetworkError {
+    /// No nodes were given.
+    Empty,
+    /// The chosen base station id is out of range.
+    BadBase,
+}
+
+impl std::fmt::Display for NetworkError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            NetworkError::Empty => write!(f, "network needs at least one node"),
+            NetworkError::BadBase => write!(f, "base station id out of range"),
+        }
+    }
+}
+
+impl std::error::Error for NetworkError {}
+
+/// How the base station node is chosen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BaseChoice {
+    /// The node closest to the area center (default: minimizes and
+    /// symmetrizes tree depth, as in typical deployments with a powered
+    /// access point placed centrally).
+    NearestCenter,
+    /// The node closest to the origin corner (worst-case tree depth).
+    NearestCorner,
+    /// An explicit node.
+    Node(NodeId),
+}
+
+/// Builder for [`Network`].
+#[derive(Debug, Clone)]
+pub struct NetworkBuilder {
+    radio: RadioConfig,
+    energy: EnergyModel,
+    base: BaseChoice,
+}
+
+impl Default for NetworkBuilder {
+    fn default() -> Self {
+        Self {
+            radio: RadioConfig::paper_default(),
+            energy: EnergyModel::micaz(),
+            base: BaseChoice::NearestCenter,
+        }
+    }
+}
+
+impl NetworkBuilder {
+    /// Creates a builder with the paper-default radio and MicaZ energy.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the radio configuration.
+    pub fn radio(mut self, radio: RadioConfig) -> Self {
+        self.radio = radio;
+        self
+    }
+
+    /// Sets the energy model.
+    pub fn energy(mut self, energy: EnergyModel) -> Self {
+        self.energy = energy;
+        self
+    }
+
+    /// Sets the base-station choice.
+    pub fn base(mut self, base: BaseChoice) -> Self {
+        self.base = base;
+        self
+    }
+
+    /// Builds the network: topology, routing tree, zeroed statistics.
+    ///
+    /// Positional base choices (`NearestCenter` / `NearestCorner`) consider
+    /// only nodes in the largest connected component — a powered access
+    /// point would never be deployed on an isolated straggler node.
+    pub fn build(self, positions: Vec<Position>, area: Area) -> Result<Network, NetworkError> {
+        if positions.is_empty() {
+            return Err(NetworkError::Empty);
+        }
+        let n = positions.len();
+        let topology = Topology::new(positions, area, self.radio.range);
+        // Largest connected component (candidates for positional bases).
+        let mut seen = vec![false; n];
+        let mut best_component: Vec<NodeId> = Vec::new();
+        for start in topology.nodes() {
+            if seen[start.0 as usize] {
+                continue;
+            }
+            let reach = topology.reachable_from(start);
+            let members: Vec<NodeId> = topology.nodes().filter(|&v| reach[v.0 as usize]).collect();
+            for &v in &members {
+                seen[v.0 as usize] = true;
+            }
+            if members.len() > best_component.len() {
+                best_component = members;
+            }
+        }
+        let nearest = |target: Position| -> NodeId {
+            best_component
+                .iter()
+                .copied()
+                .min_by(|&a, &b| {
+                    topology
+                        .position(a)
+                        .distance(&target)
+                        .total_cmp(&topology.position(b).distance(&target))
+                })
+                .expect("component is non-empty")
+        };
+        let base = match self.base {
+            BaseChoice::NearestCenter => nearest(area.center()),
+            BaseChoice::NearestCorner => nearest(Position::new(0.0, 0.0)),
+            BaseChoice::Node(id) => {
+                if (id.0 as usize) >= n {
+                    return Err(NetworkError::BadBase);
+                }
+                id
+            }
+        };
+        let routing = RoutingTree::build(&topology, base);
+        Ok(Network {
+            topology,
+            routing,
+            radio: self.radio,
+            energy: self.energy,
+            stats: NetworkStats::new(n),
+            base,
+            trace: None,
+        })
+    }
+}
+
+/// A simulated sensor network: topology + routing tree + charge-point for
+/// every transmission.
+///
+/// All payload movement must go through [`Network::unicast`] /
+/// [`Network::broadcast`], which fragment the payload into packets of at
+/// most [`RadioConfig::max_payload`] bytes and charge transmission/reception
+/// statistics and energy. The return value is the hop's transfer latency,
+/// which protocol state machines feed into the [`crate::Scheduler`].
+#[derive(Debug, Clone)]
+pub struct Network {
+    topology: Topology,
+    routing: RoutingTree,
+    radio: RadioConfig,
+    energy: EnergyModel,
+    stats: NetworkStats,
+    base: NodeId,
+    trace: Option<Trace>,
+}
+
+impl Network {
+    /// Enables or disables transmission tracing (disabled by default; the
+    /// trace is cleared on [`Network::reset_stats`]).
+    pub fn set_tracing(&mut self, on: bool) {
+        self.trace = if on { Some(Trace::new()) } else { None };
+    }
+
+    /// The transmission trace, if tracing is enabled.
+    pub fn trace(&self) -> Option<&Trace> {
+        self.trace.as_ref()
+    }
+
+    /// The base station node.
+    pub fn base(&self) -> NodeId {
+        self.base
+    }
+
+    /// The topology.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// The current routing tree.
+    pub fn routing(&self) -> &RoutingTree {
+        &self.routing
+    }
+
+    /// The radio configuration.
+    pub fn radio(&self) -> &RadioConfig {
+        &self.radio
+    }
+
+    /// The energy model.
+    pub fn energy_model(&self) -> &EnergyModel {
+        &self.energy
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &NetworkStats {
+        &self.stats
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.topology.len()
+    }
+
+    /// Whether the network is empty (never true after construction).
+    pub fn is_empty(&self) -> bool {
+        self.topology.is_empty()
+    }
+
+    /// Resets statistics and the trace (e.g. between repetitions).
+    pub fn reset_stats(&mut self) {
+        self.stats = NetworkStats::new(self.topology.len());
+        if let Some(t) = &mut self.trace {
+            *t = Trace::new();
+        }
+    }
+
+    /// Rebuilds the routing tree treating links with `link_down(u, v)` as
+    /// unusable — the converged state of CTP after route repair (§IV-F).
+    pub fn rebuild_routing(&mut self, link_down: &dyn Fn(NodeId, NodeId) -> bool) {
+        self.routing = RoutingTree::build_excluding(&self.topology, self.base, link_down);
+    }
+
+    /// Sends `bytes` of application payload from `from` to neighbor `to`.
+    /// Fragments into packets, charges both ends, and returns the transfer
+    /// latency. Zero bytes cost nothing.
+    ///
+    /// # Panics
+    /// Panics if `to` is not a neighbor of `from` (protocols only ever talk
+    /// to tree neighbors).
+    pub fn unicast(&mut self, from: NodeId, to: NodeId, bytes: usize, phase: &str) -> Time {
+        if bytes == 0 {
+            return 0;
+        }
+        assert!(
+            self.topology.neighbors(from).contains(&to),
+            "{from} -> {to} are not neighbors"
+        );
+        self.charge(from, Some(&[to]), bytes, phase);
+        self.radio.transfer_us(bytes)
+    }
+
+    /// Local broadcast: one transmission per fragment at `from`, reception
+    /// charged at every node of `receivers` (used for filter dissemination:
+    /// "broadcast(SubtreeFilter)", Fig. 3).
+    ///
+    /// # Panics
+    /// Panics if any receiver is not a neighbor.
+    pub fn broadcast(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        bytes: usize,
+        phase: &str,
+    ) -> Time {
+        if bytes == 0 || receivers.is_empty() {
+            return 0;
+        }
+        for r in receivers {
+            assert!(
+                self.topology.neighbors(from).contains(r),
+                "{from} -> {r} are not neighbors"
+            );
+        }
+        self.charge(from, Some(receivers), bytes, phase);
+        self.radio.transfer_us(bytes)
+    }
+
+    fn charge(&mut self, from: NodeId, to: Option<&[NodeId]>, bytes: usize, phase: &str) {
+        if let Some(trace) = &mut self.trace {
+            trace.push(
+                phase,
+                from,
+                to.map(|r| r.to_vec()).unwrap_or_default(),
+                bytes,
+                self.radio.packets_for(bytes),
+            );
+        }
+        let full = bytes / self.radio.max_payload;
+        let tail = bytes % self.radio.max_payload;
+        let sizes =
+            std::iter::repeat_n(self.radio.max_payload, full).chain((tail > 0).then_some(tail));
+        for size in sizes {
+            let on_air = size + self.radio.header_bytes;
+            self.stats
+                .record_tx(from, size, self.energy.tx(on_air), phase);
+            if let Some(receivers) = to {
+                for &r in receivers {
+                    self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensjoin_field::Placement;
+
+    fn small_net() -> Network {
+        let area = Area::new(200.0, 200.0);
+        let positions = Placement::UniformRandom { n: 60 }.generate(area, 2);
+        NetworkBuilder::new().build(positions, area).unwrap()
+    }
+
+    #[test]
+    fn unicast_fragments_and_charges() {
+        let mut net = small_net();
+        let base = net.base();
+        let child = net.routing().children(base)[0];
+        let t = net.unicast(child, base, 100, "p");
+        assert!(t > 0);
+        // 100 bytes over 48-byte payloads = 3 packets.
+        assert_eq!(net.stats().node(child).tx_packets, 3);
+        assert_eq!(net.stats().node(child).tx_bytes, 100);
+        assert_eq!(net.stats().node(base).rx_packets, 3);
+        assert!(net.stats().node(child).energy_uj > 0.0);
+    }
+
+    #[test]
+    fn zero_bytes_free() {
+        let mut net = small_net();
+        let base = net.base();
+        let child = net.routing().children(base)[0];
+        assert_eq!(net.unicast(child, base, 0, "p"), 0);
+        assert_eq!(net.stats().total_tx_packets(), 0);
+    }
+
+    #[test]
+    fn broadcast_single_tx_multi_rx() {
+        let mut net = small_net();
+        let base = net.base();
+        let children: Vec<NodeId> = net.routing().children(base).to_vec();
+        assert!(children.len() >= 2, "test topology needs >= 2 children");
+        net.broadcast(base, &children, 30, "filter");
+        assert_eq!(net.stats().node(base).tx_packets, 1);
+        for c in &children {
+            assert_eq!(net.stats().node(*c).rx_packets, 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not neighbors")]
+    fn unicast_to_non_neighbor_panics() {
+        // Two nodes far apart.
+        let area = Area::new(500.0, 10.0);
+        let positions = vec![Position::new(0.0, 5.0), Position::new(400.0, 5.0)];
+        let mut net = NetworkBuilder::new()
+            .base(BaseChoice::Node(NodeId(0)))
+            .build(positions, area)
+            .unwrap();
+        net.unicast(NodeId(1), NodeId(0), 10, "p");
+    }
+
+    #[test]
+    fn base_choices() {
+        // A connected 3-node chain (positional base choices only consider
+        // the largest connected component).
+        let area = Area::new(100.0, 100.0);
+        let positions = vec![
+            Position::new(10.0, 10.0),
+            Position::new(45.0, 45.0),
+            Position::new(80.0, 80.0),
+        ];
+        let center = NetworkBuilder::new()
+            .build(positions.clone(), area)
+            .unwrap();
+        assert_eq!(center.base(), NodeId(1));
+        let corner = NetworkBuilder::new()
+            .base(BaseChoice::NearestCorner)
+            .build(positions.clone(), area)
+            .unwrap();
+        assert_eq!(corner.base(), NodeId(0));
+        let explicit = NetworkBuilder::new()
+            .base(BaseChoice::Node(NodeId(2)))
+            .build(positions.clone(), area)
+            .unwrap();
+        assert_eq!(explicit.base(), NodeId(2));
+        assert_eq!(
+            NetworkBuilder::new()
+                .base(BaseChoice::Node(NodeId(9)))
+                .build(positions, area)
+                .unwrap_err(),
+            NetworkError::BadBase
+        );
+        assert_eq!(
+            NetworkBuilder::new().build(vec![], area).unwrap_err(),
+            NetworkError::Empty
+        );
+    }
+
+    #[test]
+    fn positional_base_avoids_isolated_stragglers() {
+        // A big cluster plus one isolated node sitting exactly in the
+        // corner: the corner base choice must land in the cluster, not on
+        // the straggler.
+        let area = Area::new(500.0, 500.0);
+        let mut positions =
+            Placement::UniformRandom { n: 120 }.generate(Area::new(200.0, 200.0), 3);
+        for p in &mut positions {
+            p.x += 250.0;
+            p.y += 250.0;
+        }
+        positions.push(Position::new(1.0, 1.0)); // the isolated straggler
+        let straggler = NodeId(positions.len() as u32 - 1);
+        let net = NetworkBuilder::new()
+            .base(BaseChoice::NearestCorner)
+            .build(positions, area)
+            .unwrap();
+        assert_ne!(net.base(), straggler);
+        assert!(net.routing().descendants(net.base()) > 100);
+    }
+
+    #[test]
+    fn rebuild_after_failure_changes_tree() {
+        let mut net = small_net();
+        let base = net.base();
+        let victim = net.routing().children(base)[0];
+        let before = net.routing().parent(victim);
+        assert_eq!(before, Some(base));
+        net.rebuild_routing(&move |a, b| (a == victim && b == base) || (a == base && b == victim));
+        assert_ne!(net.routing().parent(victim), Some(base));
+    }
+}

@@ -1,0 +1,104 @@
+//! Radio / MAC layer parameters.
+
+/// PHY/MAC configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioConfig {
+    /// Communication range in meters (links are bidirectional; the paper
+    /// uses 50 m, "a common setting in the networking community", §VI).
+    pub range: f64,
+    /// Maximum application payload per packet in bytes (the paper's default
+    /// metric setting is 48; §VI-A also discusses 124).
+    pub max_payload: usize,
+    /// Link-layer header bytes per packet — charged for energy and airtime
+    /// but not against the payload budget.
+    pub header_bytes: usize,
+    /// Radio bit rate in bits per second (for latency accounting).
+    pub bitrate: f64,
+    /// Per-hop processing/queueing delay in microseconds.
+    pub hop_delay_us: u64,
+}
+
+impl RadioConfig {
+    /// The paper's experiment setting: 50 m range, 48-byte packets. Header
+    /// and timing follow IEEE 802.15.4 at 250 kbit/s.
+    pub fn paper_default() -> Self {
+        Self {
+            range: 50.0,
+            max_payload: 48,
+            header_bytes: 11,
+            bitrate: 250_000.0,
+            hop_delay_us: 2_000,
+        }
+    }
+
+    /// The large-packet variant of §VI-A ("for a maximum packet size of
+    /// 124 bytes ...").
+    pub fn large_packets() -> Self {
+        Self {
+            max_payload: 124,
+            ..Self::paper_default()
+        }
+    }
+
+    /// Number of packets needed for `bytes` of application payload
+    /// (0 bytes → 0 packets).
+    #[inline]
+    pub fn packets_for(&self, bytes: usize) -> usize {
+        bytes.div_ceil(self.max_payload)
+    }
+
+    /// Airtime of one packet carrying `payload` bytes, in microseconds.
+    #[inline]
+    pub fn airtime_us(&self, payload: usize) -> u64 {
+        let bits = 8.0 * (payload + self.header_bytes) as f64;
+        (bits / self.bitrate * 1e6) as u64
+    }
+
+    /// Total time to transfer `bytes` across one hop: airtime of every
+    /// fragment plus the per-hop delay.
+    pub fn transfer_us(&self, bytes: usize) -> u64 {
+        let n = self.packets_for(bytes);
+        let full = bytes / self.max_payload;
+        let tail = bytes % self.max_payload;
+        let mut t = full as u64 * self.airtime_us(self.max_payload);
+        if tail > 0 {
+            t += self.airtime_us(tail);
+        }
+        if n > 0 {
+            t += self.hop_delay_us;
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fragmentation_counts() {
+        let r = RadioConfig::paper_default();
+        assert_eq!(r.packets_for(0), 0);
+        assert_eq!(r.packets_for(1), 1);
+        assert_eq!(r.packets_for(48), 1);
+        assert_eq!(r.packets_for(49), 2);
+        assert_eq!(r.packets_for(96), 2);
+        assert_eq!(r.packets_for(97), 3);
+    }
+
+    #[test]
+    fn large_packet_variant() {
+        let r = RadioConfig::large_packets();
+        assert_eq!(r.max_payload, 124);
+        assert_eq!(r.packets_for(124), 1);
+    }
+
+    #[test]
+    fn airtime_scales_with_bytes() {
+        let r = RadioConfig::paper_default();
+        // 48+11 bytes at 250 kbit/s = 59*32 us = 1888 us.
+        assert_eq!(r.airtime_us(48), 1888);
+        assert!(r.transfer_us(96) > r.transfer_us(48));
+        assert_eq!(r.transfer_us(0), 0);
+    }
+}

@@ -1,0 +1,318 @@
+//! CTP-style collection tree.
+
+use crate::Topology;
+use sensjoin_relation::NodeId;
+
+/// A collection (routing) tree rooted at the base station.
+///
+/// "Based on a periodic beaconing mechanism, each node maintains a parent
+/// that minimizes the hop count to the base station" (§III, citing the
+/// TinyOS collection-tree protocol). We emulate the converged state of that
+/// protocol: a breadth-first tree where ties between candidate parents are
+/// broken by link quality — proxied, as is standard for distance-dependent
+/// packet-reception rates, by the shorter link — then by node id, making
+/// tree construction deterministic.
+///
+/// Nodes that cannot reach the base station (disconnected placements, or
+/// partitions after failures) have no parent and are reported by
+/// [`RoutingTree::unreachable`].
+///
+/// # Example
+///
+/// ```
+/// use sensjoin_sim::{RoutingTree, Topology, NodeId};
+/// use sensjoin_field::{Area, Position};
+///
+/// // A 3-hop line: 0 - 1 - 2 - 3.
+/// let positions = (0..4).map(|i| Position::new(40.0 * i as f64 + 1.0, 1.0)).collect();
+/// let topo = Topology::new(positions, Area::new(200.0, 2.0), 50.0);
+/// let tree = RoutingTree::build(&topo, NodeId(0));
+/// assert_eq!(tree.depth(NodeId(3)), Some(3));
+/// assert_eq!(tree.parent(NodeId(3)), Some(NodeId(2)));
+/// assert_eq!(tree.descendants(NodeId(0)), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RoutingTree {
+    base: NodeId,
+    parent: Vec<Option<NodeId>>,
+    children: Vec<Vec<NodeId>>,
+    depth: Vec<u32>,
+    descendants: Vec<u32>,
+    max_depth: u32,
+}
+
+impl RoutingTree {
+    /// Builds the tree over `topology` rooted at `base`.
+    pub fn build(topology: &Topology, base: NodeId) -> Self {
+        Self::build_excluding(topology, base, &|_, _| false)
+    }
+
+    /// Builds the tree while treating links for which `link_down(u, v)`
+    /// returns `true` as unusable (used after failure injection; the
+    /// predicate must be symmetric).
+    pub fn build_excluding(
+        topology: &Topology,
+        base: NodeId,
+        link_down: &dyn Fn(NodeId, NodeId) -> bool,
+    ) -> Self {
+        let n = topology.len();
+        let mut depth = vec![u32::MAX; n];
+        let mut parent: Vec<Option<NodeId>> = vec![None; n];
+        let mut frontier = vec![base];
+        depth[base.0 as usize] = 0;
+        // Level-synchronous BFS so that parent selection at depth d+1 can
+        // deterministically pick the best depth-d candidate.
+        while !frontier.is_empty() {
+            let mut next: Vec<NodeId> = Vec::new();
+            for &u in &frontier {
+                for &v in topology.neighbors(u) {
+                    if link_down(u, v) {
+                        continue;
+                    }
+                    let vd = depth[v.0 as usize];
+                    let cand = depth[u.0 as usize] + 1;
+                    if vd > cand {
+                        if vd == u32::MAX {
+                            next.push(v);
+                        }
+                        depth[v.0 as usize] = cand;
+                        parent[v.0 as usize] = Some(u);
+                    } else if vd == cand {
+                        // Tie-break: shorter link, then smaller id.
+                        let cur = parent[v.0 as usize].expect("tie implies a parent");
+                        let pv = topology.position(v);
+                        let d_cur = topology.position(cur).distance(&pv);
+                        let d_new = topology.position(u).distance(&pv);
+                        if d_new < d_cur - 1e-12 || (d_new <= d_cur + 1e-12 && u < cur) {
+                            parent[v.0 as usize] = Some(u);
+                        }
+                    }
+                }
+            }
+            next.sort_unstable();
+            next.dedup();
+            frontier = next;
+        }
+        let mut children = vec![Vec::new(); n];
+        for v in topology.nodes() {
+            if let Some(p) = parent[v.0 as usize] {
+                children[p.0 as usize].push(v);
+            }
+        }
+        for c in &mut children {
+            c.sort_unstable();
+        }
+        // Descendant counts bottom-up (order nodes by decreasing depth).
+        let mut order: Vec<NodeId> = topology
+            .nodes()
+            .filter(|v| depth[v.0 as usize] != u32::MAX)
+            .collect();
+        order.sort_unstable_by_key(|v| std::cmp::Reverse(depth[v.0 as usize]));
+        let mut descendants = vec![0u32; n];
+        for &v in &order {
+            if let Some(p) = parent[v.0 as usize] {
+                descendants[p.0 as usize] += descendants[v.0 as usize] + 1;
+            }
+        }
+        let max_depth = depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0);
+        Self {
+            base,
+            parent,
+            children,
+            depth,
+            descendants,
+            max_depth,
+        }
+    }
+
+    /// The root of the tree.
+    pub fn base(&self) -> NodeId {
+        self.base
+    }
+
+    /// Parent of `node` (`None` for the base station and unreachable nodes).
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.parent[node.0 as usize]
+    }
+
+    /// Children of `node`, sorted by id.
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.children[node.0 as usize]
+    }
+
+    /// Hop count from `node` to the base (`None` if unreachable).
+    pub fn depth(&self, node: NodeId) -> Option<u32> {
+        let d = self.depth[node.0 as usize];
+        (d != u32::MAX).then_some(d)
+    }
+
+    /// Number of descendants of `node` in the tree.
+    pub fn descendants(&self, node: NodeId) -> u32 {
+        self.descendants[node.0 as usize]
+    }
+
+    /// Maximum tree depth.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// Nodes with no route to the base station.
+    pub fn unreachable(&self) -> Vec<NodeId> {
+        (0..self.parent.len() as u32)
+            .map(NodeId)
+            .filter(|&v| v != self.base && self.parent[v.0 as usize].is_none())
+            .collect()
+    }
+
+    /// All reachable nodes in deepest-first order — the processing order of
+    /// collection phases (leaves report before their parents).
+    pub fn bottom_up_order(&self) -> Vec<NodeId> {
+        let mut order: Vec<NodeId> = (0..self.parent.len() as u32)
+            .map(NodeId)
+            .filter(|&v| self.depth(v).is_some())
+            .collect();
+        order.sort_unstable_by_key(|&v| (std::cmp::Reverse(self.depth[v.0 as usize]), v));
+        order
+    }
+
+    /// All reachable nodes in shallowest-first order — the processing order
+    /// of dissemination phases.
+    pub fn top_down_order(&self) -> Vec<NodeId> {
+        let mut order = self.bottom_up_order();
+        order.reverse();
+        order
+    }
+
+    /// The path from `node` up to the base station (inclusive), or `None`
+    /// if unreachable.
+    pub fn path_to_base(&self, node: NodeId) -> Option<Vec<NodeId>> {
+        self.depth(node)?;
+        let mut path = vec![node];
+        let mut cur = node;
+        while let Some(p) = self.parent(cur) {
+            path.push(p);
+            cur = p;
+        }
+        Some(path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sensjoin_field::{Area, Placement, Position};
+
+    fn random_topology(n: usize, side: f64, seed: u64) -> Topology {
+        let area = Area::new(side, side);
+        let pos = Placement::UniformRandom { n }.generate(area, seed);
+        Topology::new(pos, area, 50.0)
+    }
+
+    #[test]
+    fn line_tree_depths() {
+        let positions: Vec<Position> = (0..5)
+            .map(|i| Position::new(i as f64 * 40.0 + 1.0, 1.0))
+            .collect();
+        let t = Topology::new(positions, Area::new(200.0, 2.0), 50.0);
+        let tree = RoutingTree::build(&t, NodeId(0));
+        for i in 0..5u32 {
+            assert_eq!(tree.depth(NodeId(i)), Some(i));
+        }
+        assert_eq!(tree.descendants(NodeId(0)), 4);
+        assert_eq!(tree.descendants(NodeId(4)), 0);
+        assert_eq!(tree.path_to_base(NodeId(4)).unwrap().len(), 5);
+    }
+
+    #[test]
+    fn depths_are_shortest_paths() {
+        let t = random_topology(400, 500.0, 3);
+        let tree = RoutingTree::build(&t, NodeId(0));
+        // Verify BFS optimality: every node's depth is <= neighbor depth + 1.
+        for u in t.nodes() {
+            if let Some(du) = tree.depth(u) {
+                for &v in t.neighbors(u) {
+                    if let Some(dv) = tree.depth(v) {
+                        assert!(du <= dv + 1, "{u}:{du} vs {v}:{dv}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parent_child_consistency() {
+        let t = random_topology(300, 450.0, 8);
+        let tree = RoutingTree::build(&t, NodeId(0));
+        for u in t.nodes() {
+            for &c in tree.children(u) {
+                assert_eq!(tree.parent(c), Some(u));
+                assert_eq!(tree.depth(c), tree.depth(u).map(|d| d + 1));
+            }
+        }
+        // Descendant counts sum to reachable nodes - 1.
+        let reachable = t.nodes().filter(|&v| tree.depth(v).is_some()).count();
+        assert_eq!(tree.descendants(NodeId(0)) as usize, reachable - 1);
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let t = random_topology(300, 450.0, 8);
+        let a = RoutingTree::build(&t, NodeId(0));
+        let b = RoutingTree::build(&t, NodeId(0));
+        for v in t.nodes() {
+            assert_eq!(a.parent(v), b.parent(v));
+        }
+    }
+
+    #[test]
+    fn excluded_links_reroute() {
+        // Line 0-1-2 plus a detour 0-3-2 with longer links.
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(30.0, 0.0),
+            Position::new(60.0, 0.0),
+            Position::new(30.0, 35.0),
+        ];
+        let t = Topology::new(positions, Area::new(100.0, 50.0), 50.0);
+        let normal = RoutingTree::build(&t, NodeId(0));
+        assert_eq!(normal.parent(NodeId(2)), Some(NodeId(1)));
+        let broken = RoutingTree::build_excluding(&t, NodeId(0), &|a, b| {
+            (a, b) == (NodeId(1), NodeId(2)) || (a, b) == (NodeId(2), NodeId(1))
+        });
+        assert_eq!(broken.parent(NodeId(2)), Some(NodeId(3)));
+        assert_eq!(broken.depth(NodeId(2)), Some(2));
+    }
+
+    #[test]
+    fn orders_are_consistent() {
+        let t = random_topology(200, 400.0, 1);
+        let tree = RoutingTree::build(&t, NodeId(0));
+        let up = tree.bottom_up_order();
+        // Every child appears before its parent.
+        let pos: std::collections::HashMap<NodeId, usize> =
+            up.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for v in t.nodes() {
+            if let Some(p) = tree.parent(v) {
+                assert!(pos[&v] < pos[&p]);
+            }
+        }
+        assert_eq!(tree.top_down_order().first(), Some(&NodeId(0)));
+    }
+
+    #[test]
+    fn unreachable_reported() {
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(10.0, 0.0),
+            Position::new(900.0, 0.0),
+        ];
+        let t = Topology::new(positions, Area::new(1000.0, 1.0), 50.0);
+        let tree = RoutingTree::build(&t, NodeId(0));
+        assert_eq!(tree.unreachable(), vec![NodeId(2)]);
+    }
+}

@@ -1,0 +1,155 @@
+//! A minimal discrete-event scheduler.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Simulated time in microseconds.
+pub type Time = u64;
+
+/// A discrete-event queue: events of type `E` ordered by time, FIFO within
+/// equal timestamps (insertion order is preserved via a sequence number, so
+/// protocol state machines behave deterministically).
+///
+/// # Example
+///
+/// ```
+/// use sensjoin_sim::Scheduler;
+///
+/// let mut sched = Scheduler::new();
+/// sched.schedule(30_000_000, "sample round 1");
+/// sched.schedule(0, "query dissemination");
+/// assert_eq!(sched.pop(), Some((0, "query dissemination")));
+/// sched.schedule_in(5_000, "phase 2");
+/// assert_eq!(sched.pop(), Some((5_000, "phase 2")));
+/// ```
+#[derive(Debug)]
+pub struct Scheduler<E> {
+    heap: BinaryHeap<Reverse<(Time, u64, EventBox<E>)>>,
+    seq: u64,
+    now: Time,
+}
+
+/// Wrapper that opts the payload out of ordering comparisons.
+#[derive(Debug)]
+struct EventBox<E>(E);
+
+impl<E> PartialEq for EventBox<E> {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+impl<E> Eq for EventBox<E> {}
+impl<E> PartialOrd for EventBox<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for EventBox<E> {
+    fn cmp(&self, _: &Self) -> std::cmp::Ordering {
+        std::cmp::Ordering::Equal
+    }
+}
+
+impl<E> Default for Scheduler<E> {
+    fn default() -> Self {
+        Self {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: 0,
+        }
+    }
+}
+
+impl<E> Scheduler<E> {
+    /// Creates an empty scheduler at time 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time (the timestamp of the last popped event).
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Schedules `event` at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` lies in the past — discrete-event causality violation.
+    pub fn schedule(&mut self, at: Time, event: E) {
+        assert!(
+            at >= self.now,
+            "event scheduled in the past ({at} < {})",
+            self.now
+        );
+        self.heap.push(Reverse((at, self.seq, EventBox(event))));
+        self.seq += 1;
+    }
+
+    /// Schedules `event` after a delay relative to now.
+    pub fn schedule_in(&mut self, delay: Time, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Pops the next event, advancing the clock.
+    pub fn pop(&mut self) -> Option<(Time, E)> {
+        let Reverse((t, _, EventBox(e))) = self.heap.pop()?;
+        self.now = t;
+        Some((t, e))
+    }
+
+    /// Whether any events remain.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_ordering() {
+        let mut s = Scheduler::new();
+        s.schedule(30, "c");
+        s.schedule(10, "a");
+        s.schedule(20, "b");
+        assert_eq!(s.pop(), Some((10, "a")));
+        assert_eq!(s.now(), 10);
+        assert_eq!(s.pop(), Some((20, "b")));
+        assert_eq!(s.pop(), Some((30, "c")));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_timestamp() {
+        let mut s = Scheduler::new();
+        for i in 0..10 {
+            s.schedule(5, i);
+        }
+        let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn relative_scheduling() {
+        let mut s = Scheduler::new();
+        s.schedule(100, ());
+        s.pop();
+        s.schedule_in(50, ());
+        assert_eq!(s.pop(), Some((150, ())));
+    }
+
+    #[test]
+    #[should_panic(expected = "scheduled in the past")]
+    fn past_event_panics() {
+        let mut s = Scheduler::new();
+        s.schedule(100, ());
+        s.pop();
+        s.schedule(50, ());
+    }
+}

@@ -1,0 +1,174 @@
+//! Per-node and per-phase communication statistics.
+
+use sensjoin_relation::NodeId;
+use std::collections::BTreeMap;
+
+/// Counters of one node.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct NodeStats {
+    /// Packets transmitted.
+    pub tx_packets: u64,
+    /// Application payload bytes transmitted.
+    pub tx_bytes: u64,
+    /// Packets received.
+    pub rx_packets: u64,
+    /// Application payload bytes received.
+    pub rx_bytes: u64,
+    /// Energy spent (µJ), transmission + reception.
+    pub energy_uj: f64,
+}
+
+impl NodeStats {
+    fn add(&mut self, other: &NodeStats) {
+        self.tx_packets += other.tx_packets;
+        self.tx_bytes += other.tx_bytes;
+        self.rx_packets += other.rx_packets;
+        self.rx_bytes += other.rx_bytes;
+        self.energy_uj += other.energy_uj;
+    }
+}
+
+/// Aggregated statistics of a protocol execution.
+///
+/// Phases are free-form labels (`"collection"`, `"filter"`, ...) so the cost
+/// breakdown of Fig. 15 can be produced directly.
+#[derive(Debug, Clone, Default)]
+pub struct NetworkStats {
+    per_node: Vec<NodeStats>,
+    per_phase: BTreeMap<String, NodeStats>,
+}
+
+impl NetworkStats {
+    /// Creates zeroed statistics for `n` nodes.
+    pub fn new(n: usize) -> Self {
+        Self {
+            per_node: vec![NodeStats::default(); n],
+            per_phase: BTreeMap::new(),
+        }
+    }
+
+    /// Records one transmitted packet at `node` with `payload` bytes and
+    /// energy `uj`, under phase `phase`.
+    pub fn record_tx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        let s = &mut self.per_node[node.0 as usize];
+        s.tx_packets += 1;
+        s.tx_bytes += payload as u64;
+        s.energy_uj += uj;
+        let p = self.per_phase.entry(phase.to_owned()).or_default();
+        p.tx_packets += 1;
+        p.tx_bytes += payload as u64;
+        p.energy_uj += uj;
+    }
+
+    /// Records one received packet at `node`.
+    pub fn record_rx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        let s = &mut self.per_node[node.0 as usize];
+        s.rx_packets += 1;
+        s.rx_bytes += payload as u64;
+        s.energy_uj += uj;
+        let p = self.per_phase.entry(phase.to_owned()).or_default();
+        p.rx_packets += 1;
+        p.rx_bytes += payload as u64;
+        p.energy_uj += uj;
+    }
+
+    /// Counters of one node.
+    pub fn node(&self, node: NodeId) -> &NodeStats {
+        &self.per_node[node.0 as usize]
+    }
+
+    /// All per-node counters, indexed by node id.
+    pub fn per_node(&self) -> &[NodeStats] {
+        &self.per_node
+    }
+
+    /// Counters aggregated for a phase label (zeroes if unseen).
+    pub fn phase(&self, phase: &str) -> NodeStats {
+        self.per_phase.get(phase).copied().unwrap_or_default()
+    }
+
+    /// All phase labels seen.
+    pub fn phases(&self) -> impl Iterator<Item = (&str, &NodeStats)> {
+        self.per_phase.iter().map(|(k, v)| (k.as_str(), v))
+    }
+
+    /// Total packets transmitted network-wide — the paper's primary metric.
+    pub fn total_tx_packets(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_packets).sum()
+    }
+
+    /// Total payload bytes transmitted network-wide.
+    pub fn total_tx_bytes(&self) -> u64 {
+        self.per_node.iter().map(|s| s.tx_bytes).sum()
+    }
+
+    /// Total energy spent network-wide (µJ).
+    pub fn total_energy_uj(&self) -> f64 {
+        self.per_node.iter().map(|s| s.energy_uj).sum()
+    }
+
+    /// The highest per-node transmission count and the node attaining it
+    /// (the "most loaded node" of Fig. 11). Returns `None` for empty nets.
+    pub fn most_loaded(&self) -> Option<(NodeId, u64)> {
+        self.per_node
+            .iter()
+            .enumerate()
+            .max_by_key(|(i, s)| (s.tx_packets, std::cmp::Reverse(*i)))
+            .map(|(i, s)| (NodeId(i as u32), s.tx_packets))
+    }
+
+    /// Sums another statistics object into this one (same node count).
+    pub fn merge(&mut self, other: &NetworkStats) {
+        assert_eq!(self.per_node.len(), other.per_node.len());
+        for (a, b) in self.per_node.iter_mut().zip(&other.per_node) {
+            a.add(b);
+        }
+        for (k, v) in &other.per_phase {
+            self.per_phase.entry(k.clone()).or_default().add(v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_and_totals() {
+        let mut s = NetworkStats::new(3);
+        s.record_tx(NodeId(1), 30, 100.0, "collect");
+        s.record_tx(NodeId(1), 18, 80.0, "final");
+        s.record_rx(NodeId(2), 30, 60.0, "collect");
+        assert_eq!(s.total_tx_packets(), 2);
+        assert_eq!(s.total_tx_bytes(), 48);
+        assert_eq!(s.node(NodeId(1)).tx_packets, 2);
+        assert_eq!(s.node(NodeId(2)).rx_bytes, 30);
+        assert_eq!(s.phase("collect").tx_packets, 1);
+        assert_eq!(s.phase("collect").rx_packets, 1);
+        assert_eq!(s.phase("nope"), NodeStats::default());
+        assert!((s.total_energy_uj() - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn most_loaded() {
+        let mut s = NetworkStats::new(3);
+        assert_eq!(s.most_loaded(), Some((NodeId(0), 0)));
+        s.record_tx(NodeId(2), 10, 1.0, "p");
+        s.record_tx(NodeId(2), 10, 1.0, "p");
+        s.record_tx(NodeId(0), 10, 1.0, "p");
+        assert_eq!(s.most_loaded(), Some((NodeId(2), 2)));
+    }
+
+    #[test]
+    fn merge_sums() {
+        let mut a = NetworkStats::new(2);
+        a.record_tx(NodeId(0), 10, 5.0, "x");
+        let mut b = NetworkStats::new(2);
+        b.record_tx(NodeId(0), 20, 7.0, "x");
+        b.record_rx(NodeId(1), 20, 3.0, "y");
+        a.merge(&b);
+        assert_eq!(a.node(NodeId(0)).tx_packets, 2);
+        assert_eq!(a.node(NodeId(0)).tx_bytes, 30);
+        assert_eq!(a.phase("y").rx_packets, 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Node positions and the neighbor graph.
+
+use sensjoin_field::{Area, Position};
+use sensjoin_relation::NodeId;
+
+/// A static network topology: positions plus the bidirectional-link
+/// adjacency induced by the communication range.
+///
+/// "Each node is aware of the nodes within its wireless range, which form
+/// its neighborhood" (§III). Adjacency is computed with a uniform grid of
+/// range-sized buckets, so construction is `O(n · expected neighbors)`.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    positions: Vec<Position>,
+    neighbors: Vec<Vec<NodeId>>,
+    area: Area,
+    range: f64,
+}
+
+impl Topology {
+    /// Builds the topology for `positions` with communication `range`.
+    pub fn new(positions: Vec<Position>, area: Area, range: f64) -> Self {
+        assert!(range > 0.0, "range must be positive");
+        let n = positions.len();
+        let cols = (area.width / range).ceil().max(1.0) as usize;
+        let rows = (area.height / range).ceil().max(1.0) as usize;
+        let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cols * rows];
+        let cell_of = |p: &Position| -> (usize, usize) {
+            let cx = ((p.x / range) as usize).min(cols - 1);
+            let cy = ((p.y / range) as usize).min(rows - 1);
+            (cx, cy)
+        };
+        for (i, p) in positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            grid[cy * cols + cx].push(i as u32);
+        }
+        let mut neighbors = vec![Vec::new(); n];
+        for (i, p) in positions.iter().enumerate() {
+            let (cx, cy) = cell_of(p);
+            for dy in -1isize..=1 {
+                for dx in -1isize..=1 {
+                    let nx = cx as isize + dx;
+                    let ny = cy as isize + dy;
+                    if nx < 0 || ny < 0 || nx >= cols as isize || ny >= rows as isize {
+                        continue;
+                    }
+                    for &j in &grid[ny as usize * cols + nx as usize] {
+                        let j = j as usize;
+                        if j != i && positions[j].distance(p) <= range {
+                            neighbors[i].push(NodeId(j as u32));
+                        }
+                    }
+                }
+            }
+            neighbors[i].sort_unstable();
+        }
+        Self {
+            positions,
+            neighbors,
+            area,
+            range,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Whether the topology has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Position of a node.
+    pub fn position(&self, node: NodeId) -> Position {
+        self.positions[node.0 as usize]
+    }
+
+    /// Neighbors of a node (nodes within range), sorted by id.
+    pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
+        &self.neighbors[node.0 as usize]
+    }
+
+    /// The deployment area.
+    pub fn area(&self) -> Area {
+        self.area
+    }
+
+    /// The communication range.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Nodes reachable from `start` via neighbor links (including `start`),
+    /// as a boolean per node.
+    pub fn reachable_from(&self, start: NodeId) -> Vec<bool> {
+        let mut seen = vec![false; self.len()];
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.0 as usize] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if !seen[v.0 as usize] {
+                    seen[v.0 as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Iterates all node ids.
+    pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
+        (0..self.len() as u32).map(NodeId)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_topology(n: usize, spacing: f64, range: f64) -> Topology {
+        let positions: Vec<Position> = (0..n)
+            .map(|i| Position::new(i as f64 * spacing + 0.5, 0.5))
+            .collect();
+        Topology::new(positions, Area::new(n as f64 * spacing + 1.0, 1.0), range)
+    }
+
+    #[test]
+    fn line_neighbors() {
+        let t = line_topology(5, 10.0, 15.0);
+        assert_eq!(t.neighbors(NodeId(0)), &[NodeId(1)]);
+        assert_eq!(t.neighbors(NodeId(2)), &[NodeId(1), NodeId(3)]);
+        assert_eq!(t.neighbors(NodeId(4)), &[NodeId(3)]);
+    }
+
+    #[test]
+    fn links_are_symmetric() {
+        let positions = sensjoin_field::Placement::UniformRandom { n: 300 }
+            .generate(Area::new(400.0, 400.0), 9);
+        let t = Topology::new(positions, Area::new(400.0, 400.0), 50.0);
+        for u in t.nodes() {
+            for &v in t.neighbors(u) {
+                assert!(t.neighbors(v).contains(&u), "{u} -> {v} not symmetric");
+            }
+        }
+    }
+
+    #[test]
+    fn range_respected() {
+        let positions = sensjoin_field::Placement::UniformRandom { n: 200 }
+            .generate(Area::new(300.0, 300.0), 4);
+        let t = Topology::new(positions, Area::new(300.0, 300.0), 50.0);
+        for u in t.nodes() {
+            for &v in t.neighbors(u) {
+                assert!(t.position(u).distance(&t.position(v)) <= 50.0);
+            }
+            // And no in-range node is missed: brute-force check.
+            for v in t.nodes() {
+                if u != v && t.position(u).distance(&t.position(v)) <= 50.0 {
+                    assert!(t.neighbors(u).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reachability() {
+        // Two far-apart pairs.
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(10.0, 0.0),
+            Position::new(500.0, 0.0),
+            Position::new(510.0, 0.0),
+        ];
+        let t = Topology::new(positions, Area::new(600.0, 1.0), 20.0);
+        let r = t.reachable_from(NodeId(0));
+        assert_eq!(r, vec![true, true, false, false]);
+    }
+}

@@ -1,0 +1,118 @@
+//! Optional transmission tracing.
+//!
+//! When enabled on a [`crate::Network`], every message transfer is appended
+//! to an in-memory trace: which node sent how many bytes/packets to which
+//! receivers in which protocol phase, in transmission order. Traces are the
+//! ground truth for debugging protocol behavior and can be exported as CSV
+//! (the CLI's `--trace` flag).
+
+use sensjoin_relation::NodeId;
+
+/// One traced message transfer (possibly several packets).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Monotone sequence number (transmission order).
+    pub seq: u64,
+    /// Protocol phase label.
+    pub phase: String,
+    /// Transmitting node.
+    pub from: NodeId,
+    /// Receiving nodes (one for unicast, the children for a broadcast;
+    /// empty for an untracked send).
+    pub to: Vec<NodeId>,
+    /// Application payload bytes.
+    pub bytes: usize,
+    /// Packets after fragmentation.
+    pub packets: usize,
+}
+
+/// An in-memory transmission trace.
+#[derive(Debug, Clone, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a record, assigning the next sequence number.
+    pub fn push(
+        &mut self,
+        phase: &str,
+        from: NodeId,
+        to: Vec<NodeId>,
+        bytes: usize,
+        packets: usize,
+    ) {
+        let seq = self.records.len() as u64;
+        self.records.push(TraceRecord {
+            seq,
+            phase: phase.to_owned(),
+            from,
+            to,
+            bytes,
+            packets,
+        });
+    }
+
+    /// All records in transmission order.
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of traced transfers.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Total packets across all records.
+    pub fn total_packets(&self) -> u64 {
+        self.records.iter().map(|r| r.packets as u64).sum()
+    }
+
+    /// Renders the trace as CSV (`seq,phase,from,to,bytes,packets`; multiple
+    /// receivers separated by `;`).
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("seq,phase,from,to,bytes,packets\n");
+        for r in &self.records {
+            let to: Vec<String> = r.to.iter().map(|n| n.0.to_string()).collect();
+            out.push_str(&format!(
+                "{},{},{},{},{},{}\n",
+                r.seq,
+                r.phase,
+                r.from.0,
+                to.join(";"),
+                r.bytes,
+                r.packets
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_csv() {
+        let mut t = Trace::new();
+        t.push("collect", NodeId(3), vec![NodeId(1)], 30, 1);
+        t.push("filter", NodeId(1), vec![NodeId(3), NodeId(4)], 100, 3);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.total_packets(), 4);
+        assert_eq!(t.records()[1].seq, 1);
+        let csv = t.to_csv();
+        assert!(csv.starts_with("seq,phase,from,to,bytes,packets\n"));
+        assert!(csv.contains("0,collect,3,1,30,1\n"));
+        assert!(csv.contains("1,filter,1,3;4,100,3\n"));
+    }
+}

@@ -1,0 +1,181 @@
+//! Per-dimension quantization (paper Fig. 7, lines 1–5).
+
+/// The quantization of one join attribute: bounds plus a resolution.
+///
+/// Ranges and resolutions are environment-specific and fixed when the network
+/// is set up (§V-B): moderate over-estimation of the range is harmless
+/// because the domain grows in powers of two; an under-estimated range clamps
+/// out-of-range values to the boundary cell (false positives only).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dimension {
+    name: String,
+    min: f64,
+    max: f64,
+    resolution: f64,
+    /// Number of cells, rounded up to a power of two.
+    cells: u64,
+    /// log2(cells).
+    bits: u32,
+}
+
+impl Dimension {
+    /// Creates a quantized dimension over `[min, max]` with step
+    /// `resolution`.
+    ///
+    /// The raw cell count is `floor((max - min) / resolution) + 1` (paper
+    /// Fig. 7 line 3), rounded up to the next power of two (line 4).
+    ///
+    /// # Panics
+    /// Panics if `min > max`, `resolution <= 0`, or any input is non-finite —
+    /// these are configuration errors.
+    pub fn new(name: impl Into<String>, min: f64, max: f64, resolution: f64) -> Self {
+        assert!(min.is_finite() && max.is_finite() && resolution.is_finite());
+        assert!(min <= max, "dimension min must not exceed max");
+        assert!(resolution > 0.0, "resolution must be positive");
+        let raw = ((max - min) / resolution).floor() as u64 + 1;
+        let cells = raw.next_power_of_two();
+        let bits = cells.trailing_zeros();
+        Self {
+            name: name.into(),
+            min,
+            max,
+            resolution,
+            cells,
+            bits,
+        }
+    }
+
+    /// The attribute name this dimension quantizes.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Lower bound of the configured range.
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Upper bound of the configured range.
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// The step size.
+    pub fn resolution(&self) -> f64 {
+        self.resolution
+    }
+
+    /// Number of cells (a power of two).
+    pub fn cells(&self) -> u64 {
+        self.cells
+    }
+
+    /// Bits needed to address a cell: `log2(cells)`.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Maps a value to its cell coordinate, clamping to the boundary cells
+    /// when the value falls outside the configured range (Fig. 7 lines
+    /// 10–15). Clamping can only cause false positives in the pre-join.
+    #[inline]
+    pub fn coordinate(&self, value: f64) -> u64 {
+        let p = ((value - self.min) / self.resolution).floor();
+        if p < 0.0 {
+            0
+        } else if p as u64 >= self.cells {
+            self.cells - 1
+        } else {
+            p as u64
+        }
+    }
+
+    /// The half-open value interval `[lo, hi)` covered by cell `coord`.
+    ///
+    /// Boundary cells are *extended to infinity* because out-of-range values
+    /// are clamped into them: a conservative pre-join must treat the first
+    /// and last cell as unbounded or clamped values could be missed.
+    #[inline]
+    pub fn cell_interval(&self, coord: u64) -> (f64, f64) {
+        debug_assert!(coord < self.cells);
+        let lo = if coord == 0 {
+            f64::NEG_INFINITY
+        } else {
+            self.min + coord as f64 * self.resolution
+        };
+        let hi = if coord == self.cells - 1 {
+            f64::INFINITY
+        } else {
+            self.min + (coord + 1) as f64 * self.resolution
+        };
+        (lo, hi)
+    }
+
+    /// Like [`Dimension::cell_interval`] but without the boundary extension —
+    /// the literal quantization cell. Useful for display and tests.
+    #[inline]
+    pub fn cell_interval_literal(&self, coord: u64) -> (f64, f64) {
+        debug_assert!(coord < self.cells);
+        let lo = self.min + coord as f64 * self.resolution;
+        (lo, lo + self.resolution)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_count_rounds_to_power_of_two() {
+        // 600 values and 900 values both land in [512, 1024] => 10 bits
+        // (paper §V-B's example).
+        let d600 = Dimension::new("d", 0.0, 599.0, 1.0);
+        let d900 = Dimension::new("d", 0.0, 899.0, 1.0);
+        assert_eq!(d600.bits(), 10);
+        assert_eq!(d900.bits(), 10);
+        assert_eq!(d600.cells(), 1024);
+    }
+
+    #[test]
+    fn single_cell_dimension() {
+        let d = Dimension::new("d", 5.0, 5.0, 1.0);
+        assert_eq!(d.cells(), 1);
+        assert_eq!(d.bits(), 0);
+        assert_eq!(d.coordinate(123.0), 0);
+    }
+
+    #[test]
+    fn coordinates_and_clamping() {
+        let d = Dimension::new("temp", 0.0, 40.0, 0.1);
+        assert_eq!(d.coordinate(0.0), 0);
+        assert_eq!(d.coordinate(0.05), 0);
+        assert_eq!(d.coordinate(0.1), 1);
+        assert_eq!(d.coordinate(-5.0), 0); // clamped low
+        assert_eq!(d.coordinate(1e9), d.cells() - 1); // clamped high
+    }
+
+    #[test]
+    fn interval_contains_value() {
+        let d = Dimension::new("temp", -10.0, 40.0, 0.1);
+        for &v in &[-10.0, -3.7, 0.0, 21.53, 39.99] {
+            let c = d.coordinate(v);
+            let (lo, hi) = d.cell_interval_literal(c);
+            assert!(lo <= v + 1e-9 && v < hi + 1e-9, "{v} not in [{lo},{hi})");
+        }
+    }
+
+    #[test]
+    fn boundary_cells_are_unbounded() {
+        let d = Dimension::new("temp", 0.0, 40.0, 0.1);
+        assert_eq!(d.cell_interval(0).0, f64::NEG_INFINITY);
+        assert_eq!(d.cell_interval(d.cells() - 1).1, f64::INFINITY);
+        let (lo, hi) = d.cell_interval(1);
+        assert!(lo.is_finite() && hi.is_finite());
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution must be positive")]
+    fn zero_resolution_panics() {
+        Dimension::new("d", 0.0, 1.0, 0.0);
+    }
+}

@@ -1,0 +1,91 @@
+//! Property-based tests for quantization and Z-order encoding.
+
+use proptest::prelude::*;
+use sensjoin_zorder::{Dimension, ZSpace};
+
+/// Strategy for a plausible sensor dimension.
+fn dim_strategy(name: &'static str) -> impl Strategy<Value = Dimension> {
+    (
+        -1000.0f64..1000.0,
+        1.0f64..2000.0,
+        prop_oneof![Just(0.1), Just(0.5), Just(1.0), Just(5.0)],
+    )
+        .prop_map(move |(min, span, res)| Dimension::new(name, min, min + span, res))
+}
+
+fn space_strategy() -> impl Strategy<Value = ZSpace> {
+    prop_oneof![
+        dim_strategy("a").prop_map(|a| ZSpace::new(vec![a]).unwrap()),
+        (dim_strategy("a"), dim_strategy("b")).prop_map(|(a, b)| ZSpace::new(vec![a, b]).unwrap()),
+        (dim_strategy("a"), dim_strategy("b"), dim_strategy("c"))
+            .prop_map(|(a, b, c)| ZSpace::new(vec![a, b, c]).unwrap()),
+    ]
+}
+
+proptest! {
+    /// encode_cells and decode are mutual inverses on valid coordinates.
+    #[test]
+    fn encode_decode_roundtrip(space in space_strategy(), seed in any::<u64>()) {
+        let coords: Vec<u64> = space
+            .dims()
+            .iter()
+            .enumerate()
+            .map(|(i, d)| {
+                // Pseudo-random in-range coordinate derived from the seed.
+                let h = seed.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(i as u32 * 7);
+                h % d.cells()
+            })
+            .collect();
+        let z = space.encode_cells(&coords);
+        prop_assert_eq!(space.decode(z), coords);
+        prop_assert!(z < (1u128 << space.total_bits()) as u64 || space.total_bits() == 64);
+    }
+
+    /// Every encoded value lies inside (or on the boundary of) its cell box.
+    #[test]
+    fn value_inside_cell_box(
+        space in space_strategy(),
+        raw in prop::collection::vec(-2000.0f64..4000.0, 3),
+    ) {
+        let vals: Vec<f64> = raw.iter().take(space.arity()).copied().collect();
+        prop_assume!(vals.len() == space.arity());
+        let z = space.encode(&vals);
+        let cbox = space.cell_box(z);
+        for (i, (lo, hi)) in cbox.iter().enumerate() {
+            // Clamped values are covered by the infinite boundary cells.
+            prop_assert!(*lo <= vals[i] && vals[i] < *hi + 1e-9,
+                "dim {i}: {} not in [{lo}, {hi})", vals[i]);
+        }
+    }
+
+    /// Quantization is idempotent: encoding a cell representative returns the
+    /// same Z-number.
+    #[test]
+    fn representative_fixed_point(
+        space in space_strategy(),
+        raw in prop::collection::vec(-500.0f64..2500.0, 3),
+    ) {
+        let vals: Vec<f64> = raw.iter().take(space.arity()).copied().collect();
+        prop_assume!(vals.len() == space.arity());
+        let z = space.encode(&vals);
+        let rep = space.representative(&vals);
+        prop_assert_eq!(space.encode(&rep), z);
+    }
+
+    /// Z-order preserves prefix containment: halving every dimension's
+    /// coordinate (level-0 quadrant) equals dropping the top schedule bits.
+    #[test]
+    fn quadrant_prefix_property(seed in any::<u64>()) {
+        let space = ZSpace::new(vec![
+            Dimension::new("x", 0.0, 255.0, 1.0),
+            Dimension::new("y", 0.0, 255.0, 1.0),
+        ]).unwrap();
+        let x = seed % 256;
+        let y = (seed >> 8) % 256;
+        let z = space.encode_cells(&[x, y]);
+        let zq = space.encode_cells(&[x / 2, y / 2]);
+        // Dropping the bottom interleave level (2 bits) of z and of the
+        // half-resolution grid must agree: both describe the parent quadrant.
+        prop_assert_eq!(z >> 2, zq & ((1 << 14) - 1));
+    }
+}

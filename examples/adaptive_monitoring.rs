@@ -1,0 +1,81 @@
+//! Long-running monitoring with adaptive method selection and temporal
+//! filter reuse — combining the cost model ([20]-style analysis) and the
+//! §VIII continuous-query extension.
+//!
+//! A monitoring query runs every period while the environment drifts. The
+//! adaptive executor re-plans each round from the fraction it observed last
+//! round; the continuous executor ships only deltas. This example races
+//! them against naive per-round re-execution.
+//!
+//! ```sh
+//! cargo run --release --example adaptive_monitoring
+//! ```
+
+use sensjoin::core::workload::RangeQueryFamily;
+use sensjoin::core::{AdaptiveJoin, ContinuousSensJoin};
+use sensjoin::prelude::*;
+
+fn main() {
+    let mut snet = SensorNetworkBuilder::new()
+        .area(Area::new(700.0, 700.0))
+        .placement(Placement::UniformRandom { n: 700 })
+        .base(BaseChoice::NearestCorner)
+        .seed(11)
+        .build()
+        .expect("deployment");
+
+    // A Q1-style monitoring query calibrated to ~5 % of the nodes.
+    let family = RangeQueryFamily::ratio_33();
+    let cal = family.calibrate(&snet, 0.05);
+    let sql = cal.sql.replace(" ONCE", " SAMPLE PERIOD 60");
+    println!("query: {sql}\n");
+    let cq = snet.compile(&parse(&sql).expect("parse")).expect("compile");
+
+    // The environment: the same physical field, re-measured each round with
+    // fresh noise (slow drift).
+    let fields = |round: u64| {
+        let mut f = presets::indoor_climate();
+        for s in &mut f {
+            s.noise = 0.002 * (round + 1) as f64;
+        }
+        f
+    };
+
+    let mut naive_total = 0u64;
+    let mut adaptive_total = 0u64;
+    let mut delta_total = 0u64;
+    let mut adaptive = AdaptiveJoin::new();
+    let mut continuous = ContinuousSensJoin::with_epsilon(0.1);
+    println!(
+        "{:>5} {:>14} {:>14} {:>16}  adaptive chose",
+        "round", "naive [pkts]", "adaptive", "continuous-delta"
+    );
+    for round in 0..6u64 {
+        snet.resample(&fields(round), 42);
+        let naive = SensJoin::default().execute(&mut snet, &cq).expect("naive");
+        let adapt = adaptive.execute_round(&mut snet, &cq).expect("adaptive");
+        let delta = continuous
+            .execute_round(&mut snet, &cq)
+            .expect("continuous");
+        assert!(naive.result.same_result(&adapt.result));
+        naive_total += naive.stats.total_tx_packets();
+        adaptive_total += adapt.stats.total_tx_packets();
+        delta_total += delta.stats.total_tx_packets();
+        println!(
+            "{round:>5} {:>14} {:>14} {:>16}  {:?}",
+            naive.stats.total_tx_packets(),
+            adapt.stats.total_tx_packets(),
+            delta.stats.total_tx_packets(),
+            adaptive.last_choice().expect("ran")
+        );
+    }
+    println!(
+        "\ntotals over 6 rounds: naive {naive_total}, adaptive {adaptive_total}, \
+         continuous-delta {delta_total}"
+    );
+    println!(
+        "the delta executor cuts warm rounds by {:.0} % (ε = 0.1: results are \
+         exact up to 0.1-unit attribute staleness)",
+        100.0 * (1.0 - delta_total as f64 / naive_total as f64)
+    );
+}

@@ -1,0 +1,80 @@
+//! Quickstart: deploy a network, calibrate a query to the paper's default
+//! selectivity, run it with both join methods, compare the costs.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use sensjoin::core::workload::RangeQueryFamily;
+use sensjoin::prelude::*;
+
+fn main() {
+    // 1. Deploy 500 sensor nodes over 600 m x 600 m with Intel-Lab-like
+    //    climate data. Everything is seeded and exactly reproducible.
+    let mut snet = SensorNetworkBuilder::new()
+        .area(Area::new(600.0, 600.0))
+        .placement(Placement::UniformRandom { n: 500 })
+        .fields(presets::indoor_climate())
+        .base(BaseChoice::NearestCorner)
+        .seed(2026)
+        .build()
+        .expect("deployment");
+    println!(
+        "deployed {} nodes, routing tree depth {}",
+        snet.len(),
+        snet.net().routing().max_depth()
+    );
+
+    // 2. The paper's experiment family: one join attribute (temp) out of
+    //    three referenced, with the threshold calibrated so that ~5 % of the
+    //    nodes contribute to the result (the paper's default setting).
+    let family = RangeQueryFamily::ratio_33();
+    let calibrated = family.calibrate(&snet, 0.05);
+    println!(
+        "query ({:.1} % of nodes contribute):\n  {}",
+        100.0 * calibrated.achieved_fraction,
+        calibrated.sql
+    );
+    let query = parse(&calibrated.sql).expect("parse");
+    let cq = snet.compile(&query).expect("compile");
+
+    // 3. Run the state-of-the-art baseline and SENS-Join.
+    let external = ExternalJoin.execute(&mut snet, &cq).expect("external join");
+    let sens = SensJoin::default()
+        .execute(&mut snet, &cq)
+        .expect("SENS-Join");
+
+    // 4. Same answer...
+    assert!(external.result.same_result(&sens.result));
+    println!(
+        "\nresult rows: {}   contributing nodes: {}",
+        sens.result.len(),
+        sens.contributors.len(),
+    );
+
+    // 5. ...at a fraction of the cost.
+    println!(
+        "\n               {:>12} {:>12} {:>14}",
+        "packets", "bytes", "energy (mJ)"
+    );
+    for (name, out) in [("external", &external), ("SENS-Join", &sens)] {
+        println!(
+            "{name:>12}:  {:>12} {:>12} {:>14.2}",
+            out.stats.total_tx_packets(),
+            out.stats.total_tx_bytes(),
+            out.stats.total_energy_uj() / 1000.0
+        );
+    }
+    let saving =
+        1.0 - sens.stats.total_tx_packets() as f64 / external.stats.total_tx_packets() as f64;
+    println!(
+        "\nSENS-Join saves {:.1} % of the transmissions.",
+        100.0 * saving
+    );
+    println!(
+        "response time: external {:.0} ms, SENS-Join {:.0} ms \
+         (the pre-computation trades latency for energy, bounded by 2x)",
+        external.latency_us as f64 / 1000.0,
+        sens.latency_us as f64 / 1000.0
+    );
+}

@@ -1,0 +1,115 @@
+//! End-to-end properties of the continuous-query extension (§VIII follow-on
+//! work): exact per-round results at ε = 0 across random data evolutions,
+//! and monotonically bounded staleness for ε > 0.
+
+use proptest::prelude::*;
+use sensjoin::core::ContinuousSensJoin;
+use sensjoin::prelude::*;
+
+fn build(seed: u64, n: usize) -> SensorNetwork {
+    SensorNetworkBuilder::new()
+        .area(Area::new(400.0, 400.0))
+        .placement(Placement::UniformRandom { n })
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Every round of the exact continuous executor returns precisely what a
+    /// fresh execution would, across arbitrary snapshot evolutions.
+    #[test]
+    fn exact_continuous_equals_fresh(
+        seed in 0u64..500,
+        n in 70usize..130,
+        resample_seeds in prop::collection::vec(0u64..10_000, 2..5),
+        threshold in 2.0f64..6.0,
+    ) {
+        let mut snet = build(seed, n);
+        let sql = format!(
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > {threshold} SAMPLE PERIOD 30"
+        );
+        let cq = snet.compile(&parse(&sql).unwrap()).unwrap();
+        let mut cont = ContinuousSensJoin::new();
+        for (round, rs) in resample_seeds.iter().enumerate() {
+            snet.resample(&presets::indoor_climate(), *rs);
+            let fresh = ExternalJoin.execute(&mut snet, &cq).unwrap();
+            let out = cont.execute_round(&mut snet, &cq).unwrap();
+            prop_assert!(
+                fresh.result.same_result(&out.result),
+                "round {round}: fresh {} rows vs continuous {} rows",
+                fresh.result.len(),
+                out.result.len()
+            );
+            prop_assert_eq!(&fresh.contributors, &out.contributors);
+        }
+    }
+}
+
+/// Steady state is free; a cold start is not.
+#[test]
+fn steady_state_costs_nothing() {
+    let mut snet = build(3, 120);
+    let cq = snet
+        .compile(
+            &parse(
+                "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > 3.0 SAMPLE PERIOD 10",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let mut cont = ContinuousSensJoin::new();
+    let cold = cont.execute_round(&mut snet, &cq).unwrap();
+    assert!(cold.stats.total_tx_packets() > 0);
+    for _ in 0..3 {
+        let warm = cont.execute_round(&mut snet, &cq).unwrap();
+        assert_eq!(warm.stats.total_tx_packets(), 0);
+        assert!(warm.result.same_result(&cold.result));
+    }
+}
+
+/// Per-round continuous execution is never more expensive than a fresh
+/// SENS-Join execution plus the retraction overhead — and far cheaper when
+/// data evolves slowly.
+#[test]
+fn delta_rounds_beat_fresh_reexecution_on_slow_drift() {
+    let mut snet = build(9, 150);
+    let cq = snet
+        .compile(
+            &parse(
+                "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > 4.0 SAMPLE PERIOD 10",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    // Slow drift: same field seed, tiny noise differences.
+    let fields = |noise: f64| {
+        let mut f = presets::indoor_climate();
+        for s in &mut f {
+            s.noise = noise;
+        }
+        f
+    };
+    let mut cont = ContinuousSensJoin::with_epsilon(0.2);
+    snet.resample(&fields(0.0), 42);
+    cont.execute_round(&mut snet, &cq).unwrap();
+    let mut warm_packets = 0u64;
+    let mut fresh_packets = 0u64;
+    for round in 1..=4u64 {
+        snet.resample(&fields(0.001 * round as f64), 42);
+        let fresh = SensJoin::default().execute(&mut snet, &cq).unwrap();
+        fresh_packets += fresh.stats.total_tx_packets();
+        let warm = cont.execute_round(&mut snet, &cq).unwrap();
+        warm_packets += warm.stats.total_tx_packets();
+    }
+    assert!(
+        warm_packets * 4 < fresh_packets,
+        "continuous rounds ({warm_packets} pkts) should be <25 % of fresh \
+         re-execution ({fresh_packets} pkts) under slow drift"
+    );
+}

@@ -1,0 +1,171 @@
+//! Deterministic edge cases: degenerate networks, empty relations,
+//! base-station-only contributions, wide n-way joins.
+
+use sensjoin::prelude::*;
+use sensjoin::relation::{AttrType, Attribute, Schema, SensorRelation};
+
+fn tiny(n: usize) -> SensorNetwork {
+    SensorNetworkBuilder::new()
+        .area(Area::new(120.0, 120.0))
+        .placement(Placement::UniformRandom { n })
+        .seed(2)
+        .build()
+        .unwrap()
+}
+
+const SQL: &str = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                   WHERE A.temp - B.temp > 0.5 ONCE";
+
+#[test]
+fn single_node_network() {
+    // The base station is the only node: everything happens locally, no
+    // transmissions at all.
+    let mut snet = tiny(1);
+    let cq = snet.compile(&parse(SQL).unwrap()).unwrap();
+    for method in [&ExternalJoin as &dyn JoinMethod, &SensJoin::default()] {
+        let out = method.execute(&mut snet, &cq).unwrap();
+        assert_eq!(out.stats.total_tx_packets(), 0, "{}", method.name());
+        // A lone node can still self-join (SQL semantics) if the predicate
+        // allowed it; with a strict inequality on itself it cannot.
+        assert!(out.result.is_empty());
+    }
+}
+
+#[test]
+fn two_node_network() {
+    let mut snet = tiny(2);
+    let cq = snet.compile(&parse(SQL).unwrap()).unwrap();
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.same_result(&sj.result));
+    // The non-base node ships at most a couple of packets per method.
+    assert!(ext.stats.total_tx_packets() <= 2);
+    assert!(sj.stats.total_tx_packets() <= 4);
+}
+
+#[test]
+fn four_way_join() {
+    let mut snet = tiny(40);
+    let q = parse(
+        "SELECT A.temp, B.temp, C.temp, D.temp \
+         FROM Sensors A, Sensors B, Sensors C, Sensors D \
+         WHERE A.temp - B.temp > 1.0 AND B.temp - C.temp > 1.0 \
+         AND C.temp - D.temp > 1.0 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    assert_eq!(cq.num_relations(), 4);
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.same_result(&sj.result));
+    // Chained strict inequalities: every row is strictly descending.
+    if let JoinResult::Rows(rows) = &sj.result {
+        for row in rows {
+            assert!(row[0] > row[1] && row[1] > row[2] && row[2] > row[3]);
+        }
+    }
+}
+
+#[test]
+fn base_station_only_relation() {
+    // Relation B contains just the base station: its tuple never travels,
+    // and relation A's side still matches against it.
+    let schema = |name: &str| {
+        Schema::new(
+            name,
+            vec![
+                Attribute::new("temp", AttrType::Celsius),
+                Attribute::new("hum", AttrType::Percent),
+            ],
+        )
+    };
+    let probe = tiny(30);
+    let base = probe.base();
+    let mut snet = SensorNetworkBuilder::new()
+        .area(Area::new(120.0, 120.0))
+        .placement(Placement::UniformRandom { n: 30 })
+        .seed(2)
+        .relations(vec![
+            SensorRelation::homogeneous(schema("Field")),
+            SensorRelation::over_nodes(schema("Gateway"), [base]),
+        ])
+        .build()
+        .unwrap();
+    assert_eq!(snet.base(), base);
+    let q = parse(
+        "SELECT F.hum, G.hum FROM Field F, Gateway G \
+         WHERE F.temp - G.temp > 0.2 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.same_result(&sj.result));
+    // Oracle: count field nodes warmer than the base by > 0.2.
+    let ti = snet.master_index("temp").unwrap();
+    let base_t = snet.readings(base)[ti];
+    let expect = (0..snet.len() as u32)
+        .map(NodeId)
+        .filter(|&v| snet.net().routing().depth(v).is_some())
+        .filter(|&v| snet.readings(v)[ti] - base_t > 0.2)
+        .count();
+    assert_eq!(sj.result.len(), expect);
+}
+
+#[test]
+fn local_predicates_filter_everyone() {
+    // A local predicate nobody satisfies: empty result, and SENS-Join's
+    // collection degenerates to (nearly) empty traffic.
+    let mut snet = tiny(30);
+    let q = parse(
+        "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+         WHERE A.temp > 10000 AND B.temp > 10000 \
+         AND A.temp - B.temp > 0.5 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.is_empty() && sj.result.is_empty());
+    assert_eq!(
+        ext.stats.total_tx_bytes(),
+        0,
+        "early selection drops everything"
+    );
+    assert_eq!(sj.stats.total_tx_bytes(), 0);
+}
+
+#[test]
+fn constant_false_predicate() {
+    let mut snet = tiny(25);
+    let q = parse(
+        "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+         WHERE 1 > 2 AND A.temp - B.temp > 0.5 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    assert!(cq.is_const_false());
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(sj.result.is_empty());
+    // The filter is empty, so no final-phase traffic.
+    assert_eq!(sj.stats.phase(sensjoin::core::PHASE_FINAL).tx_bytes, 0);
+}
+
+#[test]
+fn or_predicate_across_relations() {
+    // Disjunctive join predicates exercise the Kleene-OR path of the
+    // conservative pre-join.
+    let mut snet = tiny(35);
+    let q = parse(
+        "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > 2.0 OR B.hum - A.hum > 8.0 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    // The whole disjunction is one join predicate (not splittable).
+    assert_eq!(cq.join_preds().len(), 1);
+    assert_eq!(cq.join_attrs(0).len(), 2); // temp and hum
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.same_result(&sj.result));
+}

@@ -1,0 +1,159 @@
+//! The central correctness property, end to end: every SENS-Join
+//! configuration computes exactly the external join's result, on random
+//! topologies, random data and a wide family of queries.
+
+use proptest::prelude::*;
+use sensjoin::prelude::*;
+
+fn build(seed: u64, n: usize, corr: f64) -> SensorNetwork {
+    let mut fields = presets::indoor_climate();
+    for f in &mut fields {
+        f.correlation_length = (f.correlation_length * corr).max(1.0);
+    }
+    SensorNetworkBuilder::new()
+        .area(Area::new(420.0, 420.0))
+        .placement(Placement::UniformRandom { n })
+        .fields(fields)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// Query templates covering operators, aggregates and join shapes.
+fn query_strategy() -> impl Strategy<Value = String> {
+    let c = -8.0f64..8.0;
+    prop_oneof![
+        c.clone().prop_map(|c| format!(
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B WHERE A.temp - B.temp > {c} ONCE"
+        )),
+        c.clone().prop_map(|c| format!(
+            "SELECT A.pres, B.pres FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < {} AND distance(A.x, A.y, B.x, B.y) > 150 ONCE",
+            c.abs() / 8.0
+        )),
+        c.clone().prop_map(|c| format!(
+            "SELECT MIN(distance(A.x, A.y, B.x, B.y)), COUNT(A.temp) \
+             FROM Sensors A, Sensors B WHERE A.temp - B.temp > {c} ONCE"
+        )),
+        c.clone().prop_map(|c| format!(
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > {c} AND A.hum - B.hum > 1.0 ONCE"
+        )),
+        c.clone().prop_map(|c| format!(
+            "SELECT A.light, B.light FROM Sensors A, Sensors B \
+             WHERE A.temp * 2 - B.temp * 2 > {} OR A.hum - B.hum > 12 ONCE",
+            2.0 * c
+        )),
+        Just(
+            "SELECT A.temp, B.temp, C.temp FROM Sensors A, Sensors B, Sensors C \
+             WHERE A.temp - B.temp > 2 AND B.temp - C.temp > 2 ONCE"
+                .to_owned()
+        ),
+    ]
+}
+
+fn config_strategy() -> impl Strategy<Value = SensJoinConfig> {
+    (
+        prop_oneof![Just(0usize), Just(12), Just(30), Just(48)],
+        prop_oneof![Just(0usize), Just(100), Just(500), Just(100_000)],
+        any::<bool>(),
+        prop_oneof![
+            Just(Representation::Quadtree),
+            Just(Representation::Raw),
+            Just(Representation::Zlib),
+        ],
+        prop_oneof![Just(0.5f64), Just(1.0), Just(4.0), Just(20.0)],
+    )
+        .prop_map(|(dmax, mem, sel, representation, scale)| SensJoinConfig {
+            dmax,
+            filter_memory_limit: mem,
+            selective_forwarding: sel,
+            representation,
+            quantization: QuantizationConfig::new(),
+            resolution_scale: scale,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// SENS-Join under arbitrary protocol parameters == external join.
+    #[test]
+    fn sensjoin_equals_external(
+        seed in 0u64..1000,
+        sql in query_strategy(),
+        config in config_strategy(),
+        n in 60usize..140,
+        corr in prop_oneof![Just(0.02f64), Just(0.3), Just(1.0)],
+    ) {
+        let mut snet = build(seed, n, corr);
+        let q = parse(&sql).unwrap();
+        let cq = snet.compile(&q).unwrap();
+        let reference = ExternalJoin.execute(&mut snet, &cq).unwrap();
+        let out = SensJoin::with_config(config.clone())
+            .execute(&mut snet, &cq)
+            .unwrap();
+        prop_assert!(
+            out.result.same_result(&reference.result),
+            "divergence: sql={sql} config={config:?} ext_rows={} sens_rows={}",
+            reference.result.len(),
+            out.result.len()
+        );
+        prop_assert_eq!(reference.contributors, out.contributors);
+    }
+}
+
+/// A deterministic sweep across coarse resolutions: correctness must be
+/// resolution-independent (§V-B: quantization affects cost, never the
+/// result).
+#[test]
+fn resolution_never_affects_result() {
+    let mut snet = build(5, 120, 1.0);
+    let q = parse(
+        "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > 4.0 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let reference = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    for scale in [0.1, 1.0, 10.0, 100.0, 1000.0] {
+        let out = SensJoin::with_config(SensJoinConfig {
+            resolution_scale: scale,
+            ..SensJoinConfig::default()
+        })
+        .execute(&mut snet, &cq)
+        .unwrap();
+        assert!(
+            out.result.same_result(&reference.result),
+            "result changed at resolution scale {scale}"
+        );
+    }
+}
+
+/// Coarser resolutions may only *increase* the final-phase traffic
+/// (more false positives), never decrease it below the exact need.
+#[test]
+fn coarser_resolution_is_monotone_in_false_positives() {
+    let mut snet = build(9, 150, 1.0);
+    let q = parse(
+        "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > 5.0 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let mut last = 0u64;
+    for scale in [1.0, 8.0, 64.0] {
+        let out = SensJoin::with_config(SensJoinConfig {
+            resolution_scale: scale,
+            ..SensJoinConfig::default()
+        })
+        .execute(&mut snet, &cq)
+        .unwrap();
+        let final_bytes = out.stats.phase(sensjoin::core::PHASE_FINAL).tx_bytes;
+        assert!(
+            final_bytes >= last,
+            "final phase shrank from {last} to {final_bytes} at scale {scale}"
+        );
+        last = final_bytes;
+    }
+}

@@ -1,0 +1,138 @@
+//! GROUP BY over join results, end to end across join methods.
+
+use sensjoin::prelude::*;
+use sensjoin::query::CompileError;
+
+fn network(seed: u64) -> SensorNetwork {
+    SensorNetworkBuilder::new()
+        .area(Area::new(400.0, 400.0))
+        .placement(Placement::UniformRandom { n: 160 })
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn grouped_aggregation_parses_and_runs() {
+    let mut snet = network(3);
+    // How many hot-pair partners does each humidity band have, and how big
+    // is the largest temperature gap per band?
+    let q = parse(
+        "SELECT A.hum / 10, COUNT(B.temp), MAX(A.temp - B.temp) \
+         FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > 3.0 \
+         GROUP BY A.hum / 10 \
+         ONCE",
+    )
+    .unwrap();
+    assert_eq!(q.group_by.len(), 1);
+    let cq = snet.compile(&q).unwrap();
+    assert!(cq.has_group_by());
+    assert!(!cq.is_aggregate()); // grouped queries emit one row per group
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.same_result(&sj.result));
+    if let JoinResult::Rows(rows) = &sj.result {
+        assert!(!rows.is_empty(), "calibrate the threshold if this is empty");
+        for row in rows {
+            assert_eq!(row.len(), 3);
+            assert!(row[1] >= 1.0, "COUNT per group is at least 1");
+            assert!(row[2] > 3.0, "MAX gap exceeds the predicate bound");
+        }
+        // Group keys are distinct.
+        let mut keys: Vec<u64> = rows.iter().map(|r| r[0].to_bits()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), rows.len());
+    } else {
+        panic!("grouped query returns rows");
+    }
+}
+
+#[test]
+fn grouped_counts_match_ungrouped_total() {
+    let mut snet = network(5);
+    let grouped = snet
+        .compile(
+            &parse(
+                "SELECT A.hum / 5, COUNT(A.temp) FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > 4.0 GROUP BY A.hum / 5 ONCE",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let total = snet
+        .compile(
+            &parse(
+                "SELECT COUNT(A.temp) FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > 4.0 ONCE",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let g = ExternalJoin.execute(&mut snet, &grouped).unwrap();
+    let t = ExternalJoin.execute(&mut snet, &total).unwrap();
+    let group_sum: f64 = match &g.result {
+        JoinResult::Rows(rows) => rows.iter().map(|r| r[1]).sum(),
+        other => panic!("unexpected {other:?}"),
+    };
+    let total_count = match &t.result {
+        JoinResult::Aggregate(vals) => vals[0].unwrap_or(0.0),
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(group_sum, total_count, "partition property of GROUP BY");
+}
+
+#[test]
+fn grouping_validation() {
+    let snet = network(1);
+    // Bare select item not in GROUP BY.
+    let q = parse(
+        "SELECT A.hum, COUNT(B.temp) FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > 1 GROUP BY A.pres ONCE",
+    )
+    .unwrap();
+    assert!(matches!(
+        snet.compile(&q),
+        Err(sensjoin::core::SensorNetworkError::Compile(
+            CompileError::TypeError(_)
+        ))
+    ));
+    // Mixed aggregate / bare select without GROUP BY.
+    let q2 = parse(
+        "SELECT A.hum, COUNT(B.temp) FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > 1 ONCE",
+    )
+    .unwrap();
+    assert!(matches!(
+        snet.compile(&q2),
+        Err(sensjoin::core::SensorNetworkError::Compile(
+            CompileError::TypeError(_)
+        ))
+    ));
+    // Matching bare item is fine.
+    let q3 = parse(
+        "SELECT A.hum, COUNT(B.temp) FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > 1 GROUP BY A.hum ONCE",
+    )
+    .unwrap();
+    assert!(snet.compile(&q3).is_ok());
+}
+
+#[test]
+fn continuous_rounds_respect_grouping() {
+    let mut snet = network(9);
+    let q = parse(
+        "SELECT A.hum / 10, COUNT(B.temp) FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > 3.5 GROUP BY A.hum / 10 SAMPLE PERIOD 30",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let mut cont = sensjoin::core::ContinuousSensJoin::new();
+    for round in 0..3u64 {
+        snet.resample(&presets::indoor_climate(), 70 + round);
+        let fresh = ExternalJoin.execute(&mut snet, &cq).unwrap();
+        let delta = cont.execute_round(&mut snet, &cq).unwrap();
+        assert!(fresh.result.same_result(&delta.result), "round {round}");
+    }
+}

@@ -1,0 +1,146 @@
+//! Heterogeneous networks: groups of nodes forming different relations
+//! (§III), including join attributes with different names per relation.
+
+use sensjoin::prelude::*;
+use sensjoin::relation::{AttrType, Attribute, Schema, SensorRelation};
+
+/// Builds a network where even nodes are "Indoor" sensors and odd nodes are
+/// "Outdoor" sensors, with differently-shaped schemas.
+fn heterogeneous(seed: u64, n: usize) -> SensorNetwork {
+    let indoor_schema = Schema::new(
+        "Indoor",
+        vec![
+            Attribute::new("x", AttrType::Meters),
+            Attribute::new("y", AttrType::Meters),
+            Attribute::new("temp", AttrType::Celsius),
+            Attribute::new("hum", AttrType::Percent),
+        ],
+    );
+    let outdoor_schema = Schema::new(
+        "Outdoor",
+        vec![
+            Attribute::new("x", AttrType::Meters),
+            Attribute::new("y", AttrType::Meters),
+            Attribute::new("temp", AttrType::Celsius),
+            Attribute::new("pres", AttrType::Hectopascal),
+        ],
+    );
+    let evens = (0..n as u32).step_by(2).map(NodeId);
+    let odds = (1..n as u32).step_by(2).map(NodeId);
+    SensorNetworkBuilder::new()
+        .area(Area::new(400.0, 400.0))
+        .placement(Placement::UniformRandom { n })
+        .seed(seed)
+        .relations(vec![
+            SensorRelation::over_nodes(indoor_schema, evens),
+            SensorRelation::over_nodes(outdoor_schema, odds),
+        ])
+        .build()
+        .unwrap()
+}
+
+#[test]
+fn heterogeneous_join_methods_agree() {
+    for seed in [1, 2, 3] {
+        let mut snet = heterogeneous(seed, 160);
+        let q = parse(
+            "SELECT I.hum, O.pres FROM Indoor I, Outdoor O \
+             WHERE I.temp - O.temp > 1.0 ONCE",
+        )
+        .unwrap();
+        let cq = snet.compile(&q).unwrap();
+        let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+        let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+        assert!(ext.result.same_result(&sj.result), "seed {seed}");
+        assert_eq!(ext.contributors, sj.contributors);
+    }
+}
+
+#[test]
+fn heterogeneous_oracle_check() {
+    let mut snet = heterogeneous(7, 120);
+    let q = parse(
+        "SELECT I.hum, O.pres FROM Indoor I, Outdoor O \
+         WHERE I.temp - O.temp > 2.0 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let out = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    // Independent oracle over raw readings.
+    let ti = snet.master_index("temp").unwrap();
+    let reachable = |v: u32| snet.net().routing().depth(NodeId(v)).is_some();
+    let mut expect = 0;
+    for i in (0..120u32).step_by(2).filter(|&v| reachable(v)) {
+        for j in (1..120u32).step_by(2).filter(|&v| reachable(v)) {
+            if snet.readings(NodeId(i))[ti] - snet.readings(NodeId(j))[ti] > 2.0 {
+                expect += 1;
+            }
+        }
+    }
+    assert_eq!(out.result.len(), expect);
+}
+
+#[test]
+fn disjoint_join_attribute_names() {
+    // Join on differently named attributes: Indoor humidity vs Outdoor
+    // pressure offset — exercises the multi-dimension layout where each
+    // relation covers only part of the space.
+    let mut snet = heterogeneous(11, 140);
+    let q = parse(
+        "SELECT I.temp, O.temp FROM Indoor I, Outdoor O \
+         WHERE I.hum - O.pres > -962.0 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    // hum and pres are distinct dimensions.
+    assert_eq!(cq.join_attrs(0), &[3]); // hum in Indoor schema
+    assert_eq!(cq.join_attrs(1), &[3]); // pres in Outdoor schema
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.same_result(&sj.result));
+    assert!(
+        !ext.result.is_empty(),
+        "threshold chosen to produce matches"
+    );
+}
+
+#[test]
+fn empty_relation_side_yields_empty_result() {
+    // All nodes indoor; outdoor relation matches no node.
+    let schema_i = Schema::new(
+        "Indoor",
+        vec![
+            Attribute::new("temp", AttrType::Celsius),
+            Attribute::new("hum", AttrType::Percent),
+        ],
+    );
+    let schema_o = Schema::new(
+        "Outdoor",
+        vec![
+            Attribute::new("temp", AttrType::Celsius),
+            Attribute::new("pres", AttrType::Hectopascal),
+        ],
+    );
+    let mut snet = SensorNetworkBuilder::new()
+        .area(Area::new(300.0, 300.0))
+        .placement(Placement::UniformRandom { n: 80 })
+        .seed(3)
+        .relations(vec![
+            SensorRelation::homogeneous(schema_i),
+            SensorRelation::over_nodes(schema_o, std::iter::empty()),
+        ])
+        .build()
+        .unwrap();
+    let q = parse(
+        "SELECT I.hum, O.pres FROM Indoor I, Outdoor O \
+         WHERE I.temp - O.temp > 0.0 ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.is_empty());
+    assert!(sj.result.is_empty());
+    // SENS-Join's filter is empty, so the final phase ships nothing.
+    assert_eq!(sj.stats.phase(sensjoin::core::PHASE_FINAL).tx_bytes, 0);
+}

@@ -1,0 +1,111 @@
+//! End-to-end runs of the paper's example queries Q1 and Q2 (§I), verbatim.
+
+use sensjoin::prelude::*;
+
+fn network(seed: u64) -> SensorNetwork {
+    SensorNetworkBuilder::new()
+        .area(Area::new(500.0, 500.0))
+        .placement(Placement::UniformRandom { n: 250 })
+        .fields(presets::outdoor_environment())
+        .base(BaseChoice::NearestCorner)
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// Q1: "the minimal distance between two points with a temperature
+/// difference of more than ten degrees".
+#[test]
+fn q1_runs_and_methods_agree() {
+    let mut snet = network(42);
+    let q = parse(
+        "SELECT MIN(distance(A.x, A.y, B.x, B.y)) \
+         FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > 10.0 \
+         ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.same_result(&sj.result));
+    match &sj.result {
+        JoinResult::Aggregate(vals) => {
+            assert_eq!(vals.len(), 1);
+            if let Some(d) = vals[0] {
+                assert!(d >= 0.0 && d <= 500.0 * 2f64.sqrt() + 1.0);
+            }
+        }
+        other => panic!("Q1 is an aggregate query, got {other:?}"),
+    }
+}
+
+/// Q2: humidity/pressure deltas of node pairs with similar temperature but
+/// at least 100 m apart.
+#[test]
+fn q2_runs_and_methods_agree() {
+    let mut snet = network(43);
+    let q = parse(
+        "SELECT |A.hum - B.hum|, |A.pres - B.pres| \
+         FROM Sensors A, Sensors B \
+         WHERE |A.temp - B.temp| < 0.3 \
+         AND distance(A.x, A.y, B.x, B.y) > 100 \
+         ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    // Q2's join attributes are x, y and temp — 3 of the 5 referenced
+    // attributes, the paper's "60 %" shape.
+    assert_eq!(cq.join_attrs(0).len(), 3);
+    assert_eq!(cq.referenced_attrs(0).len(), 5);
+    let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    assert!(ext.result.same_result(&sj.result));
+    // The distance predicate excludes self-pairs, so rows are genuine pairs.
+    if let JoinResult::Rows(rows) = &sj.result {
+        for row in rows {
+            assert_eq!(row.len(), 2);
+            assert!(row[0] >= 0.0 && row[1] >= 0.0);
+        }
+    } else {
+        panic!("Q2 is not an aggregate query");
+    }
+}
+
+/// Q2 under every wire representation: identical results, ordered costs.
+#[test]
+fn q2_representation_variants_agree() {
+    let mut snet = network(44);
+    let q = parse(
+        "SELECT |A.hum - B.hum|, |A.pres - B.pres| \
+         FROM Sensors A, Sensors B \
+         WHERE |A.temp - B.temp| < 0.3 \
+         AND distance(A.x, A.y, B.x, B.y) > 100 \
+         ONCE",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let reference = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let mut bytes_by_repr = Vec::new();
+    for repr in [
+        Representation::Quadtree,
+        Representation::Raw,
+        Representation::Zlib,
+        Representation::Bzip2,
+    ] {
+        let method = SensJoin::with_config(SensJoinConfig {
+            representation: repr,
+            ..SensJoinConfig::default()
+        });
+        let out = method.execute(&mut snet, &cq).unwrap();
+        assert!(
+            out.result.same_result(&reference.result),
+            "{repr:?} result differs"
+        );
+        bytes_by_repr.push((repr, out.stats.total_tx_bytes()));
+    }
+    // Quadtree beats the raw representation (Fig. 16's point).
+    let quad = bytes_by_repr[0].1;
+    let raw = bytes_by_repr[1].1;
+    assert!(quad < raw, "quadtree {quad} !< raw {raw}");
+}

@@ -1,0 +1,144 @@
+//! Structural protocol invariants, verified against the transmission trace:
+//! phase ordering, tree-consistent addressing, and trace/statistics
+//! agreement.
+
+use sensjoin::core::{PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL};
+use sensjoin::prelude::*;
+
+fn traced_run(seed: u64) -> (SensorNetwork, sensjoin::sim::Trace) {
+    let mut snet = SensorNetworkBuilder::new()
+        .area(Area::new(450.0, 450.0))
+        .placement(Placement::UniformRandom { n: 250 })
+        .base(BaseChoice::NearestCorner)
+        .seed(seed)
+        .build()
+        .unwrap();
+    let cq = snet
+        .compile(
+            &parse(
+                "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > 4.0 ONCE",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    snet.net_mut().set_tracing(true);
+    let out = SensJoin::default().execute(&mut snet, &cq).unwrap();
+    let trace = snet.net().trace().unwrap().clone();
+    // Trace agrees with the statistics.
+    assert_eq!(trace.total_packets(), out.stats.total_tx_packets());
+    (snet, trace)
+}
+
+#[test]
+fn phases_are_strictly_ordered() {
+    let (_, trace) = traced_run(1);
+    let phase_rank = |p: &str| match p {
+        PHASE_COLLECTION => 0,
+        PHASE_FILTER => 1,
+        PHASE_FINAL => 2,
+        other => panic!("unexpected phase {other}"),
+    };
+    let ranks: Vec<u8> = trace
+        .records()
+        .iter()
+        .map(|r| phase_rank(&r.phase))
+        .collect();
+    assert!(ranks.windows(2).all(|w| w[0] <= w[1]), "phases interleaved");
+    assert!(ranks.contains(&0) && ranks.contains(&2));
+}
+
+#[test]
+fn addressing_follows_the_tree() {
+    let (snet, trace) = traced_run(2);
+    let routing = snet.net().routing();
+    for r in trace.records() {
+        match r.phase.as_str() {
+            PHASE_COLLECTION | PHASE_FINAL => {
+                // Up phases: exactly one receiver — the sender's parent.
+                assert_eq!(r.to.len(), 1, "up-phase broadcast at {}", r.from);
+                assert_eq!(routing.parent(r.from), Some(r.to[0]));
+            }
+            PHASE_FILTER => {
+                // Down phase: receivers are children of the sender.
+                assert!(!r.to.is_empty());
+                for &c in &r.to {
+                    assert_eq!(routing.parent(c), Some(r.from));
+                }
+            }
+            other => panic!("unexpected phase {other}"),
+        }
+    }
+}
+
+#[test]
+fn collection_includes_every_reachable_node_but_the_base() {
+    let (snet, trace) = traced_run(3);
+    let routing = snet.net().routing();
+    let senders: std::collections::BTreeSet<NodeId> = trace
+        .records()
+        .iter()
+        .filter(|r| r.phase == PHASE_COLLECTION)
+        .map(|r| r.from)
+        .collect();
+    for v in (0..snet.len() as u32).map(NodeId) {
+        if v != snet.base() && routing.depth(v).is_some() {
+            assert!(senders.contains(&v), "{v} silent in collection");
+        }
+    }
+    assert!(!senders.contains(&snet.base()));
+}
+
+#[test]
+fn final_phase_senders_form_root_closed_paths() {
+    // Every final-phase sender's parent chain up to the base must also
+    // appear as final-phase senders (or be the base): filtered tuples reach
+    // the base along unbroken tree paths.
+    let (snet, trace) = traced_run(4);
+    let routing = snet.net().routing();
+    let senders: std::collections::BTreeSet<NodeId> = trace
+        .records()
+        .iter()
+        .filter(|r| r.phase == PHASE_FINAL && r.bytes > 0)
+        .map(|r| r.from)
+        .collect();
+    for &v in &senders {
+        let mut cur = v;
+        while let Some(p) = routing.parent(cur) {
+            if p == snet.base() {
+                break;
+            }
+            assert!(
+                senders.contains(&p),
+                "path of {v} broken at {p}: filtered data could not reach the base"
+            );
+            cur = p;
+        }
+    }
+    assert!(!senders.is_empty(), "query was chosen to produce matches");
+}
+
+#[test]
+fn external_trace_matches_stats_too() {
+    let mut snet = SensorNetworkBuilder::new()
+        .area(Area::new(400.0, 400.0))
+        .placement(Placement::UniformRandom { n: 200 })
+        .seed(9)
+        .build()
+        .unwrap();
+    let cq = snet
+        .compile(
+            &parse(
+                "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > 5.0 ONCE",
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    snet.net_mut().set_tracing(true);
+    let out = ExternalJoin.execute(&mut snet, &cq).unwrap();
+    let trace = snet.net().trace().unwrap();
+    assert_eq!(trace.total_packets(), out.stats.total_tx_packets());
+    // External join is single-phase.
+    assert!(trace.records().iter().all(|r| r.phase == "collection"));
+}
