@@ -1,0 +1,116 @@
+//! Scaling of the base station's exact join: the partitioned engine
+//! (`exact_join`) against the nested-loop reference (`exact_join_nested`)
+//! on two-way band and equi joins at 500 / 1500 / 5000 tuples per relation.
+//!
+//! Selectivity is tuned so the output stays O(n) — the band width shrinks
+//! with n — which isolates the candidate-generation cost: the nested loop
+//! pays O(n²) predicate evaluations regardless, the partitioned engine
+//! O(n log n) binary searches plus O(output) residual checks. The nested
+//! baseline is bounded to n ≤ 1500 (a 5000² descent per iteration would
+//! dominate the bench wall-clock without adding information).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use sensjoin_core::{exact_join, exact_join_nested};
+use sensjoin_query::{parse, CompiledQuery};
+use sensjoin_relation::{AttrType, Attribute, NodeId, Schema};
+
+const SIZES: [usize; 3] = [500, 1500, 5000];
+
+fn schema() -> Schema {
+    Schema::new(
+        "Sensors",
+        vec![
+            Attribute::new("x", AttrType::Meters),
+            Attribute::new("y", AttrType::Meters),
+            Attribute::new("temp", AttrType::Celsius),
+            Attribute::new("hum", AttrType::Percent),
+        ],
+    )
+}
+
+fn compile(sql: &str) -> CompiledQuery {
+    let q = parse(sql).expect("valid query");
+    let s = schema();
+    CompiledQuery::compile(&q, &[s.clone(), s]).expect("compiles")
+}
+
+/// Deterministic pseudo-random tuples: temp uniform in [10, 32), the other
+/// attributes decorrelated.
+fn tuples(n: usize, seed: u64) -> Vec<Vec<(NodeId, Vec<f64>)>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    (0..2)
+        .map(|rel| {
+            (0..n)
+                .map(|i| {
+                    let values = vec![
+                        1000.0 * next(),
+                        1000.0 * next(),
+                        10.0 + 22.0 * next(),
+                        30.0 + 40.0 * next(),
+                    ];
+                    (NodeId((rel * 100_000 + i) as u32), values)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_band_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling/band");
+    group.sample_size(10);
+    for n in SIZES {
+        // |A.temp - B.temp| < eps over a range of 22: eps = 11/n keeps the
+        // expected output near n rows at every size.
+        let eps = 11.0 / n as f64;
+        let cq = compile(&format!(
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < {eps} ONCE"
+        ));
+        let data = tuples(n, 42);
+        group.bench_with_input(BenchmarkId::new("partitioned", n), &n, |b, _| {
+            b.iter(|| exact_join(black_box(&cq), black_box(&data)))
+        });
+        if n <= 1500 {
+            group.bench_with_input(BenchmarkId::new("nested", n), &n, |b, _| {
+                b.iter(|| exact_join_nested(black_box(&cq), black_box(&data)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_equi_join(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_scaling/equi");
+    group.sample_size(10);
+    for n in SIZES {
+        let cq = compile(
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp = B.temp ONCE",
+        );
+        // Quantize temp onto an n-value grid: every tuple finds ~1 partner.
+        let mut data = tuples(n, 42);
+        for rel in &mut data {
+            for (_, values) in rel.iter_mut() {
+                values[2] = (values[2] * n as f64).round() / n as f64;
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("partitioned", n), &n, |b, _| {
+            b.iter(|| exact_join(black_box(&cq), black_box(&data)))
+        });
+        if n <= 1500 {
+            group.bench_with_input(BenchmarkId::new("nested", n), &n, |b, _| {
+                b.iter(|| exact_join_nested(black_box(&cq), black_box(&data)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_band_join, bench_equi_join);
+criterion_main!(benches);

@@ -1075,6 +1075,103 @@ pub fn variance(n: usize, reps: u64) -> String {
     rep.finish()
 }
 
+/// Base-station engine: wall-clock of the partitioned exact join against
+/// the nested-loop reference it replaced, on a two-way band join whose
+/// selectivity keeps the output near one row per tuple. Both engines return
+/// bit-identical results (rows, order, contributors); the full scaling
+/// curve lives in `benches/engine_scaling.rs`.
+pub fn engine_runtime(n: usize, seed: u64) -> String {
+    use sensjoin_core::{exact_join, exact_join_nested};
+    use sensjoin_query::{parse, CompiledQuery};
+    use sensjoin_relation::{AttrType, Attribute, Schema};
+    use std::time::Instant;
+
+    // The nested loop is quadratic; cap the tuple count so the smoke run
+    // and the full report both finish in well under a second.
+    let m = n.min(1500);
+    let schema = Schema::new(
+        "Sensors",
+        vec![
+            Attribute::new("x", AttrType::Meters),
+            Attribute::new("y", AttrType::Meters),
+            Attribute::new("temp", AttrType::Celsius),
+            Attribute::new("hum", AttrType::Percent),
+        ],
+    );
+    let eps = 11.0 / m as f64;
+    let q = parse(&format!(
+        "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+         WHERE |A.temp - B.temp| < {eps} ONCE"
+    ))
+    .expect("valid query");
+    let cq = CompiledQuery::compile(&q, &[schema.clone(), schema]).expect("compiles");
+
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let tuples: Vec<Vec<(NodeId, Vec<f64>)>> = (0..2)
+        .map(|rel| {
+            (0..m)
+                .map(|i| {
+                    let values = vec![
+                        1000.0 * next(),
+                        1000.0 * next(),
+                        10.0 + 22.0 * next(),
+                        30.0 + 40.0 * next(),
+                    ];
+                    (NodeId((rel * 100_000 + i) as u32), values)
+                })
+                .collect()
+        })
+        .collect();
+
+    let time = |f: &dyn Fn() -> sensjoin_core::JoinComputation| {
+        let mut best = f64::INFINITY;
+        let mut out = None;
+        for _ in 0..3 {
+            let t = Instant::now();
+            let r = f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+            out = Some(r);
+        }
+        (best, out.unwrap())
+    };
+    let (t_part, r_part) = time(&|| exact_join(&cq, &tuples));
+    let (t_nest, r_nest) = time(&|| exact_join_nested(&cq, &tuples));
+    assert_eq!(r_part.result.len(), r_nest.result.len());
+    assert_eq!(r_part.contributors, r_nest.contributors);
+
+    let mut rep = Report::new("Base-station engine: partitioned vs nested-loop join");
+    rep.para(&format!(
+        "Two-way band join `|A.temp - B.temp| < {eps:.4}` over {m} tuples per \
+         relation (best of 3 runs, {} result rows). The partitioned engine \
+         returns the bit-identical row sequence, aggregates and contributor \
+         set of the nested-loop reference; `cargo bench --bench \
+         engine_scaling` reproduces the full curve.",
+        r_part.result.len()
+    ));
+    rep.table(
+        &["engine", "runtime [ms]", "speedup [x]"],
+        &[
+            vec![
+                "nested loop (reference)".into(),
+                format!("{t_nest:.2}"),
+                "1.0".into(),
+            ],
+            vec![
+                "partitioned (this report)".into(),
+                format!("{t_part:.2}"),
+                format!("{:.1}", t_nest / t_part),
+            ],
+        ],
+    );
+    rep.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

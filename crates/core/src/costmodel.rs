@@ -328,8 +328,9 @@ mod tests {
         let (snet, cq, _) = setup(300, 9, 0.05);
         let model = CostModel::new(&snet, &cq);
         let beta = model.estimate_beta();
-        // One join attribute at 0.1 resolution over a few degrees: a few
-        // bits to a few tens of bits per point.
-        assert!(beta > 1.0 && beta < 64.0, "beta {beta}");
+        // One join attribute at 0.1 resolution over a few degrees: the
+        // quadtree can drop below one bit per point when the population is
+        // dense, but a fraction of a bit to a few tens of bits is plausible.
+        assert!(beta > 0.2 && beta < 64.0, "beta {beta}");
     }
 }

@@ -1,13 +1,28 @@
 //! The base-station join engine: conservative pre-join and exact join.
+//!
+//! Both entry points ([`prejoin_filter`], [`exact_join`]) run a
+//! **partitioned** descent: per descend level, the predicate classification
+//! of [`sensjoin_query::analyze`] drives a hash index (equi predicates) or a
+//! sorted-key index (band predicates) that narrows the level to a candidate
+//! superset, while the unchanged residual predicate check still runs on
+//! every candidate. Levels without an indexable predicate scan exactly like
+//! the nested-loop reference. The outermost level is chunked across threads
+//! (behind the default-on `parallel` feature) and the per-chunk outputs are
+//! merged in chunk order, so results — rows, their order, contributors, and
+//! the filter bitmask — are bit-identical to [`exact_join_nested`] /
+//! [`prejoin_filter_nested`], which are retained as the plain reference
+//! implementations (and as the baseline of the `engine_scaling` benchmark).
 
 use crate::config::SensJoinConfig;
 use crate::outcome::JoinResult;
+use crate::partition::{exact_plan, filter_plan, Candidates, ExactIndex, FilterIndex};
 use crate::snetwork::SensorNetwork;
 use sensjoin_quadtree::{Point, PointSet, RelFlags, TreeShape};
 use sensjoin_query::{CompiledQuery, Interval};
 use sensjoin_relation::NodeId;
 use sensjoin_zorder::{Dimension, ZSpace};
 use std::collections::BTreeSet;
+use std::ops::Range;
 
 /// The shared quantization space of a query (§V-B) plus the bookkeeping to
 /// move between relations, dimensions and quadtree keys.
@@ -111,7 +126,7 @@ impl JoinSpace {
 
     /// The interval of join attribute `attr` of relation `rel` for a point
     /// with the given cell box.
-    fn attr_interval(
+    pub(crate) fn attr_interval(
         &self,
         query: &CompiledQuery,
         cell_box: &[(f64, f64)],
@@ -128,15 +143,148 @@ impl JoinSpace {
     }
 }
 
+/// Highest relation referenced per join predicate, so a partial binding of
+/// relations `0..=k` can check each predicate as early as possible.
+fn pred_max_rels(query: &CompiledQuery) -> Vec<usize> {
+    query
+        .join_preds()
+        .iter()
+        .map(|p| p.relations().into_iter().max().unwrap_or(0))
+        .collect()
+}
+
+/// Runs `f` over contiguous chunks of `0..n_items` and returns the chunk
+/// results **in chunk order**. With the `parallel` feature (default) and
+/// `worthwhile` work, chunks run on scoped threads; otherwise a single
+/// chunk runs inline. Order-preserving merging keeps the parallel engine
+/// bit-identical to the sequential one.
+fn run_chunked<T, F>(n_items: usize, worthwhile: bool, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+{
+    #[cfg(feature = "parallel")]
+    if worthwhile && n_items >= 2 {
+        let threads = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(1)
+            .min(n_items);
+        if threads > 1 {
+            let chunk = n_items.div_ceil(threads);
+            return std::thread::scope(|s| {
+                let f = &f;
+                let handles: Vec<_> = (0..threads)
+                    .map(|t| {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(n_items);
+                        s.spawn(move || f(lo..hi))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("join worker panicked"))
+                    .collect()
+            });
+        }
+    }
+    #[cfg(not(feature = "parallel"))]
+    let _ = worthwhile;
+    vec![f(0..n_items)]
+}
+
+/// Whether the estimated descent work (outer size × inner search space)
+/// justifies spawning threads.
+fn worth_parallelizing(outer: usize, inner_sizes: impl Iterator<Item = usize>) -> bool {
+    let inner: usize = inner_sizes
+        .map(|s| s.max(1))
+        .fold(1usize, |a, b| a.saturating_mul(b));
+    outer.saturating_mul(inner) >= (1 << 13)
+}
+
 /// Computes the join filter (§IV step 1a): the set of quantized
 /// join-attribute tuples that *possibly* have a join partner, with the
 /// relation roles in which they matched.
 ///
 /// Conservative by construction — every real match survives quantization
 /// because predicates are evaluated with interval arithmetic over the cells.
+///
+/// Partitioned evaluation: levels with an equi/band predicate on plain
+/// column sides probe a sorted array of cell intervals instead of scanning
+/// every point; the marked bitmask is identical to
+/// [`prejoin_filter_nested`]'s because candidate pruning only removes points
+/// whose residual interval check is definitely false.
 pub fn prejoin_filter(query: &CompiledQuery, space: &JoinSpace, points: &PointSet) -> PointSet {
+    let (lists, boxes) = filter_inputs(query, space, points);
+    let pred_rels = pred_max_rels(query);
+    let mut matched: Vec<u8> = vec![0; points.len()];
+    if !query.is_const_false() && !lists.is_empty() {
+        let list_lens: Vec<usize> = lists.iter().map(|l| l.len()).collect();
+        let plan = filter_plan(query, &list_lens, &pred_rels, |rel, attr, pos| {
+            space.attr_interval(query, &boxes[lists[rel][pos]], rel, attr)
+        });
+        let run = FilterRun {
+            query,
+            space,
+            lists: &lists,
+            boxes: &boxes,
+            pred_rels: &pred_rels,
+            plan: &plan,
+        };
+        let worthwhile = worth_parallelizing(lists[0].len(), lists.iter().skip(1).map(|l| l.len()));
+        let parts = run_chunked(lists[0].len(), worthwhile, |range| {
+            let mut local: Vec<u8> = vec![0; points.len()];
+            let mut binding: Vec<usize> = Vec::with_capacity(lists.len());
+            for pos in range {
+                run.step(0, pos, &mut binding, &mut local);
+            }
+            local
+        });
+        for part in parts {
+            for (m, p) in matched.iter_mut().zip(part) {
+                *m |= p;
+            }
+        }
+    }
+    collect_filter(points, &matched)
+}
+
+/// The nested-loop reference pre-join filter (the original implementation):
+/// kept for equivalence testing and as the benchmark baseline. Produces the
+/// same [`PointSet`] as [`prejoin_filter`].
+pub fn prejoin_filter_nested(
+    query: &CompiledQuery,
+    space: &JoinSpace,
+    points: &PointSet,
+) -> PointSet {
+    let (lists, boxes) = filter_inputs(query, space, points);
+    let pred_rels = pred_max_rels(query);
+    let mut matched: Vec<u8> = vec![0; points.len()];
+    let mut binding: Vec<usize> = Vec::with_capacity(lists.len());
+    // The query's truth value is binding-independent: check it once instead
+    // of per loop iteration.
+    if !query.is_const_false() {
+        descend_nested(
+            query,
+            space,
+            &lists,
+            &boxes,
+            &pred_rels,
+            &mut binding,
+            &mut matched,
+        );
+    }
+    collect_filter(points, &matched)
+}
+
+/// Role lists (point indices usable as each relation) and pre-decoded cell
+/// boxes — the shared setup of both filter implementations.
+#[allow(clippy::type_complexity)]
+fn filter_inputs(
+    query: &CompiledQuery,
+    space: &JoinSpace,
+    points: &PointSet,
+) -> (Vec<Vec<usize>>, Vec<Vec<(f64, f64)>>) {
     let n = query.num_relations();
-    // Role lists: indices of points usable as relation r.
     let lists: Vec<Vec<usize>> = (0..n)
         .map(|r| {
             let flag = space.flag(r);
@@ -149,32 +297,15 @@ pub fn prejoin_filter(query: &CompiledQuery, space: &JoinSpace, points: &PointSe
                 .collect()
         })
         .collect();
-    // Pre-decode every point's cell box once.
     let boxes: Vec<Vec<(f64, f64)>> = points
         .points()
         .iter()
         .map(|p| space.zspace.cell_box(p.z))
         .collect();
-    // Predicates annotated with the highest relation they reference, so a
-    // partial binding of relations 0..=k can check them as early as possible.
-    let pred_rels: Vec<usize> = query
-        .join_preds()
-        .iter()
-        .map(|p| p.relations().into_iter().max().unwrap_or(0))
-        .collect();
+    (lists, boxes)
+}
 
-    let mut matched: Vec<u8> = vec![0; points.len()];
-    let mut binding: Vec<usize> = Vec::with_capacity(n);
-    descend(
-        query,
-        space,
-        &lists,
-        &boxes,
-        &pred_rels,
-        &mut binding,
-        &mut matched,
-    );
-
+fn collect_filter(points: &PointSet, matched: &[u8]) -> PointSet {
     PointSet::from_points(
         matched
             .iter()
@@ -187,7 +318,80 @@ pub fn prejoin_filter(query: &CompiledQuery, space: &JoinSpace, points: &PointSe
     )
 }
 
-fn descend(
+/// Shared context of the partitioned filter descent.
+struct FilterRun<'a> {
+    query: &'a CompiledQuery,
+    space: &'a JoinSpace,
+    lists: &'a [Vec<usize>],
+    boxes: &'a [Vec<(f64, f64)>],
+    pred_rels: &'a [usize],
+    plan: &'a [Option<FilterIndex>],
+}
+
+impl FilterRun<'_> {
+    fn descend(&self, binding: &mut Vec<usize>, matched: &mut [u8]) {
+        let rel = binding.len();
+        if rel == self.lists.len() {
+            // Full binding survived every predicate: mark all roles.
+            for (r, &idx) in binding.iter().enumerate() {
+                matched[idx] |= self.space.flag(r).0;
+            }
+            return;
+        }
+        match self.candidates(rel, binding) {
+            Candidates::All => {
+                for pos in 0..self.lists[rel].len() {
+                    self.step(rel, pos, binding, matched);
+                }
+            }
+            Candidates::Picked(positions) => {
+                for &pos in &positions {
+                    self.step(rel, pos as usize, binding, matched);
+                }
+            }
+        }
+    }
+
+    fn candidates(&self, rel: usize, binding: &[usize]) -> Candidates {
+        match &self.plan[rel] {
+            Some(ix) => {
+                let probe = self.space.attr_interval(
+                    self.query,
+                    &self.boxes[binding[ix.probe_rel()]],
+                    ix.probe_rel(),
+                    ix.probe_attr(),
+                );
+                ix.candidates(probe)
+            }
+            None => Candidates::All,
+        }
+    }
+
+    /// Binds role-list position `pos` at level `rel`, applies the residual
+    /// interval check (identical to the nested reference) and recurses.
+    fn step(&self, rel: usize, pos: usize, binding: &mut Vec<usize>, matched: &mut [u8]) {
+        let idx = self.lists[rel][pos];
+        binding.push(idx);
+        let ok = {
+            let env = |r: usize, a: usize| -> Interval {
+                self.space
+                    .attr_interval(self.query, &self.boxes[binding[r]], r, a)
+            };
+            self.query
+                .join_preds()
+                .iter()
+                .zip(self.pred_rels)
+                .filter(|&(_, &maxrel)| maxrel == rel)
+                .all(|(p, _)| sensjoin_query::eval_predicate_interval(p, &env).possible())
+        };
+        if ok {
+            self.descend(binding, matched);
+        }
+        binding.pop();
+    }
+}
+
+fn descend_nested(
     query: &CompiledQuery,
     space: &JoinSpace,
     lists: &[Vec<usize>],
@@ -215,8 +419,8 @@ fn descend(
             .zip(pred_rels)
             .filter(|&(_, &maxrel)| maxrel == rel)
             .all(|(p, _)| sensjoin_query::eval_predicate_interval(p, &env).possible());
-        if ok && !query.is_const_false() {
-            descend(query, space, lists, boxes, pred_rels, binding, matched);
+        if ok {
+            descend_nested(query, space, lists, boxes, pred_rels, binding, matched);
         }
         binding.pop();
     }
@@ -231,32 +435,80 @@ pub struct JoinComputation {
     pub contributors: BTreeSet<NodeId>,
 }
 
+/// Accumulated outputs of one (chunk of the) exact descent.
+#[derive(Default)]
+struct ExactAcc {
+    rows: Vec<Vec<f64>>,
+    keys: Vec<Vec<f64>>,
+    contributors: BTreeSet<NodeId>,
+}
+
 /// Computes the exact join over complete tuples. `tuples[rel]` are the
 /// candidate tuples of relation `rel`: `(origin node, values aligned to the
 /// relation's schema)`. Local predicates are assumed already applied at the
 /// nodes; join predicates are evaluated here with full precision.
+///
+/// Partitioned evaluation: each descend level with an equi (band) predicate
+/// probes a hash (sorted) index for its candidate tuples; the outer level is
+/// chunked across threads behind the `parallel` feature. Rows, row order,
+/// grouping and contributors are bit-identical to [`exact_join_nested`].
 pub fn exact_join(query: &CompiledQuery, tuples: &[Vec<(NodeId, Vec<f64>)>]) -> JoinComputation {
     assert_eq!(tuples.len(), query.num_relations());
-    let pred_rels: Vec<usize> = query
-        .join_preds()
-        .iter()
-        .map(|p| p.relations().into_iter().max().unwrap_or(0))
-        .collect();
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    let mut keys: Vec<Vec<f64>> = Vec::new();
-    let mut contributors = BTreeSet::new();
-    let mut binding: Vec<usize> = Vec::with_capacity(tuples.len());
+    let pred_rels = pred_max_rels(query);
+    let mut acc = ExactAcc::default();
     if !query.is_const_false() {
-        exact_descend(
+        let plan = exact_plan(query, tuples, &pred_rels);
+        let run = ExactRun {
             query,
             tuples,
-            &pred_rels,
-            &mut binding,
-            &mut rows,
-            &mut keys,
-            &mut contributors,
-        );
+            pred_rels: &pred_rels,
+            plan: &plan,
+        };
+        let worthwhile =
+            worth_parallelizing(tuples[0].len(), tuples.iter().skip(1).map(|t| t.len()));
+        let parts = run_chunked(tuples[0].len(), worthwhile, |range| {
+            let mut part = ExactAcc::default();
+            let mut binding: Vec<usize> = Vec::with_capacity(tuples.len());
+            for pos in range {
+                run.step(0, pos, &mut binding, &mut part);
+            }
+            part
+        });
+        // Chunk-order merge: rows/keys concatenate to the sequential order,
+        // the contributor set unions.
+        for part in parts {
+            acc.rows.extend(part.rows);
+            acc.keys.extend(part.keys);
+            acc.contributors.extend(part.contributors);
+        }
     }
+    finalize_exact(query, acc)
+}
+
+/// The nested-loop reference exact join (the original implementation): kept
+/// for equivalence testing and as the benchmark baseline. Produces the same
+/// [`JoinComputation`] as [`exact_join`].
+pub fn exact_join_nested(
+    query: &CompiledQuery,
+    tuples: &[Vec<(NodeId, Vec<f64>)>],
+) -> JoinComputation {
+    assert_eq!(tuples.len(), query.num_relations());
+    let pred_rels = pred_max_rels(query);
+    let mut acc = ExactAcc::default();
+    let mut binding: Vec<usize> = Vec::with_capacity(tuples.len());
+    if !query.is_const_false() {
+        exact_descend_nested(query, tuples, &pred_rels, &mut binding, &mut acc);
+    }
+    finalize_exact(query, acc)
+}
+
+/// Grouping / aggregation folding shared by both exact implementations.
+fn finalize_exact(query: &CompiledQuery, acc: ExactAcc) -> JoinComputation {
+    let ExactAcc {
+        rows,
+        keys,
+        contributors,
+    } = acc;
     let result = if query.has_group_by() {
         // Group rows by key (bitwise f64 keys: all methods compute the same
         // expressions, so grouping is deterministic) and fold each group.
@@ -277,25 +529,87 @@ pub fn exact_join(query: &CompiledQuery, tuples: &[Vec<(NodeId, Vec<f64>)>]) -> 
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn exact_descend(
+/// Shared context of the partitioned exact descent.
+struct ExactRun<'a> {
+    query: &'a CompiledQuery,
+    tuples: &'a [Vec<(NodeId, Vec<f64>)>],
+    pred_rels: &'a [usize],
+    plan: &'a [Option<ExactIndex<'a>>],
+}
+
+impl ExactRun<'_> {
+    fn descend(&self, binding: &mut Vec<usize>, out: &mut ExactAcc) {
+        let rel = binding.len();
+        if rel == self.tuples.len() {
+            let env = |r: usize, a: usize| -> f64 { self.tuples[r][binding[r]].1[a] };
+            out.rows.push(self.query.eval_select_row(&env));
+            if self.query.has_group_by() {
+                out.keys.push(self.query.eval_group_key(&env));
+            }
+            for (r, &idx) in binding.iter().enumerate() {
+                out.contributors.insert(self.tuples[r][idx].0);
+            }
+            return;
+        }
+        let cands = match &self.plan[rel] {
+            Some(ix) => {
+                let env = |r: usize, a: usize| -> f64 { self.tuples[r][binding[r]].1[a] };
+                ix.candidates(&env)
+            }
+            None => Candidates::All,
+        };
+        match cands {
+            Candidates::All => {
+                for pos in 0..self.tuples[rel].len() {
+                    self.step(rel, pos, binding, out);
+                }
+            }
+            Candidates::Picked(positions) => {
+                // Ascending positions: a subsequence of the full scan, so
+                // row emission order is preserved.
+                for &pos in &positions {
+                    self.step(rel, pos as usize, binding, out);
+                }
+            }
+        }
+    }
+
+    /// Binds tuple `pos` at level `rel`, applies the residual predicate
+    /// check (identical to the nested reference) and recurses.
+    fn step(&self, rel: usize, pos: usize, binding: &mut Vec<usize>, out: &mut ExactAcc) {
+        binding.push(pos);
+        let ok = {
+            let env = |r: usize, a: usize| -> f64 { self.tuples[r][binding[r]].1[a] };
+            self.query
+                .join_preds()
+                .iter()
+                .zip(self.pred_rels)
+                .filter(|&(_, &maxrel)| maxrel == rel)
+                .all(|(p, _)| sensjoin_query::eval_predicate(p, &env))
+        };
+        if ok {
+            self.descend(binding, out);
+        }
+        binding.pop();
+    }
+}
+
+fn exact_descend_nested(
     query: &CompiledQuery,
     tuples: &[Vec<(NodeId, Vec<f64>)>],
     pred_rels: &[usize],
     binding: &mut Vec<usize>,
-    rows: &mut Vec<Vec<f64>>,
-    keys: &mut Vec<Vec<f64>>,
-    contributors: &mut BTreeSet<NodeId>,
+    out: &mut ExactAcc,
 ) {
     let rel = binding.len();
     if rel == tuples.len() {
         let env = |r: usize, a: usize| -> f64 { tuples[r][binding[r]].1[a] };
-        rows.push(query.eval_select_row(&env));
+        out.rows.push(query.eval_select_row(&env));
         if query.has_group_by() {
-            keys.push(query.eval_group_key(&env));
+            out.keys.push(query.eval_group_key(&env));
         }
         for (r, &idx) in binding.iter().enumerate() {
-            contributors.insert(tuples[r][idx].0);
+            out.contributors.insert(tuples[r][idx].0);
         }
         return;
     }
@@ -309,7 +623,7 @@ fn exact_descend(
             .filter(|&(_, &maxrel)| maxrel == rel)
             .all(|(p, _)| sensjoin_query::eval_predicate(p, &env));
         if ok {
-            exact_descend(query, tuples, pred_rels, binding, rows, keys, contributors);
+            exact_descend_nested(query, tuples, pred_rels, binding, out);
         }
         binding.pop();
     }
@@ -472,6 +786,48 @@ mod tests {
             let dims = space.dim_values(&cq, &[Some(v.clone()), Some(v.clone()), Some(v)]);
             let z = space.encode(&dims);
             assert!(filter.contains_matching(z, RelFlags(0b111)));
+        }
+    }
+
+    /// The partitioned engine and the nested-loop reference agree exactly —
+    /// rows, row order, contributors and filter bitmask — across predicate
+    /// classes (equi / band / abs-band / general / mixed).
+    #[test]
+    fn partitioned_engine_matches_nested_reference() {
+        for sql in [
+            "SELECT A.temp, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp = B.temp ONCE",
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 1.5 ONCE",
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.2 ONCE",
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE A.temp < B.temp AND A.hum - B.hum > 10.0 ONCE",
+            "SELECT A.x, B.x FROM Sensors A, Sensors B \
+             WHERE distance(A.x, A.y, B.x, B.y) < 40.0 ONCE",
+            "SELECT A.temp, B.temp, C.temp FROM Sensors A, Sensors B, Sensors C \
+             WHERE |A.temp - B.temp| < 0.3 AND B.temp - C.temp > 0.5 ONCE",
+        ] {
+            let (snet, cq, space) = setup(sql);
+            let tuples = all_tuples(&snet, &cq);
+            let new = exact_join(&cq, &tuples);
+            let old = exact_join_nested(&cq, &tuples);
+            assert_eq!(new.contributors, old.contributors, "{sql}");
+            match (&new.result, &old.result) {
+                (JoinResult::Rows(a), JoinResult::Rows(b)) => {
+                    let bits = |rows: &[Vec<f64>]| -> Vec<Vec<u64>> {
+                        rows.iter()
+                            .map(|r| r.iter().map(|v| v.to_bits()).collect())
+                            .collect()
+                    };
+                    assert_eq!(bits(a), bits(b), "row mismatch for {sql}");
+                }
+                (a, b) => panic!("result kind mismatch for {sql}: {a:?} vs {b:?}"),
+            }
+            let points = all_points(&snet, &cq, &space);
+            let new_f = prejoin_filter(&cq, &space, &points);
+            let old_f = prejoin_filter_nested(&cq, &space, &points);
+            assert_eq!(new_f.points(), old_f.points(), "filter mismatch for {sql}");
         }
     }
 }

@@ -28,31 +28,33 @@
 //!
 //! ```
 //! use sensjoin_core::{SensorNetworkBuilder, SensJoin, ExternalJoin, JoinMethod};
-//! use sensjoin_field::{Area, Placement, presets};
+//! use sensjoin_field::{Area, Placement};
 //! use sensjoin_query::parse;
+//! use sensjoin_sim::BaseChoice;
 //!
 //! let mut snet = SensorNetworkBuilder::new()
-//!     .area(Area::new(400.0, 400.0))
-//!     .placement(Placement::UniformRandom { n: 200 })
-//!     .fields(presets::indoor_climate())
+//!     .area(Area::for_constant_density(500))
+//!     .placement(Placement::UniformRandom { n: 500 })
+//!     .base(BaseChoice::NearestCorner)
 //!     .seed(42)
 //!     .build()
 //!     .unwrap();
-//! // A selective Q1-style query. (Note that symmetric conditions like
-//! // |A.temp - B.temp| < c make *every* node contribute, because SQL
-//! // semantics pair each node with itself.)
+//! // A selective Q1-style query whose tuples are wider than the single
+//! // join attribute — the regime the pre-join filter is built for. (Note
+//! // that symmetric conditions like |A.temp - B.temp| < c make *every*
+//! // node contribute, because SQL semantics pair each node with itself.)
 //! let query = parse(
-//!     "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
-//!      WHERE A.temp - B.temp > 6.0 ONCE",
+//!     "SELECT A.hum, A.pres, B.hum, B.pres FROM Sensors A, Sensors B \
+//!      WHERE A.temp - B.temp > 1.8 ONCE",
 //! ).unwrap();
 //! let cq = snet.compile(&query).unwrap();
 //!
 //! let ext = ExternalJoin::default().execute(&mut snet, &cq).unwrap();
 //! let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
 //! assert!(ext.result.same_result(&sj.result)); // identical results,
-//! // and on selective queries SENS-Join ships far less data (packet-count
-//! // savings additionally need the deep trees of paper-scale networks):
+//! // and on selective queries SENS-Join ships far less data:
 //! assert!(sj.stats.total_tx_bytes() < ext.stats.total_tx_bytes());
+//! assert!(sj.stats.total_tx_packets() < ext.stats.total_tx_packets());
 //! ```
 
 mod adaptive;
@@ -64,6 +66,7 @@ mod costmodel;
 mod engine;
 mod external;
 mod outcome;
+mod partition;
 mod recovery;
 mod repr;
 mod sensjoin;
@@ -81,7 +84,10 @@ pub use continuous::{
     ContinuousSensJoin, PHASE_DELTA_COLLECTION, PHASE_FILTER_DELTA, PHASE_FINAL_DELTA,
 };
 pub use costmodel::{CostEstimate, CostModel, MethodChoice};
-pub use engine::{exact_join, prejoin_filter, JoinSpace};
+pub use engine::{
+    exact_join, exact_join_nested, prejoin_filter, prejoin_filter_nested, JoinComputation,
+    JoinSpace,
+};
 pub use external::ExternalJoin;
 pub use outcome::{JoinOutcome, JoinResult, ProtocolError};
 pub use recovery::{execute_with_recovery, RecoveryOutcome};

@@ -1,0 +1,681 @@
+//! Partitioned candidate generation for the base-station join engine.
+//!
+//! For each descend level (relation) of the join, this module builds an
+//! index over that relation's tuples (scalar case, [`exact_plan`]) or
+//! quantized points (interval case, [`filter_plan`]) driven by the
+//! predicate classification of [`sensjoin_query::analyze`]:
+//!
+//! * **equi** predicates (`f(A) = g(B)`) get a hash index on the exact bit
+//!   pattern of the key (−0.0 folded onto 0.0, NaN keys dropped — both
+//!   choices mirror IEEE `==`),
+//! * **band** predicates (difference-form comparisons) get a sorted key
+//!   array, probed with binary searches,
+//! * **general** predicates get no index; their levels fall back to the
+//!   full scan of the nested-loop descent.
+//!
+//! # Why the results are bit-identical to the nested loop
+//!
+//! The candidate set of a level only has to be a *superset* of the tuples
+//! the residual filter (the unchanged predicate evaluation of the old
+//! descent, which still runs on every candidate) accepts; order is restored
+//! by sorting candidate positions ascending. Two properties make the
+//! superset guarantee airtight without any epsilon slack:
+//!
+//! 1. keys and probes are evaluated from the **original predicate
+//!    subtrees** (see [`sensjoin_query::analyze`]) with the same evaluator
+//!    the residual uses, so both compute identical `f64`s, and
+//! 2. the binary-search partition predicates evaluate the **same IEEE-754
+//!    operations** as the residual (one subtraction and one comparison —
+//!    never an algebraically solved bound), and IEEE subtraction and
+//!    comparison are monotone, so each predicate's accepted set is a union
+//!    of at most two contiguous runs of the sorted key array, found exactly
+//!    by `partition_point`.
+
+use sensjoin_query::{eval_expr, BandForm, CExpr, CmpOp, CompiledQuery, Interval, PredClass};
+use sensjoin_relation::NodeId;
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Candidate positions produced by an index probe, in the position space of
+/// the level's tuple (or role-list) array.
+pub(crate) enum Candidates {
+    /// No pruning: the level scans every position.
+    All,
+    /// Pruned positions, sorted ascending.
+    Picked(Vec<u32>),
+}
+
+/// Folds a key value to its hash bits: −0.0 and 0.0 compare equal, so they
+/// share a bucket; NaN never compares equal, so it has none.
+fn key_bits(v: f64) -> Option<u64> {
+    if v.is_nan() {
+        None
+    } else if v == 0.0 {
+        Some(0.0_f64.to_bits())
+    } else {
+        Some(v.to_bits())
+    }
+}
+
+/// A half-open/closed interval of *d-values* (see [`sorted_ranges`]); the
+/// accepted set of one comparison in the monotone probe coordinate.
+#[derive(Clone, Copy)]
+struct DIv {
+    lo: f64,
+    lo_open: bool,
+    hi: f64,
+    hi_open: bool,
+}
+
+impl DIv {
+    fn ray_below(hi: f64, hi_open: bool) -> Self {
+        Self {
+            lo: f64::NEG_INFINITY,
+            lo_open: false,
+            hi,
+            hi_open,
+        }
+    }
+
+    fn ray_above(lo: f64, lo_open: bool) -> Self {
+        Self {
+            lo,
+            lo_open,
+            hi: f64::INFINITY,
+            hi_open: false,
+        }
+    }
+
+    fn window(lo: f64, hi: f64, open: bool) -> Self {
+        Self {
+            lo,
+            lo_open: open,
+            hi,
+            hi_open: open,
+        }
+    }
+
+    /// `v` lies strictly below the interval.
+    fn below(&self, v: f64) -> bool {
+        v < self.lo || (self.lo_open && v == self.lo)
+    }
+
+    /// `v` lies strictly above the interval.
+    fn above(&self, v: f64) -> bool {
+        v > self.hi || (self.hi_open && v == self.hi)
+    }
+}
+
+/// The d-intervals accepted by `d op c`, or `None` for "everything".
+/// An empty vec means "nothing".
+fn cmp_intervals(op: CmpOp, c: f64) -> Option<Vec<DIv>> {
+    Some(match op {
+        CmpOp::Lt => vec![DIv::ray_below(c, true)],
+        CmpOp::Le => vec![DIv::ray_below(c, false)],
+        CmpOp::Gt => vec![DIv::ray_above(c, true)],
+        CmpOp::Ge => vec![DIv::ray_above(c, false)],
+        CmpOp::Eq => vec![DIv::window(c, c, false)],
+        CmpOp::Ne => return None, // not indexed (classified General)
+    })
+}
+
+/// The d-intervals accepted by `|d| op c`.
+fn abs_cmp_intervals(op: CmpOp, c: f64) -> Option<Vec<DIv>> {
+    Some(match op {
+        // |d| ≥ 0, so a non-positive upper bound accepts nothing …
+        CmpOp::Lt if c <= 0.0 => vec![],
+        CmpOp::Le if c < 0.0 => vec![],
+        // … and a negative lower bound accepts everything.
+        CmpOp::Gt if c < 0.0 => return None,
+        CmpOp::Ge if c <= 0.0 => return None,
+        CmpOp::Eq if c < 0.0 => vec![],
+        CmpOp::Lt => vec![DIv::window(-c, c, true)],
+        CmpOp::Le => vec![DIv::window(-c, c, false)],
+        CmpOp::Gt => vec![DIv::ray_below(-c, true), DIv::ray_above(c, true)],
+        CmpOp::Ge => vec![DIv::ray_below(-c, false), DIv::ray_above(c, false)],
+        CmpOp::Eq => vec![DIv::window(-c, -c, false), DIv::window(c, c, false)],
+        CmpOp::Ne => return None,
+    })
+}
+
+/// Finds the positions of `keys` (ascending) whose d-value `d(key)` lies in
+/// one of `ivs`, where `d` is monotone over the key order (`increasing`
+/// tells which way). Exact: `partition_point` over a monotone predicate.
+fn sorted_ranges(
+    keys: &[(f64, u32)],
+    d: impl Fn(f64) -> f64,
+    increasing: bool,
+    ivs: &[DIv],
+) -> Vec<Range<usize>> {
+    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(ivs.len());
+    for iv in ivs {
+        let (start, end) = if increasing {
+            (
+                keys.partition_point(|&(k, _)| iv.below(d(k))),
+                keys.partition_point(|&(k, _)| !iv.above(d(k))),
+            )
+        } else {
+            (
+                keys.partition_point(|&(k, _)| iv.above(d(k))),
+                keys.partition_point(|&(k, _)| !iv.below(d(k))),
+            )
+        };
+        if start < end {
+            // Merge with the previous range if they touch/overlap, so the
+            // collected positions stay duplicate-free.
+            if let Some(last) = ranges.last_mut() {
+                if start <= last.end {
+                    last.end = last.end.max(end);
+                    continue;
+                }
+            }
+            ranges.push(start..end);
+        }
+    }
+    ranges
+}
+
+// ---------------------------------------------------------------------------
+// Exact (scalar) side
+// ---------------------------------------------------------------------------
+
+/// Per-level index for the exact join.
+pub(crate) enum ExactIndex<'q> {
+    /// Equi: key-bits → positions (ascending by construction).
+    Hash {
+        /// Probe-side expression (references `probe_rel` only).
+        probe: &'q CExpr,
+        /// Key bits → tuple positions.
+        map: HashMap<u64, Vec<u32>>,
+    },
+    /// Band: keys sorted ascending (NaN keys dropped — no comparison with a
+    /// NaN operand is ever true).
+    Sorted {
+        probe: &'q CExpr,
+        /// `(key value, tuple position)` sorted ascending by key.
+        keys: Vec<(f64, u32)>,
+        /// Whether the indexed relation is the `lhs` side of the form.
+        key_is_lhs: bool,
+        form: BandForm,
+    },
+}
+
+impl ExactIndex<'_> {
+    /// Candidate positions for the current partial binding.
+    pub(crate) fn candidates(&self, env: &impl Fn(usize, usize) -> f64) -> Candidates {
+        match self {
+            ExactIndex::Hash { probe, map } => {
+                let p = eval_expr(probe, env);
+                let positions = key_bits(p)
+                    .and_then(|bits| map.get(&bits))
+                    .cloned()
+                    .unwrap_or_default();
+                Candidates::Picked(positions)
+            }
+            ExactIndex::Sorted {
+                probe,
+                keys,
+                key_is_lhs,
+                form,
+            } => {
+                let p = eval_expr(probe, env);
+                if p.is_nan() {
+                    // Every comparison involving NaN is false.
+                    return Candidates::Picked(Vec::new());
+                }
+                let (d, increasing): (Box<dyn Fn(f64) -> f64>, bool) = match form {
+                    // Direct comparisons probe the key value itself.
+                    BandForm::Direct(_) => (Box::new(|k| k), true),
+                    BandForm::Diff { .. } | BandForm::AbsDiff { .. } => {
+                        if !p.is_finite() {
+                            // inf − inf is NaN: subtraction monotonicity can
+                            // break against infinite keys. Scan everything.
+                            return Candidates::All;
+                        }
+                        if *key_is_lhs {
+                            (Box::new(move |k| k - p), true)
+                        } else {
+                            (Box::new(move |k| p - k), false)
+                        }
+                    }
+                };
+                let ivs = match form {
+                    BandForm::Direct(op) => {
+                        // `key op p` or `p op key` ≡ `key mirror(op) p`.
+                        let op = if *key_is_lhs { *op } else { mirror(*op) };
+                        cmp_intervals(op, p)
+                    }
+                    BandForm::Diff { op, c } => cmp_intervals(*op, *c),
+                    BandForm::AbsDiff { op, c } => abs_cmp_intervals(*op, *c),
+                };
+                let Some(ivs) = ivs else {
+                    return Candidates::All;
+                };
+                let ranges = sorted_ranges(keys, d, increasing, &ivs);
+                let mut positions: Vec<u32> = ranges
+                    .into_iter()
+                    .flat_map(|r| keys[r].iter().map(|&(_, pos)| pos))
+                    .collect();
+                // Restore the nested loop's emission order.
+                positions.sort_unstable();
+                Candidates::Picked(positions)
+            }
+        }
+    }
+}
+
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+/// Builds one index per descend level (`None`: full scan). Level `rel` is
+/// indexed by the first classified predicate whose highest relation is
+/// `rel` — the level where the old descent would first evaluate it.
+pub(crate) fn exact_plan<'q>(
+    query: &'q CompiledQuery,
+    tuples: &[Vec<(NodeId, Vec<f64>)>],
+    pred_rels: &[usize],
+) -> Vec<Option<ExactIndex<'q>>> {
+    let mut levels: Vec<Option<ExactIndex<'q>>> =
+        (0..query.num_relations()).map(|_| None).collect();
+    for (pi, class) in query.pred_classes().iter().enumerate() {
+        let rel = pred_rels[pi];
+        if levels[rel].is_some() {
+            continue;
+        }
+        let Some((rl, rr)) = class.relations() else {
+            continue;
+        };
+        debug_assert_eq!(rl.max(rr), rel, "classified predicates span two relations");
+        let (key_side, probe_side, key_is_lhs) = match class {
+            PredClass::Equi { lhs, rhs } | PredClass::Band { lhs, rhs, .. } => {
+                if rhs.rel == rel {
+                    (rhs, lhs, false)
+                } else {
+                    (lhs, rhs, true)
+                }
+            }
+            PredClass::General => continue,
+        };
+        let key_of = |values: &[f64]| {
+            let env = |r: usize, a: usize| -> f64 {
+                debug_assert_eq!(r, key_side.rel);
+                values[a]
+            };
+            eval_expr(&key_side.expr, &env)
+        };
+        levels[rel] = Some(match class {
+            PredClass::Equi { .. } => {
+                let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+                for (pos, (_, values)) in tuples[rel].iter().enumerate() {
+                    if let Some(bits) = key_bits(key_of(values)) {
+                        map.entry(bits).or_default().push(pos as u32);
+                    }
+                }
+                ExactIndex::Hash {
+                    probe: &probe_side.expr,
+                    map,
+                }
+            }
+            PredClass::Band { form, .. } => {
+                let mut keys: Vec<(f64, u32)> = tuples[rel]
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(pos, (_, values))| {
+                        let k = key_of(values);
+                        (!k.is_nan()).then_some((k, pos as u32))
+                    })
+                    .collect();
+                keys.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                ExactIndex::Sorted {
+                    probe: &probe_side.expr,
+                    keys,
+                    key_is_lhs,
+                    form: *form,
+                }
+            }
+            PredClass::General => unreachable!("filtered above"),
+        });
+    }
+    levels
+}
+
+// ---------------------------------------------------------------------------
+// Filter (interval) side
+// ---------------------------------------------------------------------------
+
+/// Per-level index for the conservative pre-join filter. Only built when
+/// both predicate sides are plain column references: then the per-point key
+/// intervals are quantization cells of one dimension, which are disjoint or
+/// equal, so *both* endpoints are monotone along the sort order and every
+/// survival condition becomes a window of the single sorted array.
+pub(crate) struct FilterIndex {
+    /// `(key cell interval, role-list position)` sorted ascending by `lo`.
+    entries: Vec<(Interval, u32)>,
+    probe: PredSideRef,
+    key_is_lhs: bool,
+    form: BandForm,
+}
+
+/// A resolved column reference `(relation, attribute)` of the probe side.
+struct PredSideRef {
+    rel: usize,
+    attr: usize,
+}
+
+impl FilterIndex {
+    /// Candidate role-list positions for a probe cell interval `p`.
+    ///
+    /// Each survival condition below is copied verbatim from the interval
+    /// comparison semantics in `sensjoin_query::interval` (`cmp_lt` /
+    /// `cmp_le` / `cmp_eq` over `Interval::sub` / `Interval::abs` images),
+    /// evaluated with the same `Interval` operations — never rearranged —
+    /// so a point is pruned only if its residual check is `Tri::False`.
+    // The single-element `vec![a..b]` arms really are lists of ranges: the
+    // AbsDiff arms produce two.
+    #[allow(clippy::single_range_in_vec_init)]
+    pub(crate) fn candidates(&self, p: Interval) -> Candidates {
+        let e = &self.entries;
+        let n = e.len();
+        // X = F − G where F is the lhs side of the form.
+        let x = |k: Interval| if self.key_is_lhs { k.sub(p) } else { p.sub(k) };
+        let ranges: Vec<Range<usize>> = match self.form {
+            BandForm::Direct(op) => {
+                // `l op r` with (l, r) = (key, probe) or (probe, key).
+                let op = if self.key_is_lhs { op } else { mirror(op) };
+                match op {
+                    // possible(l < r) ⇔ l.lo < r.hi
+                    CmpOp::Lt => vec![0..e.partition_point(|&(k, _)| k.lo < p.hi)],
+                    CmpOp::Le => vec![0..e.partition_point(|&(k, _)| k.lo <= p.hi)],
+                    // possible(l > r) ⇔ r.lo < l.hi
+                    CmpOp::Gt => vec![e.partition_point(|&(k, _)| k.hi <= p.lo)..n],
+                    CmpOp::Ge => vec![e.partition_point(|&(k, _)| k.hi < p.lo)..n],
+                    // possible(l = r) ⇔ the intervals overlap
+                    CmpOp::Eq => vec![
+                        e.partition_point(|&(k, _)| k.hi < p.lo)
+                            ..e.partition_point(|&(k, _)| k.lo <= p.hi),
+                    ],
+                    CmpOp::Ne => return Candidates::All,
+                }
+            }
+            BandForm::Diff { op, c } => {
+                // possible((F−G) op c) in terms of X = F−G: Lt/Le bound
+                // X.lo, Gt/Ge bound X.hi, Eq needs both. X's endpoints are
+                // monotone along the entries: increasing when the key is F,
+                // decreasing when the key is G.
+                let inc = self.key_is_lhs;
+                match op {
+                    CmpOp::Lt if inc => vec![0..e.partition_point(|&(k, _)| x(k).lo < c)],
+                    CmpOp::Lt => vec![e.partition_point(|&(k, _)| x(k).lo >= c)..n],
+                    CmpOp::Le if inc => vec![0..e.partition_point(|&(k, _)| x(k).lo <= c)],
+                    CmpOp::Le => vec![e.partition_point(|&(k, _)| x(k).lo > c)..n],
+                    CmpOp::Gt if inc => vec![e.partition_point(|&(k, _)| x(k).hi <= c)..n],
+                    CmpOp::Gt => vec![0..e.partition_point(|&(k, _)| x(k).hi > c)],
+                    CmpOp::Ge if inc => vec![e.partition_point(|&(k, _)| x(k).hi < c)..n],
+                    CmpOp::Ge => vec![0..e.partition_point(|&(k, _)| x(k).hi >= c)],
+                    CmpOp::Eq if inc => vec![
+                        e.partition_point(|&(k, _)| x(k).hi < c)
+                            ..e.partition_point(|&(k, _)| x(k).lo <= c),
+                    ],
+                    CmpOp::Eq => vec![
+                        e.partition_point(|&(k, _)| x(k).lo > c)
+                            ..e.partition_point(|&(k, _)| x(k).hi >= c),
+                    ],
+                    CmpOp::Ne => return Candidates::All,
+                }
+            }
+            BandForm::AbsDiff { op, c } => {
+                let inc = self.key_is_lhs;
+                match op {
+                    // possible(|X| < c) ⇔ X.lo < c ∧ −X.hi < c (for c > 0;
+                    // impossible otherwise since |X|.lo ≥ 0).
+                    CmpOp::Lt | CmpOp::Le => {
+                        let strict = op == CmpOp::Lt;
+                        if (strict && c <= 0.0) || (!strict && c < 0.0) {
+                            vec![]
+                        } else if inc {
+                            let lo_ok = |k: Interval| {
+                                let hi = x(k).hi;
+                                if strict {
+                                    hi <= -c
+                                } else {
+                                    hi < -c
+                                }
+                            };
+                            let hi_ok = |k: Interval| {
+                                let lo = x(k).lo;
+                                if strict {
+                                    lo < c
+                                } else {
+                                    lo <= c
+                                }
+                            };
+                            vec![
+                                e.partition_point(|&(k, _)| lo_ok(k))
+                                    ..e.partition_point(|&(k, _)| hi_ok(k)),
+                            ]
+                        } else {
+                            let lo_ok = |k: Interval| {
+                                let lo = x(k).lo;
+                                if strict {
+                                    lo >= c
+                                } else {
+                                    lo > c
+                                }
+                            };
+                            let hi_ok = |k: Interval| {
+                                let hi = x(k).hi;
+                                if strict {
+                                    hi > -c
+                                } else {
+                                    hi >= -c
+                                }
+                            };
+                            vec![
+                                e.partition_point(|&(k, _)| lo_ok(k))
+                                    ..e.partition_point(|&(k, _)| hi_ok(k)),
+                            ]
+                        }
+                    }
+                    // possible(|X| > c) ⇔ X.hi > c ∨ X.lo < −c (for c ≥ 0;
+                    // always possible otherwise). Prefix ∪ suffix.
+                    CmpOp::Gt | CmpOp::Ge => {
+                        let strict = op == CmpOp::Gt;
+                        if (strict && c < 0.0) || (!strict && c <= 0.0) {
+                            return Candidates::All;
+                        }
+                        let (lo_run, hi_run) = if inc {
+                            (
+                                0..e.partition_point(|&(k, _)| {
+                                    let lo = x(k).lo;
+                                    if strict {
+                                        lo < -c
+                                    } else {
+                                        lo <= -c
+                                    }
+                                }),
+                                e.partition_point(|&(k, _)| {
+                                    let hi = x(k).hi;
+                                    if strict {
+                                        hi <= c
+                                    } else {
+                                        hi < c
+                                    }
+                                })..n,
+                            )
+                        } else {
+                            (
+                                0..e.partition_point(|&(k, _)| {
+                                    let hi = x(k).hi;
+                                    if strict {
+                                        hi > c
+                                    } else {
+                                        hi >= c
+                                    }
+                                }),
+                                e.partition_point(|&(k, _)| {
+                                    let lo = x(k).lo;
+                                    if strict {
+                                        lo >= -c
+                                    } else {
+                                        lo > -c
+                                    }
+                                })..n,
+                            )
+                        };
+                        if lo_run.end >= hi_run.start {
+                            vec![0..n]
+                        } else {
+                            vec![lo_run, hi_run]
+                        }
+                    }
+                    // possible(|X| = c): use the necessary |X|.lo ≤ c window
+                    // (the residual applies the full condition).
+                    CmpOp::Eq => {
+                        if c < 0.0 {
+                            vec![]
+                        } else if inc {
+                            vec![
+                                e.partition_point(|&(k, _)| x(k).hi < -c)
+                                    ..e.partition_point(|&(k, _)| x(k).lo <= c),
+                            ]
+                        } else {
+                            vec![
+                                e.partition_point(|&(k, _)| x(k).lo > c)
+                                    ..e.partition_point(|&(k, _)| x(k).hi >= -c),
+                            ]
+                        }
+                    }
+                    CmpOp::Ne => return Candidates::All,
+                }
+            }
+        };
+        let positions: Vec<u32> = ranges
+            .into_iter()
+            .filter(|r| r.start < r.end)
+            .flat_map(|r| e[r].iter().map(|&(_, pos)| pos))
+            .collect();
+        Candidates::Picked(positions)
+    }
+
+    /// The bound relation whose cell interval probes this index.
+    pub(crate) fn probe_rel(&self) -> usize {
+        self.probe.rel
+    }
+
+    /// The probed attribute of [`FilterIndex::probe_rel`].
+    pub(crate) fn probe_attr(&self) -> usize {
+        self.probe.attr
+    }
+}
+
+/// Builds the filter-side plan. `key_interval(rel, attr, pos)` must return
+/// the cell interval of attribute `attr` for the point at role-list
+/// position `pos` of relation `rel`.
+pub(crate) fn filter_plan(
+    query: &CompiledQuery,
+    list_lens: &[usize],
+    pred_rels: &[usize],
+    key_interval: impl Fn(usize, usize, usize) -> Interval,
+) -> Vec<Option<FilterIndex>> {
+    let mut levels: Vec<Option<FilterIndex>> = (0..query.num_relations()).map(|_| None).collect();
+    for (pi, class) in query.pred_classes().iter().enumerate() {
+        let rel = pred_rels[pi];
+        if levels[rel].is_some() {
+            continue;
+        }
+        let (sides, form) = match class {
+            PredClass::Equi { lhs, rhs } => ((lhs, rhs), BandForm::Direct(CmpOp::Eq)),
+            PredClass::Band { lhs, rhs, form } => ((lhs, rhs), *form),
+            PredClass::General => continue,
+        };
+        // Only plain column sides: their cell intervals are aligned (see
+        // the struct docs); compound sides fall back to the full scan.
+        let (CExpr::Col { attr: la, .. }, CExpr::Col { attr: ra, .. }) =
+            (&sides.0.expr, &sides.1.expr)
+        else {
+            continue;
+        };
+        let key_is_lhs = sides.0.rel == rel;
+        let (key_attr, probe) = if key_is_lhs {
+            (
+                *la,
+                PredSideRef {
+                    rel: sides.1.rel,
+                    attr: *ra,
+                },
+            )
+        } else {
+            (
+                *ra,
+                PredSideRef {
+                    rel: sides.0.rel,
+                    attr: *la,
+                },
+            )
+        };
+        let mut entries: Vec<(Interval, u32)> = (0..list_lens[rel])
+            .map(|pos| (key_interval(rel, key_attr, pos), pos as u32))
+            .collect();
+        entries.sort_unstable_by(|a, b| a.0.lo.total_cmp(&b.0.lo));
+        levels[rel] = Some(FilterIndex {
+            entries,
+            probe,
+            key_is_lhs,
+            form,
+        });
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorted_ranges_windows_and_rays() {
+        let keys: Vec<(f64, u32)> = [1.0, 2.0, 3.0, 4.0, 5.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
+        // d = identity, window (2, 4]: {3, 4}.
+        let r = sorted_ranges(
+            &keys,
+            |k| k,
+            true,
+            &[DIv {
+                lo: 2.0,
+                lo_open: true,
+                hi: 4.0,
+                hi_open: false,
+            }],
+        );
+        assert_eq!(r, vec![2..4]);
+        // d = 10 − k (decreasing), ray above 7 (strict): 10−k > 7 ⇔ k < 3.
+        let r = sorted_ranges(&keys, |k| 10.0 - k, false, &[DIv::ray_above(7.0, true)]);
+        assert_eq!(r, vec![0..2]);
+        // Two overlapping rays merge.
+        let r = sorted_ranges(
+            &keys,
+            |k| k,
+            true,
+            &[DIv::ray_below(3.0, false), DIv::ray_above(2.0, false)],
+        );
+        assert_eq!(r, vec![0..5]);
+    }
+
+    #[test]
+    fn key_bits_folds_zero_and_drops_nan() {
+        assert_eq!(key_bits(-0.0), key_bits(0.0));
+        assert!(key_bits(f64::NAN).is_none());
+        assert_ne!(key_bits(1.0), key_bits(2.0));
+    }
+}

@@ -1,0 +1,300 @@
+//! Join-predicate classification for partitioned evaluation.
+//!
+//! The base-station engine wants to avoid the nested-loop descent whenever a
+//! join predicate has enough structure to drive an index: an equality
+//! between two single-relation expressions can be hash-partitioned, and a
+//! difference-form comparison can be range-partitioned over sorted keys.
+//! [`classify`] recognizes these shapes; everything else stays
+//! [`PredClass::General`] and is evaluated by residual filtering only.
+//!
+//! Classification never rewrites the expressions algebraically: the engine
+//! evaluates the *original* subtrees stored here, so every candidate test is
+//! computation-for-computation identical to the plain predicate evaluation
+//! it replaces. That (plus IEEE-754 comparison/subtraction monotonicity) is
+//! what lets the partitioned engine guarantee bit-identical results.
+
+use crate::ast::{BinOp, CmpOp};
+use crate::compile::CExpr;
+
+/// One side of a recognized two-relation predicate: an arithmetic expression
+/// referencing exactly one relation.
+#[derive(Debug, Clone)]
+pub struct PredSide {
+    /// The only relation the expression references.
+    pub rel: usize,
+    /// The (unrewritten) subtree of the original predicate.
+    pub expr: CExpr,
+}
+
+/// The recognized comparison shape connecting the two sides.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BandForm {
+    /// `lhs cmp rhs` — the comparison operands already separate by relation.
+    Direct(CmpOp),
+    /// `(lhs - rhs) cmp c` (constant-comparison side mirrored into `op`).
+    Diff {
+        /// The comparison operator (after mirroring `c cmp (lhs-rhs)`).
+        op: CmpOp,
+        /// The constant bound.
+        c: f64,
+    },
+    /// `|lhs - rhs| cmp c` (constant-comparison side mirrored into `op`).
+    AbsDiff {
+        /// The comparison operator (after mirroring).
+        op: CmpOp,
+        /// The constant bound.
+        c: f64,
+    },
+}
+
+/// The partitioning class of one join predicate (conjunct).
+#[derive(Debug, Clone)]
+pub enum PredClass {
+    /// `f(A) = g(B)`: hash-partitionable equality.
+    Equi {
+        /// The left comparison operand.
+        lhs: PredSide,
+        /// The right comparison operand.
+        rhs: PredSide,
+    },
+    /// A difference-form comparison, range-partitionable on sorted keys.
+    Band {
+        /// The `f` side (left operand of the comparison or subtraction).
+        lhs: PredSide,
+        /// The `g` side.
+        rhs: PredSide,
+        /// The comparison shape.
+        form: BandForm,
+    },
+    /// No exploitable structure: residual evaluation only.
+    General,
+}
+
+impl PredClass {
+    /// The two relations of a classified predicate (`lhs.rel`, `rhs.rel`).
+    pub fn relations(&self) -> Option<(usize, usize)> {
+        match self {
+            PredClass::Equi { lhs, rhs } | PredClass::Band { lhs, rhs, .. } => {
+                Some((lhs.rel, rhs.rel))
+            }
+            PredClass::General => None,
+        }
+    }
+}
+
+/// The relation index an expression references, if it references exactly one.
+fn single_rel(e: &CExpr) -> Option<usize> {
+    let rels = e.relations();
+    (rels.len() == 1).then(|| *rels.first().expect("len 1"))
+}
+
+/// Mirrors a comparison across its operands: `c op x` ⇔ `x mirror(op) c`.
+fn mirror(op: CmpOp) -> CmpOp {
+    match op {
+        CmpOp::Lt => CmpOp::Gt,
+        CmpOp::Le => CmpOp::Ge,
+        CmpOp::Gt => CmpOp::Lt,
+        CmpOp::Ge => CmpOp::Le,
+        CmpOp::Eq => CmpOp::Eq,
+        CmpOp::Ne => CmpOp::Ne,
+    }
+}
+
+/// Classifies one join predicate (a WHERE conjunct over ≥ 2 relations).
+///
+/// `Ne` comparisons are always [`PredClass::General`]: their candidate set
+/// is a complement, which no index here accelerates.
+pub fn classify(pred: &CExpr) -> PredClass {
+    let CExpr::Cmp { op, lhs, rhs } = pred else {
+        return PredClass::General; // OR / NOT conjuncts
+    };
+    if *op == CmpOp::Ne {
+        return PredClass::General;
+    }
+    // Direct: each comparison operand references exactly one relation.
+    if let (Some(rl), Some(rr)) = (single_rel(lhs), single_rel(rhs)) {
+        if rl != rr {
+            let l = PredSide {
+                rel: rl,
+                expr: (**lhs).clone(),
+            };
+            let r = PredSide {
+                rel: rr,
+                expr: (**rhs).clone(),
+            };
+            return if *op == CmpOp::Eq {
+                PredClass::Equi { lhs: l, rhs: r }
+            } else {
+                PredClass::Band {
+                    lhs: l,
+                    rhs: r,
+                    form: BandForm::Direct(*op),
+                }
+            };
+        }
+    }
+    // Difference forms: `X cmp c` or `c cmp X` with X = f-g or |f-g|.
+    let (x, c, op) = match (&**lhs, &**rhs) {
+        (x, CExpr::Number(c)) => (x, *c, *op),
+        (CExpr::Number(c), x) => (x, *c, mirror(*op)),
+        _ => return PredClass::General,
+    };
+    if c.is_nan() {
+        return PredClass::General;
+    }
+    let (diff, abs) = match x {
+        CExpr::Bin {
+            op: BinOp::Sub,
+            lhs,
+            rhs,
+        } => ((lhs, rhs), false),
+        CExpr::Abs(inner) => match &**inner {
+            CExpr::Bin {
+                op: BinOp::Sub,
+                lhs,
+                rhs,
+            } => ((lhs, rhs), true),
+            _ => return PredClass::General,
+        },
+        _ => return PredClass::General,
+    };
+    let (Some(rl), Some(rr)) = (single_rel(diff.0), single_rel(diff.1)) else {
+        return PredClass::General;
+    };
+    if rl == rr {
+        return PredClass::General;
+    }
+    let form = if abs {
+        BandForm::AbsDiff { op, c }
+    } else {
+        BandForm::Diff { op, c }
+    };
+    PredClass::Band {
+        lhs: PredSide {
+            rel: rl,
+            expr: (*diff.0.clone()),
+        },
+        rhs: PredSide {
+            rel: rr,
+            expr: (*diff.1.clone()),
+        },
+        form,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+    use crate::CompiledQuery;
+    use sensjoin_relation::{AttrType, Attribute, Schema};
+
+    fn classes(sql: &str) -> Vec<PredClass> {
+        let schema = Schema::new(
+            "Sensors",
+            vec![
+                Attribute::new("x", AttrType::Meters),
+                Attribute::new("y", AttrType::Meters),
+                Attribute::new("temp", AttrType::Celsius),
+            ],
+        );
+        let q = parse(sql).unwrap();
+        let schemas: Vec<Schema> = q.from.iter().map(|_| schema.clone()).collect();
+        let cq = CompiledQuery::compile(&q, &schemas).unwrap();
+        cq.pred_classes().to_vec()
+    }
+
+    #[test]
+    fn equality_is_equi() {
+        let c = classes("SELECT A.x, B.x FROM Sensors A, Sensors B WHERE A.temp = B.temp ONCE");
+        assert!(matches!(
+            &c[0],
+            PredClass::Equi { lhs, rhs } if lhs.rel == 0 && rhs.rel == 1
+        ));
+    }
+
+    #[test]
+    fn difference_threshold_is_band() {
+        let c =
+            classes("SELECT A.x, B.x FROM Sensors A, Sensors B WHERE A.temp - B.temp > 4.0 ONCE");
+        assert!(matches!(
+            &c[0],
+            PredClass::Band {
+                form: BandForm::Diff { op: CmpOp::Gt, c },
+                ..
+            } if *c == 4.0
+        ));
+    }
+
+    #[test]
+    fn absolute_band_is_band() {
+        let c =
+            classes("SELECT A.x, B.x FROM Sensors A, Sensors B WHERE |A.temp - B.temp| < 0.5 ONCE");
+        assert!(matches!(
+            &c[0],
+            PredClass::Band {
+                form: BandForm::AbsDiff { op: CmpOp::Lt, c },
+                ..
+            } if *c == 0.5
+        ));
+    }
+
+    #[test]
+    fn mirrored_constant_side_is_normalized() {
+        let c =
+            classes("SELECT A.x, B.x FROM Sensors A, Sensors B WHERE 4.0 < A.temp - B.temp ONCE");
+        assert!(matches!(
+            &c[0],
+            PredClass::Band {
+                form: BandForm::Diff { op: CmpOp::Gt, .. },
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn direct_inequality_is_band() {
+        let c = classes("SELECT A.x, B.x FROM Sensors A, Sensors B WHERE A.temp < B.temp ONCE");
+        assert!(matches!(
+            &c[0],
+            PredClass::Band {
+                form: BandForm::Direct(CmpOp::Lt),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn unstructured_predicates_are_general() {
+        for sql in [
+            // distance() is not a difference form.
+            "SELECT A.x, B.x FROM Sensors A, Sensors B \
+             WHERE distance(A.x, A.y, B.x, B.y) < 50 ONCE",
+            // OR conjunct.
+            "SELECT A.x, B.x FROM Sensors A, Sensors B \
+             WHERE A.temp > B.temp OR A.x > B.x ONCE",
+            // Ne comparison.
+            "SELECT A.x, B.x FROM Sensors A, Sensors B WHERE A.temp != B.temp ONCE",
+            // Three-relation conjunct.
+            "SELECT A.x, B.x, C.x FROM Sensors A, Sensors B, Sensors C \
+             WHERE A.temp - B.temp > C.temp ONCE",
+        ] {
+            let c = classes(sql);
+            assert!(matches!(c[0], PredClass::General), "{sql}");
+        }
+    }
+
+    #[test]
+    fn compound_sides_keep_original_subtrees() {
+        let c = classes(
+            "SELECT A.x, B.x FROM Sensors A, Sensors B WHERE (A.x + A.y) - B.x > 10.0 ONCE",
+        );
+        match &c[0] {
+            PredClass::Band { lhs, rhs, .. } => {
+                assert!(matches!(lhs.expr, CExpr::Bin { op: BinOp::Add, .. }));
+                assert!(matches!(rhs.expr, CExpr::Col { rel: 1, .. }));
+            }
+            other => panic!("expected band, got {other:?}"),
+        }
+    }
+}

@@ -1,5 +1,6 @@
 //! Name resolution, type checking and predicate classification.
 
+use crate::analyze::{classify, PredClass};
 use crate::ast::{AggFunc, BinOp, CmpOp, Expr, Query, Temporal};
 use crate::eval::{eval_expr, eval_predicate, EvalEnv};
 use crate::interval::{eval_predicate_interval, Interval, Tri};
@@ -199,6 +200,7 @@ pub struct CompiledQuery {
     group_by: Vec<CExpr>,
     local_preds: Vec<Vec<CExpr>>,
     join_preds: Vec<CExpr>,
+    pred_classes: Vec<PredClass>,
     join_attrs: Vec<Vec<usize>>,
     referenced: Vec<Vec<usize>>,
     temporal: Temporal,
@@ -299,6 +301,8 @@ impl CompiledQuery {
             }
         }
 
+        let pred_classes: Vec<PredClass> = join_preds.iter().map(classify).collect();
+
         let join_attrs: Vec<Vec<usize>> = (0..query.from.len())
             .map(|rel| {
                 let mut set = BTreeSet::new();
@@ -335,6 +339,7 @@ impl CompiledQuery {
             group_by,
             local_preds,
             join_preds,
+            pred_classes,
             join_attrs,
             referenced,
             temporal: query.temporal,
@@ -411,6 +416,14 @@ impl CompiledQuery {
     /// Join predicates (conjuncts over ≥ 2 relations).
     pub fn join_preds(&self) -> &[CExpr] {
         &self.join_preds
+    }
+
+    /// Partitioning classes of the join predicates (parallel to
+    /// [`CompiledQuery::join_preds`]): equi / band predicates carry the
+    /// structure a partitioned engine can index on; everything else is
+    /// [`PredClass::General`].
+    pub fn pred_classes(&self) -> &[PredClass] {
+        &self.pred_classes
     }
 
     /// Local predicates of relation `rel`.

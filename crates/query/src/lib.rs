@@ -54,6 +54,7 @@
 //! assert_eq!(cq.num_relations(), 2);
 //! ```
 
+pub mod analyze;
 pub mod ast;
 mod compile;
 mod eval;
@@ -61,6 +62,7 @@ pub mod interval;
 mod parser;
 mod token;
 
+pub use analyze::{BandForm, PredClass, PredSide};
 pub use ast::{AggFunc, BinOp, CmpOp, Expr, Query, SelectItem, Temporal};
 pub use compile::{CExpr, CompileError, CompiledQuery, CompiledSelect};
 pub use eval::{eval_expr, eval_predicate, EvalEnv};

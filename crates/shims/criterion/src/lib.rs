@@ -1,0 +1,273 @@
+//! Offline shim for the subset of the `criterion` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `criterion` to this crate (see `[patch.crates-io]` in the root
+//! manifest). It provides wall-clock micro-benchmarking with criterion's
+//! surface syntax — [`criterion_group!`], [`criterion_main!`],
+//! [`Criterion::bench_function`], benchmark groups with throughput and
+//! per-input benches — minus the statistical machinery: each benchmark is
+//! warmed up, run for a fixed measurement window, and reported as mean
+//! wall-clock time per iteration (plus throughput when configured).
+//!
+//! Recognized CLI arguments: `--quick` (short measurement window, used by
+//! CI smoke runs), `--bench`/`--test` (accepted for cargo compatibility)
+//! and any bare argument, treated as a substring filter on benchmark names.
+
+use std::fmt;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimizing away a value or computation.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Throughput basis for rate reporting.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier `function_name/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id combining a function name with a parameter value.
+    pub fn new<P: fmt::Display>(function_name: &str, parameter: P) -> Self {
+        Self {
+            id: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id from a parameter only.
+    pub fn from_parameter<P: fmt::Display>(parameter: P) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Per-iteration timing driver handed to benchmark closures.
+pub struct Bencher<'a> {
+    measured: &'a mut Option<Duration>,
+    iters_hint: u64,
+}
+
+impl Bencher<'_> {
+    /// Times `routine`, storing the mean duration per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters_hint {
+            black_box(routine());
+        }
+        let total = start.elapsed();
+        *self.measured = Some(total / self.iters_hint.max(1) as u32);
+    }
+
+    /// Times `routine` with explicit control of the iteration count
+    /// (criterion's `iter_custom`): the closure receives the iteration
+    /// count and returns the total elapsed time.
+    pub fn iter_custom<R: FnMut(u64) -> Duration>(&mut self, mut routine: R) {
+        let total = routine(self.iters_hint);
+        *self.measured = Some(total / self.iters_hint.max(1) as u32);
+    }
+}
+
+/// Benchmark runner state and configuration.
+pub struct Criterion {
+    filter: Option<String>,
+    measurement: Duration,
+    warmup: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let mut filter = None;
+        let mut quick = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--quick" => quick = true,
+                "--bench" | "--test" | "--quiet" | "--verbose" | "-v" | "--noplot" => {}
+                s if s.starts_with("--") => {} // unknown flags: ignore (compat)
+                s => filter = Some(s.to_owned()),
+            }
+        }
+        let (measurement, warmup) = if quick {
+            (Duration::from_millis(20), Duration::from_millis(5))
+        } else {
+            (Duration::from_millis(300), Duration::from_millis(60))
+        };
+        Self {
+            filter,
+            measurement,
+            warmup,
+        }
+    }
+}
+
+impl Criterion {
+    fn included(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+
+    fn run_one(
+        &mut self,
+        name: &str,
+        throughput: Option<Throughput>,
+        f: &mut dyn FnMut(&mut Bencher),
+    ) {
+        if !self.included(name) {
+            return;
+        }
+        // Warmup & calibration: run with growing iteration counts until the
+        // warmup window is spent, deriving the per-iteration cost.
+        let mut iters: u64 = 1;
+        let mut per_iter = Duration::from_nanos(1);
+        let warm_start = Instant::now();
+        loop {
+            let mut measured = None;
+            f(&mut Bencher {
+                measured: &mut measured,
+                iters_hint: iters,
+            });
+            per_iter = measured.unwrap_or(per_iter).max(Duration::from_nanos(1));
+            if warm_start.elapsed() >= self.warmup {
+                break;
+            }
+            iters = iters.saturating_mul(2).min(1 << 30);
+        }
+        // Measurement: one batch sized to fill the measurement window.
+        let target_iters =
+            (self.measurement.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30) as u64;
+        let mut measured = None;
+        f(&mut Bencher {
+            measured: &mut measured,
+            iters_hint: target_iters,
+        });
+        let per_iter = measured.unwrap_or(per_iter);
+        let rate = throughput.map(|t| match t {
+            Throughput::Elements(n) => {
+                format!(" ({:.2} Melem/s)", n as f64 / per_iter.as_secs_f64() / 1e6)
+            }
+            Throughput::Bytes(n) => format!(
+                " ({:.2} MiB/s)",
+                n as f64 / per_iter.as_secs_f64() / (1024.0 * 1024.0)
+            ),
+        });
+        println!(
+            "{name:<50} time: {:>12}{}",
+            format_duration(per_iter),
+            rate.unwrap_or_default()
+        );
+    }
+
+    /// Runs a single benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        self.run_one(name, None, &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            throughput: None,
+        }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput settings.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the sample count (accepted for API compatibility; the shim's
+    /// single-batch measurement has no sample notion).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Sets measurement time (accepted for API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Sets the throughput basis for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs a benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        let t = self.throughput;
+        self.criterion.run_one(&full, t, &mut f);
+        self
+    }
+
+    /// Runs a benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id.id);
+        let t = self.throughput;
+        self.criterion.run_one(&full, t, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Defines a function running the listed benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Defines `main` running the listed benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

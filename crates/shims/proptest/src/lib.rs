@@ -1,0 +1,618 @@
+//! Offline shim for the subset of the `proptest` API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `proptest` to this crate (see `[patch.crates-io]` in the root
+//! manifest). It implements randomized property testing with the same
+//! surface syntax as upstream proptest — the [`proptest!`] macro,
+//! [`Strategy`] combinators (`prop_map`, `prop_flat_map`, [`prop_oneof!`],
+//! tuples, ranges, [`Just`], `prop::collection::vec`, [`any`]), the
+//! `prop_assert*` family and [`ProptestConfig`] — minus input shrinking:
+//! a failing case reports its inputs (via the assertion message) but is not
+//! minimized. Case generation is deterministic per test name and case
+//! index, so failures reproduce across runs.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+pub mod test_runner;
+
+pub use test_runner::{TestCaseError, TestRng};
+
+/// Runner configuration. Only `cases` is honored by the shim.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of successful cases required for the test to pass.
+    pub cases: u32,
+    /// Maximum ratio of rejected (`prop_assume!`) to accepted cases before
+    /// the runner gives up.
+    pub max_global_rejects: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self {
+            cases,
+            ..Self::default()
+        }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self {
+            cases: 256,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+///
+/// Object safe: combinators carry `where Self: Sized` so
+/// `Box<dyn Strategy<Value = T>>` works (the basis of [`prop_oneof!`]).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Generates a value, then generates from the strategy `f` returns.
+    fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Keeps only values satisfying `f` (resamples; rejects the case after
+    /// too many failures).
+    fn prop_filter<F: Fn(&Self::Value) -> bool>(self, whence: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+    {
+        Filter {
+            inner: self,
+            f,
+            whence,
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        Box::new(self)
+    }
+}
+
+/// A type-erased strategy.
+pub type BoxedStrategy<T> = Box<dyn Strategy<Value = T>>;
+
+impl<T> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (**self).generate(rng)
+    }
+}
+
+/// Boxes a strategy (used by [`prop_oneof!`] to unify variant types).
+pub fn boxed<S: Strategy + 'static>(s: S) -> BoxedStrategy<S::Value> {
+    Box::new(s)
+}
+
+/// Always produces a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_filter`].
+pub struct Filter<S, F> {
+    inner: S,
+    f: F,
+    whence: &'static str,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> S::Value {
+        for _ in 0..1000 {
+            let v = self.inner.generate(rng);
+            if (self.f)(&v) {
+                return v;
+            }
+        }
+        panic!(
+            "prop_filter {:?} rejected 1000 samples in a row",
+            self.whence
+        );
+    }
+}
+
+/// Uniform choice among boxed variants (built by [`prop_oneof!`]).
+pub struct Union<T> {
+    variants: Vec<BoxedStrategy<T>>,
+}
+
+impl<T> Union<T> {
+    /// A union over the given variants (must be non-empty).
+    pub fn new(variants: Vec<BoxedStrategy<T>>) -> Self {
+        assert!(
+            !variants.is_empty(),
+            "prop_oneof! needs at least one variant"
+        );
+        Self { variants }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let i = rng.below(self.variants.len() as u64) as usize;
+        self.variants[i].generate(rng)
+    }
+}
+
+// ---- Ranges as strategies ----
+
+/// Primitive types uniformly sampleable from ranges.
+pub trait RangedValue: Sized + Copy + PartialOrd {
+    /// Uniform in `[lo, hi)`.
+    fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+    /// Uniform in `[lo, hi]`.
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self;
+}
+
+impl RangedValue for f64 {
+    fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty f64 range [{lo}, {hi})");
+        let v = lo + rng.unit_f64() * (hi - lo);
+        if v >= hi {
+            lo
+        } else {
+            v
+        }
+    }
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "empty f64 range [{lo}, {hi}]");
+        lo + rng.unit_f64() * (hi - lo)
+    }
+}
+
+impl RangedValue for f32 {
+    fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+    }
+    fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+macro_rules! impl_ranged_int {
+    ($($t:ty),*) => {$(
+        impl RangedValue for $t {
+            fn sample_half_open(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty integer range");
+                let span = (hi as i128 - lo as i128) as u64;
+                lo.wrapping_add(rng.below(span) as $t)
+            }
+            fn sample_inclusive(rng: &mut TestRng, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                if span > u64::MAX as u128 {
+                    // Whole-domain u64/i64 range.
+                    lo.wrapping_add(rng.next_u64() as $t)
+                } else {
+                    lo.wrapping_add(rng.below(span as u64) as $t)
+                }
+            }
+        }
+    )*};
+}
+
+impl_ranged_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: RangedValue> Strategy for Range<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: RangedValue> Strategy for RangeInclusive<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+// ---- Tuples of strategies ----
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident $idx:tt),+);)*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (S0 0);
+    (S0 0, S1 1);
+    (S0 0, S1 1, S2 2);
+    (S0 0, S1 1, S2 2, S3 3);
+    (S0 0, S1 1, S2 2, S3 3, S4 4);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6);
+    (S0 0, S1 1, S2 2, S3 3, S4 4, S5 5, S6 6, S7 7);
+}
+
+// ---- `any` ----
+
+/// Marker strategy for "any value of `T`" ([`any`]).
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-domain strategy for `T`.
+pub fn any<T>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! impl_any_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Any<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_any_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Any<bool> {
+    type Value = bool;
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for Any<f64> {
+    type Value = f64;
+    fn generate(&self, rng: &mut TestRng) -> f64 {
+        // Finite, wide-range doubles (proptest generates non-finite values
+        // too; no caller here depends on them).
+        let mag = rng.unit_f64() * 2e9 - 1e9;
+        mag
+    }
+}
+
+impl Strategy for Any<char> {
+    type Value = char;
+    fn generate(&self, rng: &mut TestRng) -> char {
+        random_char(rng)
+    }
+}
+
+// ---- String-pattern strategies ----
+
+/// A `&str` used where a strategy is expected is, in upstream proptest, a
+/// regex generator. The shim does not ship a regex engine; it recognizes
+/// the size bound of `.{lo,hi}`-style suffixes and otherwise produces
+/// arbitrary printable (non-control) strings, which satisfies the
+/// robustness tests using patterns like `"\\PC{0,200}"`.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let max = parse_repeat_max(self).unwrap_or(64);
+        let len = rng.below(max as u64 + 1) as usize;
+        (0..len).map(|_| random_char(rng)).collect()
+    }
+}
+
+fn parse_repeat_max(pattern: &str) -> Option<usize> {
+    let open = pattern.rfind('{')?;
+    let close = pattern.rfind('}')?;
+    let body = pattern.get(open + 1..close)?;
+    let max_part = body.split(',').next_back()?.trim();
+    max_part.parse().ok()
+}
+
+fn random_char(rng: &mut TestRng) -> char {
+    // Mostly ASCII printable, sprinkled with multi-byte code points to
+    // exercise UTF-8 handling.
+    match rng.below(10) {
+        0 => char::from_u32(0x00A1 + rng.below(0x1000) as u32).unwrap_or('¿'),
+        1 => ['∑', '→', '𝕊', 'λ', 'Ω', '漢', '🙂'][rng.below(7) as usize],
+        _ => (0x20u8 + rng.below(0x5F) as u8) as char,
+    }
+}
+
+/// Sub-modules mirroring upstream's `prop::` paths.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use std::ops::{Range, RangeInclusive};
+
+    /// Size specification for [`vec`]: an exact length or a length range.
+    pub trait SizeRange {
+        /// Draws a length.
+        fn pick(&self, rng: &mut TestRng) -> usize;
+    }
+
+    impl SizeRange for usize {
+        fn pick(&self, _rng: &mut TestRng) -> usize {
+            *self
+        }
+    }
+
+    impl SizeRange for Range<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start < self.end, "empty size range");
+            self.start + rng.below((self.end - self.start) as u64) as usize
+        }
+    }
+
+    impl SizeRange for RangeInclusive<usize> {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            assert!(self.start() <= self.end(), "empty size range");
+            self.start() + rng.below((self.end() - self.start() + 1) as u64) as usize
+        }
+    }
+
+    /// A strategy producing `Vec`s of `element` values with a length drawn
+    /// from `size`.
+    pub fn vec<S: Strategy, R: SizeRange>(element: S, size: R) -> VecStrategy<S, R> {
+        VecStrategy { element, size }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S, R> {
+        element: S,
+        size: R,
+    }
+
+    impl<S: Strategy, R: SizeRange> Strategy for VecStrategy<S, R> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Formats a value for failure messages without requiring `Debug` bounds at
+/// strategy level (used internally by the macros).
+pub fn describe<T: fmt::Debug>(v: &T) -> String {
+    format!("{v:?}")
+}
+
+/// Everything tests import: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, boxed, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+        Any, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+
+    /// The `prop::` module alias used for `prop::collection::vec` paths.
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+// ---- Macros ----
+
+/// Uniform choice among the listed strategies (all must yield one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![$($crate::boxed($strat)),+])
+    };
+}
+
+/// Rejects the current case (does not count toward the case budget) unless
+/// `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::string::String::from(stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                ::std::format!($($fmt)*),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                            stringify!($a), stringify!($b), __l, __r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+    ($a:expr, $b:expr, $($fmt:tt)*) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if !(*__l == *__r) {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "{}\n  left: {:?}\n right: {:?}",
+                            ::std::format!($($fmt)*), __l, __r
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Fails the current case unless the two values compare unequal.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {
+        match (&$a, &$b) {
+            (__l, __r) => {
+                if *__l == *__r {
+                    return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                        ::std::format!(
+                            "assertion failed: `{} != {}`\n  both: {:?}",
+                            stringify!($a),
+                            stringify!($b),
+                            __l
+                        ),
+                    ));
+                }
+            }
+        }
+    };
+}
+
+/// Defines `#[test]` functions whose arguments are drawn from strategies:
+///
+/// ```ignore
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn prop(x in 0u64..10, v in prop::collection::vec(any::<u8>(), 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion of [`proptest!`]; not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident($($argpat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __accepted: u32 = 0;
+            let mut __attempt: u32 = 0;
+            while __accepted < __config.cases {
+                __attempt += 1;
+                if __attempt > __config.cases.saturating_add(__config.max_global_rejects) {
+                    panic!(
+                        "proptest: too many rejected cases ({} accepted of {} wanted)",
+                        __accepted, __config.cases
+                    );
+                }
+                let mut __rng = $crate::TestRng::for_case(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __attempt,
+                );
+                let ($($argpat,)+) = ($($crate::Strategy::generate(&($strat), &mut __rng),)+);
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> = (|| {
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                match __outcome {
+                    ::std::result::Result::Ok(()) => __accepted += 1,
+                    ::std::result::Result::Err($crate::TestCaseError::Reject(_)) => {}
+                    ::std::result::Result::Err($crate::TestCaseError::Fail(msg)) => {
+                        panic!(
+                            "proptest case {} (attempt {}) failed: {}",
+                            __accepted + 1,
+                            __attempt,
+                            msg
+                        );
+                    }
+                }
+            }
+        }
+    )*};
+}

@@ -1,0 +1,101 @@
+//! Deterministic case RNG and case-level error type for the shim runner.
+
+/// Why a test-case closure did not succeed.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed — the case is discarded, not failed.
+    Reject(String),
+    /// A `prop_assert*` failed — the test fails with this message.
+    Fail(String),
+}
+
+/// A small, fast, deterministic RNG (xoshiro256++), seeded from the test
+/// name and the case index so every run generates the same cases.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    s: [u64; 4],
+}
+
+impl TestRng {
+    /// The RNG for case `case` of the test named `name`.
+    pub fn for_case(name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index via SplitMix64.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        let mut state = h ^ ((case as u64) << 32 | 0x5DEECE66D);
+        let mut next = || {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let s = [next(), next(), next(), next()];
+        Self {
+            s: if s == [0; 4] { [1, 2, 3, 4] } else { s },
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Uniform value in `[0, bound)`; `bound` must be non-zero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        debug_assert!(bound > 0);
+        if bound == 1 {
+            return 0;
+        }
+        let zone = u64::MAX - (u64::MAX - bound + 1) % bound;
+        loop {
+            let v = self.next_u64();
+            if v <= zone {
+                return v % bound;
+            }
+        }
+    }
+
+    /// Uniform double in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::TestRng;
+
+    #[test]
+    fn deterministic() {
+        let mut a = TestRng::for_case("x", 3);
+        let mut b = TestRng::for_case("x", 3);
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::for_case("x", 4);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut r = TestRng::for_case("y", 1);
+        for bound in [1u64, 2, 3, 7, 1000] {
+            for _ in 0..100 {
+                assert!(r.below(bound) < bound);
+            }
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Offline shim for the subset of the `rand` 0.8 API this workspace uses.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! patches `rand` to this crate (see `[patch.crates-io]` in the root
+//! manifest). It provides:
+//!
+//! * [`rngs::SmallRng`] — xoshiro256++, the same algorithm rand 0.8 uses for
+//!   `SmallRng` on 64-bit targets, seeded via SplitMix64 exactly like
+//!   `SeedableRng::seed_from_u64`,
+//! * the [`Rng`] trait with `gen_range` (half-open and inclusive ranges over
+//!   the primitive numeric types used here) and `gen_bool`,
+//! * the [`SeedableRng`] trait with `seed_from_u64`.
+//!
+//! Streams are deterministic functions of the seed, which is all the
+//! simulator and the tests rely on.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A random number generator core: a source of `u64` words.
+pub trait RngCore {
+    /// The next 32 random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let word = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&word[..rem.len()]);
+        }
+    }
+}
+
+/// Types that can be uniformly sampled from a range.
+pub trait SampleUniform: Sized + Copy + PartialOrd {
+    /// Uniform sample from `[lo, hi)`.
+    fn sample_half_open(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+    /// Uniform sample from `[lo, hi]`.
+    fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self;
+}
+
+impl SampleUniform for f64 {
+    fn sample_half_open(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "gen_range: empty range [{lo}, {hi})");
+        // 53 uniform mantissa bits -> u in [0, 1), then affine map. The map
+        // can round up to `hi` for extreme spans; clamp to stay half-open.
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let v = lo + u * (hi - lo);
+        if v >= hi {
+            lo.max(hi - (hi - lo) * f64::EPSILON)
+        } else {
+            v
+        }
+    }
+
+    fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+        assert!(lo <= hi, "gen_range: empty range [{lo}, {hi}]");
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / ((1u64 << 53) - 1) as f64);
+        lo + u * (hi - lo)
+    }
+}
+
+impl SampleUniform for f32 {
+    fn sample_half_open(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+        f64::sample_half_open(rng, lo as f64, hi as f64) as f32
+    }
+    fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+        f64::sample_inclusive(rng, lo as f64, hi as f64) as f32
+    }
+}
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "gen_range: empty integer range");
+                let span = (hi as i128 - lo as i128) as u128;
+                lo.wrapping_add(uniform_u128(rng, span) as $t)
+            }
+            fn sample_inclusive(rng: &mut impl RngCore, lo: Self, hi: Self) -> Self {
+                assert!(lo <= hi, "gen_range: empty integer range");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                lo.wrapping_add(uniform_u128(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Unbiased uniform value in `[0, span)` (`span > 0`) by rejection.
+fn uniform_u128(rng: &mut impl RngCore, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span == 1 {
+        return 0;
+    }
+    // All spans here fit in u64 (integer ranges of primitive widths).
+    let span64 = span as u64;
+    let zone = u64::MAX - (u64::MAX - span64 + 1) % span64;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return (v % span64) as u128;
+        }
+    }
+}
+
+/// Argument forms accepted by [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws a sample from the range.
+    fn sample(self, rng: &mut impl RngCore) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_half_open(rng, self.start, self.end)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample(self, rng: &mut impl RngCore) -> T {
+        T::sample_inclusive(rng, *self.start(), *self.end())
+    }
+}
+
+/// Types producible by [`Rng::gen`] from the standard distribution.
+pub trait Standard {
+    /// Draws a value.
+    fn draw(rng: &mut impl RngCore) -> Self;
+}
+
+impl Standard for u64 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u8 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 56) as u8
+    }
+}
+
+impl Standard for bool {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn draw(rng: &mut impl RngCore) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// User-facing random value generation, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Uniform sample from `range`.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of range");
+        f64::draw(self) < p
+    }
+
+    /// A value from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::draw(self)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Seedable generators, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// The seed array type.
+    type Seed: AsMut<[u8]> + Default;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Expands a `u64` into a full seed via SplitMix64 (identical to rand
+    /// 0.8's default `seed_from_u64`).
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(4) {
+            // SplitMix64 (Vigna), as used by rand_core.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z = z ^ (z >> 31);
+            chunk.copy_from_slice(&z.to_le_bytes()[..chunk.len()]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// xoshiro256++ — rand 0.8's `SmallRng` on 64-bit platforms: fast,
+    /// non-cryptographic, 256-bit state.
+    #[derive(Debug, Clone)]
+    pub struct SmallRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for SmallRng {
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+    }
+
+    impl SeedableRng for SmallRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (i, word) in s.iter_mut().enumerate() {
+                let mut b = [0u8; 8];
+                b.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+                *word = u64::from_le_bytes(b);
+            }
+            // An all-zero state would be a fixed point; rand guards the same
+            // way via its seeding machinery.
+            if s == [0; 4] {
+                s = [
+                    0x9E37_79B9_7F4A_7C15,
+                    0x6A09_E667_F3BC_C909,
+                    0xBB67_AE85_84CA_A73B,
+                    0x3C6E_F372_FE94_F82B,
+                ];
+            }
+            Self { s }
+        }
+    }
+
+    /// `StdRng` alias — the shim backs it with the same xoshiro256++ core
+    /// (statistical quality, not cryptographic security, is what callers
+    /// here need).
+    pub type StdRng = SmallRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::SmallRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = SmallRng::seed_from_u64(7);
+        let mut b = SmallRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0.0f64..1.0), b.gen_range(0.0f64..1.0));
+        }
+        let mut c = SmallRng::seed_from_u64(8);
+        let same = (0..100).all(|_| a.gen_range(0u64..1000) == c.gen_range(0u64..1000));
+        assert!(!same);
+    }
+
+    #[test]
+    fn ranges_respected() {
+        let mut rng = SmallRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let f = rng.gen_range(2.5f64..3.5);
+            assert!((2.5..3.5).contains(&f));
+            let i = rng.gen_range(-3i64..=3);
+            assert!((-3..=3).contains(&i));
+            let u = rng.gen_range(10usize..20);
+            assert!((10..20).contains(&u));
+        }
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = SmallRng::seed_from_u64(2);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -103,6 +103,137 @@ proptest! {
     }
 }
 
+mod engine_equivalence {
+    //! The partitioned base-station engine against the nested-loop
+    //! reference it replaced: bit-identical rows (including order),
+    //! aggregates and contributor sets on randomized tuples and queries.
+
+    use proptest::prelude::*;
+    use sensjoin::core::{exact_join, exact_join_nested};
+    use sensjoin::prelude::*;
+    use sensjoin::query::CompiledQuery;
+    use sensjoin::relation::{AttrType, Attribute, Schema};
+
+    fn schema() -> Schema {
+        Schema::new(
+            "Sensors",
+            vec![
+                Attribute::new("x", AttrType::Meters),
+                Attribute::new("y", AttrType::Meters),
+                Attribute::new("temp", AttrType::Celsius),
+                Attribute::new("hum", AttrType::Percent),
+            ],
+        )
+    }
+
+    /// Templates covering every predicate class the engine partitions on —
+    /// equi (plain and compound sides), band (difference, absolute,
+    /// direct), general residuals, three-way joins and aggregates.
+    fn query_strategy() -> impl Strategy<Value = String> {
+        let c = -6.0f64..6.0;
+        prop_oneof![
+            Just(
+                "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                 WHERE A.temp = B.temp ONCE"
+                    .to_owned()
+            ),
+            Just(
+                "SELECT A.x, B.x FROM Sensors A, Sensors B \
+                 WHERE A.temp + A.hum = B.temp + B.hum ONCE"
+                    .to_owned()
+            ),
+            c.clone().prop_map(|c| format!(
+                "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > {c} ONCE"
+            )),
+            c.clone().prop_map(|c| format!(
+                "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+                 WHERE |A.temp - B.temp| < {} ONCE",
+                c.abs()
+            )),
+            c.clone().prop_map(|c| format!(
+                "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+                 WHERE A.temp < B.temp AND A.hum - B.hum > {c} ONCE"
+            )),
+            c.clone().prop_map(|c| format!(
+                "SELECT A.x, B.y FROM Sensors A, Sensors B \
+                 WHERE distance(A.x, A.y, B.x, B.y) < {} ONCE",
+                20.0 * c.abs()
+            )),
+            c.clone().prop_map(|c| format!(
+                "SELECT MIN(A.temp), COUNT(B.hum) FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp >= {c} ONCE"
+            )),
+            c.prop_map(|c| format!(
+                "SELECT A.temp, B.temp, C.temp FROM Sensors A, Sensors B, Sensors C \
+                 WHERE A.temp = B.temp AND |B.hum - C.hum| < {} ONCE",
+                c.abs()
+            )),
+        ]
+    }
+
+    /// Attribute values with heavy collisions (to exercise the hash index),
+    /// a continuous range, and the occasional NaN / infinity (to exercise
+    /// the index guards — the nested reference defines their semantics).
+    fn value_strategy() -> impl Strategy<Value = f64> {
+        (0u64..12, -12.0f64..12.0, -300.0f64..300.0).prop_map(|(sel, grid, cont)| match sel {
+            0..=5 => (grid * 2.0).floor() * 0.5,
+            6..=9 => cont,
+            10 => f64::NAN,
+            _ => f64::INFINITY,
+        })
+    }
+
+    fn rows_bits(rows: &[Vec<f64>]) -> Vec<Vec<u64>> {
+        rows.iter()
+            .map(|r| r.iter().map(|v| v.to_bits()).collect())
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn partitioned_exact_join_equals_nested_descent(
+            sql in query_strategy(),
+            pool in proptest::collection::vec(
+                proptest::collection::vec(value_strategy(), 4),
+                0..90,
+            ),
+        ) {
+            let q = parse(&sql).unwrap();
+            let schemas: Vec<Schema> = q.from.iter().map(|_| schema()).collect();
+            let cq = CompiledQuery::compile(&q, &schemas).unwrap();
+            // Distribute the generated pool round-robin over the relations,
+            // with distinct origin ids per relation.
+            let mut tuples: Vec<Vec<(NodeId, Vec<f64>)>> =
+                vec![Vec::new(); cq.num_relations()];
+            for (i, values) in pool.into_iter().enumerate() {
+                let rel = i % cq.num_relations();
+                let id = NodeId((rel * 1000 + i) as u32);
+                tuples[rel].push((id, values));
+            }
+            let new = exact_join(&cq, &tuples);
+            let old = exact_join_nested(&cq, &tuples);
+            prop_assert_eq!(new.contributors, old.contributors, "contributors: {}", sql);
+            match (&new.result, &old.result) {
+                (JoinResult::Rows(a), JoinResult::Rows(b)) => {
+                    // Bitwise AND order-exact: the partitioned engine must
+                    // emit the very sequence of the nested loop.
+                    prop_assert_eq!(rows_bits(a), rows_bits(b), "rows: {}", sql);
+                }
+                (JoinResult::Aggregate(a), JoinResult::Aggregate(b)) => {
+                    let bits = |v: &[Option<f64>]| -> Vec<Option<u64>> {
+                        v.iter().map(|o| o.map(|v| v.to_bits())).collect()
+                    };
+                    prop_assert_eq!(bits(a), bits(b), "aggregates: {}", sql);
+                }
+                (a, b) => prop_assert!(false, "kind mismatch for {}: {:?} vs {:?}", sql, a, b),
+            }
+        }
+    }
+}
+
 /// A deterministic sweep across coarse resolutions: correctness must be
 /// resolution-independent (§V-B: quantization affects cost, never the
 /// result).

@@ -88,7 +88,7 @@ fn disjoint_join_attribute_names() {
     let mut snet = heterogeneous(11, 140);
     let q = parse(
         "SELECT I.temp, O.temp FROM Indoor I, Outdoor O \
-         WHERE I.hum - O.pres > -962.0 ONCE",
+         WHERE I.hum - O.pres > -967.0 ONCE",
     )
     .unwrap();
     let cq = snet.compile(&q).unwrap();

@@ -17,7 +17,7 @@ fn traced_run(seed: u64) -> (SensorNetwork, sensjoin::sim::Trace) {
         .compile(
             &parse(
                 "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
-                 WHERE A.temp - B.temp > 4.0 ONCE",
+                 WHERE A.temp - B.temp > 2.0 ONCE",
             )
             .unwrap(),
         )
