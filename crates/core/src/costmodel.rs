@@ -328,9 +328,9 @@ mod tests {
         let (snet, cq, _) = setup(300, 9, 0.05);
         let model = CostModel::new(&snet, &cq);
         let beta = model.estimate_beta();
-        // One join attribute at 0.1 resolution over a few degrees: the
-        // quadtree can drop below one bit per point when the population is
-        // dense, but a fraction of a bit to a few tens of bits is plausible.
-        assert!(beta > 0.2 && beta < 64.0, "beta {beta}");
+        // Structural bounds, not constants tuned to one RNG stream: beta is
+        // the wire size in bits per inserted point, so it must be positive,
+        // and a one-dimensional quadtree key is at most 64 bits wide.
+        assert!(beta > 0.0 && beta < 64.0, "beta {beta}");
     }
 }

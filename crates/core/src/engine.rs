@@ -464,22 +464,28 @@ pub fn exact_join(query: &CompiledQuery, tuples: &[Vec<(NodeId, Vec<f64>)>]) -> 
             pred_rels: &pred_rels,
             plan: &plan,
         };
-        let worthwhile =
-            worth_parallelizing(tuples[0].len(), tuples.iter().skip(1).map(|t| t.len()));
-        let parts = run_chunked(tuples[0].len(), worthwhile, |range| {
-            let mut part = ExactAcc::default();
-            let mut binding: Vec<usize> = Vec::with_capacity(tuples.len());
-            for pos in range {
-                run.step(0, pos, &mut binding, &mut part);
+        if tuples.is_empty() {
+            // Zero relations: descend's base case emits the single
+            // empty-binding row, exactly like the nested reference.
+            run.descend(&mut Vec::new(), &mut acc);
+        } else {
+            let worthwhile =
+                worth_parallelizing(tuples[0].len(), tuples.iter().skip(1).map(|t| t.len()));
+            let parts = run_chunked(tuples[0].len(), worthwhile, |range| {
+                let mut part = ExactAcc::default();
+                let mut binding: Vec<usize> = Vec::with_capacity(tuples.len());
+                for pos in range {
+                    run.step(0, pos, &mut binding, &mut part);
+                }
+                part
+            });
+            // Chunk-order merge: rows/keys concatenate to the sequential
+            // order, the contributor set unions.
+            for part in parts {
+                acc.rows.extend(part.rows);
+                acc.keys.extend(part.keys);
+                acc.contributors.extend(part.contributors);
             }
-            part
-        });
-        // Chunk-order merge: rows/keys concatenate to the sequential order,
-        // the contributor set unions.
-        for part in parts {
-            acc.rows.extend(part.rows);
-            acc.keys.extend(part.keys);
-            acc.contributors.extend(part.contributors);
         }
     }
     finalize_exact(query, acc)
@@ -789,6 +795,46 @@ mod tests {
         }
     }
 
+    /// Regression: on the probe side of an `|f(A) − g(B)| op c` predicate
+    /// the index is built on the *rhs* relation, so the probe coordinate is
+    /// decreasing and the two accepted d-intervals of `Gt`/`Ge`/`Eq` map to
+    /// a suffix run followed by a prefix run of the sorted keys; both runs
+    /// must survive the range merge (a naive ascending merge drops the
+    /// prefix and loses rows).
+    #[test]
+    fn abs_gt_band_keeps_both_runs() {
+        use sensjoin_relation::{AttrType, Attribute, Schema};
+        let schema = Schema::new("Sensors", vec![Attribute::new("temp", AttrType::Celsius)]);
+        let temps = [-4.0, -2.0, 0.0, 2.0, 4.0];
+        let tuples: Vec<Vec<(NodeId, Vec<f64>)>> = (0..2)
+            .map(|r| {
+                temps
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &t)| (NodeId((r * 100 + i) as u32), vec![t]))
+                    .collect()
+            })
+            .collect();
+        for (sql, expect) in [
+            // 20 ordered pairs differ by more than 1: all but the diagonal.
+            ("|A.temp - B.temp| > 1.0", 20),
+            ("|A.temp - B.temp| >= 2.0", 20),
+            // |d| = 2 holds for the 8 adjacent pairs.
+            ("|A.temp - B.temp| = 2.0", 8),
+        ] {
+            let q = parse(&format!(
+                "SELECT A.temp, B.temp FROM Sensors A, Sensors B WHERE {sql} ONCE"
+            ))
+            .unwrap();
+            let cq = CompiledQuery::compile(&q, &[schema.clone(), schema.clone()]).unwrap();
+            let new = exact_join(&cq, &tuples);
+            let old = exact_join_nested(&cq, &tuples);
+            assert_eq!(old.result.len(), expect, "reference sanity for {sql}");
+            assert_eq!(new.result.len(), expect, "partitioned lost rows for {sql}");
+            assert_eq!(new.contributors, old.contributors, "{sql}");
+        }
+    }
+
     /// The partitioned engine and the nested-loop reference agree exactly —
     /// rows, row order, contributors and filter bitmask — across predicate
     /// classes (equi / band / abs-band / general / mixed).
@@ -801,6 +847,12 @@ mod tests {
              WHERE A.temp - B.temp > 1.5 ONCE",
             "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
              WHERE |A.temp - B.temp| < 0.2 ONCE",
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| > 1.0 ONCE",
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| >= 1.0 ONCE",
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| = 0.0 ONCE",
             "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
              WHERE A.temp < B.temp AND A.hum - B.hum > 10.0 ONCE",
             "SELECT A.x, B.x FROM Sensors A, Sensors B \

@@ -147,32 +147,39 @@ fn sorted_ranges(
     increasing: bool,
     ivs: &[DIv],
 ) -> Vec<Range<usize>> {
-    let mut ranges: Vec<Range<usize>> = Vec::with_capacity(ivs.len());
-    for iv in ivs {
-        let (start, end) = if increasing {
-            (
-                keys.partition_point(|&(k, _)| iv.below(d(k))),
-                keys.partition_point(|&(k, _)| !iv.above(d(k))),
-            )
-        } else {
-            (
-                keys.partition_point(|&(k, _)| iv.above(d(k))),
-                keys.partition_point(|&(k, _)| !iv.below(d(k))),
-            )
-        };
-        if start < end {
-            // Merge with the previous range if they touch/overlap, so the
-            // collected positions stay duplicate-free.
-            if let Some(last) = ranges.last_mut() {
-                if start <= last.end {
-                    last.end = last.end.max(end);
-                    continue;
-                }
+    let mut ranges: Vec<Range<usize>> = ivs
+        .iter()
+        .filter_map(|iv| {
+            let (start, end) = if increasing {
+                (
+                    keys.partition_point(|&(k, _)| iv.below(d(k))),
+                    keys.partition_point(|&(k, _)| !iv.above(d(k))),
+                )
+            } else {
+                (
+                    keys.partition_point(|&(k, _)| iv.above(d(k))),
+                    keys.partition_point(|&(k, _)| !iv.below(d(k))),
+                )
+            };
+            (start < end).then_some(start..end)
+        })
+        .collect();
+    // When `d` is decreasing, ascending d-intervals come out as descending
+    // key ranges (e.g. `|d| > c`'s two rays map to a suffix run *then* a
+    // prefix run) — sort before merging touching/overlapping ranges, so the
+    // collected positions stay duplicate-free without dropping any run.
+    ranges.sort_unstable_by_key(|r| r.start);
+    let mut merged: Vec<Range<usize>> = Vec::with_capacity(ranges.len());
+    for r in ranges {
+        if let Some(last) = merged.last_mut() {
+            if r.start <= last.end {
+                last.end = last.end.max(r.end);
+                continue;
             }
-            ranges.push(start..end);
         }
+        merged.push(r);
     }
-    ranges
+    merged
 }
 
 // ---------------------------------------------------------------------------
@@ -670,6 +677,26 @@ mod tests {
             &[DIv::ray_below(3.0, false), DIv::ray_above(2.0, false)],
         );
         assert_eq!(r, vec![0..5]);
+    }
+
+    #[test]
+    fn sorted_ranges_decreasing_two_runs_both_survive() {
+        // Probe p = 0 against keys [-4, -2, 0, 2, 4] with d(k) = p − k
+        // (decreasing) and `|d| > 1`'s intervals (−∞, −1) ∪ (1, ∞): the
+        // first interval is the *suffix* {2, 4}, the second the *prefix*
+        // {-4, -2}. Both runs must survive the merge.
+        let keys: Vec<(f64, u32)> = [-4.0, -2.0, 0.0, 2.0, 4.0]
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| (k, i as u32))
+            .collect();
+        let ivs = abs_cmp_intervals(CmpOp::Gt, 1.0).unwrap();
+        let r = sorted_ranges(&keys, |k| 0.0 - k, false, &ivs);
+        assert_eq!(r, vec![0..2, 3..5]);
+        // |d| = 2 on the same decreasing coordinate: two singleton runs.
+        let ivs = abs_cmp_intervals(CmpOp::Eq, 2.0).unwrap();
+        let r = sorted_ranges(&keys, |k| 0.0 - k, false, &ivs);
+        assert_eq!(r, vec![1..2, 3..4]);
     }
 
     #[test]

@@ -32,6 +32,11 @@ fn query_strategy() -> impl Strategy<Value = String> {
             c.abs() / 8.0
         )),
         c.clone().prop_map(|c| format!(
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| > {} ONCE",
+            c.abs() / 4.0
+        )),
+        c.clone().prop_map(|c| format!(
             "SELECT MIN(distance(A.x, A.y, B.x, B.y)), COUNT(A.temp) \
              FROM Sensors A, Sensors B WHERE A.temp - B.temp > {c} ONCE"
         )),
@@ -150,6 +155,23 @@ mod engine_equivalence {
                 "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
                  WHERE |A.temp - B.temp| < {} ONCE",
                 c.abs()
+            )),
+            c.clone().prop_map(|c| format!(
+                "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+                 WHERE |A.temp - B.temp| > {} ONCE",
+                c.abs()
+            )),
+            c.clone().prop_map(|c| format!(
+                "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+                 WHERE |A.temp - B.temp| >= {} ONCE",
+                c.abs()
+            )),
+            // The value pool quantizes to a 0.5 grid, so small grid-aligned
+            // constants give |a − b| = c real matches to lose.
+            c.clone().prop_map(|c| format!(
+                "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+                 WHERE |A.temp - B.temp| = {} ONCE",
+                (c.abs() * 2.0).floor() * 0.5
             )),
             c.clone().prop_map(|c| format!(
                 "SELECT A.temp, B.temp FROM Sensors A, Sensors B \

@@ -86,10 +86,27 @@ fn disjoint_join_attribute_names() {
     // pressure offset — exercises the multi-dimension layout where each
     // relation covers only part of the space.
     let mut snet = heterogeneous(11, 140);
-    let q = parse(
+    // Derive the threshold from the generated data — just below the best
+    // reachable Indoor.hum − Outdoor.pres pair — so the non-empty assertion
+    // below holds on any RNG stream instead of a stream-tuned constant.
+    let hi = snet.master_index("hum").unwrap();
+    let pi = snet.master_index("pres").unwrap();
+    let reachable = |v: u32| snet.net().routing().depth(NodeId(v)).is_some();
+    let hum_max = (0..140u32)
+        .step_by(2)
+        .filter(|&v| reachable(v))
+        .map(|v| snet.readings(NodeId(v))[hi])
+        .fold(f64::NEG_INFINITY, f64::max);
+    let pres_min = (1..140u32)
+        .step_by(2)
+        .filter(|&v| reachable(v))
+        .map(|v| snet.readings(NodeId(v))[pi])
+        .fold(f64::INFINITY, f64::min);
+    let q = parse(&format!(
         "SELECT I.temp, O.temp FROM Indoor I, Outdoor O \
-         WHERE I.hum - O.pres > -967.0 ONCE",
-    )
+         WHERE I.hum - O.pres > {} ONCE",
+        hum_max - pres_min - 1.0
+    ))
     .unwrap();
     let cq = snet.compile(&q).unwrap();
     // hum and pres are distinct dimensions.

@@ -13,12 +13,26 @@ fn traced_run(seed: u64) -> (SensorNetwork, sensjoin::sim::Trace) {
         .seed(seed)
         .build()
         .unwrap();
+    // Derive the band threshold from the generated data itself — half the
+    // temperature spread over reachable non-base nodes — so the query is
+    // guaranteed to produce matches (the extreme pair differs by the full
+    // spread) on any RNG stream, instead of a constant tuned to one stream.
+    let ti = snet.master_index("temp").unwrap();
+    let temps: Vec<f64> = (0..snet.len() as u32)
+        .map(NodeId)
+        .filter(|&v| v != snet.base() && snet.net().routing().depth(v).is_some())
+        .map(|v| snet.readings(v)[ti])
+        .collect();
+    let spread = temps.iter().cloned().fold(f64::NEG_INFINITY, f64::max)
+        - temps.iter().cloned().fold(f64::INFINITY, f64::min);
+    assert!(spread > 0.0, "degenerate temperature field");
     let cq = snet
         .compile(
-            &parse(
+            &parse(&format!(
                 "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
-                 WHERE A.temp - B.temp > 2.0 ONCE",
-            )
+                 WHERE A.temp - B.temp > {} ONCE",
+                spread / 2.0
+            ))
             .unwrap(),
         )
         .unwrap();
