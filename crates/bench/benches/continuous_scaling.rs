@@ -1,0 +1,202 @@
+//! Per-round cost of the continuous filter engine: delta maintenance
+//! (`FilterEngine::apply_delta`) against the rebuild-per-round baseline
+//! (point-set reconstruction + fresh `prejoin_filter`) at 500 / 1000 / 2000
+//! populated cells with 5 % of the cells moving every round.
+//!
+//! The workload models slow drift in a band join: each round displaces a
+//! rotating 5 % slice of the population by half a cell-spacing and the next
+//! round moves it back, so the population size is stationary and every round
+//! causes genuine presence transitions (the incremental engine's worst case
+//! short of a cold start; count-only rounds are near-free and would inflate
+//! the speedup). The derived `speedup` map in `BENCH_engine.json` is
+//! rebuild-time / incremental-time per population size — the quantity the
+//! acceptance gate reads.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use sensjoin_bench::benchjson;
+use sensjoin_core::{
+    prejoin_filter, CellCounts, FilterEngine, JoinSpace, QuantizationConfig, SensJoinConfig,
+    SensorNetworkBuilder,
+};
+use sensjoin_field::{Area, Placement};
+use sensjoin_quadtree::{Point, PointSet, RelFlags};
+use sensjoin_query::{parse, CompiledQuery};
+use std::time::Instant;
+
+const SIZES: [usize; 3] = [500, 1000, 2000];
+const DELTA_FRACTION: f64 = 0.05;
+/// Attribute range: 4096 quantized temp cells at the paper's 0.1 resolution,
+/// enough to hold every population size with room between cells.
+const TEMP_MAX: f64 = 409.6;
+
+fn setup() -> (CompiledQuery, JoinSpace) {
+    let snet = SensorNetworkBuilder::new()
+        .area(Area::new(200.0, 200.0))
+        .placement(Placement::UniformRandom { n: 20 })
+        .seed(7)
+        .build()
+        .unwrap();
+    let q = parse(
+        "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+         WHERE |A.temp - B.temp| < 0.3 SAMPLE PERIOD 30",
+    )
+    .unwrap();
+    let cq = snet.compile(&q).unwrap();
+    let config = SensJoinConfig {
+        quantization: QuantizationConfig::new().with("temp", 0.0, TEMP_MAX, 0.1),
+        ..SensJoinConfig::default()
+    };
+    let space = JoinSpace::build(&cq, &snet, &config);
+    (cq, space)
+}
+
+/// Home temp of cell `k` when `n` cells are spread over the range.
+fn home(k: usize, n: usize) -> f64 {
+    (k as f64 + 0.3) * (TEMP_MAX / n as f64)
+}
+
+/// The seed population: `n` cells, each occupied by both roles.
+fn seed_counts(space: &JoinSpace, n: usize) -> CellCounts {
+    let slot = |r: usize| space.flag(r).0.trailing_zeros() as usize;
+    let mut counts = CellCounts::default();
+    for k in 0..n {
+        let z = space.encode(&[Some(home(k, n))]);
+        let e = counts.entry(z).or_insert([0; 8]);
+        e[slot(0)] += 1;
+        e[slot(1)] += 1;
+    }
+    counts
+}
+
+/// A ring of per-round deltas whose pairwise composition is the identity:
+/// delta 2j displaces slice j of the population by half a cell-spacing
+/// (removing one role's occupancy at the home cell, adding it at the shifted
+/// cell — two presence transitions per moved cell), delta 2j+1 moves it
+/// back. Stepping through the ring keeps the population size stationary
+/// while every round changes ~5 % of the cells.
+fn delta_ring(space: &JoinSpace, n: usize) -> Vec<CellCounts> {
+    let slot = |r: usize| space.flag(r).0.trailing_zeros() as usize;
+    // One move changes TWO cells (occupancy leaves the source cell and
+    // appears at the target), so half the fraction in moved pairs keeps the
+    // changed-cell count at `n * DELTA_FRACTION` per round.
+    let moved = ((n as f64 * DELTA_FRACTION / 2.0) as usize).max(1);
+    let slices = n.div_ceil(moved);
+    let mut ring = Vec::with_capacity(2 * slices);
+    for j in 0..slices {
+        let mut fwd = CellCounts::default();
+        let mut back = CellCounts::default();
+        for i in 0..moved {
+            let k = (j * moved + i) % n;
+            let role = k % 2;
+            let from = space.encode(&[Some(home(k, n))]);
+            let to = space.encode(&[Some(home(k, n) + TEMP_MAX / n as f64 * 0.5)]);
+            if from == to {
+                continue;
+            }
+            fwd.entry(from).or_insert([0; 8])[slot(role)] -= 1;
+            fwd.entry(to).or_insert([0; 8])[slot(role)] += 1;
+            back.entry(from).or_insert([0; 8])[slot(role)] += 1;
+            back.entry(to).or_insert([0; 8])[slot(role)] -= 1;
+        }
+        ring.push(fwd);
+        ring.push(back);
+    }
+    ring
+}
+
+/// What the pre-engine base station did every round: fold the delta into the
+/// counted population, rebuild the point set, run the filter from scratch.
+fn fold(counts: &mut CellCounts, delta: &CellCounts) {
+    for (&z, d) in delta {
+        let e = counts.entry(z).or_insert([0; 8]);
+        for b in 0..8 {
+            e[b] += d[b];
+        }
+        if e.iter().all(|&c| c == 0) {
+            counts.remove(&z);
+        }
+    }
+}
+
+fn counts_to_points(counts: &CellCounts) -> PointSet {
+    PointSet::from_points(counts.iter().filter_map(|(&z, c)| {
+        let mut flags = 0u8;
+        for (b, &cnt) in c.iter().enumerate() {
+            if cnt > 0 {
+                flags |= 1 << b;
+            }
+        }
+        (flags != 0).then_some(Point {
+            z,
+            flags: RelFlags(flags),
+        })
+    }))
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    let (cq, space) = setup();
+    let mut group = c.benchmark_group("continuous_scaling");
+    for n in SIZES {
+        let seed = seed_counts(&space, n);
+        let ring = delta_ring(&space, n);
+
+        group.bench_with_input(BenchmarkId::new("incremental", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let mut engine = FilterEngine::new(&cq, &space);
+                engine.apply_delta(&cq, &space, &seed);
+                let start = Instant::now();
+                for i in 0..iters {
+                    let d = &ring[i as usize % ring.len()];
+                    black_box(engine.apply_delta(&cq, &space, d));
+                }
+                start.elapsed()
+            })
+        });
+
+        group.bench_with_input(BenchmarkId::new("rebuild", n), &n, |b, _| {
+            b.iter_custom(|iters| {
+                let mut counts = seed.clone();
+                let start = Instant::now();
+                for i in 0..iters {
+                    let d = &ring[i as usize % ring.len()];
+                    fold(&mut counts, d);
+                    let points = counts_to_points(&counts);
+                    black_box(prejoin_filter(&cq, &space, &points));
+                }
+                start.elapsed()
+            })
+        });
+    }
+    group.finish();
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_rounds(&mut criterion);
+    let results = criterion.results().to_vec();
+    let ns = |name: String| {
+        results
+            .iter()
+            .find(|(k, _)| *k == name)
+            .map(|(_, d)| d.as_nanos() as f64)
+    };
+    let mut speedups = Vec::new();
+    for n in SIZES {
+        if let (Some(inc), Some(reb)) = (
+            ns(format!("continuous_scaling/incremental/{n}")),
+            ns(format!("continuous_scaling/rebuild/{n}")),
+        ) {
+            let s = reb / inc;
+            println!("continuous_scaling: {n} cells → {s:.1}x per-round speedup");
+            speedups.push(format!("    \"{n}\": {s:.2}"));
+        }
+    }
+    let extras = [
+        ("delta_fraction", format!("{DELTA_FRACTION}")),
+        ("speedup", format!("{{\n{}\n  }}", speedups.join(",\n"))),
+    ];
+    benchjson::merge_section(
+        "continuous_scaling",
+        &benchjson::section_value(&results, &extras),
+    );
+}

@@ -9,7 +9,8 @@
 //! baseline is bounded to n ≤ 1500 (a 5000² descent per iteration would
 //! dominate the bench wall-clock without adding information).
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, BenchmarkId, Criterion};
+use sensjoin_bench::benchjson;
 use sensjoin_core::{exact_join, exact_join_nested};
 use sensjoin_query::{parse, CompiledQuery};
 use sensjoin_relation::{AttrType, Attribute, NodeId, Schema};
@@ -112,5 +113,12 @@ fn bench_equi_join(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_band_join, bench_equi_join);
-criterion_main!(benches);
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_band_join(&mut criterion);
+    bench_equi_join(&mut criterion);
+    benchjson::merge_section(
+        "engine_scaling",
+        &benchjson::section_value(criterion.results(), &[]),
+    );
+}

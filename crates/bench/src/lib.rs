@@ -11,6 +11,7 @@
 //! maximizes tree depth and reproduces the paper's savings magnitudes best —
 //! see EXPERIMENTS.md for the sensitivity to this choice).
 
+pub mod benchjson;
 pub mod experiments;
 pub mod report;
 

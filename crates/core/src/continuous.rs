@@ -32,7 +32,8 @@
 //! "add"), so a single code path serves cold start and steady state.
 
 use crate::config::{Representation, SensJoinConfig};
-use crate::engine::{exact_join, prejoin_filter, JoinSpace};
+use crate::engine::{exact_join, JoinSpace};
+use crate::incremental::{CellCounts, FilterEngine};
 use crate::outcome::{JoinOutcome, ProtocolError};
 use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg};
 use crate::snetwork::SensorNetwork;
@@ -40,7 +41,7 @@ use crate::wave::{down_wave, up_wave};
 use sensjoin_quadtree::{Point, PointSet, RelFlags};
 use sensjoin_query::CompiledQuery;
 use sensjoin_relation::NodeId;
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 /// Phase labels of the continuous rounds.
 pub const PHASE_DELTA_COLLECTION: &str = "1-delta-collection";
@@ -50,7 +51,7 @@ pub const PHASE_FILTER_DELTA: &str = "2-filter-delta";
 pub const PHASE_FINAL_DELTA: &str = "3-final-delta";
 
 /// Counted cell population: per cell, one counter per relation-role bit.
-type Counts = HashMap<u64, [i64; 8]>;
+type Counts = CellCounts;
 
 fn apply_delta(into: &mut Counts, delta: &Counts) {
     for (&z, d) in delta {
@@ -112,17 +113,30 @@ impl Delta {
         apply_delta(&mut self.dels, &other.dels);
     }
 
-    /// The net population change (adds − dels).
+    /// The net population change (adds − dels), built in one pass without
+    /// cloning the adds map.
     fn net(&self) -> Counts {
-        let mut net = self.adds.clone();
+        let mut net = Counts::with_capacity(self.adds.len() + self.dels.len());
+        for (&z, a) in &self.adds {
+            let mut e = *a;
+            if let Some(d) = self.dels.get(&z) {
+                for b in 0..8 {
+                    e[b] -= d[b];
+                }
+            }
+            if e.iter().any(|&c| c != 0) {
+                net.insert(z, e);
+            }
+        }
         for (&z, d) in &self.dels {
-            let e = net.entry(z).or_insert([0; 8]);
+            if self.adds.contains_key(&z) {
+                continue; // already netted above
+            }
+            let mut e = [0i64; 8];
             for b in 0..8 {
-                e[b] -= d[b];
+                e[b] = -d[b];
             }
-            if e.iter().all(|&c| c == 0) {
-                net.remove(&z);
-            }
+            net.insert(z, e);
         }
         net
     }
@@ -221,8 +235,9 @@ struct State {
     node_filter: Vec<PointSet>,
     /// Per node: counted cell population of its subtree (incl. itself).
     subtree: Vec<Counts>,
-    /// Base station: global population and current filter.
-    global: Counts,
+    /// Base station: incremental filter engine (owns the global population)
+    /// and the filter as of the last round (for delta dissemination).
+    engine: FilterEngine,
     filter: PointSet,
     /// Base station: tuple cache (flags at send time + master values).
     cache: BTreeMap<NodeId, (u8, Vec<f64>)>,
@@ -315,13 +330,13 @@ impl ContinuousSensJoin {
                 .map(|&nm| master.index_of(nm).expect("validated"))
                 .collect();
             self.state = Some(State {
+                engine: FilterEngine::new(query, &space),
                 space,
                 last_cell: vec![None; n],
                 last_values: vec![None; n],
                 matched: vec![false; n],
                 node_filter: vec![PointSet::new(); n],
                 subtree: (0..n).map(|_| Counts::default()).collect(),
-                global: Counts::default(),
                 filter: PointSet::new(),
                 cache: BTreeMap::new(),
                 drift_attrs,
@@ -329,8 +344,8 @@ impl ContinuousSensJoin {
             });
         }
         let st = self.state.as_mut().expect("just initialized");
-        let space = st.space.clone();
-        let data = collect_node_data(snet, query, &space);
+        let space = &st.space;
+        let data = collect_node_data(snet, query, space);
         let base = snet.base();
 
         // ---- Phase 1: delta collection ----
@@ -358,14 +373,19 @@ impl ContinuousSensJoin {
                 apply_delta(&mut subtree[v.0 as usize], &merged.net());
                 merged
             },
-            |d| d.wire_size(&space),
+            |d| d.wire_size(space),
             PHASE_DELTA_COLLECTION,
         );
 
-        // ---- Base station: population update + filter recomputation ----
-        apply_delta(&mut st.global, &base_delta.net());
-        let population = counts_to_set(&st.global);
-        let new_filter = prejoin_filter(query, &space, &population);
+        // ---- Base station: incremental filter maintenance ----
+        // The engine folds the round's net delta into its persistent
+        // population and indexes and recomputes only the affected cells'
+        // filter bits — bit-identical to a fresh `prejoin_filter` over the
+        // full population, at cost proportional to the delta.
+        let new_filter = st
+            .engine
+            .apply_delta(query, &st.space, &base_delta.net())
+            .clone();
         let mut added = PointSet::new();
         let mut removed = PointSet::new();
         for p in new_filter.iter() {
@@ -423,7 +443,7 @@ impl ContinuousSensJoin {
                 };
                 (!pruned.is_empty()).then_some(pruned)
             },
-            |fd| fd.wire_size(&space),
+            |fd| fd.wire_size(space),
             PHASE_FILTER_DELTA,
         );
         // The base's own filter view is the filter itself.
@@ -486,7 +506,7 @@ impl ContinuousSensJoin {
         for origin in final_delta.retractions {
             st.cache.remove(&origin);
         }
-        let master = snet.master_schema().clone();
+        let master = snet.master_schema();
         let tuples_per_rel: Vec<Vec<(NodeId, Vec<f64>)>> = (0..query.num_relations())
             .map(|r| {
                 let flag = space.flag(r);
@@ -494,7 +514,7 @@ impl ContinuousSensJoin {
                     .iter()
                     .filter(|(_, (f, _))| RelFlags(*f).intersects(flag))
                     .map(|(&origin, (_, values))| {
-                        (origin, project_to_schema(&master, query.schema(r), values))
+                        (origin, project_to_schema(master, query.schema(r), values))
                     })
                     .collect()
             })
@@ -503,7 +523,7 @@ impl ContinuousSensJoin {
         st.rounds += 1;
         Ok(JoinOutcome {
             result: computation.result,
-            stats: snet.net().stats().clone(),
+            stats: snet.net_mut().take_stats(),
             latency_us: t1.then(t2).then(t3).pipelined,
             latency_slotted_us: t1.then(t2).then(t3).slotted,
             contributors: computation.contributors,

@@ -2,11 +2,13 @@
 //!
 //! Both entry points ([`prejoin_filter`], [`exact_join`]) run a
 //! **partitioned** descent: per descend level, the predicate classification
-//! of [`sensjoin_query::analyze`] drives a hash index (equi predicates) or a
-//! sorted-key index (band predicates) that narrows the level to a candidate
-//! superset, while the unchanged residual predicate check still runs on
-//! every candidate. Levels without an indexable predicate scan exactly like
-//! the nested-loop reference. The outermost level is chunked across threads
+//! of [`sensjoin_query::analyze`] drives one hash index (equi predicates) or
+//! sorted-key index (band predicates) *per indexable predicate* on that
+//! level; the probe with the fewest candidates drives the scan and the other
+//! indexed predicates become O(1) membership tests, so the level scans the
+//! **intersection** of all indexed candidate sets, while the unchanged
+//! residual predicate check still runs on every survivor. Levels without an
+//! indexable predicate scan exactly like the nested-loop reference. The outermost level is chunked across threads
 //! (behind the default-on `parallel` feature) and the per-chunk outputs are
 //! merged in chunk order, so results — rows, their order, contributors, and
 //! the filter bitmask — are bit-identical to [`exact_join_nested`] /
@@ -15,7 +17,7 @@
 
 use crate::config::SensJoinConfig;
 use crate::outcome::JoinResult;
-use crate::partition::{exact_plan, filter_plan, Candidates, ExactIndex, FilterIndex};
+use crate::partition::{exact_plan, filter_plan, Candidates, ExactIndex, ExactProbe, FilterIndex};
 use crate::snetwork::SensorNetwork;
 use sensjoin_quadtree::{Point, PointSet, RelFlags, TreeShape};
 use sensjoin_query::{CompiledQuery, Interval};
@@ -145,7 +147,7 @@ impl JoinSpace {
 
 /// Highest relation referenced per join predicate, so a partial binding of
 /// relations `0..=k` can check each predicate as early as possible.
-fn pred_max_rels(query: &CompiledQuery) -> Vec<usize> {
+pub(crate) fn pred_max_rels(query: &CompiledQuery) -> Vec<usize> {
     query
         .join_preds()
         .iter()
@@ -325,7 +327,7 @@ struct FilterRun<'a> {
     lists: &'a [Vec<usize>],
     boxes: &'a [Vec<(f64, f64)>],
     pred_rels: &'a [usize],
-    plan: &'a [Option<FilterIndex>],
+    plan: &'a [Vec<FilterIndex>],
 }
 
 impl FilterRun<'_> {
@@ -352,19 +354,40 @@ impl FilterRun<'_> {
         }
     }
 
+    /// Intersects the candidate windows of every index on `rel`: the
+    /// smallest window drives, the rest degrade to rank membership tests.
     fn candidates(&self, rel: usize, binding: &[usize]) -> Candidates {
-        match &self.plan[rel] {
-            Some(ix) => {
-                let probe = self.space.attr_interval(
-                    self.query,
-                    &self.boxes[binding[ix.probe_rel()]],
-                    ix.probe_rel(),
-                    ix.probe_attr(),
-                );
-                ix.candidates(probe)
+        let mut probes: Vec<(&FilterIndex, Vec<Range<usize>>)> = Vec::new();
+        for ix in &self.plan[rel] {
+            let probe = self.space.attr_interval(
+                self.query,
+                &self.boxes[binding[ix.probe_rel()]],
+                ix.probe_rel(),
+                ix.probe_attr(),
+            );
+            if let Some(ranges) = ix.probe(probe) {
+                probes.push((ix, ranges));
             }
-            None => Candidates::All,
         }
+        let Some(di) =
+            (0..probes.len()).min_by_key(|&i| probes[i].1.iter().map(|r| r.len()).sum::<usize>())
+        else {
+            return Candidates::All;
+        };
+        let (dix, dranges) = &probes[di];
+        let mut positions: Vec<u32> = dranges
+            .iter()
+            .flat_map(|r| dix.entries()[r.clone()].iter().map(|&(_, pos)| pos))
+            .collect();
+        if probes.len() > 1 {
+            positions.retain(|&pos| {
+                probes
+                    .iter()
+                    .enumerate()
+                    .all(|(i, (ix, rs))| i == di || ix.accepts(rs, pos))
+            });
+        }
+        Candidates::Picked(positions)
     }
 
     /// Binds role-list position `pos` at level `rel`, applies the residual
@@ -540,7 +563,7 @@ struct ExactRun<'a> {
     query: &'a CompiledQuery,
     tuples: &'a [Vec<(NodeId, Vec<f64>)>],
     pred_rels: &'a [usize],
-    plan: &'a [Option<ExactIndex<'a>>],
+    plan: &'a [Vec<ExactIndex<'a>>],
 }
 
 impl ExactRun<'_> {
@@ -557,14 +580,7 @@ impl ExactRun<'_> {
             }
             return;
         }
-        let cands = match &self.plan[rel] {
-            Some(ix) => {
-                let env = |r: usize, a: usize| -> f64 { self.tuples[r][binding[r]].1[a] };
-                ix.candidates(&env)
-            }
-            None => Candidates::All,
-        };
-        match cands {
+        match self.candidates(rel, binding) {
             Candidates::All => {
                 for pos in 0..self.tuples[rel].len() {
                     self.step(rel, pos, binding, out);
@@ -578,6 +594,34 @@ impl ExactRun<'_> {
                 }
             }
         }
+    }
+
+    /// Intersects the candidate sets of every index on `rel`: the probe
+    /// with the fewest candidates is materialized (ascending) and the rest
+    /// degrade to O(1) membership tests.
+    fn candidates(&self, rel: usize, binding: &[usize]) -> Candidates {
+        let env = |r: usize, a: usize| -> f64 { self.tuples[r][binding[r]].1[a] };
+        let mut probes: Vec<(&ExactIndex, ExactProbe)> = Vec::new();
+        for ix in &self.plan[rel] {
+            let p = ix.probe(&env);
+            if !matches!(p, ExactProbe::All) {
+                probes.push((ix, p));
+            }
+        }
+        let Some(di) = (0..probes.len()).min_by_key(|&i| probes[i].0.count(&probes[i].1)) else {
+            return Candidates::All;
+        };
+        let (dix, dprobe) = &probes[di];
+        let mut positions = dix.materialize(dprobe);
+        if probes.len() > 1 {
+            positions.retain(|&pos| {
+                probes
+                    .iter()
+                    .enumerate()
+                    .all(|(i, (ix, p))| i == di || ix.contains(p, pos))
+            });
+        }
+        Candidates::Picked(positions)
     }
 
     /// Binds tuple `pos` at level `rel`, applies the residual predicate
@@ -832,6 +876,52 @@ mod tests {
             assert_eq!(old.result.len(), expect, "reference sanity for {sql}");
             assert_eq!(new.result.len(), expect, "partitioned lost rows for {sql}");
             assert_eq!(new.contributors, old.contributors, "{sql}");
+        }
+    }
+
+    /// Index intersection: a 3-way join whose last descent level carries
+    /// *two* indexable predicates (a band `A–C` and an equi `B–C`) must use
+    /// both — smallest window drives, the other becomes a membership probe —
+    /// and still match the nested reference bit for bit, for the exact join
+    /// and the pre-join filter alike.
+    #[test]
+    fn index_intersection_on_shared_level_matches_nested() {
+        for sql in [
+            // Both predicates' highest relation is C: level 2 gets a sorted
+            // (band) and a hash (equi) index.
+            "SELECT A.temp, B.temp, C.temp FROM Sensors A, Sensors B, Sensors C \
+             WHERE |A.temp - C.temp| < 0.4 AND B.hum = C.hum ONCE",
+            // Three predicates, two of them (band + band) on level C.
+            "SELECT A.temp, B.temp, C.temp FROM Sensors A, Sensors B, Sensors C \
+             WHERE |A.temp - C.temp| < 0.5 AND B.temp - C.temp > -0.5 \
+             AND A.hum - B.hum > -30.0 ONCE",
+        ] {
+            let (snet, cq, space) = setup(sql);
+            // Sanity: the last level really holds two indexes.
+            let pred_rels = pred_max_rels(&cq);
+            assert!(
+                pred_rels.iter().filter(|&&r| r == 2).count() >= 2,
+                "test premise: two predicates on level 2 for {sql}"
+            );
+            let tuples = all_tuples(&snet, &cq);
+            let new = exact_join(&cq, &tuples);
+            let old = exact_join_nested(&cq, &tuples);
+            assert_eq!(new.contributors, old.contributors, "{sql}");
+            match (&new.result, &old.result) {
+                (JoinResult::Rows(a), JoinResult::Rows(b)) => {
+                    let bits = |rows: &[Vec<f64>]| -> Vec<Vec<u64>> {
+                        rows.iter()
+                            .map(|r| r.iter().map(|v| v.to_bits()).collect())
+                            .collect()
+                    };
+                    assert_eq!(bits(a), bits(b), "row mismatch for {sql}");
+                }
+                (a, b) => panic!("result kind mismatch for {sql}: {a:?} vs {b:?}"),
+            }
+            let points = all_points(&snet, &cq, &space);
+            let new_f = prejoin_filter(&cq, &space, &points);
+            let old_f = prejoin_filter_nested(&cq, &space, &points);
+            assert_eq!(new_f.points(), old_f.points(), "filter mismatch for {sql}");
         }
     }
 

@@ -1,0 +1,791 @@
+//! Incremental pre-join filtering for continuous queries.
+//!
+//! [`crate::prejoin_filter`] recomputes the filter from scratch: it rebuilds
+//! every per-level index and re-runs the interval descent over the **whole**
+//! cell population, so base-station CPU per round of a continuous query is
+//! O(population) even when a single node moved. [`FilterEngine`] keeps the
+//! filter state *across* rounds and re-derives only what a round's counted
+//! cell delta can actually change:
+//!
+//! * **Persistent indexes** — one sorted interval-key array per `(relation,
+//!   attribute)` referenced by a classified (equi/band) predicate, updated
+//!   in place from added/removed cells instead of rebuilt.
+//! * **Component factorization** — the predicate graph (roles as vertices,
+//!   join predicates as edges) splits into connected components; a cell's
+//!   filter bit for role `r` factors into "some binding over `r`'s component
+//!   contains this cell at `r`" (a *local* bit) and "every other component
+//!   has at least one satisfying binding" (a per-component counter). Only
+//!   local bits need per-cell maintenance; cross-component influence is the
+//!   O(1) all-satisfiable flag.
+//! * **Affected-set recomputation** — a round only recomputes local bits of
+//!   the *affected set*: cells whose role membership changed (seeds) plus
+//!   cells reachable from a seed through predicate-compatible candidate
+//!   windows (probing the updated indexes, widened exactly like the fresh
+//!   filter's `FilterIndex` probes). Every other cell keeps the previous
+//!   round's bit.
+//!
+//! # Why the affected set is sufficient (bit-identical guarantee)
+//!
+//! Suppose cell `z`'s bit for role `r` differs between rounds. Then some
+//! binding containing `z` at `r` exists in exactly one of the two
+//! populations; that witness binding must contain a seed cell (otherwise it
+//! exists identically in both). Take a shortest path in the component's
+//! predicate graph from `r` to a seed-occupied role: its interior cells are
+//! non-seeds, hence present in *both* populations, and each consecutive pair
+//! satisfies the connecting predicate (the witness survives every residual
+//! check). Walking that path backwards from the seed, every hop lands inside
+//! the conservative candidate window of the previous cell — the same
+//! interval widening the fresh filter uses, which never excludes a
+//! possibly-satisfying pair — so the DFS over simple paths from all seeds
+//! visits `(z, r)`. Recomputed bits use the identical interval residuals as
+//! [`crate::prejoin_filter`], hence the maintained filter is bit-identical
+//! to a fresh rebuild on every round's population (enforced by tests here
+//! and by the network-level round-equivalence proptest).
+
+use crate::engine::JoinSpace;
+use crate::partition::interval_probe_ranges;
+use sensjoin_quadtree::{PointSet, RelFlags};
+use sensjoin_query::{
+    eval_predicate_interval, BandForm, CExpr, CmpOp, CompiledQuery, Interval, PredClass, PredSide,
+};
+use std::collections::{HashMap, HashSet};
+
+/// Counted cell population: per cell, one reference counter per
+/// relation-role flag bit (two descendants of a routing-tree node may occupy
+/// the same cell, so plain set semantics would lose removals).
+pub type CellCounts = HashMap<u64, [i64; 8]>;
+
+/// A persistent sorted interval index over the cells present in one role:
+/// `(cell interval of `attr`, cell Z-number)` sorted by `(lo, z)`. Cell
+/// intervals of one attribute are grid cells of one dimension — disjoint or
+/// equal — so both endpoints are monotone along the order and
+/// [`interval_probe_ranges`] applies unchanged.
+struct SortedIdx {
+    rel: usize,
+    attr: usize,
+    entries: Vec<(Interval, u64)>,
+}
+
+/// Replaces sorted `base` with `(base ∪ add) ∖ del` in one pass. `add` and
+/// `del` must be sorted under `cmp`; every `del` element must be in `base`
+/// and no `add` element may be (a round touches each key at most once).
+fn merge_sorted<T: Copy, F: Fn(&T, &T) -> std::cmp::Ordering>(
+    base: &mut Vec<T>,
+    add: &[T],
+    del: &[T],
+    cmp: F,
+) {
+    if add.is_empty() && del.is_empty() {
+        return;
+    }
+    let mut out = Vec::with_capacity(base.len() + add.len() - del.len());
+    let (mut ai, mut di) = (0, 0);
+    for &x in base.iter() {
+        while ai < add.len() && cmp(&add[ai], &x) == std::cmp::Ordering::Less {
+            out.push(add[ai]);
+            ai += 1;
+        }
+        if di < del.len() && cmp(&del[di], &x) == std::cmp::Ordering::Equal {
+            di += 1;
+            continue;
+        }
+        out.push(x);
+    }
+    out.extend_from_slice(&add[ai..]);
+    debug_assert_eq!(di, del.len(), "removal of an absent key");
+    *base = out;
+}
+
+/// An indexable probe of one predicate-graph hop: reaching role
+/// [`Edge::to`], keys live in index `idx` and the probe interval is
+/// attribute `probe_attr` of the source cell.
+struct Hop {
+    idx: usize,
+    probe_attr: usize,
+    key_is_lhs: bool,
+    form: BandForm,
+}
+
+/// A predicate-graph edge (one per predicate and direction). No hop means
+/// the predicate has no index-friendly shape: the hop widens to the whole
+/// destination role.
+struct Edge {
+    to: usize,
+    hop: Option<Hop>,
+}
+
+/// Persistent, delta-maintained pre-join filter for one continuous query.
+/// Construct once per query ([`FilterEngine::new`]), then feed every round's
+/// counted cell delta to [`FilterEngine::apply_delta`]; the returned filter
+/// is bit-identical to `prejoin_filter(query, space, population)` on the
+/// post-delta population.
+pub struct FilterEngine {
+    const_false: bool,
+    num_rels: usize,
+    /// Per role: its flag bit (`space.flag(r).0`, single bit).
+    flag_of: Vec<u8>,
+    /// Per role: connected component id in the predicate graph.
+    comp_of: Vec<usize>,
+    /// Per component: member roles, ascending.
+    comp_roles: Vec<Vec<usize>>,
+    /// Per role: outgoing predicate-graph edges.
+    edges: Vec<Vec<Edge>>,
+    /// Per join predicate: referenced roles, ascending (residual schedule).
+    pred_roles: Vec<Vec<usize>>,
+    idx: Vec<SortedIdx>,
+    counts: CellCounts,
+    population: PointSet,
+    /// Per role: present cells, ascending Z.
+    role_cells: Vec<Vec<u64>>,
+    /// Component-local filter bits per cell (flag-bit convention).
+    local: PointSet,
+    /// Per component: number of set `(cell, role)` local bits; the
+    /// component is satisfiable iff positive.
+    sat: Vec<i64>,
+    empty: PointSet,
+}
+
+/// Union-find root with path halving.
+fn find(parent: &mut [usize], mut x: usize) -> usize {
+    while parent[x] != x {
+        parent[x] = parent[parent[x]];
+        x = parent[x];
+    }
+    x
+}
+
+/// Immutable context of one existence descent (see [`FilterEngine::holds`]):
+/// the role binding order (pinned role first), the per-level residual
+/// schedule, and the pinned cell.
+struct Descent<'a> {
+    query: &'a CompiledQuery,
+    space: &'a JoinSpace,
+    order: &'a [usize],
+    sched: &'a [Vec<usize>],
+    pin_z: u64,
+}
+
+/// The `(lhs, rhs)` sides and comparison shape of a classified predicate.
+fn class_sides(class: &PredClass) -> Option<(&PredSide, &PredSide, BandForm)> {
+    match class {
+        PredClass::Equi { lhs, rhs } => Some((lhs, rhs, BandForm::Direct(CmpOp::Eq))),
+        PredClass::Band { lhs, rhs, form } => Some((lhs, rhs, *form)),
+        PredClass::General => None,
+    }
+}
+
+impl FilterEngine {
+    /// Builds the (empty-population) engine for `query` over `space`.
+    pub fn new(query: &CompiledQuery, space: &JoinSpace) -> Self {
+        let n = query.num_relations();
+        let pred_roles: Vec<Vec<usize>> = query
+            .join_preds()
+            .iter()
+            .map(|p| p.relations().into_iter().collect())
+            .collect();
+        let flag_of: Vec<u8> = (0..n).map(|r| space.flag(r).0).collect();
+
+        // Components of the predicate graph.
+        let mut parent: Vec<usize> = (0..n).collect();
+        for p in query.join_preds() {
+            let rels: Vec<usize> = p.relations().into_iter().collect();
+            for w in rels.windows(2) {
+                let (a, b) = (find(&mut parent, w[0]), find(&mut parent, w[1]));
+                if a != b {
+                    parent[a] = b;
+                }
+            }
+        }
+        let mut comp_of = vec![usize::MAX; n];
+        let mut comp_roles: Vec<Vec<usize>> = Vec::new();
+        for r in 0..n {
+            let root = find(&mut parent, r);
+            if comp_of[root] == usize::MAX {
+                comp_of[root] = comp_roles.len();
+                comp_roles.push(Vec::new());
+            }
+            comp_of[r] = comp_of[root];
+            comp_roles[comp_of[root]].push(r);
+        }
+
+        // Indexes, edges and level probes from the predicate classes.
+        let mut idx: Vec<SortedIdx> = Vec::new();
+        let mut idx_of: HashMap<(usize, usize), usize> = HashMap::new();
+        let mut ensure_idx = |rel: usize, attr: usize, idx: &mut Vec<SortedIdx>| -> usize {
+            *idx_of.entry((rel, attr)).or_insert_with(|| {
+                idx.push(SortedIdx {
+                    rel,
+                    attr,
+                    entries: Vec::new(),
+                });
+                idx.len() - 1
+            })
+        };
+        let mut edges: Vec<Vec<Edge>> = (0..n).map(|_| Vec::new()).collect();
+        for (pi, class) in query.pred_classes().iter().enumerate() {
+            let Some((lhs, rhs, form)) = class_sides(class) else {
+                // General predicate: full (index-less) hops between every
+                // pair of referenced roles, both directions.
+                let rels: Vec<usize> = query.join_preds()[pi].relations().into_iter().collect();
+                for (i, &a) in rels.iter().enumerate() {
+                    for &b in &rels[i + 1..] {
+                        edges[a].push(Edge { to: b, hop: None });
+                        edges[b].push(Edge { to: a, hop: None });
+                    }
+                }
+                continue;
+            };
+            // Only plain column sides index (their cell intervals align with
+            // the quantization grid); compound sides get full hops.
+            let cols = match (&lhs.expr, &rhs.expr) {
+                (CExpr::Col { attr: la, .. }, CExpr::Col { attr: ra, .. }) => Some((*la, *ra)),
+                _ => None,
+            };
+            let (a, b) = (lhs.rel, rhs.rel);
+            match cols {
+                Some((la, ra)) => {
+                    let ia = ensure_idx(a, la, &mut idx);
+                    let ib = ensure_idx(b, ra, &mut idx);
+                    edges[a].push(Edge {
+                        to: b,
+                        hop: Some(Hop {
+                            idx: ib,
+                            probe_attr: la,
+                            key_is_lhs: false,
+                            form,
+                        }),
+                    });
+                    edges[b].push(Edge {
+                        to: a,
+                        hop: Some(Hop {
+                            idx: ia,
+                            probe_attr: ra,
+                            key_is_lhs: true,
+                            form,
+                        }),
+                    });
+                }
+                None => {
+                    edges[a].push(Edge { to: b, hop: None });
+                    edges[b].push(Edge { to: a, hop: None });
+                }
+            }
+        }
+
+        Self {
+            const_false: query.is_const_false(),
+            num_rels: n,
+            flag_of,
+            comp_of,
+            sat: vec![0; comp_roles.len()],
+            comp_roles,
+            edges,
+            pred_roles,
+            idx,
+            counts: CellCounts::default(),
+            population: PointSet::new(),
+            role_cells: (0..n).map(|_| Vec::new()).collect(),
+            local: PointSet::new(),
+            empty: PointSet::new(),
+        }
+    }
+
+    /// The maintained cell population (presence flags per cell).
+    pub fn population(&self) -> &PointSet {
+        &self.population
+    }
+
+    /// The maintained reference-counted population.
+    pub fn counts(&self) -> &CellCounts {
+        &self.counts
+    }
+
+    /// The current filter: bit-identical to a fresh `prejoin_filter` over
+    /// the current population.
+    pub fn filter(&self) -> &PointSet {
+        if !self.const_false && self.num_rels > 0 && self.sat.iter().all(|&s| s > 0) {
+            &self.local
+        } else {
+            &self.empty
+        }
+    }
+
+    /// Applies one round's counted cell delta and returns the updated
+    /// filter. Work scales with the delta's affected set, not the
+    /// population; an empty (or presence-preserving) delta returns the
+    /// cached filter untouched.
+    pub fn apply_delta(
+        &mut self,
+        query: &CompiledQuery,
+        space: &JoinSpace,
+        delta: &CellCounts,
+    ) -> &PointSet {
+        // 1. Fold the delta into the counters, recording presence
+        //    transitions `(z, old flags, new flags)`.
+        let mut transitions: Vec<(u64, u8, u8)> = Vec::new();
+        for (&z, d) in delta {
+            if d.iter().all(|&x| x == 0) {
+                continue;
+            }
+            let e = self.counts.entry(z).or_insert([0; 8]);
+            let (mut old_f, mut new_f) = (0u8, 0u8);
+            for b in 0..8 {
+                if e[b] > 0 {
+                    old_f |= 1 << b;
+                }
+                e[b] += d[b];
+                debug_assert!(e[b] >= 0, "negative cell count");
+                if e[b] > 0 {
+                    new_f |= 1 << b;
+                }
+            }
+            if e.iter().all(|&c| c == 0) {
+                self.counts.remove(&z);
+            }
+            if old_f != new_f {
+                transitions.push((z, old_f, new_f));
+            }
+        }
+        if transitions.is_empty() {
+            // Steady state (or count-only changes): nothing can differ.
+            return self.filter();
+        }
+        transitions.sort_unstable_by_key(|&(z, _, _)| z);
+
+        // 2. Maintain population, role lists and indexes. Per-transition
+        //    `Vec::insert`/`remove` would memmove O(index) bytes per changed
+        //    cell; instead the round's changes are batched and each touched
+        //    structure is merged in one O(index + changes) pass.
+        let mut role_add: Vec<Vec<u64>> = vec![Vec::new(); self.num_rels];
+        let mut role_del: Vec<Vec<u64>> = vec![Vec::new(); self.num_rels];
+        let mut idx_add: Vec<Vec<(Interval, u64)>> = vec![Vec::new(); self.idx.len()];
+        let mut idx_del: Vec<Vec<(Interval, u64)>> = vec![Vec::new(); self.idx.len()];
+        for &(z, old_f, new_f) in &transitions {
+            self.population.set_flags(z, RelFlags(new_f));
+            let bx = space.zspace().cell_box(z);
+            for r in 0..self.num_rels {
+                let fb = self.flag_of[r];
+                let (had, has) = (old_f & fb != 0, new_f & fb != 0);
+                if had == has {
+                    continue;
+                }
+                if has {
+                    role_add[r].push(z);
+                } else {
+                    role_del[r].push(z);
+                }
+                for (ii, ix) in self.idx.iter().enumerate() {
+                    if ix.rel != r {
+                        continue;
+                    }
+                    let iv = space.attr_interval(query, &bx, r, ix.attr);
+                    if has {
+                        idx_add[ii].push((iv, z));
+                    } else {
+                        idx_del[ii].push((iv, z));
+                    }
+                }
+            }
+        }
+        // Transitions are z-sorted, so the role batches are already ordered.
+        for r in 0..self.num_rels {
+            merge_sorted(
+                &mut self.role_cells[r],
+                &role_add[r],
+                &role_del[r],
+                |&a, &b| a.cmp(&b),
+            );
+        }
+        for (ii, ix) in self.idx.iter_mut().enumerate() {
+            let key = |a: &(Interval, u64), b: &(Interval, u64)| {
+                a.0.lo.total_cmp(&b.0.lo).then(a.1.cmp(&b.1))
+            };
+            idx_add[ii].sort_unstable_by(key);
+            idx_del[ii].sort_unstable_by(key);
+            merge_sorted(&mut ix.entries, &idx_add[ii], &idx_del[ii], key);
+        }
+        if self.const_false || self.num_rels == 0 {
+            return &self.empty;
+        }
+
+        // 3. Affected set: seeds (changed (cell, role) bits) plus everything
+        //    reachable over simple predicate-graph paths through candidate
+        //    windows of the updated indexes.
+        let mut affected: HashMap<u64, u8> = HashMap::new(); // z → role mask
+        let mut seen: HashSet<(u64, u8, u8)> = HashSet::new(); // (z, role, path mask)
+        let mut stack: Vec<(u64, usize, u8)> = Vec::new();
+        for &(z, old_f, new_f) in &transitions {
+            for r in 0..self.num_rels {
+                if (old_f ^ new_f) & self.flag_of[r] != 0 {
+                    *affected.entry(z).or_insert(0) |= 1 << r;
+                    if seen.insert((z, r as u8, 1 << r)) {
+                        stack.push((z, r, 1 << r));
+                    }
+                }
+            }
+        }
+        while let Some((z, r, vis)) = stack.pop() {
+            let bx = space.zspace().cell_box(z);
+            for edge in &self.edges[r] {
+                if vis & (1 << edge.to) != 0 {
+                    continue;
+                }
+                let nvis = vis | (1 << edge.to);
+                let mut visit = |z2: u64| {
+                    *affected.entry(z2).or_insert(0) |= 1 << edge.to;
+                    if seen.insert((z2, edge.to as u8, nvis)) {
+                        stack.push((z2, edge.to, nvis));
+                    }
+                };
+                // The hop's candidate window, widened exactly like the
+                // fresh filter's index probes; no usable index → whole role.
+                let ranges = edge.hop.as_ref().and_then(|h| {
+                    let p = space.attr_interval(query, &bx, r, h.probe_attr);
+                    let e = &self.idx[h.idx].entries;
+                    interval_probe_ranges(e, h.form, h.key_is_lhs, p).map(|rs| (h.idx, rs))
+                });
+                match ranges {
+                    Some((ix, rs)) => {
+                        for rg in rs {
+                            for &(_, z2) in &self.idx[ix].entries[rg] {
+                                visit(z2);
+                            }
+                        }
+                    }
+                    None => {
+                        for &z2 in &self.role_cells[edge.to] {
+                            visit(z2);
+                        }
+                    }
+                }
+            }
+        }
+
+        // 4. Recompute affected bits; everything else keeps last round's.
+        let mut pairs: Vec<(u64, u8)> = affected.into_iter().collect();
+        pairs.sort_unstable();
+        for (z, mask) in pairs {
+            for r in 0..self.num_rels {
+                if mask & (1 << r) == 0 {
+                    continue;
+                }
+                let newbit = self.holds(query, space, z, r);
+                let old_flags = self.local.flags_of(z).map_or(0, |f| f.0);
+                let fb = self.flag_of[r];
+                if (old_flags & fb != 0) != newbit {
+                    let nf = if newbit {
+                        old_flags | fb
+                    } else {
+                        old_flags & !fb
+                    };
+                    self.local.set_flags(z, RelFlags(nf));
+                    self.sat[self.comp_of[r]] += if newbit { 1 } else { -1 };
+                }
+            }
+        }
+        self.filter()
+    }
+
+    /// Whether some binding over role `r`'s component contains cell `z` at
+    /// role `r` — the component-local filter bit, computed with the same
+    /// interval residuals as the fresh descent (existence short-circuit).
+    ///
+    /// The descent binds the pinned role *first* so every later level can
+    /// probe an index keyed by an already-bound neighbor — without this, a
+    /// pin at a predicate's higher role would scan the entire partner role.
+    fn holds(&self, query: &CompiledQuery, space: &JoinSpace, z: u64, r: usize) -> bool {
+        let fb = self.flag_of[r];
+        if self.population.flags_of(z).map_or(0, |f| f.0) & fb == 0 {
+            return false;
+        }
+        let comp = self.comp_of[r];
+        let mut order: Vec<usize> = Vec::with_capacity(self.comp_roles[comp].len());
+        order.push(r);
+        order.extend(self.comp_roles[comp].iter().copied().filter(|&x| x != r));
+        // Residual schedule: each component predicate runs at the first
+        // level that has all of its roles bound.
+        let mut sched: Vec<Vec<usize>> = vec![Vec::new(); order.len()];
+        for (pi, roles) in self.pred_roles.iter().enumerate() {
+            if self.comp_of[roles[0]] != comp {
+                continue;
+            }
+            let lvl = roles
+                .iter()
+                .map(|ro| order.iter().position(|x| x == ro).expect("component role"))
+                .max()
+                .expect("join predicate binds roles");
+            sched[lvl].push(pi);
+        }
+        let mut boxes: Vec<Option<Vec<(f64, f64)>>> = vec![None; self.num_rels];
+        let d = Descent {
+            query,
+            space,
+            order: &order,
+            sched: &sched,
+            pin_z: z,
+        };
+        self.exists(&d, 0, &mut boxes)
+    }
+
+    fn exists(
+        &self,
+        d: &Descent<'_>,
+        level: usize,
+        boxes: &mut Vec<Option<Vec<(f64, f64)>>>,
+    ) -> bool {
+        let Descent {
+            query,
+            space,
+            order,
+            sched,
+            pin_z,
+        } = *d;
+        let Some(&rr) = order.get(level) else {
+            return true;
+        };
+        // Candidates: the pinned cell alone at level 0; elsewhere the
+        // smallest indexed window probed from any bound role (conservative
+        // superset, same widening as the fresh filter), or the whole role
+        // when no indexed predicate reaches `rr` from a bound role.
+        let window: Option<Vec<u64>> = if level == 0 {
+            Some(vec![pin_z])
+        } else {
+            let mut best: Option<Vec<u64>> = None;
+            for &o in &order[..level] {
+                let bx = boxes[o].as_ref().expect("earlier level bound");
+                for edge in &self.edges[o] {
+                    let Some(h) = edge.hop.as_ref().filter(|_| edge.to == rr) else {
+                        continue;
+                    };
+                    let p = space.attr_interval(query, bx, o, h.probe_attr);
+                    let e = &self.idx[h.idx].entries;
+                    if let Some(ranges) = interval_probe_ranges(e, h.form, h.key_is_lhs, p) {
+                        let cnt: usize = ranges.iter().map(|r| r.len()).sum();
+                        if best.as_ref().is_none_or(|b| cnt < b.len()) {
+                            best = Some(
+                                ranges
+                                    .into_iter()
+                                    .flat_map(|rg| e[rg].iter().map(|&(_, z2)| z2))
+                                    .collect(),
+                            );
+                        }
+                    }
+                }
+            }
+            best
+        };
+        let cells: &[u64] = match &window {
+            Some(w) => w,
+            None => &self.role_cells[rr],
+        };
+        for &z2 in cells {
+            boxes[rr] = Some(space.zspace().cell_box(z2));
+            let env = |rel: usize, attr: usize| -> Interval {
+                space.attr_interval(query, boxes[rel].as_ref().expect("bound"), rel, attr)
+            };
+            let ok = sched[level]
+                .iter()
+                .all(|&pi| eval_predicate_interval(&query.join_preds()[pi], &env).possible());
+            if ok && self.exists(d, level + 1, boxes) {
+                boxes[rr] = None;
+                return true;
+            }
+            boxes[rr] = None;
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::prejoin_filter;
+
+    /// Deterministic LCG, independent of the rand shim's stream.
+    struct Lcg(u64);
+
+    impl Lcg {
+        fn next(&mut self) -> u64 {
+            self.0 = self
+                .0
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            self.0 >> 11
+        }
+
+        fn below(&mut self, n: u64) -> u64 {
+            self.next() % n.max(1)
+        }
+    }
+
+    fn setup(sql: &str) -> (CompiledQuery, JoinSpace) {
+        use crate::config::SensJoinConfig;
+        use crate::snetwork::SensorNetworkBuilder;
+        use sensjoin_field::{Area, Placement};
+        let snet = SensorNetworkBuilder::new()
+            .area(Area::new(300.0, 300.0))
+            .placement(Placement::UniformRandom { n: 60 })
+            .seed(13)
+            .build()
+            .unwrap();
+        let q = sensjoin_query::parse(sql).unwrap();
+        let cq = snet.compile(&q).unwrap();
+        let space = JoinSpace::build(&cq, &snet, &SensJoinConfig::default());
+        (cq, space)
+    }
+
+    /// One random population move: a counted add, removal, or role flip.
+    fn random_delta(
+        rng: &mut Lcg,
+        counts: &CellCounts,
+        space: &JoinSpace,
+        num_rels: usize,
+        moves: usize,
+    ) -> CellCounts {
+        let mut delta = CellCounts::default();
+        let max_z = 1u64 << space.zspace().total_bits().min(12);
+        let present: Vec<(u64, usize)> = counts
+            .iter()
+            .flat_map(|(&z, c)| {
+                c.iter()
+                    .enumerate()
+                    .filter(|&(_, &cnt)| cnt > 0)
+                    .map(move |(b, _)| (z, b))
+            })
+            .collect();
+        for _ in 0..moves {
+            // Role r occupies flag bit `num_rels - 1 - r`, so the valid
+            // count slots are exactly 0..num_rels.
+            let flag_bit = rng.below(num_rels as u64) as usize;
+            if !present.is_empty() && rng.below(2) == 0 {
+                // Remove one occupancy (may keep the cell via other counts).
+                let (z, b) = present[rng.below(present.len() as u64) as usize];
+                let have = counts.get(&z).map_or(0, |c| c[b]) + delta.get(&z).map_or(0, |c| c[b]);
+                if have > 0 {
+                    delta.entry(z).or_insert([0; 8])[b] -= 1;
+                    continue;
+                }
+            }
+            let z = rng.below(max_z);
+            delta.entry(z).or_insert([0; 8])[flag_bit] += 1;
+        }
+        delta
+    }
+
+    /// The incremental filter is bit-identical to a fresh `prejoin_filter`
+    /// on every round's population, across predicate classes.
+    #[test]
+    fn incremental_matches_fresh_every_round() {
+        for sql in [
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE A.temp = B.temp ONCE",
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.4 ONCE",
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| > 1.0 ONCE",
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 2.0 ONCE",
+            "SELECT A.temp, B.temp FROM Sensors A, Sensors B ONCE",
+            "SELECT A.x, B.x FROM Sensors A, Sensors B \
+             WHERE distance(A.x, A.y, B.x, B.y) < 60.0 ONCE",
+            "SELECT A.temp, B.temp, C.temp FROM Sensors A, Sensors B, Sensors C \
+             WHERE |A.temp - B.temp| < 0.5 AND B.temp - C.temp > 0.5 ONCE",
+            "SELECT A.temp, B.hum, C.hum FROM Sensors A, Sensors B, Sensors C \
+             WHERE |A.temp - C.temp| < 0.5 AND B.hum = C.hum ONCE",
+        ] {
+            let (cq, space) = setup(sql);
+            let mut engine = FilterEngine::new(&cq, &space);
+            let mut rng = Lcg(0xC0FFEE ^ sql.len() as u64);
+            let mut nonempty = 0;
+            for round in 0..12 {
+                let moves = if round == 0 {
+                    40
+                } else {
+                    1 + rng.below(6) as usize
+                };
+                let delta =
+                    random_delta(&mut rng, engine.counts(), &space, cq.num_relations(), moves);
+                let incremental = engine.apply_delta(&cq, &space, &delta).clone();
+                let fresh = prejoin_filter(&cq, &space, engine.population());
+                assert_eq!(
+                    incremental.points(),
+                    fresh.points(),
+                    "round {round} of {sql}"
+                );
+                nonempty += usize::from(!fresh.is_empty());
+            }
+            // Guard against a vacuously-green comparison of empty filters.
+            assert!(nonempty > 0, "filter never populated for {sql}");
+        }
+    }
+
+    /// A presence-preserving delta (count changes only) must leave the
+    /// cached filter untouched — the steady-state fast path.
+    #[test]
+    fn count_only_delta_is_free() {
+        let (cq, space) = setup(
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE |A.temp - B.temp| < 0.4 ONCE",
+        );
+        let mut engine = FilterEngine::new(&cq, &space);
+        let mut rng = Lcg(7);
+        let delta = random_delta(&mut rng, engine.counts(), &space, 2, 30);
+        engine.apply_delta(&cq, &space, &delta);
+        let before = engine.filter().clone();
+        // Duplicate an existing occupancy, then retract the duplicate.
+        let (&z, c) = engine.counts().iter().next().expect("population nonempty");
+        let b = c.iter().position(|&x| x > 0).expect("nonempty counters");
+        let mut dup = CellCounts::default();
+        dup.entry(z).or_insert([0; 8])[b] = 1;
+        assert_eq!(
+            engine.apply_delta(&cq, &space, &dup).points(),
+            before.points()
+        );
+        let mut retract = CellCounts::default();
+        retract.entry(z).or_insert([0; 8])[b] = -1;
+        assert_eq!(
+            engine.apply_delta(&cq, &space, &retract).points(),
+            before.points()
+        );
+        assert_eq!(
+            engine
+                .apply_delta(&cq, &space, &CellCounts::default())
+                .points(),
+            before.points()
+        );
+    }
+
+    /// Disconnected predicate components: emptying one component's role
+    /// must empty the whole filter (the all-satisfiable flag), and refilling
+    /// it must restore the other component's bits without recomputing them.
+    #[test]
+    fn component_satisfiability_gates_the_filter() {
+        let (cq, space) = setup(
+            "SELECT A.temp, B.temp, C.hum, D.hum \
+             FROM Sensors A, Sensors B, Sensors C, Sensors D \
+             WHERE |A.temp - B.temp| < 5.0 AND C.hum = D.hum ONCE",
+        );
+        let mut engine = FilterEngine::new(&cq, &space);
+        let mut rng = Lcg(99);
+        for round in 0..8 {
+            let delta = random_delta(&mut rng, engine.counts(), &space, 4, 12);
+            engine.apply_delta(&cq, &space, &delta);
+            let fresh = prejoin_filter(&cq, &space, engine.population());
+            assert_eq!(engine.filter().points(), fresh.points(), "round {round}");
+        }
+        assert!(!engine.filter().is_empty(), "both components satisfiable");
+        // Drain role D entirely: no D-binding can exist, filter must empty.
+        let mut drain = CellCounts::default();
+        let dbit = 0; // role D (r = 3 of 4) occupies flag bit 4 - 1 - 3
+
+        for (&z, c) in engine.counts() {
+            if c[dbit] > 0 {
+                drain.entry(z).or_insert([0; 8])[dbit] = -c[dbit];
+            }
+        }
+        engine.apply_delta(&cq, &space, &drain);
+        assert!(engine.filter().is_empty(), "unsatisfiable component");
+        let fresh = prejoin_filter(&cq, &space, engine.population());
+        assert!(fresh.points().is_empty());
+    }
+}

@@ -65,6 +65,7 @@ mod continuous;
 mod costmodel;
 mod engine;
 mod external;
+mod incremental;
 mod outcome;
 mod partition;
 mod recovery;
@@ -89,6 +90,7 @@ pub use engine::{
     JoinSpace,
 };
 pub use external::ExternalJoin;
+pub use incremental::{CellCounts, FilterEngine};
 pub use outcome::{JoinOutcome, JoinResult, ProtocolError};
 pub use recovery::{execute_with_recovery, RecoveryOutcome};
 pub use repr::JoinAttrMsg;

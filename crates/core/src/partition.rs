@@ -1,9 +1,10 @@
 //! Partitioned candidate generation for the base-station join engine.
 //!
-//! For each descend level (relation) of the join, this module builds an
-//! index over that relation's tuples (scalar case, [`exact_plan`]) or
-//! quantized points (interval case, [`filter_plan`]) driven by the
-//! predicate classification of [`sensjoin_query::analyze`]:
+//! For each descend level (relation) of the join, this module builds one
+//! index **per classified predicate landing on that level** over the
+//! relation's tuples (scalar case, [`exact_plan`]) or quantized points
+//! (interval case, [`filter_plan`]), driven by the predicate
+//! classification of [`sensjoin_query::analyze`]:
 //!
 //! * **equi** predicates (`f(A) = g(B)`) get a hash index on the exact bit
 //!   pattern of the key (−0.0 folded onto 0.0, NaN keys dropped — both
@@ -12,6 +13,12 @@
 //!   array, probed with binary searches,
 //! * **general** predicates get no index; their levels fall back to the
 //!   full scan of the nested-loop descent.
+//!
+//! When a level carries several indexable predicates, the engine
+//! *intersects* their candidate sets: the probe with the fewest candidates
+//! drives the scan and every other probe degrades to an O(1) membership
+//! test per candidate (a stored rank or key-bit lookup), so the scan cost
+//! is `min` over the predicates' windows rather than the first one's.
 //!
 //! # Why the results are bit-identical to the nested loop
 //!
@@ -152,13 +159,13 @@ fn sorted_ranges(
         .filter_map(|iv| {
             let (start, end) = if increasing {
                 (
-                    keys.partition_point(|&(k, _)| iv.below(d(k))),
-                    keys.partition_point(|&(k, _)| !iv.above(d(k))),
+                    keys.partition_point(|&(k, ref _t)| iv.below(d(k))),
+                    keys.partition_point(|&(k, ref _t)| !iv.above(d(k))),
                 )
             } else {
                 (
-                    keys.partition_point(|&(k, _)| iv.above(d(k))),
-                    keys.partition_point(|&(k, _)| !iv.below(d(k))),
+                    keys.partition_point(|&(k, ref _t)| iv.above(d(k))),
+                    keys.partition_point(|&(k, ref _t)| !iv.below(d(k))),
                 )
             };
             (start < end).then_some(start..end)
@@ -194,6 +201,9 @@ pub(crate) enum ExactIndex<'q> {
         probe: &'q CExpr,
         /// Key bits → tuple positions.
         map: HashMap<u64, Vec<u32>>,
+        /// Per tuple position: its key bits (`None` for NaN keys). Used for
+        /// O(1) membership tests when another index drives the scan.
+        bits_of: Vec<Option<u64>>,
     },
     /// Band: keys sorted ascending (NaN keys dropped — no comparison with a
     /// NaN operand is ever true).
@@ -201,34 +211,45 @@ pub(crate) enum ExactIndex<'q> {
         probe: &'q CExpr,
         /// `(key value, tuple position)` sorted ascending by key.
         keys: Vec<(f64, u32)>,
+        /// Per tuple position: its rank in `keys` (`u32::MAX` for dropped
+        /// NaN keys). Used for O(1) membership tests.
+        rank_of: Vec<u32>,
         /// Whether the indexed relation is the `lhs` side of the form.
         key_is_lhs: bool,
         form: BandForm,
     },
 }
 
+/// The outcome of probing one [`ExactIndex`] for a partial binding: an
+/// abstract candidate set that can be counted, materialized, or membership-
+/// tested without materializing.
+pub(crate) enum ExactProbe {
+    /// The index cannot prune for this binding (Ne forms, non-finite diff
+    /// probes): every position is a candidate.
+    All,
+    /// Equi probe: the positions hashed under these key bits (`None`: the
+    /// probe value is NaN — no candidate).
+    Hash(Option<u64>),
+    /// Band probe: disjoint runs of the sorted key array, ascending.
+    Ranges(Vec<Range<usize>>),
+}
+
 impl ExactIndex<'_> {
-    /// Candidate positions for the current partial binding.
-    pub(crate) fn candidates(&self, env: &impl Fn(usize, usize) -> f64) -> Candidates {
+    /// Probes the index for the current partial binding.
+    pub(crate) fn probe(&self, env: &impl Fn(usize, usize) -> f64) -> ExactProbe {
         match self {
-            ExactIndex::Hash { probe, map } => {
-                let p = eval_expr(probe, env);
-                let positions = key_bits(p)
-                    .and_then(|bits| map.get(&bits))
-                    .cloned()
-                    .unwrap_or_default();
-                Candidates::Picked(positions)
-            }
+            ExactIndex::Hash { probe, .. } => ExactProbe::Hash(key_bits(eval_expr(probe, env))),
             ExactIndex::Sorted {
                 probe,
                 keys,
                 key_is_lhs,
                 form,
+                ..
             } => {
                 let p = eval_expr(probe, env);
                 if p.is_nan() {
                     // Every comparison involving NaN is false.
-                    return Candidates::Picked(Vec::new());
+                    return ExactProbe::Ranges(Vec::new());
                 }
                 let (d, increasing): (Box<dyn Fn(f64) -> f64>, bool) = match form {
                     // Direct comparisons probe the key value itself.
@@ -237,7 +258,7 @@ impl ExactIndex<'_> {
                         if !p.is_finite() {
                             // inf − inf is NaN: subtraction monotonicity can
                             // break against infinite keys. Scan everything.
-                            return Candidates::All;
+                            return ExactProbe::All;
                         }
                         if *key_is_lhs {
                             (Box::new(move |k| k - p), true)
@@ -256,16 +277,70 @@ impl ExactIndex<'_> {
                     BandForm::AbsDiff { op, c } => abs_cmp_intervals(*op, *c),
                 };
                 let Some(ivs) = ivs else {
-                    return Candidates::All;
+                    return ExactProbe::All;
                 };
-                let ranges = sorted_ranges(keys, d, increasing, &ivs);
-                let mut positions: Vec<u32> = ranges
-                    .into_iter()
-                    .flat_map(|r| keys[r].iter().map(|&(_, pos)| pos))
+                ExactProbe::Ranges(sorted_ranges(keys, d, increasing, &ivs))
+            }
+        }
+    }
+
+    /// Number of candidate positions of `probe` (`usize::MAX` for
+    /// [`ExactProbe::All`]), available without materializing.
+    pub(crate) fn count(&self, probe: &ExactProbe) -> usize {
+        match probe {
+            ExactProbe::All => usize::MAX,
+            ExactProbe::Hash(bits) => {
+                let ExactIndex::Hash { map, .. } = self else {
+                    unreachable!("probe kind matches index kind");
+                };
+                bits.and_then(|b| map.get(&b)).map_or(0, |v| v.len())
+            }
+            ExactProbe::Ranges(rs) => rs.iter().map(|r| r.len()).sum(),
+        }
+    }
+
+    /// Materializes `probe` into ascending tuple positions (the nested
+    /// loop's emission order).
+    pub(crate) fn materialize(&self, probe: &ExactProbe) -> Vec<u32> {
+        match probe {
+            ExactProbe::All => unreachable!("All probes never drive a scan"),
+            ExactProbe::Hash(bits) => {
+                let ExactIndex::Hash { map, .. } = self else {
+                    unreachable!("probe kind matches index kind");
+                };
+                bits.and_then(|b| map.get(&b)).cloned().unwrap_or_default()
+            }
+            ExactProbe::Ranges(rs) => {
+                let ExactIndex::Sorted { keys, .. } = self else {
+                    unreachable!("probe kind matches index kind");
+                };
+                let mut positions: Vec<u32> = rs
+                    .iter()
+                    .flat_map(|r| keys[r.clone()].iter().map(|&(_, pos)| pos))
                     .collect();
-                // Restore the nested loop's emission order.
                 positions.sort_unstable();
-                Candidates::Picked(positions)
+                positions
+            }
+        }
+    }
+
+    /// Whether tuple position `pos` is a candidate of `probe` — the O(1)
+    /// membership test used when another index drives the scan.
+    pub(crate) fn contains(&self, probe: &ExactProbe, pos: u32) -> bool {
+        match probe {
+            ExactProbe::All => true,
+            ExactProbe::Hash(bits) => {
+                let ExactIndex::Hash { bits_of, .. } = self else {
+                    unreachable!("probe kind matches index kind");
+                };
+                bits.is_some() && bits_of[pos as usize] == *bits
+            }
+            ExactProbe::Ranges(rs) => {
+                let ExactIndex::Sorted { rank_of, .. } = self else {
+                    unreachable!("probe kind matches index kind");
+                };
+                let rank = rank_of[pos as usize];
+                rank != u32::MAX && rs.iter().any(|r| r.contains(&(rank as usize)))
             }
         }
     }
@@ -282,21 +357,20 @@ fn mirror(op: CmpOp) -> CmpOp {
     }
 }
 
-/// Builds one index per descend level (`None`: full scan). Level `rel` is
-/// indexed by the first classified predicate whose highest relation is
-/// `rel` — the level where the old descent would first evaluate it.
+/// Builds the per-level index lists (empty list: full scan). Level `rel`
+/// receives one index per classified predicate whose highest relation is
+/// `rel` — the level where the old descent would first evaluate it — so a
+/// level constrained by several indexable predicates intersects all of
+/// their candidate sets.
 pub(crate) fn exact_plan<'q>(
     query: &'q CompiledQuery,
     tuples: &[Vec<(NodeId, Vec<f64>)>],
     pred_rels: &[usize],
-) -> Vec<Option<ExactIndex<'q>>> {
-    let mut levels: Vec<Option<ExactIndex<'q>>> =
-        (0..query.num_relations()).map(|_| None).collect();
+) -> Vec<Vec<ExactIndex<'q>>> {
+    let mut levels: Vec<Vec<ExactIndex<'q>>> =
+        (0..query.num_relations()).map(|_| Vec::new()).collect();
     for (pi, class) in query.pred_classes().iter().enumerate() {
         let rel = pred_rels[pi];
-        if levels[rel].is_some() {
-            continue;
-        }
         let Some((rl, rr)) = class.relations() else {
             continue;
         };
@@ -318,17 +392,21 @@ pub(crate) fn exact_plan<'q>(
             };
             eval_expr(&key_side.expr, &env)
         };
-        levels[rel] = Some(match class {
+        levels[rel].push(match class {
             PredClass::Equi { .. } => {
                 let mut map: HashMap<u64, Vec<u32>> = HashMap::new();
+                let mut bits_of: Vec<Option<u64>> = Vec::with_capacity(tuples[rel].len());
                 for (pos, (_, values)) in tuples[rel].iter().enumerate() {
-                    if let Some(bits) = key_bits(key_of(values)) {
+                    let bits = key_bits(key_of(values));
+                    if let Some(bits) = bits {
                         map.entry(bits).or_default().push(pos as u32);
                     }
+                    bits_of.push(bits);
                 }
                 ExactIndex::Hash {
                     probe: &probe_side.expr,
                     map,
+                    bits_of,
                 }
             }
             PredClass::Band { form, .. } => {
@@ -341,9 +419,14 @@ pub(crate) fn exact_plan<'q>(
                     })
                     .collect();
                 keys.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+                let mut rank_of = vec![u32::MAX; tuples[rel].len()];
+                for (rank, &(_, pos)) in keys.iter().enumerate() {
+                    rank_of[pos as usize] = rank as u32;
+                }
                 ExactIndex::Sorted {
                     probe: &probe_side.expr,
                     keys,
+                    rank_of,
                     key_is_lhs,
                     form: *form,
                 }
@@ -366,6 +449,9 @@ pub(crate) fn exact_plan<'q>(
 pub(crate) struct FilterIndex {
     /// `(key cell interval, role-list position)` sorted ascending by `lo`.
     entries: Vec<(Interval, u32)>,
+    /// Per role-list position: its rank in `entries` (dense — every
+    /// position is indexed). Used for O(1) membership tests.
+    rank_of: Vec<u32>,
     probe: PredSideRef,
     key_is_lhs: bool,
     form: BandForm,
@@ -377,199 +463,221 @@ struct PredSideRef {
     attr: usize,
 }
 
-impl FilterIndex {
-    /// Candidate role-list positions for a probe cell interval `p`.
-    ///
-    /// Each survival condition below is copied verbatim from the interval
-    /// comparison semantics in `sensjoin_query::interval` (`cmp_lt` /
-    /// `cmp_le` / `cmp_eq` over `Interval::sub` / `Interval::abs` images),
-    /// evaluated with the same `Interval` operations — never rearranged —
-    /// so a point is pruned only if its residual check is `Tri::False`.
-    // The single-element `vec![a..b]` arms really are lists of ranges: the
-    // AbsDiff arms produce two.
-    #[allow(clippy::single_range_in_vec_init)]
-    pub(crate) fn candidates(&self, p: Interval) -> Candidates {
-        let e = &self.entries;
-        let n = e.len();
-        // X = F − G where F is the lhs side of the form.
-        let x = |k: Interval| if self.key_is_lhs { k.sub(p) } else { p.sub(k) };
-        let ranges: Vec<Range<usize>> = match self.form {
-            BandForm::Direct(op) => {
-                // `l op r` with (l, r) = (key, probe) or (probe, key).
-                let op = if self.key_is_lhs { op } else { mirror(op) };
-                match op {
-                    // possible(l < r) ⇔ l.lo < r.hi
-                    CmpOp::Lt => vec![0..e.partition_point(|&(k, _)| k.lo < p.hi)],
-                    CmpOp::Le => vec![0..e.partition_point(|&(k, _)| k.lo <= p.hi)],
-                    // possible(l > r) ⇔ r.lo < l.hi
-                    CmpOp::Gt => vec![e.partition_point(|&(k, _)| k.hi <= p.lo)..n],
-                    CmpOp::Ge => vec![e.partition_point(|&(k, _)| k.hi < p.lo)..n],
-                    // possible(l = r) ⇔ the intervals overlap
-                    CmpOp::Eq => vec![
-                        e.partition_point(|&(k, _)| k.hi < p.lo)
-                            ..e.partition_point(|&(k, _)| k.lo <= p.hi),
-                    ],
-                    CmpOp::Ne => return Candidates::All,
-                }
+/// The accepted runs of a sorted interval-key array for a probe interval
+/// `p` under the predicate shape `form` / `key_is_lhs`, or `None` when the
+/// predicate cannot prune ("everything is a candidate"). Generic over the
+/// entry payload so both [`FilterIndex`] (role-list positions) and the
+/// incremental engine's persistent indexes (cell Z-numbers) share the exact
+/// same widening.
+///
+/// Each survival condition below is copied verbatim from the interval
+/// comparison semantics in `sensjoin_query::interval` (`cmp_lt` / `cmp_le`
+/// / `cmp_eq` over `Interval::sub` / `Interval::abs` images), evaluated
+/// with the same `Interval` operations — never rearranged — so an entry is
+/// excluded only if its residual check is `Tri::False`.
+// The single-element `vec![a..b]` arms really are lists of ranges: the
+// AbsDiff arms produce two.
+#[allow(clippy::single_range_in_vec_init)]
+pub(crate) fn interval_probe_ranges<T>(
+    e: &[(Interval, T)],
+    form: BandForm,
+    key_is_lhs: bool,
+    p: Interval,
+) -> Option<Vec<Range<usize>>> {
+    let n = e.len();
+    // X = F − G where F is the lhs side of the form.
+    let x = |k: Interval| if key_is_lhs { k.sub(p) } else { p.sub(k) };
+    let ranges: Vec<Range<usize>> = match form {
+        BandForm::Direct(op) => {
+            // `l op r` with (l, r) = (key, probe) or (probe, key).
+            let op = if key_is_lhs { op } else { mirror(op) };
+            match op {
+                // possible(l < r) ⇔ l.lo < r.hi
+                CmpOp::Lt => vec![0..e.partition_point(|&(k, ref _t)| k.lo < p.hi)],
+                CmpOp::Le => vec![0..e.partition_point(|&(k, ref _t)| k.lo <= p.hi)],
+                // possible(l > r) ⇔ r.lo < l.hi
+                CmpOp::Gt => vec![e.partition_point(|&(k, ref _t)| k.hi <= p.lo)..n],
+                CmpOp::Ge => vec![e.partition_point(|&(k, ref _t)| k.hi < p.lo)..n],
+                // possible(l = r) ⇔ the intervals overlap
+                CmpOp::Eq => vec![
+                    e.partition_point(|&(k, ref _t)| k.hi < p.lo)
+                        ..e.partition_point(|&(k, ref _t)| k.lo <= p.hi),
+                ],
+                CmpOp::Ne => return None,
             }
-            BandForm::Diff { op, c } => {
-                // possible((F−G) op c) in terms of X = F−G: Lt/Le bound
-                // X.lo, Gt/Ge bound X.hi, Eq needs both. X's endpoints are
-                // monotone along the entries: increasing when the key is F,
-                // decreasing when the key is G.
-                let inc = self.key_is_lhs;
-                match op {
-                    CmpOp::Lt if inc => vec![0..e.partition_point(|&(k, _)| x(k).lo < c)],
-                    CmpOp::Lt => vec![e.partition_point(|&(k, _)| x(k).lo >= c)..n],
-                    CmpOp::Le if inc => vec![0..e.partition_point(|&(k, _)| x(k).lo <= c)],
-                    CmpOp::Le => vec![e.partition_point(|&(k, _)| x(k).lo > c)..n],
-                    CmpOp::Gt if inc => vec![e.partition_point(|&(k, _)| x(k).hi <= c)..n],
-                    CmpOp::Gt => vec![0..e.partition_point(|&(k, _)| x(k).hi > c)],
-                    CmpOp::Ge if inc => vec![e.partition_point(|&(k, _)| x(k).hi < c)..n],
-                    CmpOp::Ge => vec![0..e.partition_point(|&(k, _)| x(k).hi >= c)],
-                    CmpOp::Eq if inc => vec![
-                        e.partition_point(|&(k, _)| x(k).hi < c)
-                            ..e.partition_point(|&(k, _)| x(k).lo <= c),
-                    ],
-                    CmpOp::Eq => vec![
-                        e.partition_point(|&(k, _)| x(k).lo > c)
-                            ..e.partition_point(|&(k, _)| x(k).hi >= c),
-                    ],
-                    CmpOp::Ne => return Candidates::All,
-                }
+        }
+        BandForm::Diff { op, c } => {
+            // possible((F−G) op c) in terms of X = F−G: Lt/Le bound
+            // X.lo, Gt/Ge bound X.hi, Eq needs both. X's endpoints are
+            // monotone along the entries: increasing when the key is F,
+            // decreasing when the key is G.
+            let inc = key_is_lhs;
+            match op {
+                CmpOp::Lt if inc => vec![0..e.partition_point(|&(k, ref _t)| x(k).lo < c)],
+                CmpOp::Lt => vec![e.partition_point(|&(k, ref _t)| x(k).lo >= c)..n],
+                CmpOp::Le if inc => vec![0..e.partition_point(|&(k, ref _t)| x(k).lo <= c)],
+                CmpOp::Le => vec![e.partition_point(|&(k, ref _t)| x(k).lo > c)..n],
+                CmpOp::Gt if inc => vec![e.partition_point(|&(k, ref _t)| x(k).hi <= c)..n],
+                CmpOp::Gt => vec![0..e.partition_point(|&(k, ref _t)| x(k).hi > c)],
+                CmpOp::Ge if inc => vec![e.partition_point(|&(k, ref _t)| x(k).hi < c)..n],
+                CmpOp::Ge => vec![0..e.partition_point(|&(k, ref _t)| x(k).hi >= c)],
+                CmpOp::Eq if inc => vec![
+                    e.partition_point(|&(k, ref _t)| x(k).hi < c)
+                        ..e.partition_point(|&(k, ref _t)| x(k).lo <= c),
+                ],
+                CmpOp::Eq => vec![
+                    e.partition_point(|&(k, ref _t)| x(k).lo > c)
+                        ..e.partition_point(|&(k, ref _t)| x(k).hi >= c),
+                ],
+                CmpOp::Ne => return None,
             }
-            BandForm::AbsDiff { op, c } => {
-                let inc = self.key_is_lhs;
-                match op {
-                    // possible(|X| < c) ⇔ X.lo < c ∧ −X.hi < c (for c > 0;
-                    // impossible otherwise since |X|.lo ≥ 0).
-                    CmpOp::Lt | CmpOp::Le => {
-                        let strict = op == CmpOp::Lt;
-                        if (strict && c <= 0.0) || (!strict && c < 0.0) {
-                            vec![]
-                        } else if inc {
-                            let lo_ok = |k: Interval| {
-                                let hi = x(k).hi;
-                                if strict {
-                                    hi <= -c
-                                } else {
-                                    hi < -c
-                                }
-                            };
-                            let hi_ok = |k: Interval| {
-                                let lo = x(k).lo;
-                                if strict {
-                                    lo < c
-                                } else {
-                                    lo <= c
-                                }
-                            };
-                            vec![
-                                e.partition_point(|&(k, _)| lo_ok(k))
-                                    ..e.partition_point(|&(k, _)| hi_ok(k)),
-                            ]
-                        } else {
-                            let lo_ok = |k: Interval| {
-                                let lo = x(k).lo;
-                                if strict {
-                                    lo >= c
-                                } else {
-                                    lo > c
-                                }
-                            };
-                            let hi_ok = |k: Interval| {
-                                let hi = x(k).hi;
-                                if strict {
-                                    hi > -c
-                                } else {
-                                    hi >= -c
-                                }
-                            };
-                            vec![
-                                e.partition_point(|&(k, _)| lo_ok(k))
-                                    ..e.partition_point(|&(k, _)| hi_ok(k)),
-                            ]
-                        }
-                    }
-                    // possible(|X| > c) ⇔ X.hi > c ∨ X.lo < −c (for c ≥ 0;
-                    // always possible otherwise). Prefix ∪ suffix.
-                    CmpOp::Gt | CmpOp::Ge => {
-                        let strict = op == CmpOp::Gt;
-                        if (strict && c < 0.0) || (!strict && c <= 0.0) {
-                            return Candidates::All;
-                        }
-                        let (lo_run, hi_run) = if inc {
-                            (
-                                0..e.partition_point(|&(k, _)| {
-                                    let lo = x(k).lo;
-                                    if strict {
-                                        lo < -c
-                                    } else {
-                                        lo <= -c
-                                    }
-                                }),
-                                e.partition_point(|&(k, _)| {
-                                    let hi = x(k).hi;
-                                    if strict {
-                                        hi <= c
-                                    } else {
-                                        hi < c
-                                    }
-                                })..n,
-                            )
-                        } else {
-                            (
-                                0..e.partition_point(|&(k, _)| {
-                                    let hi = x(k).hi;
-                                    if strict {
-                                        hi > c
-                                    } else {
-                                        hi >= c
-                                    }
-                                }),
-                                e.partition_point(|&(k, _)| {
-                                    let lo = x(k).lo;
-                                    if strict {
-                                        lo >= -c
-                                    } else {
-                                        lo > -c
-                                    }
-                                })..n,
-                            )
+        }
+        BandForm::AbsDiff { op, c } => {
+            let inc = key_is_lhs;
+            match op {
+                // possible(|X| < c) ⇔ X.lo < c ∧ −X.hi < c (for c > 0;
+                // impossible otherwise since |X|.lo ≥ 0).
+                CmpOp::Lt | CmpOp::Le => {
+                    let strict = op == CmpOp::Lt;
+                    if (strict && c <= 0.0) || (!strict && c < 0.0) {
+                        vec![]
+                    } else if inc {
+                        let lo_ok = |k: Interval| {
+                            let hi = x(k).hi;
+                            if strict {
+                                hi <= -c
+                            } else {
+                                hi < -c
+                            }
                         };
-                        if lo_run.end >= hi_run.start {
-                            vec![0..n]
-                        } else {
-                            vec![lo_run, hi_run]
-                        }
+                        let hi_ok = |k: Interval| {
+                            let lo = x(k).lo;
+                            if strict {
+                                lo < c
+                            } else {
+                                lo <= c
+                            }
+                        };
+                        vec![
+                            e.partition_point(|&(k, ref _t)| lo_ok(k))
+                                ..e.partition_point(|&(k, ref _t)| hi_ok(k)),
+                        ]
+                    } else {
+                        let lo_ok = |k: Interval| {
+                            let lo = x(k).lo;
+                            if strict {
+                                lo >= c
+                            } else {
+                                lo > c
+                            }
+                        };
+                        let hi_ok = |k: Interval| {
+                            let hi = x(k).hi;
+                            if strict {
+                                hi > -c
+                            } else {
+                                hi >= -c
+                            }
+                        };
+                        vec![
+                            e.partition_point(|&(k, ref _t)| lo_ok(k))
+                                ..e.partition_point(|&(k, ref _t)| hi_ok(k)),
+                        ]
                     }
-                    // possible(|X| = c): use the necessary |X|.lo ≤ c window
-                    // (the residual applies the full condition).
-                    CmpOp::Eq => {
-                        if c < 0.0 {
-                            vec![]
-                        } else if inc {
-                            vec![
-                                e.partition_point(|&(k, _)| x(k).hi < -c)
-                                    ..e.partition_point(|&(k, _)| x(k).lo <= c),
-                            ]
-                        } else {
-                            vec![
-                                e.partition_point(|&(k, _)| x(k).lo > c)
-                                    ..e.partition_point(|&(k, _)| x(k).hi >= -c),
-                            ]
-                        }
-                    }
-                    CmpOp::Ne => return Candidates::All,
                 }
+                // possible(|X| > c) ⇔ X.hi > c ∨ X.lo < −c (for c ≥ 0;
+                // always possible otherwise). Prefix ∪ suffix.
+                CmpOp::Gt | CmpOp::Ge => {
+                    let strict = op == CmpOp::Gt;
+                    if (strict && c < 0.0) || (!strict && c <= 0.0) {
+                        return None;
+                    }
+                    let (lo_run, hi_run) = if inc {
+                        (
+                            0..e.partition_point(|&(k, ref _t)| {
+                                let lo = x(k).lo;
+                                if strict {
+                                    lo < -c
+                                } else {
+                                    lo <= -c
+                                }
+                            }),
+                            e.partition_point(|&(k, ref _t)| {
+                                let hi = x(k).hi;
+                                if strict {
+                                    hi <= c
+                                } else {
+                                    hi < c
+                                }
+                            })..n,
+                        )
+                    } else {
+                        (
+                            0..e.partition_point(|&(k, ref _t)| {
+                                let hi = x(k).hi;
+                                if strict {
+                                    hi > c
+                                } else {
+                                    hi >= c
+                                }
+                            }),
+                            e.partition_point(|&(k, ref _t)| {
+                                let lo = x(k).lo;
+                                if strict {
+                                    lo >= -c
+                                } else {
+                                    lo > -c
+                                }
+                            })..n,
+                        )
+                    };
+                    if lo_run.end >= hi_run.start {
+                        vec![0..n]
+                    } else {
+                        vec![lo_run, hi_run]
+                    }
+                }
+                // possible(|X| = c): use the necessary |X|.lo ≤ c window
+                // (the residual applies the full condition).
+                CmpOp::Eq => {
+                    if c < 0.0 {
+                        vec![]
+                    } else if inc {
+                        vec![
+                            e.partition_point(|&(k, ref _t)| x(k).hi < -c)
+                                ..e.partition_point(|&(k, ref _t)| x(k).lo <= c),
+                        ]
+                    } else {
+                        vec![
+                            e.partition_point(|&(k, ref _t)| x(k).lo > c)
+                                ..e.partition_point(|&(k, ref _t)| x(k).hi >= -c),
+                        ]
+                    }
+                }
+                CmpOp::Ne => return None,
             }
-        };
-        let positions: Vec<u32> = ranges
-            .into_iter()
-            .filter(|r| r.start < r.end)
-            .flat_map(|r| e[r].iter().map(|&(_, pos)| pos))
-            .collect();
-        Candidates::Picked(positions)
+        }
+    };
+    Some(ranges.into_iter().filter(|r| r.start < r.end).collect())
+}
+
+impl FilterIndex {
+    /// The accepted runs of `entries` for probe interval `p`, or `None`
+    /// when this predicate cannot prune for that probe.
+    pub(crate) fn probe(&self, p: Interval) -> Option<Vec<Range<usize>>> {
+        interval_probe_ranges(&self.entries, self.form, self.key_is_lhs, p)
+    }
+
+    /// The sorted `(key interval, role-list position)` entries.
+    pub(crate) fn entries(&self) -> &[(Interval, u32)] {
+        &self.entries
+    }
+
+    /// Whether role-list position `pos` falls inside any of the accepted
+    /// runs returned by [`FilterIndex::probe`]. O(runs), and runs is ≤ 2.
+    pub(crate) fn accepts(&self, ranges: &[Range<usize>], pos: u32) -> bool {
+        let rank = self.rank_of[pos as usize] as usize;
+        ranges.iter().any(|r| r.contains(&rank))
     }
 
     /// The bound relation whose cell interval probes this index.
@@ -591,13 +699,11 @@ pub(crate) fn filter_plan(
     list_lens: &[usize],
     pred_rels: &[usize],
     key_interval: impl Fn(usize, usize, usize) -> Interval,
-) -> Vec<Option<FilterIndex>> {
-    let mut levels: Vec<Option<FilterIndex>> = (0..query.num_relations()).map(|_| None).collect();
+) -> Vec<Vec<FilterIndex>> {
+    let mut levels: Vec<Vec<FilterIndex>> =
+        (0..query.num_relations()).map(|_| Vec::new()).collect();
     for (pi, class) in query.pred_classes().iter().enumerate() {
         let rel = pred_rels[pi];
-        if levels[rel].is_some() {
-            continue;
-        }
         let (sides, form) = match class {
             PredClass::Equi { lhs, rhs } => ((lhs, rhs), BandForm::Direct(CmpOp::Eq)),
             PredClass::Band { lhs, rhs, form } => ((lhs, rhs), *form),
@@ -632,8 +738,13 @@ pub(crate) fn filter_plan(
             .map(|pos| (key_interval(rel, key_attr, pos), pos as u32))
             .collect();
         entries.sort_unstable_by(|a, b| a.0.lo.total_cmp(&b.0.lo));
-        levels[rel] = Some(FilterIndex {
+        let mut rank_of = vec![0u32; list_lens[rel]];
+        for (rank, &(_, pos)) in entries.iter().enumerate() {
+            rank_of[pos as usize] = rank as u32;
+        }
+        levels[rel].push(FilterIndex {
             entries,
+            rank_of,
             probe,
             key_is_lhs,
             form,

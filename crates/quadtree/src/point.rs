@@ -108,6 +108,27 @@ impl PointSet {
         }
     }
 
+    /// Sets cell `z`'s membership to exactly `flags`: inserts when absent,
+    /// overwrites when present, and removes the cell when `flags` is empty.
+    /// The in-place maintenance primitive of the incremental filter engine
+    /// (unlike [`PointSet::insert`], which can only grow memberships).
+    pub fn set_flags(&mut self, z: u64, flags: RelFlags) {
+        match self.points.binary_search_by_key(&z, |p| p.z) {
+            Ok(i) => {
+                if flags.is_empty() {
+                    self.points.remove(i);
+                } else {
+                    self.points[i].flags = flags;
+                }
+            }
+            Err(i) => {
+                if !flags.is_empty() {
+                    self.points.insert(i, Point { z, flags });
+                }
+            }
+        }
+    }
+
     /// Number of distinct cells in the set.
     pub fn len(&self) -> usize {
         self.points.len()
@@ -274,5 +295,17 @@ mod tests {
     #[should_panic(expected = "at least one relation")]
     fn empty_flags_rejected() {
         PointSet::new().insert(1, RelFlags(0));
+    }
+
+    #[test]
+    fn set_flags_inserts_overwrites_and_removes() {
+        let mut s = set(&[(3, 0b10), (7, 0b11)]);
+        s.set_flags(5, RelFlags::B); // insert between
+        assert_eq!(s, set(&[(3, 0b10), (5, 0b01), (7, 0b11)]));
+        s.set_flags(7, RelFlags::A); // overwrite (can shrink, unlike insert)
+        assert_eq!(s.flags_of(7), Some(RelFlags::A));
+        s.set_flags(3, RelFlags(0)); // empty flags remove the cell
+        s.set_flags(100, RelFlags(0)); // removing an absent cell is a no-op
+        assert_eq!(s, set(&[(5, 0b01), (7, 0b10)]));
     }
 }

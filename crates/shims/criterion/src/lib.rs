@@ -83,6 +83,7 @@ pub struct Criterion {
     filter: Option<String>,
     measurement: Duration,
     warmup: Duration,
+    results: Vec<(String, Duration)>,
 }
 
 impl Default for Criterion {
@@ -106,6 +107,7 @@ impl Default for Criterion {
             filter,
             measurement,
             warmup,
+            results: Vec::new(),
         }
     }
 }
@@ -164,6 +166,15 @@ impl Criterion {
             format_duration(per_iter),
             rate.unwrap_or_default()
         );
+        self.results.push((name.to_owned(), per_iter));
+    }
+
+    /// Mean per-iteration times of every benchmark run so far, in execution
+    /// order. Lets harness-free `main`s export machine-readable results
+    /// (criterion proper writes these under `target/criterion/`; the shim
+    /// hands them to the caller instead).
+    pub fn results(&self) -> &[(String, Duration)] {
+        &self.results
     }
 
     /// Runs a single benchmark.

@@ -212,6 +212,13 @@ impl Network {
         self.topology.is_empty()
     }
 
+    /// Moves the accumulated statistics out, leaving fresh counters — what
+    /// per-round executors want at round end, without cloning the per-node
+    /// vectors (the next round resets anyway).
+    pub fn take_stats(&mut self) -> NetworkStats {
+        std::mem::replace(&mut self.stats, NetworkStats::new(self.topology.len()))
+    }
+
     /// Resets statistics and the trace (e.g. between repetitions).
     pub fn reset_stats(&mut self) {
         self.stats = NetworkStats::new(self.topology.len());
