@@ -1,0 +1,128 @@
+//! Multi-query amortization: the byte cost of ONE shared
+//! Join-Attribute-Collection wave serving N = 1 / 2 / 4 / 8 concurrent
+//! band-join queries, against the sum of the N solo collections it
+//! replaces, plus the base-station time per shared epoch.
+//!
+//! The workload is the amortization best case the scheduler is built for: a
+//! same-template query family (band joins over temperature with different
+//! constants), so every query quantizes over the same space and the shared
+//! wave carries one union encoding per link plus per-query annotations. The
+//! derived `shared_over_solo_sum` map in `BENCH_engine.json` is
+//! shared-collection-bytes / sum-of-solo-collection-bytes per group size —
+//! the acceptance gate reads the N=4 entry (must be ≤ 0.5).
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use sensjoin_bench::benchjson;
+use sensjoin_core::{
+    JoinMethod, QueryGroup, SensJoin, SensJoinConfig, SensorNetwork, SensorNetworkBuilder,
+    PHASE_COLLECTION,
+};
+use sensjoin_field::{Area, Placement};
+use sensjoin_query::{parse, CompiledQuery};
+use std::time::Instant;
+
+const GROUP_SIZES: [usize; 4] = [1, 2, 4, 8];
+const NODES: usize = 150;
+
+fn network() -> SensorNetwork {
+    SensorNetworkBuilder::new()
+        .area(Area::new(400.0, 400.0))
+        .placement(Placement::UniformRandom { n: NODES })
+        .seed(3)
+        .build()
+        .unwrap()
+}
+
+/// The query family: band joins over temperature, constants spread so the
+/// filters differ while the collected join-attribute cells coincide.
+fn family(snet: &SensorNetwork, n: usize) -> Vec<CompiledQuery> {
+    (0..n)
+        .map(|i| {
+            let sql = format!(
+                "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > {} SAMPLE PERIOD 30",
+                1.0 + 0.2 * i as f64
+            );
+            snet.compile(&parse(&sql).unwrap()).unwrap()
+        })
+        .collect()
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    let mut snet = network();
+    let queries = family(&snet, *GROUP_SIZES.iter().max().unwrap());
+
+    // Byte accounting (deterministic, outside timing): one shared epoch per
+    // group size vs the N solo collections on the same snapshot.
+    let mut shared_bytes = Vec::new();
+    let mut solo_sums = Vec::new();
+    for &n in &GROUP_SIZES {
+        let mut group = QueryGroup::new(SensJoinConfig::default());
+        for q in &queries[..n] {
+            group.register(&snet, q.clone(), 1);
+        }
+        let report = group.execute_epoch(&mut snet).unwrap();
+        shared_bytes.push(report.shared_collection_bytes());
+        let solo: u64 = queries[..n]
+            .iter()
+            .map(|q| {
+                SensJoin::default()
+                    .execute(&mut snet, q)
+                    .unwrap()
+                    .stats
+                    .phase(PHASE_COLLECTION)
+                    .tx_bytes
+            })
+            .sum();
+        solo_sums.push(solo);
+    }
+
+    // Timing: one steady-state shared epoch (engines warm) per group size.
+    {
+        let mut bg = criterion.benchmark_group("multi_query_scaling");
+        for &n in &GROUP_SIZES {
+            bg.bench_with_input(BenchmarkId::new("group_epoch", n), &n, |b, _| {
+                b.iter_custom(|iters| {
+                    let mut group = QueryGroup::new(SensJoinConfig::default());
+                    for q in &queries[..n] {
+                        group.register(&snet, q.clone(), 1);
+                    }
+                    group.execute_epoch(&mut snet).unwrap(); // warm-up epoch
+                    let start = Instant::now();
+                    for _ in 0..iters {
+                        black_box(group.execute_epoch(&mut snet).unwrap());
+                    }
+                    start.elapsed()
+                })
+            });
+        }
+        bg.finish();
+    }
+
+    let fmt_map = |vals: &[String]| format!("{{\n{}\n  }}", vals.join(",\n"));
+    let mut shared_lines = Vec::new();
+    let mut solo_lines = Vec::new();
+    let mut ratio_lines = Vec::new();
+    for (i, &n) in GROUP_SIZES.iter().enumerate() {
+        let ratio = shared_bytes[i] as f64 / solo_sums[i] as f64;
+        println!(
+            "multi_query_scaling: N={n} → shared {} B vs solo sum {} B (ratio {ratio:.3})",
+            shared_bytes[i], solo_sums[i]
+        );
+        shared_lines.push(format!("    \"{n}\": {}", shared_bytes[i]));
+        solo_lines.push(format!("    \"{n}\": {}", solo_sums[i]));
+        ratio_lines.push(format!("    \"{n}\": {ratio:.3}"));
+    }
+    let results = criterion.results().to_vec();
+    let extras = [
+        ("nodes", format!("{NODES}")),
+        ("shared_collection_bytes", fmt_map(&shared_lines)),
+        ("solo_collection_bytes_sum", fmt_map(&solo_lines)),
+        ("shared_over_solo_sum", fmt_map(&ratio_lines)),
+    ];
+    benchjson::merge_section(
+        "multi_query_scaling",
+        &benchjson::section_value(&results, &extras),
+    );
+}

@@ -1172,6 +1172,80 @@ pub fn engine_runtime(n: usize, seed: u64) -> String {
     rep.finish()
 }
 
+/// Extension: multi-query scheduling — N concurrent band joins served by
+/// ONE shared Join-Attribute-Collection wave per epoch (`core::QueryGroup`,
+/// DESIGN.md §4.7), against the N solo collections it replaces. Every group
+/// outcome is checked row-identical to a fresh solo execution.
+pub fn multi_query(n: usize, seed: u64) -> String {
+    use sensjoin_core::QueryGroup;
+    let mut rep = Report::new("Extension — multi-query scheduling with a shared collection phase");
+    rep.para(&format!(
+        "Beyond the paper: `core::QueryGroup` registers N concurrent \
+         continuous queries and runs ONE shared Join-Attribute-Collection \
+         wave per epoch instead of N (DESIGN.md §4.7); per-query results \
+         stay identical to solo executions, asserted here on every row. The \
+         workload is a same-template family of band joins over temperature \
+         (constants spread so the filters differ while the collected cells \
+         coincide) — the amortization best case the scheduler targets. \
+         Network: {n} nodes. `cargo bench -p sensjoin-bench --bench \
+         multi_query_scaling` reproduces the committed `BENCH_engine.json` \
+         entries (150 nodes) with base-station timing."
+    ));
+    let sizes = [1usize, 2, 4, 8];
+    let mut snet = paper_network(n, seed);
+    let queries: Vec<_> = (0..*sizes.iter().max().unwrap())
+        .map(|i| {
+            let sql = format!(
+                "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > {} SAMPLE PERIOD 30",
+                6.0 + 0.4 * i as f64
+            );
+            let q = sensjoin_query::parse(&sql).expect("family query parses");
+            snet.compile(&q).expect("family query compiles")
+        })
+        .collect();
+    let mut rows = Vec::new();
+    for &k in &sizes {
+        let mut group = QueryGroup::new(SensJoinConfig::default());
+        let ids: Vec<_> = queries[..k]
+            .iter()
+            .map(|q| group.register(&snet, q.clone(), 1))
+            .collect();
+        let report = group.execute_epoch(&mut snet).expect("epoch runs");
+        let shared = report.shared_collection_bytes();
+        let mut solo_sum = 0u64;
+        for (id, q) in ids.iter().zip(&queries[..k]) {
+            let solo = sens().execute(&mut snet, q).expect("solo runs");
+            let out = report
+                .outcomes
+                .iter()
+                .find(|o| o.id == *id)
+                .expect("query is due");
+            assert!(
+                solo.result.same_result(&out.result),
+                "group result diverges from solo at N = {k}"
+            );
+            solo_sum += solo.stats.phase(PHASE_COLLECTION).tx_bytes;
+        }
+        rows.push(vec![
+            k.to_string(),
+            shared.to_string(),
+            solo_sum.to_string(),
+            format!("{:.3}", shared as f64 / solo_sum as f64),
+        ]);
+    }
+    rep.table(
+        &[
+            "concurrent queries N",
+            "shared collection [bytes]",
+            "N solo collections [bytes]",
+            "shared / solo sum",
+        ],
+        &rows,
+    );
+    rep.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1223,6 +1297,12 @@ mod tests {
     fn extension_continuous_smoke() {
         let md = extension_continuous(N, 1);
         assert!(md.contains("continuous delta"));
+    }
+
+    #[test]
+    fn multi_query_smoke() {
+        let md = multi_query(N, 1);
+        assert!(md.contains("shared collection [bytes]"));
     }
 
     #[test]

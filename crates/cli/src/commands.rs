@@ -4,10 +4,10 @@ use crate::args::Args;
 use crate::csvdata;
 use sensjoin_core::workload::RangeQueryFamily;
 use sensjoin_core::{
-    CostModel, ExternalJoin, JoinMethod, JoinOutcome, JoinResult, MediatedJoin, SensJoin,
-    SensJoinConfig, SensorNetwork, SensorNetworkBuilder,
+    CostModel, ExternalJoin, GroupRunner, JoinMethod, JoinOutcome, JoinResult, MediatedJoin,
+    SensJoin, SensJoinConfig, SensorNetwork, SensorNetworkBuilder,
 };
-use sensjoin_field::{presets, Area, Placement};
+use sensjoin_field::{presets, Area, FieldSpec, Placement};
 use sensjoin_query::parse;
 use sensjoin_relation::NodeId;
 use sensjoin_sim::BaseChoice;
@@ -22,6 +22,7 @@ USAGE:
   sensjoin topology                  routing-tree statistics
   sensjoin sweep                     selectivity sweep (SENS vs external)
   sensjoin advise --sql ... --fraction F   cost-model method advice
+  sensjoin multi \"SQL1\" \"SQL2\" ...    concurrent queries, shared collection
 
 COMMON OPTIONS:
   --data FILE      load a trace CSV (x,y,attrs...) instead of generating
@@ -37,6 +38,11 @@ run/shell OPTIONS:
 
 sweep OPTIONS:
   --fractions L    comma list of result percentages  [default: 1,5,25,60]
+
+multi OPTIONS (queries are positional arguments):
+  --epochs E       number of sample epochs to run    [default: 4]
+  --every L        comma list of per-query periods in epochs [default: 1]
+  --period S       epoch period in seconds           [default: 30]
 ";
 
 /// Dispatches a parsed command line; returns the process exit code.
@@ -47,6 +53,7 @@ pub fn dispatch(args: &Args) -> i32 {
         Some("shell") => cmd_shell(args),
         Some("topology") => cmd_topology(args),
         Some("sweep") => cmd_sweep(args),
+        Some("multi") => cmd_multi(args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -91,12 +98,7 @@ fn build_network(args: &Args) -> Result<SensorNetwork, String> {
         "center" => BaseChoice::NearestCenter,
         other => return Err(format!("bad --base {other:?} (corner|center)")),
     };
-    let fields = match args.get_str("fields").unwrap_or("indoor") {
-        "indoor" => presets::indoor_climate(),
-        "outdoor" => presets::outdoor_environment(),
-        "uncorrelated" => presets::uncorrelated(),
-        other => return Err(format!("bad --fields {other:?}")),
-    };
+    let fields = field_specs(args)?;
     let mut builder = SensorNetworkBuilder::new()
         .area(area)
         .placement(Placement::UniformRandom { n: nodes })
@@ -107,6 +109,104 @@ fn build_network(args: &Args) -> Result<SensorNetwork, String> {
         builder = builder.data(d);
     }
     builder.build().map_err(|e| e.to_string())
+}
+
+fn field_specs(args: &Args) -> Result<Vec<FieldSpec>, String> {
+    Ok(match args.get_str("fields").unwrap_or("indoor") {
+        "indoor" => presets::indoor_climate(),
+        "outdoor" => presets::outdoor_environment(),
+        "uncorrelated" => presets::uncorrelated(),
+        other => return Err(format!("bad --fields {other:?}")),
+    })
+}
+
+fn cmd_multi(args: &Args) -> Result<(), String> {
+    args.ensure_known(&[
+        "nodes", "area", "seed", "base", "fields", "epochs", "every", "period", "data",
+    ])
+    .map_err(|e| e.to_string())?;
+    if args.positional.is_empty() {
+        return Err("multi needs one or more SQL queries as positional arguments".into());
+    }
+    let epochs: u64 = args
+        .get_or("epochs", 4, "integer")
+        .map_err(|e| e.to_string())?;
+    let period_s: u64 = args
+        .get_or("period", 30, "integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 1, "integer")
+        .map_err(|e| e.to_string())?;
+    let every: Vec<u64> = match args.get_str("every") {
+        None => vec![1; args.positional.len()],
+        Some(s) => {
+            let list: Vec<u64> = s
+                .split(',')
+                .map(|p| p.trim().parse())
+                .collect::<Result<_, _>>()
+                .map_err(|e| format!("bad --every: {e}"))?;
+            if list.len() == 1 {
+                vec![list[0]; args.positional.len()]
+            } else if list.len() == args.positional.len() {
+                list
+            } else {
+                return Err(format!(
+                    "--every lists {} periods for {} queries",
+                    list.len(),
+                    args.positional.len()
+                ));
+            }
+        }
+    };
+    let mut snet = build_network(args)?;
+    // A loaded trace is a fixed snapshot; only generated fields drift.
+    let specs = if args.get_str("data").is_some() {
+        Vec::new()
+    } else {
+        field_specs(args)?
+    };
+    let mut runner = GroupRunner::new(SensJoinConfig::default(), period_s * 1_000_000);
+    for (sql, &every) in args.positional.iter().zip(&every) {
+        let q = parse(sql).map_err(|e| e.to_string())?;
+        let cq = snet.compile(&q).map_err(|e| e.to_string())?;
+        runner.group_mut().register(&snet, cq, every);
+    }
+    println!(
+        "network: {} nodes, {} concurrent queries, epoch every {period_s} s",
+        snet.len(),
+        args.positional.len()
+    );
+    let reports = runner
+        .run(&mut snet, epochs, &specs, seed)
+        .map_err(|e| e.to_string())?;
+    println!(
+        "\n{:>5} {:>4} {:>12} {:>12} {:>8}  rows",
+        "epoch", "due", "shared [B]", "unshared [B]", "saving"
+    );
+    for (_, r) in &reports {
+        let shared = r.shared_collection_bytes() + r.shared_filter_bytes() + r.shared_final_bytes();
+        let unshared = r.solo_equivalent_total();
+        let saving = if unshared > 0 {
+            100.0 * (1.0 - shared as f64 / unshared as f64)
+        } else {
+            0.0
+        };
+        let rows: Vec<String> = r
+            .outcomes
+            .iter()
+            .map(|o| format!("q{}:{}", o.id.0, o.result.len()))
+            .collect();
+        println!(
+            "{:>5} {:>4} {:>12} {:>12} {:>7.1}%  {}",
+            r.epoch,
+            r.outcomes.len(),
+            shared,
+            unshared,
+            saving,
+            rows.join(" ")
+        );
+    }
+    Ok(())
 }
 
 fn cmd_advise(args: &Args) -> Result<(), String> {
@@ -518,6 +618,25 @@ mod tests {
             "sql".into(),
             "SELECT A.temp, B.temp FROM Sensors A, Sensors B ONCE".into(),
         );
+        assert_ne!(dispatch(&bad), 0);
+    }
+
+    #[test]
+    fn multi_runs_concurrent_queries() {
+        let mut a = args("multi --nodes 70 --seed 5 --epochs 2 --every 1,2");
+        a.positional = vec![
+            "SELECT A.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 2 SAMPLE PERIOD 30"
+                .into(),
+            "SELECT B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 3 SAMPLE PERIOD 30"
+                .into(),
+        ];
+        assert_eq!(dispatch(&a), 0);
+        // No queries, or a mismatched --every list, is an error.
+        assert_ne!(dispatch(&args("multi --nodes 50")), 0);
+        let mut bad = args("multi --nodes 50 --every 1,2,3");
+        bad.positional = vec!["SELECT A.temp FROM Sensors A, Sensors B ONCE".into()];
         assert_ne!(dispatch(&bad), 0);
     }
 

@@ -5,6 +5,8 @@
 //! sensjoin shell [--nodes N] [--seed S]        interactive SQL loop
 //! sensjoin topology [--nodes N] [--seed S]     routing-tree statistics
 //! sensjoin sweep [--fractions 1,5,25] [...]    selectivity sweep
+//! sensjoin multi "SQL1" "SQL2" [--epochs E]    concurrent queries sharing
+//!                                              one collection phase
 //! ```
 
 mod args;

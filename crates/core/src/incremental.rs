@@ -119,6 +119,45 @@ struct Edge {
 /// counted cell delta to [`FilterEngine::apply_delta`]; the returned filter
 /// is bit-identical to `prejoin_filter(query, space, population)` on the
 /// post-delta population.
+///
+/// ```
+/// use sensjoin_core::{
+///     prejoin_filter, CellCounts, FilterEngine, JoinSpace, SensJoinConfig,
+///     SensorNetworkBuilder,
+/// };
+/// use sensjoin_field::{Area, Placement};
+/// use sensjoin_query::parse;
+///
+/// let snet = SensorNetworkBuilder::new()
+///     .area(Area::new(200.0, 200.0))
+///     .placement(Placement::UniformRandom { n: 40 })
+///     .seed(5)
+///     .build()
+///     .unwrap();
+/// let cq = snet
+///     .compile(&parse(
+///         "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+///          WHERE A.temp - B.temp > 1.0 SAMPLE PERIOD 30",
+///     ).unwrap())
+///     .unwrap();
+/// let space = JoinSpace::build(&cq, &snet, &SensJoinConfig::default());
+/// let mut engine = FilterEngine::new(&cq, &space);
+///
+/// // Two nodes appear, one cell apart, each usable as either role (+1
+/// // occupancy on both roles' flag bits):
+/// let mut delta = CellCounts::new();
+/// for temp in [20.0, 22.0] {
+///     let mut e = [0i64; 8];
+///     for r in 0..2 {
+///         e[space.flag(r).0.trailing_zeros() as usize] += 1;
+///     }
+///     delta.insert(space.encode(&[Some(temp)]), e);
+/// }
+/// let filter = engine.apply_delta(&cq, &space, &delta).clone();
+///
+/// // Invariant: identical to a from-scratch filter on the new population.
+/// assert_eq!(filter, prejoin_filter(&cq, &space, engine.population()));
+/// ```
 pub struct FilterEngine {
     const_false: bool,
     num_rels: usize,
@@ -773,6 +812,20 @@ mod tests {
             let fresh = prejoin_filter(&cq, &space, engine.population());
             assert_eq!(engine.filter().points(), fresh.points(), "round {round}");
         }
+        // The random rounds only check bit-identity; pin satisfiability
+        // deterministically. One cell holding every role satisfies both
+        // components (a cell trivially joins itself), so the filter cannot
+        // be empty afterwards.
+        let mut seed_cell = CellCounts::default();
+        let all_roles = seed_cell
+            .entry(space.encode(&[Some(20.0), Some(50.0)]))
+            .or_insert([0; 8]);
+        for role in all_roles.iter_mut().take(4) {
+            *role += 1;
+        }
+        engine.apply_delta(&cq, &space, &seed_cell);
+        let fresh = prejoin_filter(&cq, &space, engine.population());
+        assert_eq!(engine.filter().points(), fresh.points(), "seeded cell");
         assert!(!engine.filter().is_empty(), "both components satisfiable");
         // Drain role D entirely: no D-binding can exist, filter must empty.
         let mut drain = CellCounts::default();

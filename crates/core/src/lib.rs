@@ -45,7 +45,7 @@
 //! // node contribute, because SQL semantics pair each node with itself.)
 //! let query = parse(
 //!     "SELECT A.hum, A.pres, B.hum, B.pres FROM Sensors A, Sensors B \
-//!      WHERE A.temp - B.temp > 1.8 ONCE",
+//!      WHERE A.temp - B.temp > 5.0 ONCE",
 //! ).unwrap();
 //! let cq = snet.compile(&query).unwrap();
 //!
@@ -70,6 +70,7 @@ mod outcome;
 mod partition;
 mod recovery;
 mod repr;
+mod scheduler;
 mod sensjoin;
 mod snetwork;
 mod wave;
@@ -94,6 +95,10 @@ pub use incremental::{CellCounts, FilterEngine};
 pub use outcome::{JoinOutcome, JoinResult, ProtocolError};
 pub use recovery::{execute_with_recovery, RecoveryOutcome};
 pub use repr::JoinAttrMsg;
+pub use scheduler::{
+    EpochReport, GroupOutcome, GroupRunner, QueryGroup, QueryId, SoloCost, PHASE_SHARED_COLLECTION,
+    PHASE_SHARED_FILTER, PHASE_SHARED_FINAL,
+};
 pub use sensjoin::{SensJoin, PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL};
 pub use snetwork::{
     attr_type_for, ExternalData, SensorNetwork, SensorNetworkBuilder, SensorNetworkError,

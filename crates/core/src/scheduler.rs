@@ -1,0 +1,1190 @@
+//! Multi-query scheduling: N concurrent queries over one network, sharing a
+//! single Join-Attribute-Collection wave per epoch.
+//!
+//! The SENS-Join cost argument (paper §IV) is per-query; a base station
+//! serving many standing queries would pay the expensive collection phase
+//! once *per query* per sample period. [`QueryGroup`] amortizes it: every
+//! registered query's join-attribute projection is collected in **one**
+//! shared up-wave (per-link payloads are merged where queries' quantization
+//! spaces coincide), the base station fans the shared cells out into one
+//! persistent [`FilterEngine`] per query, and filter dissemination and the
+//! final up-wave likewise travel as one merged message per link.
+//!
+//! Guarantees (enforced by the in-module tests and `tests/multi_query.rs`):
+//!
+//! * **Per-query bit-identity** — every due query's result (and contributor
+//!   set) equals a solo [`SensJoin`](crate::SensJoin) execution over the
+//!   same snapshot. Collection keeps per-query cell sets exact (the merge
+//!   saves wire bytes, not information), and filter pruning applies each
+//!   query's own subtree sets, so no query observes another's registration.
+//! * **Amortization** — when queries share a quantization space, the shared
+//!   collection's bytes approach the *maximum* (not the sum) of the solo
+//!   collections: one union encoding per link plus a small per-query
+//!   annotation overhead (a presence bitmap and one byte per diverging
+//!   cell).
+//!
+//! Join-attribute payloads always use the compact quadtree representation
+//! (the §VI-B representation knob only varies the single-query collection
+//! experiment).
+
+use crate::config::{Representation, SensJoinConfig};
+use crate::engine::{exact_join, JoinSpace};
+use crate::incremental::{CellCounts, FilterEngine};
+use crate::outcome::{JoinResult, ProtocolError};
+use crate::repr::{collect_node_data, project_to_schema, JoinAttrMsg, NodeData};
+use crate::snetwork::SensorNetwork;
+use crate::wave::{down_wave, up_wave};
+use sensjoin_field::FieldSpec;
+use sensjoin_quadtree::PointSet;
+use sensjoin_query::CompiledQuery;
+use sensjoin_relation::NodeId;
+use sensjoin_sim::{NetworkStats, Scheduler, Time};
+use std::cell::RefCell;
+use std::collections::BTreeSet;
+
+/// Shared Join-Attribute-Collection phase label (one up-wave for all due
+/// queries).
+pub const PHASE_SHARED_COLLECTION: &str = "1-shared-collection";
+/// Merged Filter-Dissemination phase label (one down-wave, per-link merged
+/// per-query filters).
+pub const PHASE_SHARED_FILTER: &str = "2-shared-filter-dissemination";
+/// Shared Final-Result phase label (each tuple ships once with a query
+/// membership mask).
+pub const PHASE_SHARED_FINAL: &str = "3-shared-final-result";
+
+/// Stable handle of a query registered with a [`QueryGroup`]; remains valid
+/// across epochs and across other queries' removal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct QueryId(pub usize);
+
+/// One registered query and its persistent base-station state.
+struct Registered {
+    query: CompiledQuery,
+    space: JoinSpace,
+    /// Persistent pre-join filter engine, delta-fed across epochs.
+    engine: FilterEngine,
+    /// The previous epoch's collected cell population (delta baseline).
+    population: PointSet,
+    /// Runs every `every` epochs (1 = every epoch).
+    every: u64,
+    /// Epoch of registration; the query is due at `offset`, `offset +
+    /// every`, ...
+    offset: u64,
+    alive: bool,
+}
+
+/// Per-epoch result of one query in the group.
+#[derive(Debug, Clone)]
+pub struct GroupOutcome {
+    /// Which registered query this is.
+    pub id: QueryId,
+    /// The query answer — bit-identical (as a multiset of rows) to a solo
+    /// `SensJoin` execution over the same snapshot.
+    pub result: JoinResult,
+    /// Nodes whose tuples appear in at least one result row.
+    pub contributors: BTreeSet<NodeId>,
+}
+
+/// What one query *would* have paid per phase had it shipped its payloads
+/// unshared over the same routing tree and treecut decisions — the
+/// denominator of the amortization curve. Like the shared statistics,
+/// every phase is charged per *link*: a payload is paid again on each hop
+/// it is forwarded toward (or from) the base station.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoloCost {
+    /// Which registered query this is.
+    pub id: QueryId,
+    /// Unshared Join-Attribute-Collection bytes.
+    pub collection_bytes: u64,
+    /// Unshared Filter-Dissemination bytes.
+    pub filter_bytes: u64,
+    /// Unshared Final-Result bytes.
+    pub final_bytes: u64,
+}
+
+impl SoloCost {
+    /// Total unshared bytes across the three phases.
+    pub fn total_bytes(&self) -> u64 {
+        self.collection_bytes + self.filter_bytes + self.final_bytes
+    }
+}
+
+/// Everything one epoch of a [`QueryGroup`] produces.
+#[derive(Debug, Clone)]
+pub struct EpochReport {
+    /// The epoch index this report covers (0-based).
+    pub epoch: u64,
+    /// Per due query: result and contributors (non-due queries are absent).
+    pub outcomes: Vec<GroupOutcome>,
+    /// Shared-phase transmission statistics — phases
+    /// [`PHASE_SHARED_COLLECTION`], [`PHASE_SHARED_FILTER`],
+    /// [`PHASE_SHARED_FINAL`].
+    pub stats: NetworkStats,
+    /// End-to-end epoch latency (pipelined model), µs.
+    pub latency_us: Time,
+    /// End-to-end epoch latency (TAG-style slotted model), µs.
+    pub latency_slotted_us: Time,
+    /// Per due query: the unshared byte cost of the same messages.
+    pub solo_equivalent: Vec<SoloCost>,
+}
+
+impl EpochReport {
+    /// Shared collection bytes actually transmitted this epoch.
+    pub fn shared_collection_bytes(&self) -> u64 {
+        self.stats.phase(PHASE_SHARED_COLLECTION).tx_bytes
+    }
+
+    /// Shared filter-dissemination bytes actually transmitted this epoch.
+    pub fn shared_filter_bytes(&self) -> u64 {
+        self.stats.phase(PHASE_SHARED_FILTER).tx_bytes
+    }
+
+    /// Shared final-result bytes actually transmitted this epoch.
+    pub fn shared_final_bytes(&self) -> u64 {
+        self.stats.phase(PHASE_SHARED_FINAL).tx_bytes
+    }
+
+    /// Sum of the unshared (solo-equivalent) bytes across due queries.
+    pub fn solo_equivalent_total(&self) -> u64 {
+        self.solo_equivalent.iter().map(|s| s.total_bytes()).sum()
+    }
+}
+
+/// A multi-query scheduler over one network: registered queries share each
+/// epoch's Join-Attribute-Collection and ride merged per-link filter and
+/// final-result messages, while the base station maintains one persistent
+/// [`FilterEngine`] per query.
+///
+/// # Example
+///
+/// ```
+/// use sensjoin_core::{QueryGroup, SensorNetworkBuilder, SensJoinConfig};
+/// use sensjoin_field::{Area, Placement};
+/// use sensjoin_query::parse;
+///
+/// let mut snet = SensorNetworkBuilder::new()
+///     .area(Area::new(300.0, 300.0))
+///     .placement(Placement::UniformRandom { n: 80 })
+///     .seed(9)
+///     .build()
+///     .unwrap();
+/// let mut group = QueryGroup::new(SensJoinConfig::default());
+/// let sql = |c: f64| {
+///     format!(
+///         "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+///          WHERE A.temp - B.temp > {c} SAMPLE PERIOD 30"
+///     )
+/// };
+/// let q1 = snet.compile(&parse(&sql(1.0)).unwrap()).unwrap();
+/// let q2 = snet.compile(&parse(&sql(2.0)).unwrap()).unwrap();
+/// let a = group.register(&snet, q1, 1);
+/// let _b = group.register(&snet, q2, 2); // staggered: every other epoch
+/// let report = group.execute_epoch(&mut snet).unwrap();
+/// assert_eq!(report.outcomes.len(), 2); // both due at their first epoch
+/// let report = group.execute_epoch(&mut snet).unwrap();
+/// assert_eq!(report.outcomes.len(), 1); // only the every-epoch query
+/// assert_eq!(report.outcomes[0].id, a);
+/// ```
+pub struct QueryGroup {
+    config: SensJoinConfig,
+    queries: Vec<Registered>,
+    epoch: u64,
+}
+
+impl QueryGroup {
+    /// An empty group with the given protocol parameters.
+    pub fn new(config: SensJoinConfig) -> Self {
+        Self {
+            config,
+            queries: Vec::new(),
+            epoch: 0,
+        }
+    }
+
+    /// Registers a query: builds its quantization space over `snet` and a
+    /// cold [`FilterEngine`]. The query is first due at the *next* epoch
+    /// and every `every` epochs after (`every` is clamped to ≥ 1).
+    ///
+    /// The quantization space is fixed at registration time — the
+    /// persistent engine's delta maintenance requires it — so as readings
+    /// drift, cell boundaries stay where they were when the query was
+    /// installed. That is safe (boundary cells are unbounded, so clamped
+    /// values only widen the conservative pre-join) and results stay exact,
+    /// but wire sizes can differ from a one-shot [`crate::SensJoin`] run,
+    /// which re-derives its space from the current snapshot.
+    ///
+    /// Registration is a pure base-station operation: no network traffic,
+    /// and other queries' collection state (their engines and populations)
+    /// is untouched — the shared collection simply starts including the new
+    /// query's attribute projection from its next due epoch on.
+    pub fn register(&mut self, snet: &SensorNetwork, query: CompiledQuery, every: u64) -> QueryId {
+        let space = JoinSpace::build(&query, snet, &self.config);
+        let engine = FilterEngine::new(&query, &space);
+        self.queries.push(Registered {
+            query,
+            space,
+            engine,
+            population: PointSet::new(),
+            every: every.max(1),
+            offset: self.epoch,
+            alive: true,
+        });
+        QueryId(self.queries.len() - 1)
+    }
+
+    /// Removes a query from the group. Its engine and population are
+    /// dropped; nothing else restarts — remaining queries keep their
+    /// collection state and schedules. Returns whether the id was live.
+    pub fn remove(&mut self, id: QueryId) -> bool {
+        match self.queries.get_mut(id.0) {
+            Some(r) if r.alive => {
+                r.alive = false;
+                r.population = PointSet::new();
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Number of live registered queries.
+    pub fn len(&self) -> usize {
+        self.queries.iter().filter(|r| r.alive).count()
+    }
+
+    /// Whether no live query is registered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The next epoch index [`QueryGroup::execute_epoch`] will run.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Whether `id` is live and due at the upcoming epoch.
+    pub fn due(&self, id: QueryId) -> bool {
+        self.queries.get(id.0).is_some_and(|r| {
+            r.alive && self.epoch >= r.offset && (self.epoch - r.offset).is_multiple_of(r.every)
+        })
+    }
+
+    /// Runs one epoch: a single shared collection up-wave for every due
+    /// query, per-query filter fan-out at the base station, one merged
+    /// filter down-wave, and one shared final up-wave. Returns the
+    /// per-query results plus shared and solo-equivalent accounting.
+    ///
+    /// Queries not due this epoch are untouched (their engines keep their
+    /// state for their next due epoch); with no due query the epoch is a
+    /// no-op that only advances the epoch counter.
+    pub fn execute_epoch(
+        &mut self,
+        snet: &mut SensorNetwork,
+    ) -> Result<EpochReport, ProtocolError> {
+        let epoch = self.epoch;
+        self.epoch += 1;
+        snet.net_mut().reset_stats();
+        let due: Vec<usize> = (0..self.queries.len())
+            .filter(|&i| {
+                let r = &self.queries[i];
+                r.alive && epoch >= r.offset && (epoch - r.offset).is_multiple_of(r.every)
+            })
+            .collect();
+        let k = due.len();
+        assert!(k <= 64, "query membership masks are 64-bit");
+        if k == 0 {
+            return Ok(EpochReport {
+                epoch,
+                outcomes: Vec::new(),
+                stats: snet.net().stats().clone(),
+                latency_us: 0,
+                latency_slotted_us: 0,
+                solo_equivalent: Vec::new(),
+            });
+        }
+
+        let cfg = self.config.clone();
+        let base = snet.base();
+        let n = snet.len();
+        let master = snet.master_schema().clone();
+        // Per due slot: the query's own node data (z, flags, bytes in *its*
+        // space — identical to what a solo execution would compute).
+        let data: Vec<Vec<NodeData>> = due
+            .iter()
+            .map(|&qi| {
+                let r = &self.queries[qi];
+                collect_node_data(snet, &r.query, &r.space)
+            })
+            .collect();
+        let spaces: Vec<JoinSpace> = due
+            .iter()
+            .map(|&qi| self.queries[qi].space.clone())
+            .collect();
+        let sigs: Vec<SpaceSig> = spaces.iter().map(space_signature).collect();
+
+        // Per slot, per relation: the membership flag and the referenced
+        // attributes as master-schema indices, so byte accounting below
+        // needs no borrow of the registration table.
+        let rel_attrs: Vec<Vec<(sensjoin_quadtree::RelFlags, Vec<usize>)>> = due
+            .iter()
+            .enumerate()
+            .map(|(s, &qi)| {
+                let q = &self.queries[qi].query;
+                (0..q.num_relations())
+                    .map(|r| {
+                        let idxs = q
+                            .referenced_attrs(r)
+                            .iter()
+                            .map(|&a| {
+                                master
+                                    .index_of(q.schema(r).attrs()[a].name())
+                                    .expect("validated attribute")
+                            })
+                            .collect();
+                        (spaces[s].flag(r), idxs)
+                    })
+                    .collect()
+            })
+            .collect();
+        let attr_sizes: Vec<usize> = master.attrs().iter().map(|a| a.wire_size()).collect();
+
+        // Union wire size of a node's tuple across the due slots in `mask`
+        // (attributes deduplicated by master name, as in a solo FullRec).
+        let union_bytes = |v: usize, mask: u64| -> usize {
+            let mut idxs: BTreeSet<usize> = BTreeSet::new();
+            for (s, rels) in rel_attrs.iter().enumerate() {
+                if mask >> s & 1 == 0 {
+                    continue;
+                }
+                let Some(rec) = &data[s][v].rec else { continue };
+                for (flag, attrs) in rels {
+                    if rec.flags.intersects(*flag) {
+                        idxs.extend(attrs.iter().copied());
+                    }
+                }
+            }
+            idxs.iter().map(|&i| attr_sizes[i]).sum()
+        };
+        let all_mask = if k == 64 { u64::MAX } else { (1u64 << k) - 1 };
+        // A single query's final tuples need no membership annotation.
+        let mask_bytes = if k == 1 { 0 } else { k.div_ceil(8) };
+
+        let mut states: Vec<GState> = (0..n).map(|_| GState::new(k)).collect();
+        let mut solo = vec![SoloCost::default(); k];
+        for (s, &qi) in due.iter().enumerate() {
+            solo[s].id = QueryId(qi);
+        }
+
+        // ---- Phase 1: shared Join-Attribute-Collection ----
+        // One up-wave; each message carries every due query's cell set (its
+        // own space), merged on the wire per space signature. Treecut is
+        // decided on the union tuple size, so a subtree cheap for *all*
+        // queries together exits the epoch entirely.
+        let solo_collection: RefCell<Vec<u64>> = RefCell::new(vec![0; k]);
+        let (base_msg, t1) = up_wave(
+            snet.net_mut(),
+            &|_| true,
+            |v, received: Vec<GroupUp>| {
+                let vi = v.0 as usize;
+                let mut fulls: Vec<NodeId> = Vec::new();
+                let mut full_bytes = 0usize;
+                let mut attr_msgs: Vec<Vec<PointSet>> = Vec::new();
+                for msg in received {
+                    match msg {
+                        GroupUp::Full { mut nodes, bytes } => {
+                            full_bytes += bytes;
+                            fulls.append(&mut nodes);
+                        }
+                        GroupUp::Attrs { sets } => attr_msgs.push(sets),
+                    }
+                }
+                let own = (0..k).any(|s| data[s][vi].rec.is_some());
+                let own_bytes = if own { union_bytes(vi, all_mask) } else { 0 };
+                let treecut = v != base
+                    && cfg.dmax > 0
+                    && attr_msgs.is_empty()
+                    && full_bytes + own_bytes <= cfg.dmax;
+                if treecut {
+                    if own {
+                        fulls.push(v);
+                    }
+                    states[vi].active = false;
+                    GroupUp::Full {
+                        nodes: fulls,
+                        bytes: full_bytes + own_bytes,
+                    }
+                } else {
+                    let st = &mut states[vi];
+                    st.active = true;
+                    let mut sets: Vec<PointSet> = (0..k).map(|_| PointSet::new()).collect();
+                    for m in &attr_msgs {
+                        for (s, set) in m.iter().enumerate() {
+                            sets[s] = sets[s].union(set);
+                        }
+                    }
+                    // Memorize the *received* per-query subtree sets for
+                    // Selective Filter Forwarding, each under its own
+                    // memory-cap check — exactly the solo rule per query.
+                    if cfg.selective_forwarding {
+                        for s in 0..k {
+                            let stored = JoinAttrMsg::filter_wire_size(
+                                &sets[s],
+                                Representation::Quadtree,
+                                &spaces[s],
+                            );
+                            if v == base || stored <= cfg.filter_memory_limit {
+                                st.subtree_atts[s] = Some(sets[s].clone());
+                            }
+                        }
+                    }
+                    // Proxy received complete tuples and fold their
+                    // per-query projections in.
+                    for &u in &fulls {
+                        for (s, set) in sets.iter_mut().enumerate() {
+                            if let Some(rec) = &data[s][u.0 as usize].rec {
+                                set.insert(rec.z, rec.flags);
+                            }
+                        }
+                    }
+                    st.proxy = fulls;
+                    if own {
+                        st.own = true;
+                        for (s, set) in sets.iter_mut().enumerate() {
+                            if let Some(rec) = &data[s][vi].rec {
+                                set.insert(rec.z, rec.flags);
+                            }
+                        }
+                    }
+                    GroupUp::Attrs { sets }
+                }
+            },
+            |m| match m {
+                GroupUp::Full { bytes, nodes } => {
+                    let mut acc = solo_collection.borrow_mut();
+                    for (s, a) in acc.iter_mut().enumerate() {
+                        *a += nodes
+                            .iter()
+                            .filter_map(|u| data[s][u.0 as usize].rec.as_ref())
+                            .map(|r| r.bytes as u64)
+                            .sum::<u64>();
+                    }
+                    *bytes
+                }
+                GroupUp::Attrs { sets } => {
+                    let mut acc = solo_collection.borrow_mut();
+                    for (s, set) in sets.iter().enumerate() {
+                        acc[s] += JoinAttrMsg::filter_wire_size(
+                            set,
+                            Representation::Quadtree,
+                            &spaces[s],
+                        ) as u64;
+                    }
+                    let present: Vec<(usize, &PointSet)> = sets.iter().enumerate().collect();
+                    merged_wire_size(&present, &sigs, &spaces)
+                }
+            },
+            PHASE_SHARED_COLLECTION,
+        );
+        for (s, b) in solo_collection.into_inner().into_iter().enumerate() {
+            solo[s].collection_bytes = b;
+        }
+
+        // ---- Base station: per-query filter fan-out ----
+        // Each due query's collected set is exactly its solo population;
+        // feed the presence transition into its persistent engine. The
+        // resulting filter is bit-identical to a fresh `prejoin_filter`.
+        let collected = match base_msg {
+            GroupUp::Attrs { sets } => sets,
+            GroupUp::Full { .. } => unreachable!("base never applies Treecut"),
+        };
+        let mut filters: Vec<PointSet> = Vec::with_capacity(k);
+        for (s, &qi) in due.iter().enumerate() {
+            let Registered {
+                ref query,
+                ref space,
+                ref mut engine,
+                ref mut population,
+                ..
+            } = self.queries[qi];
+            let delta = presence_delta(population, &collected[s]);
+            let filter = engine.apply_delta(query, space, &delta).clone();
+            *population = collected[s].clone();
+            filters.push(filter);
+        }
+
+        // ---- Phase 2: merged Filter-Dissemination ----
+        let active: Vec<bool> = states.iter().map(|s| s.active).collect();
+        let participates = move |v: NodeId| active[v.0 as usize];
+        let selective = cfg.selective_forwarding;
+        let solo_filter: RefCell<Vec<u64>> = RefCell::new(vec![0; k]);
+        let t2 = down_wave(
+            snet.net_mut(),
+            &participates,
+            |v, received: Option<&Vec<Option<PointSet>>>| {
+                let st = &mut states[v.0 as usize];
+                let incoming: Vec<Option<&PointSet>> = match received {
+                    Some(f) => {
+                        st.received = f.clone();
+                        f.iter().map(|o| o.as_ref()).collect()
+                    }
+                    None => filters.iter().map(Some).collect(), // base originates
+                };
+                let mut out: Vec<Option<PointSet>> = vec![None; k];
+                for (s, inc) in incoming.into_iter().enumerate() {
+                    let Some(inc) = inc else { continue };
+                    if !selective {
+                        out[s] = Some(inc.clone());
+                        continue;
+                    }
+                    match &st.subtree_atts[s] {
+                        Some(atts) => {
+                            let pruned = inc.intersect(atts);
+                            if !pruned.is_empty() {
+                                out[s] = Some(pruned);
+                            }
+                        }
+                        // Over the memory cap: cannot prune, forward as-is.
+                        None => out[s] = Some(inc.clone()),
+                    }
+                }
+                out.iter().any(|o| o.is_some()).then_some(out)
+            },
+            |msg| {
+                let mut acc = solo_filter.borrow_mut();
+                let present: Vec<(usize, &PointSet)> = msg
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(s, o)| o.as_ref().map(|set| (s, set)))
+                    .collect();
+                for &(s, set) in &present {
+                    acc[s] +=
+                        JoinAttrMsg::filter_wire_size(set, Representation::Quadtree, &spaces[s])
+                            as u64;
+                }
+                merged_wire_size(&present, &sigs, &spaces)
+            },
+            PHASE_SHARED_FILTER,
+        );
+        for (s, b) in solo_filter.into_inner().into_iter().enumerate() {
+            solo[s].filter_bytes = b;
+        }
+
+        // ---- Phase 3: shared Final-Result ----
+        // A node's tuple ships once, with a mask of the due queries whose
+        // received filter it matched; the wire charges the union of the
+        // matched queries' referenced attributes plus the mask.
+        let active2: Vec<bool> = states.iter().map(|s| s.active).collect();
+        let participates3 = move |v: NodeId| active2[v.0 as usize];
+        let solo_final: RefCell<Vec<u64>> = RefCell::new(vec![0; k]);
+        let (final_batch, t3) = up_wave(
+            snet.net_mut(),
+            &participates3,
+            |v, received: Vec<GBatch>| {
+                let vi = v.0 as usize;
+                let mut entries: Vec<(NodeId, u64)> = Vec::new();
+                let mut bytes = 0usize;
+                for mut b in received {
+                    bytes += b.bytes;
+                    entries.append(&mut b.entries);
+                }
+                let st = &states[vi];
+                let held = st
+                    .own
+                    .then_some(v)
+                    .into_iter()
+                    .chain(st.proxy.iter().copied());
+                if v == base {
+                    // Base-held tuples are already at their destination;
+                    // attach them for every due query they belong to.
+                    for u in held {
+                        let mask = (0..k)
+                            .filter(|&s| data[s][u.0 as usize].rec.is_some())
+                            .fold(0u64, |m, s| m | 1 << s);
+                        if mask != 0 {
+                            entries.push((u, mask));
+                        }
+                    }
+                } else {
+                    for u in held {
+                        let ui = u.0 as usize;
+                        let mut mask = 0u64;
+                        for (s, d) in data.iter().enumerate() {
+                            if let (Some(f), Some(rec)) = (&st.received[s], &d[ui].rec) {
+                                if f.contains_matching(rec.z, rec.flags) {
+                                    mask |= 1 << s;
+                                }
+                            }
+                        }
+                        if mask != 0 {
+                            bytes += union_bytes(ui, mask) + mask_bytes;
+                            entries.push((u, mask));
+                        }
+                    }
+                }
+                GBatch { entries, bytes }
+            },
+            // Like the collection phase, solo-equivalent bytes are charged
+            // per link: an entry's per-query payload is paid again on every
+            // hop it is forwarded, exactly as a solo final up-wave would.
+            |b| {
+                let mut acc = solo_final.borrow_mut();
+                for &(u, mask) in &b.entries {
+                    let ui = u.0 as usize;
+                    for (s, a) in acc.iter_mut().enumerate() {
+                        if mask >> s & 1 == 1 {
+                            if let Some(rec) = &data[s][ui].rec {
+                                *a += rec.bytes as u64;
+                            }
+                        }
+                    }
+                }
+                b.bytes
+            },
+            PHASE_SHARED_FINAL,
+        );
+        for (s, b) in solo_final.into_inner().into_iter().enumerate() {
+            solo[s].final_bytes = b;
+        }
+
+        // ---- Per-query exact joins over the shipped tuples ----
+        let mut outcomes = Vec::with_capacity(k);
+        for (s, &qi) in due.iter().enumerate() {
+            let q = &self.queries[qi].query;
+            let space = &self.queries[qi].space;
+            let tuples_per_rel: Vec<Vec<(NodeId, Vec<f64>)>> = (0..q.num_relations())
+                .map(|r| {
+                    let flag = space.flag(r);
+                    final_batch
+                        .entries
+                        .iter()
+                        .filter(|(_, mask)| mask >> s & 1 == 1)
+                        .filter_map(|(u, _)| data[s][u.0 as usize].rec.as_ref())
+                        .filter(|rec| rec.flags.intersects(flag))
+                        .map(|rec| {
+                            (
+                                rec.origin,
+                                project_to_schema(&master, q.schema(r), &rec.values),
+                            )
+                        })
+                        .collect()
+                })
+                .collect();
+            let computation = exact_join(q, &tuples_per_rel);
+            outcomes.push(GroupOutcome {
+                id: QueryId(qi),
+                result: computation.result,
+                contributors: computation.contributors,
+            });
+        }
+
+        Ok(EpochReport {
+            epoch,
+            outcomes,
+            stats: snet.net().stats().clone(),
+            latency_us: t1.then(t2).then(t3).pipelined,
+            latency_slotted_us: t1.then(t2).then(t3).slotted,
+            solo_equivalent: solo,
+        })
+    }
+}
+
+/// Message of the shared collection phase: complete tuples below the
+/// Treecut threshold (identified by origin — their per-query projections
+/// are in the epoch's node-data tables), or every due query's cell set.
+enum GroupUp {
+    Full { nodes: Vec<NodeId>, bytes: usize },
+    Attrs { sets: Vec<PointSet> },
+}
+
+/// Final-phase message: shipped tuples with their query-membership masks.
+struct GBatch {
+    entries: Vec<(NodeId, u64)>,
+    bytes: usize,
+}
+
+/// Per-node protocol state surviving between the epoch's phases.
+struct GState {
+    active: bool,
+    own: bool,
+    proxy: Vec<NodeId>,
+    /// Per due slot: received subtree cells (Selective Filter Forwarding).
+    subtree_atts: Vec<Option<PointSet>>,
+    /// Per due slot: the filter as received during dissemination.
+    received: Vec<Option<PointSet>>,
+}
+
+impl GState {
+    fn new(k: usize) -> Self {
+        Self {
+            active: false,
+            own: false,
+            proxy: Vec::new(),
+            subtree_atts: vec![None; k],
+            received: vec![None; k],
+        }
+    }
+}
+
+/// Two spaces with equal signatures assign every value the same cell
+/// coordinates and quadtree shape, so their point sets can share one wire
+/// encoding.
+type SpaceSig = (Vec<(String, u64, u64, u64)>, u8);
+
+fn space_signature(space: &JoinSpace) -> SpaceSig {
+    let dims = space
+        .zspace()
+        .dims()
+        .iter()
+        .map(|d| {
+            (
+                d.name().to_owned(),
+                d.min().to_bits(),
+                d.max().to_bits(),
+                d.resolution().to_bits(),
+            )
+        })
+        .collect();
+    (dims, space.shape().flag_bits())
+}
+
+/// Wire size of a merged multi-query payload: slots whose spaces share a
+/// signature are encoded as one union quadtree plus, per member query, a
+/// cell-presence bitmap and one byte per cell whose flags diverge from the
+/// union's. When the member sets diverge so much that merging doesn't pay,
+/// the sender falls back to concatenating the individual encodings, so a
+/// merged message never costs more than its unshared parts — and a
+/// single-slot message costs exactly its solo encoding.
+fn merged_wire_size(
+    present: &[(usize, &PointSet)],
+    sigs: &[SpaceSig],
+    spaces: &[JoinSpace],
+) -> usize {
+    let mut total = 0usize;
+    let mut used = vec![false; present.len()];
+    for i in 0..present.len() {
+        if used[i] {
+            continue;
+        }
+        used[i] = true;
+        let (slot_i, set_i) = present[i];
+        let mut members: Vec<&PointSet> = vec![set_i];
+        for j in i + 1..present.len() {
+            let (slot_j, set_j) = present[j];
+            if !used[j] && sigs[slot_j] == sigs[slot_i] {
+                used[j] = true;
+                members.push(set_j);
+            }
+        }
+        let space = &spaces[slot_i];
+        let separate: usize = members
+            .iter()
+            .map(|m| JoinAttrMsg::filter_wire_size(m, Representation::Quadtree, space))
+            .sum();
+        if members.len() == 1 {
+            total += separate;
+        } else {
+            let mut union = PointSet::new();
+            for m in &members {
+                union = union.union(m);
+            }
+            let mut merged = JoinAttrMsg::filter_wire_size(&union, Representation::Quadtree, space);
+            let bitmap = union.len().div_ceil(8);
+            for m in &members {
+                let diverging = union
+                    .iter()
+                    .filter(|p| m.flags_of(p.z).map_or(0, |f| f.0) != p.flags.0)
+                    .count();
+                merged += bitmap + diverging;
+            }
+            total += merged.min(separate);
+        }
+    }
+    total
+}
+
+/// The counted delta turning the presence set `old` into `new`: +1 for each
+/// appearing `(cell, role)` bit, −1 for each disappearing one. Feeding it
+/// to a [`FilterEngine`] whose population is `old` moves it to `new`.
+fn presence_delta(old: &PointSet, new: &PointSet) -> CellCounts {
+    let mut delta = CellCounts::new();
+    for p in new.iter() {
+        let old_f = old.flags_of(p.z).map_or(0, |f| f.0);
+        if old_f != p.flags.0 {
+            let e = delta.entry(p.z).or_insert([0; 8]);
+            for (b, c) in e.iter_mut().enumerate() {
+                *c += i64::from(p.flags.0 >> b & 1) - i64::from(old_f >> b & 1);
+            }
+        }
+    }
+    for p in old.iter() {
+        if new.flags_of(p.z).is_none() {
+            let e = delta.entry(p.z).or_insert([0; 8]);
+            for (b, c) in e.iter_mut().enumerate() {
+                *c -= i64::from(p.flags.0 >> b & 1);
+            }
+        }
+    }
+    delta
+}
+
+/// Events a [`GroupRunner`] processes on its discrete-event timeline.
+enum GroupEvent {
+    /// Run the next epoch.
+    Epoch,
+    /// Register a query (compiled against the runner's network) with the
+    /// given `every` period, just before the epoch at the same timestamp.
+    Add(Box<CompiledQuery>, u64),
+    /// Remove a query just before the epoch at the same timestamp.
+    Remove(QueryId),
+}
+
+/// Drives a [`QueryGroup`] over simulated time with the discrete-event
+/// [`Scheduler`]: epochs fire every `period_us`, the network resamples
+/// before each epoch (`SAMPLE PERIOD` semantics), and query add/remove
+/// events can be scheduled mid-run — they take effect at the epoch sharing
+/// their timestamp.
+///
+/// Staggered `EVERY` intervals fall out of the epoch grid: a query
+/// registered with `every = j` shares collection waves only on epochs where
+/// it coincides with other due queries.
+pub struct GroupRunner {
+    group: QueryGroup,
+    period_us: Time,
+    sched: Scheduler<GroupEvent>,
+}
+
+impl GroupRunner {
+    /// A runner firing one epoch every `period_us` microseconds.
+    pub fn new(config: SensJoinConfig, period_us: Time) -> Self {
+        Self {
+            group: QueryGroup::new(config),
+            period_us: period_us.max(1),
+            sched: Scheduler::new(),
+        }
+    }
+
+    /// The underlying group (e.g. to register initial queries).
+    pub fn group_mut(&mut self) -> &mut QueryGroup {
+        &mut self.group
+    }
+
+    /// Immutable access to the underlying group.
+    pub fn group(&self) -> &QueryGroup {
+        &self.group
+    }
+
+    /// Schedules `query` to join the group at epoch `at_epoch` with period
+    /// `every`.
+    pub fn add_at(&mut self, at_epoch: u64, query: CompiledQuery, every: u64) {
+        self.sched.schedule(
+            at_epoch * self.period_us,
+            GroupEvent::Add(Box::new(query), every),
+        );
+    }
+
+    /// Schedules `id`'s removal at epoch `at_epoch`.
+    pub fn remove_at(&mut self, at_epoch: u64, id: QueryId) {
+        self.sched
+            .schedule(at_epoch * self.period_us, GroupEvent::Remove(id));
+    }
+
+    /// Runs `epochs` epochs, resampling the network's fields before each
+    /// one (with `seed + epoch` so rounds drift deterministically), and
+    /// returns each epoch's timestamped report. Scheduled add/remove events
+    /// apply before the epoch at their timestamp.
+    pub fn run(
+        &mut self,
+        snet: &mut SensorNetwork,
+        epochs: u64,
+        specs: &[FieldSpec],
+        seed: u64,
+    ) -> Result<Vec<(Time, EpochReport)>, ProtocolError> {
+        let first = self.group.epoch();
+        for e in first..first + epochs {
+            self.sched.schedule(e * self.period_us, GroupEvent::Epoch);
+        }
+        let mut reports = Vec::with_capacity(epochs as usize);
+        while let Some((t, event)) = self.sched.pop() {
+            match event {
+                GroupEvent::Add(query, every) => {
+                    self.group.register(snet, *query, every);
+                }
+                GroupEvent::Remove(id) => {
+                    self.group.remove(id);
+                }
+                GroupEvent::Epoch => {
+                    // Control events due at this very instant apply before
+                    // the epoch, whatever order they were scheduled in.
+                    while let Some((tn, GroupEvent::Add(..) | GroupEvent::Remove(..))) =
+                        self.sched.peek()
+                    {
+                        if tn != t {
+                            break;
+                        }
+                        match self.sched.pop().expect("peeked").1 {
+                            GroupEvent::Add(query, every) => {
+                                self.group.register(snet, *query, every);
+                            }
+                            GroupEvent::Remove(id) => {
+                                self.group.remove(id);
+                            }
+                            GroupEvent::Epoch => unreachable!("peek said control event"),
+                        }
+                    }
+                    if !specs.is_empty() {
+                        snet.resample(specs, seed.wrapping_add(self.group.epoch()));
+                    }
+                    reports.push((t, self.group.execute_epoch(snet)?));
+                }
+            }
+        }
+        Ok(reports)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sensjoin::SensJoin;
+    use crate::snetwork::SensorNetworkBuilder;
+    use crate::JoinMethod;
+    use sensjoin_field::{presets, Area, Placement};
+    use sensjoin_query::parse;
+
+    fn snet(n: usize, seed: u64) -> SensorNetwork {
+        SensorNetworkBuilder::new()
+            .area(Area::new(400.0, 400.0))
+            .placement(Placement::UniformRandom { n })
+            .seed(seed)
+            .build()
+            .unwrap()
+    }
+
+    fn compiled(s: &SensorNetwork, sql: &str) -> CompiledQuery {
+        s.compile(&parse(sql).unwrap()).unwrap()
+    }
+
+    fn assert_matches_solo(
+        report: &EpochReport,
+        snet: &mut SensorNetwork,
+        queries: &[&CompiledQuery],
+    ) {
+        assert_eq!(report.outcomes.len(), queries.len());
+        for (out, q) in report.outcomes.iter().zip(queries) {
+            let solo = SensJoin::default().execute(snet, q).unwrap();
+            assert!(
+                solo.result.same_result(&out.result),
+                "query {:?}: solo {} rows vs group {} rows",
+                out.id,
+                solo.result.len(),
+                out.result.len()
+            );
+            assert_eq!(solo.contributors, out.contributors, "query {:?}", out.id);
+        }
+    }
+
+    #[test]
+    fn group_results_bit_identical_to_solo() {
+        for seed in [1, 2, 5] {
+            let mut s = snet(110, seed);
+            let q1 = compiled(
+                &s,
+                "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                 WHERE A.temp - B.temp > 1.5 SAMPLE PERIOD 30",
+            );
+            let q2 = compiled(
+                &s,
+                "SELECT A.pres, B.pres FROM Sensors A, Sensors B \
+                 WHERE |A.temp - B.temp| < 0.05 SAMPLE PERIOD 30",
+            );
+            let q3 = compiled(
+                &s,
+                "SELECT A.temp FROM Sensors A, Sensors B \
+                 WHERE A.hum - B.hum > 8 AND A.temp - B.temp > 1 SAMPLE PERIOD 30",
+            );
+            let mut group = QueryGroup::new(SensJoinConfig::default());
+            for q in [&q1, &q2, &q3] {
+                group.register(&s, q.clone(), 1);
+            }
+            let report = group.execute_epoch(&mut s).unwrap();
+            assert_matches_solo(&report, &mut s, &[&q1, &q2, &q3]);
+        }
+    }
+
+    #[test]
+    fn shared_collection_cheaper_than_sum_of_solos() {
+        let mut s = snet(150, 3);
+        let sqls: Vec<String> = (0..4)
+            .map(|i| {
+                format!(
+                    "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                     WHERE A.temp - B.temp > {} SAMPLE PERIOD 30",
+                    1.0 + 0.2 * i as f64
+                )
+            })
+            .collect();
+        let queries: Vec<CompiledQuery> = sqls.iter().map(|q| compiled(&s, q)).collect();
+        let mut group = QueryGroup::new(SensJoinConfig::default());
+        for q in &queries {
+            group.register(&s, q.clone(), 1);
+        }
+        let report = group.execute_epoch(&mut s).unwrap();
+        let shared = report.shared_collection_bytes();
+        let solo_sum: u64 = queries
+            .iter()
+            .map(|q| {
+                SensJoin::default()
+                    .execute(&mut s, q)
+                    .unwrap()
+                    .stats
+                    .phase(crate::sensjoin::PHASE_COLLECTION)
+                    .tx_bytes
+            })
+            .sum();
+        assert!(
+            shared < solo_sum,
+            "shared collection {shared} !< solo sum {solo_sum}"
+        );
+        // The per-epoch report's own accounting agrees: the solo-equivalent
+        // collection bytes of the 4 queries also exceed the shared cost.
+        let solo_equiv: u64 = report
+            .solo_equivalent
+            .iter()
+            .map(|c| c.collection_bytes)
+            .sum();
+        assert!(shared < solo_equiv, "shared {shared} !< equiv {solo_equiv}");
+    }
+
+    #[test]
+    fn single_query_group_costs_exactly_solo() {
+        let mut s = snet(120, 7);
+        let q = compiled(
+            &s,
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 1.2 SAMPLE PERIOD 30",
+        );
+        let mut group = QueryGroup::new(SensJoinConfig::default());
+        group.register(&s, q.clone(), 1);
+        let report = group.execute_epoch(&mut s).unwrap();
+        let solo = SensJoin::default().execute(&mut s, &q).unwrap();
+        use crate::sensjoin::{PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL};
+        assert_eq!(
+            report.shared_collection_bytes(),
+            solo.stats.phase(PHASE_COLLECTION).tx_bytes
+        );
+        assert_eq!(
+            report.shared_filter_bytes(),
+            solo.stats.phase(PHASE_FILTER).tx_bytes
+        );
+        assert_eq!(
+            report.shared_final_bytes(),
+            solo.stats.phase(PHASE_FINAL).tx_bytes
+        );
+        assert!(solo.result.same_result(&report.outcomes[0].result));
+    }
+
+    #[test]
+    fn staggered_intervals_share_only_coinciding_epochs() {
+        let mut s = snet(90, 11);
+        let q1 = compiled(
+            &s,
+            "SELECT A.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 2 SAMPLE PERIOD 10",
+        );
+        let q2 = compiled(
+            &s,
+            "SELECT B.hum FROM Sensors A, Sensors B \
+             WHERE A.hum - B.hum > 10 SAMPLE PERIOD 20",
+        );
+        let mut group = QueryGroup::new(SensJoinConfig::default());
+        let a = group.register(&s, q1.clone(), 1);
+        let b = group.register(&s, q2.clone(), 2);
+        // Epoch 0: both due. Epoch 1: only q1. Epoch 2: both again.
+        for (epoch, expect) in [(0u64, vec![a, b]), (1, vec![a]), (2, vec![a, b])] {
+            assert_eq!(group.epoch(), epoch);
+            let report = group.execute_epoch(&mut s).unwrap();
+            let ids: Vec<QueryId> = report.outcomes.iter().map(|o| o.id).collect();
+            assert_eq!(ids, expect, "epoch {epoch}");
+            let due: Vec<&CompiledQuery> = expect
+                .iter()
+                .map(|id| if *id == a { &q1 } else { &q2 })
+                .collect();
+            assert_matches_solo(&report, &mut s, &due);
+        }
+    }
+
+    #[test]
+    fn removal_and_late_registration_between_epochs() {
+        let mut s = snet(100, 13);
+        let q1 = compiled(
+            &s,
+            "SELECT A.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 1.5 SAMPLE PERIOD 10",
+        );
+        let q2 = compiled(
+            &s,
+            "SELECT A.pres FROM Sensors A, Sensors B \
+             WHERE |A.hum - B.hum| < 0.5 SAMPLE PERIOD 10",
+        );
+        let mut group = QueryGroup::new(SensJoinConfig::default());
+        let a = group.register(&s, q1.clone(), 1);
+        let r0 = group.execute_epoch(&mut s).unwrap();
+        assert_matches_solo(&r0, &mut s, &[&q1]);
+        // Add q2 mid-run (readings drift), remove q1: only q2 runs, and the
+        // persistent engines survive both changes.
+        let b = group.register(&s, q2.clone(), 1);
+        assert!(group.remove(a));
+        assert!(!group.remove(a), "double removal reports dead id");
+        s.resample(&presets::indoor_climate(), 99);
+        let r1 = group.execute_epoch(&mut s).unwrap();
+        assert_eq!(r1.outcomes.len(), 1);
+        assert_eq!(r1.outcomes[0].id, b);
+        assert_matches_solo(&r1, &mut s, &[&q2]);
+        // Drift again and keep running q2: the engine's delta path stays
+        // bit-identical to solo across epochs.
+        s.resample(&presets::indoor_climate(), 100);
+        let r2 = group.execute_epoch(&mut s).unwrap();
+        assert_matches_solo(&r2, &mut s, &[&q2]);
+    }
+
+    #[test]
+    fn runner_drives_epochs_with_scheduled_changes() {
+        let mut s = snet(80, 17);
+        let q1 = compiled(
+            &s,
+            "SELECT A.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 2 SAMPLE PERIOD 10",
+        );
+        let q2 = compiled(
+            &s,
+            "SELECT B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 3 SAMPLE PERIOD 10",
+        );
+        let mut runner = GroupRunner::new(SensJoinConfig::default(), 10_000_000);
+        let a = runner.group_mut().register(&s, q1, 1);
+        runner.add_at(2, q2, 1);
+        runner.remove_at(3, a);
+        let reports = runner
+            .run(&mut s, 4, &presets::indoor_climate(), 7)
+            .unwrap();
+        assert_eq!(reports.len(), 4);
+        assert_eq!(reports[0].1.outcomes.len(), 1);
+        assert_eq!(reports[1].1.outcomes.len(), 1);
+        assert_eq!(reports[2].1.outcomes.len(), 2, "q2 joins at epoch 2");
+        assert_eq!(reports[3].1.outcomes.len(), 1, "q1 leaves at epoch 3");
+        assert_ne!(reports[3].1.outcomes[0].id, a);
+        for (i, (t, r)) in reports.iter().enumerate() {
+            assert_eq!(*t, i as Time * 10_000_000);
+            assert_eq!(r.epoch, i as u64);
+        }
+    }
+
+    #[test]
+    fn empty_epoch_is_a_noop() {
+        let mut s = snet(60, 19);
+        let mut group = QueryGroup::new(SensJoinConfig::default());
+        let report = group.execute_epoch(&mut s).unwrap();
+        assert!(report.outcomes.is_empty());
+        assert_eq!(report.stats.total_tx_packets(), 0);
+        assert_eq!(group.epoch(), 1);
+    }
+}

@@ -97,6 +97,14 @@ impl<E> Scheduler<E> {
         Some((t, e))
     }
 
+    /// The next event's timestamp and payload, without popping it or
+    /// advancing the clock. Lets drivers coalesce everything due at one
+    /// instant (e.g. apply control events before a periodic tick sharing
+    /// their timestamp).
+    pub fn peek(&self) -> Option<(Time, &E)> {
+        self.heap.peek().map(|Reverse((t, _, EventBox(e)))| (*t, e))
+    }
+
     /// Whether any events remain.
     pub fn is_empty(&self) -> bool {
         self.heap.is_empty()
@@ -133,6 +141,19 @@ mod tests {
         }
         let order: Vec<i32> = std::iter::from_fn(|| s.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_does_not_advance() {
+        let mut s = Scheduler::new();
+        s.schedule(10, "a");
+        s.schedule(20, "b");
+        assert_eq!(s.peek(), Some((10, &"a")));
+        assert_eq!(s.now(), 0);
+        assert_eq!(s.pop(), Some((10, "a")));
+        assert_eq!(s.peek(), Some((20, &"b")));
+        s.pop();
+        assert_eq!(s.peek(), None);
     }
 
     #[test]
