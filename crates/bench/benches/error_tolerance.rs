@@ -1,0 +1,157 @@
+//! Error tolerance: the byte price of an *exact* join result per loss rate,
+//! on the paper-default 1500-node band join (5 % result fraction).
+//!
+//! Three strategies over a Bernoulli channel at p ∈ {0, 0.01, 0.05, 0.1,
+//! 0.2}: SENS-Join with hop-by-hop ack-and-retransmit ARQ, the external
+//! join with the same ARQ, and the paper's §IV-F recipe applied to packet
+//! loss — no link reliability, re-execute until one attempt survives intact
+//! (capped). Cost is `total_cost_bytes` = data + retransmissions + acks.
+//!
+//! Acceptance gates (asserted here, recorded in `BENCH_engine.json`):
+//! at p = 0.1 the SENS-Join + ARQ total must be ≤ 0.6× the re-execution
+//! total, and the p = 0 row must be byte-identical to the lossless run.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use sensjoin_bench::{benchjson, paper_network, run, SEED};
+use sensjoin_core::workload::RangeQueryFamily;
+use sensjoin_core::{
+    execute_with_reexecution, ExternalJoin, JoinMethod, SensJoin, MAX_REEXECUTION_ATTEMPTS,
+};
+use sensjoin_query::parse;
+use sensjoin_sim::{ArqPolicy, Channel};
+use std::time::Instant;
+
+const NODES: usize = 1500;
+const RATES: [f64; 5] = [0.0, 0.01, 0.05, 0.1, 0.2];
+const ARQ: ArqPolicy = ArqPolicy::AckRetransmit { max_retries: 16 };
+
+fn main() {
+    let mut criterion = Criterion::default();
+    let mut snet = paper_network(NODES, SEED);
+    let cal = RangeQueryFamily::ratio_33().calibrate(&snet, 0.05);
+    let cq = snet.compile(&parse(&cal.sql).unwrap()).unwrap();
+    let clean_sj = run(&mut snet, &SensJoin::default(), &cal.sql);
+    let clean_ext = run(&mut snet, &ExternalJoin, &cal.sql);
+
+    // Byte accounting (deterministic, outside timing): every ARQ run must
+    // reproduce the lossless result bit for bit.
+    let mut sj_cost = Vec::new();
+    let mut ext_cost = Vec::new();
+    let mut re_cost = Vec::new();
+    let mut re_attempts = Vec::new();
+    for (i, &p) in RATES.iter().enumerate() {
+        let salt = SEED.wrapping_add(3 * i as u64);
+        snet.net_mut().set_arq(ARQ);
+        snet.net_mut()
+            .set_channel(Some(Channel::bernoulli(p, salt)));
+        let sj = SensJoin::default().execute(&mut snet, &cq).unwrap();
+        assert!(sj.complete, "ARQ retry budget exhausted at p = {p}");
+        assert!(
+            sj.result.same_result(&clean_sj.result),
+            "SENS-Join result diverged at p = {p}"
+        );
+        sj_cost.push(sj.stats.total_cost_bytes());
+
+        snet.net_mut()
+            .set_channel(Some(Channel::bernoulli(p, salt.wrapping_add(1))));
+        let ext = ExternalJoin.execute(&mut snet, &cq).unwrap();
+        assert!(
+            ext.complete,
+            "external ARQ retry budget exhausted at p = {p}"
+        );
+        assert!(
+            ext.result.same_result(&clean_ext.result),
+            "external result diverged at p = {p}"
+        );
+        ext_cost.push(ext.stats.total_cost_bytes());
+
+        snet.net_mut()
+            .set_channel(Some(Channel::bernoulli(p, salt.wrapping_add(2))));
+        let re = execute_with_reexecution(
+            &SensJoin::default(),
+            &mut snet,
+            &cq,
+            MAX_REEXECUTION_ATTEMPTS,
+        )
+        .unwrap();
+        re_cost.push(re.outcome.stats.total_cost_bytes());
+        re_attempts.push(re.attempts);
+    }
+
+    // Gates.
+    assert_eq!(
+        sj_cost[0],
+        clean_sj.stats.total_tx_bytes(),
+        "p = 0 must be byte-identical to the lossless run"
+    );
+    let idx10 = RATES.iter().position(|&p| p == 0.1).unwrap();
+    let gate = sj_cost[idx10] as f64 / re_cost[idx10] as f64;
+    assert!(
+        gate <= 0.6,
+        "gate violated: ARQ / re-execution at p = 0.1 is {gate:.3} > 0.6"
+    );
+
+    // Timing: one full SENS-Join + ARQ execution per loss rate.
+    {
+        let mut bg = criterion.benchmark_group("error_tolerance");
+        for &p in &RATES {
+            bg.bench_with_input(
+                BenchmarkId::new("sensjoin_arq", format!("{p}")),
+                &p,
+                |b, &p| {
+                    b.iter_custom(|iters| {
+                        snet.net_mut().set_arq(ARQ);
+                        snet.net_mut()
+                            .set_channel(Some(Channel::bernoulli(p, SEED)));
+                        let start = Instant::now();
+                        for _ in 0..iters {
+                            black_box(SensJoin::default().execute(&mut snet, &cq).unwrap());
+                        }
+                        start.elapsed()
+                    })
+                },
+            );
+        }
+        bg.finish();
+    }
+    snet.net_mut().set_channel(None);
+
+    let fmt_map = |vals: &[String]| format!("{{\n{}\n  }}", vals.join(",\n"));
+    let mut sj_lines = Vec::new();
+    let mut ext_lines = Vec::new();
+    let mut re_lines = Vec::new();
+    let mut attempt_lines = Vec::new();
+    for (i, &p) in RATES.iter().enumerate() {
+        println!(
+            "error_tolerance: p={p} → SENS+ARQ {} B, external+ARQ {} B, \
+             re-execution {} B ({} attempts)",
+            sj_cost[i], ext_cost[i], re_cost[i], re_attempts[i]
+        );
+        sj_lines.push(format!("    \"{p}\": {}", sj_cost[i]));
+        ext_lines.push(format!("    \"{p}\": {}", ext_cost[i]));
+        re_lines.push(format!("    \"{p}\": {}", re_cost[i]));
+        attempt_lines.push(format!("    \"{p}\": {}", re_attempts[i]));
+    }
+    let results = criterion.results().to_vec();
+    let extras = [
+        ("nodes", format!("{NODES}")),
+        ("arq", "\"ack+retransmit, 16 retries\"".to_string()),
+        (
+            "lossless_bytes",
+            format!("{}", clean_sj.stats.total_tx_bytes()),
+        ),
+        ("sensjoin_arq_cost_bytes", fmt_map(&sj_lines)),
+        ("external_arq_cost_bytes", fmt_map(&ext_lines)),
+        ("reexecution_cost_bytes", fmt_map(&re_lines)),
+        ("reexecution_attempts", fmt_map(&attempt_lines)),
+        ("arq_over_reexecution_p10", format!("{gate:.3}")),
+        (
+            "gate",
+            "\"arq_over_reexecution_p10 <= 0.6 and p=0 byte-identical to lossless\"".to_string(),
+        ),
+    ];
+    benchjson::merge_section(
+        "error_tolerance",
+        &benchjson::section_value(&results, &extras),
+    );
+}

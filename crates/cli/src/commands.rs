@@ -4,13 +4,13 @@ use crate::args::Args;
 use crate::csvdata;
 use sensjoin_core::workload::RangeQueryFamily;
 use sensjoin_core::{
-    CostModel, ExternalJoin, GroupRunner, JoinMethod, JoinOutcome, JoinResult, MediatedJoin,
-    SensJoin, SensJoinConfig, SensorNetwork, SensorNetworkBuilder,
+    ContinuousSensJoin, CostModel, ExternalJoin, GroupRunner, JoinMethod, JoinOutcome, JoinResult,
+    MediatedJoin, SensJoin, SensJoinConfig, SensorNetwork, SensorNetworkBuilder,
 };
 use sensjoin_field::{presets, Area, FieldSpec, Placement};
 use sensjoin_query::parse;
 use sensjoin_relation::NodeId;
-use sensjoin_sim::BaseChoice;
+use sensjoin_sim::{ArqPolicy, BaseChoice, Channel};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
@@ -23,6 +23,7 @@ USAGE:
   sensjoin sweep                     selectivity sweep (SENS vs external)
   sensjoin advise --sql ... --fraction F   cost-model method advice
   sensjoin multi \"SQL1\" \"SQL2\" ...    concurrent queries, shared collection
+  sensjoin continuous --sql \"... SAMPLE PERIOD n\"   delta rounds of one query
 
 COMMON OPTIONS:
   --data FILE      load a trace CSV (x,y,attrs...) instead of generating
@@ -31,6 +32,14 @@ COMMON OPTIONS:
   --seed  S        placement/data seed               [default: 1]
   --base  POS      base station: corner|center       [default: corner]
   --fields PRESET  indoor|outdoor|uncorrelated       [default: indoor]
+
+CHANNEL OPTIONS (run, multi, continuous):
+  --loss P         per-packet loss probability 0..1  [default: 0 = lossless]
+  --burst L        mean loss-burst length (packets): Gilbert-Elliott channel
+                   instead of independent (Bernoulli) losses
+  --arq POLICY     none|ack|summary                  [default: ack when lossy]
+  --retries R      ARQ retry / repair-round budget   [default: 3]
+  --loss-seed S    channel randomness seed           [default: 7]
 
 run/shell OPTIONS:
   --sql QUERY      the join query (run only)
@@ -43,6 +52,10 @@ multi OPTIONS (queries are positional arguments):
   --epochs E       number of sample epochs to run    [default: 4]
   --every L        comma list of per-query periods in epochs [default: 1]
   --period S       epoch period in seconds           [default: 30]
+
+continuous OPTIONS:
+  --rounds R       number of rounds to run           [default: 4]
+  --epsilon E      value-drift suppression threshold [default: 0 = exact]
 ";
 
 /// Dispatches a parsed command line; returns the process exit code.
@@ -54,6 +67,7 @@ pub fn dispatch(args: &Args) -> i32 {
         Some("topology") => cmd_topology(args),
         Some("sweep") => cmd_sweep(args),
         Some("multi") => cmd_multi(args),
+        Some("continuous") => cmd_continuous(args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -111,6 +125,51 @@ fn build_network(args: &Args) -> Result<SensorNetwork, String> {
     builder.build().map_err(|e| e.to_string())
 }
 
+/// Options shared by every subcommand that can run over a lossy channel.
+const CHANNEL_OPTS: &[&str] = &["loss", "burst", "arq", "retries", "loss-seed"];
+
+/// Attaches the channel / ARQ configuration from `--loss`, `--burst`,
+/// `--arq`, `--retries` and `--loss-seed` to the network.
+fn apply_channel(args: &Args, snet: &mut SensorNetwork) -> Result<(), String> {
+    let p: f64 = args
+        .get_or("loss", 0.0, "probability")
+        .map_err(|e| e.to_string())?;
+    if !(0.0..1.0).contains(&p) {
+        return Err("--loss must be in [0, 1)".into());
+    }
+    let seed: u64 = args
+        .get_or("loss-seed", 7, "integer")
+        .map_err(|e| e.to_string())?;
+    let retries: u32 = args
+        .get_or("retries", 3, "integer")
+        .map_err(|e| e.to_string())?;
+    let arq = match args
+        .get_str("arq")
+        .unwrap_or(if p > 0.0 { "ack" } else { "none" })
+    {
+        "none" => ArqPolicy::None,
+        "ack" => ArqPolicy::AckRetransmit {
+            max_retries: retries,
+        },
+        "summary" => ArqPolicy::SummaryRepair {
+            max_rounds: retries,
+        },
+        other => return Err(format!("bad --arq {other:?} (none|ack|summary)")),
+    };
+    if p > 0.0 {
+        let channel = match args.get_str("burst") {
+            Some(b) => {
+                let burst: f64 = b.parse().map_err(|_| format!("bad --burst {b:?}"))?;
+                Channel::gilbert_elliott(p, burst, seed)
+            }
+            None => Channel::bernoulli(p, seed),
+        };
+        snet.net_mut().set_channel(Some(channel));
+    }
+    snet.net_mut().set_arq(arq);
+    Ok(())
+}
+
 fn field_specs(args: &Args) -> Result<Vec<FieldSpec>, String> {
     Ok(match args.get_str("fields").unwrap_or("indoor") {
         "indoor" => presets::indoor_climate(),
@@ -121,10 +180,11 @@ fn field_specs(args: &Args) -> Result<Vec<FieldSpec>, String> {
 }
 
 fn cmd_multi(args: &Args) -> Result<(), String> {
-    args.ensure_known(&[
+    let mut known = vec![
         "nodes", "area", "seed", "base", "fields", "epochs", "every", "period", "data",
-    ])
-    .map_err(|e| e.to_string())?;
+    ];
+    known.extend_from_slice(CHANNEL_OPTS);
+    args.ensure_known(&known).map_err(|e| e.to_string())?;
     if args.positional.is_empty() {
         return Err("multi needs one or more SQL queries as positional arguments".into());
     }
@@ -159,6 +219,7 @@ fn cmd_multi(args: &Args) -> Result<(), String> {
         }
     };
     let mut snet = build_network(args)?;
+    apply_channel(args, &mut snet)?;
     // A loaded trace is a fixed snapshot; only generated fields drift.
     let specs = if args.get_str("data").is_some() {
         Vec::new()
@@ -196,14 +257,73 @@ fn cmd_multi(args: &Args) -> Result<(), String> {
             .iter()
             .map(|o| format!("q{}:{}", o.id.0, o.result.len()))
             .collect();
+        let marker = if r.complete { "" } else { "  [INCOMPLETE]" };
         println!(
-            "{:>5} {:>4} {:>12} {:>12} {:>7.1}%  {}",
+            "{:>5} {:>4} {:>12} {:>12} {:>7.1}%  {}{marker}",
             r.epoch,
             r.outcomes.len(),
             shared,
             unshared,
             saving,
             rows.join(" ")
+        );
+    }
+    Ok(())
+}
+
+fn cmd_continuous(args: &Args) -> Result<(), String> {
+    let mut known = vec![
+        "nodes", "area", "seed", "base", "fields", "sql", "rounds", "epsilon", "data",
+    ];
+    known.extend_from_slice(CHANNEL_OPTS);
+    args.ensure_known(&known).map_err(|e| e.to_string())?;
+    let sql = args
+        .get_str("sql")
+        .ok_or("continuous needs --sql \"SELECT ... SAMPLE PERIOD n\"")?
+        .to_owned();
+    let rounds: u64 = args
+        .get_or("rounds", 4, "integer")
+        .map_err(|e| e.to_string())?;
+    let epsilon: f64 = args
+        .get_or("epsilon", 0.0, "number")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 1, "integer")
+        .map_err(|e| e.to_string())?;
+    let mut snet = build_network(args)?;
+    apply_channel(args, &mut snet)?;
+    // A loaded trace is a fixed snapshot; only generated fields drift.
+    let specs = if args.get_str("data").is_some() {
+        Vec::new()
+    } else {
+        field_specs(args)?
+    };
+    let q = parse(&sql).map_err(|e| e.to_string())?;
+    let cq = snet.compile(&q).map_err(|e| e.to_string())?;
+    let mut cont = ContinuousSensJoin::with_epsilon(epsilon);
+    println!(
+        "network: {} nodes, {} rounds, epsilon {epsilon}",
+        snet.len(),
+        rounds
+    );
+    println!(
+        "\n{:>5} {:>6} {:>10} {:>9} {:>10}",
+        "round", "rows", "bytes", "retx", "overhead"
+    );
+    for r in 0..rounds {
+        if r > 0 && !specs.is_empty() {
+            snet.resample(&specs, seed.wrapping_add(r));
+        }
+        let out = cont
+            .execute_round(&mut snet, &cq)
+            .map_err(|e| e.to_string())?;
+        let marker = if out.complete { "" } else { "  [INCOMPLETE]" };
+        println!(
+            "{r:>5} {:>6} {:>10} {:>9} {:>10}{marker}",
+            out.result.len(),
+            out.stats.total_tx_bytes(),
+            out.stats.total_retx_packets(),
+            out.stats.total_overhead_bytes()
         );
     }
     Ok(())
@@ -301,23 +421,46 @@ fn execute_and_print(snet: &mut SensorNetwork, sql: &str, methods: &str) -> Resu
             }
         }
     }
-    println!(
-        "\n{:<12} {:>9} {:>10} {:>12} {:>10}",
-        "method", "packets", "bytes", "energy [mJ]", "time [ms]"
-    );
-    for (name, out) in &outcomes {
+    let lossy = snet.net().lossy();
+    if lossy {
         println!(
-            "{:<12} {:>9} {:>10} {:>12.1} {:>10.0}",
-            name,
-            out.stats.total_tx_packets(),
-            out.stats.total_tx_bytes(),
-            out.stats.total_energy_uj() / 1000.0,
-            out.latency_us as f64 / 1000.0
+            "\n{:<12} {:>9} {:>10} {:>9} {:>10} {:>12} {:>10}",
+            "method", "packets", "bytes", "retx", "overhead", "energy [mJ]", "time [ms]"
+        );
+    } else {
+        println!(
+            "\n{:<12} {:>9} {:>10} {:>12} {:>10}",
+            "method", "packets", "bytes", "energy [mJ]", "time [ms]"
         );
     }
-    // Cross-check.
+    for (name, out) in &outcomes {
+        let marker = if out.complete { "" } else { "  [INCOMPLETE]" };
+        if lossy {
+            println!(
+                "{:<12} {:>9} {:>10} {:>9} {:>10} {:>12.1} {:>10.0}{marker}",
+                name,
+                out.stats.total_tx_packets(),
+                out.stats.total_tx_bytes(),
+                out.stats.total_retx_packets(),
+                out.stats.total_overhead_bytes(),
+                out.stats.total_energy_uj() / 1000.0,
+                out.latency_us as f64 / 1000.0
+            );
+        } else {
+            println!(
+                "{:<12} {:>9} {:>10} {:>12.1} {:>10.0}{marker}",
+                name,
+                out.stats.total_tx_packets(),
+                out.stats.total_tx_bytes(),
+                out.stats.total_energy_uj() / 1000.0,
+                out.latency_us as f64 / 1000.0
+            );
+        }
+    }
+    // Cross-check. An incomplete execution lost result data by definition,
+    // so only complete outcomes must agree.
     for (name, out) in &outcomes[1..] {
-        if !out.result.same_result(&first.result) {
+        if first.complete && out.complete && !out.result.same_result(&first.result) {
             return Err(format!("method {name} produced a different result — bug!"));
         }
     }
@@ -325,10 +468,11 @@ fn execute_and_print(snet: &mut SensorNetwork, sql: &str, methods: &str) -> Resu
 }
 
 fn cmd_run(args: &Args) -> Result<(), String> {
-    args.ensure_known(&[
+    let mut known = vec![
         "nodes", "area", "seed", "base", "fields", "sql", "method", "trace", "data",
-    ])
-    .map_err(|e| e.to_string())?;
+    ];
+    known.extend_from_slice(CHANNEL_OPTS);
+    args.ensure_known(&known).map_err(|e| e.to_string())?;
     let sql = args
         .get_str("sql")
         .ok_or("run needs --sql \"SELECT ...\"")?
@@ -339,12 +483,23 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         return Err("--trace needs a single --method (the trace covers one execution)".into());
     }
     let mut snet = build_network(args)?;
+    apply_channel(args, &mut snet)?;
     println!(
         "network: {} nodes, tree depth {}, base {}",
         snet.len(),
         snet.net().routing().max_depth(),
         snet.base()
     );
+    if snet.net().lossy() {
+        println!(
+            "channel: loss {:.1} %, arq {:?}",
+            100.0
+                * args
+                    .get_or("loss", 0.0, "probability")
+                    .map_err(|e| e.to_string())?,
+            snet.net().arq()
+        );
+    }
     if trace_path.is_some() {
         snet.net_mut().set_tracing(true);
     }
@@ -610,7 +765,7 @@ mod tests {
             .insert("trace".into(), path.to_str().unwrap().to_owned());
         assert_eq!(dispatch(&a), 0);
         let csv = std::fs::read_to_string(&path).unwrap();
-        assert!(csv.starts_with("seq,phase,from,to,bytes,packets\n"));
+        assert!(csv.starts_with("seq,phase,from,to,bytes,packets,retransmissions,acked\n"));
         assert!(csv.lines().count() > 10);
         // --trace with --method all is ambiguous.
         let mut bad = args("run --nodes 50 --method all --trace /tmp/x.csv");
@@ -645,5 +800,58 @@ mod tests {
         assert_ne!(dispatch(&args("run --bogus 1")), 0);
         assert_ne!(dispatch(&args("topology --base nowhere")), 0);
         assert_ne!(dispatch(&args("topology --fields lava")), 0);
+    }
+
+    #[test]
+    fn lossy_run_with_arq() {
+        let mut a = args("run --nodes 60 --seed 3 --method sens --loss 0.05 --retries 8");
+        a.options.insert(
+            "sql".into(),
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 4.0 ONCE"
+                .into(),
+        );
+        assert_eq!(dispatch(&a), 0);
+        // Bursty variant with summary-and-repair.
+        let mut b = args(
+            "run --nodes 60 --seed 3 --method sens --loss 0.05 --burst 4 \
+             --arq summary --retries 8",
+        );
+        b.options.insert(
+            "sql".into(),
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 4.0 ONCE"
+                .into(),
+        );
+        assert_eq!(dispatch(&b), 0);
+        // Bad channel parameters are rejected.
+        assert_ne!(dispatch(&args("run --nodes 50 --loss 1.5 --sql x")), 0);
+        assert_ne!(
+            dispatch(&args("run --nodes 50 --loss 0.1 --arq wishful --sql x")),
+            0
+        );
+    }
+
+    #[test]
+    fn continuous_runs_rounds() {
+        let mut a = args("continuous --nodes 60 --seed 5 --rounds 3");
+        a.options.insert(
+            "sql".into(),
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 3.0 SAMPLE PERIOD 30"
+                .into(),
+        );
+        assert_eq!(dispatch(&a), 0);
+        // Lossy continuous rounds with the default ack ARQ.
+        let mut b = args("continuous --nodes 60 --seed 5 --rounds 3 --loss 0.05 --retries 8");
+        b.options.insert(
+            "sql".into(),
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 3.0 SAMPLE PERIOD 30"
+                .into(),
+        );
+        assert_eq!(dispatch(&b), 0);
+        // Missing --sql is an error.
+        assert_ne!(dispatch(&args("continuous --nodes 50")), 0);
     }
 }

@@ -109,12 +109,13 @@ impl JoinMethod for MediatedJoin {
                 latency_us: 0,
                 latency_slotted_us: 0,
                 contributors: Default::default(),
+                complete: true,
             });
         }
         let mediator = Self::pick_mediator(snet, &members);
         // Collection tree rooted at the mediator.
         let tree = RoutingTree::build(snet.net().topology(), mediator);
-        let (batch, t_collect) = up_wave_on(
+        let (batch, rep_collect) = up_wave_on(
             snet.net_mut(),
             &tree,
             &|_| true,
@@ -162,6 +163,7 @@ impl JoinMethod for MediatedJoin {
             JoinResult::Aggregate(_) => row_bytes,
         };
         let mut t_ship = 0;
+        let mut shipped = true;
         if mediator != base && result_bytes > 0 {
             // Path in the base-rooted tree's topology: BFS from the mediator
             // tree is not towards the base, so use the base tree's path.
@@ -171,17 +173,24 @@ impl JoinMethod for MediatedJoin {
                 .path_to_base(mediator)
                 .expect("mediator reaches the base station");
             for hop in path.windows(2) {
-                t_ship +=
-                    snet.net_mut()
-                        .unicast(hop[0], hop[1], result_bytes, PHASE_MEDIATED_RESULT);
+                let d = snet.net_mut().unicast_delivery(
+                    hop[0],
+                    hop[1],
+                    result_bytes,
+                    PHASE_MEDIATED_RESULT,
+                );
+                t_ship += d.time;
+                // A result batch dropped on any hop never reaches the base.
+                shipped &= d.complete;
             }
         }
         Ok(JoinOutcome {
             result: computation.result,
             stats: snet.net().stats().clone(),
-            latency_us: t_collect.pipelined + t_ship,
-            latency_slotted_us: t_collect.slotted + t_ship,
+            latency_us: rep_collect.timing.pipelined + t_ship,
+            latency_slotted_us: rep_collect.timing.slotted + t_ship,
             contributors: computation.contributors,
+            complete: rep_collect.damaged.is_empty() && shipped,
         })
     }
 }

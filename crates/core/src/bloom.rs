@@ -26,7 +26,7 @@ use crate::engine::{exact_join, JoinSpace};
 use crate::outcome::{JoinOutcome, ProtocolError};
 use crate::repr::{collect_node_data, project_to_schema, FullRec};
 use crate::snetwork::SensorNetwork;
-use crate::wave::{down_wave, up_wave};
+use crate::wave::{down_wave, up_wave, DownArrival};
 use crate::JoinMethod;
 use sensjoin_query::{CExpr, CmpOp, CompiledQuery};
 use sensjoin_relation::NodeId;
@@ -208,7 +208,7 @@ impl JoinMethod for BloomSemiJoin {
         let flag_b = space.flag(1);
 
         // ---- Phase 1: OR-aggregate one filter per relation up the tree ----
-        let (pair, t1) = up_wave(
+        let (pair, rep1) = up_wave(
             snet.net_mut(),
             &|_| true,
             |v, received: Vec<BloomPair>| {
@@ -234,33 +234,45 @@ impl JoinMethod for BloomSemiJoin {
             PHASE_BLOOM_COLLECTION,
         );
 
+        // If any collection message was lost, the base's filters miss keys
+        // and could wrongly prune true matches: degrade to pass-through
+        // (exactly like SENS-Join's conservative fallback).
+        let collection_damaged = !rep1.damaged.is_empty();
+
         // ---- Phase 2: flood both filters (no pruning possible) ----
         let flood = BloomPair {
             a: pair.a,
             b: pair.b,
         };
         let mut node_seen: Vec<bool> = vec![false; snet.len()];
+        // Nodes whose flood copy was lost have no filter and must ship
+        // everything.
+        let mut node_flooded: Vec<bool> = vec![false; snet.len()];
         let pair_size = flood.a.wire_size() + flood.b.wire_size();
-        struct FloodMsg;
-        impl Clone for FloodMsg {
-            fn clone(&self) -> Self {
-                FloodMsg
-            }
-        }
-        let t2 = down_wave(
+        // `true` = the message carries the real filter pair; `false` = the
+        // sender's own copy was lost, so only a (cheap) "no filter" marker
+        // travels and the receiver must pass everything through too.
+        type FloodMsg = bool;
+        let rep2 = down_wave(
             snet.net_mut(),
             &|_| true,
-            |v, _received: Option<&FloodMsg>| {
+            |v, arrival: DownArrival<'_, FloodMsg>| {
                 node_seen[v.0 as usize] = true;
-                Some(FloodMsg)
+                let have = match arrival {
+                    DownArrival::Origin => true,
+                    DownArrival::Intact(&have) => have,
+                    DownArrival::Damaged => false,
+                };
+                node_flooded[v.0 as usize] = have;
+                Some(have)
             },
-            |_| pair_size,
+            |&have| if have { pair_size } else { 1 },
             PHASE_BLOOM_FLOOD,
         );
 
         // ---- Phase 3: semi-join check against the *other* side ----
         let base = snet.base();
-        let (batch, t3) = up_wave(
+        let (batch, rep3) = up_wave(
             snet.net_mut(),
             &|_| true,
             |v, received: Vec<Batch>| {
@@ -271,7 +283,9 @@ impl JoinMethod for BloomSemiJoin {
                     tuples.append(&mut b.tuples);
                 }
                 if let Some(rec) = &data[v.0 as usize].rec {
-                    let survives = (rec.flags.intersects(flag_a) && flood.b.contains(rec.z))
+                    let survives = collection_damaged
+                        || !node_flooded[v.0 as usize]
+                        || (rec.flags.intersects(flag_a) && flood.b.contains(rec.z))
                         || (rec.flags.intersects(flag_b) && flood.a.contains(rec.z));
                     if survives {
                         if v != base {
@@ -308,9 +322,10 @@ impl JoinMethod for BloomSemiJoin {
         Ok(JoinOutcome {
             result: computation.result,
             stats: snet.net().stats().clone(),
-            latency_us: t1.then(t2).then(t3).pipelined,
-            latency_slotted_us: t1.then(t2).then(t3).slotted,
+            latency_us: rep1.timing.then(rep2.timing).then(rep3.timing).pipelined,
+            latency_slotted_us: rep1.timing.then(rep2.timing).then(rep3.timing).slotted,
             contributors: computation.contributors,
+            complete: rep3.damaged.is_empty(),
         })
     }
 }

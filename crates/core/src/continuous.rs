@@ -37,7 +37,11 @@ use crate::incremental::{CellCounts, FilterEngine};
 use crate::outcome::{JoinOutcome, ProtocolError};
 use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg};
 use crate::snetwork::SensorNetwork;
-use crate::wave::{down_wave, up_wave};
+use crate::wave::{down_wave, up_wave, DownArrival};
+
+/// Maximum number of times a continuous round is (re-)executed when data
+/// loss survives the ARQ budget (first attempt included).
+pub const MAX_ROUND_ATTEMPTS: u32 = 3;
 use sensjoin_quadtree::{Point, PointSet, RelFlags};
 use sensjoin_query::CompiledQuery;
 use sensjoin_relation::NodeId;
@@ -306,12 +310,43 @@ impl ContinuousSensJoin {
     }
 
     /// Executes one round on the network's current snapshot.
+    ///
+    /// On a lossy channel, a permanently lost delta (after the ARQ budget)
+    /// desynchronizes the distributed per-node state the incremental
+    /// protocol relies on. The recovery is the paper's §IV-F re-execution:
+    /// drop all state and re-run the round as a cold full collection, up to
+    /// [`MAX_ROUND_ATTEMPTS`] times. All attempts' traffic is charged to the
+    /// returned stats; `complete` is `false` only if even the last attempt
+    /// lost data.
     pub fn execute_round(
         &mut self,
         snet: &mut SensorNetwork,
         query: &CompiledQuery,
     ) -> Result<JoinOutcome, ProtocolError> {
         snet.net_mut().reset_stats();
+        let mut out = self.round_once(snet, query)?;
+        let mut attempts = 1;
+        while !out.complete && attempts < MAX_ROUND_ATTEMPTS {
+            attempts += 1;
+            // Resync: discard every node's delta baseline and the base's
+            // cache, then replay the round as a first (full) round.
+            self.state = None;
+            let prev = out;
+            out = self.round_once(snet, query)?;
+            // Re-execution is sequential: latencies add up. Stats are
+            // cumulative already (reset only happens above).
+            out.latency_us += prev.latency_us;
+            out.latency_slotted_us += prev.latency_slotted_us;
+        }
+        out.stats = snet.net_mut().take_stats();
+        Ok(out)
+    }
+
+    fn round_once(
+        &mut self,
+        snet: &mut SensorNetwork,
+        query: &CompiledQuery,
+    ) -> Result<JoinOutcome, ProtocolError> {
         let n = snet.len();
         if self.state.is_none() {
             let space = JoinSpace::build(query, snet, &self.config);
@@ -351,7 +386,7 @@ impl ContinuousSensJoin {
         // ---- Phase 1: delta collection ----
         let last_cell = &mut st.last_cell;
         let subtree = &mut st.subtree;
-        let (base_delta, t1) = up_wave(
+        let (base_delta, rep1) = up_wave(
             snet.net_mut(),
             &|_| true,
             |v, received: Vec<Delta>| {
@@ -420,16 +455,20 @@ impl ContinuousSensJoin {
         // ---- Phase 2: filter-delta dissemination ----
         let node_filter = &mut st.node_filter;
         let subtree = &st.subtree;
-        let t2 = down_wave(
+        let rep2 = down_wave(
             snet.net_mut(),
             &|_| true,
-            |v, received: Option<&FilterDelta>| {
-                let fd: &FilterDelta = match received {
-                    Some(fd) => {
+            |v, arrival: DownArrival<'_, FilterDelta>| {
+                let fd: &FilterDelta = match arrival {
+                    DownArrival::Intact(fd) => {
                         fd.apply(&mut node_filter[v.0 as usize]);
                         fd
                     }
-                    None => &full_delta, // base station originates
+                    DownArrival::Origin => &full_delta, // base station originates
+                    // The delta is gone and this node's filter view is now
+                    // stale; the round-level resync rebuilds everything, so
+                    // don't forward anything further.
+                    DownArrival::Damaged => return None,
                 };
                 if fd.is_empty() {
                     return None;
@@ -455,7 +494,7 @@ impl ContinuousSensJoin {
         let last_values = &mut st.last_values;
         let matched = &mut st.matched;
         let drift_attrs = &st.drift_attrs;
-        let (final_delta, t3) = up_wave(
+        let (final_delta, rep3) = up_wave(
             snet.net_mut(),
             &|_| true,
             |v, received: Vec<FinalDelta>| {
@@ -523,10 +562,15 @@ impl ContinuousSensJoin {
         st.rounds += 1;
         Ok(JoinOutcome {
             result: computation.result,
-            stats: snet.net_mut().take_stats(),
-            latency_us: t1.then(t2).then(t3).pipelined,
-            latency_slotted_us: t1.then(t2).then(t3).slotted,
+            // Cumulative since `execute_round` reset them; the wrapper
+            // replaces this with the final (all-attempt) numbers.
+            stats: snet.net().stats().clone(),
+            latency_us: rep1.timing.then(rep2.timing).then(rep3.timing).pipelined,
+            latency_slotted_us: rep1.timing.then(rep2.timing).then(rep3.timing).slotted,
             contributors: computation.contributors,
+            // Any lost delta (either direction) desynchronizes state; the
+            // wrapper resyncs by cold-restarting the round.
+            complete: rep1.damaged.is_empty() && rep2.damaged.is_empty() && rep3.damaged.is_empty(),
         })
     }
 }

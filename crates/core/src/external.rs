@@ -43,7 +43,7 @@ impl JoinMethod for ExternalJoin {
         let space = JoinSpace::build(query, snet, &SensJoinConfig::default());
         let data = collect_node_data(snet, query, &space);
 
-        let (base_batch, timing) = up_wave(
+        let (base_batch, rep) = up_wave(
             snet.net_mut(),
             &|_| true,
             |v, received: Vec<Batch>| {
@@ -84,9 +84,12 @@ impl JoinMethod for ExternalJoin {
         Ok(JoinOutcome {
             result: computation.result,
             stats: snet.net().stats().clone(),
-            latency_us: timing.pipelined,
-            latency_slotted_us: timing.slotted,
+            latency_us: rep.timing.pipelined,
+            latency_slotted_us: rep.timing.slotted,
             contributors: computation.contributors,
+            // The external join ships raw tuples: any permanent loss is a
+            // missing result row, so the single wave must arrive intact.
+            complete: rep.damaged.is_empty(),
         })
     }
 }

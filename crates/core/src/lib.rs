@@ -83,7 +83,8 @@ pub use bloom::{
 };
 pub use config::{QuantizationConfig, Representation, SensJoinConfig};
 pub use continuous::{
-    ContinuousSensJoin, PHASE_DELTA_COLLECTION, PHASE_FILTER_DELTA, PHASE_FINAL_DELTA,
+    ContinuousSensJoin, MAX_ROUND_ATTEMPTS, PHASE_DELTA_COLLECTION, PHASE_FILTER_DELTA,
+    PHASE_FINAL_DELTA,
 };
 pub use costmodel::{CostEstimate, CostModel, MethodChoice};
 pub use engine::{
@@ -93,11 +94,13 @@ pub use engine::{
 pub use external::ExternalJoin;
 pub use incremental::{CellCounts, FilterEngine};
 pub use outcome::{JoinOutcome, JoinResult, ProtocolError};
-pub use recovery::{execute_with_recovery, RecoveryOutcome};
+pub use recovery::{
+    execute_with_recovery, execute_with_reexecution, RecoveryOutcome, MAX_REEXECUTION_ATTEMPTS,
+};
 pub use repr::JoinAttrMsg;
 pub use scheduler::{
-    EpochReport, GroupOutcome, GroupRunner, QueryGroup, QueryId, SoloCost, PHASE_SHARED_COLLECTION,
-    PHASE_SHARED_FILTER, PHASE_SHARED_FINAL,
+    EpochReport, GroupOutcome, GroupRunner, QueryGroup, QueryId, SoloCost, MAX_EPOCH_ATTEMPTS,
+    PHASE_SHARED_COLLECTION, PHASE_SHARED_FILTER, PHASE_SHARED_FINAL,
 };
 pub use sensjoin::{SensJoin, PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL};
 pub use snetwork::{

@@ -88,6 +88,12 @@ pub struct JoinOutcome {
     /// Nodes whose tuples appear in at least one result row — the paper's
     /// "fraction of nodes that contribute to the result" numerator.
     pub contributors: BTreeSet<NodeId>,
+    /// Whether the result is guaranteed exact. `false` only when data-plane
+    /// traffic was permanently lost on a lossy channel in a way the
+    /// protocol's conservative fallbacks could not absorb (e.g. final-result
+    /// tuples dropped after the ARQ budget); always `true` on a lossless
+    /// network.
+    pub complete: bool,
 }
 
 impl JoinOutcome {

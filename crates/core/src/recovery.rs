@@ -16,7 +16,10 @@ use crate::outcome::{JoinOutcome, ProtocolError};
 use crate::snetwork::SensorNetwork;
 use crate::JoinMethod;
 use sensjoin_query::CompiledQuery;
-use sensjoin_sim::LinkFailures;
+use sensjoin_sim::{ArqPolicy, LinkFailures};
+
+/// Default attempt cap for [`execute_with_reexecution`].
+pub const MAX_REEXECUTION_ATTEMPTS: u32 = 5;
 
 /// Report of a recovered execution.
 #[derive(Debug, Clone)]
@@ -75,6 +78,57 @@ pub fn execute_with_recovery(
         outcome,
         attempts: 2,
         affected_links: affected,
+    })
+}
+
+/// The paper's §IV-F recipe applied to *per-packet* loss: no hop-by-hop
+/// reliability at all — "we simply re-execute the query" until one run gets
+/// everything through intact.
+///
+/// The network's ARQ policy is forced to [`ArqPolicy::None`] for the
+/// duration of the call (and restored afterwards); the channel stays
+/// whatever the caller configured. All attempts' traffic is merged into the
+/// returned statistics and their latencies add up — this is exactly the
+/// baseline cost the hop-by-hop ARQ policies are measured against. Attempts
+/// are capped at `max_attempts`; if even the last one loses data, the final
+/// outcome is returned with `complete = false`.
+pub fn execute_with_reexecution(
+    method: &dyn JoinMethod,
+    snet: &mut SensorNetwork,
+    query: &CompiledQuery,
+    max_attempts: u32,
+) -> Result<RecoveryOutcome, ProtocolError> {
+    assert!(max_attempts >= 1, "at least one attempt is needed");
+    let saved = snet.net().arq();
+    snet.net_mut().set_arq(ArqPolicy::None);
+    let mut attempts = 1;
+    let mut run = method.execute(snet, query);
+    if let Ok(outcome) = &mut run {
+        while !outcome.complete && attempts < max_attempts {
+            attempts += 1;
+            match method.execute(snet, query) {
+                Ok(retry) => {
+                    let mut stats = std::mem::take(&mut outcome.stats);
+                    stats.merge(&retry.stats);
+                    let prev_latency = outcome.latency_us;
+                    let prev_slotted = outcome.latency_slotted_us;
+                    *outcome = retry;
+                    outcome.stats = stats;
+                    outcome.latency_us += prev_latency;
+                    outcome.latency_slotted_us += prev_slotted;
+                }
+                Err(e) => {
+                    run = Err(e);
+                    break;
+                }
+            }
+        }
+    }
+    snet.net_mut().set_arq(saved);
+    Ok(RecoveryOutcome {
+        outcome: run?,
+        attempts,
+        affected_links: 0,
     })
 }
 
@@ -145,6 +199,31 @@ mod tests {
         // Wasted attempt charged: costlier than a clean run.
         let clean = SensJoin::default().execute(&mut s, &cq).unwrap();
         assert!(r.outcome.stats.total_tx_packets() > clean.stats.total_tx_packets());
+    }
+
+    #[test]
+    fn reexecution_restores_exactness_under_packet_loss() {
+        let mut s = SensorNetworkBuilder::new()
+            .area(Area::new(250.0, 250.0))
+            .placement(Placement::UniformRandom { n: 40 })
+            .seed(11)
+            .build()
+            .unwrap();
+        let cq = query(&s);
+        let reference = ExternalJoin.execute(&mut s, &cq).unwrap();
+        s.net_mut()
+            .set_channel(Some(sensjoin_sim::Channel::bernoulli(0.01, 99)));
+        let r = execute_with_reexecution(&SensJoin::default(), &mut s, &cq, 25).unwrap();
+        assert!(r.outcome.complete, "no clean run in 25 attempts");
+        assert!(r.outcome.result.same_result(&reference.result));
+        // The ARQ policy was restored.
+        assert_eq!(s.net().arq(), ArqPolicy::None);
+        if r.attempts > 1 {
+            // Wasted attempts were charged.
+            s.net_mut().set_channel(None);
+            let solo = SensJoin::default().execute(&mut s, &cq).unwrap();
+            assert!(r.outcome.stats.total_tx_bytes() > solo.stats.total_tx_bytes());
+        }
     }
 
     #[test]

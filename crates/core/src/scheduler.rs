@@ -33,7 +33,7 @@ use crate::incremental::{CellCounts, FilterEngine};
 use crate::outcome::{JoinResult, ProtocolError};
 use crate::repr::{collect_node_data, project_to_schema, JoinAttrMsg, NodeData};
 use crate::snetwork::SensorNetwork;
-use crate::wave::{down_wave, up_wave};
+use crate::wave::{down_wave, up_wave, DownArrival};
 use sensjoin_field::FieldSpec;
 use sensjoin_quadtree::PointSet;
 use sensjoin_query::CompiledQuery;
@@ -109,6 +109,10 @@ impl SoloCost {
     }
 }
 
+/// Maximum number of times an epoch is (re-)executed when data loss
+/// survives the ARQ budget (first attempt included).
+pub const MAX_EPOCH_ATTEMPTS: u32 = 3;
+
 /// Everything one epoch of a [`QueryGroup`] produces.
 #[derive(Debug, Clone)]
 pub struct EpochReport {
@@ -126,6 +130,10 @@ pub struct EpochReport {
     pub latency_slotted_us: Time,
     /// Per due query: the unshared byte cost of the same messages.
     pub solo_equivalent: Vec<SoloCost>,
+    /// Whether every due query's result is guaranteed exact. `false` only
+    /// when data loss survived both the ARQ budget and the epoch retry loop
+    /// (see [`MAX_EPOCH_ATTEMPTS`]); always `true` on a lossless network.
+    pub complete: bool,
 }
 
 impl EpochReport {
@@ -276,6 +284,14 @@ impl QueryGroup {
     /// Queries not due this epoch are untouched (their engines keep their
     /// state for their next due epoch); with no due query the epoch is a
     /// no-op that only advances the epoch counter.
+    ///
+    /// On a lossy channel, an epoch whose traffic was permanently damaged
+    /// (after the ARQ budget) is re-executed in place up to
+    /// [`MAX_EPOCH_ATTEMPTS`] times: the base's per-query populations and
+    /// engines stay consistent (the retry's presence delta simply tops up
+    /// whatever the damaged collection missed), so no state reset is needed.
+    /// All attempts' traffic is charged to the returned stats and
+    /// solo-equivalent costs.
     pub fn execute_epoch(
         &mut self,
         snet: &mut SensorNetwork,
@@ -289,9 +305,7 @@ impl QueryGroup {
                 r.alive && epoch >= r.offset && (epoch - r.offset).is_multiple_of(r.every)
             })
             .collect();
-        let k = due.len();
-        assert!(k <= 64, "query membership masks are 64-bit");
-        if k == 0 {
+        if due.is_empty() {
             return Ok(EpochReport {
                 epoch,
                 outcomes: Vec::new(),
@@ -299,9 +313,40 @@ impl QueryGroup {
                 latency_us: 0,
                 latency_slotted_us: 0,
                 solo_equivalent: Vec::new(),
+                complete: true,
             });
         }
+        let mut report = self.epoch_once(snet, epoch, &due)?;
+        let mut attempts = 1;
+        while !report.complete && attempts < MAX_EPOCH_ATTEMPTS {
+            attempts += 1;
+            let prev = report;
+            report = self.epoch_once(snet, epoch, &due)?;
+            // Re-execution is sequential, and a solo execution would have
+            // had to retry too: latencies and solo costs accumulate.
+            report.latency_us += prev.latency_us;
+            report.latency_slotted_us += prev.latency_slotted_us;
+            for (a, b) in report.solo_equivalent.iter_mut().zip(&prev.solo_equivalent) {
+                a.collection_bytes += b.collection_bytes;
+                a.filter_bytes += b.filter_bytes;
+                a.final_bytes += b.final_bytes;
+            }
+        }
+        report.stats = snet.net().stats().clone();
+        Ok(report)
+    }
 
+    /// One attempt of an epoch over the due slots (shared collection,
+    /// fan-out, merged dissemination, shared final).
+    fn epoch_once(
+        &mut self,
+        snet: &mut SensorNetwork,
+        epoch: u64,
+        due: &[usize],
+    ) -> Result<EpochReport, ProtocolError> {
+        let due = due.to_vec();
+        let k = due.len();
+        assert!(k <= 64, "query membership masks are 64-bit");
         let cfg = self.config.clone();
         let base = snet.base();
         let n = snet.len();
@@ -380,7 +425,7 @@ impl QueryGroup {
         // decided on the union tuple size, so a subtree cheap for *all*
         // queries together exits the epoch entirely.
         let solo_collection: RefCell<Vec<u64>> = RefCell::new(vec![0; k]);
-        let (base_msg, t1) = up_wave(
+        let (base_msg, rep1) = up_wave(
             snet.net_mut(),
             &|_| true,
             |v, received: Vec<GroupUp>| {
@@ -516,17 +561,21 @@ impl QueryGroup {
         let participates = move |v: NodeId| active[v.0 as usize];
         let selective = cfg.selective_forwarding;
         let solo_filter: RefCell<Vec<u64>> = RefCell::new(vec![0; k]);
-        let t2 = down_wave(
+        let rep2 = down_wave(
             snet.net_mut(),
             &participates,
-            |v, received: Option<&Vec<Option<PointSet>>>| {
+            |v, arrival: DownArrival<'_, Vec<Option<PointSet>>>| {
                 let st = &mut states[v.0 as usize];
-                let incoming: Vec<Option<&PointSet>> = match received {
-                    Some(f) => {
+                let incoming: Vec<Option<&PointSet>> = match arrival {
+                    DownArrival::Intact(f) => {
                         st.received = f.clone();
                         f.iter().map(|o| o.as_ref()).collect()
                     }
-                    None => filters.iter().map(Some).collect(), // base originates
+                    DownArrival::Origin => filters.iter().map(Some).collect(),
+                    // The merged filter frame is gone; this node (and its
+                    // subtree) has no usable filter view. The epoch-level
+                    // retry re-runs the whole epoch, so stop forwarding.
+                    DownArrival::Damaged => return None,
                 };
                 let mut out: Vec<Option<PointSet>> = vec![None; k];
                 for (s, inc) in incoming.into_iter().enumerate() {
@@ -575,7 +624,7 @@ impl QueryGroup {
         let active2: Vec<bool> = states.iter().map(|s| s.active).collect();
         let participates3 = move |v: NodeId| active2[v.0 as usize];
         let solo_final: RefCell<Vec<u64>> = RefCell::new(vec![0; k]);
-        let (final_batch, t3) = up_wave(
+        let (final_batch, rep3) = up_wave(
             snet.net_mut(),
             &participates3,
             |v, received: Vec<GBatch>| {
@@ -679,10 +728,16 @@ impl QueryGroup {
         Ok(EpochReport {
             epoch,
             outcomes,
+            // Cumulative since `execute_epoch` reset them; the wrapper
+            // replaces this with the final (all-attempt) numbers.
             stats: snet.net().stats().clone(),
-            latency_us: t1.then(t2).then(t3).pipelined,
-            latency_slotted_us: t1.then(t2).then(t3).slotted,
+            latency_us: rep1.timing.then(rep2.timing).then(rep3.timing).pipelined,
+            latency_slotted_us: rep1.timing.then(rep2.timing).then(rep3.timing).slotted,
             solo_equivalent: solo,
+            // A shared epoch has no per-subtree fallback: any lost frame can
+            // starve several queries at once, so damage anywhere voids the
+            // attempt and triggers the retry loop above.
+            complete: rep1.damaged.is_empty() && rep2.damaged.is_empty() && rep3.damaged.is_empty(),
         })
     }
 }

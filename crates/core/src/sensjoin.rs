@@ -5,7 +5,7 @@ use crate::engine::{exact_join, prejoin_filter, JoinSpace};
 use crate::outcome::{JoinOutcome, ProtocolError};
 use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg};
 use crate::snetwork::SensorNetwork;
-use crate::wave::{down_wave, up_wave};
+use crate::wave::{down_wave, up_wave, DownArrival};
 use crate::JoinMethod;
 use sensjoin_quadtree::PointSet;
 use sensjoin_query::CompiledQuery;
@@ -61,6 +61,19 @@ struct Batch {
     bytes: usize,
 }
 
+/// Filter-dissemination message. On a lossless network only the `Filter`
+/// variant occurs and it costs exactly the filter's wire size; on a lossy
+/// network every filter message carries a one-byte tag so that a
+/// conservative `PassThrough` order (ship everything, prune nothing) can be
+/// disseminated after collection-phase damage.
+#[derive(Clone)]
+enum FilterMsg {
+    /// The (possibly subtree-pruned) join filter.
+    Filter(PointSet),
+    /// Conservative fallback: treat every tuple as potentially joining.
+    PassThrough,
+}
+
 /// Per-node protocol state surviving between phases.
 #[derive(Default)]
 struct NodeState {
@@ -71,6 +84,15 @@ struct NodeState {
     proxy: Vec<FullRec>,
     /// The node's own tuple (if it contributes).
     own: Option<FullRec>,
+    /// Treecut handoff retained while the lossy channel can still eat the
+    /// message: `(own, proxied)` as handed to the parent. Restored into
+    /// `own`/`proxy` if the handoff is reported damaged, so the data
+    /// survives at exactly one place.
+    kept: Option<(Option<FullRec>, Vec<FullRec>)>,
+    /// Conservative mode: the node lost protocol state to the channel
+    /// (collection handoff or filter copy) and must ship every tuple in the
+    /// final phase rather than risk dropping a real result.
+    passthrough: bool,
     /// Join-attribute tuples of the subtree, memorized during collection for
     /// Selective Filter Forwarding (`None` if over the memory cap).
     subtree_atts: Option<PointSet>,
@@ -104,8 +126,9 @@ impl JoinMethod for SensJoin {
         let repr = cfg.representation;
 
         // ---- Phase 1: Join-Attribute-Collection (Fig. 2) ----
+        let lossy = snet.net().lossy();
         let shape = space.shape().clone();
-        let (base_msg, t1) = up_wave(
+        let (base_msg, rep1) = up_wave(
             snet.net_mut(),
             &|_| true,
             |v, received: Vec<UpMsg>| {
@@ -129,7 +152,14 @@ impl JoinMethod for SensJoin {
                     && full_bytes + own_bytes <= cfg.dmax;
                 if treecut {
                     // Hand the complete tuples to the parent and exit the
-                    // query (Fig. 2 lines 14-18).
+                    // query (Fig. 2 lines 14-18). Over a lossy channel the
+                    // node keeps a copy of the handoff until the phase ends:
+                    // if the message is reported damaged the node re-enters
+                    // the query as the tuples' proxy (otherwise the data
+                    // would exist nowhere).
+                    if lossy {
+                        states[v.0 as usize].kept = Some((own.clone(), fulls.clone()));
+                    }
                     if let Some(rec) = own {
                         fulls.push(rec);
                     }
@@ -180,6 +210,39 @@ impl JoinMethod for SensJoin {
             PHASE_COLLECTION,
         );
 
+        // ---- Collection-damage fallback ----
+        // A node whose collection message was permanently lost re-enters
+        // the query in pass-through mode (its handoff is restored if it had
+        // treecut), and its ancestor chain is re-activated so the
+        // participant set stays root-closed. Because the base's view of the
+        // join attributes is now incomplete, *any* filter it computed could
+        // wrongly prune other subtrees — the dissemination phase therefore
+        // degrades to an explicit conservative PassThrough order for
+        // everyone (results stay exact; only the filter savings are lost).
+        let collection_damaged = !rep1.damaged.is_empty();
+        if collection_damaged {
+            let routing = snet.net().routing().clone();
+            for &v in &rep1.damaged {
+                let st = &mut states[v.0 as usize];
+                st.active = true;
+                st.passthrough = true;
+                if let Some((own, proxy)) = st.kept.take() {
+                    st.own = own;
+                    st.proxy = proxy;
+                }
+                let mut u = v;
+                while let Some(p) = routing.parent(u) {
+                    if states[p.0 as usize].active {
+                        break;
+                    }
+                    // Re-activated relays only forward; their own data went
+                    // up in their (intact) handoff and must not ship twice.
+                    states[p.0 as usize].active = true;
+                    u = p;
+                }
+            }
+        }
+
         // ---- Base station: conservative pre-join (step 1a) ----
         let points = match base_msg {
             UpMsg::Attrs(ja) => ja.set,
@@ -191,41 +254,66 @@ impl JoinMethod for SensJoin {
         let active: Vec<bool> = states.iter().map(|s| s.active).collect();
         let participates = move |v: NodeId| active[v.0 as usize];
         let selective = cfg.selective_forwarding;
-        let t2 = down_wave(
+        // On a lossy network every filter message carries a one-byte tag to
+        // distinguish a real filter from a PassThrough order; lossless runs
+        // stay byte-identical to the pre-channel protocol.
+        let tag = usize::from(lossy);
+        let rep2 = down_wave(
             snet.net_mut(),
             &participates,
-            |v, received: Option<&PointSet>| {
+            |v, arrival: DownArrival<'_, FilterMsg>| {
                 let st = &mut states[v.0 as usize];
-                let incoming: &PointSet = match received {
-                    Some(f) => {
-                        st.received_filter = Some(f.clone());
-                        f
+                let incoming: Option<&PointSet> = match arrival {
+                    DownArrival::Origin => {
+                        if collection_damaged {
+                            None // base orders global pass-through
+                        } else {
+                            Some(&filter)
+                        }
                     }
-                    None => &filter, // base station originates
+                    DownArrival::Intact(FilterMsg::Filter(f)) => {
+                        st.received_filter = Some(f.clone());
+                        st.received_filter.as_ref()
+                    }
+                    // An explicit PassThrough order, or a filter copy the
+                    // channel ate: either way the node must not prune and
+                    // must ship everything (missing filter = pass-through,
+                    // never drop a real result).
+                    DownArrival::Intact(FilterMsg::PassThrough) | DownArrival::Damaged => None,
+                };
+                let Some(incoming) = incoming else {
+                    st.passthrough = true;
+                    return Some(FilterMsg::PassThrough);
                 };
                 if !selective {
                     // Ablation: flood the unpruned filter everywhere.
-                    return Some(incoming.clone());
+                    return Some(FilterMsg::Filter(incoming.clone()));
                 }
                 match &st.subtree_atts {
                     Some(atts) => {
                         let pruned = incoming.intersect(atts);
-                        (!pruned.is_empty()).then_some(pruned)
+                        (!pruned.is_empty()).then_some(FilterMsg::Filter(pruned))
                     }
                     // Over the memory cap: cannot prune, forward as-is.
-                    None => Some(incoming.clone()),
+                    None => Some(FilterMsg::Filter(incoming.clone())),
                 }
             },
             // The filter always travels in the compact quadtree form; the
             // representation knob only varies the collection step (§VI-B).
-            |set| JoinAttrMsg::filter_wire_size(set, Representation::Quadtree, &space),
+            |m| match m {
+                FilterMsg::Filter(set) => {
+                    tag + JoinAttrMsg::filter_wire_size(set, Representation::Quadtree, &space)
+                }
+                FilterMsg::PassThrough => 1,
+            },
             PHASE_FILTER,
         );
+        debug_assert!(lossy || rep2.is_lossless());
 
         // ---- Phase 3: Final-Result-Computation (§IV-D) ----
         let active2: Vec<bool> = states.iter().map(|s| s.active).collect();
         let participates3 = move |v: NodeId| active2[v.0 as usize];
-        let (final_batch, t3) = up_wave(
+        let (final_batch, rep3) = up_wave(
             snet.net_mut(),
             &participates3,
             |v, received: Vec<Batch>| {
@@ -240,6 +328,12 @@ impl JoinMethod for SensJoin {
                     // Base-held tuples (own + proxied) are already at their
                     // destination; attach them free of charge.
                     for rec in st.own.iter().chain(&st.proxy) {
+                        tuples.push(rec.clone());
+                    }
+                } else if st.passthrough {
+                    // Conservative fallback: ship everything.
+                    for rec in st.own.iter().chain(&st.proxy) {
+                        bytes += rec.bytes;
                         tuples.push(rec.clone());
                     }
                 } else if let Some(f) = &st.received_filter {
@@ -278,9 +372,10 @@ impl JoinMethod for SensJoin {
         Ok(JoinOutcome {
             result: computation.result,
             stats: snet.net().stats().clone(),
-            latency_us: t1.then(t2).then(t3).pipelined,
-            latency_slotted_us: t1.then(t2).then(t3).slotted,
+            latency_us: rep1.timing.then(rep2.timing).then(rep3.timing).pipelined,
+            latency_slotted_us: rep1.timing.then(rep2.timing).then(rep3.timing).slotted,
             contributors: computation.contributors,
+            complete: rep3.damaged.is_empty(),
         })
     }
 }

@@ -8,6 +8,16 @@
 //! transmit concurrently, a phase's latency is the longest chain of
 //! dependent transfers — which these helpers compute while charging every
 //! transmission through [`Network::unicast`] / [`Network::broadcast`].
+//!
+//! Over a lossy network (a [`sensjoin_sim::Channel`] attached to the
+//! [`Network`]), a message can be permanently lost despite the ARQ budget.
+//! The waves surface this honestly: an undecodable (incomplete) message is
+//! dropped whole — the parent's `produce` simply never sees it — and the
+//! sender is reported in [`WaveReport::damaged`] so the protocol driver can
+//! fall back conservatively. In a down wave, a child whose copy was lost is
+//! visited with [`DownArrival::Damaged`] instead of the message content
+//! (loss is locally detectable: the fragment train was on the air but did
+//! not decode — unlike pruning, where the parent stays silent).
 
 use sensjoin_relation::NodeId;
 use sensjoin_sim::{Network, RoutingTree, Time};
@@ -39,6 +49,36 @@ impl WaveTiming {
     }
 }
 
+/// What a wave reports back: its timing plus every node whose message was
+/// permanently lost (empty on a lossless network).
+#[derive(Debug, Clone, Default)]
+pub struct WaveReport {
+    /// Phase latency under both scheduling models.
+    pub timing: WaveTiming,
+    /// Up wave: nodes whose message to their parent was undecodable after
+    /// the ARQ budget. Down wave: nodes that missed their parent's message.
+    pub damaged: Vec<NodeId>,
+}
+
+impl WaveReport {
+    /// Whether every message of the wave arrived intact.
+    pub fn is_lossless(&self) -> bool {
+        self.damaged.is_empty()
+    }
+}
+
+/// How a node of a down wave was reached.
+#[derive(Debug, Clone, Copy)]
+pub enum DownArrival<'a, M> {
+    /// The wave's origin (the tree root): nothing was received.
+    Origin,
+    /// The parent's message, fully decoded.
+    Intact(&'a M),
+    /// The parent sent a message but it did not survive the channel — the
+    /// content is unknown and the node must fall back conservatively.
+    Damaged,
+}
+
 /// Runs a leaf→root wave over all nodes for which `participates` holds
 /// (participants must form a root-closed subtree: every participant's parent
 /// participates). The wave runs on the network's current routing tree; use
@@ -47,15 +87,17 @@ impl WaveTiming {
 ///
 /// For each node, `produce(node, received_from_children)` builds the message
 /// to forward; `size_of` gives its wire size in bytes (0-byte messages cost
-/// nothing). Returns the message produced at the root and the phase's
-/// completion time.
+/// nothing). A child message lost on the lossy channel is dropped whole (the
+/// parent receives fewer messages) and the child lands in
+/// [`WaveReport::damaged`]. Returns the message produced at the root and the
+/// wave's report.
 pub fn up_wave<M>(
     net: &mut Network,
     participates: &dyn Fn(NodeId) -> bool,
     produce: impl FnMut(NodeId, Vec<M>) -> M,
     size_of: impl Fn(&M) -> usize,
     phase: &str,
-) -> (M, WaveTiming) {
+) -> (M, WaveReport) {
     let tree = net.routing().clone();
     up_wave_on(net, &tree, participates, produce, size_of, phase)
 }
@@ -69,7 +111,7 @@ pub fn up_wave_on<M>(
     mut produce: impl FnMut(NodeId, Vec<M>) -> M,
     size_of: impl Fn(&M) -> usize,
     phase: &str,
-) -> (M, WaveTiming) {
+) -> (M, WaveReport) {
     let order = tree.bottom_up_order();
     let n = net.len();
     let mut inbox: Vec<Vec<M>> = (0..n).map(|_| Vec::new()).collect();
@@ -77,6 +119,7 @@ pub fn up_wave_on<M>(
     let mut completion: Vec<Time> = vec![0; n];
     // Slowest transfer per tree level (for the slotted schedule).
     let mut level_max: std::collections::BTreeMap<u32, Time> = Default::default();
+    let mut damaged: Vec<NodeId> = Vec::new();
     let mut base_msg = None;
     let mut base_time = 0;
     for v in order {
@@ -90,16 +133,21 @@ pub fn up_wave_on<M>(
             Some(parent) => {
                 debug_assert!(participates(parent), "participants must be root-closed");
                 let bytes = size_of(&msg);
-                let dt = net.unicast(v, parent, bytes, phase);
-                if dt > 0 {
+                let d = net.unicast_delivery(v, parent, bytes, phase);
+                if d.time > 0 {
                     let level = tree.depth(v).expect("participant is reachable");
                     let m = level_max.entry(level).or_default();
-                    *m = (*m).max(dt);
+                    *m = (*m).max(d.time);
                 }
-                let done = ready + dt;
+                let done = ready + d.time;
                 let p = parent.0 as usize;
                 completion[p] = completion[p].max(done);
-                inbox[p].push(msg);
+                if d.complete {
+                    inbox[p].push(msg);
+                } else {
+                    // Undecodable message: dropped whole at the parent.
+                    damaged.push(v);
+                }
             }
             None => {
                 base_time = ready;
@@ -107,38 +155,55 @@ pub fn up_wave_on<M>(
             }
         }
     }
-    let timing = WaveTiming {
-        pipelined: base_time,
-        slotted: level_max.values().sum(),
+    let report = WaveReport {
+        timing: WaveTiming {
+            pipelined: base_time,
+            slotted: level_max.values().sum(),
+        },
+        damaged,
     };
-    (base_msg.expect("the tree root always participates"), timing)
+    (base_msg.expect("the tree root always participates"), report)
 }
 
-/// Runs a root→leaf wave. `produce(node, received)` is called with `None`
-/// at the base station and `Some(msg)` at nodes that received one; it
-/// returns the message to broadcast to the node's participating children
-/// (`None` suppresses forwarding — Selective Filter Forwarding's pruning).
-/// A single broadcast reaches all participating children (one transmission,
-/// one reception each — paper Fig. 3 `broadcast(SubtreeFilter)`).
+/// Owned arrival state queued for a down-wave node.
+enum Arrival<M> {
+    Origin,
+    Msg(M),
+    Damaged,
+}
+
+/// Runs a root→leaf wave. `produce(node, arrival)` is called with
+/// [`DownArrival::Origin`] at the base station, [`DownArrival::Intact`] at
+/// nodes that received their parent's message, and [`DownArrival::Damaged`]
+/// at nodes whose copy was permanently lost on the channel; it returns the
+/// message to broadcast to the node's participating children (`None`
+/// suppresses forwarding — Selective Filter Forwarding's pruning). A single
+/// broadcast reaches all participating children (one transmission, one
+/// reception each — paper Fig. 3 `broadcast(SubtreeFilter)`).
 ///
-/// Returns the phase's completion time.
+/// Children whose copy was lost appear in [`WaveReport::damaged`].
 pub fn down_wave<M: Clone>(
     net: &mut Network,
     participates: &dyn Fn(NodeId) -> bool,
-    mut produce: impl FnMut(NodeId, Option<&M>) -> Option<M>,
+    mut produce: impl FnMut(NodeId, DownArrival<'_, M>) -> Option<M>,
     size_of: impl Fn(&M) -> usize,
     phase: &str,
-) -> WaveTiming {
+) -> WaveReport {
     let base = net.base();
     let mut latest: Time = 0;
     let mut level_max: std::collections::BTreeMap<u32, Time> = Default::default();
-    // (node, message to process, arrival time)
-    let mut queue: std::collections::VecDeque<(NodeId, Option<M>, Time)> =
+    let mut damaged: Vec<NodeId> = Vec::new();
+    // (node, arrival state, arrival time)
+    let mut queue: std::collections::VecDeque<(NodeId, Arrival<M>, Time)> =
         std::collections::VecDeque::new();
-    queue.push_back((base, None, 0));
-    while let Some((v, received, at)) = queue.pop_front() {
+    queue.push_back((base, Arrival::Origin, 0));
+    while let Some((v, arrival, at)) = queue.pop_front() {
         latest = latest.max(at);
-        let out = produce(v, received.as_ref());
+        let out = match &arrival {
+            Arrival::Origin => produce(v, DownArrival::Origin),
+            Arrival::Msg(m) => produce(v, DownArrival::Intact(m)),
+            Arrival::Damaged => produce(v, DownArrival::Damaged),
+        };
         let Some(out) = out else { continue };
         let children: Vec<NodeId> = net
             .routing()
@@ -151,19 +216,29 @@ pub fn down_wave<M: Clone>(
             continue;
         }
         let bytes = size_of(&out);
-        let dt = net.broadcast(v, &children, bytes, phase);
-        if dt > 0 {
+        let d = net.broadcast_delivery(v, &children, bytes, phase);
+        if d.time > 0 {
             let level = net.routing().depth(v).expect("broadcaster is reachable");
             let m = level_max.entry(level).or_default();
-            *m = (*m).max(dt);
+            *m = (*m).max(d.time);
         }
-        for c in children {
-            queue.push_back((c, Some(out.clone()), at + dt));
+        for (i, c) in children.into_iter().enumerate() {
+            // A zero-byte message reaches nobody physically, but carries no
+            // content either: treat it as intact (matches lossless runs).
+            if bytes == 0 || d.complete[i] {
+                queue.push_back((c, Arrival::Msg(out.clone()), at + d.time));
+            } else {
+                damaged.push(c);
+                queue.push_back((c, Arrival::Damaged, at + d.time));
+            }
         }
     }
-    WaveTiming {
-        pipelined: latest,
-        slotted: level_max.values().sum(),
+    WaveReport {
+        timing: WaveTiming {
+            pipelined: latest,
+            slotted: level_max.values().sum(),
+        },
+        damaged,
     }
 }
 
@@ -171,7 +246,7 @@ pub fn down_wave<M: Clone>(
 mod tests {
     use super::*;
     use sensjoin_field::{Area, Placement};
-    use sensjoin_sim::NetworkBuilder;
+    use sensjoin_sim::{ArqPolicy, Channel, NetworkBuilder};
 
     fn net() -> Network {
         let area = Area::new(250.0, 250.0);
@@ -184,7 +259,7 @@ mod tests {
         let mut net = net();
         let reachable = net.len() - net.routing().unreachable().len();
         // Each node sends one 4-byte unit per subtree node: message = count.
-        let (total, t) = up_wave(
+        let (total, rep) = up_wave(
             &mut net,
             &|_| true,
             |_, recv: Vec<usize>| recv.iter().sum::<usize>() + 1,
@@ -192,6 +267,8 @@ mod tests {
             "test",
         );
         assert_eq!(total, reachable);
+        assert!(rep.is_lossless());
+        let t = rep.timing;
         assert!(t.pipelined > 0);
         // The slotted schedule can never beat pipelining.
         assert!(t.slotted >= t.pipelined);
@@ -211,7 +288,8 @@ mod tests {
     fn up_wave_latency_exceeds_single_hop() {
         let mut net = net();
         let depth = net.routing().max_depth() as u64;
-        let (_, t) = up_wave(&mut net, &|_| true, |_, _: Vec<()>| (), |_| 10, "test");
+        let (_, rep) = up_wave(&mut net, &|_| true, |_, _: Vec<()>| (), |_| 10, "test");
+        let t = rep.timing;
         let hop = net.radio().transfer_us(10);
         assert!(
             t.pipelined >= depth * hop,
@@ -229,7 +307,7 @@ mod tests {
         down_wave(
             &mut net,
             &|_| true,
-            |v, _recv| {
+            |v, _recv: DownArrival<'_, u8>| {
                 visits[v.0 as usize] += 1;
                 Some(7u8)
             },
@@ -257,8 +335,8 @@ mod tests {
         down_wave(
             &mut net,
             &|_| true,
-            |v, recv| {
-                if recv.is_some() {
+            |v, recv: DownArrival<'_, u8>| {
+                if matches!(recv, DownArrival::Intact(_)) {
                     received[v.0 as usize] = true;
                 }
                 (v == base).then_some(1u8)
@@ -296,5 +374,64 @@ mod tests {
             })
             .count();
         assert_eq!(count, expect);
+    }
+
+    #[test]
+    fn up_wave_drops_undecodable_messages_and_reports_damage() {
+        let mut net = net();
+        // Total loss, no repair: every non-root transfer is damaged.
+        net.set_channel(Some(Channel::bernoulli(1.0, 1)));
+        let reachable = net.len() - net.routing().unreachable().len();
+        let (total, rep) = up_wave(
+            &mut net,
+            &|_| true,
+            |_, recv: Vec<usize>| recv.iter().sum::<usize>() + 1,
+            |m| m * 4,
+            "test",
+        );
+        // The base only counts itself: all child messages were dropped whole.
+        assert_eq!(total, 1);
+        assert_eq!(rep.damaged.len(), reachable - 1);
+    }
+
+    #[test]
+    fn up_wave_arq_repairs_moderate_loss() {
+        let mut net = net();
+        net.set_channel(Some(Channel::bernoulli(0.2, 5)));
+        net.set_arq(ArqPolicy::ack(10));
+        let reachable = net.len() - net.routing().unreachable().len();
+        let (total, rep) = up_wave(
+            &mut net,
+            &|_| true,
+            |_, recv: Vec<usize>| recv.iter().sum::<usize>() + 1,
+            |m| m * 4,
+            "test",
+        );
+        assert_eq!(total, reachable);
+        assert!(rep.is_lossless());
+        assert!(net.stats().total_retx_packets() > 0);
+    }
+
+    #[test]
+    fn down_wave_marks_damaged_children() {
+        let mut net = net();
+        net.set_channel(Some(Channel::bernoulli(1.0, 2)));
+        let base = net.base();
+        let mut damaged_seen = 0;
+        let rep = down_wave(
+            &mut net,
+            &|_| true,
+            |v, recv: DownArrival<'_, u8>| {
+                if matches!(recv, DownArrival::Damaged) {
+                    damaged_seen += 1;
+                }
+                (v == base).then_some(1u8)
+            },
+            |_| 3,
+            "test",
+        );
+        let expect = net.routing().children(base).len();
+        assert_eq!(damaged_seen, expect);
+        assert_eq!(rep.damaged.len(), expect);
     }
 }

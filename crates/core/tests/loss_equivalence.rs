@@ -1,0 +1,216 @@
+//! Bit-identity of query results under per-packet loss.
+//!
+//! The reliability subsystem's contract: as long as the hop-by-hop ARQ
+//! budget absorbs every loss, a lossy execution produces *exactly* the
+//! result of a lossless one — same rows, bitwise — for any loss rate and
+//! both channel models. The extra cost is visible only in the retransmit /
+//! ack counters and energy, never in the answer.
+
+use proptest::prelude::*;
+use sensjoin_core::{
+    ContinuousSensJoin, ExternalJoin, JoinMethod, QueryGroup, SensJoin, SensJoinConfig,
+    SensorNetwork, SensorNetworkBuilder, PHASE_COLLECTION, PHASE_FILTER,
+};
+use sensjoin_field::{presets, Area, Placement};
+use sensjoin_query::parse;
+use sensjoin_sim::{ArqPolicy, Channel};
+
+const SQL: &str = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                   WHERE A.temp - B.temp > 3.0 ONCE";
+const SQL_CONT: &str = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                        WHERE A.temp - B.temp > 3.0 SAMPLE PERIOD 30";
+
+fn snet(n: usize, seed: u64) -> SensorNetwork {
+    SensorNetworkBuilder::new()
+        .area(Area::new(300.0, 300.0))
+        .placement(Placement::UniformRandom { n })
+        .seed(seed)
+        .build()
+        .unwrap()
+}
+
+/// A retry budget no test-scale loss rate survives.
+const AMPLE: ArqPolicy = ArqPolicy::AckRetransmit { max_retries: 64 };
+
+/// Strategy: loss rate up to 0.2, Bernoulli or bursty Gilbert-Elliott.
+fn channel_strategy() -> impl Strategy<Value = (f64, Option<f64>, u64)> {
+    (
+        0.0..=0.2f64,
+        prop_oneof![Just(None), (2.0..6.0f64).prop_map(Some)],
+        0..u64::MAX,
+    )
+}
+
+fn make_channel(p: f64, burst: Option<f64>, seed: u64) -> Channel {
+    match burst {
+        Some(b) => Channel::gilbert_elliott(p, b, seed),
+        None => Channel::bernoulli(p, seed),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// One-shot SENS-Join and external join: lossy == lossless, bitwise.
+    #[test]
+    fn one_shot_bit_identity(
+        seed in 1..64u64,
+        (p, burst, chseed) in channel_strategy(),
+        ack in any::<bool>(),
+    ) {
+        let mut s = snet(90, seed);
+        let cq = s.compile(&parse(SQL).unwrap()).unwrap();
+        let reference = SensJoin::default().execute(&mut s, &cq).unwrap();
+        let ext_reference = ExternalJoin.execute(&mut s, &cq).unwrap();
+
+        s.net_mut().set_channel(Some(make_channel(p, burst, chseed)));
+        s.net_mut().set_arq(if ack {
+            AMPLE
+        } else {
+            ArqPolicy::SummaryRepair { max_rounds: 64 }
+        });
+
+        let lossy = SensJoin::default().execute(&mut s, &cq).unwrap();
+        prop_assert!(lossy.complete);
+        prop_assert!(lossy.result.same_result(&reference.result));
+
+        let lossy_ext = ExternalJoin.execute(&mut s, &cq).unwrap();
+        prop_assert!(lossy_ext.complete);
+        prop_assert!(lossy_ext.result.same_result(&ext_reference.result));
+        // The external join's messages are untagged: its first-attempt
+        // traffic is exactly the lossless traffic, whatever the loss rate.
+        prop_assert_eq!(
+            lossy_ext.stats.total_tx_bytes(),
+            ext_reference.stats.total_tx_bytes()
+        );
+
+        // tx counters are first-attempt-only: they may not depend on *which*
+        // packets the channel happened to eat.
+        s.net_mut()
+            .set_channel(Some(make_channel(p, burst, chseed.wrapping_add(1))));
+        let reseeded = SensJoin::default().execute(&mut s, &cq).unwrap();
+        prop_assert_eq!(
+            reseeded.stats.total_tx_bytes(),
+            lossy.stats.total_tx_bytes()
+        );
+    }
+
+    /// Continuous rounds with data drift: every round's result matches the
+    /// lossless executor's, and the incremental state never desyncs.
+    #[test]
+    fn continuous_bit_identity(
+        seed in 1..32u64,
+        (p, burst, chseed) in channel_strategy(),
+    ) {
+        let mut clean = snet(70, seed);
+        let mut lossy = snet(70, seed);
+        lossy.net_mut().set_channel(Some(make_channel(p, burst, chseed)));
+        lossy.net_mut().set_arq(AMPLE);
+        let cq_clean = clean.compile(&parse(SQL_CONT).unwrap()).unwrap();
+        let cq_lossy = lossy.compile(&parse(SQL_CONT).unwrap()).unwrap();
+        let mut cont_clean = ContinuousSensJoin::new();
+        let mut cont_lossy = ContinuousSensJoin::new();
+        let specs = presets::indoor_climate();
+        for round in 0..4u64 {
+            if round > 0 {
+                clean.resample(&specs, seed.wrapping_add(round));
+                lossy.resample(&specs, seed.wrapping_add(round));
+            }
+            let a = cont_clean.execute_round(&mut clean, &cq_clean).unwrap();
+            let b = cont_lossy.execute_round(&mut lossy, &cq_lossy).unwrap();
+            prop_assert!(b.complete, "round {} incomplete", round);
+            prop_assert!(a.result.same_result(&b.result), "round {} diverged", round);
+        }
+    }
+
+    /// Multi-query epochs: per-query results match solo lossless runs.
+    #[test]
+    fn multi_query_bit_identity(
+        seed in 1..32u64,
+        (p, burst, chseed) in channel_strategy(),
+    ) {
+        let mut clean = snet(70, seed);
+        let mut lossy = snet(70, seed);
+        lossy.net_mut().set_channel(Some(make_channel(p, burst, chseed)));
+        lossy.net_mut().set_arq(AMPLE);
+        let sqls = [
+            "SELECT A.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 2.0 SAMPLE PERIOD 30",
+            "SELECT B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 4.0 SAMPLE PERIOD 30",
+        ];
+        let mut group_clean = QueryGroup::new(SensJoinConfig::default());
+        let mut group_lossy = QueryGroup::new(SensJoinConfig::default());
+        for sql in sqls {
+            let q = parse(sql).unwrap();
+            let cqc = clean.compile(&q).unwrap();
+            let cql = lossy.compile(&q).unwrap();
+            group_clean.register(&clean, cqc, 1);
+            group_lossy.register(&lossy, cql, 1);
+        }
+        for epoch in 0..3u64 {
+            let a = group_clean.execute_epoch(&mut clean).unwrap();
+            let b = group_lossy.execute_epoch(&mut lossy).unwrap();
+            prop_assert!(b.complete, "epoch {} incomplete", epoch);
+            prop_assert_eq!(a.outcomes.len(), b.outcomes.len());
+            for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+                prop_assert!(oa.result.same_result(&ob.result), "epoch {} diverged", epoch);
+            }
+            let specs = presets::indoor_climate();
+            clean.resample(&specs, seed.wrapping_add(epoch));
+            lossy.resample(&specs, seed.wrapping_add(epoch));
+        }
+    }
+}
+
+/// Starvation check: with loss confined to the collection and filter phases
+/// and NO reliability at all, the conservative fallbacks (pass-through on
+/// damage) still deliver the exact result — only the final phase actually
+/// needs its data to arrive.
+#[test]
+fn conservative_fallback_is_exact_without_arq() {
+    let mut exercised = false;
+    for seed in 1..12u64 {
+        let mut s = snet(80, seed);
+        let cq = s.compile(&parse(SQL).unwrap()).unwrap();
+        let reference = SensJoin::default().execute(&mut s, &cq).unwrap();
+        let channel = Channel::bernoulli(0.15, seed.wrapping_mul(31))
+            .scope_to_phases([PHASE_COLLECTION, PHASE_FILTER]);
+        s.net_mut().set_channel(Some(channel));
+        s.net_mut().set_arq(ArqPolicy::None);
+        let lossy = SensJoin::default().execute(&mut s, &cq).unwrap();
+        assert!(lossy.complete, "final phase was clean by construction");
+        assert!(
+            lossy.result.same_result(&reference.result),
+            "seed {seed}: conservative fallback dropped a real result"
+        );
+        exercised |= lossy.stats.total_lost_packets() > 0;
+    }
+    assert!(exercised, "no packet was ever lost — test is vacuous");
+}
+
+/// A zero-loss channel (with ARQ armed) reproduces the lossless byte counts
+/// exactly: reliability must be free when the channel is clean.
+#[test]
+fn zero_loss_is_byte_identical() {
+    let mut s = snet(100, 5);
+    let cq = s.compile(&parse(SQL).unwrap()).unwrap();
+    let reference = SensJoin::default().execute(&mut s, &cq).unwrap();
+    s.net_mut().set_channel(Some(Channel::bernoulli(0.0, 3)));
+    s.net_mut().set_arq(AMPLE);
+    let zero = SensJoin::default().execute(&mut s, &cq).unwrap();
+    assert!(zero.complete);
+    assert!(zero.result.same_result(&reference.result));
+    assert_eq!(
+        zero.stats.total_tx_bytes(),
+        reference.stats.total_tx_bytes()
+    );
+    assert_eq!(
+        zero.stats.total_tx_packets(),
+        reference.stats.total_tx_packets()
+    );
+    assert_eq!(zero.stats.total_overhead_bytes(), 0);
+    assert_eq!(zero.stats.total_retx_packets(), 0);
+    assert_eq!(zero.stats.total_ack_packets(), 0);
+    assert_eq!(zero.latency_us, reference.latency_us);
+}

@@ -49,6 +49,15 @@ impl LinkFailures {
         Self { down }
     }
 
+    /// Expresses the outages as a [`crate::Channel`]: every failed link gets
+    /// loss probability 1.0, every other link stays perfect. This is the
+    /// thin-constructor end of the unification between whole-link failures
+    /// and per-packet loss — downstream degradation handling (ARQ, recovery)
+    /// sees one mechanism.
+    pub fn to_channel(&self, topology: &Topology) -> crate::Channel {
+        crate::Channel::perfect().with_failures(self, topology)
+    }
+
     /// Whether the link between `a` and `b` is down (symmetric).
     pub fn is_down(&self, a: NodeId, b: NodeId) -> bool {
         let key = if a < b { (a, b) } else { (b, a) };
@@ -101,6 +110,22 @@ mod tests {
         let all = LinkFailures::sample(&t, 1.0, 1);
         let total_links: usize = t.nodes().map(|u| t.neighbors(u).len()).sum::<usize>() / 2;
         assert_eq!(all.len(), total_links);
+    }
+
+    #[test]
+    fn failures_as_channel() {
+        let t = topo();
+        let f = LinkFailures::sample(&t, 0.2, 5);
+        assert!(!f.is_empty());
+        let mut ch = f.to_channel(&t);
+        assert!(!ch.is_perfect());
+        for u in t.nodes() {
+            for &v in t.neighbors(u) {
+                // A down link never delivers; an up link always does.
+                assert_eq!(ch.deliver(u, v, "p"), !f.is_down(u, v));
+            }
+        }
+        assert!(LinkFailures::none().to_channel(&t).is_perfect());
     }
 
     #[test]

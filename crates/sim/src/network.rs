@@ -1,6 +1,10 @@
 //! The network facade protocols run against.
 
-use crate::{EnergyModel, NetworkStats, RadioConfig, RoutingTree, Time, Topology, Trace};
+use crate::reliability::{summary_bytes, ACK_BYTES};
+use crate::{
+    ArqPolicy, BroadcastDelivery, Channel, Delivery, EnergyModel, NetworkStats, RadioConfig,
+    RoutingTree, Time, Topology, Trace,
+};
 use sensjoin_field::{Area, Position};
 use sensjoin_relation::NodeId;
 
@@ -137,6 +141,8 @@ impl NetworkBuilder {
             stats: NetworkStats::new(n),
             base,
             trace: None,
+            channel: None,
+            arq: ArqPolicy::None,
         })
     }
 }
@@ -145,10 +151,18 @@ impl NetworkBuilder {
 /// every transmission.
 ///
 /// All payload movement must go through [`Network::unicast`] /
-/// [`Network::broadcast`], which fragment the payload into packets of at
-/// most [`RadioConfig::max_payload`] bytes and charge transmission/reception
-/// statistics and energy. The return value is the hop's transfer latency,
-/// which protocol state machines feed into the [`crate::Scheduler`].
+/// [`Network::broadcast`] (or their `_delivery` variants), which fragment
+/// the payload into packets of at most [`RadioConfig::max_payload`] bytes
+/// and charge transmission/reception statistics and energy. The return
+/// value is the hop's transfer latency, which protocol state machines feed
+/// into the [`crate::Scheduler`].
+///
+/// With a lossy [`Channel`] attached ([`Network::set_channel`]), every
+/// fragment is drawn through the channel and repaired by the configured
+/// [`ArqPolicy`] ([`Network::set_arq`]); the `_delivery` variants report
+/// what ultimately arrived. Without a channel — or with a provably perfect
+/// one — the lossless fast path is taken and byte counts are identical to a
+/// network that never heard of loss.
 #[derive(Debug, Clone)]
 pub struct Network {
     topology: Topology,
@@ -158,6 +172,8 @@ pub struct Network {
     stats: NetworkStats,
     base: NodeId,
     trace: Option<Trace>,
+    channel: Option<Channel>,
+    arq: ArqPolicy,
 }
 
 impl Network {
@@ -233,23 +249,75 @@ impl Network {
         self.routing = RoutingTree::build_excluding(&self.topology, self.base, link_down);
     }
 
+    /// Attaches (or detaches, with `None`) a lossy channel. Fragments of
+    /// every subsequent transfer are drawn through it.
+    pub fn set_channel(&mut self, channel: Option<Channel>) {
+        self.channel = channel;
+    }
+
+    /// The attached channel, if any.
+    pub fn channel(&self) -> Option<&Channel> {
+        self.channel.as_ref()
+    }
+
+    /// Sets the hop-by-hop ARQ policy used when a lossy channel is attached
+    /// (default: [`ArqPolicy::None`]).
+    pub fn set_arq(&mut self, arq: ArqPolicy) {
+        self.arq = arq;
+    }
+
+    /// The configured ARQ policy.
+    pub fn arq(&self) -> ArqPolicy {
+        self.arq
+    }
+
+    /// Whether transfers can actually lose packets: a channel is attached
+    /// and it is not provably perfect. When `false`, the lossless fast path
+    /// runs and byte counts match a channel-free network exactly.
+    pub fn lossy(&self) -> bool {
+        self.channel.as_ref().is_some_and(|c| !c.is_perfect())
+    }
+
     /// Sends `bytes` of application payload from `from` to neighbor `to`.
     /// Fragments into packets, charges both ends, and returns the transfer
     /// latency. Zero bytes cost nothing.
+    ///
+    /// On a lossy network this runs the ARQ machinery; use
+    /// [`Network::unicast_delivery`] when the caller needs to know whether
+    /// the message actually arrived.
     ///
     /// # Panics
     /// Panics if `to` is not a neighbor of `from` (protocols only ever talk
     /// to tree neighbors).
     pub fn unicast(&mut self, from: NodeId, to: NodeId, bytes: usize, phase: &str) -> Time {
+        self.unicast_delivery(from, to, bytes, phase).time
+    }
+
+    /// [`Network::unicast`] with a full delivery report: completeness,
+    /// retransmissions and control frames.
+    pub fn unicast_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        phase: &str,
+    ) -> Delivery {
         if bytes == 0 {
-            return 0;
+            return Delivery::lossless(0, 0);
         }
         assert!(
             self.topology.neighbors(from).contains(&to),
             "{from} -> {to} are not neighbors"
         );
-        self.charge(from, Some(&[to]), bytes, phase);
-        self.radio.transfer_us(bytes)
+        let (b, delivered) = self.transfer(from, &[to], bytes, phase);
+        Delivery {
+            time: b.time,
+            fragments: b.fragments,
+            delivered: delivered[0],
+            retransmissions: b.retransmissions,
+            control_packets: b.control_packets,
+            complete: b.complete[0],
+        }
     }
 
     /// Local broadcast: one transmission per fragment at `from`, reception
@@ -265,8 +333,20 @@ impl Network {
         bytes: usize,
         phase: &str,
     ) -> Time {
+        self.broadcast_delivery(from, receivers, bytes, phase).time
+    }
+
+    /// [`Network::broadcast`] with a full delivery report (per-receiver
+    /// completeness).
+    pub fn broadcast_delivery(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        bytes: usize,
+        phase: &str,
+    ) -> BroadcastDelivery {
         if bytes == 0 || receivers.is_empty() {
-            return 0;
+            return BroadcastDelivery::lossless(0, 0, receivers.len());
         }
         for r in receivers {
             assert!(
@@ -274,40 +354,239 @@ impl Network {
                 "{from} -> {r} are not neighbors"
             );
         }
-        self.charge(from, Some(receivers), bytes, phase);
-        self.radio.transfer_us(bytes)
+        self.transfer(from, receivers, bytes, phase).0
     }
 
-    fn charge(&mut self, from: NodeId, to: Option<&[NodeId]>, bytes: usize, phase: &str) {
-        if let Some(trace) = &mut self.trace {
-            trace.push(
-                phase,
-                from,
-                to.map(|r| r.to_vec()).unwrap_or_default(),
-                bytes,
-                self.radio.packets_for(bytes),
-            );
-        }
+    /// Fragment sizes of a `bytes`-byte payload.
+    fn fragment_sizes(&self, bytes: usize) -> Vec<usize> {
         let full = bytes / self.radio.max_payload;
         let tail = bytes % self.radio.max_payload;
-        let sizes =
-            std::iter::repeat_n(self.radio.max_payload, full).chain((tail > 0).then_some(tail));
-        for size in sizes {
-            let on_air = size + self.radio.header_bytes;
-            self.stats
-                .record_tx(from, size, self.energy.tx(on_air), phase);
-            if let Some(receivers) = to {
+        std::iter::repeat_n(self.radio.max_payload, full)
+            .chain((tail > 0).then_some(tail))
+            .collect()
+    }
+
+    /// The one charge point: moves a message from `from` to `receivers`,
+    /// charging every data fragment, retransmission and control frame.
+    /// Returns the delivery report plus per-receiver decoded-fragment
+    /// counts.
+    fn transfer(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        bytes: usize,
+        phase: &str,
+    ) -> (BroadcastDelivery, Vec<usize>) {
+        let sizes = self.fragment_sizes(bytes);
+        let nfrags = sizes.len();
+        if !self.lossy() {
+            // Lossless fast path: identical charging to the pre-channel
+            // simulator, no ARQ traffic whatsoever.
+            for &size in &sizes {
+                let on_air = size + self.radio.header_bytes;
+                self.stats
+                    .record_tx(from, size, self.energy.tx(on_air), phase);
                 for &r in receivers {
                     self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
                 }
             }
+            if let Some(trace) = &mut self.trace {
+                trace.push(phase, from, receivers.to_vec(), bytes, nfrags);
+            }
+            let d =
+                BroadcastDelivery::lossless(self.radio.transfer_us(bytes), nfrags, receivers.len());
+            let delivered = vec![nfrags; receivers.len()];
+            return (d, delivered);
         }
+
+        let nrecv = receivers.len();
+        // have[f][ri]: ground truth — receiver ri decoded fragment f.
+        let mut have = vec![vec![false; nrecv]; nfrags];
+        let mut time: Time = 0;
+        let mut retx: u64 = 0;
+        let mut ctrl: u64 = 0;
+        let header = self.radio.header_bytes;
+        let ch = self.channel.as_mut().expect("lossy implies a channel");
+        match self.arq {
+            ArqPolicy::None => {
+                for (f, &size) in sizes.iter().enumerate() {
+                    let on_air = size + header;
+                    self.stats
+                        .record_tx(from, size, self.energy.tx(on_air), phase);
+                    time += self.radio.airtime_us(size);
+                    for (ri, &r) in receivers.iter().enumerate() {
+                        if ch.deliver(from, r, phase) {
+                            have[f][ri] = true;
+                            self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
+                        }
+                    }
+                }
+            }
+            ArqPolicy::AckRetransmit { max_retries } => {
+                // Stop-and-wait per fragment: retransmit until every
+                // receiver's ACK came back or the retry budget is spent.
+                for (f, &size) in sizes.iter().enumerate() {
+                    let on_air = size + header;
+                    let mut acked = vec![false; nrecv];
+                    for attempt in 0..=max_retries {
+                        if attempt == 0 {
+                            self.stats
+                                .record_tx(from, size, self.energy.tx(on_air), phase);
+                        } else {
+                            retx += 1;
+                            self.stats
+                                .record_retx(from, size, self.energy.tx(on_air), phase);
+                            // Timeout stall before each retransmission.
+                            time += self.radio.hop_delay_us;
+                        }
+                        time += self.radio.airtime_us(size);
+                        for (ri, &r) in receivers.iter().enumerate() {
+                            if acked[ri] {
+                                continue; // receiver already done with f
+                            }
+                            if ch.deliver(from, r, phase) {
+                                if !have[f][ri] {
+                                    have[f][ri] = true;
+                                    self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
+                                } else {
+                                    // Duplicate (its earlier ACK was lost):
+                                    // energy only, the copy is discarded.
+                                    self.stats.record_energy(r, self.energy.rx(on_air), phase);
+                                }
+                            }
+                            if have[f][ri] {
+                                ctrl += 1;
+                                self.stats.record_ack(
+                                    r,
+                                    ACK_BYTES,
+                                    self.energy.tx(ACK_BYTES + header),
+                                    phase,
+                                );
+                                time += self.radio.airtime_us(ACK_BYTES);
+                                if ch.deliver(r, from, phase) {
+                                    acked[ri] = true;
+                                    self.stats.record_energy(
+                                        from,
+                                        self.energy.rx(ACK_BYTES + header),
+                                        phase,
+                                    );
+                                }
+                            }
+                        }
+                        if acked.iter().all(|&a| a) {
+                            break;
+                        }
+                    }
+                }
+            }
+            ArqPolicy::SummaryRepair { max_rounds } => {
+                // Round 0: ship the whole fragment train once.
+                for (f, &size) in sizes.iter().enumerate() {
+                    let on_air = size + header;
+                    self.stats
+                        .record_tx(from, size, self.energy.tx(on_air), phase);
+                    time += self.radio.airtime_us(size);
+                    for (ri, &r) in receivers.iter().enumerate() {
+                        if ch.deliver(from, r, phase) {
+                            have[f][ri] = true;
+                            self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
+                        }
+                    }
+                }
+                // Repair rounds: each open receiver summarizes (OK or NACK
+                // bitmap); the sender rebroadcasts the union of NACKed
+                // fragments.
+                let sbytes = summary_bytes(nfrags);
+                let mut done = vec![false; nrecv]; // sender has the OK
+                for round in 0..=max_rounds {
+                    let mut requested = vec![false; nfrags];
+                    for (ri, &r) in receivers.iter().enumerate() {
+                        if done[ri] {
+                            continue;
+                        }
+                        ctrl += 1;
+                        self.stats
+                            .record_ack(r, sbytes, self.energy.tx(sbytes + header), phase);
+                        time += self.radio.airtime_us(sbytes);
+                        if ch.deliver(r, from, phase) {
+                            self.stats
+                                .record_energy(from, self.energy.rx(sbytes + header), phase);
+                            let missing: Vec<usize> =
+                                (0..nfrags).filter(|&f| !have[f][ri]).collect();
+                            if missing.is_empty() {
+                                done[ri] = true;
+                            } else {
+                                for f in missing {
+                                    requested[f] = true;
+                                }
+                            }
+                        }
+                        // A lost summary stalls this receiver one round.
+                    }
+                    if done.iter().all(|&d| d) || round == max_rounds {
+                        break;
+                    }
+                    for (f, &size) in sizes.iter().enumerate() {
+                        if !requested[f] {
+                            continue;
+                        }
+                        let on_air = size + header;
+                        retx += 1;
+                        self.stats
+                            .record_retx(from, size, self.energy.tx(on_air), phase);
+                        time += self.radio.airtime_us(size);
+                        for (ri, &r) in receivers.iter().enumerate() {
+                            if done[ri] {
+                                continue;
+                            }
+                            if have[f][ri] {
+                                // Overhears the repair it did not need.
+                                self.stats.record_energy(r, self.energy.rx(on_air), phase);
+                            } else if ch.deliver(from, r, phase) {
+                                have[f][ri] = true;
+                                self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
+                            }
+                        }
+                    }
+                    time += self.radio.hop_delay_us; // round turnaround
+                }
+            }
+        }
+        time += self.radio.hop_delay_us;
+        // Permanent losses.
+        let mut delivered = vec![0usize; nrecv];
+        let mut complete = vec![true; nrecv];
+        for (ri, &r) in receivers.iter().enumerate() {
+            for row in have.iter() {
+                if row[ri] {
+                    delivered[ri] += 1;
+                } else {
+                    complete[ri] = false;
+                    self.stats.record_loss(r, phase);
+                }
+            }
+        }
+        let acked = complete.iter().all(|&c| c);
+        if let Some(trace) = &mut self.trace {
+            trace.push_delivery(phase, from, receivers.to_vec(), bytes, nfrags, retx, acked);
+        }
+        (
+            BroadcastDelivery {
+                time,
+                fragments: nfrags,
+                complete,
+                retransmissions: retx,
+                control_packets: ctrl,
+            },
+            delivered,
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::LossModel;
     use sensjoin_field::Placement;
 
     fn small_net() -> Network {
@@ -350,6 +629,114 @@ mod tests {
         for c in &children {
             assert_eq!(net.stats().node(*c).rx_packets, 1);
         }
+    }
+
+    #[test]
+    fn perfect_channel_is_byte_identical_to_no_channel() {
+        let mut plain = small_net();
+        let mut chan = small_net();
+        chan.set_channel(Some(Channel::bernoulli(0.0, 9)));
+        chan.set_arq(ArqPolicy::ack(5));
+        let base = plain.base();
+        let child = plain.routing().children(base)[0];
+        for net in [&mut plain, &mut chan] {
+            net.unicast(child, base, 100, "p");
+            net.broadcast(base, &[child], 30, "q");
+        }
+        assert_eq!(plain.stats().node(child), chan.stats().node(child));
+        assert_eq!(plain.stats().node(base), chan.stats().node(base));
+        assert_eq!(chan.stats().total_retx_packets(), 0);
+        assert_eq!(chan.stats().total_ack_packets(), 0);
+        assert!((plain.stats().total_energy_uj() - chan.stats().total_energy_uj()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn arq_none_drops_fragments_permanently() {
+        let mut net = small_net();
+        let base = net.base();
+        let child = net.routing().children(base)[0];
+        net.set_channel(Some(Channel::bernoulli(1.0, 3)));
+        let d = net.unicast_delivery(child, base, 100, "p");
+        assert!(!d.complete);
+        assert_eq!(d.delivered, 0);
+        assert_eq!(d.fragments, 3);
+        assert_eq!(net.stats().node(base).rx_packets, 0);
+        assert_eq!(net.stats().node(base).lost_packets, 3);
+        // First attempts are still charged at the sender.
+        assert_eq!(net.stats().node(child).tx_packets, 3);
+    }
+
+    #[test]
+    fn ack_retransmit_repairs_heavy_loss() {
+        let mut net = small_net();
+        let base = net.base();
+        let child = net.routing().children(base)[0];
+        net.set_channel(Some(Channel::bernoulli(0.4, 11)));
+        net.set_arq(ArqPolicy::ack(20));
+        let d = net.unicast_delivery(child, base, 100, "p");
+        assert!(d.complete);
+        assert!(d.retransmissions > 0, "40 % loss must retransmit");
+        assert!(d.control_packets >= 3, "each fragment is acked");
+        assert_eq!(net.stats().node(base).rx_packets, 3);
+        assert_eq!(net.stats().node(base).lost_packets, 0);
+        // tx counters stay loss-invariant; repair lives in retx/ack.
+        assert_eq!(net.stats().node(child).tx_packets, 3);
+        assert_eq!(net.stats().node(child).retx_packets, d.retransmissions);
+        assert!(net.stats().total_overhead_bytes() > 0);
+    }
+
+    #[test]
+    fn summary_repair_repairs_and_charges_summaries() {
+        let mut net = small_net();
+        let base = net.base();
+        let child = net.routing().children(base)[0];
+        net.set_channel(Some(Channel::gilbert_elliott(0.3, 4.0, 13)));
+        net.set_arq(ArqPolicy::summary(20));
+        let d = net.unicast_delivery(child, base, 200, "p");
+        assert!(d.complete);
+        assert!(d.control_packets >= 1, "at least the final OK summary");
+        assert_eq!(net.stats().node(base).rx_packets, 5);
+        assert_eq!(net.stats().node(base).ack_packets, d.control_packets);
+        assert_eq!(net.stats().node(child).tx_packets, 5);
+    }
+
+    #[test]
+    fn dropped_then_retried_unicast_traces_one_logical_record() {
+        let mut net = small_net();
+        net.set_tracing(true);
+        let base = net.base();
+        let child = net.routing().children(base)[0];
+        net.set_channel(Some(Channel::bernoulli(0.5, 21)));
+        net.set_arq(ArqPolicy::ack(30));
+        let d = net.unicast_delivery(child, base, 40, "p");
+        assert!(d.complete);
+        assert!(d.retransmissions > 0, "seed 21 at 50 % loss must drop once");
+        let trace = net.trace().unwrap();
+        assert_eq!(trace.len(), 1, "retries must not add records");
+        let rec = &trace.records()[0];
+        assert_eq!(rec.retransmissions, d.retransmissions);
+        assert!(rec.acked);
+        assert_eq!(rec.packets, 1);
+        let csv = trace.to_csv();
+        assert!(csv.contains(&format!(",40,1,{},true\n", d.retransmissions)));
+    }
+
+    #[test]
+    fn broadcast_delivery_reports_per_receiver() {
+        let mut net = small_net();
+        let base = net.base();
+        let children: Vec<NodeId> = net.routing().children(base).to_vec();
+        assert!(children.len() >= 2);
+        let mut ch = Channel::perfect();
+        // Only the link to children[0] is dead.
+        ch.set_link_model(base, children[0], LossModel::Bernoulli { p: 1.0 });
+        net.set_channel(Some(ch));
+        net.set_arq(ArqPolicy::summary(3));
+        let d = net.broadcast_delivery(base, &children, 30, "p");
+        assert!(!d.complete[0]);
+        assert!(d.complete[1..].iter().all(|&c| c));
+        assert_eq!(net.stats().node(children[0]).rx_packets, 0);
+        assert_eq!(net.stats().node(children[1]).rx_packets, 1);
     }
 
     #[test]

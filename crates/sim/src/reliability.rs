@@ -1,0 +1,178 @@
+//! Hop-by-hop reliability (ARQ) policies over the lossy channel.
+//!
+//! When a [`crate::Channel`] is attached to a [`crate::Network`], every
+//! message transfer runs under the network's [`ArqPolicy`]:
+//!
+//! * [`ArqPolicy::None`] — fire and forget. Lost fragments stay lost; a
+//!   message missing any fragment is undecodable and dropped whole at the
+//!   receiver (checksum semantics).
+//! * [`ArqPolicy::AckRetransmit`] — per-fragment stop-and-wait: each
+//!   receiver acknowledges each fragment with a tiny ACK frame; a missing
+//!   ACK (lost data *or* lost ACK) triggers a retransmission, up to
+//!   `max_retries` extra attempts per fragment.
+//! * [`ArqPolicy::SummaryRepair`] — per-message end-to-end repair: the whole
+//!   fragment train is sent once, then each receiver returns a summary frame
+//!   (OK, or a NACK bitmap of missing fragments) and the sender retransmits
+//!   exactly the missing fragments, for up to `max_rounds` repair rounds.
+//!   In the tree-synchronized waves every link carries one message per
+//!   phase, so this is precisely the per-phase summary-and-repair check.
+//!
+//! Retransmitted data fragments, ACK/summary frames and timeout stalls are
+//! charged through the existing [`crate::EnergyModel`], the new
+//! retransmit/ack counters of [`crate::NetworkStats`], and the
+//! retransmission fields of [`crate::TraceRecord`] — the actual charging
+//! loop lives in [`crate::Network::unicast_delivery`] /
+//! [`crate::Network::broadcast_delivery`]. First-attempt data fragments keep
+//! using the plain `tx` counters, so the paper's primary metric stays
+//! loss-invariant and a perfect channel reproduces lossless runs exactly.
+
+use crate::Time;
+
+/// Payload bytes of a positive acknowledgement frame (sequence echo).
+pub const ACK_BYTES: usize = 2;
+
+/// Payload bytes of a summary frame for a message of `fragments` fragments:
+/// a 2-byte header plus a received-fragment bitmap.
+pub fn summary_bytes(fragments: usize) -> usize {
+    2 + fragments.div_ceil(8)
+}
+
+/// A hop-by-hop ARQ policy (see the module docs for the three variants).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ArqPolicy {
+    /// No recovery: lost fragments stay lost.
+    #[default]
+    None,
+    /// Per-fragment positive ACK + stop-and-wait retransmission.
+    AckRetransmit {
+        /// Maximum retransmissions per fragment (per receiver).
+        max_retries: u32,
+    },
+    /// Per-message summary frames + retransmission of missing fragments.
+    SummaryRepair {
+        /// Maximum repair rounds per message.
+        max_rounds: u32,
+    },
+}
+
+impl ArqPolicy {
+    /// Ack-and-retransmit with the given retry budget.
+    pub fn ack(max_retries: u32) -> Self {
+        ArqPolicy::AckRetransmit { max_retries }
+    }
+
+    /// Summary-and-repair with the given round budget.
+    pub fn summary(max_rounds: u32) -> Self {
+        ArqPolicy::SummaryRepair { max_rounds }
+    }
+
+    /// Whether the policy ever retransmits.
+    pub fn repairs(&self) -> bool {
+        !matches!(self, ArqPolicy::None)
+    }
+}
+
+/// Outcome of one unicast message transfer over the lossy network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Delivery {
+    /// Transfer latency including retransmissions, control frames and
+    /// timeout stalls.
+    pub time: Time,
+    /// Fragments the message was split into.
+    pub fragments: usize,
+    /// Fragments the receiver ultimately decoded.
+    pub delivered: usize,
+    /// Data-fragment retransmissions the sender performed.
+    pub retransmissions: u64,
+    /// ACK / summary frames transmitted (by the receiver).
+    pub control_packets: u64,
+    /// Whether every fragment arrived — an incomplete message is
+    /// undecodable and must be treated as lost by the application.
+    pub complete: bool,
+}
+
+impl Delivery {
+    /// A lossless delivery (the fast path without a channel).
+    pub fn lossless(time: Time, fragments: usize) -> Self {
+        Self {
+            time,
+            fragments,
+            delivered: fragments,
+            retransmissions: 0,
+            control_packets: 0,
+            complete: true,
+        }
+    }
+}
+
+/// Outcome of one local-broadcast transfer over the lossy network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BroadcastDelivery {
+    /// Transfer latency including repair traffic.
+    pub time: Time,
+    /// Fragments the message was split into.
+    pub fragments: usize,
+    /// Per-receiver completeness, aligned with the receiver slice passed to
+    /// [`crate::Network::broadcast_delivery`].
+    pub complete: Vec<bool>,
+    /// Data-fragment (re)broadcasts beyond the first attempt.
+    pub retransmissions: u64,
+    /// ACK / summary frames transmitted by the receivers.
+    pub control_packets: u64,
+}
+
+impl BroadcastDelivery {
+    /// A lossless delivery to `receivers` receivers.
+    pub fn lossless(time: Time, fragments: usize, receivers: usize) -> Self {
+        Self {
+            time,
+            fragments,
+            complete: vec![true; receivers],
+            retransmissions: 0,
+            control_packets: 0,
+        }
+    }
+
+    /// Whether every receiver decoded the whole message.
+    pub fn all_complete(&self) -> bool {
+        self.complete.iter().all(|&c| c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_sizes() {
+        assert_eq!(summary_bytes(1), 3);
+        assert_eq!(summary_bytes(8), 3);
+        assert_eq!(summary_bytes(9), 4);
+        assert_eq!(summary_bytes(0), 2);
+    }
+
+    #[test]
+    fn policy_constructors() {
+        assert_eq!(ArqPolicy::default(), ArqPolicy::None);
+        assert!(!ArqPolicy::None.repairs());
+        assert!(ArqPolicy::ack(3).repairs());
+        assert_eq!(
+            ArqPolicy::ack(3),
+            ArqPolicy::AckRetransmit { max_retries: 3 }
+        );
+        assert_eq!(
+            ArqPolicy::summary(4),
+            ArqPolicy::SummaryRepair { max_rounds: 4 }
+        );
+    }
+
+    #[test]
+    fn delivery_helpers() {
+        let d = Delivery::lossless(10, 3);
+        assert!(d.complete);
+        assert_eq!(d.delivered, 3);
+        let b = BroadcastDelivery::lossless(10, 2, 4);
+        assert!(b.all_complete());
+        assert_eq!(b.complete.len(), 4);
+    }
+}

@@ -4,26 +4,59 @@ use sensjoin_relation::NodeId;
 use std::collections::BTreeMap;
 
 /// Counters of one node.
+///
+/// `tx_packets` / `tx_bytes` count *first-attempt data fragments only* — the
+/// paper's primary metric, which stays invariant under packet loss.
+/// Reliability traffic lives in the dedicated retransmit / ack counters and
+/// everything (including control-frame receptions) is charged into
+/// `energy_uj`.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct NodeStats {
-    /// Packets transmitted.
+    /// Data packets transmitted (first attempts).
     pub tx_packets: u64,
-    /// Application payload bytes transmitted.
+    /// Application payload bytes transmitted (first attempts).
     pub tx_bytes: u64,
-    /// Packets received.
+    /// Data packets received (decoded copies; duplicates excluded).
     pub rx_packets: u64,
     /// Application payload bytes received.
     pub rx_bytes: u64,
-    /// Energy spent (µJ), transmission + reception.
+    /// Data-fragment retransmissions performed by the ARQ layer.
+    pub retx_packets: u64,
+    /// Payload bytes retransmitted by the ARQ layer.
+    pub retx_bytes: u64,
+    /// ACK / summary control frames transmitted.
+    pub ack_packets: u64,
+    /// ACK / summary payload bytes transmitted.
+    pub ack_bytes: u64,
+    /// Data fragments addressed to this node that were permanently lost
+    /// (never delivered within the retry budget).
+    pub lost_packets: u64,
+    /// Energy spent (µJ), transmission + reception, including all
+    /// reliability traffic.
     pub energy_uj: f64,
 }
 
 impl NodeStats {
+    /// Reliability overhead bytes (retransmissions + control frames).
+    pub fn overhead_bytes(&self) -> u64 {
+        self.retx_bytes + self.ack_bytes
+    }
+
+    /// Total bytes put on the air: data + retransmissions + control.
+    pub fn cost_bytes(&self) -> u64 {
+        self.tx_bytes + self.overhead_bytes()
+    }
+
     fn add(&mut self, other: &NodeStats) {
         self.tx_packets += other.tx_packets;
         self.tx_bytes += other.tx_bytes;
         self.rx_packets += other.rx_packets;
         self.rx_bytes += other.rx_bytes;
+        self.retx_packets += other.retx_packets;
+        self.retx_bytes += other.retx_bytes;
+        self.ack_packets += other.ack_packets;
+        self.ack_bytes += other.ack_bytes;
+        self.lost_packets += other.lost_packets;
         self.energy_uj += other.energy_uj;
     }
 }
@@ -72,6 +105,49 @@ impl NetworkStats {
         p.energy_uj += uj;
     }
 
+    /// Records one retransmitted data fragment at `node`.
+    pub fn record_retx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        let s = &mut self.per_node[node.0 as usize];
+        s.retx_packets += 1;
+        s.retx_bytes += payload as u64;
+        s.energy_uj += uj;
+        let p = self.per_phase.entry(phase.to_owned()).or_default();
+        p.retx_packets += 1;
+        p.retx_bytes += payload as u64;
+        p.energy_uj += uj;
+    }
+
+    /// Records one transmitted ACK / summary control frame at `node`.
+    pub fn record_ack(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        let s = &mut self.per_node[node.0 as usize];
+        s.ack_packets += 1;
+        s.ack_bytes += payload as u64;
+        s.energy_uj += uj;
+        let p = self.per_phase.entry(phase.to_owned()).or_default();
+        p.ack_packets += 1;
+        p.ack_bytes += payload as u64;
+        p.energy_uj += uj;
+    }
+
+    /// Records a permanently lost data fragment addressed to `node`.
+    pub fn record_loss(&mut self, node: NodeId, phase: &str) {
+        self.per_node[node.0 as usize].lost_packets += 1;
+        self.per_phase
+            .entry(phase.to_owned())
+            .or_default()
+            .lost_packets += 1;
+    }
+
+    /// Charges pure energy at `node` (e.g. receiving a control frame or a
+    /// duplicate fragment) without touching any packet counter.
+    pub fn record_energy(&mut self, node: NodeId, uj: f64, phase: &str) {
+        self.per_node[node.0 as usize].energy_uj += uj;
+        self.per_phase
+            .entry(phase.to_owned())
+            .or_default()
+            .energy_uj += uj;
+    }
+
     /// Counters of one node.
     pub fn node(&self, node: NodeId) -> &NodeStats {
         &self.per_node[node.0 as usize]
@@ -105,6 +181,33 @@ impl NetworkStats {
     /// Total energy spent network-wide (µJ).
     pub fn total_energy_uj(&self) -> f64 {
         self.per_node.iter().map(|s| s.energy_uj).sum()
+    }
+
+    /// Total data-fragment retransmissions network-wide.
+    pub fn total_retx_packets(&self) -> u64 {
+        self.per_node.iter().map(|s| s.retx_packets).sum()
+    }
+
+    /// Total ACK / summary frames transmitted network-wide.
+    pub fn total_ack_packets(&self) -> u64 {
+        self.per_node.iter().map(|s| s.ack_packets).sum()
+    }
+
+    /// Total reliability overhead bytes (retransmissions + control frames).
+    pub fn total_overhead_bytes(&self) -> u64 {
+        self.per_node.iter().map(|s| s.overhead_bytes()).sum()
+    }
+
+    /// Total bytes put on the air network-wide: data + retransmissions +
+    /// control frames. The honest cost metric when comparing reliability
+    /// strategies.
+    pub fn total_cost_bytes(&self) -> u64 {
+        self.per_node.iter().map(|s| s.cost_bytes()).sum()
+    }
+
+    /// Total permanently lost data fragments network-wide.
+    pub fn total_lost_packets(&self) -> u64 {
+        self.per_node.iter().map(|s| s.lost_packets).sum()
     }
 
     /// The highest per-node transmission count and the node attaining it
@@ -147,6 +250,31 @@ mod tests {
         assert_eq!(s.phase("collect").rx_packets, 1);
         assert_eq!(s.phase("nope"), NodeStats::default());
         assert!((s.total_energy_uj() - 240.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reliability_counters() {
+        let mut s = NetworkStats::new(2);
+        s.record_tx(NodeId(0), 48, 10.0, "p");
+        s.record_retx(NodeId(0), 48, 10.0, "p");
+        s.record_ack(NodeId(1), 2, 1.0, "p");
+        s.record_loss(NodeId(1), "p");
+        s.record_energy(NodeId(0), 0.5, "p");
+        assert_eq!(s.total_tx_packets(), 1);
+        assert_eq!(s.total_retx_packets(), 1);
+        assert_eq!(s.total_ack_packets(), 1);
+        assert_eq!(s.total_lost_packets(), 1);
+        assert_eq!(s.total_overhead_bytes(), 50);
+        assert_eq!(s.total_cost_bytes(), 98);
+        assert_eq!(s.phase("p").retx_bytes, 48);
+        assert_eq!(s.phase("p").ack_bytes, 2);
+        assert_eq!(s.phase("p").lost_packets, 1);
+        assert!((s.total_energy_uj() - 21.5).abs() < 1e-9);
+        let mut other = NetworkStats::new(2);
+        other.record_retx(NodeId(0), 10, 1.0, "p");
+        s.merge(&other);
+        assert_eq!(s.node(NodeId(0)).retx_packets, 2);
+        assert_eq!(s.node(NodeId(0)).retx_bytes, 58);
     }
 
     #[test]

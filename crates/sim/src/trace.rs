@@ -22,8 +22,14 @@ pub struct TraceRecord {
     pub to: Vec<NodeId>,
     /// Application payload bytes.
     pub bytes: usize,
-    /// Packets after fragmentation.
+    /// Packets after fragmentation (first attempts).
     pub packets: usize,
+    /// Data-fragment retransmissions the ARQ layer performed for this
+    /// message (0 on a lossless network).
+    pub retransmissions: u64,
+    /// Whether the message was fully delivered to every addressed receiver
+    /// (always `true` on a lossless network).
+    pub acked: bool,
 }
 
 /// An in-memory transmission trace.
@@ -38,7 +44,8 @@ impl Trace {
         Self::default()
     }
 
-    /// Appends a record, assigning the next sequence number.
+    /// Appends a lossless record (no retransmissions, fully delivered),
+    /// assigning the next sequence number.
     pub fn push(
         &mut self,
         phase: &str,
@@ -46,6 +53,24 @@ impl Trace {
         to: Vec<NodeId>,
         bytes: usize,
         packets: usize,
+    ) {
+        self.push_delivery(phase, from, to, bytes, packets, 0, true);
+    }
+
+    /// Appends a record with explicit delivery information: how many
+    /// data-fragment retransmissions the message needed and whether it was
+    /// completely delivered. One *logical* record per message — retries do
+    /// not produce extra records.
+    #[allow(clippy::too_many_arguments)]
+    pub fn push_delivery(
+        &mut self,
+        phase: &str,
+        from: NodeId,
+        to: Vec<NodeId>,
+        bytes: usize,
+        packets: usize,
+        retransmissions: u64,
+        acked: bool,
     ) {
         let seq = self.records.len() as u64;
         self.records.push(TraceRecord {
@@ -55,6 +80,8 @@ impl Trace {
             to,
             bytes,
             packets,
+            retransmissions,
+            acked,
         });
     }
 
@@ -78,20 +105,23 @@ impl Trace {
         self.records.iter().map(|r| r.packets as u64).sum()
     }
 
-    /// Renders the trace as CSV (`seq,phase,from,to,bytes,packets`; multiple
+    /// Renders the trace as CSV
+    /// (`seq,phase,from,to,bytes,packets,retransmissions,acked`; multiple
     /// receivers separated by `;`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("seq,phase,from,to,bytes,packets\n");
+        let mut out = String::from("seq,phase,from,to,bytes,packets,retransmissions,acked\n");
         for r in &self.records {
             let to: Vec<String> = r.to.iter().map(|n| n.0.to_string()).collect();
             out.push_str(&format!(
-                "{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{}\n",
                 r.seq,
                 r.phase,
                 r.from.0,
                 to.join(";"),
                 r.bytes,
-                r.packets
+                r.packets,
+                r.retransmissions,
+                r.acked
             ));
         }
         out
@@ -107,12 +137,16 @@ mod tests {
         let mut t = Trace::new();
         t.push("collect", NodeId(3), vec![NodeId(1)], 30, 1);
         t.push("filter", NodeId(1), vec![NodeId(3), NodeId(4)], 100, 3);
-        assert_eq!(t.len(), 2);
-        assert_eq!(t.total_packets(), 4);
+        t.push_delivery("final", NodeId(4), vec![NodeId(1)], 60, 2, 3, false);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_packets(), 6);
         assert_eq!(t.records()[1].seq, 1);
+        assert_eq!(t.records()[2].retransmissions, 3);
+        assert!(!t.records()[2].acked);
         let csv = t.to_csv();
-        assert!(csv.starts_with("seq,phase,from,to,bytes,packets\n"));
-        assert!(csv.contains("0,collect,3,1,30,1\n"));
-        assert!(csv.contains("1,filter,1,3;4,100,3\n"));
+        assert!(csv.starts_with("seq,phase,from,to,bytes,packets,retransmissions,acked\n"));
+        assert!(csv.contains("0,collect,3,1,30,1,0,true\n"));
+        assert!(csv.contains("1,filter,1,3;4,100,3,0,true\n"));
+        assert!(csv.contains("2,final,4,1,60,2,3,false\n"));
     }
 }
