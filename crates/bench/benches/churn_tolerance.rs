@@ -1,0 +1,165 @@
+//! Churn tolerance: the byte price of answering under node crash/revival
+//! churn, on the paper-default 1500-node band join (5 % result fraction).
+//!
+//! Two strategies over the same sampled MTBF/MTTR fault timeline: the
+//! churn-aware protocol with *localized* tree repair (orphan subtrees
+//! re-parent among live neighbors; treecut-proxy recovery keeps surviving
+//! rows), and the §IV-F recipe applied to churn — flood a *full* routing
+//! rebuild and re-execute the query until one run sees no churn event.
+//! Cost is `total_cost_bytes` = data + retransmissions + control beacons.
+//!
+//! Acceptance gates (asserted here, recorded in `BENCH_engine.json`): at
+//! the shortest MTBF (24 expected events per execution) the localized total
+//! must be ≤ 0.7× the rebuild-re-execution total, and the churned run must
+//! actually have observed churn (non-vacuous).
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use sensjoin_bench::{benchjson, paper_network, run, SEED};
+use sensjoin_core::workload::RangeQueryFamily;
+use sensjoin_core::{execute_with_rebuild_reexecution, JoinMethod, SensJoin};
+use sensjoin_query::parse;
+use sensjoin_sim::{ChurnTimeline, PHASE_REPAIR};
+use std::time::Instant;
+
+const NODES: usize = 1500;
+/// Expected churn events per execution span (shorter MTBF to the right).
+const EVENTS: [u32; 3] = [2, 8, 24];
+const REBUILD_ATTEMPTS: u32 = 6;
+
+fn main() {
+    let mut criterion = Criterion::default();
+    let mut snet = paper_network(NODES, SEED);
+    let cal = RangeQueryFamily::ratio_33().calibrate(&snet, 0.05);
+    let cq = snet.compile(&parse(&cal.sql).unwrap()).unwrap();
+    let clean = run(&mut snet, &SensJoin::default(), &cal.sql);
+    let span = clean.latency_us.max(1);
+
+    let mut lo_cost = Vec::new();
+    let mut lo_repair = Vec::new();
+    let mut re_cost = Vec::new();
+    let mut re_attempts = Vec::new();
+    let mut mtbfs = Vec::new();
+    let mut churned_at_max = false;
+    for &events in &EVENTS {
+        let mtbf = NODES as f64 * span as f64 / events as f64;
+        let mttr = mtbf / 2.0;
+        let horizon = 4 * span;
+        let churn_seed = SEED.wrapping_add(events as u64);
+        mtbfs.push(mtbf);
+
+        let mut local = paper_network(NODES, SEED);
+        let tl = ChurnTimeline::sample(
+            local.len(),
+            local.net().base(),
+            mtbf,
+            mttr,
+            horizon,
+            churn_seed,
+        );
+        local.net_mut().set_churn(Some(tl.clone()));
+        let lo = SensJoin::default().execute(&mut local, &cq).unwrap();
+        lo_cost.push(lo.stats.total_cost_bytes());
+        lo_repair
+            .push(lo.stats.phase(PHASE_REPAIR).tx_bytes + lo.stats.phase(PHASE_REPAIR).ack_bytes);
+        if events == *EVENTS.last().unwrap() {
+            churned_at_max = lo.churned;
+        }
+
+        let mut full = paper_network(NODES, SEED);
+        full.net_mut().set_churn(Some(tl));
+        let re = execute_with_rebuild_reexecution(
+            &SensJoin::default(),
+            &mut full,
+            &cq,
+            REBUILD_ATTEMPTS,
+        )
+        .unwrap();
+        re_cost.push(re.outcome.stats.total_cost_bytes());
+        re_attempts.push(re.attempts);
+    }
+
+    // Gates.
+    assert!(
+        churned_at_max,
+        "no churn event fired at the shortest MTBF — the comparison is vacuous"
+    );
+    let last = EVENTS.len() - 1;
+    let gate = lo_cost[last] as f64 / re_cost[last] as f64;
+    assert!(
+        gate <= 0.7,
+        "gate violated: localized / rebuild at {} events per execution is {gate:.3} > 0.7",
+        EVENTS[last]
+    );
+
+    // Timing: one churned localized execution per MTBF (the timeline is
+    // re-sampled per call so every iteration actually exercises repair).
+    {
+        let mut bg = criterion.benchmark_group("churn_tolerance");
+        for (i, &events) in EVENTS.iter().enumerate() {
+            let mtbf = mtbfs[i];
+            bg.bench_with_input(
+                BenchmarkId::new("localized", format!("{events}")),
+                &events,
+                |b, _| {
+                    b.iter_custom(|iters| {
+                        let start = Instant::now();
+                        for it in 0..iters {
+                            let tl = ChurnTimeline::sample(
+                                snet.len(),
+                                snet.net().base(),
+                                mtbf,
+                                mtbf / 2.0,
+                                4 * span,
+                                SEED.wrapping_add(it),
+                            );
+                            snet.net_mut().set_churn(Some(tl));
+                            black_box(SensJoin::default().execute(&mut snet, &cq).unwrap());
+                        }
+                        start.elapsed()
+                    })
+                },
+            );
+        }
+        bg.finish();
+    }
+    snet.net_mut().set_churn(None);
+
+    let fmt_map = |vals: &[String]| format!("{{\n{}\n  }}", vals.join(",\n"));
+    let mut lo_lines = Vec::new();
+    let mut repair_lines = Vec::new();
+    let mut re_lines = Vec::new();
+    let mut attempt_lines = Vec::new();
+    for (i, &events) in EVENTS.iter().enumerate() {
+        println!(
+            "churn_tolerance: {events} events/exec (MTBF {:.0} ms) → localized {} B \
+             (repair {} B), rebuild+re-exec {} B ({} attempts)",
+            mtbfs[i] / 1000.0,
+            lo_cost[i],
+            lo_repair[i],
+            re_cost[i],
+            re_attempts[i]
+        );
+        lo_lines.push(format!("    \"{events}\": {}", lo_cost[i]));
+        repair_lines.push(format!("    \"{events}\": {}", lo_repair[i]));
+        re_lines.push(format!("    \"{events}\": {}", re_cost[i]));
+        attempt_lines.push(format!("    \"{events}\": {}", re_attempts[i]));
+    }
+    let results = criterion.results().to_vec();
+    let extras = [
+        ("nodes", format!("{NODES}")),
+        ("clean_latency_us", format!("{span}")),
+        ("localized_cost_bytes", fmt_map(&lo_lines)),
+        ("localized_repair_bytes", fmt_map(&repair_lines)),
+        ("rebuild_reexec_cost_bytes", fmt_map(&re_lines)),
+        ("rebuild_reexec_attempts", fmt_map(&attempt_lines)),
+        ("localized_over_rebuild_max_churn", format!("{gate:.3}")),
+        (
+            "gate",
+            "\"localized_over_rebuild_max_churn <= 0.7 with churn observed\"".to_string(),
+        ),
+    ];
+    benchjson::merge_section(
+        "churn_tolerance",
+        &benchjson::section_value(&results, &extras),
+    );
+}

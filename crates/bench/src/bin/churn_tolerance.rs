@@ -1,0 +1,19 @@
+//! Extension: node churn — localized tree self-healing vs the §IV-F
+//! full-rebuild-and-re-execute recipe (DESIGN.md §4.9).
+//!
+//! ```sh
+//! cargo run --release -p sensjoin-bench --bin churn_tolerance
+//! ```
+//! Set `SENSJOIN_N` to override the network size (default 1500).
+
+fn main() {
+    let n: usize = std::env::var("SENSJOIN_N")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1500);
+    let seed: u64 = std::env::var("SENSJOIN_SEED")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(sensjoin_bench::SEED);
+    println!("{}", sensjoin_bench::experiments::churn_tolerance(n, seed));
+}

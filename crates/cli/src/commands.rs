@@ -10,7 +10,7 @@ use sensjoin_core::{
 use sensjoin_field::{presets, Area, FieldSpec, Placement};
 use sensjoin_query::parse;
 use sensjoin_relation::NodeId;
-use sensjoin_sim::{ArqPolicy, BaseChoice, Channel};
+use sensjoin_sim::{ArqPolicy, BaseChoice, Channel, ChurnTimeline};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
@@ -40,6 +40,13 @@ CHANNEL OPTIONS (run, multi, continuous):
   --arq POLICY     none|ack|summary                  [default: ack when lossy]
   --retries R      ARQ retry / repair-round budget   [default: 3]
   --loss-seed S    channel randomness seed           [default: 7]
+
+CHURN OPTIONS (run, multi, continuous):
+  --churn H        enable node churn, sampled over a horizon of H seconds
+                   of simulated time (crash-stop + reboot with state loss)
+  --mtbf S         per-node mean time between failures, seconds [default: 600]
+  --mttr S         per-node mean time to repair, seconds [default: mtbf/2]
+  --churn-seed S   fault-timeline randomness seed    [default: 13]
 
 run/shell OPTIONS:
   --sql QUERY      the join query (run only)
@@ -170,6 +177,53 @@ fn apply_channel(args: &Args, snet: &mut SensorNetwork) -> Result<(), String> {
     Ok(())
 }
 
+/// Options shared by every subcommand that can run under node churn.
+const CHURN_OPTS: &[&str] = &["churn", "mtbf", "mttr", "churn-seed"];
+
+/// Attaches a sampled fault timeline from `--churn`, `--mtbf`, `--mttr` and
+/// `--churn-seed` to the network. Times are given in seconds of simulated
+/// time and converted to the simulator's microsecond clock.
+fn apply_churn(args: &Args, snet: &mut SensorNetwork) -> Result<(), String> {
+    let Some(h) = args.get_str("churn") else {
+        for opt in &CHURN_OPTS[1..] {
+            if args.get_str(opt).is_some() {
+                return Err(format!("--{opt} needs --churn HORIZON_S"));
+            }
+        }
+        return Ok(());
+    };
+    let horizon_s: f64 = h.parse().map_err(|_| format!("bad --churn {h:?}"))?;
+    if !horizon_s.is_finite() || horizon_s <= 0.0 {
+        return Err("--churn horizon must be positive".into());
+    }
+    let mtbf_s: f64 = args
+        .get_or("mtbf", 600.0, "seconds")
+        .map_err(|e| e.to_string())?;
+    if !mtbf_s.is_finite() || mtbf_s <= 0.0 {
+        return Err("--mtbf must be positive".into());
+    }
+    let mttr_s: f64 = match args.get_str("mttr") {
+        Some(s) => s.parse().map_err(|_| format!("bad --mttr {s:?}"))?,
+        None => mtbf_s / 2.0,
+    };
+    if !mttr_s.is_finite() || mttr_s <= 0.0 {
+        return Err("--mttr must be positive".into());
+    }
+    let seed: u64 = args
+        .get_or("churn-seed", 13, "integer")
+        .map_err(|e| e.to_string())?;
+    let tl = ChurnTimeline::sample(
+        snet.len(),
+        snet.net().base(),
+        mtbf_s * 1e6,
+        mttr_s * 1e6,
+        (horizon_s * 1e6) as sensjoin_sim::Time,
+        seed,
+    );
+    snet.net_mut().set_churn(Some(tl));
+    Ok(())
+}
+
 fn field_specs(args: &Args) -> Result<Vec<FieldSpec>, String> {
     Ok(match args.get_str("fields").unwrap_or("indoor") {
         "indoor" => presets::indoor_climate(),
@@ -184,6 +238,7 @@ fn cmd_multi(args: &Args) -> Result<(), String> {
         "nodes", "area", "seed", "base", "fields", "epochs", "every", "period", "data",
     ];
     known.extend_from_slice(CHANNEL_OPTS);
+    known.extend_from_slice(CHURN_OPTS);
     args.ensure_known(&known).map_err(|e| e.to_string())?;
     if args.positional.is_empty() {
         return Err("multi needs one or more SQL queries as positional arguments".into());
@@ -220,6 +275,7 @@ fn cmd_multi(args: &Args) -> Result<(), String> {
     };
     let mut snet = build_network(args)?;
     apply_channel(args, &mut snet)?;
+    apply_churn(args, &mut snet)?;
     // A loaded trace is a fixed snapshot; only generated fields drift.
     let specs = if args.get_str("data").is_some() {
         Vec::new()
@@ -276,6 +332,7 @@ fn cmd_continuous(args: &Args) -> Result<(), String> {
         "nodes", "area", "seed", "base", "fields", "sql", "rounds", "epsilon", "data",
     ];
     known.extend_from_slice(CHANNEL_OPTS);
+    known.extend_from_slice(CHURN_OPTS);
     args.ensure_known(&known).map_err(|e| e.to_string())?;
     let sql = args
         .get_str("sql")
@@ -292,6 +349,7 @@ fn cmd_continuous(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     let mut snet = build_network(args)?;
     apply_channel(args, &mut snet)?;
+    apply_churn(args, &mut snet)?;
     // A loaded trace is a fixed snapshot; only generated fields drift.
     let specs = if args.get_str("data").is_some() {
         Vec::new()
@@ -472,6 +530,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
         "nodes", "area", "seed", "base", "fields", "sql", "method", "trace", "data",
     ];
     known.extend_from_slice(CHANNEL_OPTS);
+    known.extend_from_slice(CHURN_OPTS);
     args.ensure_known(&known).map_err(|e| e.to_string())?;
     let sql = args
         .get_str("sql")
@@ -484,6 +543,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     let mut snet = build_network(args)?;
     apply_channel(args, &mut snet)?;
+    apply_churn(args, &mut snet)?;
     println!(
         "network: {} nodes, tree depth {}, base {}",
         snet.len(),
@@ -499,6 +559,9 @@ fn cmd_run(args: &Args) -> Result<(), String> {
                     .map_err(|e| e.to_string())?,
             snet.net().arq()
         );
+    }
+    if snet.net().has_churn() {
+        println!("churn: sampled fault timeline enabled (see --mtbf / --mttr / --churn-seed)");
     }
     if trace_path.is_some() {
         snet.net_mut().set_tracing(true);
@@ -765,7 +828,7 @@ mod tests {
             .insert("trace".into(), path.to_str().unwrap().to_owned());
         assert_eq!(dispatch(&a), 0);
         let csv = std::fs::read_to_string(&path).unwrap();
-        assert!(csv.starts_with("seq,phase,from,to,bytes,packets,retransmissions,acked\n"));
+        assert!(csv.starts_with("seq,phase,kind,from,to,bytes,packets,retransmissions,acked\n"));
         assert!(csv.lines().count() > 10);
         // --trace with --method all is ambiguous.
         let mut bad = args("run --nodes 50 --method all --trace /tmp/x.csv");
@@ -773,6 +836,33 @@ mod tests {
             "sql".into(),
             "SELECT A.temp, B.temp FROM Sensors A, Sensors B ONCE".into(),
         );
+        assert_ne!(dispatch(&bad), 0);
+    }
+
+    #[test]
+    fn churn_flags_run_on_every_executor() {
+        let sql_once = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                        WHERE A.temp - B.temp > 3.0 ONCE";
+        let sql_cont = "SELECT A.hum FROM Sensors A, Sensors B \
+                        WHERE A.temp - B.temp > 2.0 SAMPLE PERIOD 30";
+        // Aggressive churn so the timeline actually fires at test scale.
+        let mut a = args(
+            "run --nodes 80 --seed 3 --method sens --churn 60 --mtbf 20 --mttr 10 --churn-seed 5",
+        );
+        a.options.insert("sql".into(), sql_once.into());
+        assert_eq!(dispatch(&a), 0);
+        let mut c = args("continuous --nodes 70 --seed 3 --rounds 3 --churn 60 --mtbf 20");
+        c.options.insert("sql".into(), sql_cont.into());
+        assert_eq!(dispatch(&c), 0);
+        let mut m = args("multi --nodes 70 --seed 3 --epochs 2 --churn 60 --mtbf 20");
+        m.positional = vec![sql_cont.into()];
+        assert_eq!(dispatch(&m), 0);
+        // --mtbf without --churn is rejected, as are nonsense values.
+        let mut bad = args("run --nodes 50 --mtbf 20");
+        bad.options.insert("sql".into(), sql_once.into());
+        assert_ne!(dispatch(&bad), 0);
+        let mut bad = args("run --nodes 50 --churn 0");
+        bad.options.insert("sql".into(), sql_once.into());
         assert_ne!(dispatch(&bad), 0);
     }
 

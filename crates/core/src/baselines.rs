@@ -110,6 +110,7 @@ impl JoinMethod for MediatedJoin {
                 latency_slotted_us: 0,
                 contributors: Default::default(),
                 complete: true,
+                churned: false,
             });
         }
         let mediator = Self::pick_mediator(snet, &members);
@@ -191,6 +192,7 @@ impl JoinMethod for MediatedJoin {
             latency_slotted_us: rep_collect.timing.slotted + t_ship,
             contributors: computation.contributors,
             complete: rep_collect.damaged.is_empty() && shipped,
+            churned: false,
         })
     }
 }

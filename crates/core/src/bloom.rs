@@ -326,6 +326,7 @@ impl JoinMethod for BloomSemiJoin {
             latency_slotted_us: rep1.timing.then(rep2.timing).then(rep3.timing).slotted,
             contributors: computation.contributors,
             complete: rep3.damaged.is_empty(),
+            churned: false,
         })
     }
 }

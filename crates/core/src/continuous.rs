@@ -45,6 +45,7 @@ pub const MAX_ROUND_ATTEMPTS: u32 = 3;
 use sensjoin_quadtree::{Point, PointSet, RelFlags};
 use sensjoin_query::CompiledQuery;
 use sensjoin_relation::NodeId;
+use sensjoin_sim::Time;
 use std::collections::BTreeMap;
 
 /// Phase labels of the continuous rounds.
@@ -285,6 +286,9 @@ pub struct ContinuousSensJoin {
     /// Value-drift threshold for re-reporting (0 = exact results).
     pub epsilon: f64,
     state: Option<State>,
+    /// Previous round's latency — the simulated time that elapsed since the
+    /// last churn boundary (rounds are the continuous executor's boundaries).
+    last_latency_us: Time,
 }
 
 impl ContinuousSensJoin {
@@ -301,6 +305,7 @@ impl ContinuousSensJoin {
             config: SensJoinConfig::default(),
             epsilon,
             state: None,
+            last_latency_us: 0,
         }
     }
 
@@ -324,6 +329,17 @@ impl ContinuousSensJoin {
         query: &CompiledQuery,
     ) -> Result<JoinOutcome, ProtocolError> {
         snet.net_mut().reset_stats();
+        // Rounds are the continuous executor's churn boundaries: crashes and
+        // revivals take effect between rounds, never mid-round, so every
+        // round's contributing set is the population alive at its start.
+        let mut churned = false;
+        if snet.net().has_churn() {
+            let out = snet.net_mut().apply_churn(self.last_latency_us);
+            churned = !out.crashed.is_empty() || !out.revived.is_empty();
+            if !out.is_empty() {
+                self.reconcile_churn(snet, query);
+            }
+        }
         let mut out = self.round_once(snet, query)?;
         let mut attempts = 1;
         while !out.complete && attempts < MAX_ROUND_ATTEMPTS {
@@ -339,7 +355,65 @@ impl ContinuousSensJoin {
             out.latency_slotted_us += prev.latency_slotted_us;
         }
         out.stats = snet.net_mut().take_stats();
+        out.churned = churned;
+        self.last_latency_us = out.latency_us;
         Ok(out)
+    }
+
+    /// Reconciles the persistent round state with a churn boundary so the
+    /// next round's deltas stay sound over the repaired tree.
+    ///
+    /// Every node that is dead or detached sheds its distributed state: its
+    /// last reported cell leaves the base population as a synthesized
+    /// deletion (the base learned of the death from the repair
+    /// notifications, so this is radio-free), its cached tuple is retracted,
+    /// and its delta baselines are cleared so a later revival or
+    /// reattachment re-adds it as a fresh node. The counted subtree
+    /// synopses are positional — a reattached subtree's cells must move to
+    /// its new ancestors for filter-delta pruning to stay sound — so they
+    /// are recomputed over the repaired tree from the surviving baselines.
+    fn reconcile_churn(&mut self, snet: &SensorNetwork, query: &CompiledQuery) {
+        let Some(st) = &mut self.state else { return };
+        let net = snet.net();
+        let routing = net.routing();
+        let mut departed = Delta::default();
+        let mut any_departed = false;
+        for i in 0..st.last_cell.len() {
+            let v = NodeId(i as u32);
+            if net.is_alive(v) && routing.depth(v).is_some() {
+                continue;
+            }
+            if let Some((z, f)) = st.last_cell[i].take() {
+                departed.record(z, f, -1);
+                any_departed = true;
+            }
+            st.last_values[i] = None;
+            st.matched[i] = false;
+            st.node_filter[i] = PointSet::new();
+            st.cache.remove(&v);
+        }
+        for c in st.subtree.iter_mut() {
+            *c = Counts::default();
+        }
+        for i in 0..st.last_cell.len() {
+            if let Some((z, f)) = st.last_cell[i] {
+                let mut one = Delta::default();
+                one.record(z, f, 1);
+                let net_d = one.net();
+                let mut u = NodeId(i as u32);
+                apply_delta(&mut st.subtree[u.0 as usize], &net_d);
+                while let Some(p) = routing.parent(u) {
+                    apply_delta(&mut st.subtree[p.0 as usize], &net_d);
+                    u = p;
+                }
+            }
+        }
+        if any_departed {
+            // The filter shrinks accordingly; the removals reach the
+            // survivors through the next round's ordinary filter delta
+            // (computed against `st.filter`).
+            st.engine.apply_delta(query, &st.space, &departed.net());
+        }
     }
 
     fn round_once(
@@ -571,6 +645,8 @@ impl ContinuousSensJoin {
             // Any lost delta (either direction) desynchronizes state; the
             // wrapper resyncs by cold-restarting the round.
             complete: rep1.damaged.is_empty() && rep2.damaged.is_empty() && rep3.damaged.is_empty(),
+            // The wrapper stamps the real value after applying boundaries.
+            churned: false,
         })
     }
 }

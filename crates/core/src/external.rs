@@ -90,6 +90,7 @@ impl JoinMethod for ExternalJoin {
             // The external join ships raw tuples: any permanent loss is a
             // missing result row, so the single wave must arrive intact.
             complete: rep.damaged.is_empty(),
+            churned: false,
         })
     }
 }

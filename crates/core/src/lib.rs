@@ -95,7 +95,8 @@ pub use external::ExternalJoin;
 pub use incremental::{CellCounts, FilterEngine};
 pub use outcome::{JoinOutcome, JoinResult, ProtocolError};
 pub use recovery::{
-    execute_with_recovery, execute_with_reexecution, RecoveryOutcome, MAX_REEXECUTION_ATTEMPTS,
+    execute_with_rebuild_reexecution, execute_with_recovery, execute_with_reexecution,
+    RecoveryOutcome, MAX_REEXECUTION_ATTEMPTS,
 };
 pub use repr::JoinAttrMsg;
 pub use scheduler::{

@@ -92,8 +92,14 @@ pub struct JoinOutcome {
     /// traffic was permanently lost on a lossy channel in a way the
     /// protocol's conservative fallbacks could not absorb (e.g. final-result
     /// tuples dropped after the ARQ budget); always `true` on a lossless
-    /// network.
+    /// network. Under node churn, `true` means the result is exact over the
+    /// *surviving* nodes (liveness-projected exactness): every node that was
+    /// present at query start and alive at query end is fully represented.
     pub complete: bool,
+    /// Whether any churn event (crash or revival) was applied during this
+    /// execution — i.e. after the query started, excluding the pre-start
+    /// boundary. Rebuild-and-re-execute baselines restart on this flag.
+    pub churned: bool,
 }
 
 impl JoinOutcome {

@@ -16,7 +16,7 @@ use crate::outcome::{JoinOutcome, ProtocolError};
 use crate::snetwork::SensorNetwork;
 use crate::JoinMethod;
 use sensjoin_query::CompiledQuery;
-use sensjoin_sim::{ArqPolicy, LinkFailures};
+use sensjoin_sim::{ArqPolicy, LinkFailures, RepairStrategy};
 
 /// Default attempt cap for [`execute_with_reexecution`].
 pub const MAX_REEXECUTION_ATTEMPTS: u32 = 5;
@@ -132,6 +132,59 @@ pub fn execute_with_reexecution(
     })
 }
 
+/// The §IV-F recipe applied to *node churn*: no localized repair — whenever
+/// a node crashes or revives during an execution, the routing tree is
+/// rebuilt from scratch (a network-wide beacon flood, charged to the energy
+/// model) and the query is simply re-executed, until one run goes through
+/// without a churn event or `max_attempts` is reached.
+///
+/// The network's repair strategy is forced to
+/// [`RepairStrategy::FullRebuild`] for the duration of the call (and
+/// restored afterwards). All attempts' traffic — including every rebuild
+/// flood — is merged into the returned statistics and their latencies add
+/// up: this is exactly the baseline cost the localized-repair path is
+/// measured against in the `churn_tolerance` benchmark.
+pub fn execute_with_rebuild_reexecution(
+    method: &dyn JoinMethod,
+    snet: &mut SensorNetwork,
+    query: &CompiledQuery,
+    max_attempts: u32,
+) -> Result<RecoveryOutcome, ProtocolError> {
+    assert!(max_attempts >= 1, "at least one attempt is needed");
+    let saved = snet.net().repair_strategy();
+    snet.net_mut()
+        .set_repair_strategy(RepairStrategy::FullRebuild);
+    let mut attempts = 1;
+    let mut run = method.execute(snet, query);
+    if let Ok(outcome) = &mut run {
+        while outcome.churned && attempts < max_attempts {
+            attempts += 1;
+            match method.execute(snet, query) {
+                Ok(retry) => {
+                    let mut stats = std::mem::take(&mut outcome.stats);
+                    stats.merge(&retry.stats);
+                    let prev_latency = outcome.latency_us;
+                    let prev_slotted = outcome.latency_slotted_us;
+                    *outcome = retry;
+                    outcome.stats = stats;
+                    outcome.latency_us += prev_latency;
+                    outcome.latency_slotted_us += prev_slotted;
+                }
+                Err(e) => {
+                    run = Err(e);
+                    break;
+                }
+            }
+        }
+    }
+    snet.net_mut().set_repair_strategy(saved);
+    Ok(RecoveryOutcome {
+        outcome: run?,
+        attempts,
+        affected_links: 0,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -224,6 +277,32 @@ mod tests {
             let solo = SensJoin::default().execute(&mut s, &cq).unwrap();
             assert!(r.outcome.stats.total_tx_bytes() > solo.stats.total_tx_bytes());
         }
+    }
+
+    #[test]
+    fn rebuild_reexecution_restarts_until_churn_free() {
+        use sensjoin_sim::{ChurnAction, ChurnTimeline};
+        let mut s = snet(5);
+        let cq = query(&s);
+        let base = s.net().base();
+        let victim = s.net().routing().children(base)[0];
+        // Twin reference: the victim is gone from the very start.
+        let mut twin = snet(5);
+        twin.net_mut().fail_node(victim);
+        let reference = ExternalJoin.execute(&mut twin, &cq).unwrap();
+        // The victim crashes mid-execution (after the collection phase).
+        let tl = ChurnTimeline::new().at_boundary(1, victim, ChurnAction::Crash);
+        s.net_mut().set_churn(Some(tl));
+        let r = execute_with_rebuild_reexecution(&SensJoin::default(), &mut s, &cq, 5).unwrap();
+        assert_eq!(r.attempts, 2, "one churned run, one clean re-execution");
+        assert!(!r.outcome.churned);
+        assert!(r.outcome.complete);
+        assert!(r.outcome.result.same_result(&reference.result));
+        // The strategy override was restored.
+        assert_eq!(s.net().repair_strategy(), RepairStrategy::Localized);
+        // The rebuild flood and the wasted attempt were charged.
+        let clean = SensJoin::default().execute(&mut twin, &cq).unwrap();
+        assert!(r.outcome.stats.total_cost_bytes() > clean.stats.total_cost_bytes());
     }
 
     #[test]

@@ -133,7 +133,12 @@ pub struct EpochReport {
     /// Whether every due query's result is guaranteed exact. `false` only
     /// when data loss survived both the ARQ budget and the epoch retry loop
     /// (see [`MAX_EPOCH_ATTEMPTS`]); always `true` on a lossless network.
+    /// Under node churn, `true` means every due query's result is exact over
+    /// the population alive and attached at the epoch boundary.
     pub complete: bool,
+    /// Whether any churn event (crash or revival) was applied at this
+    /// epoch's boundary.
+    pub churned: bool,
 }
 
 impl EpochReport {
@@ -197,6 +202,9 @@ pub struct QueryGroup {
     config: SensJoinConfig,
     queries: Vec<Registered>,
     epoch: u64,
+    /// Previous epoch's latency — the simulated time that elapsed since the
+    /// last churn boundary (epochs are the group's churn boundaries).
+    last_latency_us: Time,
 }
 
 impl QueryGroup {
@@ -206,6 +214,7 @@ impl QueryGroup {
             config,
             queries: Vec::new(),
             epoch: 0,
+            last_latency_us: 0,
         }
     }
 
@@ -299,6 +308,17 @@ impl QueryGroup {
         let epoch = self.epoch;
         self.epoch += 1;
         snet.net_mut().reset_stats();
+        // Epochs are the group's churn boundaries: crashes and revivals take
+        // effect between epochs, never mid-epoch. No state reconciliation is
+        // needed beyond the tree repair the network performs itself — each
+        // due query's collection is a full per-epoch presence snapshot, so
+        // `presence_delta` below sheds departed nodes' cells and re-adds
+        // revived ones as ordinary population transitions.
+        let mut churned = false;
+        if snet.net().has_churn() {
+            let out = snet.net_mut().apply_churn(self.last_latency_us);
+            churned = !out.crashed.is_empty() || !out.revived.is_empty();
+        }
         let due: Vec<usize> = (0..self.queries.len())
             .filter(|&i| {
                 let r = &self.queries[i];
@@ -314,6 +334,7 @@ impl QueryGroup {
                 latency_slotted_us: 0,
                 solo_equivalent: Vec::new(),
                 complete: true,
+                churned,
             });
         }
         let mut report = self.epoch_once(snet, epoch, &due)?;
@@ -333,6 +354,8 @@ impl QueryGroup {
             }
         }
         report.stats = snet.net().stats().clone();
+        report.churned = churned;
+        self.last_latency_us = report.latency_us;
         Ok(report)
     }
 
@@ -738,6 +761,8 @@ impl QueryGroup {
             // starve several queries at once, so damage anywhere voids the
             // attempt and triggers the retry loop above.
             complete: rep1.damaged.is_empty() && rep2.damaged.is_empty() && rep3.damaged.is_empty(),
+            // The wrapper stamps the real value after applying boundaries.
+            churned: false,
         })
     }
 }

@@ -3,13 +3,14 @@
 use crate::config::{Representation, SensJoinConfig};
 use crate::engine::{exact_join, prejoin_filter, JoinSpace};
 use crate::outcome::{JoinOutcome, ProtocolError};
-use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg};
+use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg, NodeData};
 use crate::snetwork::SensorNetwork;
 use crate::wave::{down_wave, up_wave, DownArrival};
 use crate::JoinMethod;
 use sensjoin_quadtree::PointSet;
 use sensjoin_query::CompiledQuery;
 use sensjoin_relation::NodeId;
+use sensjoin_sim::{ChurnOutcome, Network};
 
 /// Phase labels used in statistics (Fig. 15's cost breakdown).
 pub const PHASE_COLLECTION: &str = "1-join-attribute-collection";
@@ -101,6 +102,99 @@ struct NodeState {
     received_filter: Option<PointSet>,
 }
 
+/// Reconciles per-node protocol state with the liveness changes of one churn
+/// boundary, keeping the surviving population's data exactly once in the
+/// network:
+///
+/// * **Crashed** nodes lose all state. Rows they proxied for *live* origins
+///   are re-elected back to those origins (the origin still stores its own
+///   reading, so this recovery is radio-free); rows *originating* at a dead
+///   node are dropped at every live holder (the death notification the
+///   network charges under the repair phase). A crashed node's treecut
+///   backup (`kept`) duplicates a handoff that already succeeded — its
+///   content lives on at the proxy and must not be restored.
+/// * **Revived** nodes reboot with no protocol state. A revived node that
+///   participated at query start re-contributes its reading (every other
+///   copy was dropped when it died), conservatively in pass-through mode.
+/// * **Reattached** nodes hang below ancestors whose memorized subtree
+///   synopses do not cover them, so Selective Filter Forwarding could
+///   wrongly prune them — any reattached node holding data ships it
+///   unconditionally (pass-through).
+///
+/// Finally the participant set is re-closed towards the root so the final
+/// up-wave stays well-formed (re-activated relays hold no data and forward
+/// only).
+fn reconcile_churn(
+    states: &mut [NodeState],
+    out: &ChurnOutcome,
+    net: &Network,
+    data: &[NodeData],
+    p0: &[bool],
+) {
+    let alive = net.alive_mask();
+    let mut restore: Vec<FullRec> = Vec::new();
+    for &d in &out.crashed {
+        let lost = std::mem::take(&mut states[d.0 as usize]);
+        restore.extend(lost.proxy);
+    }
+    if !out.crashed.is_empty() {
+        for st in states.iter_mut() {
+            st.proxy.retain(|r| alive[r.origin.0 as usize]);
+            if let Some((_, kept_proxy)) = &mut st.kept {
+                kept_proxy.retain(|r| alive[r.origin.0 as usize]);
+            }
+        }
+    }
+    for rec in restore {
+        let o = rec.origin.0 as usize;
+        if !alive[o] {
+            continue; // the origin died too: the row is genuinely lost
+        }
+        let st = &mut states[o];
+        if st.own.is_none() {
+            st.own = Some(rec);
+        }
+        st.active = true;
+        st.passthrough = true;
+    }
+    for &v in &out.revived {
+        let st = &mut states[v.0 as usize];
+        *st = NodeState::default();
+        if p0[v.0 as usize] {
+            if let Some(rec) = data[v.0 as usize].rec.clone() {
+                st.own = Some(rec);
+                st.active = true;
+                st.passthrough = true;
+            }
+        }
+    }
+    for &v in &out.reattached {
+        let st = &mut states[v.0 as usize];
+        if st.active || st.own.is_some() || !st.proxy.is_empty() {
+            st.active = true;
+            st.passthrough = true;
+        }
+    }
+    // Root closure over the repaired tree.
+    let routing = net.routing();
+    for i in 0..states.len() {
+        if !states[i].active {
+            continue;
+        }
+        let mut u = NodeId(i as u32);
+        if routing.depth(u).is_none() {
+            continue; // orphaned: not part of any wave until reattached
+        }
+        while let Some(p) = routing.parent(u) {
+            if states[p.0 as usize].active {
+                break;
+            }
+            states[p.0 as usize].active = true;
+            u = p;
+        }
+    }
+}
+
 impl JoinMethod for SensJoin {
     fn name(&self) -> &'static str {
         match self.config.representation {
@@ -124,6 +218,22 @@ impl JoinMethod for SensJoin {
         let n = snet.len();
         let mut states: Vec<NodeState> = (0..n).map(|_| NodeState::default()).collect();
         let repr = cfg.representation;
+
+        // ---- Churn boundary 0 (pre-start) ----
+        // Nodes that leave before the query starts simply never participate;
+        // nothing needs reconciling. `p0` is the participated-at-start set —
+        // the population the completeness guarantee is measured against.
+        let has_churn = snet.net().has_churn();
+        let mut churned = false;
+        if has_churn {
+            snet.net_mut().apply_churn(0);
+        }
+        let p0: Vec<bool> = (0..n as u32)
+            .map(|i| {
+                let v = NodeId(i);
+                snet.net().is_alive(v) && snet.net().routing().depth(v).is_some()
+            })
+            .collect();
 
         // ---- Phase 1: Join-Attribute-Collection (Fig. 2) ----
         let lossy = snet.net().lossy();
@@ -243,6 +353,20 @@ impl JoinMethod for SensJoin {
             }
         }
 
+        // ---- Churn boundary 1 (after collection) ----
+        // A node dying here takes its proxied rows down with it: proxy
+        // re-election restores each row at its (surviving) origin, dead
+        // origins' rows are dropped everywhere, and the subtree the repair
+        // machinery re-homed switches to pass-through (stale synopses above
+        // it could otherwise prune soundly-joining rows).
+        if has_churn {
+            let out = snet.net_mut().apply_churn(rep1.timing.pipelined);
+            churned |= !out.crashed.is_empty() || !out.revived.is_empty();
+            if !out.is_empty() {
+                reconcile_churn(&mut states, &out, snet.net(), &data, &p0);
+            }
+        }
+
         // ---- Base station: conservative pre-join (step 1a) ----
         let points = match base_msg {
             UpMsg::Attrs(ja) => ja.set,
@@ -310,6 +434,18 @@ impl JoinMethod for SensJoin {
         );
         debug_assert!(lossy || rep2.is_lossless());
 
+        // ---- Churn boundary 2 (after filter dissemination) ----
+        // The stale filter stays sound: it was computed over a superset of
+        // the surviving population, and a superset filter never prunes a row
+        // that still joins. Only re-homed nodes must ignore it.
+        if has_churn {
+            let out = snet.net_mut().apply_churn(rep2.timing.pipelined);
+            churned |= !out.crashed.is_empty() || !out.revived.is_empty();
+            if !out.is_empty() {
+                reconcile_churn(&mut states, &out, snet.net(), &data, &p0);
+            }
+        }
+
         // ---- Phase 3: Final-Result-Computation (§IV-D) ----
         let active2: Vec<bool> = states.iter().map(|s| s.active).collect();
         let participates3 = move |v: NodeId| active2[v.0 as usize];
@@ -350,6 +486,23 @@ impl JoinMethod for SensJoin {
             PHASE_FINAL,
         );
 
+        // ---- Liveness sweep (base side) ----
+        // Rows can reach the base from origins that fell out of the
+        // contributing set mid-execution (e.g. a proxy shipped a row whose
+        // origin is now orphaned). The base knows the final liveness picture
+        // and projects the result onto the surviving population: origins
+        // that participated at start, are alive at end, and are attached at
+        // end.
+        let mut final_batch = final_batch;
+        if has_churn {
+            let net = snet.net();
+            final_batch.tuples.retain(|rec| {
+                net.is_alive(rec.origin)
+                    && net.routing().depth(rec.origin).is_some()
+                    && p0[rec.origin.0 as usize]
+            });
+        }
+
         // ---- Exact join over the filtered complete tuples ----
         let master = snet.master_schema().clone();
         let tuples_per_rel: Vec<Vec<(NodeId, Vec<f64>)>> = (0..query.num_relations())
@@ -369,13 +522,31 @@ impl JoinMethod for SensJoin {
             })
             .collect();
         let computation = exact_join(query, &tuples_per_rel);
+        // Honesty: `complete` additionally requires that every node that
+        // participated at query start survived to the end — a mid-execution
+        // death means the answer is exact only over the survivors
+        // (liveness-projected exactness), not over the start population.
+        let mut complete = rep3.damaged.is_empty();
+        if has_churn {
+            let net = snet.net();
+            // Absent subtrees in the final wave are exactly the dead or
+            // detached participants — no live attached node is skipped.
+            debug_assert!(rep3
+                .absent
+                .iter()
+                .all(|&v| !net.is_alive(v) || net.routing().depth(v).is_none()));
+            complete &= (0..n as u32).map(NodeId).all(|v| {
+                !p0[v.0 as usize] || (net.is_alive(v) && net.routing().depth(v).is_some())
+            });
+        }
         Ok(JoinOutcome {
             result: computation.result,
             stats: snet.net().stats().clone(),
             latency_us: rep1.timing.then(rep2.timing).then(rep3.timing).pipelined,
             latency_slotted_us: rep1.timing.then(rep2.timing).then(rep3.timing).slotted,
             contributors: computation.contributors,
-            complete: rep3.damaged.is_empty(),
+            complete,
+            churned,
         })
     }
 }

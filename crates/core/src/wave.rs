@@ -57,7 +57,16 @@ pub struct WaveReport {
     pub timing: WaveTiming,
     /// Up wave: nodes whose message to their parent was undecodable after
     /// the ARQ budget. Down wave: nodes that missed their parent's message.
+    /// These nodes are alive and attached — their *data* was damaged in
+    /// transit, and retransmission-style fallbacks can recover it.
     pub damaged: Vec<NodeId>,
+    /// Participants the wave never visited because they are not part of the
+    /// routing tree — dead or detached after node churn (plus permanently
+    /// unreachable stragglers). Unlike `damaged`, an absent subtree holds no
+    /// recoverable in-flight data: the protocol must reconcile its loss at
+    /// the churn boundary (proxy re-election, origin restore) rather than
+    /// retransmit.
+    pub absent: Vec<NodeId>,
 }
 
 impl WaveReport {
@@ -155,12 +164,17 @@ pub fn up_wave_on<M>(
             }
         }
     }
+    let absent = (0..n as u32)
+        .map(NodeId)
+        .filter(|&v| participates(v) && tree.depth(v).is_none())
+        .collect();
     let report = WaveReport {
         timing: WaveTiming {
             pipelined: base_time,
             slotted: level_max.values().sum(),
         },
         damaged,
+        absent,
     };
     (base_msg.expect("the tree root always participates"), report)
 }
@@ -233,12 +247,17 @@ pub fn down_wave<M: Clone>(
             }
         }
     }
+    let absent = (0..net.len() as u32)
+        .map(NodeId)
+        .filter(|&v| participates(v) && net.routing().depth(v).is_none())
+        .collect();
     WaveReport {
         timing: WaveTiming {
             pipelined: latest,
             slotted: level_max.values().sum(),
         },
         damaged,
+        absent,
     }
 }
 
@@ -410,6 +429,41 @@ mod tests {
         assert_eq!(total, reachable);
         assert!(rep.is_lossless());
         assert!(net.stats().total_retx_packets() > 0);
+    }
+
+    #[test]
+    fn dead_subtrees_are_absent_not_damaged() {
+        let mut net = net();
+        let base = net.base();
+        let victim = *net
+            .routing()
+            .children(base)
+            .iter()
+            .max_by_key(|&&c| net.routing().descendants(c))
+            .unwrap();
+        net.fail_node(victim);
+        // The wave still claims everyone participates — the dead node and
+        // any of its descendants that could not reattach are *absent*, never
+        // *damaged* (there was no in-flight data to lose).
+        let (count, rep) = up_wave(
+            &mut net,
+            &|_| true,
+            |_, recv: Vec<usize>| recv.iter().sum::<usize>() + 1,
+            |m| m * 4,
+            "test",
+        );
+        assert!(rep.damaged.is_empty());
+        assert!(rep.absent.contains(&victim));
+        for &v in &rep.absent {
+            assert!(net.routing().depth(v).is_none());
+        }
+        // The wave visits exactly the post-repair tree.
+        let reachable_now = (0..net.len() as u32)
+            .map(NodeId)
+            .filter(|&v| net.routing().depth(v).is_some())
+            .count();
+        assert_eq!(count, reachable_now);
+        assert_eq!(rep.absent.len(), net.len() - reachable_now);
     }
 
     #[test]

@@ -1,0 +1,271 @@
+//! Seeded node-churn fault injection: crash-stop, reboot-with-state-loss
+//! and revival, on a deterministic timeline.
+//!
+//! A [`ChurnTimeline`] is a pre-sampled (or explicitly constructed) sequence
+//! of [`ChurnAction`]s, each scoped either to an absolute simulated time
+//! (driven through the [`crate::Scheduler`] event queue) or to a *boundary*
+//! index — the protocol synchronization points at which executors poll the
+//! timeline: phase boundaries for one-shot joins, round boundaries for
+//! continuous queries, epoch boundaries for multi-query groups. Scoping
+//! events to boundaries keeps the wave-structured protocols deterministic: a
+//! node is never lost in the middle of a fragment train, it is lost between
+//! phases, exactly as a TDMA-scheduled deployment would observe at its next
+//! synchronization point.
+//!
+//! A *crash* is crash-stop: the node loses all protocol state and leaves
+//! the routing tree. A later *revive* of the same node models
+//! reboot-with-state-loss: the node re-enters the network with no memory of
+//! the query (executors re-seed its data deterministically). The base
+//! station never fails — it is the powered access point.
+//!
+//! Seeding follows the one-namespace convention shared with the lossy
+//! channel and [`crate::LinkFailures`]: a single master seed is split into
+//! independent sub-streams with [`stream_seed`], so one `--seed`-style knob
+//! reproduces loss, link failures and churn together.
+
+use crate::scheduler::{Scheduler, Time};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sensjoin_relation::NodeId;
+use std::collections::BTreeMap;
+
+/// Phase label under which repair beacons, death notifications and rebuild
+/// floods are charged in [`crate::NetworkStats`].
+pub const PHASE_REPAIR: &str = "repair";
+
+/// Wire size of one routing-maintenance beacon (probe, ack or death
+/// notification): node id + parent candidate + sequence/metric, 8 bytes.
+pub const BEACON_BYTES: usize = 8;
+
+/// Golden-ratio multiplier used to derive independent deterministic
+/// sub-streams from one master seed (same constant the per-link channel
+/// RNGs use).
+const STREAM_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
+
+/// Derives the seed of an independent sub-stream `key` from `master`.
+///
+/// This is the repo-wide seed-splitting convention: the lossy channel uses
+/// it per directed link, [`crate::LinkFailures::sample`] uses it with
+/// [`STREAM_LINK_FAILURE`], and [`ChurnTimeline::sample`] uses it with
+/// [`STREAM_CHURN`] (then once more per node). One master seed therefore
+/// yields mutually independent loss, link-failure and churn streams.
+pub fn stream_seed(master: u64, key: u64) -> u64 {
+    master ^ key.wrapping_mul(STREAM_MUL)
+}
+
+/// Sub-stream key of [`crate::LinkFailures::sample`].
+pub const STREAM_LINK_FAILURE: u64 = 0x11;
+/// Sub-stream key of [`ChurnTimeline::sample`].
+pub const STREAM_CHURN: u64 = 0x22;
+
+/// One scheduled liveness change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnAction {
+    /// Crash-stop: the node dies, losing all protocol state.
+    Crash,
+    /// The node comes back up with no state (reboot / revival).
+    Revive,
+}
+
+/// How the node repairs routing after liveness changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RepairStrategy {
+    /// Localized self-healing: only orphaned subtrees re-select parents
+    /// among live neighbors; the attached region keeps its routes. Beacons
+    /// are charged per reattachment. The default.
+    #[default]
+    Localized,
+    /// The paper's §IV-F recipe as a baseline: any liveness change triggers
+    /// a full CTP re-convergence — the whole tree is rebuilt and every live
+    /// node is charged one beacon flood.
+    FullRebuild,
+}
+
+/// A deterministic, seeded schedule of node crashes and revivals.
+///
+/// Time-scoped events ride the discrete-event [`Scheduler`]; boundary-scoped
+/// events live in an index → events map. [`ChurnTimeline::due`] drains both:
+/// everything pinned to the polled boundary plus every time event whose
+/// timestamp has passed.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnTimeline {
+    timed: Scheduler<(NodeId, ChurnAction)>,
+    at_boundary: BTreeMap<u32, Vec<(NodeId, ChurnAction)>>,
+}
+
+impl ChurnTimeline {
+    /// An empty timeline (no churn).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `action` on `node` at absolute simulated time `at` (µs).
+    pub fn at_time(mut self, at: Time, node: NodeId, action: ChurnAction) -> Self {
+        self.timed.schedule(at, (node, action));
+        self
+    }
+
+    /// Schedules `action` on `node` at protocol boundary `boundary`
+    /// (boundaries count the executor's synchronization points from network
+    /// construction: one-shot joins contribute one per phase, continuous
+    /// queries one per round, query groups one per epoch).
+    pub fn at_boundary(mut self, boundary: u32, node: NodeId, action: ChurnAction) -> Self {
+        self.at_boundary
+            .entry(boundary)
+            .or_default()
+            .push((node, action));
+        self
+    }
+
+    /// Samples an MTBF/MTTR crash–revive process for every node except
+    /// `base`, deterministically from `seed` (via the [`STREAM_CHURN`]
+    /// sub-stream, then one sub-stream per node).
+    ///
+    /// Each node alternates an up-time drawn from Exp(`mtbf_us`) and a
+    /// down-time drawn from Exp(`mttr_us`); events beyond `horizon_us` are
+    /// not generated. Both means are in microseconds.
+    pub fn sample(
+        n_nodes: usize,
+        base: NodeId,
+        mtbf_us: f64,
+        mttr_us: f64,
+        horizon_us: Time,
+        seed: u64,
+    ) -> Self {
+        assert!(mtbf_us > 0.0 && mttr_us > 0.0, "means must be positive");
+        let master = stream_seed(seed, STREAM_CHURN);
+        let mut timeline = Self::new();
+        for v in 0..n_nodes as u32 {
+            let node = NodeId(v);
+            if node == base {
+                continue;
+            }
+            let mut rng = SmallRng::seed_from_u64(stream_seed(master, v as u64));
+            let mut draw = |mean: f64| -> Time {
+                // Inverse-CDF exponential; 1 - u in (0, 1].
+                let u: f64 = rng.gen_range(0.0..1.0);
+                (-mean * (1.0 - u).ln()).ceil().max(1.0) as Time
+            };
+            let mut t: Time = 0;
+            loop {
+                t = t.saturating_add(draw(mtbf_us));
+                if t > horizon_us {
+                    break;
+                }
+                timeline.timed.schedule(t, (node, ChurnAction::Crash));
+                t = t.saturating_add(draw(mttr_us));
+                if t > horizon_us {
+                    break;
+                }
+                timeline.timed.schedule(t, (node, ChurnAction::Revive));
+            }
+        }
+        timeline
+    }
+
+    /// Drains every event due at `boundary` or timestamped at or before
+    /// `now`, in schedule order (boundary events first, then timed events by
+    /// timestamp).
+    pub fn due(&mut self, boundary: u32, now: Time) -> Vec<(NodeId, ChurnAction)> {
+        let mut out = self.at_boundary.remove(&boundary).unwrap_or_default();
+        while let Some((t, _)) = self.timed.peek() {
+            if t > now {
+                break;
+            }
+            let (_, e) = self.timed.pop().expect("peeked event exists");
+            out.push(e);
+        }
+        out
+    }
+
+    /// Whether any events remain scheduled.
+    pub fn is_exhausted(&self) -> bool {
+        self.timed.is_empty() && self.at_boundary.is_empty()
+    }
+}
+
+/// What one churn boundary did to the network: the liveness changes applied
+/// plus every node the repair machinery re-parented.
+#[derive(Debug, Clone, Default)]
+pub struct ChurnOutcome {
+    /// The boundary index that was polled.
+    pub boundary: u32,
+    /// Nodes that crashed at this boundary.
+    pub crashed: Vec<NodeId>,
+    /// Nodes that revived at this boundary.
+    pub revived: Vec<NodeId>,
+    /// Live nodes whose routing parent changed during repair (orphan-subtree
+    /// members that reattached, revived nodes that rejoined). Protocol
+    /// executors must treat these conservatively: their new ancestors hold
+    /// no synopses about them.
+    pub reattached: Vec<NodeId>,
+}
+
+impl ChurnOutcome {
+    /// Whether nothing happened at this boundary.
+    pub fn is_empty(&self) -> bool {
+        self.crashed.is_empty() && self.revived.is_empty() && self.reattached.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundary_and_time_events_drain_in_order() {
+        let mut tl = ChurnTimeline::new()
+            .at_boundary(1, NodeId(3), ChurnAction::Crash)
+            .at_time(500, NodeId(4), ChurnAction::Crash)
+            .at_time(1500, NodeId(4), ChurnAction::Revive);
+        assert!(tl.due(0, 0).is_empty());
+        let due = tl.due(1, 600);
+        assert_eq!(
+            due,
+            vec![
+                (NodeId(3), ChurnAction::Crash),
+                (NodeId(4), ChurnAction::Crash)
+            ]
+        );
+        assert_eq!(tl.due(2, 2000), vec![(NodeId(4), ChurnAction::Revive)]);
+        assert!(tl.is_exhausted());
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_spares_the_base() {
+        let mut a = ChurnTimeline::sample(40, NodeId(0), 1e6, 5e5, 10_000_000, 9);
+        let mut b = ChurnTimeline::sample(40, NodeId(0), 1e6, 5e5, 10_000_000, 9);
+        let ea = a.due(0, u64::MAX);
+        let eb = b.due(0, u64::MAX);
+        assert_eq!(ea, eb);
+        assert!(!ea.is_empty(), "10 mean lifetimes must produce events");
+        assert!(ea.iter().all(|&(n, _)| n != NodeId(0)));
+        // Per node, actions alternate crash, revive, crash, ...
+        let mut last: BTreeMap<NodeId, ChurnAction> = BTreeMap::new();
+        for (n, act) in ea {
+            if let Some(prev) = last.get(&n) {
+                assert_ne!(*prev, act, "{n} repeated {act:?}");
+            } else {
+                assert_eq!(act, ChurnAction::Crash, "{n} must crash first");
+            }
+            last.insert(n, act);
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ChurnTimeline::sample(60, NodeId(0), 2e6, 1e6, 20_000_000, 1);
+        let mut b = ChurnTimeline::sample(60, NodeId(0), 2e6, 1e6, 20_000_000, 2);
+        assert_ne!(a.due(0, u64::MAX), b.due(0, u64::MAX));
+    }
+
+    #[test]
+    fn stream_seed_splits() {
+        assert_ne!(
+            stream_seed(7, STREAM_CHURN),
+            stream_seed(7, STREAM_LINK_FAILURE)
+        );
+        assert_ne!(stream_seed(7, STREAM_CHURN), stream_seed(8, STREAM_CHURN));
+        assert_eq!(stream_seed(7, 3), stream_seed(7, 3));
+    }
+}

@@ -26,9 +26,15 @@ impl LinkFailures {
 
     /// Fails each link independently with probability `p`, deterministically
     /// from `seed`.
+    ///
+    /// `seed` is a *master* seed in the repo-wide namespace
+    /// ([`crate::stream_seed`]): the sampler draws from the
+    /// [`crate::STREAM_LINK_FAILURE`] sub-stream, so the same master seed
+    /// can drive per-packet loss, link failures and node churn with
+    /// mutually independent randomness.
     pub fn sample(topology: &Topology, p: f64, seed: u64) -> Self {
         assert!((0.0..=1.0).contains(&p), "probability out of range");
-        let mut rng = SmallRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(crate::stream_seed(seed, crate::STREAM_LINK_FAILURE));
         let mut down = BTreeSet::new();
         for u in topology.nodes() {
             for &v in topology.neighbors(u) {

@@ -32,7 +32,15 @@
 //!   retransmission fields of [`TraceRecord`],
 //! * [`LinkFailures`] — seeded per-execution link outages for the §IV-F
 //!   error-tolerance experiments; a failed link is just the loss-probability-1.0
-//!   corner of the channel ([`Channel::with_failures`]).
+//!   corner of the channel ([`Channel::with_failures`]),
+//! * [`ChurnTimeline`] — seeded node churn (crash-stop, reboot-with-state-
+//!   loss, revival) applied at protocol boundaries via
+//!   [`Network::apply_churn`]; the routing tree self-heals per the
+//!   configured [`RepairStrategy`] (localized orphan reattachment by
+//!   default, a full CTP re-convergence flood as the baseline), with repair
+//!   beacons charged through the energy model under the
+//!   [`PHASE_REPAIR`] phase. One master seed drives loss, link failures and
+//!   churn through independent sub-streams ([`stream_seed`]).
 //!
 //! Per-packet loss and retransmissions *are* modeled (the channel +
 //! reliability layer above); what is deliberately not modeled — and why it
@@ -72,6 +80,7 @@
 //! ```
 
 mod channel;
+mod churn;
 mod energy;
 mod failure;
 mod network;
@@ -84,12 +93,16 @@ mod topology;
 mod trace;
 
 pub use channel::{Channel, LossModel};
+pub use churn::{
+    stream_seed, ChurnAction, ChurnOutcome, ChurnTimeline, RepairStrategy, BEACON_BYTES,
+    PHASE_REPAIR, STREAM_CHURN, STREAM_LINK_FAILURE,
+};
 pub use energy::EnergyModel;
 pub use failure::LinkFailures;
 pub use network::{BaseChoice, Network, NetworkBuilder, NetworkError};
 pub use radio::RadioConfig;
 pub use reliability::{summary_bytes, ArqPolicy, BroadcastDelivery, Delivery, ACK_BYTES};
-pub use routing::RoutingTree;
+pub use routing::{RepairReport, RoutingTree};
 pub use scheduler::{Scheduler, Time};
 pub use stats::{NetworkStats, NodeStats};
 pub use topology::Topology;

@@ -1,6 +1,10 @@
 //! The network facade protocols run against.
 
+use crate::churn::{
+    ChurnAction, ChurnOutcome, ChurnTimeline, RepairStrategy, BEACON_BYTES, PHASE_REPAIR,
+};
 use crate::reliability::{summary_bytes, ACK_BYTES};
+use crate::routing::RepairReport;
 use crate::{
     ArqPolicy, BroadcastDelivery, Channel, Delivery, EnergyModel, NetworkStats, RadioConfig,
     RoutingTree, Time, Topology, Trace,
@@ -143,6 +147,11 @@ impl NetworkBuilder {
             trace: None,
             channel: None,
             arq: ArqPolicy::None,
+            alive: vec![true; n],
+            churn: None,
+            churn_boundary: 0,
+            churn_clock: 0,
+            repair_strategy: RepairStrategy::default(),
         })
     }
 }
@@ -174,6 +183,11 @@ pub struct Network {
     trace: Option<Trace>,
     channel: Option<Channel>,
     arq: ArqPolicy,
+    alive: Vec<bool>,
+    churn: Option<ChurnTimeline>,
+    churn_boundary: u32,
+    churn_clock: Time,
+    repair_strategy: RepairStrategy,
 }
 
 impl Network {
@@ -245,8 +259,254 @@ impl Network {
 
     /// Rebuilds the routing tree treating links with `link_down(u, v)` as
     /// unusable — the converged state of CTP after route repair (§IV-F).
+    /// Dead nodes (after [`Network::fail_node`]) are always excluded.
     pub fn rebuild_routing(&mut self, link_down: &dyn Fn(NodeId, NodeId) -> bool) {
-        self.routing = RoutingTree::build_excluding(&self.topology, self.base, link_down);
+        let alive = &self.alive;
+        self.routing = RoutingTree::build_excluding(&self.topology, self.base, &|a, b| {
+            !alive[a.0 as usize] || !alive[b.0 as usize] || link_down(a, b)
+        });
+    }
+
+    /// Whether `node` is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.alive[node.0 as usize]
+    }
+
+    /// Per-node liveness flags, indexed by node id.
+    pub fn alive_mask(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Attaches (or removes, with `None`) a churn timeline. Executors poll
+    /// it via [`Network::apply_churn`] at each protocol boundary.
+    pub fn set_churn(&mut self, churn: Option<ChurnTimeline>) {
+        self.churn = churn;
+    }
+
+    /// Whether a churn timeline is attached.
+    pub fn has_churn(&self) -> bool {
+        self.churn.is_some()
+    }
+
+    /// Selects how liveness changes repair the routing tree (default:
+    /// [`RepairStrategy::Localized`]).
+    pub fn set_repair_strategy(&mut self, strategy: RepairStrategy) {
+        self.repair_strategy = strategy;
+    }
+
+    /// The configured repair strategy.
+    pub fn repair_strategy(&self) -> RepairStrategy {
+        self.repair_strategy
+    }
+
+    /// The next boundary index [`Network::apply_churn`] will poll.
+    pub fn churn_boundary(&self) -> u32 {
+        self.churn_boundary
+    }
+
+    /// Polls the churn timeline at the next protocol boundary: advances the
+    /// churn clock by `elapsed` (the simulated time spent since the previous
+    /// boundary), drains every event due at the boundary index or at the
+    /// advanced clock, and applies it ([`Network::fail_node`] /
+    /// [`Network::revive_node`]). Boundaries and the clock count up
+    /// monotonically over the network's lifetime — one boundary per protocol
+    /// phase (one-shot joins), round (continuous queries) or epoch (query
+    /// groups), so repeated executions on the same network keep consuming
+    /// the same timeline.
+    pub fn apply_churn(&mut self, elapsed: Time) -> ChurnOutcome {
+        let boundary = self.churn_boundary;
+        self.churn_boundary += 1;
+        self.churn_clock = self.churn_clock.saturating_add(elapsed);
+        let now = self.churn_clock;
+        let events = match &mut self.churn {
+            Some(tl) => tl.due(boundary, now),
+            None => Vec::new(),
+        };
+        let mut out = ChurnOutcome {
+            boundary,
+            ..Default::default()
+        };
+        for (node, action) in events {
+            match action {
+                ChurnAction::Crash => {
+                    if node == self.base || !self.alive[node.0 as usize] {
+                        continue;
+                    }
+                    let rep = self.fail_node(node);
+                    out.crashed.push(node);
+                    out.reattached.extend(rep.reattached);
+                }
+                ChurnAction::Revive => {
+                    if self.alive[node.0 as usize] {
+                        continue;
+                    }
+                    let rep = self.revive_node(node);
+                    out.revived.push(node);
+                    out.reattached.extend(rep.reattached);
+                }
+            }
+        }
+        out.reattached.sort_unstable();
+        out.reattached.dedup();
+        // A node that crashed at this very boundary is not "reattached".
+        out.reattached.retain(|v| self.alive[v.0 as usize]);
+        out
+    }
+
+    /// Crash-stop failure of `node`: it leaves the network, losing all
+    /// state, and the routing tree is repaired around it per the configured
+    /// [`RepairStrategy`]. Detection probes (one control beacon from each
+    /// former tree neighbor), the death notification relayed to the base
+    /// station, and every repair beacon are charged through the energy
+    /// model as control traffic under the `"repair"` phase. No-op if the
+    /// node is already dead.
+    ///
+    /// # Panics
+    /// Panics if `node` is the base station — the powered access point
+    /// never fails.
+    pub fn fail_node(&mut self, node: NodeId) -> RepairReport {
+        assert_ne!(node, self.base, "the base station never fails");
+        if !self.alive[node.0 as usize] {
+            return RepairReport::default();
+        }
+        self.alive[node.0 as usize] = false;
+        if let Some(t) = &mut self.trace {
+            t.push_event(PHASE_REPAIR, "death", node, vec![]);
+        }
+        let former_parent = self.routing.parent(node);
+        let former_children = self.routing.children(node).to_vec();
+        let report = self.repair_tree();
+        // Silence-detection probes at the former tree neighbors.
+        for probe in former_parent.into_iter().chain(former_children) {
+            if self.alive[probe.0 as usize] {
+                self.charge_beacon_broadcast(probe);
+            }
+        }
+        // The former parent relays the death report to the base station so
+        // proxies can drop the dead node's rows.
+        if let Some(p) = former_parent {
+            if self.alive[p.0 as usize] {
+                self.charge_chain_to_base(p);
+            }
+        }
+        report
+    }
+
+    /// Revival (reboot with state loss) of `node`: it rejoins the network
+    /// with no protocol state and the routing tree re-adopts it (and any
+    /// orphans it reconnects) per the configured [`RepairStrategy`]; repair
+    /// beacons are charged as control traffic. No-op if already alive.
+    pub fn revive_node(&mut self, node: NodeId) -> RepairReport {
+        if self.alive[node.0 as usize] {
+            return RepairReport::default();
+        }
+        self.alive[node.0 as usize] = true;
+        if let Some(t) = &mut self.trace {
+            t.push_event(PHASE_REPAIR, "revival", node, vec![]);
+        }
+        self.repair_tree()
+    }
+
+    /// Repairs routing after a liveness change and charges the repair
+    /// traffic, per the configured strategy.
+    fn repair_tree(&mut self) -> RepairReport {
+        match self.repair_strategy {
+            RepairStrategy::Localized => {
+                let report = self.routing.repair(&self.topology, &self.alive);
+                for &f in &report.reattached {
+                    // Parent re-selection: the floating node probes its
+                    // neighborhood once, the chosen parent acknowledges.
+                    self.charge_beacon_broadcast(f);
+                    let parent = self.routing.parent(f);
+                    if let Some(p) = parent {
+                        self.charge_beacon_unicast(p, f);
+                    }
+                    if let Some(t) = &mut self.trace {
+                        t.push_event(PHASE_REPAIR, "repair", f, parent.into_iter().collect());
+                    }
+                }
+                report
+            }
+            RepairStrategy::FullRebuild => {
+                // Baseline: global CTP re-convergence — every live node
+                // beacons once, the whole tree is rebuilt.
+                let before: Vec<Option<NodeId>> = self
+                    .topology
+                    .nodes()
+                    .map(|v| self.routing.parent(v))
+                    .collect();
+                let before_depth: Vec<Option<u32>> = self
+                    .topology
+                    .nodes()
+                    .map(|v| self.routing.depth(v))
+                    .collect();
+                self.rebuild_routing(&|_, _| false);
+                for v in self.topology.nodes() {
+                    if self.alive[v.0 as usize] {
+                        self.charge_beacon_broadcast(v);
+                    }
+                }
+                let mut report = RepairReport::default();
+                for v in self.topology.nodes() {
+                    let i = v.0 as usize;
+                    if !self.alive[i] {
+                        if before_depth[i].is_some() {
+                            report.detached.push(v);
+                        }
+                        continue;
+                    }
+                    if self.routing.depth(v).is_none() {
+                        if v != self.base {
+                            report.orphaned.push(v);
+                        }
+                    } else if self.routing.parent(v) != before[i] {
+                        report.reattached.push(v);
+                        if let Some(t) = &mut self.trace {
+                            let parent = self.routing.parent(v);
+                            t.push_event(PHASE_REPAIR, "repair", v, parent.into_iter().collect());
+                        }
+                    }
+                }
+                report
+            }
+        }
+    }
+
+    /// Charges one control beacon broadcast at `from`: transmission at the
+    /// sender, reception energy at every live neighbor. Control-plane
+    /// beacons bypass the lossy channel and ARQ (CTP's beaconing has its own
+    /// redundancy) — they are deterministic cost, not data traffic.
+    fn charge_beacon_broadcast(&mut self, from: NodeId) {
+        let on_air = BEACON_BYTES + self.radio.header_bytes;
+        self.stats
+            .record_ack(from, BEACON_BYTES, self.energy.tx(on_air), PHASE_REPAIR);
+        for &r in self.topology.neighbors(from) {
+            if self.alive[r.0 as usize] {
+                self.stats
+                    .record_energy(r, self.energy.rx(on_air), PHASE_REPAIR);
+            }
+        }
+    }
+
+    /// Charges one control beacon from `from` heard only at `to` (e.g. a
+    /// parent acknowledging an adoption).
+    fn charge_beacon_unicast(&mut self, from: NodeId, to: NodeId) {
+        let on_air = BEACON_BYTES + self.radio.header_bytes;
+        self.stats
+            .record_ack(from, BEACON_BYTES, self.energy.tx(on_air), PHASE_REPAIR);
+        self.stats
+            .record_energy(to, self.energy.rx(on_air), PHASE_REPAIR);
+    }
+
+    /// Charges a control-beacon relay chain from `from` up to the base
+    /// station along the current tree.
+    fn charge_chain_to_base(&mut self, from: NodeId) {
+        let Some(path) = self.routing.path_to_base(from) else {
+            return;
+        };
+        for hop in path.windows(2) {
+            self.charge_beacon_unicast(hop[0], hop[1]);
+        }
     }
 
     /// Attaches (or detaches, with `None`) a lossy channel. Fragments of
@@ -309,6 +569,8 @@ impl Network {
             self.topology.neighbors(from).contains(&to),
             "{from} -> {to} are not neighbors"
         );
+        debug_assert!(self.alive[from.0 as usize], "dead node {from} transmits");
+        debug_assert!(self.alive[to.0 as usize], "transmission to dead node {to}");
         let (b, delivered) = self.transfer(from, &[to], bytes, phase);
         Delivery {
             time: b.time,
@@ -348,11 +610,13 @@ impl Network {
         if bytes == 0 || receivers.is_empty() {
             return BroadcastDelivery::lossless(0, 0, receivers.len());
         }
+        debug_assert!(self.alive[from.0 as usize], "dead node {from} transmits");
         for r in receivers {
             assert!(
                 self.topology.neighbors(from).contains(r),
                 "{from} -> {r} are not neighbors"
             );
+            debug_assert!(self.alive[r.0 as usize], "transmission to dead node {r}");
         }
         self.transfer(from, receivers, bytes, phase).0
     }
@@ -820,5 +1084,133 @@ mod tests {
         assert_eq!(before, Some(base));
         net.rebuild_routing(&move |a, b| (a == victim && b == base) || (a == base && b == victim));
         assert_ne!(net.routing().parent(victim), Some(base));
+    }
+
+    #[test]
+    fn fail_and_revive_round_trip() {
+        let mut net = small_net();
+        net.set_tracing(true);
+        let base = net.base();
+        let victim = *net
+            .routing()
+            .children(base)
+            .iter()
+            .max_by_key(|&&c| net.routing().descendants(c))
+            .unwrap();
+        let orphans = net.routing().children(victim).to_vec();
+        assert!(net.is_alive(victim));
+        let rep = net.fail_node(victim);
+        assert!(!net.is_alive(victim));
+        assert!(rep.detached.contains(&victim));
+        assert_eq!(net.routing().depth(victim), None);
+        for &o in &orphans {
+            assert!(
+                net.routing().depth(o).is_some() || rep.orphaned.contains(&o),
+                "{o} neither reattached nor reported orphaned"
+            );
+        }
+        // Repair traffic was charged as control frames under "repair".
+        let by_phase = net.stats().phase(PHASE_REPAIR);
+        assert!(by_phase.ack_packets > 0, "beacons must be charged");
+        assert!(net.stats().total_overhead_bytes() > 0);
+        // Second failure of the same node is a no-op.
+        assert!(net.fail_node(victim).is_empty());
+        let rep2 = net.revive_node(victim);
+        assert!(net.is_alive(victim));
+        assert!(rep2.reattached.contains(&victim));
+        assert_eq!(net.routing().depth(victim), Some(1));
+        assert!(net.revive_node(victim).is_empty());
+        // Trace recorded the death and the revival.
+        let kinds: Vec<&str> = net
+            .trace()
+            .unwrap()
+            .records()
+            .iter()
+            .map(|r| r.kind.as_str())
+            .collect();
+        assert!(kinds.contains(&"death"));
+        assert!(kinds.contains(&"revival"));
+        assert!(kinds.contains(&"repair"));
+    }
+
+    #[test]
+    fn full_rebuild_floods_more_than_localized_repair() {
+        let mut local = small_net();
+        let mut full = small_net();
+        full.set_repair_strategy(RepairStrategy::FullRebuild);
+        let base = local.base();
+        let victim = local.routing().children(base)[0];
+        local.fail_node(victim);
+        full.fail_node(victim);
+        let lb = local.stats().total_cost_bytes();
+        let fb = full.stats().total_cost_bytes();
+        assert!(
+            lb < fb,
+            "localized repair ({lb} B) must beat the global flood ({fb} B)"
+        );
+        // Both end with valid trees over the same live set.
+        for v in local.topology().nodes() {
+            assert_eq!(
+                local.routing().depth(v).is_some(),
+                full.routing().depth(v).is_some()
+            );
+        }
+    }
+
+    #[test]
+    fn apply_churn_drains_boundaries_deterministically() {
+        let area = Area::new(200.0, 200.0);
+        let positions = Placement::UniformRandom { n: 60 }.generate(area, 2);
+        let make = || {
+            let mut n = NetworkBuilder::new()
+                .build(positions.clone(), area)
+                .unwrap();
+            let victim = n.routing().children(n.base())[0];
+            n.set_churn(Some(
+                ChurnTimeline::new()
+                    .at_boundary(1, victim, ChurnAction::Crash)
+                    .at_boundary(3, victim, ChurnAction::Revive),
+            ));
+            (n, victim)
+        };
+        let (mut a, victim) = make();
+        let (mut b, _) = make();
+        assert!(a.has_churn());
+        assert!(a.apply_churn(0).is_empty());
+        assert_eq!(a.churn_boundary(), 1);
+        let out = a.apply_churn(0);
+        assert_eq!(out.boundary, 1);
+        assert_eq!(out.crashed, vec![victim]);
+        assert!(!a.is_alive(victim));
+        assert!(a.apply_churn(0).is_empty());
+        let out3 = a.apply_churn(0);
+        assert_eq!(out3.revived, vec![victim]);
+        assert!(out3.reattached.contains(&victim));
+        assert!(a.is_alive(victim));
+        // Determinism: the twin replays the identical sequence.
+        for _ in 0..4 {
+            b.apply_churn(0);
+        }
+        assert_eq!(a.stats().total_cost_bytes(), b.stats().total_cost_bytes());
+        for v in a.topology().nodes() {
+            assert_eq!(a.routing().parent(v), b.routing().parent(v));
+        }
+    }
+
+    #[test]
+    fn churn_state_survives_stats_reset() {
+        let mut net = small_net();
+        let victim = net.routing().children(net.base())[0];
+        net.set_churn(Some(ChurnTimeline::new().at_boundary(
+            5,
+            victim,
+            ChurnAction::Crash,
+        )));
+        net.fail_node(victim);
+        net.reset_stats();
+        let _ = net.take_stats();
+        assert!(!net.is_alive(victim), "liveness survives stats resets");
+        assert!(net.has_churn(), "the timeline survives stats resets");
+        assert_eq!(net.stats().total_cost_bytes(), 0);
     }
 }

@@ -41,6 +41,25 @@ pub struct RoutingTree {
     max_depth: u32,
 }
 
+/// What [`RoutingTree::repair`] did.
+#[derive(Debug, Clone, Default)]
+pub struct RepairReport {
+    /// Dead nodes that were removed from the tree.
+    pub detached: Vec<NodeId>,
+    /// Live nodes that selected a new parent (orphan-subtree members and
+    /// previously-unreachable nodes that found a route).
+    pub reattached: Vec<NodeId>,
+    /// Live nodes left without any route to the base station.
+    pub orphaned: Vec<NodeId>,
+}
+
+impl RepairReport {
+    /// Whether the repair changed nothing.
+    pub fn is_empty(&self) -> bool {
+        self.detached.is_empty() && self.reattached.is_empty() && self.orphaned.is_empty()
+    }
+}
+
 impl RoutingTree {
     /// Builds the tree over `topology` rooted at `base`.
     pub fn build(topology: &Topology, base: NodeId) -> Self {
@@ -128,6 +147,156 @@ impl RoutingTree {
             descendants,
             max_depth,
         }
+    }
+
+    /// Localized self-healing after liveness changes: dead nodes
+    /// (`!alive[v]`) are detached, and every live node whose route to the
+    /// base broke — orphan-subtree members below a dead node, plus nodes
+    /// that had no route at all (e.g. just revived) — re-selects a parent
+    /// among live neighbors that still have a route. The attached region
+    /// keeps its routes untouched; only the floating set moves.
+    ///
+    /// Parent re-selection replays [`RoutingTree::build_excluding`]'s
+    /// level-synchronous relaxation (same shorter-link-then-smaller-id
+    /// tie-break) restricted to the floating set, seeded with the attached
+    /// nodes at their existing depths. Under pure node *removals* the
+    /// attached depths are still BFS-minimal (removals only lengthen
+    /// shortest paths, and the surviving parent chain attains the old
+    /// distance), so the repaired tree assigns every node the exact depth a
+    /// full rebuild would — the repaired tree spans exactly the
+    /// base-reachable live set at rebuild-identical depths. (Attached nodes
+    /// adjacent to a reattached subtree may keep a different — equally
+    /// shallow — parent than a rebuild would pick; that is the point of
+    /// locality.) After *revivals* the attached region does not re-optimize
+    /// through the revived bridge, so only set-coverage parity is
+    /// guaranteed.
+    ///
+    /// Returns which nodes were detached, reattached and left orphaned.
+    pub fn repair(&mut self, topology: &Topology, alive: &[bool]) -> RepairReport {
+        let n = topology.len();
+        assert_eq!(alive.len(), n, "one liveness flag per node");
+        assert!(alive[self.base.0 as usize], "the base station never fails");
+        // Attached region: nodes whose whole parent chain is alive.
+        let mut attached = vec![false; n];
+        attached[self.base.0 as usize] = true;
+        let mut stack = vec![self.base];
+        while let Some(u) = stack.pop() {
+            for &c in &self.children[u.0 as usize] {
+                if alive[c.0 as usize] {
+                    attached[c.0 as usize] = true;
+                    stack.push(c);
+                }
+                // A dead child cuts its whole subtree loose.
+            }
+        }
+        let mut report = RepairReport::default();
+        let mut floating = vec![false; n];
+        let mut had_route = vec![false; n];
+        for v in topology.nodes() {
+            let i = v.0 as usize;
+            if attached[i] {
+                continue;
+            }
+            had_route[i] = self.depth[i] != u32::MAX;
+            self.parent[i] = None;
+            self.depth[i] = u32::MAX;
+            if alive[i] {
+                floating[i] = true;
+            } else if had_route[i] {
+                report.detached.push(v);
+            }
+        }
+        // Multi-source level-synchronous BFS from the attached region,
+        // relaxing only floating nodes — identical fold order and tie-break
+        // as build_excluding.
+        let mut by_depth: std::collections::BTreeMap<u32, Vec<NodeId>> = Default::default();
+        for v in topology.nodes() {
+            if attached[v.0 as usize] {
+                by_depth
+                    .entry(self.depth[v.0 as usize])
+                    .or_default()
+                    .push(v);
+            }
+        }
+        while let Some((d, mut level)) = by_depth.pop_first() {
+            level.sort_unstable();
+            level.dedup();
+            for &u in &level {
+                for &v in topology.neighbors(u) {
+                    let i = v.0 as usize;
+                    if !floating[i] {
+                        continue;
+                    }
+                    let vd = self.depth[i];
+                    let cand = d + 1;
+                    if vd > cand {
+                        debug_assert_eq!(vd, u32::MAX, "levels are processed in order");
+                        self.depth[i] = cand;
+                        self.parent[i] = Some(u);
+                        by_depth.entry(cand).or_default().push(v);
+                    } else if vd == cand {
+                        // Tie-break: shorter link, then smaller id.
+                        let cur = self.parent[i].expect("tie implies a parent");
+                        let pv = topology.position(v);
+                        let d_cur = topology.position(cur).distance(&pv);
+                        let d_new = topology.position(u).distance(&pv);
+                        if d_new < d_cur - 1e-12 || (d_new <= d_cur + 1e-12 && u < cur) {
+                            self.parent[i] = Some(u);
+                        }
+                    }
+                }
+            }
+        }
+        for v in topology.nodes() {
+            let i = v.0 as usize;
+            if floating[i] {
+                if self.depth[i] == u32::MAX {
+                    // Nodes that never had a route (isolated stragglers) are
+                    // not *newly* orphaned — report only lost routes.
+                    if had_route[i] {
+                        report.orphaned.push(v);
+                    }
+                } else {
+                    report.reattached.push(v);
+                }
+            }
+        }
+        self.recompute_derived(topology);
+        report
+    }
+
+    /// Rebuilds children lists, descendant counts and the maximum depth from
+    /// the parent/depth arrays.
+    fn recompute_derived(&mut self, topology: &Topology) {
+        for c in &mut self.children {
+            c.clear();
+        }
+        for v in topology.nodes() {
+            if let Some(p) = self.parent[v.0 as usize] {
+                self.children[p.0 as usize].push(v);
+            }
+        }
+        for c in &mut self.children {
+            c.sort_unstable();
+        }
+        let mut order: Vec<NodeId> = topology
+            .nodes()
+            .filter(|v| self.depth[v.0 as usize] != u32::MAX)
+            .collect();
+        order.sort_unstable_by_key(|v| std::cmp::Reverse(self.depth[v.0 as usize]));
+        self.descendants = vec![0; topology.len()];
+        for &v in &order {
+            if let Some(p) = self.parent[v.0 as usize] {
+                self.descendants[p.0 as usize] += self.descendants[v.0 as usize] + 1;
+            }
+        }
+        self.max_depth = self
+            .depth
+            .iter()
+            .copied()
+            .filter(|&d| d != u32::MAX)
+            .max()
+            .unwrap_or(0);
     }
 
     /// The root of the tree.
@@ -302,6 +471,160 @@ mod tests {
             }
         }
         assert_eq!(tree.top_down_order().first(), Some(&NodeId(0)));
+    }
+
+    /// The repaired tree must be a valid tree over the live reachable set:
+    /// live parents, consistent depths, base-anchored.
+    fn assert_valid_tree(tree: &RoutingTree, t: &Topology, alive: &[bool]) {
+        for v in t.nodes() {
+            let i = v.0 as usize;
+            if let Some(p) = tree.parent(v) {
+                assert!(alive[i], "{v} is dead but has a parent");
+                assert!(alive[p.0 as usize], "{v}'s parent {p} is dead");
+                assert!(t.neighbors(v).contains(&p), "{v} -> {p} not a link");
+                assert_eq!(tree.depth(v), tree.depth(p).map(|d| d + 1));
+            } else if v != tree.base() {
+                assert_eq!(tree.depth(v), None);
+            }
+        }
+    }
+
+    #[test]
+    fn repair_after_removals_matches_rebuild_depths() {
+        // Satellite invariant, deterministic instance: killing arbitrary
+        // nodes and repairing locally spans exactly the base-reachable live
+        // set, at the exact depths a full rebuild assigns.
+        let t = random_topology(300, 450.0, 8);
+        let base = NodeId(0);
+        for kill_seed in 0..6u64 {
+            let mut alive = vec![true; t.len()];
+            for k in 0..12 {
+                let victim = ((kill_seed * 131 + k * 37) % (t.len() as u64 - 1)) + 1;
+                alive[victim as usize] = false;
+            }
+            let mut repaired = RoutingTree::build(&t, base);
+            let rep = repaired.repair(&t, &alive);
+            let rebuilt = RoutingTree::build_excluding(&t, base, &|a, b| {
+                !alive[a.0 as usize] || !alive[b.0 as usize]
+            });
+            assert_valid_tree(&repaired, &t, &alive);
+            for v in t.nodes() {
+                assert_eq!(
+                    repaired.depth(v),
+                    rebuilt.depth(v),
+                    "seed {kill_seed}: depth of {v} diverges"
+                );
+            }
+            // The spanned set is exactly the base-reachable live set.
+            let reach = t.reachable_from_alive(base, &alive);
+            for v in t.nodes() {
+                assert_eq!(
+                    repaired.depth(v).is_some(),
+                    alive[v.0 as usize] && reach[v.0 as usize],
+                    "seed {kill_seed}: coverage of {v}"
+                );
+            }
+            for &d in &rep.detached {
+                assert!(!alive[d.0 as usize]);
+            }
+            for &r in &rep.reattached {
+                assert!(repaired.depth(r).is_some());
+            }
+            for &o in &rep.orphaned {
+                assert!(alive[o.0 as usize] && repaired.depth(o).is_none());
+            }
+        }
+    }
+
+    mod repair_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Satellite proptest: after arbitrary node removals, localized
+            /// repair spans exactly the base-station-reachable live set, at
+            /// rebuild-identical depths, on random topologies.
+            #[test]
+            fn repair_spans_reachable_live_set(
+                topo_seed in 0u64..50,
+                n in 60usize..160,
+                kills in prop::collection::vec(1u32..160, 0..25),
+            ) {
+                let t = random_topology(n, 380.0, topo_seed);
+                let base = NodeId(0);
+                let mut alive = vec![true; n];
+                for k in kills {
+                    let v = (k as usize) % n;
+                    if v != base.0 as usize {
+                        alive[v] = false;
+                    }
+                }
+                let mut repaired = RoutingTree::build(&t, base);
+                repaired.repair(&t, &alive);
+                let rebuilt = RoutingTree::build_excluding(&t, base, &|a, b| {
+                    !alive[a.0 as usize] || !alive[b.0 as usize]
+                });
+                assert_valid_tree(&repaired, &t, &alive);
+                let reach = t.reachable_from_alive(base, &alive);
+                for v in t.nodes() {
+                    prop_assert_eq!(repaired.depth(v), rebuilt.depth(v), "depth of {}", v);
+                    prop_assert_eq!(
+                        repaired.depth(v).is_some(),
+                        alive[v.0 as usize] && reach[v.0 as usize],
+                        "coverage of {}", v
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn repair_reattaches_revived_nodes() {
+        let t = random_topology(200, 400.0, 5);
+        let base = NodeId(0);
+        let mut tree = RoutingTree::build(&t, base);
+        let mut alive = vec![true; t.len()];
+        // Kill a depth-1 node with a subtree, then revive it.
+        let victim = *tree
+            .children(base)
+            .iter()
+            .max_by_key(|&&c| tree.descendants(c))
+            .unwrap();
+        alive[victim.0 as usize] = false;
+        let rep = tree.repair(&t, &alive);
+        assert!(rep.detached.contains(&victim));
+        assert_eq!(tree.depth(victim), None);
+        assert_valid_tree(&tree, &t, &alive);
+        alive[victim.0 as usize] = true;
+        let rep2 = tree.repair(&t, &alive);
+        assert!(rep2.reattached.contains(&victim));
+        assert_eq!(
+            tree.depth(victim),
+            Some(1),
+            "a base neighbor rejoins at depth 1"
+        );
+        assert_valid_tree(&tree, &t, &alive);
+        // Set parity with a clean rebuild after the full crash+revive cycle.
+        let rebuilt = RoutingTree::build(&t, base);
+        for v in t.nodes() {
+            assert_eq!(tree.depth(v).is_some(), rebuilt.depth(v).is_some());
+        }
+    }
+
+    #[test]
+    fn repair_without_changes_is_identity() {
+        let t = random_topology(150, 350.0, 2);
+        let mut tree = RoutingTree::build(&t, NodeId(0));
+        let reference = tree.clone();
+        let rep = tree.repair(&t, &vec![true; t.len()]);
+        assert!(rep.is_empty());
+        for v in t.nodes() {
+            assert_eq!(tree.parent(v), reference.parent(v));
+            assert_eq!(tree.depth(v), reference.depth(v));
+            assert_eq!(tree.descendants(v), reference.descendants(v));
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ pub type Time = u64;
 /// sched.schedule_in(5_000, "phase 2");
 /// assert_eq!(sched.pop(), Some((5_000, "phase 2")));
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Scheduler<E> {
     heap: BinaryHeap<Reverse<(Time, u64, EventBox<E>)>>,
     seq: u64,
@@ -30,7 +30,7 @@ pub struct Scheduler<E> {
 }
 
 /// Wrapper that opts the payload out of ordering comparisons.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct EventBox<E>(E);
 
 impl<E> PartialEq for EventBox<E> {

@@ -110,6 +110,30 @@ impl Topology {
         seen
     }
 
+    /// Like [`Topology::reachable_from`], but only traversing live nodes:
+    /// a node is reachable if a path of `alive` nodes connects it to
+    /// `start`. Dead nodes are never reachable. This is the ground truth the
+    /// routing repair must span — the base-reachable live set.
+    pub fn reachable_from_alive(&self, start: NodeId, alive: &[bool]) -> Vec<bool> {
+        assert_eq!(alive.len(), self.len(), "one liveness flag per node");
+        let mut seen = vec![false; self.len()];
+        if !alive[start.0 as usize] {
+            return seen;
+        }
+        let mut queue = std::collections::VecDeque::new();
+        seen[start.0 as usize] = true;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for &v in self.neighbors(u) {
+                if alive[v.0 as usize] && !seen[v.0 as usize] {
+                    seen[v.0 as usize] = true;
+                    queue.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+
     /// Iterates all node ids.
     pub fn nodes(&self) -> impl Iterator<Item = NodeId> {
         (0..self.len() as u32).map(NodeId)

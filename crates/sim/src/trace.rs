@@ -15,6 +15,10 @@ pub struct TraceRecord {
     pub seq: u64,
     /// Protocol phase label.
     pub phase: String,
+    /// Record kind: `data` for message transfers, or a churn event —
+    /// `death`, `revival`, `repair` (a node re-selecting its routing
+    /// parent).
+    pub kind: String,
     /// Transmitting node.
     pub from: NodeId,
     /// Receiving nodes (one for unicast, the children for a broadcast;
@@ -76,12 +80,33 @@ impl Trace {
         self.records.push(TraceRecord {
             seq,
             phase: phase.to_owned(),
+            kind: "data".to_owned(),
             from,
             to,
             bytes,
             packets,
             retransmissions,
             acked,
+        });
+    }
+
+    /// Appends a churn event row: a node `death`, `revival`, or a `repair`
+    /// (the node at `node` re-selected its routing parent, given in `to`).
+    /// Event rows carry no payload (`bytes` = `packets` = 0) but keep their
+    /// position in the sequence, so a trace shows exactly when — relative to
+    /// the data traffic of each phase — the topology changed.
+    pub fn push_event(&mut self, phase: &str, kind: &str, node: NodeId, to: Vec<NodeId>) {
+        let seq = self.records.len() as u64;
+        self.records.push(TraceRecord {
+            seq,
+            phase: phase.to_owned(),
+            kind: kind.to_owned(),
+            from: node,
+            to,
+            bytes: 0,
+            packets: 0,
+            retransmissions: 0,
+            acked: true,
         });
     }
 
@@ -106,16 +131,17 @@ impl Trace {
     }
 
     /// Renders the trace as CSV
-    /// (`seq,phase,from,to,bytes,packets,retransmissions,acked`; multiple
-    /// receivers separated by `;`).
+    /// (`seq,phase,kind,from,to,bytes,packets,retransmissions,acked`;
+    /// multiple receivers separated by `;`).
     pub fn to_csv(&self) -> String {
-        let mut out = String::from("seq,phase,from,to,bytes,packets,retransmissions,acked\n");
+        let mut out = String::from("seq,phase,kind,from,to,bytes,packets,retransmissions,acked\n");
         for r in &self.records {
             let to: Vec<String> = r.to.iter().map(|n| n.0.to_string()).collect();
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{}\n",
                 r.seq,
                 r.phase,
+                r.kind,
                 r.from.0,
                 to.join(";"),
                 r.bytes,
@@ -144,9 +170,28 @@ mod tests {
         assert_eq!(t.records()[2].retransmissions, 3);
         assert!(!t.records()[2].acked);
         let csv = t.to_csv();
-        assert!(csv.starts_with("seq,phase,from,to,bytes,packets,retransmissions,acked\n"));
-        assert!(csv.contains("0,collect,3,1,30,1,0,true\n"));
-        assert!(csv.contains("1,filter,1,3;4,100,3,0,true\n"));
-        assert!(csv.contains("2,final,4,1,60,2,3,false\n"));
+        assert!(csv.starts_with("seq,phase,kind,from,to,bytes,packets,retransmissions,acked\n"));
+        assert!(csv.contains("0,collect,data,3,1,30,1,0,true\n"));
+        assert!(csv.contains("1,filter,data,1,3;4,100,3,0,true\n"));
+        assert!(csv.contains("2,final,data,4,1,60,2,3,false\n"));
+    }
+
+    #[test]
+    fn churn_event_rows() {
+        // Satellite: per-phase death/revival/repair events become CSV rows
+        // interleaved with the data records, zero-cost, in sequence order.
+        let mut t = Trace::new();
+        t.push("repair", NodeId(2), vec![NodeId(1)], 30, 1);
+        t.push_event("repair", "death", NodeId(5), vec![]);
+        t.push_event("repair", "repair", NodeId(6), vec![NodeId(2)]);
+        t.push_event("2-filter-dissemination", "revival", NodeId(5), vec![]);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.total_packets(), 1, "event rows carry no packets");
+        assert_eq!(t.records()[1].kind, "death");
+        assert_eq!(t.records()[2].to, vec![NodeId(2)]);
+        let csv = t.to_csv();
+        assert!(csv.contains("1,repair,death,5,,0,0,0,true\n"));
+        assert!(csv.contains("2,repair,repair,6,2,0,0,0,true\n"));
+        assert!(csv.contains("3,2-filter-dissemination,revival,5,,0,0,0,true\n"));
     }
 }
