@@ -1,0 +1,166 @@
+//! Simulator scale-out: CSR topology / routing-tree construction at
+//! 10⁵–10⁶ nodes and whole-protocol throughput of the synchronized wave
+//! engine on networks far beyond the paper's 1500-node setting.
+//!
+//! A *node-event* is one node's visit in one synchronized wave; a one-shot
+//! SENS-Join is three waves (collection up, filter down, final up), so one
+//! execution over `n` nodes is `3n` node-events. The ns/node-event figure
+//! is the simulator's hot-path cost per visit — flat SoA state, CSR
+//! adjacency, wave scratch proportional to the participant count — and is
+//! what keeps 10⁵-node sweeps interactive.
+//!
+//! Acceptance gates (asserted here, recorded in `BENCH_engine.json`):
+//! * the 100 000-node one-shot band join completes in < 10 s,
+//! * ns per node-event at 100 000 nodes stays ≤ 10 000,
+//! * peak RSS after the 1 000 000-node topology + tree build ≤ 1 GiB.
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use sensjoin_bench::{benchjson, paper_network, peak_rss_mib};
+use sensjoin_core::{set_wave_mode, JoinMethod, SensJoin, WaveMode};
+use sensjoin_field::{Area, Placement};
+use sensjoin_query::parse;
+use sensjoin_sim::{NodeId, RoutingTree, Topology};
+
+/// Paper-default radio range (m); density is held constant as `n` grows.
+const RANGE_M: f64 = 50.0;
+
+/// Band threshold (°C) for the scale-out query: wide enough to produce a
+/// non-trivial result (~10⁴ contributors at 100 k nodes), narrow enough
+/// that the base station's exact join stays far from the O(n²) regime.
+const BAND_THRESHOLD: f64 = 12.0;
+
+const ONE_SHOT_SIZES: [usize; 3] = [10_000, 30_000, 100_000];
+
+const ONE_SHOT_GATE_S: f64 = 10.0;
+const NODE_EVENT_GATE_NS: f64 = 10_000.0;
+const TREE_RSS_GATE_MIB: f64 = 1024.0;
+
+fn band_sql() -> String {
+    format!(
+        "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+         WHERE A.temp - B.temp > {BAND_THRESHOLD} ONCE"
+    )
+}
+
+/// Topology (bucketed-grid neighbor search, CSR adjacency) plus routing
+/// tree (BFS, flat parent/depth/descendants arrays, CSR children) builds.
+fn bench_tree_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scaling/tree_build");
+    group.sample_size(10);
+    for n in [100_000usize, 1_000_000] {
+        let area = Area::for_constant_density(n);
+        let positions = Placement::UniformRandom { n }.generate(area, 7);
+        group.bench_with_input(BenchmarkId::new("topology+tree", n), &n, |b, _| {
+            b.iter(|| {
+                let topo = Topology::new(black_box(positions.clone()), area, RANGE_M);
+                RoutingTree::build(&topo, NodeId(0))
+            })
+        });
+    }
+    group.finish();
+}
+
+/// Whole one-shot SENS-Join executions; `serial` pins the wave engine to
+/// the cached serial order, `parallel` forces the subtree-wave fan-out
+/// (what `Auto` picks at these sizes).
+fn bench_one_shot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_scaling/one_shot");
+    group.sample_size(10);
+    for n in ONE_SHOT_SIZES {
+        let mut snet = paper_network(n, 7);
+        let cq = snet
+            .compile(&parse(&band_sql()).expect("band SQL parses"))
+            .expect("band SQL compiles");
+        for (label, mode) in [
+            ("serial", WaveMode::ForceSerial),
+            ("parallel", WaveMode::ForceParallel),
+        ] {
+            set_wave_mode(mode);
+            group.bench_with_input(BenchmarkId::new(label, n), &n, |b, _| {
+                b.iter(|| {
+                    SensJoin::default()
+                        .execute(black_box(&mut snet), &cq)
+                        .expect("band join runs")
+                })
+            });
+            set_wave_mode(WaveMode::Auto);
+        }
+    }
+    group.finish();
+}
+
+/// Looks up a recorded mean duration (ns) by full benchmark name.
+fn ns_of(results: &[(String, std::time::Duration)], name: &str) -> f64 {
+    results
+        .iter()
+        .find(|(k, _)| k == name)
+        .unwrap_or_else(|| panic!("bench {name} was not run"))
+        .1
+        .as_nanos() as f64
+}
+
+fn main() {
+    let mut criterion = Criterion::default();
+    bench_tree_build(&mut criterion);
+    // Peak RSS sampled here, before the one-shot runs allocate their
+    // (intentionally larger) result sets: VmHWM is a process-wide high
+    // water mark, so the order of the groups matters.
+    let tree_rss_mib = peak_rss_mib();
+    bench_one_shot(&mut criterion);
+
+    let results = criterion.results();
+    let mut events = Vec::new();
+    for n in ONE_SHOT_SIZES {
+        for label in ["serial", "parallel"] {
+            let ns = ns_of(results, &format!("sim_scaling/one_shot/{label}/{n}"));
+            events.push((format!("\"{label}/{n}\"",), ns / (3.0 * n as f64)));
+        }
+    }
+    let par_100k_s = ns_of(results, "sim_scaling/one_shot/parallel/100000") / 1e9;
+    let par_100k_ns_event = ns_of(results, "sim_scaling/one_shot/parallel/100000") / 300_000.0;
+    let speedup_100k = ns_of(results, "sim_scaling/one_shot/serial/100000")
+        / ns_of(results, "sim_scaling/one_shot/parallel/100000");
+
+    assert!(
+        par_100k_s < ONE_SHOT_GATE_S,
+        "gate violated: 100k one-shot band join took {par_100k_s:.2} s >= {ONE_SHOT_GATE_S} s"
+    );
+    assert!(
+        par_100k_ns_event <= NODE_EVENT_GATE_NS,
+        "gate violated: {par_100k_ns_event:.0} ns/node-event at 100k > {NODE_EVENT_GATE_NS}"
+    );
+    if let Some(rss) = tree_rss_mib {
+        assert!(
+            rss <= TREE_RSS_GATE_MIB,
+            "gate violated: peak RSS after 1M-node tree build is {rss:.0} MiB > {TREE_RSS_GATE_MIB}"
+        );
+    }
+
+    let ns_per_event = format!(
+        "{{{}}}",
+        events
+            .iter()
+            .map(|(k, v)| format!("{k}: {v:.0}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+    let extras = [
+        ("band_threshold", format!("{BAND_THRESHOLD}")),
+        ("one_shot_100k_seconds", format!("{par_100k_s:.3}")),
+        ("ns_per_node_event", ns_per_event),
+        ("parallel_speedup_100k", format!("{speedup_100k:.2}")),
+        (
+            "tree_build_peak_rss_mib",
+            tree_rss_mib.map_or("null".to_owned(), |r| format!("{r:.0}")),
+        ),
+        (
+            "gate",
+            format!(
+                "\"one_shot parallel/100000 < {ONE_SHOT_GATE_S} s, \
+                 <= {NODE_EVENT_GATE_NS} ns/node-event, \
+                 1M tree build peak RSS <= {TREE_RSS_GATE_MIB} MiB\""
+            ),
+        ),
+    ];
+    benchjson::merge_section("sim_scaling", &benchjson::section_value(results, &extras));
+}

@@ -54,6 +54,18 @@ pub fn saving_pct(baseline: u64, ours: u64) -> f64 {
     100.0 * (1.0 - ours as f64 / baseline as f64)
 }
 
+/// Process-wide peak resident set size in MiB (`VmHWM`), or `None` where
+/// `/proc/self/status` is unavailable. A high-water mark: it only ever
+/// grows, so sample it right after the allocation of interest.
+pub fn peak_rss_mib() -> Option<f64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let rest = status
+        .lines()
+        .find_map(|line| line.strip_prefix("VmHWM:"))?;
+    let kb: f64 = rest.trim().trim_end_matches("kB").trim().parse().ok()?;
+    Some(kb / 1024.0)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,129 @@
+//! Disjoint per-node mutable state for parallel wave callbacks.
+//!
+//! The `_sync` wave engines in [`crate::wave`] call a node's callback
+//! exactly once, and parallel execution partitions nodes across worker
+//! threads by subtree — two threads never run callbacks for the same node.
+//! [`NodeCells`] turns that structural guarantee into mutable access to
+//! per-node state (`Vec<TupleBuf>`, per-node filters, …) from a `Fn + Sync`
+//! closure: each callback touches only its own node's cell.
+
+use sensjoin_relation::NodeId;
+use std::marker::PhantomData;
+
+/// A slice of per-node cells that worker threads may mutate concurrently —
+/// one cell per node, indexed by [`NodeId`].
+///
+/// # Disjointness contract
+///
+/// [`NodeCells::with`] hands out `&mut` access without locking. This is
+/// sound exactly when no two concurrent `with` calls target the same node.
+/// Wave callbacks uphold the contract by construction when they only touch
+/// the cell of the node they were invoked for: the wave engines visit every
+/// node once and never run one node's callback on two threads. Debug builds
+/// verify the contract with a per-cell guard and panic on overlap.
+pub struct NodeCells<'a, T> {
+    ptr: *mut T,
+    len: usize,
+    #[cfg(debug_assertions)]
+    busy: Vec<std::sync::atomic::AtomicBool>,
+    _marker: PhantomData<&'a mut [T]>,
+}
+
+// SAFETY: access is per-cell disjoint under the documented contract; cells
+// move between threads only as `&mut T` within `with`, so `T: Send`
+// suffices for both sharing the handle and sending it.
+unsafe impl<T: Send> Sync for NodeCells<'_, T> {}
+unsafe impl<T: Send> Send for NodeCells<'_, T> {}
+
+impl<'a, T> NodeCells<'a, T> {
+    /// Wraps a per-node state slice (`cells[v.0 as usize]` is node `v`'s).
+    pub fn new(cells: &'a mut [T]) -> Self {
+        Self {
+            len: cells.len(),
+            #[cfg(debug_assertions)]
+            busy: cells
+                .iter()
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
+            ptr: cells.as_mut_ptr(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether there are no cells.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Runs `f` with mutable access to node `v`'s cell. See the
+    /// [disjointness contract](NodeCells#disjointness-contract); debug
+    /// builds panic if two threads (or a reentrant call) overlap on the
+    /// same node.
+    pub fn with<R>(&self, v: NodeId, f: impl FnOnce(&mut T) -> R) -> R {
+        let i = v.0 as usize;
+        assert!(i < self.len, "node {v} out of bounds ({} cells)", self.len);
+        #[cfg(debug_assertions)]
+        {
+            use std::sync::atomic::Ordering;
+            if self.busy[i]
+                .compare_exchange(false, true, Ordering::Acquire, Ordering::Relaxed)
+                .is_err()
+            {
+                panic!("concurrent access to node cell {v}");
+            }
+        }
+        // SAFETY: i < len, and the disjointness contract (debug-checked
+        // above) guarantees no aliasing access to this cell.
+        let out = f(unsafe { &mut *self.ptr.add(i) });
+        #[cfg(debug_assertions)]
+        self.busy[i].store(false, std::sync::atomic::Ordering::Release);
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disjoint_threaded_mutation() {
+        let mut state = vec![0u64; 64];
+        let cells = NodeCells::new(&mut state);
+        std::thread::scope(|s| {
+            for t in 0..4 {
+                let cells = &cells;
+                s.spawn(move || {
+                    for i in (t..64).step_by(4) {
+                        cells.with(NodeId(i as u32), |c| *c += i as u64 + 1);
+                    }
+                });
+            }
+        });
+        drop(cells);
+        for (i, &v) in state.iter().enumerate() {
+            assert_eq!(v, i as u64 + 1);
+        }
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "concurrent access")]
+    fn reentrant_access_is_caught() {
+        let mut state = vec![0u8; 4];
+        let cells = NodeCells::new(&mut state);
+        cells.with(NodeId(2), |_| cells.with(NodeId(2), |c| *c += 1));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn out_of_bounds_is_caught() {
+        let mut state = vec![0u8; 4];
+        let cells = NodeCells::new(&mut state);
+        cells.with(NodeId(4), |c| *c += 1);
+    }
+}

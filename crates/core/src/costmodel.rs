@@ -90,7 +90,7 @@ impl<'a> CostModel<'a> {
         let n = snet.len();
         let mut member_subtree = vec![0u32; n];
         let mut tuple_bytes = vec![0usize; n];
-        for v in routing.bottom_up_order() {
+        for &v in routing.bottom_up_order() {
             let i = v.0 as usize;
             if let Some(rec) = &data[i].rec {
                 member_subtree[i] += 1;

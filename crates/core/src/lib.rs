@@ -60,6 +60,7 @@
 mod adaptive;
 mod baselines;
 mod bloom;
+mod cells;
 mod config;
 mod continuous;
 mod costmodel;
@@ -81,6 +82,7 @@ pub use baselines::{MediatedJoin, PHASE_MEDIATED_COLLECTION, PHASE_MEDIATED_RESU
 pub use bloom::{
     BloomFilter, BloomSemiJoin, PHASE_BLOOM_COLLECTION, PHASE_BLOOM_FINAL, PHASE_BLOOM_FLOOD,
 };
+pub use cells::NodeCells;
 pub use config::{QuantizationConfig, Representation, SensJoinConfig};
 pub use continuous::{
     ContinuousSensJoin, MAX_ROUND_ATTEMPTS, PHASE_DELTA_COLLECTION, PHASE_FILTER_DELTA,
@@ -107,6 +109,7 @@ pub use sensjoin::{SensJoin, PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL};
 pub use snetwork::{
     attr_type_for, ExternalData, SensorNetwork, SensorNetworkBuilder, SensorNetworkError,
 };
+pub use wave::{set_wave_mode, wave_mode, WaveMode, PAR_MIN_PARTICIPANTS};
 
 /// The trait every join method implements.
 pub trait JoinMethod {

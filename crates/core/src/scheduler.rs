@@ -27,20 +27,21 @@
 //! (the §VI-B representation knob only varies the single-query collection
 //! experiment).
 
+use crate::cells::NodeCells;
 use crate::config::{Representation, SensJoinConfig};
 use crate::engine::{exact_join, JoinSpace};
 use crate::incremental::{CellCounts, FilterEngine};
 use crate::outcome::{JoinResult, ProtocolError};
 use crate::repr::{collect_node_data, project_to_schema, JoinAttrMsg, NodeData};
 use crate::snetwork::SensorNetwork;
-use crate::wave::{down_wave, up_wave, DownArrival};
+use crate::wave::{down_wave_sync, up_wave_sync, DownArrival};
 use sensjoin_field::FieldSpec;
 use sensjoin_quadtree::PointSet;
 use sensjoin_query::CompiledQuery;
 use sensjoin_relation::NodeId;
 use sensjoin_sim::{NetworkStats, Scheduler, Time};
-use std::cell::RefCell;
 use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Shared Join-Attribute-Collection phase label (one up-wave for all due
 /// queries).
@@ -447,8 +448,12 @@ impl QueryGroup {
         // own space), merged on the wire per space signature. Treecut is
         // decided on the union tuple size, so a subtree cheap for *all*
         // queries together exits the epoch entirely.
-        let solo_collection: RefCell<Vec<u64>> = RefCell::new(vec![0; k]);
-        let (base_msg, rep1) = up_wave(
+        // Solo-equivalent byte accumulators: `u64` addition commutes, so
+        // relaxed atomics land on the same totals whichever thread charges
+        // a message first.
+        let solo_collection: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+        let cells = NodeCells::new(&mut states);
+        let (base_msg, rep1) = up_wave_sync(
             snet.net_mut(),
             &|_| true,
             |v, received: Vec<GroupUp>| {
@@ -471,80 +476,81 @@ impl QueryGroup {
                     && cfg.dmax > 0
                     && attr_msgs.is_empty()
                     && full_bytes + own_bytes <= cfg.dmax;
-                if treecut {
-                    if own {
-                        fulls.push(v);
-                    }
-                    states[vi].active = false;
-                    GroupUp::Full {
-                        nodes: fulls,
-                        bytes: full_bytes + own_bytes,
-                    }
-                } else {
-                    let st = &mut states[vi];
-                    st.active = true;
-                    let mut sets: Vec<PointSet> = (0..k).map(|_| PointSet::new()).collect();
-                    for m in &attr_msgs {
-                        for (s, set) in m.iter().enumerate() {
-                            sets[s] = sets[s].union(set);
+                cells.with(v, |st| {
+                    if treecut {
+                        if own {
+                            fulls.push(v);
                         }
-                    }
-                    // Memorize the *received* per-query subtree sets for
-                    // Selective Filter Forwarding, each under its own
-                    // memory-cap check — exactly the solo rule per query.
-                    if cfg.selective_forwarding {
-                        for s in 0..k {
-                            let stored = JoinAttrMsg::filter_wire_size(
-                                &sets[s],
-                                Representation::Quadtree,
-                                &spaces[s],
-                            );
-                            if v == base || stored <= cfg.filter_memory_limit {
-                                st.subtree_atts[s] = Some(sets[s].clone());
+                        st.active = false;
+                        GroupUp::Full {
+                            nodes: fulls,
+                            bytes: full_bytes + own_bytes,
+                        }
+                    } else {
+                        st.active = true;
+                        let mut sets: Vec<PointSet> = (0..k).map(|_| PointSet::new()).collect();
+                        for m in &attr_msgs {
+                            for (s, set) in m.iter().enumerate() {
+                                sets[s] = sets[s].union(set);
                             }
                         }
-                    }
-                    // Proxy received complete tuples and fold their
-                    // per-query projections in.
-                    for &u in &fulls {
-                        for (s, set) in sets.iter_mut().enumerate() {
-                            if let Some(rec) = &data[s][u.0 as usize].rec {
-                                set.insert(rec.z, rec.flags);
+                        // Memorize the *received* per-query subtree sets for
+                        // Selective Filter Forwarding, each under its own
+                        // memory-cap check — exactly the solo rule per query.
+                        if cfg.selective_forwarding {
+                            for s in 0..k {
+                                let stored = JoinAttrMsg::filter_wire_size(
+                                    &sets[s],
+                                    Representation::Quadtree,
+                                    &spaces[s],
+                                );
+                                if v == base || stored <= cfg.filter_memory_limit {
+                                    st.subtree_atts[s] = Some(sets[s].clone());
+                                }
                             }
                         }
-                    }
-                    st.proxy = fulls;
-                    if own {
-                        st.own = true;
-                        for (s, set) in sets.iter_mut().enumerate() {
-                            if let Some(rec) = &data[s][vi].rec {
-                                set.insert(rec.z, rec.flags);
+                        // Proxy received complete tuples and fold their
+                        // per-query projections in.
+                        for &u in &fulls {
+                            for (s, set) in sets.iter_mut().enumerate() {
+                                if let Some(rec) = &data[s][u.0 as usize].rec {
+                                    set.insert(rec.z, rec.flags);
+                                }
                             }
                         }
+                        st.proxy = fulls;
+                        if own {
+                            st.own = true;
+                            for (s, set) in sets.iter_mut().enumerate() {
+                                if let Some(rec) = &data[s][vi].rec {
+                                    set.insert(rec.z, rec.flags);
+                                }
+                            }
+                        }
+                        GroupUp::Attrs { sets }
                     }
-                    GroupUp::Attrs { sets }
-                }
+                })
             },
             |m| match m {
                 GroupUp::Full { bytes, nodes } => {
-                    let mut acc = solo_collection.borrow_mut();
-                    for (s, a) in acc.iter_mut().enumerate() {
-                        *a += nodes
+                    for (s, a) in solo_collection.iter().enumerate() {
+                        let sum = nodes
                             .iter()
                             .filter_map(|u| data[s][u.0 as usize].rec.as_ref())
                             .map(|r| r.bytes as u64)
                             .sum::<u64>();
+                        a.fetch_add(sum, Ordering::Relaxed);
                     }
                     *bytes
                 }
                 GroupUp::Attrs { sets } => {
-                    let mut acc = solo_collection.borrow_mut();
                     for (s, set) in sets.iter().enumerate() {
-                        acc[s] += JoinAttrMsg::filter_wire_size(
+                        let b = JoinAttrMsg::filter_wire_size(
                             set,
                             Representation::Quadtree,
                             &spaces[s],
                         ) as u64;
+                        solo_collection[s].fetch_add(b, Ordering::Relaxed);
                     }
                     let present: Vec<(usize, &PointSet)> = sets.iter().enumerate().collect();
                     merged_wire_size(&present, &sigs, &spaces)
@@ -552,8 +558,31 @@ impl QueryGroup {
             },
             PHASE_SHARED_COLLECTION,
         );
-        for (s, b) in solo_collection.into_inner().into_iter().enumerate() {
-            solo[s].collection_bytes = b;
+        drop(cells);
+        for (s, b) in solo_collection.into_iter().enumerate() {
+            solo[s].collection_bytes = b.into_inner();
+        }
+
+        // ---- Collection-damage fallback ----
+        // A lost collection message can make an ancestor treecut even though
+        // its (damaged) child stayed active, leaving the active set
+        // non-root-closed. Re-activate damaged nodes and their ancestor
+        // chains so the later waves stay well-formed; re-activated relays
+        // hold no data and only forward. The damaged subtrees' tuples are
+        // lost to this attempt — the epoch-level retry restores exactness.
+        if !rep1.damaged.is_empty() {
+            let routing = snet.net().routing();
+            for &v in &rep1.damaged {
+                states[v.0 as usize].active = true;
+                let mut u = v;
+                while let Some(p) = routing.parent(u) {
+                    if states[p.0 as usize].active {
+                        break;
+                    }
+                    states[p.0 as usize].active = true;
+                    u = p;
+                }
+            }
         }
 
         // ---- Base station: per-query filter fan-out ----
@@ -583,61 +612,63 @@ impl QueryGroup {
         let active: Vec<bool> = states.iter().map(|s| s.active).collect();
         let participates = move |v: NodeId| active[v.0 as usize];
         let selective = cfg.selective_forwarding;
-        let solo_filter: RefCell<Vec<u64>> = RefCell::new(vec![0; k]);
-        let rep2 = down_wave(
+        let solo_filter: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+        let cells = NodeCells::new(&mut states);
+        let rep2 = down_wave_sync(
             snet.net_mut(),
             &participates,
             |v, arrival: DownArrival<'_, Vec<Option<PointSet>>>| {
-                let st = &mut states[v.0 as usize];
-                let incoming: Vec<Option<&PointSet>> = match arrival {
-                    DownArrival::Intact(f) => {
-                        st.received = f.clone();
-                        f.iter().map(|o| o.as_ref()).collect()
-                    }
-                    DownArrival::Origin => filters.iter().map(Some).collect(),
-                    // The merged filter frame is gone; this node (and its
-                    // subtree) has no usable filter view. The epoch-level
-                    // retry re-runs the whole epoch, so stop forwarding.
-                    DownArrival::Damaged => return None,
-                };
-                let mut out: Vec<Option<PointSet>> = vec![None; k];
-                for (s, inc) in incoming.into_iter().enumerate() {
-                    let Some(inc) = inc else { continue };
-                    if !selective {
-                        out[s] = Some(inc.clone());
-                        continue;
-                    }
-                    match &st.subtree_atts[s] {
-                        Some(atts) => {
-                            let pruned = inc.intersect(atts);
-                            if !pruned.is_empty() {
-                                out[s] = Some(pruned);
-                            }
+                cells.with(v, |st| {
+                    let incoming: Vec<Option<&PointSet>> = match arrival {
+                        DownArrival::Intact(f) => {
+                            st.received = f.clone();
+                            f.iter().map(|o| o.as_ref()).collect()
                         }
-                        // Over the memory cap: cannot prune, forward as-is.
-                        None => out[s] = Some(inc.clone()),
+                        DownArrival::Origin => filters.iter().map(Some).collect(),
+                        // The merged filter frame is gone; this node (and its
+                        // subtree) has no usable filter view. The epoch-level
+                        // retry re-runs the whole epoch, so stop forwarding.
+                        DownArrival::Damaged => return None,
+                    };
+                    let mut out: Vec<Option<PointSet>> = vec![None; k];
+                    for (s, inc) in incoming.into_iter().enumerate() {
+                        let Some(inc) = inc else { continue };
+                        if !selective {
+                            out[s] = Some(inc.clone());
+                            continue;
+                        }
+                        match &st.subtree_atts[s] {
+                            Some(atts) => {
+                                let pruned = inc.intersect(atts);
+                                if !pruned.is_empty() {
+                                    out[s] = Some(pruned);
+                                }
+                            }
+                            // Over the memory cap: cannot prune, forward as-is.
+                            None => out[s] = Some(inc.clone()),
+                        }
                     }
-                }
-                out.iter().any(|o| o.is_some()).then_some(out)
+                    out.iter().any(|o| o.is_some()).then_some(out)
+                })
             },
             |msg| {
-                let mut acc = solo_filter.borrow_mut();
                 let present: Vec<(usize, &PointSet)> = msg
                     .iter()
                     .enumerate()
                     .filter_map(|(s, o)| o.as_ref().map(|set| (s, set)))
                     .collect();
                 for &(s, set) in &present {
-                    acc[s] +=
-                        JoinAttrMsg::filter_wire_size(set, Representation::Quadtree, &spaces[s])
-                            as u64;
+                    let b = JoinAttrMsg::filter_wire_size(set, Representation::Quadtree, &spaces[s])
+                        as u64;
+                    solo_filter[s].fetch_add(b, Ordering::Relaxed);
                 }
                 merged_wire_size(&present, &sigs, &spaces)
             },
             PHASE_SHARED_FILTER,
         );
-        for (s, b) in solo_filter.into_inner().into_iter().enumerate() {
-            solo[s].filter_bytes = b;
+        drop(cells);
+        for (s, b) in solo_filter.into_iter().enumerate() {
+            solo[s].filter_bytes = b.into_inner();
         }
 
         // ---- Phase 3: shared Final-Result ----
@@ -646,8 +677,8 @@ impl QueryGroup {
         // matched queries' referenced attributes plus the mask.
         let active2: Vec<bool> = states.iter().map(|s| s.active).collect();
         let participates3 = move |v: NodeId| active2[v.0 as usize];
-        let solo_final: RefCell<Vec<u64>> = RefCell::new(vec![0; k]);
-        let (final_batch, rep3) = up_wave(
+        let solo_final: Vec<AtomicU64> = (0..k).map(|_| AtomicU64::new(0)).collect();
+        let (final_batch, rep3) = up_wave_sync(
             snet.net_mut(),
             &participates3,
             |v, received: Vec<GBatch>| {
@@ -698,13 +729,12 @@ impl QueryGroup {
             // per link: an entry's per-query payload is paid again on every
             // hop it is forwarded, exactly as a solo final up-wave would.
             |b| {
-                let mut acc = solo_final.borrow_mut();
                 for &(u, mask) in &b.entries {
                     let ui = u.0 as usize;
-                    for (s, a) in acc.iter_mut().enumerate() {
+                    for (s, a) in solo_final.iter().enumerate() {
                         if mask >> s & 1 == 1 {
                             if let Some(rec) = &data[s][ui].rec {
-                                *a += rec.bytes as u64;
+                                a.fetch_add(rec.bytes as u64, Ordering::Relaxed);
                             }
                         }
                     }
@@ -713,8 +743,8 @@ impl QueryGroup {
             },
             PHASE_SHARED_FINAL,
         );
-        for (s, b) in solo_final.into_inner().into_iter().enumerate() {
-            solo[s].final_bytes = b;
+        for (s, b) in solo_final.into_iter().enumerate() {
+            solo[s].final_bytes = b.into_inner();
         }
 
         // ---- Per-query exact joins over the shipped tuples ----

@@ -1,11 +1,12 @@
 //! The SENS-Join protocol (paper §IV).
 
+use crate::cells::NodeCells;
 use crate::config::{Representation, SensJoinConfig};
 use crate::engine::{exact_join, prejoin_filter, JoinSpace};
 use crate::outcome::{JoinOutcome, ProtocolError};
 use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg, NodeData};
 use crate::snetwork::SensorNetwork;
-use crate::wave::{down_wave, up_wave, DownArrival};
+use crate::wave::{down_wave_sync, up_wave_sync, DownArrival};
 use crate::JoinMethod;
 use sensjoin_quadtree::PointSet;
 use sensjoin_query::CompiledQuery;
@@ -132,6 +133,18 @@ fn reconcile_churn(
     p0: &[bool],
 ) {
     let alive = net.alive_mask();
+    // A crash wipes the node's copies everywhere even if the node revived
+    // at this very boundary: liveness alone is not enough to keep a row —
+    // its origin must also not have crashed just now (the revival arm below
+    // re-contributes the reading exactly once).
+    let mut crashed_now = vec![false; states.len()];
+    for &d in &out.crashed {
+        crashed_now[d.0 as usize] = true;
+    }
+    let survives = |r: &FullRec| {
+        let o = r.origin.0 as usize;
+        alive[o] && !crashed_now[o]
+    };
     let mut restore: Vec<FullRec> = Vec::new();
     for &d in &out.crashed {
         let lost = std::mem::take(&mut states[d.0 as usize]);
@@ -139,15 +152,15 @@ fn reconcile_churn(
     }
     if !out.crashed.is_empty() {
         for st in states.iter_mut() {
-            st.proxy.retain(|r| alive[r.origin.0 as usize]);
+            st.proxy.retain(&survives);
             if let Some((_, kept_proxy)) = &mut st.kept {
-                kept_proxy.retain(|r| alive[r.origin.0 as usize]);
+                kept_proxy.retain(&survives);
             }
         }
     }
     for rec in restore {
         let o = rec.origin.0 as usize;
-        if !alive[o] {
+        if !survives(&rec) {
             continue; // the origin died too: the row is genuinely lost
         }
         let st = &mut states[o];
@@ -160,6 +173,9 @@ fn reconcile_churn(
     for &v in &out.revived {
         let st = &mut states[v.0 as usize];
         *st = NodeState::default();
+        if !alive[v.0 as usize] {
+            continue; // revived then crashed again at the same boundary
+        }
         if p0[v.0 as usize] {
             if let Some(rec) = data[v.0 as usize].rec.clone() {
                 st.own = Some(rec);
@@ -238,7 +254,8 @@ impl JoinMethod for SensJoin {
         // ---- Phase 1: Join-Attribute-Collection (Fig. 2) ----
         let lossy = snet.net().lossy();
         let shape = space.shape().clone();
-        let (base_msg, rep1) = up_wave(
+        let cells = NodeCells::new(&mut states);
+        let (base_msg, rep1) = up_wave_sync(
             snet.net_mut(),
             &|_| true,
             |v, received: Vec<UpMsg>| {
@@ -260,58 +277,64 @@ impl JoinMethod for SensJoin {
                     && cfg.dmax > 0
                     && attr_msgs.is_empty()
                     && full_bytes + own_bytes <= cfg.dmax;
-                if treecut {
-                    // Hand the complete tuples to the parent and exit the
-                    // query (Fig. 2 lines 14-18). Over a lossy channel the
-                    // node keeps a copy of the handoff until the phase ends:
-                    // if the message is reported damaged the node re-enters
-                    // the query as the tuples' proxy (otherwise the data
-                    // would exist nowhere).
-                    if lossy {
-                        states[v.0 as usize].kept = Some((own.clone(), fulls.clone()));
+                cells.with(v, |st| {
+                    if treecut {
+                        // Hand the complete tuples to the parent and exit the
+                        // query (Fig. 2 lines 14-18). Over a lossy channel the
+                        // node keeps a copy of the handoff until the phase
+                        // ends: if the message is reported damaged the node
+                        // re-enters the query as the tuples' proxy (otherwise
+                        // the data would exist nowhere).
+                        if lossy {
+                            st.kept = Some((own.clone(), fulls.clone()));
+                        }
+                        if let Some(rec) = own {
+                            fulls.push(rec);
+                        }
+                        st.active = false;
+                        UpMsg::Full {
+                            tuples: fulls,
+                            bytes: full_bytes + own_bytes,
+                        }
+                    } else {
+                        st.active = true;
+                        // Merge received structures (Fig. 2 line 10).
+                        let mut ja = JoinAttrMsg::new();
+                        for m in &attr_msgs {
+                            ja.merge(m);
+                        }
+                        // Memorize the subtree's join-attribute tuples for
+                        // Selective Filter Forwarding — the *received* ones
+                        // only (Fig. 2 line 21); own and proxied tuples are
+                        // checked directly against the incoming filter later.
+                        // The stored form is always the compact quadtree
+                        // (only the §VI-B collection experiment varies the
+                        // wire representation). The base station is powered
+                        // and ignores the memory cap.
+                        let stored_size = JoinAttrMsg::filter_wire_size(
+                            &ja.set,
+                            Representation::Quadtree,
+                            &space,
+                        );
+                        if cfg.selective_forwarding
+                            && (v == base || stored_size <= cfg.filter_memory_limit)
+                        {
+                            st.subtree_atts = Some(ja.set.clone());
+                        }
+                        // Act as proxy for received complete tuples (line 20)
+                        // and fold their join-attribute projections in
+                        // (line 22).
+                        for rec in &fulls {
+                            ja.insert(rec.z, rec.flags, &rec.coords);
+                        }
+                        st.proxy = fulls;
+                        if let Some(rec) = own {
+                            ja.insert(rec.z, rec.flags, &rec.coords);
+                            st.own = Some(rec);
+                        }
+                        UpMsg::Attrs(ja)
                     }
-                    if let Some(rec) = own {
-                        fulls.push(rec);
-                    }
-                    states[v.0 as usize].active = false;
-                    UpMsg::Full {
-                        tuples: fulls,
-                        bytes: full_bytes + own_bytes,
-                    }
-                } else {
-                    let st = &mut states[v.0 as usize];
-                    st.active = true;
-                    // Merge received structures (Fig. 2 line 10).
-                    let mut ja = JoinAttrMsg::new();
-                    for m in &attr_msgs {
-                        ja.merge(m);
-                    }
-                    // Memorize the subtree's join-attribute tuples for
-                    // Selective Filter Forwarding — the *received* ones only
-                    // (Fig. 2 line 21); own and proxied tuples are checked
-                    // directly against the incoming filter later. The stored
-                    // form is always the compact quadtree (only the §VI-B
-                    // collection experiment varies the wire representation).
-                    // The base station is powered and ignores the memory cap.
-                    let stored_size =
-                        JoinAttrMsg::filter_wire_size(&ja.set, Representation::Quadtree, &space);
-                    if cfg.selective_forwarding
-                        && (v == base || stored_size <= cfg.filter_memory_limit)
-                    {
-                        st.subtree_atts = Some(ja.set.clone());
-                    }
-                    // Act as proxy for received complete tuples (line 20)
-                    // and fold their join-attribute projections in (line 22).
-                    for rec in &fulls {
-                        ja.insert(rec.z, rec.flags, &rec.coords);
-                    }
-                    st.proxy = fulls;
-                    if let Some(rec) = own {
-                        ja.insert(rec.z, rec.flags, &rec.coords);
-                        st.own = Some(rec);
-                    }
-                    UpMsg::Attrs(ja)
-                }
+                })
             },
             |m| match m {
                 UpMsg::Full { bytes, .. } => *bytes,
@@ -319,6 +342,7 @@ impl JoinMethod for SensJoin {
             },
             PHASE_COLLECTION,
         );
+        drop(cells);
 
         // ---- Collection-damage fallback ----
         // A node whose collection message was permanently lost re-enters
@@ -382,45 +406,47 @@ impl JoinMethod for SensJoin {
         // distinguish a real filter from a PassThrough order; lossless runs
         // stay byte-identical to the pre-channel protocol.
         let tag = usize::from(lossy);
-        let rep2 = down_wave(
+        let cells = NodeCells::new(&mut states);
+        let rep2 = down_wave_sync(
             snet.net_mut(),
             &participates,
             |v, arrival: DownArrival<'_, FilterMsg>| {
-                let st = &mut states[v.0 as usize];
-                let incoming: Option<&PointSet> = match arrival {
-                    DownArrival::Origin => {
-                        if collection_damaged {
-                            None // base orders global pass-through
-                        } else {
-                            Some(&filter)
+                cells.with(v, |st| {
+                    let incoming: Option<&PointSet> = match arrival {
+                        DownArrival::Origin => {
+                            if collection_damaged {
+                                None // base orders global pass-through
+                            } else {
+                                Some(&filter)
+                            }
                         }
+                        DownArrival::Intact(FilterMsg::Filter(f)) => {
+                            st.received_filter = Some(f.clone());
+                            st.received_filter.as_ref()
+                        }
+                        // An explicit PassThrough order, or a filter copy the
+                        // channel ate: either way the node must not prune and
+                        // must ship everything (missing filter = pass-through,
+                        // never drop a real result).
+                        DownArrival::Intact(FilterMsg::PassThrough) | DownArrival::Damaged => None,
+                    };
+                    let Some(incoming) = incoming else {
+                        st.passthrough = true;
+                        return Some(FilterMsg::PassThrough);
+                    };
+                    if !selective {
+                        // Ablation: flood the unpruned filter everywhere.
+                        return Some(FilterMsg::Filter(incoming.clone()));
                     }
-                    DownArrival::Intact(FilterMsg::Filter(f)) => {
-                        st.received_filter = Some(f.clone());
-                        st.received_filter.as_ref()
+                    match &st.subtree_atts {
+                        Some(atts) => {
+                            let pruned = incoming.intersect(atts);
+                            (!pruned.is_empty()).then_some(FilterMsg::Filter(pruned))
+                        }
+                        // Over the memory cap: cannot prune, forward as-is.
+                        None => Some(FilterMsg::Filter(incoming.clone())),
                     }
-                    // An explicit PassThrough order, or a filter copy the
-                    // channel ate: either way the node must not prune and
-                    // must ship everything (missing filter = pass-through,
-                    // never drop a real result).
-                    DownArrival::Intact(FilterMsg::PassThrough) | DownArrival::Damaged => None,
-                };
-                let Some(incoming) = incoming else {
-                    st.passthrough = true;
-                    return Some(FilterMsg::PassThrough);
-                };
-                if !selective {
-                    // Ablation: flood the unpruned filter everywhere.
-                    return Some(FilterMsg::Filter(incoming.clone()));
-                }
-                match &st.subtree_atts {
-                    Some(atts) => {
-                        let pruned = incoming.intersect(atts);
-                        (!pruned.is_empty()).then_some(FilterMsg::Filter(pruned))
-                    }
-                    // Over the memory cap: cannot prune, forward as-is.
-                    None => Some(FilterMsg::Filter(incoming.clone())),
-                }
+                })
             },
             // The filter always travels in the compact quadtree form; the
             // representation knob only varies the collection step (§VI-B).
@@ -432,6 +458,7 @@ impl JoinMethod for SensJoin {
             },
             PHASE_FILTER,
         );
+        drop(cells);
         debug_assert!(lossy || rep2.is_lossless());
 
         // ---- Churn boundary 2 (after filter dissemination) ----
@@ -449,7 +476,7 @@ impl JoinMethod for SensJoin {
         // ---- Phase 3: Final-Result-Computation (§IV-D) ----
         let active2: Vec<bool> = states.iter().map(|s| s.active).collect();
         let participates3 = move |v: NodeId| active2[v.0 as usize];
-        let (final_batch, rep3) = up_wave(
+        let (final_batch, rep3) = up_wave_sync(
             snet.net_mut(),
             &participates3,
             |v, received: Vec<Batch>| {

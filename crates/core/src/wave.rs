@@ -7,7 +7,8 @@
 //! (TAG-style scheduling, [18]). Because siblings in different subtrees
 //! transmit concurrently, a phase's latency is the longest chain of
 //! dependent transfers — which these helpers compute while charging every
-//! transmission through [`Network::unicast`] / [`Network::broadcast`].
+//! transmission through [`Network::unicast_delivery`] /
+//! [`Network::broadcast_delivery`].
 //!
 //! Over a lossy network (a [`sensjoin_sim::Channel`] attached to the
 //! [`Network`]), a message can be permanently lost despite the ARQ budget.
@@ -18,9 +19,31 @@
 //! visited with [`DownArrival::Damaged`] instead of the message content
 //! (loss is locally detectable: the fragment train was on the air but did
 //! not decode — unlike pruning, where the parent stays silent).
+//!
+//! # Execution order and parallelism
+//!
+//! Waves visit nodes in *subtree-major* order: an up wave walks the cached
+//! post-order of the routing tree (each base-child subtree is one
+//! contiguous block, blocks in ascending child order, the root last), a
+//! down wave walks the matching pre-order. Because independent subtrees
+//! occupy disjoint radio links and disjoint node state, the `_sync` wave
+//! variants ([`up_wave_sync`], [`down_wave_sync`]) can hand whole subtree
+//! blocks to worker threads: each thread charges its transfers into a
+//! [`sensjoin_sim::StatLedger`]-backed lane ([`Network::open_lane`]) and
+//! draws packet fates from its own clone of the per-link channel streams.
+//! Replaying the lanes in block order afterwards re-issues *exactly* the
+//! serial call sequence — every byte/packet counter, every floating-point
+//! energy accumulation and every trace row is bit-identical to serial
+//! execution, and the per-link RNG streams end up in the same position.
+//! [`set_wave_mode`] pins execution to serial or parallel per thread (the
+//! equivalence tests rely on this); [`WaveMode::Auto`] parallelizes only
+//! past a participant threshold. Per-node protocol state mutated from
+//! `Fn + Sync` callbacks goes through [`crate::NodeCells`].
 
 use sensjoin_relation::NodeId;
-use sensjoin_sim::{Network, RoutingTree, Time};
+use sensjoin_sim::{Delivery, Network, RoutingTree, Time};
+use std::cell::Cell;
+use std::collections::BTreeMap;
 
 /// A phase's latency under the two scheduling models.
 ///
@@ -51,7 +74,7 @@ impl WaveTiming {
 
 /// What a wave reports back: its timing plus every node whose message was
 /// permanently lost (empty on a lossless network).
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct WaveReport {
     /// Phase latency under both scheduling models.
     pub timing: WaveTiming,
@@ -88,6 +111,219 @@ pub enum DownArrival<'a, M> {
     Damaged,
 }
 
+/// How the `_sync` waves execute (per thread; see [`set_wave_mode`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WaveMode {
+    /// Parallelize when it pays: at least two subtree blocks, at least
+    /// [`PAR_MIN_PARTICIPANTS`] participating nodes and a multi-core host.
+    #[default]
+    Auto,
+    /// Always run serially (reference executions).
+    ForceSerial,
+    /// Always take the parallel path, even for tiny waves — used by the
+    /// equivalence tests to exercise the lane machinery. Without the
+    /// `parallel` feature this degrades to serial execution.
+    ForceParallel,
+}
+
+/// Minimum participating nodes before [`WaveMode::Auto`] parallelizes: at
+/// paper scale (hundreds of nodes) thread spawn + ledger replay cost more
+/// than they save, so waves stay serial until well past it.
+pub const PAR_MIN_PARTICIPANTS: usize = 4096;
+
+thread_local! {
+    static WAVE_MODE: Cell<WaveMode> = const { Cell::new(WaveMode::Auto) };
+}
+
+/// Sets the execution mode of subsequent `_sync` waves *on this thread*.
+/// Thread-local so concurrently running tests (and drivers) cannot race
+/// each other's setting; worker threads a wave spawns are unaffected — the
+/// mode is read once at wave entry.
+pub fn set_wave_mode(mode: WaveMode) {
+    WAVE_MODE.with(|m| m.set(mode));
+}
+
+/// The current thread's wave execution mode.
+pub fn wave_mode() -> WaveMode {
+    WAVE_MODE.with(|m| m.get())
+}
+
+#[cfg(feature = "parallel")]
+fn worker_threads() -> usize {
+    use std::sync::OnceLock;
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| std::thread::available_parallelism().map_or(1, |n| n.get()))
+}
+
+/// Whether a wave with `participants` nodes spread over `blocks`
+/// independent subtree blocks should take the parallel path.
+#[cfg(feature = "parallel")]
+fn go_parallel(participants: usize, blocks: usize) -> bool {
+    match wave_mode() {
+        WaveMode::ForceSerial => false,
+        WaveMode::ForceParallel => blocks >= 1,
+        WaveMode::Auto => {
+            blocks >= 2 && participants >= PAR_MIN_PARTICIPANTS && worker_threads() >= 2
+        }
+    }
+}
+
+#[cfg(not(feature = "parallel"))]
+fn go_parallel(_participants: usize, _blocks: usize) -> bool {
+    false
+}
+
+/// The wave's participants in visiting order: the routing tree's cached
+/// post-order filtered by `participates`. Subtree blocks stay contiguous
+/// (filtering preserves order, and root-closedness means a block is either
+/// fully absent or keeps its root-child as its last element); the tree root
+/// is the final element.
+fn collect_participants(
+    tree: &RoutingTree,
+    participates: &(impl Fn(NodeId) -> bool + ?Sized),
+) -> Vec<NodeId> {
+    let mut parts: Vec<NodeId> = tree
+        .bottom_up_order()
+        .iter()
+        .copied()
+        .filter(|&v| participates(v))
+        .collect();
+    assert_eq!(
+        parts.pop(),
+        Some(tree.base()),
+        "the tree root always participates"
+    );
+    parts
+}
+
+/// Participants the wave never visited: alive-and-claimed nodes that are
+/// not on the routing tree.
+fn absent_nodes(
+    n: usize,
+    tree: &RoutingTree,
+    participates: &(impl Fn(NodeId) -> bool + ?Sized),
+) -> Vec<NodeId> {
+    (0..n as u32)
+        .map(NodeId)
+        .filter(|&v| participates(v) && tree.depth(v).is_none())
+        .collect()
+}
+
+/// A message that reached the wave's root, in serial arrival order.
+struct RootArrival<M> {
+    /// `None` if the root-child's message was undecodable.
+    msg: Option<M>,
+    /// When the transfer into the root finished (pipelined schedule).
+    done: Time,
+}
+
+/// Everything one contiguous run of subtree blocks contributes to an up
+/// wave. Merging chunks in block order reproduces the serial outcome.
+struct UpChunk<M> {
+    level_max: BTreeMap<u32, Time>,
+    damaged: Vec<NodeId>,
+    arrivals: Vec<RootArrival<M>>,
+}
+
+/// Runs the non-root part of an up wave over `order` (a contiguous run of
+/// participant subtree blocks in post-order). Scratch is proportional to
+/// `order.len()`, not the network size: per-node slots live in a sorted
+/// participant-id table probed by binary search.
+fn up_chunk<M>(
+    tree: &RoutingTree,
+    root: NodeId,
+    order: &[NodeId],
+    produce: &mut impl FnMut(NodeId, Vec<M>) -> M,
+    size_of: &impl Fn(&M) -> usize,
+    deliver: &mut impl FnMut(NodeId, NodeId, usize) -> Delivery,
+) -> UpChunk<M> {
+    let mut ids: Vec<NodeId> = order.to_vec();
+    ids.sort_unstable();
+    let slot = |v: NodeId| {
+        ids.binary_search(&v)
+            .expect("participants must be root-closed")
+    };
+    let mut inbox: Vec<Vec<M>> = (0..order.len()).map(|_| Vec::new()).collect();
+    // completion[slot(v)] = when v's slowest child transfer finished.
+    let mut completion: Vec<Time> = vec![0; order.len()];
+    let mut chunk = UpChunk {
+        level_max: BTreeMap::new(),
+        damaged: Vec::new(),
+        arrivals: Vec::new(),
+    };
+    for &v in order {
+        let s = slot(v);
+        let received = std::mem::take(&mut inbox[s]);
+        let ready = completion[s];
+        let msg = produce(v, received);
+        let parent = tree.parent(v).expect("only the root has no parent");
+        let bytes = size_of(&msg);
+        let d = deliver(v, parent, bytes);
+        if d.time > 0 {
+            let level = tree.depth(v).expect("participant is reachable");
+            let m = chunk.level_max.entry(level).or_default();
+            *m = (*m).max(d.time);
+        }
+        let done = ready + d.time;
+        if parent == root {
+            if !d.complete {
+                chunk.damaged.push(v);
+            }
+            chunk.arrivals.push(RootArrival {
+                msg: d.complete.then_some(msg),
+                done,
+            });
+        } else {
+            let p = slot(parent);
+            completion[p] = completion[p].max(done);
+            if d.complete {
+                inbox[p].push(msg);
+            } else {
+                // Undecodable message: dropped whole at the parent.
+                chunk.damaged.push(v);
+            }
+        }
+    }
+    chunk
+}
+
+/// Merges up-wave chunks in block order, runs the root's `produce` and
+/// assembles the report — the tail every up-wave flavor shares.
+fn finish_up<M>(
+    n: usize,
+    tree: &RoutingTree,
+    participates: &(impl Fn(NodeId) -> bool + ?Sized),
+    root: NodeId,
+    chunks: Vec<UpChunk<M>>,
+    produce: &mut impl FnMut(NodeId, Vec<M>) -> M,
+) -> (M, WaveReport) {
+    let mut level_max: BTreeMap<u32, Time> = BTreeMap::new();
+    let mut damaged = Vec::new();
+    let mut inbox = Vec::new();
+    let mut ready: Time = 0;
+    for chunk in chunks {
+        for (level, t) in chunk.level_max {
+            let m = level_max.entry(level).or_default();
+            *m = (*m).max(t);
+        }
+        damaged.extend(chunk.damaged);
+        for arrival in chunk.arrivals {
+            ready = ready.max(arrival.done);
+            inbox.extend(arrival.msg);
+        }
+    }
+    let msg = produce(root, inbox);
+    let report = WaveReport {
+        timing: WaveTiming {
+            pipelined: ready,
+            slotted: level_max.values().sum(),
+        },
+        damaged,
+        absent: absent_nodes(n, tree, participates),
+    };
+    (msg, report)
+}
+
 /// Runs a leaf→root wave over all nodes for which `participates` holds
 /// (participants must form a root-closed subtree: every participant's parent
 /// participates). The wave runs on the network's current routing tree; use
@@ -103,17 +339,29 @@ pub enum DownArrival<'a, M> {
 pub fn up_wave<M>(
     net: &mut Network,
     participates: &dyn Fn(NodeId) -> bool,
-    produce: impl FnMut(NodeId, Vec<M>) -> M,
+    mut produce: impl FnMut(NodeId, Vec<M>) -> M,
     size_of: impl Fn(&M) -> usize,
     phase: &str,
 ) -> (M, WaveReport) {
-    let tree = net.routing().clone();
-    up_wave_on(net, &tree, participates, produce, size_of, phase)
+    let n = net.len();
+    let (tree, mut port) = net.delivery_port();
+    let root = tree.base();
+    let order = collect_participants(tree, participates);
+    let chunk = up_chunk(
+        tree,
+        root,
+        &order,
+        &mut produce,
+        &size_of,
+        &mut |f, t, b| port.unicast_delivery(f, t, b, phase),
+    );
+    finish_up(n, tree, participates, root, vec![chunk], &mut produce)
 }
 
-/// [`up_wave`] over an explicit routing tree (its edges must be topology
-/// links, which [`RoutingTree::build`] guarantees).
-pub fn up_wave_on<M>(
+/// [`up_wave`] over an explicit routing tree with a serial `FnMut`
+/// callback; the thread-shareable variant is [`up_wave_on_sync`].
+#[cfg(test)]
+fn up_wave_on<M>(
     net: &mut Network,
     tree: &RoutingTree,
     participates: &dyn Fn(NodeId) -> bool,
@@ -121,62 +369,187 @@ pub fn up_wave_on<M>(
     size_of: impl Fn(&M) -> usize,
     phase: &str,
 ) -> (M, WaveReport) {
-    let order = tree.bottom_up_order();
-    let n = net.len();
-    let mut inbox: Vec<Vec<M>> = (0..n).map(|_| Vec::new()).collect();
-    // completion[v] = time v's transfer to its parent finished.
-    let mut completion: Vec<Time> = vec![0; n];
-    // Slowest transfer per tree level (for the slotted schedule).
-    let mut level_max: std::collections::BTreeMap<u32, Time> = Default::default();
-    let mut damaged: Vec<NodeId> = Vec::new();
-    let mut base_msg = None;
-    let mut base_time = 0;
-    for v in order {
-        if !participates(v) {
-            continue;
-        }
-        let received = std::mem::take(&mut inbox[v.0 as usize]);
-        let ready = completion[v.0 as usize]; // max over children, see below
-        let msg = produce(v, received);
-        match tree.parent(v) {
-            Some(parent) => {
-                debug_assert!(participates(parent), "participants must be root-closed");
-                let bytes = size_of(&msg);
-                let d = net.unicast_delivery(v, parent, bytes, phase);
-                if d.time > 0 {
-                    let level = tree.depth(v).expect("participant is reachable");
-                    let m = level_max.entry(level).or_default();
-                    *m = (*m).max(d.time);
-                }
-                let done = ready + d.time;
-                let p = parent.0 as usize;
-                completion[p] = completion[p].max(done);
-                if d.complete {
-                    inbox[p].push(msg);
-                } else {
-                    // Undecodable message: dropped whole at the parent.
-                    damaged.push(v);
-                }
-            }
-            None => {
-                base_time = ready;
-                base_msg = Some(msg);
-            }
+    let root = tree.base();
+    let order = collect_participants(tree, participates);
+    let chunk = up_chunk(
+        tree,
+        root,
+        &order,
+        &mut produce,
+        &size_of,
+        &mut |f, t, b| net.unicast_delivery(f, t, b, phase),
+    );
+    finish_up(
+        net.len(),
+        tree,
+        participates,
+        root,
+        vec![chunk],
+        &mut produce,
+    )
+}
+
+/// Splits `order` (contiguous subtree blocks) at block boundaries — a block
+/// ends at each direct child of `root`.
+#[cfg(feature = "parallel")]
+fn subtree_blocks(
+    tree: &RoutingTree,
+    root: NodeId,
+    order: &[NodeId],
+) -> Vec<std::ops::Range<usize>> {
+    let mut blocks = Vec::new();
+    let mut start = 0;
+    for (i, &v) in order.iter().enumerate() {
+        if tree.parent(v) == Some(root) {
+            blocks.push(start..i + 1);
+            start = i + 1;
         }
     }
-    let absent = (0..n as u32)
-        .map(NodeId)
-        .filter(|&v| participates(v) && tree.depth(v).is_none())
-        .collect();
-    let report = WaveReport {
-        timing: WaveTiming {
-            pipelined: base_time,
-            slotted: level_max.values().sum(),
-        },
-        damaged,
-        absent,
-    };
-    (base_msg.expect("the tree root always participates"), report)
+    debug_assert_eq!(start, order.len(), "trailing nodes outside any block");
+    blocks
+}
+
+/// Greedily groups consecutive items into at most `max_chunks` contiguous
+/// runs of roughly equal total weight.
+#[cfg(feature = "parallel")]
+fn balance<T>(
+    items: &[T],
+    weight: impl Fn(&T) -> usize,
+    max_chunks: usize,
+) -> Vec<std::ops::Range<usize>> {
+    let chunks = max_chunks.clamp(1, items.len().max(1));
+    let total: usize = items.iter().map(&weight).sum();
+    let mut out: Vec<std::ops::Range<usize>> = Vec::with_capacity(chunks);
+    let mut start = 0;
+    let mut acc = 0usize;
+    let mut spent = 0usize;
+    for (i, item) in items.iter().enumerate() {
+        acc += weight(item);
+        let left = chunks - out.len();
+        if left == 1 {
+            continue; // the last chunk takes the rest
+        }
+        let target = (total - spent).div_ceil(left);
+        if acc >= target {
+            out.push(start..i + 1);
+            start = i + 1;
+            spent += acc;
+            acc = 0;
+        }
+    }
+    if start < items.len() {
+        out.push(start..items.len());
+    }
+    out
+}
+
+/// Runs up-wave chunks on worker threads, one charging lane each. Returns
+/// outcomes in block order, so absorbing + merging sequentially reproduces
+/// the serial event sequence.
+#[cfg(feature = "parallel")]
+fn up_parallel<M: Send>(
+    net: &Network,
+    tree: &RoutingTree,
+    root: NodeId,
+    order: &[NodeId],
+    produce: &(impl Fn(NodeId, Vec<M>) -> M + Sync),
+    size_of: &(impl Fn(&M) -> usize + Sync),
+    phase: &str,
+) -> Vec<(sensjoin_sim::LaneOutcome, UpChunk<M>)> {
+    let blocks = subtree_blocks(tree, root, order);
+    let ranges = balance(&blocks, |b| b.len(), worker_threads());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = ranges
+            .into_iter()
+            .map(|r| {
+                let mut lane = net.open_lane();
+                let span = blocks[r.start].start..blocks[r.end - 1].end;
+                let order = &order[span];
+                s.spawn(move || {
+                    let mut p = |v, msgs| produce(v, msgs);
+                    let mut d = |f, t, b| lane.unicast_delivery(f, t, b, phase);
+                    let chunk = up_chunk(tree, root, order, &mut p, size_of, &mut d);
+                    (lane.finish(), chunk)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("up-wave worker panicked"))
+            .collect()
+    })
+}
+
+/// [`up_wave`] with thread-shareable callbacks: parallelizes across subtree
+/// blocks per [`set_wave_mode`], with byte/packet counters, energy sums,
+/// trace rows and channel streams bit-identical to serial execution (see
+/// the module docs). Mutate per-node state through [`crate::NodeCells`].
+pub fn up_wave_sync<M: Send>(
+    net: &mut Network,
+    participates: &(dyn Fn(NodeId) -> bool + Sync),
+    produce: impl Fn(NodeId, Vec<M>) -> M + Sync,
+    size_of: impl Fn(&M) -> usize + Sync,
+    phase: &str,
+) -> (M, WaveReport) {
+    let n = net.len();
+    #[cfg(feature = "parallel")]
+    {
+        let (order, nblocks) = {
+            let tree = net.routing();
+            let order = collect_participants(tree, participates);
+            let nblocks = subtree_blocks(tree, tree.base(), &order).len();
+            (order, nblocks)
+        };
+        if go_parallel(order.len(), nblocks) {
+            let results = {
+                let tree = net.routing();
+                up_parallel(net, tree, tree.base(), &order, &produce, &size_of, phase)
+            };
+            let mut chunks = Vec::with_capacity(results.len());
+            for (outcome, chunk) in results {
+                net.absorb_lane(outcome);
+                chunks.push(chunk);
+            }
+            let tree = net.routing();
+            let root = tree.base();
+            let mut p = |v, msgs| produce(v, msgs);
+            return finish_up(n, tree, participates, root, chunks, &mut p);
+        }
+    }
+    let _ = n;
+    up_wave(net, &participates, produce, size_of, phase)
+}
+
+/// [`up_wave_on`] with thread-shareable callbacks; see [`up_wave_sync`].
+pub fn up_wave_on_sync<M: Send>(
+    net: &mut Network,
+    tree: &RoutingTree,
+    participates: &(dyn Fn(NodeId) -> bool + Sync),
+    produce: impl Fn(NodeId, Vec<M>) -> M + Sync,
+    size_of: impl Fn(&M) -> usize + Sync,
+    phase: &str,
+) -> (M, WaveReport) {
+    let root = tree.base();
+    let order = collect_participants(tree, participates);
+    #[cfg(feature = "parallel")]
+    {
+        let nblocks = subtree_blocks(tree, root, &order).len();
+        if go_parallel(order.len(), nblocks) {
+            let results = up_parallel(net, tree, root, &order, &produce, &size_of, phase);
+            let mut chunks = Vec::with_capacity(results.len());
+            for (outcome, chunk) in results {
+                net.absorb_lane(outcome);
+                chunks.push(chunk);
+            }
+            let mut p = |v, msgs| produce(v, msgs);
+            return finish_up(net.len(), tree, participates, root, chunks, &mut p);
+        }
+    }
+    let mut p = |v, msgs| produce(v, msgs);
+    let chunk = up_chunk(tree, root, &order, &mut p, &size_of, &mut |f, t, b| {
+        net.unicast_delivery(f, t, b, phase)
+    });
+    finish_up(net.len(), tree, participates, root, vec![chunk], &mut p)
 }
 
 /// Owned arrival state queued for a down-wave node.
@@ -184,6 +557,77 @@ enum Arrival<M> {
     Origin,
     Msg(M),
     Damaged,
+}
+
+/// What one contiguous run of down-wave subtrees contributes.
+struct DownChunk {
+    latest: Time,
+    level_max: BTreeMap<u32, Time>,
+    damaged: Vec<NodeId>,
+}
+
+/// Depth-first down wave over `seeds` (each a subtree root with its arrival
+/// state), visiting each seed's whole subtree before the next — the serial
+/// pre-order. Scratch is the DFS stack: proportional to the visited region.
+fn down_chunk<M: Clone>(
+    tree: &RoutingTree,
+    participates: &(impl Fn(NodeId) -> bool + ?Sized),
+    produce: &mut impl FnMut(NodeId, DownArrival<'_, M>) -> Option<M>,
+    size_of: &impl Fn(&M) -> usize,
+    seeds: Vec<(NodeId, Arrival<M>, Time)>,
+    deliver: &mut impl FnMut(NodeId, &[NodeId], usize) -> sensjoin_sim::BroadcastDelivery,
+) -> DownChunk {
+    let mut chunk = DownChunk {
+        latest: 0,
+        level_max: BTreeMap::new(),
+        damaged: Vec::new(),
+    };
+    let mut stack: Vec<(NodeId, Arrival<M>, Time)> = seeds;
+    stack.reverse(); // pop order = seed order
+    let mut kids: Vec<NodeId> = Vec::new();
+    while let Some((v, arrival, at)) = stack.pop() {
+        chunk.latest = chunk.latest.max(at);
+        let out = match &arrival {
+            Arrival::Origin => produce(v, DownArrival::Origin),
+            Arrival::Msg(m) => produce(v, DownArrival::Intact(m)),
+            Arrival::Damaged => produce(v, DownArrival::Damaged),
+        };
+        let Some(out) = out else { continue };
+        kids.clear();
+        kids.extend(
+            tree.children(v)
+                .iter()
+                .copied()
+                .filter(|&c| participates(c)),
+        );
+        if kids.is_empty() {
+            continue;
+        }
+        let bytes = size_of(&out);
+        let d = deliver(v, &kids, bytes);
+        if d.time > 0 {
+            let level = tree.depth(v).expect("broadcaster is reachable");
+            let m = chunk.level_max.entry(level).or_default();
+            *m = (*m).max(d.time);
+        }
+        // Reversed push: the lowest-id child's subtree is walked first.
+        for (i, &c) in kids.iter().enumerate().rev() {
+            // A zero-byte message reaches nobody physically, but carries no
+            // content either: treat it as intact (matches lossless runs).
+            if bytes == 0 || d.complete[i] {
+                stack.push((c, Arrival::Msg(out.clone()), at + d.time));
+            } else {
+                stack.push((c, Arrival::Damaged, at + d.time));
+            }
+        }
+        // Damage is reported in child order, not visiting order.
+        for (i, &c) in kids.iter().enumerate() {
+            if bytes > 0 && !d.complete[i] {
+                chunk.damaged.push(c);
+            }
+        }
+    }
+    chunk
 }
 
 /// Runs a root→leaf wave. `produce(node, arrival)` is called with
@@ -203,62 +647,142 @@ pub fn down_wave<M: Clone>(
     size_of: impl Fn(&M) -> usize,
     phase: &str,
 ) -> WaveReport {
-    let base = net.base();
-    let mut latest: Time = 0;
-    let mut level_max: std::collections::BTreeMap<u32, Time> = Default::default();
-    let mut damaged: Vec<NodeId> = Vec::new();
-    // (node, arrival state, arrival time)
-    let mut queue: std::collections::VecDeque<(NodeId, Arrival<M>, Time)> =
-        std::collections::VecDeque::new();
-    queue.push_back((base, Arrival::Origin, 0));
-    while let Some((v, arrival, at)) = queue.pop_front() {
-        latest = latest.max(at);
-        let out = match &arrival {
-            Arrival::Origin => produce(v, DownArrival::Origin),
-            Arrival::Msg(m) => produce(v, DownArrival::Intact(m)),
-            Arrival::Damaged => produce(v, DownArrival::Damaged),
-        };
-        let Some(out) = out else { continue };
-        let children: Vec<NodeId> = net
-            .routing()
-            .children(v)
-            .iter()
-            .copied()
-            .filter(|&c| participates(c))
-            .collect();
-        if children.is_empty() {
-            continue;
-        }
-        let bytes = size_of(&out);
-        let d = net.broadcast_delivery(v, &children, bytes, phase);
-        if d.time > 0 {
-            let level = net.routing().depth(v).expect("broadcaster is reachable");
-            let m = level_max.entry(level).or_default();
-            *m = (*m).max(d.time);
-        }
-        for (i, c) in children.into_iter().enumerate() {
-            // A zero-byte message reaches nobody physically, but carries no
-            // content either: treat it as intact (matches lossless runs).
-            if bytes == 0 || d.complete[i] {
-                queue.push_back((c, Arrival::Msg(out.clone()), at + d.time));
-            } else {
-                damaged.push(c);
-                queue.push_back((c, Arrival::Damaged, at + d.time));
-            }
-        }
-    }
-    let absent = (0..net.len() as u32)
-        .map(NodeId)
-        .filter(|&v| participates(v) && net.routing().depth(v).is_none())
-        .collect();
+    let n = net.len();
+    let (tree, mut port) = net.delivery_port();
+    let base = tree.base();
+    let chunk = down_chunk(
+        tree,
+        participates,
+        &mut produce,
+        &size_of,
+        vec![(base, Arrival::Origin, 0)],
+        &mut |f, r, b| port.broadcast_delivery(f, r, b, phase),
+    );
     WaveReport {
         timing: WaveTiming {
-            pipelined: latest,
-            slotted: level_max.values().sum(),
+            pipelined: chunk.latest,
+            slotted: chunk.level_max.values().sum(),
         },
-        damaged,
-        absent,
+        damaged: chunk.damaged,
+        absent: absent_nodes(n, tree, participates),
     }
+}
+
+/// Runs down-wave chunks on worker threads; see [`up_parallel`].
+#[cfg(feature = "parallel")]
+#[allow(clippy::type_complexity)]
+fn down_parallel<M: Clone + Send>(
+    net: &Network,
+    tree: &RoutingTree,
+    participates: &(dyn Fn(NodeId) -> bool + Sync),
+    mut seeds: Vec<(NodeId, Arrival<M>, Time)>,
+    produce: &(impl Fn(NodeId, DownArrival<'_, M>) -> Option<M> + Sync),
+    size_of: &(impl Fn(&M) -> usize + Sync),
+    phase: &str,
+) -> Vec<(sensjoin_sim::LaneOutcome, DownChunk)> {
+    let ranges = balance(
+        &seeds,
+        |(c, _, _)| tree.descendants(*c) as usize + 1,
+        worker_threads(),
+    );
+    let mut groups: Vec<Vec<(NodeId, Arrival<M>, Time)>> = Vec::with_capacity(ranges.len());
+    for r in ranges.into_iter().rev() {
+        groups.push(seeds.split_off(r.start));
+    }
+    groups.reverse();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = groups
+            .into_iter()
+            .map(|seeds| {
+                let mut lane = net.open_lane();
+                s.spawn(move || {
+                    let mut p = |v, a: DownArrival<'_, M>| produce(v, a);
+                    let mut d = |f, r: &[NodeId], b| lane.broadcast_delivery(f, r, b, phase);
+                    let chunk = down_chunk(tree, participates, &mut p, size_of, seeds, &mut d);
+                    (lane.finish(), chunk)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("down-wave worker panicked"))
+            .collect()
+    })
+}
+
+/// [`down_wave`] with thread-shareable callbacks: the root's broadcast is
+/// charged serially, then the child subtrees fan out across worker threads
+/// per [`set_wave_mode`] — bit-identical to serial execution (see the
+/// module docs). Mutate per-node state through [`crate::NodeCells`].
+pub fn down_wave_sync<M: Clone + Send>(
+    net: &mut Network,
+    participates: &(dyn Fn(NodeId) -> bool + Sync),
+    produce: impl Fn(NodeId, DownArrival<'_, M>) -> Option<M> + Sync,
+    size_of: impl Fn(&M) -> usize + Sync,
+    phase: &str,
+) -> WaveReport {
+    #[cfg(feature = "parallel")]
+    {
+        let n = net.len();
+        let base = net.base();
+        let (kids, potential) = {
+            let tree = net.routing();
+            let kids: Vec<NodeId> = tree
+                .children(base)
+                .iter()
+                .copied()
+                .filter(|&c| participates(c))
+                .collect();
+            let potential: usize = kids.iter().map(|&c| tree.descendants(c) as usize + 1).sum();
+            (kids, potential)
+        };
+        if go_parallel(potential, kids.len()) {
+            let mut latest: Time = 0;
+            let mut level_max: BTreeMap<u32, Time> = BTreeMap::new();
+            let mut damaged: Vec<NodeId> = Vec::new();
+            let mut seeds: Vec<(NodeId, Arrival<M>, Time)> = Vec::with_capacity(kids.len());
+            // The root is charged serially: its broadcast (and the ACK
+            // frames flowing back) precede every subtree event.
+            if let Some(out) = produce(base, DownArrival::Origin) {
+                let bytes = size_of(&out);
+                let d = net.broadcast_delivery(base, &kids, bytes, phase);
+                if d.time > 0 {
+                    level_max.insert(0, d.time);
+                }
+                for (i, &c) in kids.iter().enumerate() {
+                    if bytes == 0 || d.complete[i] {
+                        seeds.push((c, Arrival::Msg(out.clone()), d.time));
+                    } else {
+                        damaged.push(c);
+                        seeds.push((c, Arrival::Damaged, d.time));
+                    }
+                }
+            }
+            let results = {
+                let tree = net.routing();
+                down_parallel(net, tree, participates, seeds, &produce, &size_of, phase)
+            };
+            for (outcome, chunk) in results {
+                net.absorb_lane(outcome);
+                latest = latest.max(chunk.latest);
+                for (level, t) in chunk.level_max {
+                    let m = level_max.entry(level).or_default();
+                    *m = (*m).max(t);
+                }
+                damaged.extend(chunk.damaged);
+            }
+            let tree = net.routing();
+            return WaveReport {
+                timing: WaveTiming {
+                    pipelined: latest,
+                    slotted: level_max.values().sum(),
+                },
+                damaged,
+                absent: absent_nodes(n, tree, participates),
+            };
+        }
+    }
+    down_wave(net, &participates, produce, size_of, phase)
 }
 
 #[cfg(test)]
@@ -487,5 +1011,112 @@ mod tests {
         let expect = net.routing().children(base).len();
         assert_eq!(damaged_seen, expect);
         assert_eq!(rep.damaged.len(), expect);
+    }
+
+    /// Regression for the O(n)-scratch fix: the participant-table engine
+    /// (and the split-borrow delivery port) must behave exactly like the
+    /// explicit-tree path on a twin network — message, report and every
+    /// per-node counter.
+    #[test]
+    fn up_wave_matches_explicit_tree_run() {
+        let lossy = |net: &mut Network| {
+            net.set_channel(Some(Channel::bernoulli(0.3, 7)));
+            net.set_arq(ArqPolicy::ack(2));
+        };
+        let mut a = net();
+        lossy(&mut a);
+        // Depth-bounded participation is root-closed by construction.
+        let depths: Vec<Option<u32>> = (0..a.len() as u32)
+            .map(|i| a.routing().depth(NodeId(i)))
+            .collect();
+        let participates = move |v: NodeId| depths[v.0 as usize].is_some_and(|d| d <= 2);
+        let (ma, ra) = up_wave(
+            &mut a,
+            &participates,
+            |_, recv: Vec<usize>| recv.iter().sum::<usize>() + 1,
+            |m| m * 4,
+            "test",
+        );
+        let mut b = net();
+        lossy(&mut b);
+        let tree = b.routing().clone();
+        let (mb, rb) = up_wave_on(
+            &mut b,
+            &tree,
+            &participates,
+            |_, recv: Vec<usize>| recv.iter().sum::<usize>() + 1,
+            |m| m * 4,
+            "test",
+        );
+        assert_eq!(ma, mb);
+        assert_eq!(ra, rb);
+        for v in a.topology().nodes() {
+            assert_eq!(a.stats().node(v), b.stats().node(v), "{v}");
+        }
+    }
+
+    #[test]
+    fn sync_up_wave_forced_parallel_matches_serial() {
+        let run = |mode: WaveMode| {
+            set_wave_mode(mode);
+            let mut net = net();
+            net.set_tracing(true);
+            net.set_channel(Some(Channel::bernoulli(0.25, 9)));
+            net.set_arq(ArqPolicy::ack(3));
+            let out = up_wave_sync(
+                &mut net,
+                &|_| true,
+                |_, recv: Vec<usize>| recv.iter().sum::<usize>() + 1,
+                |m| m * 4,
+                "test",
+            );
+            set_wave_mode(WaveMode::Auto);
+            (out, net)
+        };
+        let ((ms, rs), nets) = run(WaveMode::ForceSerial);
+        let ((mp, rp), netp) = run(WaveMode::ForceParallel);
+        assert_eq!(ms, mp);
+        assert_eq!(rs, rp);
+        for v in nets.topology().nodes() {
+            assert_eq!(nets.stats().node(v), netp.stats().node(v), "{v}");
+        }
+        assert_eq!(
+            nets.trace().unwrap().records(),
+            netp.trace().unwrap().records()
+        );
+    }
+
+    #[test]
+    fn sync_down_wave_forced_parallel_matches_serial() {
+        let run = |mode: WaveMode| {
+            set_wave_mode(mode);
+            let mut net = net();
+            net.set_tracing(true);
+            net.set_channel(Some(Channel::gilbert_elliott(0.3, 4.0, 13)));
+            net.set_arq(ArqPolicy::summary(6));
+            let rep = down_wave_sync(
+                &mut net,
+                &|_| true,
+                |v, a: DownArrival<'_, u32>| match a {
+                    DownArrival::Origin => Some(0),
+                    DownArrival::Intact(d) => (v.0 % 5 != 4).then_some(d + 1),
+                    DownArrival::Damaged => None,
+                },
+                |_| 24,
+                "test",
+            );
+            set_wave_mode(WaveMode::Auto);
+            (rep, net)
+        };
+        let (rs, nets) = run(WaveMode::ForceSerial);
+        let (rp, netp) = run(WaveMode::ForceParallel);
+        assert_eq!(rs, rp);
+        for v in nets.topology().nodes() {
+            assert_eq!(nets.stats().node(v), netp.stats().node(v), "{v}");
+        }
+        assert_eq!(
+            nets.trace().unwrap().records(),
+            netp.trace().unwrap().records()
+        );
     }
 }

@@ -213,6 +213,36 @@ proptest! {
     }
 }
 
+/// Regression: crash + revive of the same node at the same boundary must
+/// not double-count the node's tuple. The reconciliation used to judge
+/// proxied rows by the *post-boundary* alive mask alone — a same-boundary
+/// revival made the victim look alive again, so its row survived at the
+/// treecut proxy while the revival path re-contributed it.
+#[test]
+fn same_boundary_crash_revive_is_exact() {
+    for seed in 1..20u64 {
+        let cq = snet(seed).compile(&parse(SQL).unwrap()).unwrap();
+        let reference = ExternalJoin.execute(&mut snet(seed), &cq).unwrap();
+        for v in 1..N as u32 {
+            let mut s = snet(seed);
+            let tl = ChurnTimeline::new()
+                .at_boundary(1, NodeId(v), ChurnAction::Crash)
+                .at_boundary(1, NodeId(v), ChurnAction::Revive);
+            s.net_mut().set_churn(Some(tl));
+            let out = SensJoin::default().execute(&mut s, &cq).unwrap();
+            // Everyone survived to the end, so the result must equal the
+            // clean lossless join (modulo repair-seam partitions).
+            if !live_attached(&s).iter().all(|&a| a) {
+                continue;
+            }
+            assert!(
+                out.result.same_result(&reference.result),
+                "seed {seed}, victim {v}: crash+revive at one boundary diverged"
+            );
+        }
+    }
+}
+
 /// A sampled MTBF/MTTR timeline drives repeated one-shot executions to
 /// exhaustion; every execution stays liveness-projected exact and the whole
 /// run is deterministic across identically-seeded twins.

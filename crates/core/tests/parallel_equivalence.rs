@@ -1,0 +1,230 @@
+//! Parallel waves are bit-identical to serial execution.
+//!
+//! The `_sync` wave engines may fan independent child subtrees out to
+//! worker threads ([`WaveMode::ForceParallel`]) or run the cached serial
+//! order ([`WaveMode::ForceSerial`]). The contract (see `wave.rs` module
+//! docs): the observable execution — query results, per-node and per-phase
+//! statistics including exact `f64` energy sums, the transmission trace,
+//! and every channel RNG stream — is the same bit for bit either way.
+//! These tests force both modes over the same scenarios (lossless, lossy
+//! with ARQ, node churn; one-shot, continuous, multi-query) and demand
+//! exact equality.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use sensjoin_core::{
+    set_wave_mode, ContinuousSensJoin, JoinMethod, JoinOutcome, QueryGroup, SensJoin,
+    SensJoinConfig, SensorNetwork, SensorNetworkBuilder, WaveMode,
+};
+use sensjoin_field::{presets, Area, Placement};
+use sensjoin_query::parse;
+use sensjoin_relation::NodeId;
+use sensjoin_sim::{ArqPolicy, Channel, ChurnAction, ChurnTimeline};
+
+const SQL: &str = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                   WHERE A.temp - B.temp > 3.0 ONCE";
+const SQL_CONT: &str = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                        WHERE A.temp - B.temp > 3.0 SAMPLE PERIOD 30";
+
+const N: usize = 80;
+
+/// Channel / ARQ combinations the scenarios cycle through.
+fn configure_loss(s: &mut SensorNetwork, kind: u8, seed: u64) {
+    match kind % 3 {
+        0 => {}
+        1 => {
+            s.net_mut().set_channel(Some(Channel::bernoulli(0.2, seed)));
+            s.net_mut().set_arq(ArqPolicy::ack(3));
+        }
+        _ => {
+            s.net_mut()
+                .set_channel(Some(Channel::gilbert_elliott(0.25, 4.0, seed)));
+            s.net_mut().set_arq(ArqPolicy::summary(4));
+        }
+    }
+}
+
+fn snet(seed: u64) -> SensorNetwork {
+    let mut s = SensorNetworkBuilder::new()
+        .area(Area::new(300.0, 300.0))
+        .placement(Placement::UniformRandom { n: N })
+        .seed(seed)
+        .build()
+        .unwrap();
+    s.net_mut().set_tracing(true);
+    s
+}
+
+fn timeline(schedule: &[(u32, u16, bool)]) -> ChurnTimeline {
+    let mut tl = ChurnTimeline::new();
+    for &(b, v, crash) in schedule {
+        let action = if crash {
+            ChurnAction::Crash
+        } else {
+            ChurnAction::Revive
+        };
+        tl = tl.at_boundary(b, NodeId(v as u32), action);
+    }
+    tl
+}
+
+/// Runs `f` under the given wave mode, restoring `Auto` afterwards.
+fn with_mode<R>(mode: WaveMode, f: impl FnOnce() -> R) -> R {
+    set_wave_mode(mode);
+    let out = f();
+    set_wave_mode(WaveMode::Auto);
+    out
+}
+
+/// Exact equality of everything the two executions could observably differ
+/// in: per-node and per-phase counters (including `f64` energy, compared
+/// bit for bit), the full transmission trace, and the channel's forward
+/// state (probed implicitly by multi-round scenarios).
+fn assert_networks_identical(a: &SensorNetwork, b: &SensorNetwork) -> Result<(), TestCaseError> {
+    for v in 0..N as u32 {
+        let v = NodeId(v);
+        prop_assert_eq!(a.net().stats().node(v), b.net().stats().node(v), "{}", v);
+    }
+    let pa: Vec<_> = a.net().stats().phases().map(|(p, s)| (p, *s)).collect();
+    let pb: Vec<_> = b.net().stats().phases().map(|(p, s)| (p, *s)).collect();
+    prop_assert_eq!(pa, pb);
+    prop_assert_eq!(
+        a.net().trace().unwrap().records(),
+        b.net().trace().unwrap().records()
+    );
+    Ok(())
+}
+
+/// Exact equality of two outcomes; `Debug` on `f64` prints the shortest
+/// round-trip form, so string equality is bit equality of every row.
+fn assert_outcomes_identical(a: &JoinOutcome, b: &JoinOutcome) -> Result<(), TestCaseError> {
+    prop_assert_eq!(format!("{:?}", a.result), format!("{:?}", b.result));
+    prop_assert_eq!(&a.contributors, &b.contributors);
+    prop_assert_eq!(a.complete, b.complete);
+    prop_assert_eq!(a.churned, b.churned);
+    prop_assert_eq!(a.latency_us, b.latency_us);
+    prop_assert_eq!(a.latency_slotted_us, b.latency_slotted_us);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// One-shot SENS-Join: serial and parallel waves agree bit for bit
+    /// under loss, ARQ and churn.
+    #[test]
+    fn one_shot_parallel_matches_serial(
+        seed in 1..32u64,
+        loss in 0..3u8,
+        schedule in prop::collection::vec((0..4u32, 0..(N as u16), any::<bool>()), 0..8),
+    ) {
+        let run = |mode: WaveMode| {
+            with_mode(mode, || {
+                let mut s = snet(seed);
+                configure_loss(&mut s, loss, seed.wrapping_mul(31));
+                s.net_mut().set_churn(Some(timeline(&schedule)));
+                let cq = s.compile(&parse(SQL).unwrap()).unwrap();
+                let out = SensJoin::default().execute(&mut s, &cq).unwrap();
+                (s, out)
+            })
+        };
+        let (ss, os) = run(WaveMode::ForceSerial);
+        let (sp, op) = run(WaveMode::ForceParallel);
+        assert_outcomes_identical(&os, &op)?;
+        assert_networks_identical(&ss, &sp)?;
+    }
+
+    /// Continuous rounds: the delta protocol's persistent state (filters,
+    /// caches, channel streams) evolves identically across modes.
+    #[test]
+    fn continuous_parallel_matches_serial(
+        seed in 1..24u64,
+        loss in 0..3u8,
+        schedule in prop::collection::vec((0..5u32, 0..(N as u16), any::<bool>()), 0..6),
+    ) {
+        let run = |mode: WaveMode| {
+            with_mode(mode, || {
+                let mut s = snet(seed);
+                configure_loss(&mut s, loss, seed.wrapping_mul(37));
+                s.net_mut().set_churn(Some(timeline(&schedule)));
+                let cq = s.compile(&parse(SQL_CONT).unwrap()).unwrap();
+                let mut cont = ContinuousSensJoin::new();
+                let specs = presets::indoor_climate();
+                let mut outs = Vec::new();
+                for round in 0..3u64 {
+                    if round > 0 {
+                        s.resample(&specs, seed.wrapping_add(round));
+                    }
+                    outs.push(cont.execute_round(&mut s, &cq).unwrap());
+                }
+                (s, outs)
+            })
+        };
+        let (ss, os) = run(WaveMode::ForceSerial);
+        let (sp, op) = run(WaveMode::ForceParallel);
+        prop_assert_eq!(os.len(), op.len());
+        for (a, b) in os.iter().zip(&op) {
+            assert_outcomes_identical(a, b)?;
+        }
+        assert_networks_identical(&ss, &sp)?;
+    }
+
+    /// Multi-query epochs: the shared waves and solo-equivalent accounting
+    /// (relaxed-atomic sums) agree bit for bit across modes.
+    #[test]
+    fn multi_query_parallel_matches_serial(
+        seed in 1..24u64,
+        loss in 0..3u8,
+        schedule in prop::collection::vec((0..4u32, 0..(N as u16), any::<bool>()), 0..6),
+    ) {
+        let sqls = [
+            "SELECT A.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 2.0 SAMPLE PERIOD 30",
+            "SELECT B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 4.0 SAMPLE PERIOD 30",
+        ];
+        let run = |mode: WaveMode| {
+            with_mode(mode, || {
+                let mut s = snet(seed);
+                configure_loss(&mut s, loss, seed.wrapping_mul(41));
+                s.net_mut().set_churn(Some(timeline(&schedule)));
+                let mut group = QueryGroup::new(SensJoinConfig::default());
+                for sql in sqls {
+                    let cq = s.compile(&parse(sql).unwrap()).unwrap();
+                    group.register(&s, cq, 1);
+                }
+                let specs = presets::indoor_climate();
+                let mut reports = Vec::new();
+                for epoch in 0..3u64 {
+                    if epoch > 0 {
+                        s.resample(&specs, seed.wrapping_add(epoch));
+                    }
+                    reports.push(group.execute_epoch(&mut s).unwrap());
+                }
+                (s, reports)
+            })
+        };
+        let (ss, rs) = run(WaveMode::ForceSerial);
+        let (sp, rp) = run(WaveMode::ForceParallel);
+        prop_assert_eq!(rs.len(), rp.len());
+        for (a, b) in rs.iter().zip(&rp) {
+            prop_assert_eq!(a.epoch, b.epoch);
+            prop_assert_eq!(a.complete, b.complete);
+            prop_assert_eq!(a.churned, b.churned);
+            prop_assert_eq!(a.latency_us, b.latency_us);
+            prop_assert_eq!(a.outcomes.len(), b.outcomes.len());
+            for (oa, ob) in a.outcomes.iter().zip(&b.outcomes) {
+                prop_assert_eq!(oa.id, ob.id);
+                prop_assert_eq!(format!("{:?}", &oa.result), format!("{:?}", &ob.result));
+                prop_assert_eq!(&oa.contributors, &ob.contributors);
+            }
+            for (sa, sb) in a.solo_equivalent.iter().zip(&b.solo_equivalent) {
+                prop_assert_eq!(sa.id, sb.id);
+                prop_assert_eq!(sa.collection_bytes, sb.collection_bytes);
+                prop_assert_eq!(sa.filter_bytes, sb.filter_bytes);
+                prop_assert_eq!(sa.final_bytes, sb.final_bytes);
+            }
+        }
+        assert_networks_identical(&ss, &sp)?;
+    }
+}

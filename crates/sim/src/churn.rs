@@ -163,11 +163,23 @@ impl ChurnTimeline {
         timeline
     }
 
-    /// Drains every event due at `boundary` or timestamped at or before
-    /// `now`, in schedule order (boundary events first, then timed events by
-    /// timestamp).
+    /// Drains every event due at or before `boundary`, or timestamped at or
+    /// before `now`, in schedule order (boundary events first, in boundary
+    /// order, then timed events by timestamp).
+    ///
+    /// Draining `<= boundary` (not just the exact index) means an executor
+    /// that skips a boundary index — a retry advancing its counter by two, a
+    /// phase that polls less often than it synchronizes — can never strand
+    /// scheduled events: they fire at the next poll instead.
     pub fn due(&mut self, boundary: u32, now: Time) -> Vec<(NodeId, ChurnAction)> {
-        let mut out = self.at_boundary.remove(&boundary).unwrap_or_default();
+        let mut out = Vec::new();
+        while let Some(entry) = self.at_boundary.first_entry() {
+            if *entry.key() <= boundary {
+                out.extend(entry.remove());
+            } else {
+                break;
+            }
+        }
         while let Some((t, _)) = self.timed.peek() {
             if t > now {
                 break;
@@ -228,6 +240,30 @@ mod tests {
             ]
         );
         assert_eq!(tl.due(2, 2000), vec![(NodeId(4), ChurnAction::Revive)]);
+        assert!(tl.is_exhausted());
+    }
+
+    #[test]
+    fn skipped_boundary_indices_cannot_strand_events() {
+        // Regression: events pinned to boundary 2 must still fire when the
+        // poller jumps from boundary 1 straight to 3 (e.g. an executor retry
+        // advanced the counter twice between polls).
+        let mut tl = ChurnTimeline::new()
+            .at_boundary(2, NodeId(5), ChurnAction::Crash)
+            .at_boundary(3, NodeId(6), ChurnAction::Crash)
+            .at_boundary(7, NodeId(5), ChurnAction::Revive);
+        assert!(tl.due(1, 0).is_empty());
+        // Boundary 2 was never polled directly; polling 3 drains both, in
+        // boundary order.
+        assert_eq!(
+            tl.due(3, 0),
+            vec![
+                (NodeId(5), ChurnAction::Crash),
+                (NodeId(6), ChurnAction::Crash)
+            ]
+        );
+        // Jumping past the end drains the stragglers too.
+        assert_eq!(tl.due(100, 0), vec![(NodeId(5), ChurnAction::Revive)]);
         assert!(tl.is_exhausted());
     }
 

@@ -88,6 +88,7 @@ mod radio;
 mod reliability;
 mod routing;
 mod scheduler;
+mod sink;
 mod stats;
 mod topology;
 mod trace;
@@ -99,11 +100,14 @@ pub use churn::{
 };
 pub use energy::EnergyModel;
 pub use failure::LinkFailures;
-pub use network::{BaseChoice, Network, NetworkBuilder, NetworkError};
+pub use network::{
+    BaseChoice, DeliveryPort, LaneOutcome, LinkLane, Network, NetworkBuilder, NetworkError,
+};
 pub use radio::RadioConfig;
 pub use reliability::{summary_bytes, ArqPolicy, BroadcastDelivery, Delivery, ACK_BYTES};
 pub use routing::{RepairReport, RoutingTree};
 pub use scheduler::{Scheduler, Time};
+pub use sink::StatLedger;
 pub use stats::{NetworkStats, NodeStats};
 pub use topology::Topology;
 pub use trace::{Trace, TraceRecord};

@@ -5,6 +5,7 @@ use crate::churn::{
 };
 use crate::reliability::{summary_bytes, ACK_BYTES};
 use crate::routing::RepairReport;
+use crate::sink::{DirectSink, StatLedger, StatSink};
 use crate::{
     ArqPolicy, BroadcastDelivery, Channel, Delivery, EnergyModel, NetworkStats, RadioConfig,
     RoutingTree, Time, Topology, Trace,
@@ -259,10 +260,16 @@ impl Network {
 
     /// Rebuilds the routing tree treating links with `link_down(u, v)` as
     /// unusable — the converged state of CTP after route repair (§IV-F).
-    /// Dead nodes (after [`Network::fail_node`]) are always excluded.
+    /// Dead nodes (after [`Network::fail_node`]) are always excluded. The
+    /// rebuild runs in place, reusing the tree's flat per-node buffers.
     pub fn rebuild_routing(&mut self, link_down: &dyn Fn(NodeId, NodeId) -> bool) {
-        let alive = &self.alive;
-        self.routing = RoutingTree::build_excluding(&self.topology, self.base, &|a, b| {
+        let Self {
+            routing,
+            topology,
+            alive,
+            ..
+        } = self;
+        routing.rebuild_excluding(topology, &|a, b| {
             !alive[a.0 as usize] || !alive[b.0 as usize] || link_down(a, b)
         });
     }
@@ -375,7 +382,7 @@ impl Network {
         }
         let former_parent = self.routing.parent(node);
         let former_children = self.routing.children(node).to_vec();
-        let report = self.repair_tree();
+        let report = self.repair_tree(&[node]);
         // Silence-detection probes at the former tree neighbors.
         for probe in former_parent.into_iter().chain(former_children) {
             if self.alive[probe.0 as usize] {
@@ -404,15 +411,19 @@ impl Network {
         if let Some(t) = &mut self.trace {
             t.push_event(PHASE_REPAIR, "revival", node, vec![]);
         }
-        self.repair_tree()
+        self.repair_tree(&[node])
     }
 
     /// Repairs routing after a liveness change and charges the repair
-    /// traffic, per the configured strategy.
-    fn repair_tree(&mut self) -> RepairReport {
+    /// traffic, per the configured strategy. `epicenters` are the nodes
+    /// whose liveness just flipped — localized repair walks only their
+    /// neighborhoods, never the full node array.
+    fn repair_tree(&mut self, epicenters: &[NodeId]) -> RepairReport {
         match self.repair_strategy {
             RepairStrategy::Localized => {
-                let report = self.routing.repair(&self.topology, &self.alive);
+                let report = self
+                    .routing
+                    .repair_localized(&self.topology, &self.alive, epicenters);
                 for &f in &report.reattached {
                     // Parent re-selection: the floating node probes its
                     // neighborhood once, the chosen parent acknowledges.
@@ -621,19 +632,10 @@ impl Network {
         self.transfer(from, receivers, bytes, phase).0
     }
 
-    /// Fragment sizes of a `bytes`-byte payload.
-    fn fragment_sizes(&self, bytes: usize) -> Vec<usize> {
-        let full = bytes / self.radio.max_payload;
-        let tail = bytes % self.radio.max_payload;
-        std::iter::repeat_n(self.radio.max_payload, full)
-            .chain((tail > 0).then_some(tail))
-            .collect()
-    }
-
     /// The one charge point: moves a message from `from` to `receivers`,
-    /// charging every data fragment, retransmission and control frame.
-    /// Returns the delivery report plus per-receiver decoded-fragment
-    /// counts.
+    /// charging every data fragment, retransmission and control frame
+    /// straight onto the network's counters. Returns the delivery report
+    /// plus per-receiver decoded-fragment counts.
     fn transfer(
         &mut self,
         from: NodeId,
@@ -641,210 +643,518 @@ impl Network {
         bytes: usize,
         phase: &str,
     ) -> (BroadcastDelivery, Vec<usize>) {
-        let sizes = self.fragment_sizes(bytes);
-        let nfrags = sizes.len();
-        if !self.lossy() {
-            // Lossless fast path: identical charging to the pre-channel
-            // simulator, no ARQ traffic whatsoever.
-            for &size in &sizes {
-                let on_air = size + self.radio.header_bytes;
-                self.stats
-                    .record_tx(from, size, self.energy.tx(on_air), phase);
-                for &r in receivers {
-                    self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
-                }
-            }
-            if let Some(trace) = &mut self.trace {
-                trace.push(phase, from, receivers.to_vec(), bytes, nfrags);
-            }
-            let d =
-                BroadcastDelivery::lossless(self.radio.transfer_us(bytes), nfrags, receivers.len());
-            let delivered = vec![nfrags; receivers.len()];
-            return (d, delivered);
-        }
+        let mut sink = DirectSink {
+            stats: &mut self.stats,
+            trace: self.trace.as_mut(),
+        };
+        transfer_impl(
+            &self.radio,
+            &self.energy,
+            self.arq,
+            self.channel.as_mut(),
+            &mut sink,
+            from,
+            receivers,
+            bytes,
+            phase,
+        )
+    }
 
-        let nrecv = receivers.len();
-        // have[f][ri]: ground truth — receiver ri decoded fragment f.
-        let mut have = vec![vec![false; nrecv]; nfrags];
-        let mut time: Time = 0;
-        let mut retx: u64 = 0;
-        let mut ctrl: u64 = 0;
-        let header = self.radio.header_bytes;
-        let ch = self.channel.as_mut().expect("lossy implies a channel");
-        match self.arq {
-            ArqPolicy::None => {
-                for (f, &size) in sizes.iter().enumerate() {
-                    let on_air = size + header;
-                    self.stats
-                        .record_tx(from, size, self.energy.tx(on_air), phase);
-                    time += self.radio.airtime_us(size);
-                    for (ri, &r) in receivers.iter().enumerate() {
-                        if ch.deliver(from, r, phase) {
-                            have[f][ri] = true;
-                            self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
-                        }
+    /// Opens an independent charging lane for one worker thread of a
+    /// parallel wave. The lane borrows the immutable network structure
+    /// (topology, liveness) and owns a clone of the channel plus a
+    /// [`StatLedger`]; its `*_delivery` methods behave exactly like the
+    /// network's own, but record their charges instead of applying them.
+    /// After the thread joins, pass [`LinkLane::finish`]'s outcome to
+    /// [`Network::absorb_lane`] — replaying lanes in serial-traversal order
+    /// reproduces the serial charge sequence bit for bit (see
+    /// [`StatLedger`]).
+    pub fn open_lane(&self) -> LinkLane<'_> {
+        LinkLane {
+            topology: &self.topology,
+            alive: &self.alive,
+            radio: self.radio,
+            energy: self.energy,
+            arq: self.arq,
+            channel: self.channel.clone(),
+            ledger: StatLedger::new(self.trace.is_some()),
+            links: Vec::new(),
+        }
+    }
+
+    /// Splits the network into its routing tree and a [`DeliveryPort`]:
+    /// the port charges transfers exactly like
+    /// [`Network::unicast_delivery`] / [`Network::broadcast_delivery`]
+    /// while the tree stays borrowable — so a wave engine can walk
+    /// children/parents without cloning the tree (O(n) scratch at the
+    /// scales the simulator now targets).
+    pub fn delivery_port(&mut self) -> (&RoutingTree, DeliveryPort<'_>) {
+        let Self {
+            topology,
+            routing,
+            radio,
+            energy,
+            stats,
+            trace,
+            channel,
+            arq,
+            alive,
+            ..
+        } = self;
+        (
+            routing,
+            DeliveryPort {
+                topology,
+                alive,
+                radio: *radio,
+                energy: *energy,
+                arq: *arq,
+                channel: channel.as_mut(),
+                stats,
+                trace: trace.as_mut(),
+            },
+        )
+    }
+
+    /// Merges a finished lane back: replays its recorded charges onto the
+    /// network's counters and trace, and adopts the channel state of every
+    /// directed link the lane drew on (each link is owned by exactly one
+    /// lane, so the streams end up positioned exactly as after a serial
+    /// run).
+    pub fn absorb_lane(&mut self, outcome: LaneOutcome) {
+        let LaneOutcome {
+            ledger,
+            channel,
+            links,
+        } = outcome;
+        ledger.replay(&mut self.stats, self.trace.as_mut());
+        if let (Some(mine), Some(theirs)) = (self.channel.as_mut(), channel.as_ref()) {
+            for &(a, b) in &links {
+                mine.adopt_link_state(theirs, a, b);
+            }
+        }
+    }
+}
+
+/// A per-thread charging lane of a parallel wave: same delivery semantics
+/// as [`Network::unicast_delivery`] / [`Network::broadcast_delivery`], but
+/// charges are recorded in a [`StatLedger`] (and packet fates drawn from a
+/// private channel clone) instead of mutating shared state. Obtain with
+/// [`Network::open_lane`], merge back with [`Network::absorb_lane`].
+#[derive(Debug)]
+pub struct LinkLane<'a> {
+    topology: &'a Topology,
+    alive: &'a [bool],
+    radio: RadioConfig,
+    energy: EnergyModel,
+    arq: ArqPolicy,
+    channel: Option<Channel>,
+    ledger: StatLedger,
+    links: Vec<(NodeId, NodeId)>,
+}
+
+/// The delivery half of [`Network::delivery_port`]: mutable access to the
+/// charging machinery (stats, trace, channel) while the routing tree stays
+/// separately borrowed. Semantics are identical to the network's own
+/// delivery methods — both funnel into the same transfer engine.
+#[derive(Debug)]
+pub struct DeliveryPort<'a> {
+    topology: &'a Topology,
+    alive: &'a [bool],
+    radio: RadioConfig,
+    energy: EnergyModel,
+    arq: ArqPolicy,
+    channel: Option<&'a mut Channel>,
+    stats: &'a mut NetworkStats,
+    trace: Option<&'a mut Trace>,
+}
+
+impl DeliveryPort<'_> {
+    /// Port twin of [`Network::unicast_delivery`].
+    pub fn unicast_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        phase: &str,
+    ) -> Delivery {
+        if bytes == 0 {
+            return Delivery::lossless(0, 0);
+        }
+        assert!(
+            self.topology.neighbors(from).contains(&to),
+            "{from} -> {to} are not neighbors"
+        );
+        debug_assert!(self.alive[from.0 as usize], "dead node {from} transmits");
+        debug_assert!(self.alive[to.0 as usize], "transmission to dead node {to}");
+        let (b, delivered) = self.transfer(from, &[to], bytes, phase);
+        Delivery {
+            time: b.time,
+            fragments: b.fragments,
+            delivered: delivered[0],
+            retransmissions: b.retransmissions,
+            control_packets: b.control_packets,
+            complete: b.complete[0],
+        }
+    }
+
+    /// Port twin of [`Network::broadcast_delivery`].
+    pub fn broadcast_delivery(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        bytes: usize,
+        phase: &str,
+    ) -> BroadcastDelivery {
+        if bytes == 0 || receivers.is_empty() {
+            return BroadcastDelivery::lossless(0, 0, receivers.len());
+        }
+        debug_assert!(self.alive[from.0 as usize], "dead node {from} transmits");
+        for r in receivers {
+            assert!(
+                self.topology.neighbors(from).contains(r),
+                "{from} -> {r} are not neighbors"
+            );
+            debug_assert!(self.alive[r.0 as usize], "transmission to dead node {r}");
+        }
+        self.transfer(from, receivers, bytes, phase).0
+    }
+
+    fn transfer(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        bytes: usize,
+        phase: &str,
+    ) -> (BroadcastDelivery, Vec<usize>) {
+        let mut sink = DirectSink {
+            stats: self.stats,
+            trace: self.trace.as_deref_mut(),
+        };
+        transfer_impl(
+            &self.radio,
+            &self.energy,
+            self.arq,
+            self.channel.as_deref_mut(),
+            &mut sink,
+            from,
+            receivers,
+            bytes,
+            phase,
+        )
+    }
+}
+
+/// What a finished [`LinkLane`] hands back for merging: the recorded
+/// charges, the advanced channel clone and the directed links it drew on.
+#[derive(Debug)]
+pub struct LaneOutcome {
+    ledger: StatLedger,
+    channel: Option<Channel>,
+    links: Vec<(NodeId, NodeId)>,
+}
+
+impl LinkLane<'_> {
+    /// Lane twin of [`Network::unicast_delivery`] — identical semantics,
+    /// charges recorded instead of applied.
+    pub fn unicast_delivery(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        phase: &str,
+    ) -> Delivery {
+        if bytes == 0 {
+            return Delivery::lossless(0, 0);
+        }
+        assert!(
+            self.topology.neighbors(from).contains(&to),
+            "{from} -> {to} are not neighbors"
+        );
+        debug_assert!(self.alive[from.0 as usize], "dead node {from} transmits");
+        debug_assert!(self.alive[to.0 as usize], "transmission to dead node {to}");
+        let (b, delivered) = self.transfer(from, &[to], bytes, phase);
+        Delivery {
+            time: b.time,
+            fragments: b.fragments,
+            delivered: delivered[0],
+            retransmissions: b.retransmissions,
+            control_packets: b.control_packets,
+            complete: b.complete[0],
+        }
+    }
+
+    /// Lane twin of [`Network::broadcast_delivery`].
+    pub fn broadcast_delivery(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        bytes: usize,
+        phase: &str,
+    ) -> BroadcastDelivery {
+        if bytes == 0 || receivers.is_empty() {
+            return BroadcastDelivery::lossless(0, 0, receivers.len());
+        }
+        debug_assert!(self.alive[from.0 as usize], "dead node {from} transmits");
+        for r in receivers {
+            assert!(
+                self.topology.neighbors(from).contains(r),
+                "{from} -> {r} are not neighbors"
+            );
+            debug_assert!(self.alive[r.0 as usize], "transmission to dead node {r}");
+        }
+        self.transfer(from, receivers, bytes, phase).0
+    }
+
+    fn transfer(
+        &mut self,
+        from: NodeId,
+        receivers: &[NodeId],
+        bytes: usize,
+        phase: &str,
+    ) -> (BroadcastDelivery, Vec<usize>) {
+        if self.channel.as_ref().is_some_and(|c| !c.is_perfect()) {
+            // Remember the directed links whose streams this lane advances
+            // (data one way, ACK/summary frames the other).
+            for &r in receivers {
+                self.links.push((from, r));
+                self.links.push((r, from));
+            }
+        }
+        transfer_impl(
+            &self.radio,
+            &self.energy,
+            self.arq,
+            self.channel.as_mut(),
+            &mut self.ledger,
+            from,
+            receivers,
+            bytes,
+            phase,
+        )
+    }
+
+    /// Closes the lane, handing back everything [`Network::absorb_lane`]
+    /// needs.
+    pub fn finish(self) -> LaneOutcome {
+        LaneOutcome {
+            ledger: self.ledger,
+            channel: self.channel,
+            links: self.links,
+        }
+    }
+}
+
+/// Fragment sizes of a `bytes`-byte payload.
+fn fragment_sizes(radio: &RadioConfig, bytes: usize) -> Vec<usize> {
+    let full = bytes / radio.max_payload;
+    let tail = bytes % radio.max_payload;
+    std::iter::repeat_n(radio.max_payload, full)
+        .chain((tail > 0).then_some(tail))
+        .collect()
+}
+
+/// The shared transfer engine behind [`Network`] and [`LinkLane`]: moves a
+/// message from `from` to `receivers`, charging every data fragment,
+/// retransmission and control frame into `sink`. Returns the delivery
+/// report plus per-receiver decoded-fragment counts.
+#[allow(clippy::too_many_arguments)]
+fn transfer_impl<S: StatSink>(
+    radio: &RadioConfig,
+    energy: &EnergyModel,
+    arq: ArqPolicy,
+    channel: Option<&mut Channel>,
+    sink: &mut S,
+    from: NodeId,
+    receivers: &[NodeId],
+    bytes: usize,
+    phase: &str,
+) -> (BroadcastDelivery, Vec<usize>) {
+    let sizes = fragment_sizes(radio, bytes);
+    let nfrags = sizes.len();
+    let lossy = channel.as_ref().is_some_and(|c| !c.is_perfect());
+    if !lossy {
+        // Lossless fast path: identical charging to the pre-channel
+        // simulator, no ARQ traffic whatsoever.
+        for &size in &sizes {
+            let on_air = size + radio.header_bytes;
+            sink.record_tx(from, size, energy.tx(on_air), phase);
+            for &r in receivers {
+                sink.record_rx(r, size, energy.rx(on_air), phase);
+            }
+        }
+        if sink.wants_trace() {
+            sink.trace_lossless(phase, from, receivers, bytes, nfrags);
+        }
+        let d = BroadcastDelivery::lossless(radio.transfer_us(bytes), nfrags, receivers.len());
+        let delivered = vec![nfrags; receivers.len()];
+        return (d, delivered);
+    }
+
+    let nrecv = receivers.len();
+    // have[f][ri]: ground truth — receiver ri decoded fragment f.
+    let mut have = vec![vec![false; nrecv]; nfrags];
+    let mut time: Time = 0;
+    let mut retx: u64 = 0;
+    let mut ctrl: u64 = 0;
+    let header = radio.header_bytes;
+    let ch = channel.expect("lossy implies a channel");
+    match arq {
+        ArqPolicy::None => {
+            for (f, &size) in sizes.iter().enumerate() {
+                let on_air = size + header;
+                sink.record_tx(from, size, energy.tx(on_air), phase);
+                time += radio.airtime_us(size);
+                for (ri, &r) in receivers.iter().enumerate() {
+                    if ch.deliver(from, r, phase) {
+                        have[f][ri] = true;
+                        sink.record_rx(r, size, energy.rx(on_air), phase);
                     }
                 }
             }
-            ArqPolicy::AckRetransmit { max_retries } => {
-                // Stop-and-wait per fragment: retransmit until every
-                // receiver's ACK came back or the retry budget is spent.
-                for (f, &size) in sizes.iter().enumerate() {
-                    let on_air = size + header;
-                    let mut acked = vec![false; nrecv];
-                    for attempt in 0..=max_retries {
-                        if attempt == 0 {
-                            self.stats
-                                .record_tx(from, size, self.energy.tx(on_air), phase);
+        }
+        ArqPolicy::AckRetransmit { max_retries } => {
+            // Stop-and-wait per fragment: retransmit until every
+            // receiver's ACK came back or the retry budget is spent.
+            for (f, &size) in sizes.iter().enumerate() {
+                let on_air = size + header;
+                let mut acked = vec![false; nrecv];
+                for attempt in 0..=max_retries {
+                    if attempt == 0 {
+                        sink.record_tx(from, size, energy.tx(on_air), phase);
+                    } else {
+                        retx += 1;
+                        sink.record_retx(from, size, energy.tx(on_air), phase);
+                        // Timeout stall before each retransmission.
+                        time += radio.hop_delay_us;
+                    }
+                    time += radio.airtime_us(size);
+                    for (ri, &r) in receivers.iter().enumerate() {
+                        if acked[ri] {
+                            continue; // receiver already done with f
+                        }
+                        if ch.deliver(from, r, phase) {
+                            if !have[f][ri] {
+                                have[f][ri] = true;
+                                sink.record_rx(r, size, energy.rx(on_air), phase);
+                            } else {
+                                // Duplicate (its earlier ACK was lost):
+                                // energy only, the copy is discarded.
+                                sink.record_energy(r, energy.rx(on_air), phase);
+                            }
+                        }
+                        if have[f][ri] {
+                            ctrl += 1;
+                            sink.record_ack(r, ACK_BYTES, energy.tx(ACK_BYTES + header), phase);
+                            time += radio.airtime_us(ACK_BYTES);
+                            if ch.deliver(r, from, phase) {
+                                acked[ri] = true;
+                                sink.record_energy(from, energy.rx(ACK_BYTES + header), phase);
+                            }
+                        }
+                    }
+                    if acked.iter().all(|&a| a) {
+                        break;
+                    }
+                }
+            }
+        }
+        ArqPolicy::SummaryRepair { max_rounds } => {
+            // Round 0: ship the whole fragment train once.
+            for (f, &size) in sizes.iter().enumerate() {
+                let on_air = size + header;
+                sink.record_tx(from, size, energy.tx(on_air), phase);
+                time += radio.airtime_us(size);
+                for (ri, &r) in receivers.iter().enumerate() {
+                    if ch.deliver(from, r, phase) {
+                        have[f][ri] = true;
+                        sink.record_rx(r, size, energy.rx(on_air), phase);
+                    }
+                }
+            }
+            // Repair rounds: each open receiver summarizes (OK or NACK
+            // bitmap); the sender rebroadcasts the union of NACKed
+            // fragments.
+            let sbytes = summary_bytes(nfrags);
+            let mut done = vec![false; nrecv]; // sender has the OK
+            for round in 0..=max_rounds {
+                let mut requested = vec![false; nfrags];
+                for (ri, &r) in receivers.iter().enumerate() {
+                    if done[ri] {
+                        continue;
+                    }
+                    ctrl += 1;
+                    sink.record_ack(r, sbytes, energy.tx(sbytes + header), phase);
+                    time += radio.airtime_us(sbytes);
+                    if ch.deliver(r, from, phase) {
+                        sink.record_energy(from, energy.rx(sbytes + header), phase);
+                        let missing: Vec<usize> = (0..nfrags).filter(|&f| !have[f][ri]).collect();
+                        if missing.is_empty() {
+                            done[ri] = true;
                         } else {
-                            retx += 1;
-                            self.stats
-                                .record_retx(from, size, self.energy.tx(on_air), phase);
-                            // Timeout stall before each retransmission.
-                            time += self.radio.hop_delay_us;
-                        }
-                        time += self.radio.airtime_us(size);
-                        for (ri, &r) in receivers.iter().enumerate() {
-                            if acked[ri] {
-                                continue; // receiver already done with f
+                            for f in missing {
+                                requested[f] = true;
                             }
-                            if ch.deliver(from, r, phase) {
-                                if !have[f][ri] {
-                                    have[f][ri] = true;
-                                    self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
-                                } else {
-                                    // Duplicate (its earlier ACK was lost):
-                                    // energy only, the copy is discarded.
-                                    self.stats.record_energy(r, self.energy.rx(on_air), phase);
-                                }
-                            }
-                            if have[f][ri] {
-                                ctrl += 1;
-                                self.stats.record_ack(
-                                    r,
-                                    ACK_BYTES,
-                                    self.energy.tx(ACK_BYTES + header),
-                                    phase,
-                                );
-                                time += self.radio.airtime_us(ACK_BYTES);
-                                if ch.deliver(r, from, phase) {
-                                    acked[ri] = true;
-                                    self.stats.record_energy(
-                                        from,
-                                        self.energy.rx(ACK_BYTES + header),
-                                        phase,
-                                    );
-                                }
-                            }
-                        }
-                        if acked.iter().all(|&a| a) {
-                            break;
                         }
                     }
+                    // A lost summary stalls this receiver one round.
                 }
-            }
-            ArqPolicy::SummaryRepair { max_rounds } => {
-                // Round 0: ship the whole fragment train once.
+                if done.iter().all(|&d| d) || round == max_rounds {
+                    break;
+                }
                 for (f, &size) in sizes.iter().enumerate() {
-                    let on_air = size + header;
-                    self.stats
-                        .record_tx(from, size, self.energy.tx(on_air), phase);
-                    time += self.radio.airtime_us(size);
-                    for (ri, &r) in receivers.iter().enumerate() {
-                        if ch.deliver(from, r, phase) {
-                            have[f][ri] = true;
-                            self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
-                        }
+                    if !requested[f] {
+                        continue;
                     }
-                }
-                // Repair rounds: each open receiver summarizes (OK or NACK
-                // bitmap); the sender rebroadcasts the union of NACKed
-                // fragments.
-                let sbytes = summary_bytes(nfrags);
-                let mut done = vec![false; nrecv]; // sender has the OK
-                for round in 0..=max_rounds {
-                    let mut requested = vec![false; nfrags];
+                    let on_air = size + header;
+                    retx += 1;
+                    sink.record_retx(from, size, energy.tx(on_air), phase);
+                    time += radio.airtime_us(size);
                     for (ri, &r) in receivers.iter().enumerate() {
                         if done[ri] {
                             continue;
                         }
-                        ctrl += 1;
-                        self.stats
-                            .record_ack(r, sbytes, self.energy.tx(sbytes + header), phase);
-                        time += self.radio.airtime_us(sbytes);
-                        if ch.deliver(r, from, phase) {
-                            self.stats
-                                .record_energy(from, self.energy.rx(sbytes + header), phase);
-                            let missing: Vec<usize> =
-                                (0..nfrags).filter(|&f| !have[f][ri]).collect();
-                            if missing.is_empty() {
-                                done[ri] = true;
-                            } else {
-                                for f in missing {
-                                    requested[f] = true;
-                                }
-                            }
-                        }
-                        // A lost summary stalls this receiver one round.
-                    }
-                    if done.iter().all(|&d| d) || round == max_rounds {
-                        break;
-                    }
-                    for (f, &size) in sizes.iter().enumerate() {
-                        if !requested[f] {
-                            continue;
-                        }
-                        let on_air = size + header;
-                        retx += 1;
-                        self.stats
-                            .record_retx(from, size, self.energy.tx(on_air), phase);
-                        time += self.radio.airtime_us(size);
-                        for (ri, &r) in receivers.iter().enumerate() {
-                            if done[ri] {
-                                continue;
-                            }
-                            if have[f][ri] {
-                                // Overhears the repair it did not need.
-                                self.stats.record_energy(r, self.energy.rx(on_air), phase);
-                            } else if ch.deliver(from, r, phase) {
-                                have[f][ri] = true;
-                                self.stats.record_rx(r, size, self.energy.rx(on_air), phase);
-                            }
+                        if have[f][ri] {
+                            // Overhears the repair it did not need.
+                            sink.record_energy(r, energy.rx(on_air), phase);
+                        } else if ch.deliver(from, r, phase) {
+                            have[f][ri] = true;
+                            sink.record_rx(r, size, energy.rx(on_air), phase);
                         }
                     }
-                    time += self.radio.hop_delay_us; // round turnaround
                 }
+                time += radio.hop_delay_us; // round turnaround
             }
         }
-        time += self.radio.hop_delay_us;
-        // Permanent losses.
-        let mut delivered = vec![0usize; nrecv];
-        let mut complete = vec![true; nrecv];
-        for (ri, &r) in receivers.iter().enumerate() {
-            for row in have.iter() {
-                if row[ri] {
-                    delivered[ri] += 1;
-                } else {
-                    complete[ri] = false;
-                    self.stats.record_loss(r, phase);
-                }
-            }
-        }
-        let acked = complete.iter().all(|&c| c);
-        if let Some(trace) = &mut self.trace {
-            trace.push_delivery(phase, from, receivers.to_vec(), bytes, nfrags, retx, acked);
-        }
-        (
-            BroadcastDelivery {
-                time,
-                fragments: nfrags,
-                complete,
-                retransmissions: retx,
-                control_packets: ctrl,
-            },
-            delivered,
-        )
     }
+    time += radio.hop_delay_us;
+    // Permanent losses.
+    let mut delivered = vec![0usize; nrecv];
+    let mut complete = vec![true; nrecv];
+    for (ri, &r) in receivers.iter().enumerate() {
+        for row in have.iter() {
+            if row[ri] {
+                delivered[ri] += 1;
+            } else {
+                complete[ri] = false;
+                sink.record_loss(r, phase);
+            }
+        }
+    }
+    let acked = complete.iter().all(|&c| c);
+    if sink.wants_trace() {
+        sink.trace_delivery(phase, from, receivers, bytes, nfrags, retx, acked);
+    }
+    (
+        BroadcastDelivery {
+            time,
+            fragments: nfrags,
+            complete,
+            retransmissions: retx,
+            control_packets: ctrl,
+        },
+        delivered,
+    )
 }
 
 #[cfg(test)]
@@ -1195,6 +1505,65 @@ mod tests {
         for v in a.topology().nodes() {
             assert_eq!(a.routing().parent(v), b.routing().parent(v));
         }
+    }
+
+    #[test]
+    fn lane_roundtrip_is_bit_identical_to_direct_transfer() {
+        let mut direct = small_net();
+        direct.set_tracing(true);
+        let base = direct.base();
+        let kids: Vec<NodeId> = direct.routing().children(base).to_vec();
+        direct.unicast_delivery(kids[0], base, 100, "up");
+        direct.broadcast_delivery(base, &kids, 30, "down");
+        direct.unicast_delivery(kids[1], base, 0, "up");
+        let mut laned = small_net();
+        laned.set_tracing(true);
+        let mut lane = laned.open_lane();
+        lane.unicast_delivery(kids[0], base, 100, "up");
+        lane.broadcast_delivery(base, &kids, 30, "down");
+        lane.unicast_delivery(kids[1], base, 0, "up");
+        let outcome = lane.finish();
+        // Nothing lands until the lane is absorbed.
+        assert_eq!(laned.stats().total_tx_packets(), 0);
+        assert!(laned.trace().unwrap().records().is_empty());
+        laned.absorb_lane(outcome);
+        for v in direct.topology().nodes() {
+            assert_eq!(direct.stats().node(v), laned.stats().node(v));
+        }
+        assert_eq!(
+            direct.trace().unwrap().records(),
+            laned.trace().unwrap().records()
+        );
+    }
+
+    #[test]
+    fn lane_adopts_channel_state_for_links_it_drew_on() {
+        // Twin A does everything directly; twin B routes the middle
+        // transfer through a lane. After absorption the per-link RNG
+        // streams must be positioned identically, so the *next* direct
+        // transfer decides packet fates the same way on both.
+        let mk = || {
+            let mut net = small_net();
+            net.set_channel(Some(Channel::bernoulli(0.4, 17)));
+            net.set_arq(ArqPolicy::ack(20));
+            net
+        };
+        let mut a = mk();
+        let mut b = mk();
+        let base = a.base();
+        let child = a.routing().children(base)[0];
+        a.unicast_delivery(child, base, 100, "p");
+        let mut lane = b.open_lane();
+        lane.unicast_delivery(child, base, 100, "p");
+        let outcome = lane.finish();
+        b.absorb_lane(outcome);
+        assert_eq!(a.stats().node(child), b.stats().node(child));
+        let da = a.unicast_delivery(child, base, 200, "q");
+        let db = b.unicast_delivery(child, base, 200, "q");
+        assert_eq!(da.retransmissions, db.retransmissions);
+        assert_eq!(da.control_packets, db.control_packets);
+        assert_eq!(a.stats().node(child), b.stats().node(child));
+        assert_eq!(a.stats().node(base), b.stats().node(base));
     }
 
     #[test]

@@ -2,6 +2,11 @@
 
 use crate::Topology;
 use sensjoin_relation::NodeId;
+use std::collections::BTreeMap;
+
+/// Flat-array sentinel for "no parent" (the base station and unreachable
+/// nodes).
+const NO_PARENT: u32 = u32::MAX;
 
 /// A collection (routing) tree rooted at the base station.
 ///
@@ -12,6 +17,15 @@ use sensjoin_relation::NodeId;
 /// broken by link quality — proxied, as is standard for distance-dependent
 /// packet-reception rates, by the shorter link — then by node id, making
 /// tree construction deterministic.
+///
+/// All per-node state is struct-of-arrays: `parent` and `depth` are flat
+/// `u32` arrays (sentinel `u32::MAX`), children live in one CSR buffer
+/// (offsets + one flat id array), and the bottom-up processing order is a
+/// cached *subtree-major post-order* — each node's subtree occupies a
+/// contiguous block, child subtrees appear in ascending child-id order, and
+/// the root comes last. Rebuilds and repairs reuse every buffer instead of
+/// reallocating, so a million-node tree is a handful of flat allocations for
+/// its whole lifetime.
 ///
 /// Nodes that cannot reach the base station (disconnected placements, or
 /// partitions after failures) have no parent and are reported by
@@ -34,11 +48,26 @@ use sensjoin_relation::NodeId;
 #[derive(Debug, Clone)]
 pub struct RoutingTree {
     base: NodeId,
-    parent: Vec<Option<NodeId>>,
-    children: Vec<Vec<NodeId>>,
+    /// Parent id per node; [`NO_PARENT`] for the base and unreachable nodes.
+    parent: Vec<u32>,
+    /// Hop count per node; `u32::MAX` for unreachable nodes.
     depth: Vec<u32>,
     descendants: Vec<u32>,
+    /// CSR offsets: node `v`'s children are
+    /// `child_buf[child_off[v]..child_off[v + 1]]`, ascending by id.
+    child_off: Vec<u32>,
+    child_buf: Vec<NodeId>,
+    /// Cached subtree-major post-order over reachable nodes: children before
+    /// parents, each subtree contiguous, child subtrees ascending, root last.
+    post_order: Vec<NodeId>,
     max_depth: u32,
+    /// Epoch-marked repair scratch: `mark[v] == epoch` means `v` belongs to
+    /// the floating set of the repair in progress. Bumping `epoch` clears the
+    /// whole array in O(1), so a localized repair never pays an O(n) reset.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Reusable DFS stack.
+    scratch: Vec<NodeId>,
 }
 
 /// What [`RoutingTree::repair`] did.
@@ -75,78 +104,82 @@ impl RoutingTree {
         link_down: &dyn Fn(NodeId, NodeId) -> bool,
     ) -> Self {
         let n = topology.len();
-        let mut depth = vec![u32::MAX; n];
-        let mut parent: Vec<Option<NodeId>> = vec![None; n];
-        let mut frontier = vec![base];
-        depth[base.0 as usize] = 0;
+        let mut tree = Self {
+            base,
+            parent: vec![NO_PARENT; n],
+            depth: vec![u32::MAX; n],
+            descendants: vec![0; n],
+            child_off: vec![0; n + 1],
+            child_buf: Vec::new(),
+            post_order: Vec::new(),
+            max_depth: 0,
+            mark: vec![0; n],
+            epoch: 0,
+            scratch: Vec::new(),
+        };
+        tree.rebuild_excluding(topology, link_down);
+        tree
+    }
+
+    /// Rebuilds the tree in place over the same topology, reusing every
+    /// flat buffer (no per-node reallocation).
+    pub fn rebuild(&mut self, topology: &Topology) {
+        self.rebuild_excluding(topology, &|_, _| false);
+    }
+
+    /// [`RoutingTree::rebuild`] with a `link_down` exclusion predicate —
+    /// the in-place, buffer-reusing equivalent of
+    /// [`RoutingTree::build_excluding`].
+    pub fn rebuild_excluding(
+        &mut self,
+        topology: &Topology,
+        link_down: &dyn Fn(NodeId, NodeId) -> bool,
+    ) {
+        let n = topology.len();
+        assert_eq!(self.parent.len(), n, "rebuild must keep the node count");
+        self.depth.fill(u32::MAX);
+        self.parent.fill(NO_PARENT);
+        self.depth[self.base.0 as usize] = 0;
+        let mut frontier = std::mem::take(&mut self.scratch);
+        frontier.clear();
+        frontier.push(self.base);
+        let mut next: Vec<NodeId> = Vec::new();
         // Level-synchronous BFS so that parent selection at depth d+1 can
         // deterministically pick the best depth-d candidate.
         while !frontier.is_empty() {
-            let mut next: Vec<NodeId> = Vec::new();
+            next.clear();
             for &u in &frontier {
                 for &v in topology.neighbors(u) {
                     if link_down(u, v) {
                         continue;
                     }
-                    let vd = depth[v.0 as usize];
-                    let cand = depth[u.0 as usize] + 1;
+                    let i = v.0 as usize;
+                    let vd = self.depth[i];
+                    let cand = self.depth[u.0 as usize] + 1;
                     if vd > cand {
                         if vd == u32::MAX {
                             next.push(v);
                         }
-                        depth[v.0 as usize] = cand;
-                        parent[v.0 as usize] = Some(u);
+                        self.depth[i] = cand;
+                        self.parent[i] = u.0;
                     } else if vd == cand {
                         // Tie-break: shorter link, then smaller id.
-                        let cur = parent[v.0 as usize].expect("tie implies a parent");
+                        let cur = NodeId(self.parent[i]);
                         let pv = topology.position(v);
                         let d_cur = topology.position(cur).distance(&pv);
                         let d_new = topology.position(u).distance(&pv);
                         if d_new < d_cur - 1e-12 || (d_new <= d_cur + 1e-12 && u < cur) {
-                            parent[v.0 as usize] = Some(u);
+                            self.parent[i] = u.0;
                         }
                     }
                 }
             }
             next.sort_unstable();
             next.dedup();
-            frontier = next;
+            std::mem::swap(&mut frontier, &mut next);
         }
-        let mut children = vec![Vec::new(); n];
-        for v in topology.nodes() {
-            if let Some(p) = parent[v.0 as usize] {
-                children[p.0 as usize].push(v);
-            }
-        }
-        for c in &mut children {
-            c.sort_unstable();
-        }
-        // Descendant counts bottom-up (order nodes by decreasing depth).
-        let mut order: Vec<NodeId> = topology
-            .nodes()
-            .filter(|v| depth[v.0 as usize] != u32::MAX)
-            .collect();
-        order.sort_unstable_by_key(|v| std::cmp::Reverse(depth[v.0 as usize]));
-        let mut descendants = vec![0u32; n];
-        for &v in &order {
-            if let Some(p) = parent[v.0 as usize] {
-                descendants[p.0 as usize] += descendants[v.0 as usize] + 1;
-            }
-        }
-        let max_depth = depth
-            .iter()
-            .copied()
-            .filter(|&d| d != u32::MAX)
-            .max()
-            .unwrap_or(0);
-        Self {
-            base,
-            parent,
-            children,
-            depth,
-            descendants,
-            max_depth,
-        }
+        self.scratch = frontier;
+        self.rebuild_derived();
     }
 
     /// Localized self-healing after liveness changes: dead nodes
@@ -156,14 +189,19 @@ impl RoutingTree {
     /// among live neighbors that still have a route. The attached region
     /// keeps its routes untouched; only the floating set moves.
     ///
+    /// This wrapper derives the change epicenters with one O(n) scan (any
+    /// node whose liveness disagrees with its routed state); when the caller
+    /// knows which nodes flipped, [`RoutingTree::repair_localized`] skips
+    /// even that scan.
+    ///
     /// Parent re-selection replays [`RoutingTree::build_excluding`]'s
     /// level-synchronous relaxation (same shorter-link-then-smaller-id
     /// tie-break) restricted to the floating set, seeded with the attached
-    /// nodes at their existing depths. Under pure node *removals* the
-    /// attached depths are still BFS-minimal (removals only lengthen
-    /// shortest paths, and the surviving parent chain attains the old
-    /// distance), so the repaired tree assigns every node the exact depth a
-    /// full rebuild would — the repaired tree spans exactly the
+    /// nodes bordering it at their existing depths. Under pure node
+    /// *removals* the attached depths are still BFS-minimal (removals only
+    /// lengthen shortest paths, and the surviving parent chain attains the
+    /// old distance), so the repaired tree assigns every node the exact
+    /// depth a full rebuild would — the repaired tree spans exactly the
     /// base-reachable live set at rebuild-identical depths. (Attached nodes
     /// adjacent to a reattached subtree may keep a different — equally
     /// shallow — parent than a rebuild would pick; that is the point of
@@ -175,47 +213,121 @@ impl RoutingTree {
     pub fn repair(&mut self, topology: &Topology, alive: &[bool]) -> RepairReport {
         let n = topology.len();
         assert_eq!(alive.len(), n, "one liveness flag per node");
+        let mut epicenters = Vec::new();
+        for v in topology.nodes() {
+            let routed = self.depth[v.0 as usize] != u32::MAX;
+            // Dead-but-routed = crash epicenter; live-but-routeless =
+            // revival or an orphan worth re-examining.
+            if alive[v.0 as usize] != routed {
+                epicenters.push(v);
+            }
+        }
+        self.repair_localized(topology, alive, &epicenters)
+    }
+
+    /// [`RoutingTree::repair`] given the *epicenters* — the nodes whose
+    /// liveness flipped since the last repair. Work is proportional to the
+    /// affected region (floating subtrees, orphan neighborhoods and their
+    /// attached boundary), never the full node array: floating-set discovery
+    /// walks only the epicenters' subtrees / routeless neighborhoods, and
+    /// the epoch-marked scratch avoids O(n) clears.
+    ///
+    /// The epicenter list must cover every node whose liveness changed since
+    /// the previous repair; missing one leaves the tree referencing a dead
+    /// node or ignoring a revived one.
+    pub fn repair_localized(
+        &mut self,
+        topology: &Topology,
+        alive: &[bool],
+        epicenters: &[NodeId],
+    ) -> RepairReport {
+        let n = topology.len();
+        assert_eq!(alive.len(), n, "one liveness flag per node");
         assert!(alive[self.base.0 as usize], "the base station never fails");
-        // Attached region: nodes whose whole parent chain is alive.
-        let mut attached = vec![false; n];
-        attached[self.base.0 as usize] = true;
-        let mut stack = vec![self.base];
-        while let Some(u) = stack.pop() {
-            for &c in &self.children[u.0 as usize] {
-                if alive[c.0 as usize] {
-                    attached[c.0 as usize] = true;
-                    stack.push(c);
-                }
-                // A dead child cuts its whole subtree loose.
-            }
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.fill(0);
+            self.epoch = 1;
         }
+        let epoch = self.epoch;
         let mut report = RepairReport::default();
-        let mut floating = vec![false; n];
-        let mut had_route = vec![false; n];
-        for v in topology.nodes() {
-            let i = v.0 as usize;
-            if attached[i] {
-                continue;
+        // The floating set: live nodes that must re-select a parent, each
+        // with whether it had a route before (only lost routes count as
+        // newly orphaned).
+        let mut floating: Vec<(NodeId, bool)> = Vec::new();
+        let mut stack = std::mem::take(&mut self.scratch);
+        stack.clear();
+        for &e in epicenters {
+            let i = e.0 as usize;
+            if self.mark[i] == epoch {
+                continue; // already swept up by an earlier epicenter
             }
-            had_route[i] = self.depth[i] != u32::MAX;
-            self.parent[i] = None;
-            self.depth[i] = u32::MAX;
-            if alive[i] {
-                floating[i] = true;
-            } else if had_route[i] {
-                report.detached.push(v);
+            if !alive[i] {
+                // Crash: the whole subtree under `e` floats. Traverse
+                // through dead members — a dead node inside the subtree cuts
+                // the nodes below it loose as well.
+                if self.depth[i] == u32::MAX {
+                    continue; // already detached
+                }
+                self.mark[i] = epoch;
+                stack.push(e);
+                while let Some(u) = stack.pop() {
+                    let ui = u.0 as usize;
+                    let had = self.depth[ui] != u32::MAX;
+                    self.depth[ui] = u32::MAX;
+                    self.parent[ui] = NO_PARENT;
+                    if alive[ui] {
+                        floating.push((u, had));
+                    } else if had {
+                        report.detached.push(u);
+                    }
+                    let s = self.child_off[ui] as usize;
+                    let t = self.child_off[ui + 1] as usize;
+                    for &c in &self.child_buf[s..t] {
+                        if self.mark[c.0 as usize] != epoch {
+                            self.mark[c.0 as usize] = epoch;
+                            stack.push(c);
+                        }
+                    }
+                }
+            } else {
+                // Revival (or orphan re-examination): flood the routeless
+                // live region around `e` — exactly the nodes whose
+                // attachability the revival may have changed.
+                if self.depth[i] != u32::MAX {
+                    continue; // already attached
+                }
+                self.mark[i] = epoch;
+                stack.push(e);
+                while let Some(u) = stack.pop() {
+                    floating.push((u, false));
+                    for &v in topology.neighbors(u) {
+                        let vi = v.0 as usize;
+                        if self.mark[vi] != epoch && alive[vi] && self.depth[vi] == u32::MAX {
+                            self.mark[vi] = epoch;
+                            stack.push(v);
+                        }
+                    }
+                }
             }
         }
-        // Multi-source level-synchronous BFS from the attached region,
-        // relaxing only floating nodes — identical fold order and tie-break
-        // as build_excluding.
-        let mut by_depth: std::collections::BTreeMap<u32, Vec<NodeId>> = Default::default();
-        for v in topology.nodes() {
-            if attached[v.0 as usize] {
-                by_depth
-                    .entry(self.depth[v.0 as usize])
-                    .or_default()
-                    .push(v);
+        self.scratch = stack;
+        if floating.is_empty() && report.detached.is_empty() {
+            return report; // nothing moved; derived state is still valid
+        }
+        // Multi-source level-synchronous BFS relaxing only floating nodes,
+        // with the identical fold order and tie-break as build_excluding.
+        // Seeding only the attached *boundary* (attached neighbors of
+        // floating nodes, at their current depths) is equivalent to seeding
+        // the whole attached region: a non-boundary attached node has no
+        // floating neighbor, so it relaxes nothing.
+        let mut by_depth: BTreeMap<u32, Vec<NodeId>> = Default::default();
+        for &(f, _) in &floating {
+            for &u in topology.neighbors(f) {
+                let ui = u.0 as usize;
+                if alive[ui] && self.depth[ui] != u32::MAX {
+                    by_depth.entry(self.depth[ui]).or_default().push(u);
+                }
             }
         }
         while let Some((d, mut level)) = by_depth.pop_first() {
@@ -224,7 +336,7 @@ impl RoutingTree {
             for &u in &level {
                 for &v in topology.neighbors(u) {
                     let i = v.0 as usize;
-                    if !floating[i] {
+                    if self.mark[i] != epoch || !alive[i] {
                         continue;
                     }
                     let vd = self.depth[i];
@@ -232,71 +344,100 @@ impl RoutingTree {
                     if vd > cand {
                         debug_assert_eq!(vd, u32::MAX, "levels are processed in order");
                         self.depth[i] = cand;
-                        self.parent[i] = Some(u);
+                        self.parent[i] = u.0;
                         by_depth.entry(cand).or_default().push(v);
                     } else if vd == cand {
                         // Tie-break: shorter link, then smaller id.
-                        let cur = self.parent[i].expect("tie implies a parent");
+                        let cur = NodeId(self.parent[i]);
                         let pv = topology.position(v);
                         let d_cur = topology.position(cur).distance(&pv);
                         let d_new = topology.position(u).distance(&pv);
                         if d_new < d_cur - 1e-12 || (d_new <= d_cur + 1e-12 && u < cur) {
-                            self.parent[i] = Some(u);
+                            self.parent[i] = u.0;
                         }
                     }
                 }
             }
         }
-        for v in topology.nodes() {
-            let i = v.0 as usize;
-            if floating[i] {
-                if self.depth[i] == u32::MAX {
-                    // Nodes that never had a route (isolated stragglers) are
-                    // not *newly* orphaned — report only lost routes.
-                    if had_route[i] {
-                        report.orphaned.push(v);
-                    }
-                } else {
-                    report.reattached.push(v);
+        for &(f, had) in &floating {
+            if self.depth[f.0 as usize] == u32::MAX {
+                // Nodes that never had a route (isolated stragglers) are
+                // not *newly* orphaned — report only lost routes.
+                if had {
+                    report.orphaned.push(f);
                 }
+            } else {
+                report.reattached.push(f);
             }
         }
-        self.recompute_derived(topology);
+        report.detached.sort_unstable();
+        report.reattached.sort_unstable();
+        report.orphaned.sort_unstable();
+        self.rebuild_derived();
         report
     }
 
-    /// Rebuilds children lists, descendant counts and the maximum depth from
-    /// the parent/depth arrays.
-    fn recompute_derived(&mut self, topology: &Topology) {
-        for c in &mut self.children {
-            c.clear();
-        }
-        for v in topology.nodes() {
-            if let Some(p) = self.parent[v.0 as usize] {
-                self.children[p.0 as usize].push(v);
+    /// Rebuilds the children CSR, the cached post-order, descendant counts
+    /// and the maximum depth from the parent/depth arrays — allocation-free
+    /// O(n) passes over the reused flat buffers.
+    fn rebuild_derived(&mut self) {
+        let n = self.parent.len();
+        // Children CSR by counting sort: count into child_off[p + 1],
+        // prefix-sum, fill using child_off[p] as a cursor, then shift right
+        // to restore the row starts. Filling in ascending child id keeps
+        // every row sorted without a sort pass.
+        self.child_off.fill(0);
+        for i in 0..n {
+            let p = self.parent[i];
+            if p != NO_PARENT {
+                self.child_off[p as usize + 1] += 1;
             }
         }
-        for c in &mut self.children {
-            c.sort_unstable();
+        for c in 0..n {
+            self.child_off[c + 1] += self.child_off[c];
         }
-        let mut order: Vec<NodeId> = topology
-            .nodes()
-            .filter(|v| self.depth[v.0 as usize] != u32::MAX)
-            .collect();
-        order.sort_unstable_by_key(|v| std::cmp::Reverse(self.depth[v.0 as usize]));
-        self.descendants = vec![0; topology.len()];
-        for &v in &order {
-            if let Some(p) = self.parent[v.0 as usize] {
-                self.descendants[p.0 as usize] += self.descendants[v.0 as usize] + 1;
+        let total = self.child_off[n] as usize;
+        self.child_buf.resize(total, NodeId(0));
+        for i in 0..n {
+            let p = self.parent[i] as usize;
+            if p != NO_PARENT as usize {
+                self.child_buf[self.child_off[p] as usize] = NodeId(i as u32);
+                self.child_off[p] += 1;
             }
         }
-        self.max_depth = self
-            .depth
-            .iter()
-            .copied()
-            .filter(|&d| d != u32::MAX)
-            .max()
-            .unwrap_or(0);
+        self.child_off.copy_within(0..n, 1);
+        self.child_off[0] = 0;
+        // Subtree-major post-order: pop-append with children pushed in
+        // ascending id order yields root-first with child subtrees
+        // descending; reversing gives children-before-parents with child
+        // subtrees ascending and the root last.
+        self.post_order.clear();
+        self.post_order.reserve(total + 1);
+        let mut stack = std::mem::take(&mut self.scratch);
+        stack.clear();
+        stack.push(self.base);
+        while let Some(u) = stack.pop() {
+            self.post_order.push(u);
+            let s = self.child_off[u.0 as usize] as usize;
+            let t = self.child_off[u.0 as usize + 1] as usize;
+            stack.extend_from_slice(&self.child_buf[s..t]);
+        }
+        self.scratch = stack;
+        self.post_order.reverse();
+        // Children precede parents in post-order, so one forward pass folds
+        // descendant counts bottom-up; max depth rides along.
+        self.descendants.fill(0);
+        self.max_depth = 0;
+        for idx in 0..self.post_order.len() {
+            let v = self.post_order[idx];
+            let i = v.0 as usize;
+            self.max_depth = self.max_depth.max(self.depth[i]);
+            let p = self.parent[i];
+            if p != NO_PARENT {
+                let sub = self.descendants[i] + 1;
+                self.descendants[p as usize] += sub;
+            }
+        }
     }
 
     /// The root of the tree.
@@ -306,12 +447,14 @@ impl RoutingTree {
 
     /// Parent of `node` (`None` for the base station and unreachable nodes).
     pub fn parent(&self, node: NodeId) -> Option<NodeId> {
-        self.parent[node.0 as usize]
+        let p = self.parent[node.0 as usize];
+        (p != NO_PARENT).then_some(NodeId(p))
     }
 
     /// Children of `node`, sorted by id.
     pub fn children(&self, node: NodeId) -> &[NodeId] {
-        &self.children[node.0 as usize]
+        let i = node.0 as usize;
+        &self.child_buf[self.child_off[i] as usize..self.child_off[i + 1] as usize]
     }
 
     /// Hop count from `node` to the base (`None` if unreachable).
@@ -334,26 +477,33 @@ impl RoutingTree {
     pub fn unreachable(&self) -> Vec<NodeId> {
         (0..self.parent.len() as u32)
             .map(NodeId)
-            .filter(|&v| v != self.base && self.parent[v.0 as usize].is_none())
+            .filter(|&v| v != self.base && self.parent[v.0 as usize] == NO_PARENT)
             .collect()
     }
 
-    /// All reachable nodes in deepest-first order — the processing order of
-    /// collection phases (leaves report before their parents).
-    pub fn bottom_up_order(&self) -> Vec<NodeId> {
-        let mut order: Vec<NodeId> = (0..self.parent.len() as u32)
-            .map(NodeId)
-            .filter(|&v| self.depth(v).is_some())
-            .collect();
-        order.sort_unstable_by_key(|&v| (std::cmp::Reverse(self.depth[v.0 as usize]), v));
-        order
+    /// All reachable nodes in *subtree-major post-order* — the processing
+    /// order of collection phases. Children appear before their parents,
+    /// every subtree occupies one contiguous block (child subtrees in
+    /// ascending child-id order), and the root comes last. The contiguity is
+    /// what lets wave execution hand each root-child subtree to a different
+    /// thread as one slice.
+    pub fn bottom_up_order(&self) -> &[NodeId] {
+        &self.post_order
     }
 
-    /// All reachable nodes in shallowest-first order — the processing order
-    /// of dissemination phases.
+    /// All reachable nodes in *subtree-major pre-order* — the processing
+    /// order of dissemination phases: parents before children, each subtree
+    /// contiguous, child subtrees in ascending child-id order, root first.
     pub fn top_down_order(&self) -> Vec<NodeId> {
-        let mut order = self.bottom_up_order();
-        order.reverse();
+        let mut order = Vec::with_capacity(self.post_order.len());
+        let mut stack = vec![self.base];
+        while let Some(u) = stack.pop() {
+            order.push(u);
+            let s = self.child_off[u.0 as usize] as usize;
+            let t = self.child_off[u.0 as usize + 1] as usize;
+            // Push descending so the smallest child pops first.
+            stack.extend(self.child_buf[s..t].iter().rev().copied());
+        }
         order
     }
 
@@ -439,6 +589,25 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_in_place_matches_fresh_build() {
+        let t = random_topology(250, 420.0, 11);
+        let fresh = RoutingTree::build(&t, NodeId(0));
+        let mut reused = RoutingTree::build_excluding(&t, NodeId(0), &|a, b| {
+            // Start from a different tree so the rebuild has real work.
+            a == NodeId(1) || b == NodeId(1)
+        });
+        reused.rebuild(&t);
+        for v in t.nodes() {
+            assert_eq!(reused.parent(v), fresh.parent(v), "{v}");
+            assert_eq!(reused.depth(v), fresh.depth(v), "{v}");
+            assert_eq!(reused.descendants(v), fresh.descendants(v), "{v}");
+            assert_eq!(reused.children(v), fresh.children(v), "{v}");
+        }
+        assert_eq!(reused.bottom_up_order(), fresh.bottom_up_order());
+        assert_eq!(reused.max_depth(), fresh.max_depth());
+    }
+
+    #[test]
     fn excluded_links_reroute() {
         // Line 0-1-2 plus a detour 0-3-2 with longer links.
         let positions = vec![
@@ -471,6 +640,39 @@ mod tests {
             }
         }
         assert_eq!(tree.top_down_order().first(), Some(&NodeId(0)));
+    }
+
+    #[test]
+    fn post_order_is_subtree_major() {
+        let t = random_topology(200, 400.0, 7);
+        let tree = RoutingTree::build(&t, NodeId(0));
+        let up = tree.bottom_up_order();
+        // Root last; every subtree is a contiguous block ending at its root,
+        // of exactly descendants + 1 nodes; root-child blocks ascend by id.
+        assert_eq!(up.last(), Some(&tree.base()));
+        let pos: std::collections::HashMap<NodeId, usize> =
+            up.iter().enumerate().map(|(i, &v)| (v, i)).collect();
+        for &v in up {
+            let end = pos[&v];
+            let size = tree.descendants(v) as usize + 1;
+            assert!(end + 1 >= size, "{v}: block runs off the front");
+            let block = &up[end + 1 - size..=end];
+            // Every block member's path to the root of the block stays in
+            // the block — i.e. the block is exactly subtree(v).
+            for &m in block {
+                let mut cur = m;
+                while cur != v {
+                    cur = tree.parent(cur).expect("block member below v");
+                }
+            }
+        }
+        // Pre-order mirrors it: root first, children ascending.
+        let down = tree.top_down_order();
+        assert_eq!(down.len(), up.len());
+        let base_children = tree.children(tree.base());
+        if !base_children.is_empty() {
+            assert_eq!(down[1], base_children[0]);
+        }
     }
 
     /// The repaired tree must be a valid tree over the live reachable set:
@@ -533,6 +735,42 @@ mod tests {
             for &o in &rep.orphaned {
                 assert!(alive[o.0 as usize] && repaired.depth(o).is_none());
             }
+        }
+    }
+
+    #[test]
+    fn localized_epicenters_match_full_scan_repair() {
+        // repair_localized fed exactly the flipped nodes must agree with the
+        // wrapper's O(n) epicenter scan.
+        let t = random_topology(300, 450.0, 13);
+        let base = NodeId(0);
+        let mut by_scan = RoutingTree::build(&t, base);
+        let mut by_epicenter = by_scan.clone();
+        let mut alive = vec![true; t.len()];
+        let victims = [NodeId(17), NodeId(42), NodeId(108), NodeId(211)];
+        for &v in &victims {
+            alive[v.0 as usize] = false;
+        }
+        let ra = by_scan.repair(&t, &alive);
+        let rb = by_epicenter.repair_localized(&t, &alive, &victims);
+        assert_eq!(ra.detached, rb.detached);
+        assert_eq!(ra.reattached, rb.reattached);
+        assert_eq!(ra.orphaned, rb.orphaned);
+        for v in t.nodes() {
+            assert_eq!(by_scan.parent(v), by_epicenter.parent(v), "{v}");
+            assert_eq!(by_scan.depth(v), by_epicenter.depth(v), "{v}");
+        }
+        // Now revive two of them; epicenters are just the revived pair.
+        for &v in &victims[..2] {
+            alive[v.0 as usize] = true;
+        }
+        let ra = by_scan.repair(&t, &alive);
+        let rb = by_epicenter.repair_localized(&t, &alive, &victims[..2]);
+        assert_eq!(ra.reattached, rb.reattached);
+        assert_eq!(ra.orphaned, rb.orphaned);
+        for v in t.nodes() {
+            assert_eq!(by_scan.parent(v), by_epicenter.parent(v), "{v}");
+            assert_eq!(by_scan.depth(v), by_epicenter.depth(v), "{v}");
         }
     }
 

@@ -1,0 +1,364 @@
+//! Where transfer charging lands.
+//!
+//! [`crate::Network`]'s single charge point is generic over a [`StatSink`]:
+//! the serial path writes straight into the network's counters and trace
+//! ([`DirectSink`]), while parallel wave execution gives each worker thread
+//! a [`StatLedger`] that *records* the exact sequence of charge calls. After
+//! the threads join, the ledgers are replayed in deterministic (serial
+//! traversal) order through the very same [`crate::NetworkStats`] methods —
+//! the replayed call sequence is verbatim what the serial path would have
+//! issued, so every byte/packet counter, every floating-point energy
+//! accumulation (same addition order) and every trace row (same sequence
+//! numbers) is bit-identical to serial execution.
+
+use crate::{NetworkStats, Trace};
+use sensjoin_relation::NodeId;
+
+/// The charge-call surface of a transfer: statistics records plus trace
+/// rows. Mirrors [`NetworkStats`]' recording methods one-to-one.
+pub(crate) trait StatSink {
+    fn record_tx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str);
+    fn record_rx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str);
+    fn record_retx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str);
+    fn record_ack(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str);
+    fn record_energy(&mut self, node: NodeId, uj: f64, phase: &str);
+    fn record_loss(&mut self, node: NodeId, phase: &str);
+    /// Whether trace rows should be materialized at all (gates the
+    /// receiver-list allocation on the hot path).
+    fn wants_trace(&self) -> bool;
+    fn trace_lossless(
+        &mut self,
+        phase: &str,
+        from: NodeId,
+        to: &[NodeId],
+        bytes: usize,
+        packets: usize,
+    );
+    #[allow(clippy::too_many_arguments)]
+    fn trace_delivery(
+        &mut self,
+        phase: &str,
+        from: NodeId,
+        to: &[NodeId],
+        bytes: usize,
+        packets: usize,
+        retransmissions: u64,
+        acked: bool,
+    );
+}
+
+/// The serial sink: charges land immediately on the network's counters.
+pub(crate) struct DirectSink<'a> {
+    pub stats: &'a mut NetworkStats,
+    pub trace: Option<&'a mut Trace>,
+}
+
+impl StatSink for DirectSink<'_> {
+    fn record_tx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        self.stats.record_tx(node, payload, uj, phase);
+    }
+    fn record_rx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        self.stats.record_rx(node, payload, uj, phase);
+    }
+    fn record_retx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        self.stats.record_retx(node, payload, uj, phase);
+    }
+    fn record_ack(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        self.stats.record_ack(node, payload, uj, phase);
+    }
+    fn record_energy(&mut self, node: NodeId, uj: f64, phase: &str) {
+        self.stats.record_energy(node, uj, phase);
+    }
+    fn record_loss(&mut self, node: NodeId, phase: &str) {
+        self.stats.record_loss(node, phase);
+    }
+    fn wants_trace(&self) -> bool {
+        self.trace.is_some()
+    }
+    fn trace_lossless(
+        &mut self,
+        phase: &str,
+        from: NodeId,
+        to: &[NodeId],
+        bytes: usize,
+        packets: usize,
+    ) {
+        if let Some(t) = &mut self.trace {
+            t.push(phase, from, to.to_vec(), bytes, packets);
+        }
+    }
+    fn trace_delivery(
+        &mut self,
+        phase: &str,
+        from: NodeId,
+        to: &[NodeId],
+        bytes: usize,
+        packets: usize,
+        retransmissions: u64,
+        acked: bool,
+    ) {
+        if let Some(t) = &mut self.trace {
+            t.push_delivery(
+                phase,
+                from,
+                to.to_vec(),
+                bytes,
+                packets,
+                retransmissions,
+                acked,
+            );
+        }
+    }
+}
+
+/// One recorded charge call. Phase labels are interned per ledger (a wave
+/// charges under a single phase, so the table holds one or two entries).
+#[derive(Debug, Clone)]
+enum StatEvent {
+    Tx {
+        node: NodeId,
+        payload: usize,
+        uj: f64,
+        phase: u16,
+    },
+    Rx {
+        node: NodeId,
+        payload: usize,
+        uj: f64,
+        phase: u16,
+    },
+    Retx {
+        node: NodeId,
+        payload: usize,
+        uj: f64,
+        phase: u16,
+    },
+    Ack {
+        node: NodeId,
+        payload: usize,
+        uj: f64,
+        phase: u16,
+    },
+    Energy {
+        node: NodeId,
+        uj: f64,
+        phase: u16,
+    },
+    Loss {
+        node: NodeId,
+        phase: u16,
+    },
+    TraceLossless {
+        phase: u16,
+        from: NodeId,
+        to: Vec<NodeId>,
+        bytes: usize,
+        packets: usize,
+    },
+    TraceDelivery {
+        phase: u16,
+        from: NodeId,
+        to: Vec<NodeId>,
+        bytes: usize,
+        packets: usize,
+        retransmissions: u64,
+        acked: bool,
+    },
+}
+
+/// A replayable recording of charge calls, used as the per-thread sink of
+/// parallel wave execution. Replaying issues the identical call sequence
+/// against the real counters, preserving bit-identity with serial charging
+/// (see the module docs).
+#[derive(Debug, Clone, Default)]
+pub struct StatLedger {
+    phases: Vec<String>,
+    events: Vec<StatEvent>,
+    tracing: bool,
+}
+
+impl StatLedger {
+    /// An empty ledger; `tracing` mirrors whether the owning network has a
+    /// trace attached (gates trace-row recording).
+    pub(crate) fn new(tracing: bool) -> Self {
+        Self {
+            phases: Vec::new(),
+            events: Vec::new(),
+            tracing,
+        }
+    }
+
+    fn phase_id(&mut self, phase: &str) -> u16 {
+        if let Some(i) = self.phases.iter().position(|p| p == phase) {
+            return i as u16;
+        }
+        self.phases.push(phase.to_owned());
+        (self.phases.len() - 1) as u16
+    }
+
+    /// Replays every recorded call, in order, against `stats` and `trace`.
+    pub(crate) fn replay(self, stats: &mut NetworkStats, mut trace: Option<&mut Trace>) {
+        let StatLedger { phases, events, .. } = self;
+        let phase = |id: u16| phases[id as usize].as_str();
+        for ev in events {
+            match ev {
+                StatEvent::Tx {
+                    node,
+                    payload,
+                    uj,
+                    phase: p,
+                } => {
+                    stats.record_tx(node, payload, uj, phase(p));
+                }
+                StatEvent::Rx {
+                    node,
+                    payload,
+                    uj,
+                    phase: p,
+                } => {
+                    stats.record_rx(node, payload, uj, phase(p));
+                }
+                StatEvent::Retx {
+                    node,
+                    payload,
+                    uj,
+                    phase: p,
+                } => {
+                    stats.record_retx(node, payload, uj, phase(p));
+                }
+                StatEvent::Ack {
+                    node,
+                    payload,
+                    uj,
+                    phase: p,
+                } => {
+                    stats.record_ack(node, payload, uj, phase(p));
+                }
+                StatEvent::Energy { node, uj, phase: p } => {
+                    stats.record_energy(node, uj, phase(p));
+                }
+                StatEvent::Loss { node, phase: p } => {
+                    stats.record_loss(node, phase(p));
+                }
+                StatEvent::TraceLossless {
+                    phase: p,
+                    from,
+                    to,
+                    bytes,
+                    packets,
+                } => {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(phase(p), from, to, bytes, packets);
+                    }
+                }
+                StatEvent::TraceDelivery {
+                    phase: p,
+                    from,
+                    to,
+                    bytes,
+                    packets,
+                    retransmissions,
+                    acked,
+                } => {
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push_delivery(phase(p), from, to, bytes, packets, retransmissions, acked);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl StatSink for StatLedger {
+    fn record_tx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        let phase = self.phase_id(phase);
+        self.events.push(StatEvent::Tx {
+            node,
+            payload,
+            uj,
+            phase,
+        });
+    }
+    fn record_rx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        let phase = self.phase_id(phase);
+        self.events.push(StatEvent::Rx {
+            node,
+            payload,
+            uj,
+            phase,
+        });
+    }
+    fn record_retx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        let phase = self.phase_id(phase);
+        self.events.push(StatEvent::Retx {
+            node,
+            payload,
+            uj,
+            phase,
+        });
+    }
+    fn record_ack(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
+        let phase = self.phase_id(phase);
+        self.events.push(StatEvent::Ack {
+            node,
+            payload,
+            uj,
+            phase,
+        });
+    }
+    fn record_energy(&mut self, node: NodeId, uj: f64, phase: &str) {
+        let phase = self.phase_id(phase);
+        self.events.push(StatEvent::Energy { node, uj, phase });
+    }
+    fn record_loss(&mut self, node: NodeId, phase: &str) {
+        let phase = self.phase_id(phase);
+        self.events.push(StatEvent::Loss { node, phase });
+    }
+    fn wants_trace(&self) -> bool {
+        self.tracing
+    }
+    fn trace_lossless(
+        &mut self,
+        phase: &str,
+        from: NodeId,
+        to: &[NodeId],
+        bytes: usize,
+        packets: usize,
+    ) {
+        if !self.tracing {
+            return;
+        }
+        let phase = self.phase_id(phase);
+        self.events.push(StatEvent::TraceLossless {
+            phase,
+            from,
+            to: to.to_vec(),
+            bytes,
+            packets,
+        });
+    }
+    fn trace_delivery(
+        &mut self,
+        phase: &str,
+        from: NodeId,
+        to: &[NodeId],
+        bytes: usize,
+        packets: usize,
+        retransmissions: u64,
+        acked: bool,
+    ) {
+        if !self.tracing {
+            return;
+        }
+        let phase = self.phase_id(phase);
+        self.events.push(StatEvent::TraceDelivery {
+            phase,
+            from,
+            to: to.to_vec(),
+            bytes,
+            packets,
+            retransmissions,
+            acked,
+        });
+    }
+}

@@ -8,11 +8,17 @@ use sensjoin_relation::NodeId;
 ///
 /// "Each node is aware of the nodes within its wireless range, which form
 /// its neighborhood" (§III). Adjacency is computed with a uniform grid of
-/// range-sized buckets, so construction is `O(n · expected neighbors)`.
+/// range-sized buckets, so construction is `O(n · expected neighbors)`, and
+/// stored in CSR form — one offsets array plus one flat neighbor buffer —
+/// so a million-node topology is two contiguous allocations instead of a
+/// million small vectors.
 #[derive(Debug, Clone)]
 pub struct Topology {
     positions: Vec<Position>,
-    neighbors: Vec<Vec<NodeId>>,
+    /// CSR offsets: node `i`'s neighbors live at `nbr_buf[nbr_off[i]..nbr_off[i + 1]]`.
+    nbr_off: Vec<u32>,
+    /// Flat neighbor buffer, each node's slice sorted by id.
+    nbr_buf: Vec<NodeId>,
     area: Area,
     range: f64,
 }
@@ -24,18 +30,44 @@ impl Topology {
         let n = positions.len();
         let cols = (area.width / range).ceil().max(1.0) as usize;
         let rows = (area.height / range).ceil().max(1.0) as usize;
-        let mut grid: Vec<Vec<u32>> = vec![Vec::new(); cols * rows];
         let cell_of = |p: &Position| -> (usize, usize) {
             let cx = ((p.x / range) as usize).min(cols - 1);
             let cy = ((p.y / range) as usize).min(rows - 1);
             (cx, cy)
         };
-        for (i, p) in positions.iter().enumerate() {
-            let (cx, cy) = cell_of(p);
-            grid[cy * cols + cx].push(i as u32);
+        // Grid of range-sized buckets, itself in CSR form (counting sort by
+        // cell): cell `c`'s members are `grid_buf[grid_off[c]..grid_off[c+1]]`,
+        // ascending by id.
+        let ncells = cols * rows;
+        let cell: Vec<u32> = positions
+            .iter()
+            .map(|p| {
+                let (cx, cy) = cell_of(p);
+                (cy * cols + cx) as u32
+            })
+            .collect();
+        let mut grid_off = vec![0u32; ncells + 1];
+        for &c in &cell {
+            grid_off[c as usize + 1] += 1;
         }
-        let mut neighbors = vec![Vec::new(); n];
-        for (i, p) in positions.iter().enumerate() {
+        for c in 0..ncells {
+            grid_off[c + 1] += grid_off[c];
+        }
+        let mut grid_buf = vec![0u32; n];
+        for (i, &c) in cell.iter().enumerate() {
+            grid_buf[grid_off[c as usize] as usize] = i as u32;
+            grid_off[c as usize] += 1;
+        }
+        // The fill advanced every offset to its cell's end; shift right to
+        // recover the starts.
+        grid_off.copy_within(0..ncells, 1);
+        grid_off[0] = 0;
+
+        // Two passes over the 3x3 cell neighborhoods: count, then fill.
+        // Each node's slice is produced wholesale, so a running cursor
+        // suffices; a final per-slice sort orders neighbors by id.
+        let mut nbr_off = vec![0u32; n + 1];
+        let scan = |i: usize, p: &Position, mut hit: Box<dyn FnMut(u32) + '_>| {
             let (cx, cy) = cell_of(p);
             for dy in -1isize..=1 {
                 for dx in -1isize..=1 {
@@ -44,19 +76,42 @@ impl Topology {
                     if nx < 0 || ny < 0 || nx >= cols as isize || ny >= rows as isize {
                         continue;
                     }
-                    for &j in &grid[ny as usize * cols + nx as usize] {
-                        let j = j as usize;
-                        if j != i && positions[j].distance(p) <= range {
-                            neighbors[i].push(NodeId(j as u32));
+                    let c = ny as usize * cols + nx as usize;
+                    for &j in &grid_buf[grid_off[c] as usize..grid_off[c + 1] as usize] {
+                        if j as usize != i && positions[j as usize].distance(p) <= range {
+                            hit(j);
                         }
                     }
                 }
             }
-            neighbors[i].sort_unstable();
+        };
+        for (i, p) in positions.iter().enumerate() {
+            let mut count = 0u32;
+            scan(i, p, Box::new(|_| count += 1));
+            nbr_off[i + 1] = count;
+        }
+        for i in 0..n {
+            nbr_off[i + 1] += nbr_off[i];
+        }
+        let total = nbr_off[n] as usize;
+        let mut nbr_buf = vec![NodeId(0); total];
+        for (i, p) in positions.iter().enumerate() {
+            let mut k = nbr_off[i] as usize;
+            scan(
+                i,
+                p,
+                Box::new(|j| {
+                    nbr_buf[k] = NodeId(j);
+                    k += 1;
+                }),
+            );
+            debug_assert_eq!(k, nbr_off[i + 1] as usize);
+            nbr_buf[nbr_off[i] as usize..nbr_off[i + 1] as usize].sort_unstable();
         }
         Self {
             positions,
-            neighbors,
+            nbr_off,
+            nbr_buf,
             area,
             range,
         }
@@ -79,7 +134,8 @@ impl Topology {
 
     /// Neighbors of a node (nodes within range), sorted by id.
     pub fn neighbors(&self, node: NodeId) -> &[NodeId] {
-        &self.neighbors[node.0 as usize]
+        let i = node.0 as usize;
+        &self.nbr_buf[self.nbr_off[i] as usize..self.nbr_off[i + 1] as usize]
     }
 
     /// The deployment area.
@@ -151,6 +207,26 @@ mod tests {
         Topology::new(positions, Area::new(n as f64 * spacing + 1.0, 1.0), range)
     }
 
+    /// Brute-force O(n²) adjacency for cross-checking the CSR build.
+    fn brute_neighbors(positions: &[Position], range: f64) -> Vec<Vec<NodeId>> {
+        (0..positions.len())
+            .map(|i| {
+                (0..positions.len())
+                    .filter(|&j| j != i && positions[i].distance(&positions[j]) <= range)
+                    .map(|j| NodeId(j as u32))
+                    .collect()
+            })
+            .collect()
+    }
+
+    fn assert_matches_brute_force(t: &Topology) {
+        let positions: Vec<Position> = t.nodes().map(|v| t.position(v)).collect();
+        let expect = brute_neighbors(&positions, t.range());
+        for v in t.nodes() {
+            assert_eq!(t.neighbors(v), &expect[v.0 as usize][..], "{v}");
+        }
+    }
+
     #[test]
     fn line_neighbors() {
         let t = line_topology(5, 10.0, 15.0);
@@ -201,5 +277,94 @@ mod tests {
         let t = Topology::new(positions, Area::new(600.0, 1.0), 20.0);
         let r = t.reachable_from(NodeId(0));
         assert_eq!(r, vec![true, true, false, false]);
+    }
+
+    #[test]
+    fn positions_on_the_area_boundary_are_bucketed() {
+        // Positions exactly at x = width / y = height land past the last
+        // grid column/row before clamping; the clamp must keep them inside
+        // and adjacency must still match brute force.
+        let area = Area::new(100.0, 100.0);
+        let positions = vec![
+            Position::new(100.0, 100.0), // far corner, exactly on boundary
+            Position::new(100.0, 0.0),
+            Position::new(0.0, 100.0),
+            Position::new(95.0, 95.0),
+            Position::new(0.0, 0.0),
+            Position::new(50.0, 100.0), // boundary edge midpoints
+            Position::new(100.0, 50.0),
+        ];
+        let t = Topology::new(positions, area, 30.0);
+        assert_matches_brute_force(&t);
+        assert!(t.neighbors(NodeId(0)).contains(&NodeId(3)));
+    }
+
+    #[test]
+    fn range_larger_than_area_is_a_single_cell() {
+        // range > max(width, height): the grid degenerates to one cell and
+        // every pair within range must still be adjacent.
+        let area = Area::new(40.0, 25.0);
+        let positions = vec![
+            Position::new(1.0, 1.0),
+            Position::new(39.0, 24.0),
+            Position::new(20.0, 12.0),
+            Position::new(5.0, 20.0),
+        ];
+        let t = Topology::new(positions, area, 1000.0);
+        assert_matches_brute_force(&t);
+        // Everybody sees everybody: the range dwarfs the diagonal.
+        for v in t.nodes() {
+            assert_eq!(t.neighbors(v).len(), t.len() - 1, "{v}");
+        }
+    }
+
+    #[test]
+    fn single_cell_grid_close_range() {
+        // width == height == range: a 1x1 grid where the 3x3 scan collapses
+        // to the one cell, with genuinely out-of-range pairs.
+        let area = Area::new(50.0, 50.0);
+        let positions = vec![
+            Position::new(0.0, 0.0),
+            Position::new(10.0, 0.0),
+            Position::new(49.0, 49.0),
+            Position::new(25.0, 25.0),
+        ];
+        let t = Topology::new(positions, area, 50.0);
+        assert_matches_brute_force(&t);
+        assert!(!t.neighbors(NodeId(0)).contains(&NodeId(2)));
+    }
+
+    mod csr_props {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// Satellite proptest: the grid-bucketed CSR adjacency equals
+            /// the brute-force O(n²) neighbor computation, including
+            /// positions on cell and area boundaries.
+            #[test]
+            fn csr_adjacency_matches_brute_force(
+                seed in 0u64..500,
+                n in 2usize..40,
+                range in 10.0f64..200.0,
+                side in 20.0f64..300.0,
+            ) {
+                let area = Area::new(side, side);
+                let mut positions = sensjoin_field::Placement::UniformRandom { n }
+                    .generate(area, seed);
+                // Pin some nodes onto exact cell/area boundaries.
+                positions[0] = Position::new(side, side);
+                if n > 2 {
+                    positions[1] = Position::new(range.min(side), 0.0);
+                }
+                let t = Topology::new(positions.clone(), area, range);
+                let expect = brute_neighbors(&positions, range);
+                for v in t.nodes() {
+                    prop_assert_eq!(t.neighbors(v), &expect[v.0 as usize][..]);
+                }
+            }
+        }
     }
 }
