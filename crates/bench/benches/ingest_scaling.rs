@@ -1,0 +1,236 @@
+//! Streaming-ingestion scaling: the steady-state cost of a small delta
+//! batch through `StreamJoinEngine` against the full batch re-join it
+//! replaces, plus the vectorized residual kernel against its scalar
+//! reference.
+//!
+//! The engine's claim (DESIGN.md §4.11) is O(Δ) steady-state work: applying
+//! a batch touching 1 % of the tuples must not cost anywhere near a full
+//! `exact_join` over both relations. The residual kernel is the inner loop
+//! that makes the constant small — a branch-free `|probe - key| < c` sweep
+//! over a sorted run's key column.
+//!
+//! Acceptance gates (asserted here, recorded in `BENCH_engine.json`):
+//! * a 1 % delta batch costs ≤ 0.1× the full `exact_join` at 2000 tuples
+//!   per relation,
+//! * the vectorized residual kernel is ≥ 4× its scalar reference over a
+//!   4096-key run (asserted only when the process dispatches to AVX2).
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use sensjoin_bench::benchjson;
+use sensjoin_core::{exact_join, StreamJoinEngine, StreamOp};
+use sensjoin_query::{parse, CompiledQuery};
+use sensjoin_relation::{AttrType, Attribute, NodeId, Schema};
+use sensjoin_simd::{band_mask, band_mask_scalar, kernels_active, CmpKind, MaskForm};
+
+const N: usize = 2000;
+const DELTA_FRACTION: f64 = 0.01;
+const DELTA_GATE: f64 = 0.1;
+const RESIDUAL_KEYS: usize = 4096;
+const RESIDUAL_GATE: f64 = 4.0;
+
+fn schema() -> Schema {
+    Schema::new(
+        "Sensors",
+        vec![
+            Attribute::new("x", AttrType::Meters),
+            Attribute::new("y", AttrType::Meters),
+            Attribute::new("temp", AttrType::Celsius),
+            Attribute::new("hum", AttrType::Percent),
+        ],
+    )
+}
+
+fn compile(sql: &str) -> CompiledQuery {
+    let q = parse(sql).expect("valid query");
+    let s = schema();
+    CompiledQuery::compile(&q, &[s.clone(), s]).expect("compiles")
+}
+
+/// Deterministic pseudo-random tuples, the `engine_scaling` population.
+fn tuples(n: usize, seed: u64) -> Vec<Vec<(NodeId, Vec<f64>)>> {
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    (0..2)
+        .map(|rel| {
+            (0..n)
+                .map(|i| {
+                    let values = vec![
+                        1000.0 * next(),
+                        1000.0 * next(),
+                        10.0 + 22.0 * next(),
+                        30.0 + 40.0 * next(),
+                    ];
+                    (NodeId((rel * 100_000 + i) as u32), values)
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// The streaming view of the batch data: one upsert per tuple, each origin
+/// a member of exactly one relation.
+fn upserts(data: &[Vec<(NodeId, Vec<f64>)>]) -> Vec<StreamOp> {
+    let rels = data.len();
+    data.iter()
+        .enumerate()
+        .flat_map(|(rel, tuples)| {
+            tuples.iter().map(move |(origin, values)| {
+                let mut per_rel = vec![None; rels];
+                per_rel[rel] = Some(values.clone());
+                StreamOp::Upsert {
+                    origin: *origin,
+                    per_rel,
+                }
+            })
+        })
+        .collect()
+}
+
+fn bench_ingest(c: &mut Criterion, cq: &CompiledQuery, data: &[Vec<(NodeId, Vec<f64>)>]) {
+    let mut group = c.benchmark_group("ingest_scaling");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("full_exact_join", N), &N, |b, _| {
+        b.iter(|| exact_join(black_box(cq), black_box(data)))
+    });
+    let all = upserts(data);
+    group.bench_with_input(BenchmarkId::new("cold_load", N), &N, |b, _| {
+        b.iter(|| {
+            let mut engine = StreamJoinEngine::new(cq.clone());
+            black_box(engine.apply_batch(black_box(&all)))
+        })
+    });
+    // Steady state: re-upsert 1 % of the tuples (half from each relation)
+    // into a warm engine. Values are unchanged, so the engine state is a
+    // fixed point and every iteration performs the same expire + insert +
+    // anchored re-enumeration work.
+    let k = ((DELTA_FRACTION * N as f64) as usize).max(1) / 2;
+    let delta: Vec<StreamOp> = all
+        .iter()
+        .take(k)
+        .chain(all.iter().skip(N).take(k))
+        .cloned()
+        .collect();
+    let mut engine = StreamJoinEngine::new(cq.clone());
+    engine.apply_batch(&all);
+    group.bench_with_input(BenchmarkId::new("delta_batch_1pct", N), &N, |b, _| {
+        b.iter(|| black_box(engine.apply_batch(black_box(&delta))))
+    });
+    group.finish();
+    // The fixed point really is one: the warm engine still answers exactly.
+    let reference = exact_join(cq, data);
+    let streamed = engine.result();
+    assert!(
+        streamed.result.same_result(&reference.result)
+            && streamed.contributors == reference.contributors,
+        "warm streaming engine diverged from exact_join"
+    );
+}
+
+/// Best-of-trials wall time in nanoseconds per repetition.
+fn time_ns(trials: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..trials {
+        let t = std::time::Instant::now();
+        for _ in 0..reps {
+            f();
+        }
+        best = best.min(t.elapsed().as_nanos() as f64 / reps as f64);
+    }
+    best
+}
+
+/// Times the residual band kernel (vectorized dispatch vs scalar reference)
+/// over one sorted `RESIDUAL_KEYS`-key run.
+fn residual_times() -> (f64, f64) {
+    let mut state = 99u64;
+    let mut keys: Vec<f64> = (0..RESIDUAL_KEYS)
+        .map(|_| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            10.0 + 22.0 * ((state >> 33) as f64 / (1u64 << 31) as f64)
+        })
+        .collect();
+    keys.sort_unstable_by(f64::total_cmp);
+    let form = MaskForm::AbsDiff {
+        op: CmpKind::Lt,
+        c: 0.5,
+        key_is_lhs: true,
+    };
+    let mut out = Vec::new();
+    let simd = time_ns(5, 2000, || {
+        band_mask(black_box(&keys), black_box(21.0), form, &mut out);
+        black_box(&out);
+    });
+    let scalar = time_ns(5, 2000, || {
+        band_mask_scalar(black_box(&keys), black_box(21.0), form, &mut out);
+        black_box(&out);
+    });
+    (scalar, simd)
+}
+
+fn ns_of(results: &[(String, std::time::Duration)], name: &str) -> f64 {
+    results
+        .iter()
+        .find(|(k, _)| k == name)
+        .unwrap_or_else(|| panic!("bench {name} was not run"))
+        .1
+        .as_nanos() as f64
+}
+
+fn main() {
+    let eps = 11.0 / N as f64;
+    let cq = compile(&format!(
+        "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+         WHERE |A.temp - B.temp| < {eps} ONCE"
+    ));
+    let data = tuples(N, 42);
+    let mut criterion = Criterion::default();
+    bench_ingest(&mut criterion, &cq, &data);
+
+    let results = criterion.results();
+    let full = ns_of(results, &format!("ingest_scaling/full_exact_join/{N}"));
+    let delta = ns_of(results, &format!("ingest_scaling/delta_batch_1pct/{N}"));
+    let delta_over_full = delta / full;
+    assert!(
+        delta_over_full <= DELTA_GATE,
+        "gate violated: 1% delta batch is {delta_over_full:.3}x the full join (> {DELTA_GATE})"
+    );
+
+    let (scalar_ns, simd_ns) = residual_times();
+    let residual_speedup = scalar_ns / simd_ns;
+    let kernels = kernels_active();
+    if kernels.contains("avx2") {
+        assert!(
+            residual_speedup >= RESIDUAL_GATE,
+            "gate violated: residual kernel speedup {residual_speedup:.2}x < {RESIDUAL_GATE}x"
+        );
+    }
+
+    let extras = [
+        ("tuples_per_relation", format!("{N}")),
+        ("delta_fraction", format!("{DELTA_FRACTION}")),
+        ("delta_over_full", format!("{delta_over_full:.4}")),
+        ("residual_keys", format!("{RESIDUAL_KEYS}")),
+        ("residual_scalar_ns", format!("{scalar_ns:.0}")),
+        ("residual_simd_ns", format!("{simd_ns:.0}")),
+        ("residual_speedup", format!("{residual_speedup:.2}")),
+        ("kernels", format!("\"{kernels}\"")),
+        (
+            "gate",
+            format!(
+                "\"delta_batch_1pct/{N} <= {DELTA_GATE}x full_exact_join/{N}, \
+                 residual kernel >= {RESIDUAL_GATE}x scalar when AVX2 dispatches\""
+            ),
+        ),
+    ];
+    benchjson::merge_section(
+        "ingest_scaling",
+        &benchjson::section_value(results, &extras),
+    );
+}

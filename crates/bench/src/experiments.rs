@@ -1172,6 +1172,142 @@ pub fn engine_runtime(n: usize, seed: u64) -> String {
     rep.finish()
 }
 
+/// Extension: streaming ingestion — the persistent `StreamJoinEngine`
+/// against the full batch re-join it replaces. A warm engine absorbs a
+/// delta batch touching 1 % of the tuples; the batch join recomputes
+/// everything.
+pub fn ingest_scaling(n: usize, seed: u64) -> String {
+    use sensjoin_core::{exact_join, StreamJoinEngine, StreamOp};
+    use sensjoin_query::{parse, CompiledQuery};
+    use sensjoin_relation::{AttrType, Attribute, Schema};
+    use std::time::Instant;
+
+    let m = n.min(2000);
+    let schema = Schema::new(
+        "Sensors",
+        vec![
+            Attribute::new("x", AttrType::Meters),
+            Attribute::new("y", AttrType::Meters),
+            Attribute::new("temp", AttrType::Celsius),
+            Attribute::new("hum", AttrType::Percent),
+        ],
+    );
+    let eps = 11.0 / m as f64;
+    let q = parse(&format!(
+        "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+         WHERE |A.temp - B.temp| < {eps} ONCE"
+    ))
+    .expect("valid query");
+    let cq = CompiledQuery::compile(&q, &[schema.clone(), schema]).expect("compiles");
+
+    let mut state = seed;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as f64 / (1u64 << 31) as f64
+    };
+    let tuples: Vec<Vec<(NodeId, Vec<f64>)>> = (0..2)
+        .map(|rel| {
+            (0..m)
+                .map(|i| {
+                    let values = vec![
+                        1000.0 * next(),
+                        1000.0 * next(),
+                        10.0 + 22.0 * next(),
+                        30.0 + 40.0 * next(),
+                    ];
+                    (NodeId((rel * 100_000 + i) as u32), values)
+                })
+                .collect()
+        })
+        .collect();
+    let all: Vec<StreamOp> = tuples
+        .iter()
+        .enumerate()
+        .flat_map(|(rel, ts)| {
+            ts.iter().map(move |(origin, values)| {
+                let mut per_rel = vec![None, None];
+                per_rel[rel] = Some(values.clone());
+                StreamOp::Upsert {
+                    origin: *origin,
+                    per_rel,
+                }
+            })
+        })
+        .collect();
+    // 1 % of the tuples, half from each relation, re-upserted unchanged —
+    // the engine state is a fixed point, so timing loops are stable.
+    let k = (m / 100).max(1) / 2;
+    let delta: Vec<StreamOp> = all
+        .iter()
+        .take(k.max(1))
+        .chain(all.iter().skip(m).take(k.max(1)))
+        .cloned()
+        .collect();
+
+    let mut engine = StreamJoinEngine::new(cq.clone());
+    let cold = engine.apply_batch(&all);
+    let best_ms = |f: &mut dyn FnMut()| {
+        let mut best = f64::INFINITY;
+        for _ in 0..3 {
+            let t = Instant::now();
+            f();
+            best = best.min(t.elapsed().as_secs_f64() * 1e3);
+        }
+        best
+    };
+    let t_full = best_ms(&mut || {
+        exact_join(&cq, &tuples);
+    });
+    let mut delta_stats = sensjoin_core::BatchStats::default();
+    let t_delta = best_ms(&mut || {
+        delta_stats = engine.apply_batch(&delta);
+    });
+    let reference = exact_join(&cq, &tuples);
+    let streamed = engine.result();
+    assert!(
+        streamed.result.same_result(&reference.result)
+            && streamed.contributors == reference.contributors,
+        "streaming engine diverged from exact_join"
+    );
+
+    let mut rep = Report::new("Extension — streaming ingestion: O(Δ) steady-state joins");
+    rep.para(&format!(
+        "Beyond the paper: `core::StreamJoinEngine` (DESIGN.md §4.11) keeps \
+         partitioned indexes and the result cache alive between rounds and \
+         re-enumerates only around the tuples a delta batch touches, where \
+         the batch join recomputes the full cross-product search. Band join \
+         `|A.temp - B.temp| < {eps:.4}` over {m} tuples per relation; the \
+         delta batch re-upserts 1 % of them ({} ops). Candidates is the \
+         work metric: bindings examined by the residual kernel \
+         (`sensjoin-simd`, dispatching to {}). Identity with the batch join \
+         is asserted on every row here and property-tested in \
+         `tests/streaming_equivalence.rs`; `cargo bench --bench \
+         ingest_scaling` reproduces the committed `BENCH_engine.json` gates.",
+        delta.len(),
+        sensjoin_core::kernels_active(),
+    ));
+    rep.table(
+        &["path", "runtime [ms]", "candidates", "vs full [x]"],
+        &[
+            vec![
+                "full exact_join".into(),
+                format!("{t_full:.2}"),
+                format!("{}", cold.candidates),
+                "1.000".into(),
+            ],
+            vec![
+                format!("delta batch ({} ops)", delta.len()),
+                format!("{t_delta:.3}"),
+                format!("{}", delta_stats.candidates),
+                format!("{:.3}", t_delta / t_full),
+            ],
+        ],
+    );
+    rep.finish()
+}
+
 /// Extension: multi-query scheduling — N concurrent band joins served by
 /// ONE shared Join-Attribute-Collection wave per epoch (`core::QueryGroup`,
 /// DESIGN.md §4.7), against the N solo collections it replaces. Every group

@@ -4,11 +4,12 @@ use crate::args::Args;
 use crate::csvdata;
 use sensjoin_core::workload::RangeQueryFamily;
 use sensjoin_core::{
-    ContinuousSensJoin, CostModel, ExternalJoin, GroupRunner, JoinMethod, JoinOutcome, JoinResult,
-    MediatedJoin, SensJoin, SensJoinConfig, SensorNetwork, SensorNetworkBuilder,
+    exact_join, kernels_active, ContinuousSensJoin, CostModel, ExternalJoin, GroupRunner,
+    JoinMethod, JoinOutcome, JoinResult, MediatedJoin, SensJoin, SensJoinConfig, SensorNetwork,
+    SensorNetworkBuilder, StreamJoinEngine, StreamOp,
 };
 use sensjoin_field::{presets, Area, FieldSpec, Placement};
-use sensjoin_query::parse;
+use sensjoin_query::{parse, CompiledQuery};
 use sensjoin_relation::NodeId;
 use sensjoin_sim::{ArqPolicy, BaseChoice, Channel, ChurnTimeline};
 use std::io::{BufRead, Write};
@@ -24,6 +25,7 @@ USAGE:
   sensjoin advise --sql ... --fraction F   cost-model method advice
   sensjoin multi \"SQL1\" \"SQL2\" ...    concurrent queries, shared collection
   sensjoin continuous --sql \"... SAMPLE PERIOD n\"   delta rounds of one query
+  sensjoin stream --sql \"SELECT ...\"   streaming-ingestion engine driver
 
 COMMON OPTIONS:
   --data FILE      load a trace CSV (x,y,attrs...) instead of generating
@@ -63,6 +65,14 @@ multi OPTIONS (queries are positional arguments):
 continuous OPTIONS:
   --rounds R       number of rounds to run           [default: 4]
   --epsilon E      value-drift suppression threshold [default: 0 = exact]
+
+stream OPTIONS:
+  --batches B      delta batches after the cold load [default: 8]
+  --rate P         fraction of nodes re-sampled (upserted) per batch
+                                                     [default: 0.05]
+  --expire P       fraction of live nodes expired per batch [default: 0]
+  --verify-every K cross-check against the batch join every K batches
+                   (always checked after the last batch)    [default: 0]
 ";
 
 /// Dispatches a parsed command line; returns the process exit code.
@@ -75,6 +85,7 @@ pub fn dispatch(args: &Args) -> i32 {
         Some("sweep") => cmd_sweep(args),
         Some("multi") => cmd_multi(args),
         Some("continuous") => cmd_continuous(args),
+        Some("stream") => cmd_stream(args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -384,6 +395,194 @@ fn cmd_continuous(args: &Args) -> Result<(), String> {
             out.stats.total_overhead_bytes()
         );
     }
+    Ok(())
+}
+
+/// The per-relation values node `v` would report after local predicates —
+/// the `per_rel` payload of its upsert.
+fn stream_per_rel(snet: &SensorNetwork, cq: &CompiledQuery, v: NodeId) -> Vec<Option<Vec<f64>>> {
+    (0..cq.num_relations())
+        .map(|r| {
+            let schema = cq.schema(r);
+            if snet.belongs(v, schema.name()) {
+                let vals = snet.values_for(v, schema);
+                cq.eval_local(r, &vals).then_some(vals)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn cmd_stream(args: &Args) -> Result<(), String> {
+    args.ensure_known(&[
+        "nodes",
+        "area",
+        "seed",
+        "base",
+        "fields",
+        "sql",
+        "batches",
+        "rate",
+        "expire",
+        "verify-every",
+        "data",
+    ])
+    .map_err(|e| e.to_string())?;
+    let sql = args
+        .get_str("sql")
+        .ok_or("stream needs --sql \"SELECT ...\"")?
+        .to_owned();
+    let batches: u64 = args
+        .get_or("batches", 8, "integer")
+        .map_err(|e| e.to_string())?;
+    let rate: f64 = args
+        .get_or("rate", 0.05, "fraction")
+        .map_err(|e| e.to_string())?;
+    if !(0.0..=1.0).contains(&rate) || rate == 0.0 {
+        return Err("--rate must be in (0, 1]".into());
+    }
+    let expire: f64 = args
+        .get_or("expire", 0.0, "fraction")
+        .map_err(|e| e.to_string())?;
+    if !(0.0..1.0).contains(&expire) {
+        return Err("--expire must be in [0, 1)".into());
+    }
+    let verify_every: u64 = args
+        .get_or("verify-every", 0, "integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 1, "integer")
+        .map_err(|e| e.to_string())?;
+    let snet_seed = seed;
+    let mut snet = build_network(args)?;
+    // A loaded trace is a fixed snapshot; only generated fields drift.
+    let specs = if args.get_str("data").is_some() {
+        Vec::new()
+    } else {
+        field_specs(args)?
+    };
+    let q = parse(&sql).map_err(|e| e.to_string())?;
+    let cq = snet.compile(&q).map_err(|e| e.to_string())?;
+    let n = snet.len() as u32;
+    let mut engine = StreamJoinEngine::new(cq.clone());
+    // Shadow of what the engine has been fed, keyed by origin: the batch-join
+    // reference must see the values at upsert time, not the drifted field.
+    let mut shadow: std::collections::BTreeMap<NodeId, Vec<Option<Vec<f64>>>> =
+        std::collections::BTreeMap::new();
+    let mut rng: u64 = seed ^ 0x9e37_79b9_7f4a_7c15;
+    let mut pick = |m: u64| -> u64 {
+        rng = rng
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (rng >> 33) % m.max(1)
+    };
+    let verify = |engine: &StreamJoinEngine,
+                  shadow: &std::collections::BTreeMap<NodeId, Vec<Option<Vec<f64>>>>|
+     -> Result<usize, String> {
+        let tuples: Vec<Vec<(NodeId, Vec<f64>)>> = (0..cq.num_relations())
+            .map(|r| {
+                shadow
+                    .iter()
+                    .filter_map(|(&v, pr)| pr[r].clone().map(|vals| (v, vals)))
+                    .collect()
+            })
+            .collect();
+        let reference = exact_join(&cq, &tuples);
+        let streamed = engine.result();
+        if streamed.result.same_result(&reference.result)
+            && streamed.contributors == reference.contributors
+        {
+            Ok(reference.result.len())
+        } else {
+            Err("streaming result diverged from the batch join — bug!".into())
+        }
+    };
+    println!(
+        "network: {} nodes, {} relations, kernels: {}",
+        n,
+        cq.num_relations(),
+        kernels_active()
+    );
+    // Cold load: every node arrives in one batch.
+    let ops: Vec<StreamOp> = (0..n)
+        .map(|i| {
+            let v = NodeId(i);
+            let per_rel = stream_per_rel(&snet, &cq, v);
+            shadow.insert(v, per_rel.clone());
+            StreamOp::Upsert { origin: v, per_rel }
+        })
+        .collect();
+    let cold = engine.apply_batch(&ops);
+    let (partitions, promoted) = engine.index_depth();
+    println!(
+        "cold load: {} ops, {} result rows cached, {} candidates, \
+         {partitions} index partitions ({promoted} promoted)",
+        cold.ops,
+        engine.cached_rows(),
+        cold.candidates,
+    );
+    let mut total = sensjoin_core::BatchStats::default();
+    println!(
+        "\n{:>5} {:>5} {:>7} {:>7} {:>7} {:>11} {:>7}",
+        "batch", "ops", "+rows", "-rows", "result", "candidates", "promos"
+    );
+    for b in 1..=batches {
+        if !specs.is_empty() {
+            snet.resample(&specs, snet_seed.wrapping_add(b));
+        }
+        let upserts = ((rate * n as f64).ceil() as usize).clamp(1, n as usize);
+        let mut chosen: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+        while chosen.len() < upserts {
+            chosen.insert(NodeId(pick(n as u64) as u32));
+        }
+        let expirable: Vec<NodeId> = shadow
+            .keys()
+            .filter(|v| !chosen.contains(v))
+            .copied()
+            .collect();
+        let expires = ((expire * shadow.len() as f64).ceil() as usize).min(expirable.len());
+        let mut victims: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
+        while victims.len() < expires {
+            victims.insert(expirable[pick(expirable.len() as u64) as usize]);
+        }
+        let mut ops: Vec<StreamOp> = Vec::with_capacity(chosen.len() + victims.len());
+        for &v in &chosen {
+            let per_rel = stream_per_rel(&snet, &cq, v);
+            shadow.insert(v, per_rel.clone());
+            ops.push(StreamOp::Upsert { origin: v, per_rel });
+        }
+        for &v in &victims {
+            shadow.remove(&v);
+            ops.push(StreamOp::Expire { origin: v });
+        }
+        let stats = engine.apply_batch(&ops);
+        println!(
+            "{b:>5} {:>5} {:>7} {:>7} {:>7} {:>11} {:>7}",
+            stats.ops,
+            stats.rows_added,
+            stats.rows_removed,
+            engine.cached_rows(),
+            stats.candidates,
+            stats.promotions
+        );
+        total.merge(&stats);
+        if (verify_every > 0 && b.is_multiple_of(verify_every)) || b == batches {
+            let rows = verify(&engine, &shadow)?;
+            println!("       verify: streaming matches batch join ({rows} rows)");
+        }
+    }
+    let (partitions, promoted) = engine.index_depth();
+    let per_op = if total.ops > 0 {
+        total.candidates as f64 / total.ops as f64
+    } else {
+        0.0
+    };
+    println!(
+        "\ndelta totals: {} ops, {} candidates ({per_op:.1}/op vs {} at cold load), \
+         {} promotions, {partitions} index partitions ({promoted} promoted)",
+        total.ops, total.candidates, cold.candidates, total.promotions
+    );
     Ok(())
 }
 

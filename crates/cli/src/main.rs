@@ -7,6 +7,8 @@
 //! sensjoin sweep [--fractions 1,5,25] [...]    selectivity sweep
 //! sensjoin multi "SQL1" "SQL2" [--epochs E]    concurrent queries sharing
 //!                                              one collection phase
+//! sensjoin stream --sql "..." [--batches B]    streaming-ingestion engine
+//!                                              driver (delta batches)
 //! ```
 
 mod args;

@@ -33,8 +33,9 @@
 
 use crate::cells::NodeCells;
 use crate::config::{Representation, SensJoinConfig};
-use crate::engine::{exact_join, JoinSpace};
+use crate::engine::JoinSpace;
 use crate::incremental::{CellCounts, FilterEngine};
+use crate::ingest::{StreamJoinEngine, StreamOp};
 use crate::outcome::{JoinOutcome, ProtocolError};
 use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg};
 use crate::snetwork::SensorNetwork;
@@ -46,7 +47,7 @@ pub const MAX_ROUND_ATTEMPTS: u32 = 3;
 use sensjoin_quadtree::{Point, PointSet, RelFlags};
 use sensjoin_query::CompiledQuery;
 use sensjoin_relation::NodeId;
-use sensjoin_sim::Time;
+use sensjoin_sim::{DeltaBatchStats, Time};
 use std::collections::BTreeMap;
 
 /// Phase labels of the continuous rounds.
@@ -89,6 +90,19 @@ fn counts_to_set(counts: &Counts) -> PointSet {
 
 fn flag_bits(flags: u8) -> impl Iterator<Item = usize> {
     (0..8).filter(move |&b| flags & (1 << b) != 0)
+}
+
+/// Folds one engine batch's counters into the cumulative accounting.
+fn record_batch(into: &mut DeltaBatchStats, b: &crate::ingest::BatchStats) {
+    into.record(
+        b.ops as u64,
+        b.inserted as u64,
+        b.expired as u64,
+        b.rows_added as u64,
+        b.rows_removed as u64,
+        b.candidates as u64,
+        b.promotions as u64,
+    );
 }
 
 /// A cell-population delta traveling up the tree in phase 1. Additions and
@@ -247,6 +261,10 @@ struct State {
     filter: PointSet,
     /// Base station: tuple cache (flags at send time + master values).
     cache: BTreeMap<NodeId, (u8, Vec<f64>)>,
+    /// Base station: persistent streaming join over the cache. Each round's
+    /// tuple deltas update the cached result in O(Δ) instead of re-running
+    /// the batch join over every cached tuple.
+    stream: StreamJoinEngine,
     /// Master indices of attributes referenced by the query (drift scope).
     drift_attrs: Vec<usize>,
     rounds: u64,
@@ -287,6 +305,9 @@ pub struct ContinuousSensJoin {
     /// Value-drift threshold for re-reporting (0 = exact results).
     pub epsilon: f64,
     state: Option<State>,
+    /// Streaming-ingestion accounting, cumulative across rounds (survives
+    /// re-execution resyncs, which rebuild the engine).
+    delta_stats: DeltaBatchStats,
     /// Previous round's latency — the simulated time that elapsed since the
     /// last churn boundary (rounds are the continuous executor's boundaries).
     last_latency_us: Time,
@@ -306,6 +327,7 @@ impl ContinuousSensJoin {
             config: SensJoinConfig::default(),
             epsilon,
             state: None,
+            delta_stats: DeltaBatchStats::default(),
             last_latency_us: 0,
         }
     }
@@ -313,6 +335,12 @@ impl ContinuousSensJoin {
     /// Number of rounds executed so far.
     pub fn rounds(&self) -> u64 {
         self.state.as_ref().map_or(0, |s| s.rounds)
+    }
+
+    /// Accumulated streaming-ingestion accounting: how much incremental
+    /// join work the base station performed across all rounds so far.
+    pub fn delta_stats(&self) -> DeltaBatchStats {
+        self.delta_stats
     }
 
     /// Executes one round on the network's current snapshot.
@@ -387,6 +415,7 @@ impl ContinuousSensJoin {
         let routing = net.routing();
         let mut departed = Delta::default();
         let mut any_departed = false;
+        let mut expirations: Vec<StreamOp> = Vec::new();
         for i in 0..st.last_cell.len() {
             let v = NodeId(i as u32);
             if net.is_alive(v) && routing.depth(v).is_some() {
@@ -399,7 +428,13 @@ impl ContinuousSensJoin {
             st.last_values[i] = None;
             st.matched[i] = false;
             st.node_filter[i] = PointSet::new();
-            st.cache.remove(&v);
+            if st.cache.remove(&v).is_some() {
+                expirations.push(StreamOp::Expire { origin: v });
+            }
+        }
+        if !expirations.is_empty() {
+            let b = st.stream.apply_batch(&expirations);
+            record_batch(&mut self.delta_stats, &b);
         }
         for c in st.subtree.iter_mut() {
             *c = Counts::default();
@@ -449,6 +484,7 @@ impl ContinuousSensJoin {
                 .collect();
             self.state = Some(State {
                 engine: FilterEngine::new(query, &space),
+                stream: StreamJoinEngine::new(query.clone()),
                 space,
                 last_cell: vec![None; n],
                 last_values: vec![None; n],
@@ -627,27 +663,41 @@ impl ContinuousSensJoin {
         );
         drop((last_values, matched));
 
-        // ---- Base station: cache maintenance + result ----
+        // ---- Base station: cache maintenance + streaming join ----
+        // The round's tuple deltas feed the persistent streaming engine,
+        // which re-enumerates only the bindings anchored at changed tuples;
+        // its cached result is bit-identical to re-running `exact_join`
+        // over the full cache (the pre-streaming behavior).
+        let master = snet.master_schema();
+        let ops: Vec<StreamOp> = final_delta
+            .tuples
+            .iter()
+            .map(|rec| StreamOp::Upsert {
+                origin: rec.origin,
+                per_rel: (0..query.num_relations())
+                    .map(|r| {
+                        rec.flags
+                            .intersects(space.flag(r))
+                            .then(|| project_to_schema(master, query.schema(r), &rec.values))
+                    })
+                    .collect(),
+            })
+            .chain(
+                final_delta
+                    .retractions
+                    .iter()
+                    .map(|&origin| StreamOp::Expire { origin }),
+            )
+            .collect();
+        let batch = st.stream.apply_batch(&ops);
+        record_batch(&mut self.delta_stats, &batch);
         for rec in final_delta.tuples {
             st.cache.insert(rec.origin, (rec.flags.0, rec.values));
         }
         for origin in final_delta.retractions {
             st.cache.remove(&origin);
         }
-        let master = snet.master_schema();
-        let tuples_per_rel: Vec<Vec<(NodeId, Vec<f64>)>> = (0..query.num_relations())
-            .map(|r| {
-                let flag = space.flag(r);
-                st.cache
-                    .iter()
-                    .filter(|(_, (f, _))| RelFlags(*f).intersects(flag))
-                    .map(|(&origin, (_, values))| {
-                        (origin, project_to_schema(master, query.schema(r), values))
-                    })
-                    .collect()
-            })
-            .collect();
-        let computation = exact_join(query, &tuples_per_rel);
+        let computation = st.stream.result();
         st.rounds += 1;
         Ok(JoinOutcome {
             result: computation.result,

@@ -17,7 +17,7 @@
 
 use crate::config::SensJoinConfig;
 use crate::outcome::JoinResult;
-use crate::partition::{exact_plan, filter_plan, Candidates, ExactIndex, ExactProbe, FilterIndex};
+use crate::partition::{exact_plan, filter_plan, ExactIndex, ExactProbe, FilterIndex};
 use crate::snetwork::SensorNetwork;
 use sensjoin_quadtree::{Point, PointSet, RelFlags, TreeShape};
 use sensjoin_query::{CompiledQuery, Interval};
@@ -340,23 +340,11 @@ impl FilterRun<'_> {
             }
             return;
         }
-        match self.candidates(rel, binding) {
-            Candidates::All => {
-                for pos in 0..self.lists[rel].len() {
-                    self.step(rel, pos, binding, matched);
-                }
-            }
-            Candidates::Picked(positions) => {
-                for &pos in &positions {
-                    self.step(rel, pos as usize, binding, matched);
-                }
-            }
-        }
-    }
-
-    /// Intersects the candidate windows of every index on `rel`: the
-    /// smallest window drives, the rest degrade to rank membership tests.
-    fn candidates(&self, rel: usize, binding: &[usize]) -> Candidates {
+        // Intersect the candidate windows of every index on this level: the
+        // smallest window drives, the rest degrade to rank membership tests
+        // folded into the iteration. The driver's sorted runs are walked in
+        // place — `matched` is an OR-bitmask, so emission order is free and
+        // no position list is materialized per binding step.
         let mut probes: Vec<(&FilterIndex, Vec<Range<usize>>)> = Vec::new();
         for ix in &self.plan[rel] {
             let probe = self.space.attr_interval(
@@ -372,22 +360,23 @@ impl FilterRun<'_> {
         let Some(di) =
             (0..probes.len()).min_by_key(|&i| probes[i].1.iter().map(|r| r.len()).sum::<usize>())
         else {
-            return Candidates::All;
+            for pos in 0..self.lists[rel].len() {
+                self.step(rel, pos, binding, matched);
+            }
+            return;
         };
         let (dix, dranges) = &probes[di];
-        let mut positions: Vec<u32> = dranges
-            .iter()
-            .flat_map(|r| dix.entries()[r.clone()].iter().map(|&(_, pos)| pos))
-            .collect();
-        if probes.len() > 1 {
-            positions.retain(|&pos| {
-                probes
+        for r in dranges {
+            for &(_, pos) in &dix.entries()[r.clone()] {
+                let ok = probes
                     .iter()
                     .enumerate()
-                    .all(|(i, (ix, rs))| i == di || ix.accepts(rs, pos))
-            });
+                    .all(|(i, (ix, rs))| i == di || ix.accepts(rs, pos));
+                if ok {
+                    self.step(rel, pos as usize, binding, matched);
+                }
+            }
         }
-        Candidates::Picked(positions)
     }
 
     /// Binds role-list position `pos` at level `rel`, applies the residual
@@ -458,12 +447,14 @@ pub struct JoinComputation {
     pub contributors: BTreeSet<NodeId>,
 }
 
-/// Accumulated outputs of one (chunk of the) exact descent.
+/// Accumulated outputs of one (chunk of the) exact descent. Also the bridge
+/// the streaming engine ([`crate::ingest::StreamJoinEngine`]) feeds its row
+/// cache through, so both paths share one finalization.
 #[derive(Default)]
-struct ExactAcc {
-    rows: Vec<Vec<f64>>,
-    keys: Vec<Vec<f64>>,
-    contributors: BTreeSet<NodeId>,
+pub(crate) struct ExactAcc {
+    pub(crate) rows: Vec<Vec<f64>>,
+    pub(crate) keys: Vec<Vec<f64>>,
+    pub(crate) contributors: BTreeSet<NodeId>,
 }
 
 /// Computes the exact join over complete tuples. `tuples[rel]` are the
@@ -531,8 +522,9 @@ pub fn exact_join_nested(
     finalize_exact(query, acc)
 }
 
-/// Grouping / aggregation folding shared by both exact implementations.
-fn finalize_exact(query: &CompiledQuery, acc: ExactAcc) -> JoinComputation {
+/// Grouping / aggregation folding shared by both exact implementations and
+/// the streaming engine.
+pub(crate) fn finalize_exact(query: &CompiledQuery, acc: ExactAcc) -> JoinComputation {
     let ExactAcc {
         rows,
         keys,
@@ -580,48 +572,48 @@ impl ExactRun<'_> {
             }
             return;
         }
-        match self.candidates(rel, binding) {
-            Candidates::All => {
-                for pos in 0..self.tuples[rel].len() {
-                    self.step(rel, pos, binding, out);
+        // Intersect the candidate sets of every index on this level: the
+        // probe with the fewest candidates drives the scan, the rest degrade
+        // to O(1) membership tests folded into the iteration (no candidate
+        // window is copied or double-passed per binding step).
+        let probes: Vec<(&ExactIndex, ExactProbe)> = {
+            let env = |r: usize, a: usize| -> f64 { self.tuples[r][binding[r]].1[a] };
+            self.plan[rel]
+                .iter()
+                .map(|ix| (ix, ix.probe(&env)))
+                .filter(|(_, p)| !matches!(p, ExactProbe::All))
+                .collect()
+        };
+        let Some(di) = (0..probes.len()).min_by_key(|&i| probes[i].0.count(&probes[i].1)) else {
+            for pos in 0..self.tuples[rel].len() {
+                self.step(rel, pos, binding, out);
+            }
+            return;
+        };
+        let others_ok = |pos: u32| {
+            probes
+                .iter()
+                .enumerate()
+                .all(|(i, (ix, p))| i == di || ix.contains(p, pos))
+        };
+        let (dix, dprobe) = &probes[di];
+        if let Some(bucket) = dix.hash_slice(dprobe) {
+            // Equi driver: the bucket is already ascending — iterate the
+            // borrowed slice directly.
+            for &pos in bucket {
+                if others_ok(pos) {
+                    self.step(rel, pos as usize, binding, out);
                 }
             }
-            Candidates::Picked(positions) => {
-                // Ascending positions: a subsequence of the full scan, so
-                // row emission order is preserved.
-                for &pos in &positions {
+        } else {
+            // Band driver: runs are key-ordered, so a position sort is
+            // needed to preserve the nested loop's emission order.
+            for &pos in &dix.materialize(dprobe) {
+                if others_ok(pos) {
                     self.step(rel, pos as usize, binding, out);
                 }
             }
         }
-    }
-
-    /// Intersects the candidate sets of every index on `rel`: the probe
-    /// with the fewest candidates is materialized (ascending) and the rest
-    /// degrade to O(1) membership tests.
-    fn candidates(&self, rel: usize, binding: &[usize]) -> Candidates {
-        let env = |r: usize, a: usize| -> f64 { self.tuples[r][binding[r]].1[a] };
-        let mut probes: Vec<(&ExactIndex, ExactProbe)> = Vec::new();
-        for ix in &self.plan[rel] {
-            let p = ix.probe(&env);
-            if !matches!(p, ExactProbe::All) {
-                probes.push((ix, p));
-            }
-        }
-        let Some(di) = (0..probes.len()).min_by_key(|&i| probes[i].0.count(&probes[i].1)) else {
-            return Candidates::All;
-        };
-        let (dix, dprobe) = &probes[di];
-        let mut positions = dix.materialize(dprobe);
-        if probes.len() > 1 {
-            positions.retain(|&pos| {
-                probes
-                    .iter()
-                    .enumerate()
-                    .all(|(i, (ix, p))| i == di || ix.contains(p, pos))
-            });
-        }
-        Candidates::Picked(positions)
     }
 
     /// Binds tuple `pos` at level `rel`, applies the residual predicate

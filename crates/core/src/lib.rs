@@ -67,6 +67,7 @@ mod costmodel;
 mod engine;
 mod external;
 mod incremental;
+mod ingest;
 mod outcome;
 mod partition;
 mod recovery;
@@ -95,6 +96,7 @@ pub use engine::{
 };
 pub use external::ExternalJoin;
 pub use incremental::{CellCounts, FilterEngine};
+pub use ingest::{BatchStats, StreamJoinEngine, StreamOp};
 pub use outcome::{JoinOutcome, JoinResult, ProtocolError};
 pub use recovery::{
     execute_with_rebuild_reexecution, execute_with_recovery, execute_with_reexecution,
@@ -106,6 +108,7 @@ pub use scheduler::{
     PHASE_SHARED_COLLECTION, PHASE_SHARED_FILTER, PHASE_SHARED_FINAL,
 };
 pub use sensjoin::{SensJoin, PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL};
+pub use sensjoin_simd::kernels_active;
 pub use snetwork::{
     attr_type_for, ExternalData, SensorNetwork, SensorNetworkBuilder, SensorNetworkError,
 };

@@ -43,18 +43,9 @@ use sensjoin_relation::NodeId;
 use std::collections::HashMap;
 use std::ops::Range;
 
-/// Candidate positions produced by an index probe, in the position space of
-/// the level's tuple (or role-list) array.
-pub(crate) enum Candidates {
-    /// No pruning: the level scans every position.
-    All,
-    /// Pruned positions, sorted ascending.
-    Picked(Vec<u32>),
-}
-
 /// Folds a key value to its hash bits: −0.0 and 0.0 compare equal, so they
 /// share a bucket; NaN never compares equal, so it has none.
-fn key_bits(v: f64) -> Option<u64> {
+pub(crate) fn key_bits(v: f64) -> Option<u64> {
     if v.is_nan() {
         None
     } else if v == 0.0 {
@@ -299,17 +290,27 @@ impl ExactIndex<'_> {
         }
     }
 
-    /// Materializes `probe` into ascending tuple positions (the nested
-    /// loop's emission order).
+    /// Borrows the hash bucket of an [`ExactProbe::Hash`] probe as an
+    /// ascending position slice — the zero-copy path when an equi index
+    /// drives the scan. `None` for range probes, whose runs are key-ordered
+    /// and need a position sort (see [`ExactIndex::materialize`]).
+    pub(crate) fn hash_slice(&self, probe: &ExactProbe) -> Option<&[u32]> {
+        match (self, probe) {
+            (ExactIndex::Hash { map, .. }, ExactProbe::Hash(bits)) => Some(
+                bits.and_then(|b| map.get(&b))
+                    .map_or(&[][..], |v| v.as_slice()),
+            ),
+            _ => None,
+        }
+    }
+
+    /// Materializes a range probe into ascending tuple positions (the nested
+    /// loop's emission order). Hash probes never reach here: their buckets
+    /// are already ascending and are borrowed via [`ExactIndex::hash_slice`].
     pub(crate) fn materialize(&self, probe: &ExactProbe) -> Vec<u32> {
         match probe {
             ExactProbe::All => unreachable!("All probes never drive a scan"),
-            ExactProbe::Hash(bits) => {
-                let ExactIndex::Hash { map, .. } = self else {
-                    unreachable!("probe kind matches index kind");
-                };
-                bits.and_then(|b| map.get(&b)).cloned().unwrap_or_default()
-            }
+            ExactProbe::Hash(_) => unreachable!("hash drivers borrow their bucket"),
             ExactProbe::Ranges(rs) => {
                 let ExactIndex::Sorted { keys, .. } = self else {
                     unreachable!("probe kind matches index kind");

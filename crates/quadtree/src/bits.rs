@@ -33,9 +33,41 @@ impl BitWriter {
 
     /// Appends the low `count` bits of `value`, most significant first.
     ///
+    /// With the `simd` feature the bits are packed a partial byte at a time
+    /// (≤ 9 byte stores for 64 bits) instead of bit-at-a-time; the produced
+    /// stream is identical.
+    ///
     /// # Panics
     /// Panics if `count > 64`.
     #[inline]
+    #[cfg(feature = "simd")]
+    pub fn push_bits(&mut self, value: u64, count: u32) {
+        assert!(count <= 64);
+        let mut rem = count;
+        while rem > 0 {
+            let byte = self.len / 8;
+            if byte == self.buf.len() {
+                self.buf.push(0);
+            }
+            let off = (self.len % 8) as u32;
+            let take = (8 - off).min(rem);
+            // The next `take` bits of `value`, MSB-first, aligned to the
+            // free low positions of the current byte.
+            let chunk = (value >> (rem - take)) & ((1u64 << take) - 1);
+            self.buf[byte] |= (chunk << (8 - off - take)) as u8;
+            self.len += take as usize;
+            rem -= take;
+        }
+    }
+
+    /// Appends the low `count` bits of `value`, most significant first
+    /// (bit-at-a-time reference path; the `simd` feature swaps in a packed
+    /// writer with an identical stream).
+    ///
+    /// # Panics
+    /// Panics if `count > 64`.
+    #[inline]
+    #[cfg(not(feature = "simd"))]
     pub fn push_bits(&mut self, value: u64, count: u32) {
         assert!(count <= 64);
         for i in (0..count).rev() {
@@ -97,7 +129,34 @@ impl<'a> BitReader<'a> {
     }
 
     /// Reads `count` bits MSB-first, or `None` if fewer remain.
+    ///
+    /// With the `simd` feature the bits are gathered a partial byte at a
+    /// time; values and cursor movement are identical to the reference.
     #[inline]
+    #[cfg(feature = "simd")]
+    pub fn read_bits(&mut self, count: u32) -> Option<u64> {
+        assert!(count <= 64);
+        if self.pos + count as usize > self.len {
+            return None;
+        }
+        let mut v = 0u64;
+        let mut rem = count;
+        while rem > 0 {
+            let byte = u64::from(self.buf[self.pos / 8]);
+            let off = (self.pos % 8) as u32;
+            let take = (8 - off).min(rem);
+            let chunk = (byte >> (8 - off - take)) & ((1u64 << take) - 1);
+            v = (v << take) | chunk;
+            self.pos += take as usize;
+            rem -= take;
+        }
+        Some(v)
+    }
+
+    /// Reads `count` bits MSB-first, or `None` if fewer remain
+    /// (bit-at-a-time reference path).
+    #[inline]
+    #[cfg(not(feature = "simd"))]
     pub fn read_bits(&mut self, count: u32) -> Option<u64> {
         assert!(count <= 64);
         if self.pos + count as usize > self.len {
@@ -177,6 +236,50 @@ mod tests {
         let mut r2 = BitReader::with_len(&[0xFF], 4);
         assert_eq!(r2.read_bits(5), None);
         assert_eq!(r2.read_bits(4), Some(0xF));
+    }
+
+    #[test]
+    fn packed_matches_bit_at_a_time() {
+        // Whatever path the feature selects must produce the exact stream a
+        // plain push_bit / read_bit loop produces, at every alignment.
+        let mut state = 0x2545f4914f6cdd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            state
+        };
+        let ops: Vec<(u64, u32)> = (0..200).map(|_| (next(), (next() % 65) as u32)).collect();
+        let mut packed = BitWriter::new();
+        let mut bitwise = BitWriter::new();
+        for &(v, c) in &ops {
+            packed.push_bits(v, c);
+            for i in (0..c).rev() {
+                bitwise.push_bit((v >> i) & 1 == 1);
+            }
+        }
+        assert_eq!(packed.len_bits(), bitwise.len_bits());
+        let (pb, plen) = packed.finish();
+        let (bb, _) = bitwise.finish();
+        assert_eq!(pb, bb);
+        let mut rp = BitReader::with_len(&pb, plen);
+        let mut rb = BitReader::with_len(&bb, plen);
+        for &(v, c) in &ops {
+            let mut want = 0u64;
+            for _ in 0..c {
+                want = (want << 1) | u64::from(rb.read_bit().unwrap());
+            }
+            assert_eq!(rp.read_bits(c), Some(want));
+            assert_eq!(
+                want,
+                if c == 0 {
+                    0
+                } else {
+                    v & (u64::MAX >> (64 - c))
+                }
+            );
+            assert_eq!(rp.position(), rb.position());
+        }
     }
 
     #[test]

@@ -83,7 +83,8 @@ pub fn encode(set: &PointSet, shape: &TreeShape) -> EncodedTree {
     keys.sort_unstable();
     let mut w = BitWriter::new();
     if !keys.is_empty() {
-        emit(&keys, 0, shape, &mut w);
+        let mut scratch = Vec::new();
+        emit(&keys, 0, shape, &mut w, &mut scratch);
     }
     let (bytes, len_bits) = w.finish();
     EncodedTree { bytes, len_bits }
@@ -120,8 +121,10 @@ fn cost(keys: &[u64], level: usize, shape: &TreeShape) -> usize {
     subdiv.min(list)
 }
 
-/// Emits the cheaper encoding of `keys` at `level`.
-fn emit(keys: &[u64], level: usize, shape: &TreeShape, w: &mut BitWriter) {
+/// Emits the cheaper encoding of `keys` at `level`. `scratch` holds the
+/// batch-masked relative keys of a point list (computed with the vectorized
+/// AND kernel) between recursion steps.
+fn emit(keys: &[u64], level: usize, shape: &TreeShape, w: &mut BitWriter, scratch: &mut Vec<u64>) {
     let rem = shape.bits_below(level) as usize;
     let list_cost = keys.len() * (1 + rem) + 1;
     let subdivide = level < shape.levels().len() && {
@@ -145,7 +148,7 @@ fn emit(keys: &[u64], level: usize, shape: &TreeShape, w: &mut BitWriter) {
         }
         w.push_bits(mask, 1 << k);
         for child in children(keys, level, shape) {
-            emit(child, level + 1, shape, w);
+            emit(child, level + 1, shape, w, scratch);
         }
     } else {
         let mask = if rem == 64 {
@@ -153,9 +156,12 @@ fn emit(keys: &[u64], level: usize, shape: &TreeShape, w: &mut BitWriter) {
         } else {
             (1u64 << rem) - 1
         };
-        for &key in keys {
+        // Strip the quadrant prefix off the whole run at once, then stream
+        // the packed point list.
+        sensjoin_simd::and_mask_u64(keys, mask, scratch);
+        for &stripped in scratch.iter() {
             w.push_bit(true);
-            w.push_bits(key & mask, rem as u32);
+            w.push_bits(stripped, rem as u32);
         }
         w.push_bit(false);
     }

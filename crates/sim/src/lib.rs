@@ -108,7 +108,7 @@ pub use reliability::{summary_bytes, ArqPolicy, BroadcastDelivery, Delivery, ACK
 pub use routing::{RepairReport, RoutingTree};
 pub use scheduler::{Scheduler, Time};
 pub use sink::StatLedger;
-pub use stats::{NetworkStats, NodeStats};
+pub use stats::{DeltaBatchStats, NetworkStats, NodeStats};
 pub use topology::Topology;
 pub use trace::{Trace, TraceRecord};
 

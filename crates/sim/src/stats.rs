@@ -232,6 +232,76 @@ impl NetworkStats {
     }
 }
 
+/// Accumulated accounting of streaming-ingestion delta batches: the
+/// base-station CPU side of the continuous protocol, where each round's
+/// tuple deltas update the cached join incrementally instead of recomputing
+/// it. `candidates` is the steady-state work metric — it grows with the
+/// deltas, not with the relation sizes.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeltaBatchStats {
+    /// Batches applied.
+    pub batches: u64,
+    /// Stream ops across all batches.
+    pub ops: u64,
+    /// Tuples inserted.
+    pub inserted: u64,
+    /// Tuples expired.
+    pub expired: u64,
+    /// Result rows added.
+    pub rows_added: u64,
+    /// Result rows removed.
+    pub rows_removed: u64,
+    /// Candidate bindings examined during anchored re-enumeration.
+    pub candidates: u64,
+    /// Band-index partitions promoted to their hot sub-bucket tier.
+    pub promotions: u64,
+}
+
+impl DeltaBatchStats {
+    /// Records one applied batch's counters.
+    #[allow(clippy::too_many_arguments)]
+    pub fn record(
+        &mut self,
+        ops: u64,
+        inserted: u64,
+        expired: u64,
+        rows_added: u64,
+        rows_removed: u64,
+        candidates: u64,
+        promotions: u64,
+    ) {
+        self.batches += 1;
+        self.ops += ops;
+        self.inserted += inserted;
+        self.expired += expired;
+        self.rows_added += rows_added;
+        self.rows_removed += rows_removed;
+        self.candidates += candidates;
+        self.promotions += promotions;
+    }
+
+    /// Sums another accumulator into this one.
+    pub fn merge(&mut self, other: &DeltaBatchStats) {
+        self.batches += other.batches;
+        self.ops += other.ops;
+        self.inserted += other.inserted;
+        self.expired += other.expired;
+        self.rows_added += other.rows_added;
+        self.rows_removed += other.rows_removed;
+        self.candidates += other.candidates;
+        self.promotions += other.promotions;
+    }
+
+    /// Mean candidate bindings examined per stream op — the per-delta cost.
+    pub fn candidates_per_op(&self) -> f64 {
+        if self.ops == 0 {
+            0.0
+        } else {
+            self.candidates as f64 / self.ops as f64
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
