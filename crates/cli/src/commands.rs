@@ -11,6 +11,7 @@ use sensjoin_core::{
 use sensjoin_field::{presets, Area, FieldSpec, Placement};
 use sensjoin_query::{parse, CompiledQuery};
 use sensjoin_relation::NodeId;
+use sensjoin_serve::{DeploymentSpec, ServeConfig, Server, Submission, TenantId};
 use sensjoin_sim::{ArqPolicy, BaseChoice, Channel, ChurnTimeline};
 use std::io::{BufRead, Write};
 
@@ -26,6 +27,7 @@ USAGE:
   sensjoin multi \"SQL1\" \"SQL2\" ...    concurrent queries, shared collection
   sensjoin continuous --sql \"... SAMPLE PERIOD n\"   delta rounds of one query
   sensjoin stream --sql \"SELECT ...\"   streaming-ingestion engine driver
+  sensjoin serve                     multi-tenant serving simulation
 
 COMMON OPTIONS:
   --data FILE      load a trace CSV (x,y,attrs...) instead of generating
@@ -73,6 +75,21 @@ stream OPTIONS:
   --expire P       fraction of live nodes expired per batch [default: 0]
   --verify-every K cross-check against the batch join every K batches
                    (always checked after the last batch)    [default: 0]
+
+serve OPTIONS (simulated tenants submit continuous queries against a
+registry of deployments; --nodes/--seed size and seed each deployment):
+  --tenants T      total tenants that will submit    [default: 64]
+  --deployments D  number of deployments             [default: 4]
+  --qps Q          tenant submissions per simulated second [default: 2]
+  --duration S     simulated seconds to serve        [default: 300]
+  --period S       epoch cadence per deployment, seconds [default: 30]
+  --skew F         fraction of tenants submitting the shared template
+                   (the rest get unique queries)     [default: 0.5]
+  --max-groups G   query groups per deployment (64 queries each)
+                                                     [default: 4]
+  --queue-depth N  admission queue bound (overflow is shed) [default: 256]
+  --admit-per-tick N  admissions per tick, 0 = drain all  [default: 0]
+  --no-cache       disable plan caching/dedup (measure the saving)
 ";
 
 /// Dispatches a parsed command line; returns the process exit code.
@@ -86,6 +103,7 @@ pub fn dispatch(args: &Args) -> i32 {
         Some("multi") => cmd_multi(args),
         Some("continuous") => cmd_continuous(args),
         Some("stream") => cmd_stream(args),
+        Some("serve") => cmd_serve(args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -948,6 +966,177 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `sensjoin serve`: simulate tenants submitting continuous queries
+/// against a registry of deployments through the serving layer —
+/// admission decisions, epoch batching, plan caching, and the metrics
+/// surface, printed per tick and summarized at the end.
+fn cmd_serve(args: &Args) -> Result<(), String> {
+    args.ensure_known(&[
+        "nodes",
+        "seed",
+        "tenants",
+        "deployments",
+        "qps",
+        "duration",
+        "period",
+        "skew",
+        "max-groups",
+        "queue-depth",
+        "admit-per-tick",
+        "no-cache",
+    ])
+    .map_err(|e| e.to_string())?;
+    let nodes: usize = args
+        .get_or("nodes", 80, "integer")
+        .map_err(|e| e.to_string())?;
+    let seed: u64 = args
+        .get_or("seed", 1, "integer")
+        .map_err(|e| e.to_string())?;
+    let tenants: u64 = args
+        .get_or("tenants", 64, "integer")
+        .map_err(|e| e.to_string())?;
+    let deployments: usize = args
+        .get_or("deployments", 4, "integer")
+        .map_err(|e| e.to_string())?;
+    let qps: f64 = args
+        .get_or("qps", 2.0, "number")
+        .map_err(|e| e.to_string())?;
+    let duration_s: u64 = args
+        .get_or("duration", 300, "integer")
+        .map_err(|e| e.to_string())?;
+    let period_s: u64 = args
+        .get_or("period", 30, "integer")
+        .map_err(|e| e.to_string())?;
+    let skew: f64 = args
+        .get_or("skew", 0.5, "number")
+        .map_err(|e| e.to_string())?;
+    if deployments == 0 || period_s == 0 {
+        return Err("serve needs --deployments ≥ 1 and --period ≥ 1".into());
+    }
+    let mut cfg = ServeConfig {
+        period_us: period_s * 1_000_000,
+        ..ServeConfig::default()
+    };
+    cfg.max_groups = args
+        .get_or("max-groups", cfg.max_groups, "integer")
+        .map_err(|e| e.to_string())?;
+    cfg.queue_depth = args
+        .get_or("queue-depth", cfg.queue_depth, "integer")
+        .map_err(|e| e.to_string())?;
+    cfg.admit_per_tick = args
+        .get_or("admit-per-tick", cfg.admit_per_tick, "integer")
+        .map_err(|e| e.to_string())?;
+    cfg.plan_cache = !args.flag("no-cache");
+
+    let mut server = Server::new(cfg);
+    for d in 0..deployments {
+        server
+            .add_deployment(&DeploymentSpec::new(
+                format!("dep{d}"),
+                nodes,
+                seed.wrapping_add(d as u64),
+            ))
+            .map_err(|e| e.to_string())?;
+    }
+    println!(
+        "serving {deployments} deployments × {nodes} nodes; {tenants} tenants, \
+         {qps} submissions/s for {duration_s} s (epoch every {period_s} s)"
+    );
+
+    let ticks = duration_s.div_ceil(period_s);
+    let per_tick = (qps * period_s as f64).round().max(0.0) as u64;
+    let mut next_tenant = 0u64;
+    println!(
+        "\n{:>5} {:>9} {:>9} {:>9} {:>6} {:>6} {:>7}",
+        "tick", "submitted", "admitted", "rejected", "shed", "queue", "epochs"
+    );
+    for t in 0..ticks {
+        let mut submitted = 0u64;
+        let mut shed = 0u64;
+        while submitted < per_tick && next_tenant < tenants {
+            let i = next_tenant;
+            next_tenant += 1;
+            submitted += 1;
+            // Template skew by fractional accumulation: any prefix of the
+            // tenant sequence contains ⌊n·skew⌋±1 shared-template tenants,
+            // interleaved with unique-constant ones.
+            let shares = ((i + 1) as f64 * skew).floor() > (i as f64 * skew).floor();
+            let sql = if shares {
+                format!(
+                    "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                     WHERE A.temp - B.temp > 4.0 SAMPLE PERIOD {period_s}"
+                )
+            } else {
+                format!(
+                    "SELECT A.pres, B.pres FROM Sensors A, Sensors B \
+                     WHERE A.temp - B.temp > {:.2} SAMPLE PERIOD {period_s}",
+                    3.0 + 0.01 * (i % 200) as f64
+                )
+            };
+            // Deployment choice: a multiplicative hash, so it does not
+            // correlate with the skew interleaving above.
+            let dep = (i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 33) as usize % deployments;
+            let decision = server.submit(Submission {
+                tenant: TenantId(i),
+                deployment: format!("dep{dep}"),
+                sql,
+                every: 1 + i % 3,
+            });
+            if decision.is_some_and(|d| !d.admitted()) {
+                shed += 1;
+            }
+        }
+        let report = server.tick().map_err(|e| format!("{e:?}"))?;
+        let admitted = report.decisions.iter().filter(|d| d.admitted()).count();
+        let rejected = report.decisions.len() - admitted;
+        println!(
+            "{t:>5} {submitted:>9} {admitted:>9} {rejected:>9} {shed:>6} {:>6} {:>7}",
+            server.queue_len(),
+            report.epochs.len()
+        );
+    }
+
+    let m = server.metrics();
+    let lat = m.epoch_latency_us();
+    println!(
+        "\ntotals: {} submitted, {} admitted, {} rejected, {} shed",
+        m.totals.submitted,
+        m.totals.admitted,
+        m.totals.rejected(),
+        m.totals.shed
+    );
+    println!(
+        "epoch latency: p50 {:.1} ms, p99 {:.1} ms, max {:.1} ms over {} group epochs",
+        lat.p50() as f64 / 1000.0,
+        lat.p99() as f64 / 1000.0,
+        lat.max() as f64 / 1000.0,
+        lat.count()
+    );
+    println!(
+        "plan cache: {} hits / {} builds ({:.0} % hit rate), {} plans cached",
+        m.cache_hits,
+        m.cache_misses,
+        100.0 * m.cache_hit_rate(),
+        server.cached_plans()
+    );
+    println!(
+        "\n{:<8} {:>9} {:>8} {:>12} {:>12} {:>8}",
+        "dep", "admitted", "epochs", "shared [B]", "solo-eq [B]", "saving"
+    );
+    for (d, dm) in m.deployments().iter().enumerate() {
+        let saving = if dm.solo_bytes > 0 {
+            100.0 * (1.0 - dm.shared_bytes as f64 / dm.solo_bytes as f64)
+        } else {
+            0.0
+        };
+        println!(
+            "dep{d:<5} {:>9} {:>8} {:>12} {:>12} {saving:>7.1}%",
+            dm.admission.admitted, dm.epochs, dm.shared_bytes, dm.solo_bytes
+        );
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -965,6 +1154,17 @@ mod tests {
     #[test]
     fn unknown_command_fails() {
         assert_ne!(dispatch(&args("frobnicate")), 0);
+    }
+
+    #[test]
+    fn serve_runs_and_rejects_bad_flags() {
+        let a = args(
+            "serve --nodes 50 --seed 3 --tenants 6 --deployments 2 \
+             --qps 1 --duration 90 --period 30 --skew 0.5",
+        );
+        assert_eq!(dispatch(&a), 0);
+        assert_ne!(dispatch(&args("serve --bogus 1")), 0);
+        assert_ne!(dispatch(&args("serve --deployments 0")), 0);
     }
 
     #[test]

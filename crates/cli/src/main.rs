@@ -9,6 +9,9 @@
 //!                                              one collection phase
 //! sensjoin stream --sql "..." [--batches B]    streaming-ingestion engine
 //!                                              driver (delta batches)
+//! sensjoin serve [--tenants T] [--qps Q]       multi-tenant serving
+//!                                              simulation (admission,
+//!                                              plan caching, metrics)
 //! ```
 
 mod args;

@@ -60,6 +60,7 @@ pub type CellCounts = HashMap<u64, [i64; 8]>;
 /// intervals of one attribute are grid cells of one dimension — disjoint or
 /// equal — so both endpoints are monotone along the order and
 /// [`interval_probe_ranges`] applies unchanged.
+#[derive(Clone)]
 struct SortedIdx {
     rel: usize,
     attr: usize,
@@ -99,6 +100,7 @@ fn merge_sorted<T: Copy, F: Fn(&T, &T) -> std::cmp::Ordering>(
 /// An indexable probe of one predicate-graph hop: reaching role
 /// [`Edge::to`], keys live in index `idx` and the probe interval is
 /// attribute `probe_attr` of the source cell.
+#[derive(Clone)]
 struct Hop {
     idx: usize,
     probe_attr: usize,
@@ -109,6 +111,7 @@ struct Hop {
 /// A predicate-graph edge (one per predicate and direction). No hop means
 /// the predicate has no index-friendly shape: the hop widens to the whole
 /// destination role.
+#[derive(Clone)]
 struct Edge {
     to: usize,
     hop: Option<Hop>,
@@ -158,6 +161,7 @@ struct Edge {
 /// // Invariant: identical to a from-scratch filter on the new population.
 /// assert_eq!(filter, prejoin_filter(&cq, &space, engine.population()));
 /// ```
+#[derive(Clone)]
 pub struct FilterEngine {
     const_false: bool,
     num_rels: usize,

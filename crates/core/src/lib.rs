@@ -104,8 +104,9 @@ pub use recovery::{
 };
 pub use repr::JoinAttrMsg;
 pub use scheduler::{
-    EpochReport, GroupOutcome, GroupRunner, QueryGroup, QueryId, SoloCost, MAX_EPOCH_ATTEMPTS,
-    PHASE_SHARED_COLLECTION, PHASE_SHARED_FILTER, PHASE_SHARED_FINAL,
+    EpochReport, GroupFull, GroupOutcome, GroupRunner, PlanKey, QueryGroup, QueryId, QueryPlan,
+    SoloCost, MAX_EPOCH_ATTEMPTS, MAX_GROUP_QUERIES, PHASE_SHARED_COLLECTION, PHASE_SHARED_FILTER,
+    PHASE_SHARED_FINAL,
 };
 pub use sensjoin::{SensJoin, PHASE_COLLECTION, PHASE_FILTER, PHASE_FINAL};
 pub use sensjoin_simd::kernels_active;

@@ -1,0 +1,656 @@
+//! The serving front-end: deployment registry, bounded admission queue,
+//! per-deployment bin-packing into [`QueryGroup`]s, plan caching, and the
+//! tick loop that batches due epochs across tenants.
+//!
+//! # Determinism
+//!
+//! Everything the server does is a pure function of its construction
+//! parameters and the submission schedule: deployments resample with
+//! seeds derived from `(deployment seed, tick)`, admissions drain the
+//! queue FIFO, and epoch results are collected in deployment order even
+//! when the `parallel` feature fans deployments out across worker
+//! threads. Two runs over the same schedule produce identical decisions,
+//! results, and metrics — and every tenant's results are bit-identical
+//! to a solo [`GroupRunner`](sensjoin_core::GroupRunner) driven on the
+//! tenant's registration snapshot (`tests/serving_equivalence.rs` at the
+//! repository root proves this property-based).
+
+use crate::metrics::ServeMetrics;
+use sensjoin_core::{
+    EpochReport, GroupOutcome, PlanKey, ProtocolError, QueryGroup, QueryId, QueryPlan,
+    SensJoinConfig, SensorNetwork, SensorNetworkBuilder, SensorNetworkError, MAX_GROUP_QUERIES,
+};
+use sensjoin_field::{presets, Area, FieldSpec, Placement};
+use sensjoin_query::parse;
+use sensjoin_sim::Time;
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+/// A simulated user of the serving layer. The serving model is one live
+/// continuous query per tenant: a tenant whose query is admitted must
+/// [`Server::cancel`] before submitting another.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TenantId(pub u64);
+
+impl fmt::Display for TenantId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+/// Index of a deployment in the server's registry (registration order).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DeploymentId(pub usize);
+
+/// Recipe for one deployment: a deterministic sensor network the server
+/// builds (and later resamples) itself, so equivalence tests can rebuild
+/// the identical network from the same spec.
+#[derive(Debug, Clone)]
+pub struct DeploymentSpec {
+    /// Registry name tenants address in [`Submission::deployment`].
+    pub name: String,
+    /// Node count; the area scales for constant density.
+    pub nodes: usize,
+    /// Placement / field / resample seed.
+    pub seed: u64,
+    /// Generated attribute fields (defaults to the indoor-climate preset).
+    pub fields: Vec<FieldSpec>,
+}
+
+impl DeploymentSpec {
+    /// A spec with the indoor-climate field preset.
+    pub fn new(name: impl Into<String>, nodes: usize, seed: u64) -> Self {
+        Self {
+            name: name.into(),
+            nodes,
+            seed,
+            fields: presets::indoor_climate(),
+        }
+    }
+
+    /// Builds the deployment's network. Deterministic: equal specs build
+    /// equal networks.
+    pub fn build(&self) -> Result<SensorNetwork, SensorNetworkError> {
+        SensorNetworkBuilder::new()
+            .area(Area::for_constant_density(self.nodes))
+            .placement(Placement::UniformRandom { n: self.nodes })
+            .fields(self.fields.clone())
+            .seed(self.seed)
+            .build()
+    }
+}
+
+/// Server tuning knobs. See `OPERATIONS.md` for operator guidance.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Protocol parameters every group runs with.
+    pub protocol: SensJoinConfig,
+    /// Group budget per deployment; capacity is `max_groups` ×
+    /// [`MAX_GROUP_QUERIES`] live queries.
+    pub max_groups: usize,
+    /// Bound on the admission queue; submissions arriving beyond it are
+    /// shed ([`RejectReason::Shed`]).
+    pub queue_depth: usize,
+    /// Admissions processed per tick; 0 drains the whole queue. A finite
+    /// budget bounds per-tick admission work at the price of queue wait —
+    /// the knob that makes shedding reachable under sustained overload.
+    pub admit_per_tick: usize,
+    /// Dedup identical `(deployment, snapshot, sql, config)` plans across
+    /// tenants. Sharing is result-invariant (see
+    /// [`PlanKey`]); disable only to measure the saving.
+    pub plan_cache: bool,
+    /// Epoch cadence in simulated µs — the serving deadline that a
+    /// deployment's p99 epoch latency is judged against.
+    pub period_us: Time,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            protocol: SensJoinConfig::default(),
+            max_groups: 4,
+            queue_depth: 256,
+            admit_per_tick: 0,
+            plan_cache: true,
+            period_us: 30_000_000,
+        }
+    }
+}
+
+/// One tenant's continuous-query submission.
+#[derive(Debug, Clone)]
+pub struct Submission {
+    /// Who is asking.
+    pub tenant: TenantId,
+    /// Registry name of the target deployment.
+    pub deployment: String,
+    /// The continuous query (`SAMPLE PERIOD` dialect).
+    pub sql: String,
+    /// Run every `every`-th epoch (clamped to ≥ 1).
+    pub every: u64,
+}
+
+/// Why a submission was not admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RejectReason {
+    /// No deployment of that name is registered.
+    UnknownDeployment(String),
+    /// The tenant already has a live admitted query.
+    DuplicateTenant,
+    /// The SQL failed to parse or compile against the deployment schema.
+    InvalidQuery(String),
+    /// Every group is at [`MAX_GROUP_QUERIES`] live queries and the
+    /// deployment's group budget is exhausted.
+    DeploymentFull,
+    /// The bounded admission queue was full on arrival.
+    Shed,
+}
+
+impl fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RejectReason::UnknownDeployment(name) => write!(f, "unknown deployment `{name}`"),
+            RejectReason::DuplicateTenant => write!(f, "tenant already has a live query"),
+            RejectReason::InvalidQuery(e) => write!(f, "invalid query: {e}"),
+            RejectReason::DeploymentFull => {
+                write!(f, "deployment at capacity ({MAX_GROUP_QUERIES} per group)")
+            }
+            RejectReason::Shed => write!(f, "admission queue full, submission shed"),
+        }
+    }
+}
+
+/// Where an admitted query lives: deployment, group slot within it, and
+/// the group-local [`QueryId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueryHandle {
+    /// Deployment the query was admitted to.
+    pub deployment: DeploymentId,
+    /// Group index within the deployment (bin-packing order).
+    pub group: usize,
+    /// Slot within the group.
+    pub id: QueryId,
+}
+
+/// Structured admission decision.
+#[derive(Debug, Clone)]
+pub enum Decision {
+    /// The query is registered and will produce results from the next
+    /// tick on.
+    Admitted {
+        /// Who asked.
+        tenant: TenantId,
+        /// Where the query was placed.
+        handle: QueryHandle,
+        /// Whether the registration plan came from the plan cache.
+        cache_hit: bool,
+    },
+    /// The submission was refused.
+    Rejected {
+        /// Who asked.
+        tenant: TenantId,
+        /// Why.
+        reason: RejectReason,
+    },
+}
+
+impl Decision {
+    /// The tenant the decision answers.
+    pub fn tenant(&self) -> TenantId {
+        match self {
+            Decision::Admitted { tenant, .. } | Decision::Rejected { tenant, .. } => *tenant,
+        }
+    }
+
+    /// Whether the submission was admitted.
+    pub fn admitted(&self) -> bool {
+        matches!(self, Decision::Admitted { .. })
+    }
+}
+
+/// One tenant's result for one due epoch.
+#[derive(Debug, Clone)]
+pub struct TenantEpoch {
+    /// Whose result this is.
+    pub tenant: TenantId,
+    /// Deployment it ran on.
+    pub deployment: DeploymentId,
+    /// Group index within the deployment.
+    pub group: usize,
+    /// Group-local epoch index the result belongs to.
+    pub epoch: u64,
+    /// The scheduler outcome: result rows and contributor set,
+    /// bit-identical to a solo run on the registration snapshot.
+    pub outcome: GroupOutcome,
+    /// Whether the epoch's traffic was fully delivered (false only after
+    /// the lossy-channel retry budget is exhausted).
+    pub complete: bool,
+}
+
+/// What one [`Server::tick`] did: the admission decisions it drained and
+/// every due tenant-epoch it executed, in deployment order.
+#[derive(Debug, Clone, Default)]
+pub struct TickReport {
+    /// Tick index (0-based).
+    pub tick: u64,
+    /// Decisions for submissions drained from the queue this tick.
+    pub decisions: Vec<Decision>,
+    /// Due results, in (deployment, group, slot) order.
+    pub epochs: Vec<TenantEpoch>,
+}
+
+/// A cache entry: the compiled query and its registration plan. Both are
+/// pure functions of `(canonical sql, deployment catalog + snapshot,
+/// config)` — exactly what [`PlanKey`] captures — so handing one tenant
+/// clones of another's entry is result-invariant.
+#[derive(Clone)]
+struct CachedPlan {
+    query: sensjoin_query::CompiledQuery,
+    plan: QueryPlan,
+}
+
+struct Deployment {
+    name: String,
+    snet: SensorNetwork,
+    specs: Vec<FieldSpec>,
+    seed: u64,
+    /// Readings version: bumped once per tick's resample. Plans cache
+    /// under the version they were built against.
+    snapshot: u64,
+    groups: Vec<QueryGroup>,
+    /// Per group: tenant of each slot, parallel to the group's queries
+    /// (slots are never reused, so this only grows).
+    tenants: Vec<Vec<TenantId>>,
+}
+
+impl Deployment {
+    /// Resamples the readings and runs one epoch of every group, in group
+    /// order. Returns each group's report.
+    fn run_tick(&mut self) -> Result<Vec<EpochReport>, ProtocolError> {
+        self.snapshot += 1;
+        self.snet
+            .resample(&self.specs, self.seed.wrapping_add(self.snapshot));
+        let mut reports = Vec::with_capacity(self.groups.len());
+        for group in &mut self.groups {
+            reports.push(group.execute_epoch(&mut self.snet)?);
+        }
+        Ok(reports)
+    }
+}
+
+/// The multi-tenant serving front-end. See the [crate docs](crate) for
+/// the end-to-end flow and a runnable example.
+pub struct Server {
+    cfg: ServeConfig,
+    /// Precomputed [`PlanKey::config_sig`] of `cfg.protocol` — constant
+    /// for the server's lifetime, rebuilt per admission otherwise.
+    config_sig: String,
+    deployments: Vec<Deployment>,
+    queue: VecDeque<Submission>,
+    cache: HashMap<PlanKey, CachedPlan>,
+    handles: BTreeMap<TenantId, QueryHandle>,
+    metrics: ServeMetrics,
+    tick: u64,
+}
+
+impl Server {
+    /// An empty server; add deployments before submitting.
+    pub fn new(cfg: ServeConfig) -> Self {
+        Self {
+            config_sig: PlanKey::config_sig(&cfg.protocol),
+            cfg,
+            deployments: Vec::new(),
+            queue: VecDeque::new(),
+            cache: HashMap::new(),
+            handles: BTreeMap::new(),
+            metrics: ServeMetrics::default(),
+            tick: 0,
+        }
+    }
+
+    /// Builds and registers a deployment. Returns its id (registration
+    /// order).
+    pub fn add_deployment(
+        &mut self,
+        spec: &DeploymentSpec,
+    ) -> Result<DeploymentId, SensorNetworkError> {
+        let snet = spec.build()?;
+        self.deployments.push(Deployment {
+            name: spec.name.clone(),
+            snet,
+            specs: spec.fields.clone(),
+            seed: spec.seed,
+            snapshot: 0,
+            groups: Vec::new(),
+            tenants: Vec::new(),
+        });
+        self.metrics.push_deployment();
+        Ok(DeploymentId(self.deployments.len() - 1))
+    }
+
+    /// Submits a continuous query. Unknown deployments, duplicate
+    /// tenants, and queue overflow are refused immediately (`Some`
+    /// rejection); otherwise the submission is queued (`None`) and
+    /// decided by the next [`Server::tick`].
+    pub fn submit(&mut self, sub: Submission) -> Option<Decision> {
+        let tenant = sub.tenant;
+        self.metrics.totals.submitted += 1;
+        self.metrics.tenant_mut(tenant).submitted += 1;
+        let Some(dep_ix) = self
+            .deployments
+            .iter()
+            .position(|d| d.name == sub.deployment)
+        else {
+            self.metrics.totals.rejected_unknown_deployment += 1;
+            self.metrics.tenant_mut(tenant).rejected += 1;
+            return Some(Decision::Rejected {
+                tenant,
+                reason: RejectReason::UnknownDeployment(sub.deployment),
+            });
+        };
+        self.metrics.deployment_mut(dep_ix).admission.submitted += 1;
+        if self.handles.contains_key(&tenant)
+            || self.queue.iter().any(|queued| queued.tenant == tenant)
+        {
+            self.metrics.totals.rejected_duplicate += 1;
+            self.metrics.tenant_mut(tenant).rejected += 1;
+            return Some(Decision::Rejected {
+                tenant,
+                reason: RejectReason::DuplicateTenant,
+            });
+        }
+        if self.queue.len() >= self.cfg.queue_depth {
+            self.metrics.totals.shed += 1;
+            self.metrics.deployment_mut(dep_ix).admission.shed += 1;
+            self.metrics.tenant_mut(tenant).shed += 1;
+            return Some(Decision::Rejected {
+                tenant,
+                reason: RejectReason::Shed,
+            });
+        }
+        self.queue.push_back(sub);
+        None
+    }
+
+    /// Cancels a tenant's live query mid-run. Its group slot is retired
+    /// (slots are not reused); other tenants are untouched. Returns
+    /// whether the tenant had a live query.
+    pub fn cancel(&mut self, tenant: TenantId) -> bool {
+        match self.handles.remove(&tenant) {
+            Some(h) => self.deployments[h.deployment.0].groups[h.group].remove(h.id),
+            None => false,
+        }
+    }
+
+    fn admit_one(&mut self, sub: Submission) -> Decision {
+        let tenant = sub.tenant;
+        let dep_ix = self
+            .deployments
+            .iter()
+            .position(|d| d.name == sub.deployment)
+            .expect("queued submissions name validated deployments");
+        let reject = |metrics: &mut ServeMetrics, reason: RejectReason| {
+            match reason {
+                RejectReason::InvalidQuery(_) => {
+                    metrics.totals.rejected_invalid += 1;
+                    metrics.deployment_mut(dep_ix).admission.rejected_invalid += 1;
+                }
+                RejectReason::DeploymentFull => {
+                    metrics.totals.rejected_full += 1;
+                    metrics.deployment_mut(dep_ix).admission.rejected_full += 1;
+                }
+                _ => {}
+            }
+            metrics.tenant_mut(tenant).rejected += 1;
+            Decision::Rejected { tenant, reason }
+        };
+        // Compiled query + plan: a cache hit skips parse, compile, and
+        // the plan build outright — the whole point of dedup, since the
+        // clone is byte-identical to what a fresh build would produce
+        // (see `PlanKey`). Only valid queries are ever cached, so invalid
+        // SQL always takes the parse path and rejects there.
+        let key = PlanKey::with_config_sig(
+            dep_ix as u64,
+            self.deployments[dep_ix].snapshot,
+            &sub.sql,
+            self.config_sig.clone(),
+        );
+        let cached = if self.cfg.plan_cache {
+            self.cache.get(&key).cloned()
+        } else {
+            None
+        };
+        let cache_hit = cached.is_some();
+        let entry = match cached {
+            Some(entry) => {
+                self.metrics.cache_hits += 1;
+                entry
+            }
+            None => {
+                let parsed = match parse(&sub.sql) {
+                    Ok(q) => q,
+                    Err(e) => {
+                        return reject(&mut self.metrics, RejectReason::InvalidQuery(e.to_string()))
+                    }
+                };
+                let dep = &self.deployments[dep_ix];
+                let query = match dep.snet.compile(&parsed) {
+                    Ok(cq) => cq,
+                    Err(e) => {
+                        return reject(&mut self.metrics, RejectReason::InvalidQuery(e.to_string()))
+                    }
+                };
+                let plan = QueryPlan::build(&query, &dep.snet, &self.cfg.protocol);
+                self.metrics.cache_misses += 1;
+                let entry = CachedPlan { query, plan };
+                if self.cfg.plan_cache {
+                    self.cache.insert(key, entry.clone());
+                }
+                entry
+            }
+        };
+
+        // Bin-pack: first group with a free live slot, else open a group
+        // if the budget allows, else reject.
+        let group = match self.deployments[dep_ix]
+            .groups
+            .iter()
+            .position(|g| g.len() < MAX_GROUP_QUERIES)
+        {
+            Some(g) => g,
+            None if self.deployments[dep_ix].groups.len() < self.cfg.max_groups => {
+                let dep = &mut self.deployments[dep_ix];
+                dep.groups.push(QueryGroup::new(self.cfg.protocol.clone()));
+                dep.tenants.push(Vec::new());
+                dep.groups.len() - 1
+            }
+            None => return reject(&mut self.metrics, RejectReason::DeploymentFull),
+        };
+
+        let dep = &mut self.deployments[dep_ix];
+        let id = dep.groups[group]
+            .try_register_plan(entry.query, entry.plan, sub.every)
+            .expect("bin-packing picked a group with a free slot");
+        debug_assert_eq!(id.0, dep.tenants[group].len(), "slots are append-only");
+        dep.tenants[group].push(tenant);
+        let handle = QueryHandle {
+            deployment: DeploymentId(dep_ix),
+            group,
+            id,
+        };
+        self.handles.insert(tenant, handle);
+        self.metrics.totals.admitted += 1;
+        self.metrics.deployment_mut(dep_ix).admission.admitted += 1;
+        self.metrics.tenant_mut(tenant).admitted += 1;
+        Decision::Admitted {
+            tenant,
+            handle,
+            cache_hit,
+        }
+    }
+
+    /// Processes every queued submission now — schema validation, plan
+    /// lookup or build, bin-packing — without running an epoch, ignoring
+    /// [`ServeConfig::admit_per_tick`]. [`Server::tick`] does this
+    /// implicitly; the explicit form exists for operators (and benches)
+    /// that want admission cost separate from epoch cost.
+    pub fn admit(&mut self) -> Vec<Decision> {
+        let budget = self.queue.len();
+        self.drain_queue(budget)
+    }
+
+    fn drain_queue(&mut self, budget: usize) -> Vec<Decision> {
+        let mut decisions = Vec::with_capacity(budget);
+        for _ in 0..budget {
+            let sub = self.queue.pop_front().expect("budget bounded by queue len");
+            decisions.push(self.admit_one(sub));
+        }
+        decisions
+    }
+
+    /// Runs one serving tick: drains the admission queue (up to
+    /// [`ServeConfig::admit_per_tick`]), then resamples every deployment
+    /// and executes one epoch of every group, batching deployments across
+    /// worker threads under the `parallel` feature. Results and metrics
+    /// are collected in deployment order either way.
+    pub fn tick(&mut self) -> Result<TickReport, ProtocolError> {
+        let tick = self.tick;
+        self.tick += 1;
+
+        // Admissions happen before the tick's resample: a query admitted
+        // at tick t is planned on the snapshot left by tick t-1 — its
+        // registration snapshot — exactly like a solo registration
+        // followed by a `GroupRunner` run.
+        let budget = if self.cfg.admit_per_tick == 0 {
+            self.queue.len()
+        } else {
+            self.cfg.admit_per_tick.min(self.queue.len())
+        };
+        let decisions = self.drain_queue(budget);
+
+        let results = run_deployments(&mut self.deployments);
+        let mut epochs = Vec::new();
+        for (dep_ix, result) in results.into_iter().enumerate() {
+            let reports = result?;
+            let dep = &self.deployments[dep_ix];
+            for (group, report) in reports.into_iter().enumerate() {
+                let dm = self.metrics.deployment_mut(dep_ix);
+                dm.epochs += 1;
+                dm.epoch_latency_us.record(report.latency_us);
+                dm.query_epochs += report.outcomes.len() as u64;
+                dm.shared_bytes += report.shared_collection_bytes()
+                    + report.shared_filter_bytes()
+                    + report.shared_final_bytes();
+                dm.solo_bytes += report.solo_equivalent_total();
+                let mut solo_of = HashMap::new();
+                for solo in &report.solo_equivalent {
+                    solo_of.insert(solo.id, solo.total_bytes());
+                }
+                for outcome in report.outcomes {
+                    let tenant = dep.tenants[group][outcome.id.0];
+                    let rows = outcome.result.len() as u64;
+                    self.metrics.deployment_mut(dep_ix).result_rows += rows;
+                    let tm = self.metrics.tenant_mut(tenant);
+                    tm.epochs += 1;
+                    tm.result_rows += rows;
+                    tm.solo_bytes += solo_of.get(&outcome.id).copied().unwrap_or(0);
+                    epochs.push(TenantEpoch {
+                        tenant,
+                        deployment: DeploymentId(dep_ix),
+                        group,
+                        epoch: report.epoch,
+                        outcome,
+                        complete: report.complete,
+                    });
+                }
+            }
+        }
+        Ok(TickReport {
+            tick,
+            decisions,
+            epochs,
+        })
+    }
+
+    /// The metrics surface.
+    pub fn metrics(&self) -> &ServeMetrics {
+        &self.metrics
+    }
+
+    /// Server tuning knobs in effect.
+    pub fn config(&self) -> &ServeConfig {
+        &self.cfg
+    }
+
+    /// Number of ticks run so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick
+    }
+
+    /// Submissions waiting for the next tick's admission pass.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Number of registered deployments.
+    pub fn num_deployments(&self) -> usize {
+        self.deployments.len()
+    }
+
+    /// The groups of deployment `dep`, in bin-packing order.
+    pub fn groups(&self, dep: DeploymentId) -> &[QueryGroup] {
+        &self.deployments[dep.0].groups
+    }
+
+    /// The current network snapshot of deployment `dep`.
+    pub fn network(&self, dep: DeploymentId) -> &SensorNetwork {
+        &self.deployments[dep.0].snet
+    }
+
+    /// Live handle of a tenant's admitted query, if any.
+    pub fn handle(&self, tenant: TenantId) -> Option<QueryHandle> {
+        self.handles.get(&tenant).copied()
+    }
+
+    /// Number of distinct plans currently cached.
+    pub fn cached_plans(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+/// Runs one tick of every deployment serially, in order.
+fn run_serial(deps: &mut [Deployment]) -> Vec<Result<Vec<EpochReport>, ProtocolError>> {
+    deps.iter_mut().map(|d| d.run_tick()).collect()
+}
+
+/// Runs one tick of every deployment, fanning contiguous chunks out
+/// across scoped worker threads. Deployments are independent (disjoint
+/// `&mut` state) and results are stitched back in deployment order, so
+/// output is bit-identical to [`run_serial`].
+#[cfg(feature = "parallel")]
+fn run_deployments(deps: &mut [Deployment]) -> Vec<Result<Vec<EpochReport>, ProtocolError>> {
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(1)
+        .min(deps.len());
+    if workers <= 1 {
+        return run_serial(deps);
+    }
+    let chunk = deps.len().div_ceil(workers);
+    let mut results = Vec::with_capacity(deps.len());
+    std::thread::scope(|s| {
+        let handles: Vec<_> = deps
+            .chunks_mut(chunk)
+            .map(|c| s.spawn(move || c.iter_mut().map(|d| d.run_tick()).collect::<Vec<_>>()))
+            .collect();
+        for h in handles {
+            results.extend(h.join().expect("serve worker panicked"));
+        }
+    });
+    results
+}
+
+#[cfg(not(feature = "parallel"))]
+fn run_deployments(deps: &mut [Deployment]) -> Vec<Result<Vec<EpochReport>, ProtocolError>> {
+    run_serial(deps)
+}

@@ -17,6 +17,7 @@
 //! | module | contents |
 //! |---|---|
 //! | [`core`] | the protocols: [`core::SensJoin`], [`core::ExternalJoin`], outcomes, workloads |
+//! | [`serve`] | multi-tenant serving layer: admission, epoch batching, plan caching, metrics |
 //! | [`query`] | SQL parser, compiled queries, interval arithmetic |
 //! | [`sim`] | topology, routing tree, scheduler, energy model, failures |
 //! | [`field`] | placements and correlated field generation |
@@ -56,6 +57,7 @@ pub use sensjoin_field as field;
 pub use sensjoin_quadtree as quadtree;
 pub use sensjoin_query as query;
 pub use sensjoin_relation as relation;
+pub use sensjoin_serve as serve;
 pub use sensjoin_sim as sim;
 pub use sensjoin_zorder as zorder;
 

@@ -1,0 +1,153 @@
+//! Intra-repo markdown link checker — the docs CI job.
+//!
+//! Walks every tracked `*.md` file, extracts `[text](target)` links,
+//! and fails on any relative target that does not resolve to a file or
+//! directory in the repo. For `#L<n>` / `#L<n>-L<m>` line anchors on
+//! source files (the `file.rs#L123` style ARCHITECTURE.md uses), the
+//! referenced line must actually exist, so anchors go stale loudly
+//! instead of silently.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Markdown files to check: the repo root and everything under
+/// `crates/`, `docs/`-like trees — skipping build output and VCS state.
+fn markdown_files(root: &Path) -> Vec<PathBuf> {
+    let mut found = Vec::new();
+    let mut stack = vec![root.to_path_buf()];
+    while let Some(dir) = stack.pop() {
+        let entries = match fs::read_dir(&dir) {
+            Ok(e) => e,
+            Err(_) => continue,
+        };
+        for entry in entries.flatten() {
+            let path = entry.path();
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            if path.is_dir() {
+                if name == ".git" || name == "target" || name == "node_modules" {
+                    continue;
+                }
+                stack.push(path);
+            } else if name.ends_with(".md") {
+                found.push(path);
+            }
+        }
+    }
+    found.sort();
+    found
+}
+
+/// Extracts `(target)` of every inline `[text](target)` link. Good
+/// enough for this repo's markdown: no reference-style links, no
+/// targets containing unescaped parentheses.
+fn link_targets(text: &str) -> Vec<(usize, String)> {
+    let bytes = text.as_bytes();
+    let mut targets = Vec::new();
+    let mut i = 0;
+    while i + 1 < bytes.len() {
+        if bytes[i] == b']' && bytes[i + 1] == b'(' {
+            if let Some(end) = text[i + 2..].find(')') {
+                let target = &text[i + 2..i + 2 + end];
+                let line = text[..i].matches('\n').count() + 1;
+                targets.push((line, target.to_string()));
+                i += 2 + end;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    targets
+}
+
+/// Checks one link target relative to the file containing it. Returns a
+/// problem description, or None if the link is fine.
+fn check_target(md_file: &Path, root: &Path, target: &str) -> Option<String> {
+    // External and intra-document links are out of scope.
+    if target.starts_with("http://")
+        || target.starts_with("https://")
+        || target.starts_with("mailto:")
+        || target.starts_with('#')
+        || target.is_empty()
+    {
+        return None;
+    }
+    let (path_part, anchor) = match target.split_once('#') {
+        Some((p, a)) => (p, Some(a)),
+        None => (target, None),
+    };
+    let base = md_file.parent().unwrap_or(root);
+    let resolved = base.join(path_part);
+    if !resolved.exists() {
+        return Some(format!("target `{path_part}` does not exist"));
+    }
+    // Validate `#L<n>` / `#L<n>-L<m>` line anchors against the file.
+    if let Some(anchor) = anchor {
+        if let Some(rest) = anchor.strip_prefix('L') {
+            let first = rest.split(['-', 'C']).next().unwrap_or(rest);
+            if let Ok(line) = first.parse::<usize>() {
+                let contents = match fs::read_to_string(&resolved) {
+                    Ok(c) => c,
+                    Err(_) => return Some(format!("`{path_part}` is not readable text")),
+                };
+                let count = contents.lines().count();
+                if line == 0 || line > count {
+                    return Some(format!(
+                        "anchor #L{line} is out of range: `{path_part}` has {count} lines"
+                    ));
+                }
+            }
+        }
+        // Markdown `#section` anchors are not validated — headers move
+        // freely; only existence of the file matters.
+    }
+    None
+}
+
+#[test]
+fn intra_repo_markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = markdown_files(root);
+    assert!(
+        files.iter().any(|f| f.ends_with("README.md")),
+        "walker must find the root README"
+    );
+    let mut problems = Vec::new();
+    let mut checked = 0usize;
+    for md in &files {
+        let text = fs::read_to_string(md).unwrap();
+        for (line, target) in link_targets(&text) {
+            checked += 1;
+            if let Some(problem) = check_target(md, root, &target) {
+                problems.push(format!(
+                    "{}:{line}: [{target}] — {problem}",
+                    md.strip_prefix(root).unwrap_or(md).display()
+                ));
+            }
+        }
+    }
+    assert!(
+        checked > 50,
+        "expected to check many links, found only {checked} — extractor broken?"
+    );
+    assert!(
+        problems.is_empty(),
+        "{} broken intra-repo markdown link(s):\n  {}",
+        problems.len(),
+        problems.join("\n  ")
+    );
+}
+
+#[test]
+fn extractor_sees_links_and_anchors() {
+    let text = "intro [a](foo.md) then [b](crates/x/src/y.rs#L12) and\n[c](https://example.com) *(not a link)*";
+    let targets = link_targets(text);
+    assert_eq!(
+        targets,
+        vec![
+            (1, "foo.md".to_string()),
+            (1, "crates/x/src/y.rs#L12".to_string()),
+            (2, "https://example.com".to_string()),
+        ]
+    );
+}
