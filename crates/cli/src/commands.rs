@@ -12,7 +12,10 @@ use sensjoin_field::{presets, Area, FieldSpec, Placement};
 use sensjoin_query::{parse, CompiledQuery};
 use sensjoin_relation::NodeId;
 use sensjoin_serve::{DeploymentSpec, ServeConfig, Server, Submission, TenantId};
-use sensjoin_sim::{ArqPolicy, BaseChoice, Channel, ChurnTimeline};
+use sensjoin_sim::{
+    ArqPolicy, BaseChoice, BatteryBank, Channel, ChurnTimeline, EnergyModel, LifetimeRun,
+    LifetimeUntil, ParentPolicy,
+};
 use std::io::{BufRead, Write};
 
 const USAGE: &str = "\
@@ -28,6 +31,7 @@ USAGE:
   sensjoin continuous --sql \"... SAMPLE PERIOD n\"   delta rounds of one query
   sensjoin stream --sql \"SELECT ...\"   streaming-ingestion engine driver
   sensjoin serve                     multi-tenant serving simulation
+  sensjoin lifetime                  battery-powered rounds until the network dies
 
 COMMON OPTIONS:
   --data FILE      load a trace CSV (x,y,attrs...) instead of generating
@@ -37,7 +41,11 @@ COMMON OPTIONS:
   --base  POS      base station: corner|center       [default: corner]
   --fields PRESET  indoor|outdoor|uncorrelated       [default: indoor]
 
-CHANNEL OPTIONS (run, multi, continuous):
+ENERGY OPTIONS (run, multi, continuous, lifetime):
+  --energy-model M micaz|sunspot|byte:<µJ>         [default: micaz]
+                   radio energy model; byte:<µJ> charges a flat per-byte cost
+
+CHANNEL OPTIONS (run, multi, continuous, lifetime):
   --loss P         per-packet loss probability 0..1  [default: 0 = lossless]
   --burst L        mean loss-burst length (packets): Gilbert-Elliott channel
                    instead of independent (Bernoulli) losses
@@ -45,7 +53,7 @@ CHANNEL OPTIONS (run, multi, continuous):
   --retries R      ARQ retry / repair-round budget   [default: 3]
   --loss-seed S    channel randomness seed           [default: 7]
 
-CHURN OPTIONS (run, multi, continuous):
+CHURN OPTIONS (run, multi, continuous, lifetime):
   --churn H        enable node churn, sampled over a horizon of H seconds
                    of simulated time (crash-stop + reboot with state loss)
   --mtbf S         per-node mean time between failures, seconds [default: 600]
@@ -67,6 +75,17 @@ multi OPTIONS (queries are positional arguments):
 continuous OPTIONS:
   --rounds R       number of rounds to run           [default: 4]
   --epsilon E      value-drift suppression threshold [default: 0 = exact]
+
+lifetime OPTIONS (continuous rounds on battery-powered nodes):
+  --battery J      per-node battery capacity in joules   [default: 0.5]
+  --jitter F       seeded per-node capacity jitter fraction in [0,1)
+                                                     [default: 0]
+  --parent-policy P  min-hop|power-aware parent selection [default: min-hop]
+  --until C        first-death|partition|death:<pct> end criterion
+                                                     [default: first-death]
+  --max-rounds R   round cap                         [default: 200]
+  --sql QUERY      the continuous query to round over [default: a band join]
+  --trace FILE     write the packet/repair/battery trace CSV
 
 stream OPTIONS:
   --batches B      delta batches after the cold load [default: 8]
@@ -104,6 +123,7 @@ pub fn dispatch(args: &Args) -> i32 {
         Some("continuous") => cmd_continuous(args),
         Some("stream") => cmd_stream(args),
         Some("serve") => cmd_serve(args),
+        Some("lifetime") => cmd_lifetime(args),
         Some("help") | None => {
             println!("{USAGE}");
             Ok(())
@@ -149,16 +169,46 @@ fn build_network(args: &Args) -> Result<SensorNetwork, String> {
         other => return Err(format!("bad --base {other:?} (corner|center)")),
     };
     let fields = field_specs(args)?;
+    let (energy, _) = energy_model(args)?;
     let mut builder = SensorNetworkBuilder::new()
         .area(area)
         .placement(Placement::UniformRandom { n: nodes })
         .fields(fields)
         .base(base)
+        .energy(energy)
         .seed(seed);
     if let Some(d) = external {
         builder = builder.data(d);
     }
     builder.build().map_err(|e| e.to_string())
+}
+
+/// Options shared by every subcommand that charges through the energy model.
+const ENERGY_OPTS: &[&str] = &["energy-model"];
+
+/// Parses `--energy-model micaz|sunspot|byte:<µJ>` into the model plus a
+/// human-readable label for run headers.
+fn energy_model(args: &Args) -> Result<(EnergyModel, String), String> {
+    let spec = args.get_str("energy-model").unwrap_or("micaz");
+    if let Some(rest) = spec.strip_prefix("byte:") {
+        let per_byte: f64 = rest
+            .parse()
+            .map_err(|_| format!("bad --energy-model {spec:?}"))?;
+        if !per_byte.is_finite() || per_byte <= 0.0 {
+            return Err("--energy-model byte:<µJ> needs a positive per-byte cost".into());
+        }
+        return Ok((
+            EnergyModel::byte_proportional(per_byte),
+            format!("byte-proportional ({per_byte} µJ/B)"),
+        ));
+    }
+    match spec {
+        "micaz" => Ok((EnergyModel::micaz(), "micaz".into())),
+        "sunspot" => Ok((EnergyModel::sunspot(), "sunspot".into())),
+        other => Err(format!(
+            "bad --energy-model {other:?} (micaz|sunspot|byte:<µJ>)"
+        )),
+    }
 }
 
 /// Options shared by every subcommand that can run over a lossy channel.
@@ -266,6 +316,7 @@ fn cmd_multi(args: &Args) -> Result<(), String> {
     let mut known = vec![
         "nodes", "area", "seed", "base", "fields", "epochs", "every", "period", "data",
     ];
+    known.extend_from_slice(ENERGY_OPTS);
     known.extend_from_slice(CHANNEL_OPTS);
     known.extend_from_slice(CHURN_OPTS);
     args.ensure_known(&known).map_err(|e| e.to_string())?;
@@ -318,9 +369,10 @@ fn cmd_multi(args: &Args) -> Result<(), String> {
         runner.group_mut().register(&snet, cq, every);
     }
     println!(
-        "network: {} nodes, {} concurrent queries, epoch every {period_s} s",
+        "network: {} nodes, {} concurrent queries, epoch every {period_s} s, energy model {}",
         snet.len(),
-        args.positional.len()
+        args.positional.len(),
+        energy_model(args)?.1
     );
     let reports = runner
         .run(&mut snet, epochs, &specs, seed)
@@ -360,6 +412,7 @@ fn cmd_continuous(args: &Args) -> Result<(), String> {
     let mut known = vec![
         "nodes", "area", "seed", "base", "fields", "sql", "rounds", "epsilon", "data",
     ];
+    known.extend_from_slice(ENERGY_OPTS);
     known.extend_from_slice(CHANNEL_OPTS);
     known.extend_from_slice(CHURN_OPTS);
     args.ensure_known(&known).map_err(|e| e.to_string())?;
@@ -389,9 +442,10 @@ fn cmd_continuous(args: &Args) -> Result<(), String> {
     let cq = snet.compile(&q).map_err(|e| e.to_string())?;
     let mut cont = ContinuousSensJoin::with_epsilon(epsilon);
     println!(
-        "network: {} nodes, {} rounds, epsilon {epsilon}",
+        "network: {} nodes, {} rounds, epsilon {epsilon}, energy model {}",
         snet.len(),
-        rounds
+        rounds,
+        energy_model(args)?.1
     );
     println!(
         "\n{:>5} {:>6} {:>10} {:>9} {:>10}",
@@ -411,6 +465,204 @@ fn cmd_continuous(args: &Args) -> Result<(), String> {
             out.stats.total_tx_bytes(),
             out.stats.total_retx_packets(),
             out.stats.total_overhead_bytes()
+        );
+    }
+    Ok(())
+}
+
+/// `sensjoin lifetime`: continuous rounds of one query on battery-powered
+/// nodes until the network dies — first battery death, base-station
+/// partition or an N %-death fraction, whichever the `--until` criterion
+/// selects — reporting rounds survived, the death order and the residual
+/// energy distribution.
+fn cmd_lifetime(args: &Args) -> Result<(), String> {
+    let mut known = vec![
+        "nodes",
+        "area",
+        "seed",
+        "base",
+        "fields",
+        "sql",
+        "data",
+        "battery",
+        "jitter",
+        "parent-policy",
+        "until",
+        "max-rounds",
+        "trace",
+    ];
+    known.extend_from_slice(ENERGY_OPTS);
+    known.extend_from_slice(CHANNEL_OPTS);
+    known.extend_from_slice(CHURN_OPTS);
+    args.ensure_known(&known).map_err(|e| e.to_string())?;
+    let sql = args
+        .get_str("sql")
+        .unwrap_or(
+            "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 3.0 SAMPLE PERIOD 30",
+        )
+        .to_owned();
+    let battery_j: f64 = args
+        .get_or("battery", 0.5, "joules")
+        .map_err(|e| e.to_string())?;
+    if !battery_j.is_finite() || battery_j <= 0.0 {
+        return Err("--battery must be a positive capacity in joules".into());
+    }
+    let jitter: f64 = args
+        .get_or("jitter", 0.0, "fraction")
+        .map_err(|e| e.to_string())?;
+    if !(0.0..1.0).contains(&jitter) {
+        return Err("--jitter must be in [0, 1)".into());
+    }
+    let policy_name = args.get_str("parent-policy").unwrap_or("min-hop");
+    let policy = match policy_name {
+        "min-hop" => ParentPolicy::MinHop,
+        "power-aware" => ParentPolicy::PowerAware,
+        other => {
+            return Err(format!(
+                "bad --parent-policy {other:?} (min-hop|power-aware)"
+            ))
+        }
+    };
+    let until_s = args.get_str("until").unwrap_or("first-death");
+    let until = if let Some(pct) = until_s.strip_prefix("death:") {
+        let pct: f64 = pct
+            .parse()
+            .map_err(|_| format!("bad --until {until_s:?}"))?;
+        if !(0.0..=100.0).contains(&pct) || pct == 0.0 {
+            return Err("--until death:<pct> needs a percentage in (0, 100]".into());
+        }
+        LifetimeUntil::DeathFraction(pct / 100.0)
+    } else {
+        match until_s {
+            "first-death" => LifetimeUntil::FirstDeath,
+            "partition" => LifetimeUntil::BasePartition,
+            other => {
+                return Err(format!(
+                    "bad --until {other:?} (first-death|partition|death:<pct>)"
+                ))
+            }
+        }
+    };
+    let max_rounds: u64 = args
+        .get_or("max-rounds", 200, "integer")
+        .map_err(|e| e.to_string())?;
+    if max_rounds == 0 {
+        return Err("--max-rounds must be positive".into());
+    }
+    let seed: u64 = args
+        .get_or("seed", 1, "integer")
+        .map_err(|e| e.to_string())?;
+    let trace_path = args.get_str("trace").map(str::to_owned);
+    let mut snet = build_network(args)?;
+    apply_channel(args, &mut snet)?;
+    apply_churn(args, &mut snet)?;
+    let capacity_uj = battery_j * 1e6;
+    let bank = BatteryBank::with_jitter(snet.len(), snet.base(), capacity_uj, jitter, seed);
+    snet.net_mut().set_battery(Some(bank));
+    snet.net_mut().set_parent_policy(policy);
+    if trace_path.is_some() {
+        snet.net_mut().set_tracing(true);
+    }
+    // A loaded trace is a fixed snapshot; only generated fields drift.
+    let specs = if args.get_str("data").is_some() {
+        Vec::new()
+    } else {
+        field_specs(args)?
+    };
+    let q = parse(&sql).map_err(|e| e.to_string())?;
+    let cq = snet.compile(&q).map_err(|e| e.to_string())?;
+    println!(
+        "network: {} nodes, energy model {}, battery {battery_j} J \
+         (jitter {:.0} %), parent policy {policy_name}, until {until_s}",
+        snet.len(),
+        energy_model(args)?.1,
+        jitter * 100.0
+    );
+    let mut cont = ContinuousSensJoin::new();
+    let mut run = LifetimeRun::new(snet.net(), until, max_rounds);
+    println!(
+        "\n{:>5} {:>6} {:>6} {:>12} {:>12}  deaths",
+        "round", "rows", "live", "min res [J]", "mean res [J]"
+    );
+    let reason = loop {
+        let r = run.rounds();
+        if r > 0 && !specs.is_empty() {
+            snet.resample(&specs, seed.wrapping_add(r));
+        }
+        let out = cont
+            .execute_round(&mut snet, &cq)
+            .map_err(|e| e.to_string())?;
+        let end = run.observe(snet.net());
+        let bank = snet.net().battery().expect("battery attached above");
+        let base = snet.base();
+        let live = (0..snet.len() as u32)
+            .map(NodeId)
+            .filter(|&v| v != base && snet.net().is_alive(v))
+            .count();
+        let min_res = (0..snet.len() as u32)
+            .map(NodeId)
+            .filter(|&v| v != base && snet.net().is_alive(v))
+            .map(|v| bank.residual_uj(v))
+            .fold(f64::INFINITY, f64::min);
+        let mean_res = {
+            let (sum, n) = (0..snet.len() as u32)
+                .map(NodeId)
+                .filter(|&v| v != base)
+                .map(|v| bank.residual_uj(v).max(0.0))
+                .fold((0.0, 0usize), |(s, n), r| (s + r, n + 1));
+            if n == 0 {
+                0.0
+            } else {
+                sum / n as f64
+            }
+        };
+        let this_round: Vec<String> = run
+            .deaths()
+            .iter()
+            .filter(|&&(round, _)| round == run.rounds())
+            .map(|&(_, v)| v.0.to_string())
+            .collect();
+        println!(
+            "{r:>5} {:>6} {live:>6} {:>12.4} {:>12.4}  {}",
+            out.result.len(),
+            min_res / 1e6,
+            mean_res / 1e6,
+            this_round.join(",")
+        );
+        if let Some(reason) = end {
+            break reason;
+        }
+    };
+    let report = run.report(snet.net(), reason);
+    println!(
+        "\nlifetime: {} rounds until {reason}; {} battery deaths, {} live nodes",
+        report.rounds,
+        report.deaths.len(),
+        report.live
+    );
+    println!(
+        "residual energy: min {} J, mean {:.4} J",
+        report
+            .min_residual_uj()
+            .map_or("-".into(), |r| format!("{:.4}", r / 1e6)),
+        report.mean_residual_uj() / 1e6
+    );
+    if !report.deaths.is_empty() {
+        let order: Vec<String> = report
+            .deaths
+            .iter()
+            .map(|&(round, v)| format!("{}@r{round}", v.0))
+            .collect();
+        println!("death order: {}", order.join(" "));
+    }
+    if let Some(path) = trace_path {
+        let trace = snet.net().trace().expect("tracing was enabled");
+        std::fs::write(&path, trace.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
+        println!(
+            "\nwrote {} trace records ({} packets) to {path}",
+            trace.len(),
+            trace.total_packets()
         );
     }
     Ok(())
@@ -746,6 +998,7 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     let mut known = vec![
         "nodes", "area", "seed", "base", "fields", "sql", "method", "trace", "data",
     ];
+    known.extend_from_slice(ENERGY_OPTS);
     known.extend_from_slice(CHANNEL_OPTS);
     known.extend_from_slice(CHURN_OPTS);
     args.ensure_known(&known).map_err(|e| e.to_string())?;
@@ -762,10 +1015,11 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     apply_channel(args, &mut snet)?;
     apply_churn(args, &mut snet)?;
     println!(
-        "network: {} nodes, tree depth {}, base {}",
+        "network: {} nodes, tree depth {}, base {}, energy model {}",
         snet.len(),
         snet.net().routing().max_depth(),
-        snet.base()
+        snet.base(),
+        energy_model(args)?.1
     );
     if snet.net().lossy() {
         println!(
@@ -1263,6 +1517,59 @@ mod tests {
         let mut bad = args("run --nodes 50 --churn 0");
         bad.options.insert("sql".into(), sql_once.into());
         assert_ne!(dispatch(&bad), 0);
+    }
+
+    #[test]
+    fn energy_model_flag_selects_and_prints() {
+        let sql = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                   WHERE A.temp - B.temp > 4.0 ONCE";
+        for model in ["micaz", "sunspot", "byte:2.5"] {
+            let mut a = args("run --nodes 60 --seed 2 --method sens");
+            a.options.insert("energy-model".into(), model.into());
+            a.options.insert("sql".into(), sql.into());
+            assert_eq!(dispatch(&a), 0, "--energy-model {model} failed");
+        }
+        // The flag reaches the continuous executor too.
+        let mut c = args("continuous --nodes 60 --seed 3 --rounds 2 --energy-model sunspot");
+        c.options.insert(
+            "sql".into(),
+            "SELECT A.hum FROM Sensors A, Sensors B \
+             WHERE A.temp - B.temp > 2.0 SAMPLE PERIOD 30"
+                .into(),
+        );
+        assert_eq!(dispatch(&c), 0);
+        // Unknown models and nonsense byte costs are rejected.
+        let mut bad = args("run --nodes 50 --energy-model fusion");
+        bad.options.insert("sql".into(), sql.into());
+        assert_ne!(dispatch(&bad), 0);
+        let mut bad = args("run --nodes 50 --energy-model byte:-1");
+        bad.options.insert("sql".into(), sql.into());
+        assert_ne!(dispatch(&bad), 0);
+    }
+
+    #[test]
+    fn lifetime_runs_until_criterion() {
+        // A tiny battery guarantees deaths well inside the round cap.
+        let a = args("lifetime --nodes 50 --seed 3 --battery 0.005 --jitter 0.1 --max-rounds 30");
+        assert_eq!(dispatch(&a), 0);
+        let b = args(
+            "lifetime --nodes 50 --seed 3 --battery 0.005 --parent-policy power-aware \
+             --until death:10 --max-rounds 30",
+        );
+        assert_eq!(dispatch(&b), 0);
+        let c = args(
+            "lifetime --nodes 50 --seed 3 --battery 0.005 --until partition \
+             --max-rounds 10 --energy-model sunspot",
+        );
+        assert_eq!(dispatch(&c), 0);
+        // Bad parameters are rejected.
+        assert_ne!(dispatch(&args("lifetime --battery 0")), 0);
+        assert_ne!(dispatch(&args("lifetime --jitter 1.5")), 0);
+        assert_ne!(dispatch(&args("lifetime --parent-policy psychic")), 0);
+        assert_ne!(dispatch(&args("lifetime --until death:0")), 0);
+        assert_ne!(dispatch(&args("lifetime --until eventually")), 0);
+        assert_ne!(dispatch(&args("lifetime --max-rounds 0")), 0);
+        assert_ne!(dispatch(&args("lifetime --bogus 1")), 0);
     }
 
     #[test]

@@ -9,6 +9,9 @@
 //!                                              one collection phase
 //! sensjoin stream --sql "..." [--batches B]    streaming-ingestion engine
 //!                                              driver (delta batches)
+//! sensjoin lifetime [--battery J] [--until C]  battery-powered rounds until
+//!                                              first death / partition /
+//!                                              N %-death (network lifetime)
 //! sensjoin serve [--tenants T] [--qps Q]       multi-tenant serving
 //!                                              simulation (admission,
 //!                                              plan caching, metrics)

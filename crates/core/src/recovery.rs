@@ -305,6 +305,61 @@ mod tests {
         assert!(r.outcome.stats.total_cost_bytes() > clean.stats.total_cost_bytes());
     }
 
+    /// Regression for the energy subsystem: retry wrappers merge statistics
+    /// out-of-band (`mem::take` + `merge`), but battery debits happen at
+    /// record time on the persistent network — so every µJ of every
+    /// abandoned attempt must land on the batteries exactly once, and the
+    /// bank's cumulative debit must equal the merged ledger sum.
+    #[test]
+    fn reexecution_debits_batteries_exactly_once() {
+        use sensjoin_sim::{BatteryBank, ChurnAction, ChurnTimeline};
+        let pin = |bank_total: f64, stats_total: f64, label: &str| {
+            let drift = (bank_total - stats_total).abs();
+            assert!(
+                drift <= 1e-9 * stats_total.max(1.0),
+                "{label}: batteries metered {bank_total} µJ, ledger charged {stats_total} µJ"
+            );
+        };
+
+        // Lossy-channel re-execution: several abandoned attempts, all on
+        // one persistent network.
+        let mut s = SensorNetworkBuilder::new()
+            .area(Area::new(250.0, 250.0))
+            .placement(Placement::UniformRandom { n: 40 })
+            .seed(11)
+            .build()
+            .unwrap();
+        let cq = query(&s);
+        let bank = BatteryBank::uniform(s.len(), s.base(), 1.0e15);
+        s.net_mut().set_battery(Some(bank));
+        s.net_mut()
+            .set_channel(Some(sensjoin_sim::Channel::bernoulli(0.08, 3)));
+        let r = execute_with_reexecution(&SensJoin::default(), &mut s, &cq, 40).unwrap();
+        assert!(r.attempts > 1, "0.08 loss never forced a retry — vacuous");
+        pin(
+            s.net().battery().unwrap().total_debited_uj(),
+            r.outcome.stats.total_energy_uj(),
+            "lossy re-execution",
+        );
+
+        // Churn-triggered full-rebuild re-execution: the wasted attempt,
+        // the repair flood and the clean rerun all debit exactly once.
+        let mut s = snet(5);
+        let cq = query(&s);
+        let victim = s.net().routing().children(s.net().base())[0];
+        let tl = ChurnTimeline::new().at_boundary(1, victim, ChurnAction::Crash);
+        s.net_mut().set_churn(Some(tl));
+        let bank = BatteryBank::uniform(s.len(), s.base(), 1.0e15);
+        s.net_mut().set_battery(Some(bank));
+        let r = execute_with_rebuild_reexecution(&SensJoin::default(), &mut s, &cq, 5).unwrap();
+        assert_eq!(r.attempts, 2, "one churned run, one clean re-execution");
+        pin(
+            s.net().battery().unwrap().total_debited_uj(),
+            r.outcome.stats.total_energy_uj(),
+            "rebuild re-execution",
+        );
+    }
+
     #[test]
     fn random_failures_still_exact() {
         for seed in [3, 4] {

@@ -46,9 +46,11 @@ const STREAM_MUL: u64 = 0x9E37_79B9_7F4A_7C15;
 ///
 /// This is the repo-wide seed-splitting convention: the lossy channel uses
 /// it per directed link, [`crate::LinkFailures::sample`] uses it with
-/// [`STREAM_LINK_FAILURE`], and [`ChurnTimeline::sample`] uses it with
-/// [`STREAM_CHURN`] (then once more per node). One master seed therefore
-/// yields mutually independent loss, link-failure and churn streams.
+/// [`STREAM_LINK_FAILURE`], [`ChurnTimeline::sample`] uses it with
+/// [`STREAM_CHURN`] (then once more per node), and
+/// [`crate::BatteryBank::with_jitter`] uses it with [`STREAM_BATTERY`]
+/// (then once more per node). One master seed therefore yields mutually
+/// independent loss, link-failure, churn and battery-jitter streams.
 pub fn stream_seed(master: u64, key: u64) -> u64 {
     master ^ key.wrapping_mul(STREAM_MUL)
 }
@@ -57,6 +59,9 @@ pub fn stream_seed(master: u64, key: u64) -> u64 {
 pub const STREAM_LINK_FAILURE: u64 = 0x11;
 /// Sub-stream key of [`ChurnTimeline::sample`].
 pub const STREAM_CHURN: u64 = 0x22;
+/// Sub-stream key of [`crate::BatteryBank::with_jitter`] (per-node
+/// initial-capacity jitter; split once more per node, like churn).
+pub const STREAM_BATTERY: u64 = 0x33;
 
 /// One scheduled liveness change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -204,6 +209,11 @@ pub struct ChurnOutcome {
     pub boundary: u32,
     /// Nodes that crashed at this boundary.
     pub crashed: Vec<NodeId>,
+    /// The subset of `crashed` whose crash was endogenous — battery
+    /// exhaustion detected by the attached [`crate::BatteryBank`] rather
+    /// than an exogenous timeline event. Every depleted node also appears
+    /// in `crashed`, so executors handle both kinds through one path.
+    pub depleted: Vec<NodeId>,
     /// Nodes that revived at this boundary.
     pub revived: Vec<NodeId>,
     /// Live nodes whose routing parent changed during repair (orphan-subtree

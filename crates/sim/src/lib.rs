@@ -40,7 +40,14 @@
 //!   default, a full CTP re-convergence flood as the baseline), with repair
 //!   beacons charged through the energy model under the
 //!   [`PHASE_REPAIR`] phase. One master seed drives loss, link failures and
-//!   churn through independent sub-streams ([`stream_seed`]).
+//!   churn through independent sub-streams ([`stream_seed`]),
+//! * [`BatteryBank`] — per-node battery state (flat SoA, seeded capacity
+//!   jitter on the same seed namespace) debited by every energy charge;
+//!   exhaustion becomes endogenous crash-stop churn at the next
+//!   [`Network::apply_churn`] boundary, [`ParentPolicy::PowerAware`]
+//!   rotates subtrees toward battery-rich parents at each boundary, and
+//!   [`LifetimeRun`] tracks rounds-to-first-death / partition / N%-death
+//!   network-lifetime scenarios with a death-order trace.
 //!
 //! Per-packet loss and retransmissions *are* modeled (the channel +
 //! reliability layer above); what is deliberately not modeled — and why it
@@ -79,6 +86,7 @@
 //! assert_eq!(net.stats().total_tx_packets(), 1); // first attempts only
 //! ```
 
+mod battery;
 mod channel;
 mod churn;
 mod energy;
@@ -93,10 +101,11 @@ mod stats;
 mod topology;
 mod trace;
 
+pub use battery::{BatteryBank, LifetimeEnd, LifetimeReport, LifetimeRun, LifetimeUntil};
 pub use channel::{Channel, LossModel};
 pub use churn::{
     stream_seed, ChurnAction, ChurnOutcome, ChurnTimeline, RepairStrategy, BEACON_BYTES,
-    PHASE_REPAIR, STREAM_CHURN, STREAM_LINK_FAILURE,
+    PHASE_REPAIR, STREAM_BATTERY, STREAM_CHURN, STREAM_LINK_FAILURE,
 };
 pub use energy::EnergyModel;
 pub use failure::LinkFailures;
@@ -105,7 +114,7 @@ pub use network::{
 };
 pub use radio::RadioConfig;
 pub use reliability::{summary_bytes, ArqPolicy, BroadcastDelivery, Delivery, ACK_BYTES};
-pub use routing::{RepairReport, RoutingTree};
+pub use routing::{ParentPolicy, RepairReport, RoutingTree, POWER_AWARE_HYSTERESIS};
 pub use scheduler::{Scheduler, Time};
 pub use sink::StatLedger;
 pub use stats::{DeltaBatchStats, NetworkStats, NodeStats};

@@ -1,10 +1,11 @@
 //! The network facade protocols run against.
 
+use crate::battery::BatteryBank;
 use crate::churn::{
     ChurnAction, ChurnOutcome, ChurnTimeline, RepairStrategy, BEACON_BYTES, PHASE_REPAIR,
 };
 use crate::reliability::{summary_bytes, ACK_BYTES};
-use crate::routing::RepairReport;
+use crate::routing::{ParentPolicy, RepairReport};
 use crate::sink::{DirectSink, StatLedger, StatSink};
 use crate::{
     ArqPolicy, BroadcastDelivery, Channel, Delivery, EnergyModel, NetworkStats, RadioConfig,
@@ -153,6 +154,8 @@ impl NetworkBuilder {
             churn_boundary: 0,
             churn_clock: 0,
             repair_strategy: RepairStrategy::default(),
+            battery: None,
+            parent_policy: ParentPolicy::default(),
         })
     }
 }
@@ -189,6 +192,8 @@ pub struct Network {
     churn_boundary: u32,
     churn_clock: Time,
     repair_strategy: RepairStrategy,
+    battery: Option<BatteryBank>,
+    parent_policy: ParentPolicy,
 }
 
 impl Network {
@@ -290,9 +295,52 @@ impl Network {
         self.churn = churn;
     }
 
-    /// Whether a churn timeline is attached.
+    /// Whether executors must poll [`Network::apply_churn`] at protocol
+    /// boundaries: true when a churn timeline is attached *or* a battery
+    /// bank is — battery exhaustion is endogenous churn, and it only turns
+    /// into crash-stop failures when a boundary is polled.
     pub fn has_churn(&self) -> bool {
-        self.churn.is_some()
+        self.churn.is_some() || self.battery.is_some()
+    }
+
+    /// Attaches (or removes, with `None`) a per-node battery bank. While
+    /// attached, every µJ charged into the statistics is also debited from
+    /// the charged node's battery, and [`Network::apply_churn`] converts
+    /// battery exhaustion into crash-stop failures at the next boundary.
+    /// Batteries survive [`Network::reset_stats`] / [`Network::take_stats`],
+    /// like liveness and the churn timeline.
+    ///
+    /// # Panics
+    /// Panics if the bank's node count does not match the network's.
+    pub fn set_battery(&mut self, battery: Option<BatteryBank>) {
+        if let Some(b) = &battery {
+            assert_eq!(b.len(), self.topology.len(), "one battery per node");
+        }
+        self.battery = battery;
+    }
+
+    /// The attached battery bank, if any.
+    pub fn battery(&self) -> Option<&BatteryBank> {
+        self.battery.as_ref()
+    }
+
+    /// Mutable access to the attached battery bank, if any.
+    pub fn battery_mut(&mut self) -> Option<&mut BatteryBank> {
+        self.battery.as_mut()
+    }
+
+    /// Selects how parents are picked among equally-shallow candidates
+    /// (default: [`ParentPolicy::MinHop`]). [`ParentPolicy::PowerAware`]
+    /// re-ranks parents by residual battery at every
+    /// [`Network::apply_churn`] boundary; it requires an attached
+    /// [`BatteryBank`] and is a no-op without one.
+    pub fn set_parent_policy(&mut self, policy: ParentPolicy) {
+        self.parent_policy = policy;
+    }
+
+    /// The configured parent policy.
+    pub fn parent_policy(&self) -> ParentPolicy {
+        self.parent_policy
     }
 
     /// Selects how liveness changes repair the routing tree (default:
@@ -353,11 +401,76 @@ impl Network {
                 }
             }
         }
+        // Endogenous failures: batteries that crossed their capacity since
+        // the previous boundary die now, through the very same crash-stop
+        // path as timeline events.
+        self.drain_depletions(&mut out);
+        if self.parent_policy == ParentPolicy::PowerAware && self.battery.is_some() {
+            let moved = self.reselect_power_aware();
+            out.reattached.extend(moved);
+            // Reselection beacons cost energy too; a battery they push over
+            // the edge dies at this boundary, not a round later.
+            self.drain_depletions(&mut out);
+        }
         out.reattached.sort_unstable();
         out.reattached.dedup();
         // A node that crashed at this very boundary is not "reattached".
         out.reattached.retain(|v| self.alive[v.0 as usize]);
         out
+    }
+
+    /// Converts pending battery exhaustions into crash-stop failures,
+    /// looping because the repair traffic a death charges can push further
+    /// batteries over the edge (a depletion cascade resolves within one
+    /// boundary). Trace rows: a `battery` event marking the exhaustion,
+    /// then the `death(energy)` event of the crash itself.
+    fn drain_depletions(&mut self, out: &mut ChurnOutcome) {
+        loop {
+            let pending = match &mut self.battery {
+                Some(b) => b.take_pending(),
+                None => return,
+            };
+            if pending.is_empty() {
+                return;
+            }
+            for node in pending {
+                if node == self.base || !self.alive[node.0 as usize] {
+                    continue;
+                }
+                if let Some(t) = &mut self.trace {
+                    t.push_event(PHASE_REPAIR, "battery", node, vec![]);
+                }
+                let rep = self.fail_node_with(node, "death(energy)");
+                out.depleted.push(node);
+                out.crashed.push(node);
+                out.reattached.extend(rep.reattached);
+            }
+        }
+    }
+
+    /// [`ParentPolicy::PowerAware`]'s boundary step: re-rank every routed
+    /// node's parent by residual battery and charge one probe beacon (plus
+    /// the adopting parent's ack) per node that actually moved — the same
+    /// control-traffic pricing as a repair reattachment.
+    fn reselect_power_aware(&mut self) -> Vec<NodeId> {
+        let residual = match &self.battery {
+            Some(b) => b.residuals(),
+            None => return Vec::new(),
+        };
+        let moved = self
+            .routing
+            .reselect_parents(&self.topology, &self.alive, &residual);
+        for &v in &moved {
+            self.charge_beacon_broadcast(v);
+            let parent = self.routing.parent(v);
+            if let Some(p) = parent {
+                self.charge_beacon_unicast(p, v);
+            }
+            if let Some(t) = &mut self.trace {
+                t.push_event(PHASE_REPAIR, "repair", v, parent.into_iter().collect());
+            }
+        }
+        moved
     }
 
     /// Crash-stop failure of `node`: it leaves the network, losing all
@@ -372,13 +485,21 @@ impl Network {
     /// Panics if `node` is the base station — the powered access point
     /// never fails.
     pub fn fail_node(&mut self, node: NodeId) -> RepairReport {
+        self.fail_node_with(node, "death")
+    }
+
+    /// [`Network::fail_node`] with an explicit trace-event kind, so
+    /// endogenous battery deaths write `death(energy)` rows while exogenous
+    /// churn keeps plain `death` — the crash-stop mechanics are identical.
+    fn fail_node_with(&mut self, node: NodeId, kind: &str) -> RepairReport {
         assert_ne!(node, self.base, "the base station never fails");
         if !self.alive[node.0 as usize] {
             return RepairReport::default();
         }
         self.alive[node.0 as usize] = false;
+        self.stats.record_death(node, PHASE_REPAIR);
         if let Some(t) = &mut self.trace {
-            t.push_event(PHASE_REPAIR, "death", node, vec![]);
+            t.push_event(PHASE_REPAIR, kind, node, vec![]);
         }
         let former_parent = self.routing.parent(node);
         let former_children = self.routing.children(node).to_vec();
@@ -489,12 +610,18 @@ impl Network {
     /// redundancy) — they are deterministic cost, not data traffic.
     fn charge_beacon_broadcast(&mut self, from: NodeId) {
         let on_air = BEACON_BYTES + self.radio.header_bytes;
-        self.stats
-            .record_ack(from, BEACON_BYTES, self.energy.tx(on_air), PHASE_REPAIR);
+        let tx = self.energy.tx(on_air);
+        let rx = self.energy.rx(on_air);
+        self.stats.record_ack(from, BEACON_BYTES, tx, PHASE_REPAIR);
+        if let Some(b) = &mut self.battery {
+            b.debit(from, tx);
+        }
         for &r in self.topology.neighbors(from) {
             if self.alive[r.0 as usize] {
-                self.stats
-                    .record_energy(r, self.energy.rx(on_air), PHASE_REPAIR);
+                self.stats.record_energy(r, rx, PHASE_REPAIR);
+                if let Some(b) = &mut self.battery {
+                    b.debit(r, rx);
+                }
             }
         }
     }
@@ -503,10 +630,14 @@ impl Network {
     /// parent acknowledging an adoption).
     fn charge_beacon_unicast(&mut self, from: NodeId, to: NodeId) {
         let on_air = BEACON_BYTES + self.radio.header_bytes;
-        self.stats
-            .record_ack(from, BEACON_BYTES, self.energy.tx(on_air), PHASE_REPAIR);
-        self.stats
-            .record_energy(to, self.energy.rx(on_air), PHASE_REPAIR);
+        let tx = self.energy.tx(on_air);
+        let rx = self.energy.rx(on_air);
+        self.stats.record_ack(from, BEACON_BYTES, tx, PHASE_REPAIR);
+        self.stats.record_energy(to, rx, PHASE_REPAIR);
+        if let Some(b) = &mut self.battery {
+            b.debit(from, tx);
+            b.debit(to, rx);
+        }
     }
 
     /// Charges a control-beacon relay chain from `from` up to the base
@@ -646,6 +777,7 @@ impl Network {
         let mut sink = DirectSink {
             stats: &mut self.stats,
             trace: self.trace.as_mut(),
+            battery: self.battery.as_mut(),
         };
         transfer_impl(
             &self.radio,
@@ -699,6 +831,7 @@ impl Network {
             channel,
             arq,
             alive,
+            battery,
             ..
         } = self;
         (
@@ -712,6 +845,7 @@ impl Network {
                 channel: channel.as_mut(),
                 stats,
                 trace: trace.as_mut(),
+                battery: battery.as_mut(),
             },
         )
     }
@@ -727,7 +861,7 @@ impl Network {
             channel,
             links,
         } = outcome;
-        ledger.replay(&mut self.stats, self.trace.as_mut());
+        ledger.replay(&mut self.stats, self.trace.as_mut(), self.battery.as_mut());
         if let (Some(mine), Some(theirs)) = (self.channel.as_mut(), channel.as_ref()) {
             for &(a, b) in &links {
                 mine.adopt_link_state(theirs, a, b);
@@ -767,6 +901,7 @@ pub struct DeliveryPort<'a> {
     channel: Option<&'a mut Channel>,
     stats: &'a mut NetworkStats,
     trace: Option<&'a mut Trace>,
+    battery: Option<&'a mut BatteryBank>,
 }
 
 impl DeliveryPort<'_> {
@@ -830,6 +965,7 @@ impl DeliveryPort<'_> {
         let mut sink = DirectSink {
             stats: self.stats,
             trace: self.trace.as_deref_mut(),
+            battery: self.battery.as_deref_mut(),
         };
         transfer_impl(
             &self.radio,
@@ -1564,6 +1700,104 @@ mod tests {
         assert_eq!(da.control_packets, db.control_packets);
         assert_eq!(a.stats().node(child), b.stats().node(child));
         assert_eq!(a.stats().node(base), b.stats().node(base));
+    }
+
+    #[test]
+    fn battery_depletion_drives_crash_stop_churn() {
+        let mut net = small_net();
+        net.set_tracing(true);
+        let base = net.base();
+        let child = net.routing().children(base)[0];
+        net.set_battery(Some(BatteryBank::uniform(net.len(), base, 5_000.0)));
+        // Burn the child's battery with data traffic.
+        let mut sent = 0;
+        while !net.battery().unwrap().is_depleted(child) {
+            net.unicast(child, base, 48, "p");
+            sent += 1;
+            assert!(sent < 100, "5 mJ cannot absorb 100 packets");
+        }
+        assert!(net.is_alive(child), "depletion waits for the boundary");
+        let out = net.apply_churn(0);
+        assert_eq!(out.depleted, vec![child]);
+        assert!(out.crashed.contains(&child));
+        assert!(!net.is_alive(child));
+        assert_eq!(net.stats().node(child).deaths, 1);
+        assert_eq!(net.stats().total_deaths(), 1);
+        assert_eq!(net.battery().unwrap().death_order(), &[child]);
+        let kinds: Vec<&str> = net
+            .trace()
+            .unwrap()
+            .records()
+            .iter()
+            .map(|r| r.kind.as_str())
+            .collect();
+        assert!(kinds.contains(&"battery"));
+        assert!(kinds.contains(&"death(energy)"));
+        // Batteries survive stats resets, like liveness and churn state.
+        net.reset_stats();
+        let _ = net.take_stats();
+        assert!(net.battery().unwrap().is_depleted(child));
+        assert!(net.battery().unwrap().total_debited_uj() > 0.0);
+    }
+
+    #[test]
+    fn undepleted_battery_is_bit_identical_to_no_battery() {
+        let mut plain = small_net();
+        let mut powered = small_net();
+        plain.set_tracing(true);
+        powered.set_tracing(true);
+        let jittered = BatteryBank::with_jitter(powered.len(), powered.base(), 1e12, 0.2, 5);
+        powered.set_battery(Some(jittered));
+        let base = plain.base();
+        let kids: Vec<NodeId> = plain.routing().children(base).to_vec();
+        for net in [&mut plain, &mut powered] {
+            net.unicast(kids[0], base, 100, "up");
+            net.broadcast(base, &kids, 30, "down");
+            net.fail_node(kids[1]);
+            net.apply_churn(7);
+        }
+        for v in plain.topology().nodes() {
+            assert_eq!(plain.stats().node(v), powered.stats().node(v));
+        }
+        assert_eq!(
+            plain.trace().unwrap().records(),
+            powered.trace().unwrap().records()
+        );
+        // Every charged µJ was debited, nothing more.
+        let bank = powered.battery().unwrap();
+        assert!(
+            (bank.total_debited_uj() - powered.stats().total_energy_uj()).abs() < 1e-9,
+            "debits must mirror the energy counters"
+        );
+    }
+
+    #[test]
+    fn power_aware_policy_rotates_parents_at_boundaries() {
+        // Diamond: base 0; 1 and 2 at depth 1, equidistant from 3.
+        let area = Area::new(200.0, 50.0);
+        let positions = vec![
+            Position::new(50.0, 25.0),
+            Position::new(90.0, 5.0),
+            Position::new(90.0, 45.0),
+            Position::new(130.0, 25.0),
+        ];
+        let mut net = NetworkBuilder::new()
+            .base(BaseChoice::Node(NodeId(0)))
+            .build(positions, area)
+            .unwrap();
+        net.set_battery(Some(BatteryBank::uniform(4, NodeId(0), 1e9)));
+        net.set_parent_policy(ParentPolicy::PowerAware);
+        assert_eq!(net.routing().parent(NodeId(3)), Some(NodeId(1)));
+        // Equal residuals: the boundary re-evaluation changes nothing.
+        assert!(net.apply_churn(0).is_empty());
+        // Drain node 1; at the next boundary 3 rotates its link to 2.
+        net.battery_mut().unwrap().debit(NodeId(1), 5e8);
+        let out = net.apply_churn(0);
+        assert_eq!(out.reattached, vec![NodeId(3)]);
+        assert!(out.crashed.is_empty() && out.depleted.is_empty());
+        assert_eq!(net.routing().parent(NodeId(3)), Some(NodeId(2)));
+        // The rotation was charged as repair control traffic.
+        assert!(net.stats().phase(PHASE_REPAIR).ack_packets >= 2);
     }
 
     #[test]

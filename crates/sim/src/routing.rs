@@ -8,6 +8,35 @@ use std::collections::BTreeMap;
 /// nodes).
 const NO_PARENT: u32 = u32::MAX;
 
+/// How a node picks among equally-shallow candidate parents.
+///
+/// Depth is never traded away: both policies keep every node at its
+/// BFS-minimal hop count, which is what preserves the repair machinery's
+/// rebuild-identical-depths guarantee (and with it the executors'
+/// liveness-projected exactness). The policies differ only in which
+/// depth-minimal neighbor carries the node's subtree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ParentPolicy {
+    /// CTP's converged state: ties broken by link quality (shorter link),
+    /// then node id. Deterministic and battery-oblivious. The default.
+    #[default]
+    MinHop,
+    /// Power-aware parent selection per the PAR recipe: among the
+    /// depth-minimal candidates, pick the one with the most residual
+    /// battery energy (ties by shorter link, then id). Re-evaluated at
+    /// every churn/repair boundary via [`RoutingTree::reselect_parents`],
+    /// so load rotates away from nearly-drained relays instead of pinning
+    /// the bottleneck subtree on one node until it dies. A no-op unless a
+    /// [`crate::BatteryBank`] is attached to supply residuals.
+    PowerAware,
+}
+
+/// [`ParentPolicy::PowerAware`]'s rotation dead band: a sibling only adopts
+/// a subtree when its residual energy exceeds the current parent's by this
+/// factor. See [`RoutingTree::reselect_parents`] for why the dead band is
+/// load-bearing and not a tuning nicety.
+pub const POWER_AWARE_HYSTERESIS: f64 = 1.25;
+
 /// A collection (routing) tree rooted at the base station.
 ///
 /// "Based on a periodic beaconing mechanism, each node maintains a parent
@@ -375,6 +404,102 @@ impl RoutingTree {
         report.orphaned.sort_unstable();
         self.rebuild_derived();
         report
+    }
+
+    /// [`ParentPolicy::PowerAware`]'s boundary re-evaluation: every routed
+    /// live node re-picks its parent among *all* live depth-(d−1) routed
+    /// neighbors — the same candidate set BFS tie-breaking chose from —
+    /// ranked by *residual energy per unit of routed load*,
+    /// `residual[u] / (descendants(u) + 1)`, ties broken by shorter link
+    /// then smaller id. A relay's drain rate is proportional to the subtree
+    /// it forwards for, so this score is (up to the shared per-round
+    /// constant) the candidate's rounds-to-exhaustion: ranking by it moves
+    /// subtrees to the parent that will *survive longest after adopting
+    /// them*, not merely the one with the fullest battery right now.
+    /// Loads are tracked intra-boundary — a candidate that just adopted a
+    /// subtree earlier in this pass scores lower for the next mover, and a
+    /// parent that shed one scores higher — so movers fan out across the
+    /// sibling ring instead of dogpiling onto the single richest node.
+    /// Depths are untouched, so the tree stays BFS-minimal and every
+    /// repair invariant holds; only which sibling carries each subtree
+    /// changes.
+    ///
+    /// A rotation only happens when the best candidate's post-adoption
+    /// score exceeds the current parent's by the
+    /// [`POWER_AWARE_HYSTERESIS`] factor. Without the dead band, every
+    /// boundary re-ranks on last round's noise: subtrees ping-pong between
+    /// near-equal siblings and the rotation beacons (a broadcast charges
+    /// every neighbor's receiver) drain the network faster than min-hop
+    /// ever would.
+    ///
+    /// Returns the nodes whose parent changed (their new ancestors hold no
+    /// synopses about them — executors must reconcile them exactly like
+    /// repair reattachments). Derived state is rebuilt iff anything moved.
+    pub fn reselect_parents(
+        &mut self,
+        topology: &Topology,
+        alive: &[bool],
+        residual: &[f64],
+    ) -> Vec<NodeId> {
+        let n = topology.len();
+        assert_eq!(alive.len(), n, "one liveness flag per node");
+        assert_eq!(residual.len(), n, "one residual per node");
+        let mut changed = Vec::new();
+        // Subtree weight adopted (+) or shed (−) per candidate within this
+        // pass, so later movers see the loads earlier moves already created.
+        let mut delta = vec![0i64; n];
+        for v in topology.nodes() {
+            let i = v.0 as usize;
+            let d = self.depth[i];
+            if v == self.base || d == u32::MAX || !alive[i] {
+                continue;
+            }
+            let cur = NodeId(self.parent[i]);
+            let pv = topology.position(v);
+            // The load `v` brings: its whole subtree plus itself.
+            let w = self.descendants[i] as i64 + 1;
+            // Rounds-to-exhaustion proxy for keeping the status quo (the
+            // current parent's load already includes `w`) vs. adopting
+            // (candidates are charged `w` on top of their present load).
+            let load_of = |u: NodeId, extra: i64| -> f64 {
+                let ui = u.0 as usize;
+                (self.descendants[ui] as i64 + 1 + delta[ui] + extra).max(1) as f64
+            };
+            let cur_score = residual[cur.0 as usize] / load_of(cur, 0);
+            let mut best = cur;
+            let mut best_score = cur_score;
+            for &u in topology.neighbors(v) {
+                let ui = u.0 as usize;
+                if u == cur || !alive[ui] || self.depth[ui] != d - 1 {
+                    continue;
+                }
+                let score = residual[ui] / load_of(u, w);
+                let better = match score.total_cmp(&best_score) {
+                    std::cmp::Ordering::Greater => true,
+                    std::cmp::Ordering::Less => false,
+                    std::cmp::Ordering::Equal => {
+                        // Tie-break: shorter link, then smaller id.
+                        let d_best = topology.position(best).distance(&pv);
+                        let d_new = topology.position(u).distance(&pv);
+                        d_new < d_best - 1e-12 || (d_new <= d_best + 1e-12 && u < best)
+                    }
+                };
+                if better {
+                    best = u;
+                    best_score = score;
+                }
+            }
+            if best != cur && best_score > cur_score * POWER_AWARE_HYSTERESIS {
+                self.parent[i] = best.0;
+                delta[best.0 as usize] += w;
+                delta[cur.0 as usize] -= w;
+                changed.push(v);
+            }
+        }
+        if !changed.is_empty() {
+            self.rebuild_derived();
+        }
+        changed
     }
 
     /// Rebuilds the children CSR, the cached post-order, descendant counts
@@ -863,6 +988,38 @@ mod tests {
             assert_eq!(tree.depth(v), reference.depth(v));
             assert_eq!(tree.descendants(v), reference.descendants(v));
         }
+    }
+
+    #[test]
+    fn power_aware_reselection_rotates_by_residual() {
+        // Diamond: base 0; 1 and 2 both at depth 1, equidistant from 3.
+        let positions = vec![
+            Position::new(50.0, 25.0),
+            Position::new(90.0, 5.0),
+            Position::new(90.0, 45.0),
+            Position::new(130.0, 25.0),
+        ];
+        let t = Topology::new(positions, Area::new(200.0, 50.0), 50.0);
+        let mut tree = RoutingTree::build(&t, NodeId(0));
+        // Min-hop tie-break (equal links) lands on the smaller id.
+        assert_eq!(tree.parent(NodeId(3)), Some(NodeId(1)));
+        let alive = vec![true; 4];
+        // Equal residuals: the min-hop choice is already the best.
+        let same = tree.reselect_parents(&t, &alive, &[f64::INFINITY, 50.0, 50.0, 50.0]);
+        assert!(same.is_empty());
+        // Node 2 has more battery left: 3 rotates its subtree over.
+        let moved = tree.reselect_parents(&t, &alive, &[f64::INFINITY, 10.0, 100.0, 50.0]);
+        assert_eq!(moved, vec![NodeId(3)]);
+        assert_eq!(tree.parent(NodeId(3)), Some(NodeId(2)));
+        assert_eq!(tree.depth(NodeId(3)), Some(2), "depths never change");
+        assert_eq!(tree.children(NodeId(2)), &[NodeId(3)]);
+        assert_eq!(tree.children(NodeId(1)), &[] as &[NodeId]);
+        assert_eq!(tree.descendants(NodeId(2)), 1);
+        assert_valid_tree(&tree, &t, &alive);
+        // And back, once 1 recovers the lead.
+        let back = tree.reselect_parents(&t, &alive, &[f64::INFINITY, 100.0, 10.0, 50.0]);
+        assert_eq!(back, vec![NodeId(3)]);
+        assert_eq!(tree.parent(NodeId(3)), Some(NodeId(1)));
     }
 
     #[test]

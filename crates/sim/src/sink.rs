@@ -11,7 +11,7 @@
 //! accumulation (same addition order) and every trace row (same sequence
 //! numbers) is bit-identical to serial execution.
 
-use crate::{NetworkStats, Trace};
+use crate::{BatteryBank, NetworkStats, Trace};
 use sensjoin_relation::NodeId;
 
 /// The charge-call surface of a transfer: statistics records plus trace
@@ -47,27 +47,44 @@ pub(crate) trait StatSink {
     );
 }
 
-/// The serial sink: charges land immediately on the network's counters.
+/// The serial sink: charges land immediately on the network's counters —
+/// and, when a battery bank is attached, every µJ is debited from the
+/// charged node's battery at the same call site.
 pub(crate) struct DirectSink<'a> {
     pub stats: &'a mut NetworkStats,
     pub trace: Option<&'a mut Trace>,
+    pub battery: Option<&'a mut BatteryBank>,
+}
+
+impl DirectSink<'_> {
+    #[inline]
+    fn debit(&mut self, node: NodeId, uj: f64) {
+        if let Some(b) = &mut self.battery {
+            b.debit(node, uj);
+        }
+    }
 }
 
 impl StatSink for DirectSink<'_> {
     fn record_tx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
         self.stats.record_tx(node, payload, uj, phase);
+        self.debit(node, uj);
     }
     fn record_rx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
         self.stats.record_rx(node, payload, uj, phase);
+        self.debit(node, uj);
     }
     fn record_retx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
         self.stats.record_retx(node, payload, uj, phase);
+        self.debit(node, uj);
     }
     fn record_ack(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {
         self.stats.record_ack(node, payload, uj, phase);
+        self.debit(node, uj);
     }
     fn record_energy(&mut self, node: NodeId, uj: f64, phase: &str) {
         self.stats.record_energy(node, uj, phase);
+        self.debit(node, uj);
     }
     fn record_loss(&mut self, node: NodeId, phase: &str) {
         self.stats.record_loss(node, phase);
@@ -196,10 +213,24 @@ impl StatLedger {
         (self.phases.len() - 1) as u16
     }
 
-    /// Replays every recorded call, in order, against `stats` and `trace`.
-    pub(crate) fn replay(self, stats: &mut NetworkStats, mut trace: Option<&mut Trace>) {
+    /// Replays every recorded call, in order, against `stats`, `trace` and
+    /// (when attached) `battery`. Battery debits happen during the serial
+    /// replay — never inside the worker threads — so the per-node f64 debit
+    /// order, and therefore the depletion schedule, is bit-identical
+    /// between serial and parallel wave execution.
+    pub(crate) fn replay(
+        self,
+        stats: &mut NetworkStats,
+        mut trace: Option<&mut Trace>,
+        mut battery: Option<&mut BatteryBank>,
+    ) {
         let StatLedger { phases, events, .. } = self;
         let phase = |id: u16| phases[id as usize].as_str();
+        let debit = |battery: &mut Option<&mut BatteryBank>, node: NodeId, uj: f64| {
+            if let Some(b) = battery.as_deref_mut() {
+                b.debit(node, uj);
+            }
+        };
         for ev in events {
             match ev {
                 StatEvent::Tx {
@@ -209,6 +240,7 @@ impl StatLedger {
                     phase: p,
                 } => {
                     stats.record_tx(node, payload, uj, phase(p));
+                    debit(&mut battery, node, uj);
                 }
                 StatEvent::Rx {
                     node,
@@ -217,6 +249,7 @@ impl StatLedger {
                     phase: p,
                 } => {
                     stats.record_rx(node, payload, uj, phase(p));
+                    debit(&mut battery, node, uj);
                 }
                 StatEvent::Retx {
                     node,
@@ -225,6 +258,7 @@ impl StatLedger {
                     phase: p,
                 } => {
                     stats.record_retx(node, payload, uj, phase(p));
+                    debit(&mut battery, node, uj);
                 }
                 StatEvent::Ack {
                     node,
@@ -233,9 +267,11 @@ impl StatLedger {
                     phase: p,
                 } => {
                     stats.record_ack(node, payload, uj, phase(p));
+                    debit(&mut battery, node, uj);
                 }
                 StatEvent::Energy { node, uj, phase: p } => {
                     stats.record_energy(node, uj, phase(p));
+                    debit(&mut battery, node, uj);
                 }
                 StatEvent::Loss { node, phase: p } => {
                     stats.record_loss(node, phase(p));

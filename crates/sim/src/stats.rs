@@ -31,6 +31,9 @@ pub struct NodeStats {
     /// Data fragments addressed to this node that were permanently lost
     /// (never delivered within the retry budget).
     pub lost_packets: u64,
+    /// Crash-stop deaths of this node (exogenous churn or battery
+    /// exhaustion; a node that revives and dies again counts twice).
+    pub deaths: u64,
     /// Energy spent (µJ), transmission + reception, including all
     /// reliability traffic.
     pub energy_uj: f64,
@@ -57,6 +60,7 @@ impl NodeStats {
         self.ack_packets += other.ack_packets;
         self.ack_bytes += other.ack_bytes;
         self.lost_packets += other.lost_packets;
+        self.deaths += other.deaths;
         self.energy_uj += other.energy_uj;
     }
 }
@@ -138,6 +142,13 @@ impl NetworkStats {
             .lost_packets += 1;
     }
 
+    /// Records one crash-stop death of `node` (exogenous churn or battery
+    /// exhaustion).
+    pub fn record_death(&mut self, node: NodeId, phase: &str) {
+        self.per_node[node.0 as usize].deaths += 1;
+        self.per_phase.entry(phase.to_owned()).or_default().deaths += 1;
+    }
+
     /// Charges pure energy at `node` (e.g. receiving a control frame or a
     /// duplicate fragment) without touching any packet counter.
     pub fn record_energy(&mut self, node: NodeId, uj: f64, phase: &str) {
@@ -208,6 +219,12 @@ impl NetworkStats {
     /// Total permanently lost data fragments network-wide.
     pub fn total_lost_packets(&self) -> u64 {
         self.per_node.iter().map(|s| s.lost_packets).sum()
+    }
+
+    /// Total crash-stop deaths network-wide (revive-and-die-again counts
+    /// every time).
+    pub fn total_deaths(&self) -> u64 {
+        self.per_node.iter().map(|s| s.deaths).sum()
     }
 
     /// The highest per-node transmission count and the node attaining it
