@@ -1914,6 +1914,158 @@ pub fn serving(n: usize, seed: u64) -> String {
     rep.finish()
 }
 
+/// Extension: base-station crash recovery — crash-anywhere resume
+/// equivalence and checkpoint cost at experiment scale.
+pub fn recovery(n: usize, seed: u64) -> String {
+    use sensjoin_core::persist::{self, CheckpointStore, CrashPoint, Reader, Writer};
+    use sensjoin_core::ContinuousSensJoin;
+    use sensjoin_field::{presets, Area, Placement};
+    use sensjoin_query::parse;
+    use std::time::Instant;
+
+    const ROUNDS: u64 = 6;
+    const EVERY: u64 = 2;
+    let nodes = (n / 4).clamp(80, 600);
+    let sql = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+               WHERE A.temp - B.temp > 4.0 SAMPLE PERIOD 30";
+
+    let mut rep = Report::new("Extension — base-station crash recovery");
+    rep.para(&format!(
+        "The base station checkpoints the full mutable state (engine, \
+         filter population, network stats/trace/RNG streams) every \
+         {EVERY} rounds and appends a per-round result digest to a \
+         write-ahead log. After a crash, `--resume` restores the newest \
+         valid snapshot and re-executes the logged suffix, verifying each \
+         replayed round's digest. Continuous band join over {nodes} nodes \
+         (seed {seed}); every registered crash point is injected once. \
+         `cargo bench --bench recovery_overhead` asserts the ≤ 10 % \
+         steady-state overhead and ≤ 0.3× recovery gates at full scale."
+    ));
+
+    let build = || {
+        let specs = presets::indoor_climate();
+        let snet = sensjoin_core::SensorNetworkBuilder::new()
+            .area(Area::new(600.0, 600.0))
+            .placement(Placement::UniformRandom { n: nodes })
+            .fields(specs.clone())
+            .seed(seed)
+            .build()
+            .unwrap();
+        let cq = snet.compile(&parse(sql).unwrap()).unwrap();
+        (snet, cq, specs)
+    };
+    let digest_of = |out: &sensjoin_core::JoinOutcome| {
+        let mut w = Writer::new();
+        w.put_usize(out.result.len());
+        w.put_u64(out.stats.total_tx_bytes());
+        w.put_u64(out.latency_us);
+        persist::fnv1a(&w.into_bytes())
+    };
+    let dir_base =
+        std::env::temp_dir().join(format!("sensjoin-ex-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir_base);
+
+    // Reference run with checkpointing.
+    let run_with_store =
+        |dir: &std::path::Path, crash: Option<(CrashPoint, u32)>| -> (Vec<u64>, bool) {
+            let mut store = CheckpointStore::open(dir).unwrap();
+            if let Some((p, occ)) = crash {
+                store.arm_crash(p, occ);
+            }
+            let (mut snet, cq, specs) = build();
+            let mut cont = ContinuousSensJoin::new();
+            let mut digests = Vec::new();
+            for r in 0..ROUNDS {
+                if r > 0 {
+                    snet.resample(&specs, seed.wrapping_add(r));
+                }
+                let out = cont.execute_round(&mut snet, &cq).unwrap();
+                digests.push(digest_of(&out));
+                let mut step = || -> Result<(), persist::RecoveryError> {
+                    store.crash_check(CrashPoint::PostRound)?;
+                    let mut w = Writer::new();
+                    w.put_u64(r);
+                    w.put_u64(digests[r as usize]);
+                    store.append_wal(&w.into_bytes())?;
+                    if (r + 1) % EVERY == 0 {
+                        let mut w = Writer::new();
+                        cont.encode_state(&mut w);
+                        persist::put_net_snapshot(&mut w, &snet.net().export_state());
+                        store.save_snapshot(r + 1, &w.into_bytes())?;
+                    }
+                    Ok(())
+                };
+                if step().is_err() {
+                    return (digests, true);
+                }
+            }
+            (digests, false)
+        };
+
+    let ref_dir = dir_base.join("ref");
+    let (ref_digests, crashed) = run_with_store(&ref_dir, None);
+    assert!(!crashed);
+
+    let mut rows = Vec::new();
+    for point in CrashPoint::ALL {
+        let dir = dir_base.join(format!("{point}"));
+        let (_, crashed) = run_with_store(&dir, Some((point, 2)));
+        assert!(crashed, "injected crash at {point} did not fire");
+
+        // Resume: restore + replay, timing the recovery.
+        let t0 = Instant::now();
+        let store = CheckpointStore::open(&dir).unwrap();
+        let rec = store.recover().unwrap();
+        let (mut snet, cq, specs) = build();
+        let mut cont = ContinuousSensJoin::new();
+        let mut start = 0;
+        if let Some((seq, payload)) = &rec.snapshot {
+            let mut r = Reader::new(payload);
+            cont.restore_state(&mut r, &cq).unwrap();
+            let snap = persist::get_net_snapshot(&mut r).unwrap();
+            snet.net_mut().restore_state(&snap);
+            r.expect_end().unwrap();
+            start = *seq;
+        }
+        let mut identical = true;
+        for r in start..ROUNDS {
+            if r > 0 {
+                snet.resample(&specs, seed.wrapping_add(r));
+            }
+            let out = cont.execute_round(&mut snet, &cq).unwrap();
+            identical &= digest_of(&out) == ref_digests[r as usize];
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        rows.push(vec![
+            format!("{point}"),
+            format!("{start}"),
+            format!("{}", ROUNDS - start),
+            format!("{:.0}", dt * 1e3),
+            if identical { "yes".into() } else { "NO".into() },
+        ]);
+        assert!(identical, "resume after {point} diverged");
+    }
+    rep.table(
+        &[
+            "crash point",
+            "rounds restored",
+            "rounds replayed",
+            "resume [ms]",
+            "bit-identical",
+        ],
+        &rows,
+    );
+    rep.para(
+        "Snapshots are length-prefixed and CRC-checksummed; torn or \
+         bit-flipped artifacts are detected and skipped (falling back to \
+         the previous snapshot, then to a cold start) with the degradation \
+         reported, never a panic or a silently wrong answer \
+         (property-tested in `crates/core/tests/recovery_equivalence.rs`).",
+    );
+    let _ = std::fs::remove_dir_all(&dir_base);
+    rep.finish()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -2001,6 +2153,14 @@ mod tests {
         let md = bloom_comparison(N, 1);
         assert!(md.contains("rejected"));
         assert!(md.contains("Bloom semi-join"));
+    }
+
+    #[test]
+    fn recovery_smoke() {
+        let md = recovery(N, 1);
+        assert!(md.contains("crash point"));
+        assert!(md.contains("PostSnapshotRename"));
+        assert!(!md.contains("| NO |"));
     }
 
     #[test]

@@ -2,6 +2,7 @@
 
 use crate::args::Args;
 use crate::csvdata;
+use sensjoin_core::persist::{self, CheckpointStore, CrashPoint, Reader, Writer};
 use sensjoin_core::workload::RangeQueryFamily;
 use sensjoin_core::{
     exact_join, kernels_active, ContinuousSensJoin, CostModel, ExternalJoin, GroupRunner,
@@ -52,6 +53,17 @@ CHANNEL OPTIONS (run, multi, continuous, lifetime):
   --arq POLICY     none|ack|summary                  [default: ack when lossy]
   --retries R      ARQ retry / repair-round budget   [default: 3]
   --loss-seed S    channel randomness seed           [default: 7]
+
+CHECKPOINT OPTIONS (continuous, stream, serve):
+  --checkpoint-dir DIR   snapshot + write-ahead-log directory; enables
+                         crash recovery for the run
+  --checkpoint-every K   rounds/batches/ticks between snapshots [default: 1]
+  --resume               resume from the latest valid checkpoint in DIR;
+                         the completed prefix is skipped and the suffix
+                         re-executes bit-identically
+  --crash-at P[:N]       inject a crash at point P (PostRound, MidWalAppend,
+                         PostWalAppend, MidSnapshotWrite, PostSnapshotTmp,
+                         PostSnapshotRename), on its N-th occurrence
 
 CHURN OPTIONS (run, multi, continuous, lifetime):
   --churn H        enable node churn, sampled over a horizon of H seconds
@@ -312,6 +324,144 @@ fn field_specs(args: &Args) -> Result<Vec<FieldSpec>, String> {
     })
 }
 
+/// Options shared by every subcommand that can checkpoint and resume.
+const CHECKPOINT_OPTS: &[&str] = &["checkpoint-dir", "checkpoint-every", "resume", "crash-at"];
+
+/// Parsed `--checkpoint-dir` / `--checkpoint-every` / `--resume` /
+/// `--crash-at` configuration. `store` is `None` when checkpointing is off.
+struct Checkpointing {
+    store: Option<CheckpointStore>,
+    every: u64,
+    resume: bool,
+}
+
+/// Parses the checkpoint flags, opening (and possibly crash-arming) the
+/// store. The dependent flags are rejected without `--checkpoint-dir`.
+fn checkpoint_args(args: &Args) -> Result<Checkpointing, String> {
+    let every: u64 = args
+        .get_or("checkpoint-every", 1, "integer")
+        .map_err(|e| e.to_string())?;
+    if every == 0 {
+        return Err("--checkpoint-every must be positive".into());
+    }
+    let Some(dir) = args.get_str("checkpoint-dir") else {
+        for opt in &CHECKPOINT_OPTS[1..] {
+            if args.get_str(opt).is_some() {
+                return Err(format!("--{opt} needs --checkpoint-dir DIR"));
+            }
+        }
+        return Ok(Checkpointing {
+            store: None,
+            every,
+            resume: false,
+        });
+    };
+    let mut store = CheckpointStore::open(dir).map_err(|e| e.to_string())?;
+    if let Some(spec) = args.get_str("crash-at") {
+        let (name, occurrence) = match spec.split_once(':') {
+            Some((n, o)) => (
+                n,
+                o.parse()
+                    .map_err(|_| format!("bad --crash-at occurrence in {spec:?}"))?,
+            ),
+            None => (spec, 1),
+        };
+        let point = CrashPoint::ALL
+            .into_iter()
+            .find(|p| p.to_string().eq_ignore_ascii_case(name))
+            .ok_or_else(|| {
+                format!(
+                    "bad --crash-at point {name:?} (one of {:?})",
+                    CrashPoint::ALL
+                )
+            })?;
+        store.arm_crash(point, occurrence);
+    }
+    Ok(Checkpointing {
+        store: Some(store),
+        every,
+        resume: args.flag("resume"),
+    })
+}
+
+/// FNV-1a digest of a round outcome — what the WAL records per round so a
+/// resumed run can verify its re-executed suffix is bit-identical.
+fn outcome_digest(out: &JoinOutcome) -> u64 {
+    let mut w = Writer::new();
+    match &out.result {
+        JoinResult::Rows(rows) => {
+            w.put_u8(0);
+            w.put_usize(rows.len());
+            for row in rows {
+                persist::put_f64_vec(&mut w, row);
+            }
+        }
+        JoinResult::Aggregate(vals) => {
+            w.put_u8(1);
+            w.put_usize(vals.len());
+            for v in vals {
+                match v {
+                    Some(v) => {
+                        w.put_bool(true);
+                        w.put_f64(*v);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+        }
+    }
+    w.put_u64(out.stats.total_tx_bytes());
+    w.put_u64(out.latency_us);
+    w.put_bool(out.complete);
+    persist::fnv1a(&w.into_bytes())
+}
+
+/// Decodes the recovered WAL into a `round → digest` map, keeping only
+/// records past `start` (earlier rounds are covered by the snapshot).
+fn wal_round_digests(
+    wal: &[Vec<u8>],
+    start: u64,
+) -> Result<std::collections::BTreeMap<u64, u64>, String> {
+    let mut digests = std::collections::BTreeMap::new();
+    for payload in wal {
+        let mut r = Reader::new(payload);
+        let mut decode = || -> Result<(u64, u64), persist::CodecError> {
+            let round = r.get_u64()?;
+            let digest = r.get_u64()?;
+            r.expect_end()?;
+            Ok((round, digest))
+        };
+        let (round, digest) = decode().map_err(|e| format!("bad WAL record: {e}"))?;
+        if round >= start {
+            digests.insert(round, digest);
+        }
+    }
+    Ok(digests)
+}
+
+/// Verifies a re-executed round against its WAL digest, or appends a fresh
+/// record for a round the WAL has not seen.
+fn log_or_verify_round(
+    store: &mut CheckpointStore,
+    digests: &std::collections::BTreeMap<u64, u64>,
+    round: u64,
+    digest: u64,
+) -> Result<(), String> {
+    match digests.get(&round) {
+        Some(&logged) if logged != digest => Err(format!(
+            "resume replay diverged at round {round}: result digest does not match the WAL \
+             (checkpoint directory does not belong to this configuration?)"
+        )),
+        Some(_) => Ok(()),
+        None => {
+            let mut w = Writer::new();
+            w.put_u64(round);
+            w.put_u64(digest);
+            store.append_wal(&w.into_bytes()).map_err(|e| e.to_string())
+        }
+    }
+}
+
 fn cmd_multi(args: &Args) -> Result<(), String> {
     let mut known = vec![
         "nodes", "area", "seed", "base", "fields", "epochs", "every", "period", "data",
@@ -415,6 +565,7 @@ fn cmd_continuous(args: &Args) -> Result<(), String> {
     known.extend_from_slice(ENERGY_OPTS);
     known.extend_from_slice(CHANNEL_OPTS);
     known.extend_from_slice(CHURN_OPTS);
+    known.extend_from_slice(CHECKPOINT_OPTS);
     args.ensure_known(&known).map_err(|e| e.to_string())?;
     let sql = args
         .get_str("sql")
@@ -441,17 +592,45 @@ fn cmd_continuous(args: &Args) -> Result<(), String> {
     let q = parse(&sql).map_err(|e| e.to_string())?;
     let cq = snet.compile(&q).map_err(|e| e.to_string())?;
     let mut cont = ContinuousSensJoin::with_epsilon(epsilon);
+    let mut ckpt = checkpoint_args(args)?;
+    let mut start_round = 0u64;
+    let mut wal_digests = std::collections::BTreeMap::new();
+    if ckpt.resume {
+        let store = ckpt.store.as_ref().expect("--resume implies a store");
+        let rec = store.recover().map_err(|e| e.to_string())?;
+        if rec.degraded {
+            eprintln!("warning: corrupt checkpoint artifacts skipped; resuming from older state");
+        }
+        if let Some((seq, payload)) = rec.snapshot {
+            let mut r = Reader::new(&payload);
+            let mut restore = || -> Result<(), persist::CodecError> {
+                cont.restore_state(&mut r, &cq)?;
+                let snap = persist::get_net_snapshot(&mut r)?;
+                snet.net_mut().restore_state(&snap);
+                r.expect_end()
+            };
+            restore().map_err(|e| format!("snapshot state decode failed: {e}"))?;
+            start_round = seq;
+        }
+        wal_digests = wal_round_digests(&rec.wal, start_round)?;
+    }
     println!(
         "network: {} nodes, {} rounds, epsilon {epsilon}, energy model {}",
         snet.len(),
         rounds,
         energy_model(args)?.1
     );
+    if start_round > 0 {
+        println!(
+            "resumed from checkpoint: {start_round} rounds restored, {} logged rounds to replay",
+            wal_digests.len()
+        );
+    }
     println!(
         "\n{:>5} {:>6} {:>10} {:>9} {:>10}",
         "round", "rows", "bytes", "retx", "overhead"
     );
-    for r in 0..rounds {
+    for r in start_round..rounds {
         if r > 0 && !specs.is_empty() {
             snet.resample(&specs, seed.wrapping_add(r));
         }
@@ -466,6 +645,23 @@ fn cmd_continuous(args: &Args) -> Result<(), String> {
             out.stats.total_retx_packets(),
             out.stats.total_overhead_bytes()
         );
+        if let Some(store) = &mut ckpt.store {
+            store
+                .crash_check(CrashPoint::PostRound)
+                .map_err(|e| e.to_string())?;
+            log_or_verify_round(store, &wal_digests, r, outcome_digest(&out))?;
+            if (r + 1) % ckpt.every == 0 {
+                // The checkpoint trace row must land inside the snapshot so
+                // a resumed run's trace matches the uninterrupted one.
+                snet.net_mut().note_checkpoint("continuous");
+                let mut w = Writer::new();
+                cont.encode_state(&mut w);
+                persist::put_net_snapshot(&mut w, &snet.net().export_state());
+                store
+                    .save_snapshot(r + 1, &w.into_bytes())
+                    .map_err(|e| e.to_string())?;
+            }
+        }
     }
     Ok(())
 }
@@ -594,7 +790,10 @@ fn cmd_lifetime(args: &Args) -> Result<(), String> {
             .execute_round(&mut snet, &cq)
             .map_err(|e| e.to_string())?;
         let end = run.observe(snet.net());
-        let bank = snet.net().battery().expect("battery attached above");
+        let bank = snet
+            .net()
+            .battery()
+            .ok_or("internal: battery bank missing after attach")?;
         let base = snet.base();
         let live = (0..snet.len() as u32)
             .map(NodeId)
@@ -657,7 +856,10 @@ fn cmd_lifetime(args: &Args) -> Result<(), String> {
         println!("death order: {}", order.join(" "));
     }
     if let Some(path) = trace_path {
-        let trace = snet.net().trace().expect("tracing was enabled");
+        let trace = snet
+            .net()
+            .trace()
+            .ok_or("internal: trace missing after enabling tracing")?;
         std::fs::write(&path, trace.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
         println!(
             "\nwrote {} trace records ({} packets) to {path}",
@@ -684,8 +886,17 @@ fn stream_per_rel(snet: &SensorNetwork, cq: &CompiledQuery, v: NodeId) -> Vec<Op
         .collect()
 }
 
+/// One step of the stream driver's LCG; the state is a plain `u64` so
+/// checkpoints can carry it.
+fn lcg_pick(rng: &mut u64, m: u64) -> u64 {
+    *rng = rng
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*rng >> 33) % m.max(1)
+}
+
 fn cmd_stream(args: &Args) -> Result<(), String> {
-    args.ensure_known(&[
+    let mut known = vec![
         "nodes",
         "area",
         "seed",
@@ -697,8 +908,9 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         "expire",
         "verify-every",
         "data",
-    ])
-    .map_err(|e| e.to_string())?;
+    ];
+    known.extend_from_slice(CHECKPOINT_OPTS);
+    args.ensure_known(&known).map_err(|e| e.to_string())?;
     let sql = args
         .get_str("sql")
         .ok_or("stream needs --sql \"SELECT ...\"")?
@@ -741,12 +953,6 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
     let mut shadow: std::collections::BTreeMap<NodeId, Vec<Option<Vec<f64>>>> =
         std::collections::BTreeMap::new();
     let mut rng: u64 = seed ^ 0x9e37_79b9_7f4a_7c15;
-    let mut pick = |m: u64| -> u64 {
-        rng = rng
-            .wrapping_mul(6364136223846793005)
-            .wrapping_add(1442695040888963407);
-        (rng >> 33) % m.max(1)
-    };
     let verify = |engine: &StreamJoinEngine,
                   shadow: &std::collections::BTreeMap<NodeId, Vec<Option<Vec<f64>>>>|
      -> Result<usize, String> {
@@ -774,37 +980,104 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         cq.num_relations(),
         kernels_active()
     );
-    // Cold load: every node arrives in one batch.
-    let ops: Vec<StreamOp> = (0..n)
-        .map(|i| {
-            let v = NodeId(i);
-            let per_rel = stream_per_rel(&snet, &cq, v);
-            shadow.insert(v, per_rel.clone());
-            StreamOp::Upsert { origin: v, per_rel }
-        })
-        .collect();
-    let cold = engine.apply_batch(&ops);
-    let (partitions, promoted) = engine.index_depth();
-    println!(
-        "cold load: {} ops, {} result rows cached, {} candidates, \
-         {partitions} index partitions ({promoted} promoted)",
-        cold.ops,
-        engine.cached_rows(),
-        cold.candidates,
-    );
+    let stream_digest = |stats: &sensjoin_core::BatchStats, cached_rows: usize| -> u64 {
+        let mut w = Writer::new();
+        persist::put_batch_stats(&mut w, stats);
+        w.put_usize(cached_rows);
+        persist::fnv1a(&w.into_bytes())
+    };
+    let mut ckpt = checkpoint_args(args)?;
+    let mut start_batch = 0u64;
+    let mut wal_digests = std::collections::BTreeMap::new();
+    let mut recovered = None;
+    if ckpt.resume {
+        let store = ckpt.store.as_ref().expect("--resume implies a store");
+        let rec = store.recover().map_err(|e| e.to_string())?;
+        if rec.degraded {
+            eprintln!("warning: corrupt checkpoint artifacts skipped; resuming from older state");
+        }
+        if let Some((seq, payload)) = rec.snapshot {
+            start_batch = seq;
+            recovered = Some(payload);
+        }
+        // Batch indexes are the WAL keys; the snapshot covers batch
+        // `start_batch` itself, so only strictly later records replay.
+        let wal_from = if recovered.is_some() {
+            start_batch + 1
+        } else {
+            0
+        };
+        wal_digests = wal_round_digests(&rec.wal, wal_from)?;
+    }
+    let mut cold = sensjoin_core::BatchStats::default();
     let mut total = sensjoin_core::BatchStats::default();
+    match recovered {
+        Some(payload) => {
+            let mut r = Reader::new(&payload);
+            let mut restore = || -> Result<(), persist::CodecError> {
+                cold = persist::get_batch_stats(&mut r)?;
+                total = persist::get_batch_stats(&mut r)?;
+                rng = r.get_u64()?;
+                let nshadow = r.get_count(5)?;
+                for _ in 0..nshadow {
+                    let v = NodeId(r.get_u32()?);
+                    let nrel = r.get_count(1)?;
+                    let mut per_rel = Vec::with_capacity(nrel);
+                    for _ in 0..nrel {
+                        per_rel.push(match r.get_bool()? {
+                            true => Some(persist::get_f64_vec(&mut r)?),
+                            false => None,
+                        });
+                    }
+                    shadow.insert(v, per_rel);
+                }
+                engine = persist::get_stream_engine(&mut r, cq.clone())?;
+                r.expect_end()
+            };
+            restore().map_err(|e| format!("snapshot state decode failed: {e}"))?;
+            println!(
+                "resumed from checkpoint: {start_batch} batches restored, \
+                 {} logged batches to replay",
+                wal_digests.len()
+            );
+        }
+        None => {
+            // Cold load: every node arrives in one batch.
+            let ops: Vec<StreamOp> = (0..n)
+                .map(|i| {
+                    let v = NodeId(i);
+                    let per_rel = stream_per_rel(&snet, &cq, v);
+                    shadow.insert(v, per_rel.clone());
+                    StreamOp::Upsert { origin: v, per_rel }
+                })
+                .collect();
+            cold = engine.apply_batch(&ops);
+            let (partitions, promoted) = engine.index_depth();
+            println!(
+                "cold load: {} ops, {} result rows cached, {} candidates, \
+                 {partitions} index partitions ({promoted} promoted)",
+                cold.ops,
+                engine.cached_rows(),
+                cold.candidates,
+            );
+            if let Some(store) = &mut ckpt.store {
+                let digest = stream_digest(&cold, engine.cached_rows());
+                log_or_verify_round(store, &wal_digests, 0, digest)?;
+            }
+        }
+    }
     println!(
         "\n{:>5} {:>5} {:>7} {:>7} {:>7} {:>11} {:>7}",
         "batch", "ops", "+rows", "-rows", "result", "candidates", "promos"
     );
-    for b in 1..=batches {
+    for b in (start_batch + 1)..=batches {
         if !specs.is_empty() {
             snet.resample(&specs, snet_seed.wrapping_add(b));
         }
         let upserts = ((rate * n as f64).ceil() as usize).clamp(1, n as usize);
         let mut chosen: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
         while chosen.len() < upserts {
-            chosen.insert(NodeId(pick(n as u64) as u32));
+            chosen.insert(NodeId(lcg_pick(&mut rng, n as u64) as u32));
         }
         let expirable: Vec<NodeId> = shadow
             .keys()
@@ -814,7 +1087,7 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
         let expires = ((expire * shadow.len() as f64).ceil() as usize).min(expirable.len());
         let mut victims: std::collections::BTreeSet<NodeId> = std::collections::BTreeSet::new();
         while victims.len() < expires {
-            victims.insert(expirable[pick(expirable.len() as u64) as usize]);
+            victims.insert(expirable[lcg_pick(&mut rng, expirable.len() as u64) as usize]);
         }
         let mut ops: Vec<StreamOp> = Vec::with_capacity(chosen.len() + victims.len());
         for &v in &chosen {
@@ -837,6 +1110,41 @@ fn cmd_stream(args: &Args) -> Result<(), String> {
             stats.promotions
         );
         total.merge(&stats);
+        if let Some(store) = &mut ckpt.store {
+            store
+                .crash_check(CrashPoint::PostRound)
+                .map_err(|e| e.to_string())?;
+            log_or_verify_round(
+                store,
+                &wal_digests,
+                b,
+                stream_digest(&stats, engine.cached_rows()),
+            )?;
+            if b % ckpt.every == 0 {
+                let mut w = Writer::new();
+                persist::put_batch_stats(&mut w, &cold);
+                persist::put_batch_stats(&mut w, &total);
+                w.put_u64(rng);
+                w.put_usize(shadow.len());
+                for (v, per_rel) in &shadow {
+                    w.put_u32(v.0);
+                    w.put_usize(per_rel.len());
+                    for pr in per_rel {
+                        match pr {
+                            Some(vals) => {
+                                w.put_bool(true);
+                                persist::put_f64_vec(&mut w, vals);
+                            }
+                            None => w.put_bool(false),
+                        }
+                    }
+                }
+                persist::put_stream_engine(&mut w, &engine);
+                store
+                    .save_snapshot(b, &w.into_bytes())
+                    .map_err(|e| e.to_string())?;
+            }
+        }
         if (verify_every > 0 && b.is_multiple_of(verify_every)) || b == batches {
             let rows = verify(&engine, &shadow)?;
             println!("       verify: streaming matches batch join ({rows} rows)");
@@ -1039,7 +1347,10 @@ fn cmd_run(args: &Args) -> Result<(), String> {
     }
     execute_and_print(&mut snet, &sql, &methods)?;
     if let Some(path) = trace_path {
-        let trace = snet.net().trace().expect("tracing was enabled");
+        let trace = snet
+            .net()
+            .trace()
+            .ok_or("internal: trace missing after enabling tracing")?;
         std::fs::write(&path, trace.to_csv()).map_err(|e| format!("writing {path}: {e}"))?;
         println!(
             "\nwrote {} trace records ({} packets) to {path}",
@@ -1225,7 +1536,7 @@ fn cmd_sweep(args: &Args) -> Result<(), String> {
 /// admission decisions, epoch batching, plan caching, and the metrics
 /// surface, printed per tick and summarized at the end.
 fn cmd_serve(args: &Args) -> Result<(), String> {
-    args.ensure_known(&[
+    let mut known = vec![
         "nodes",
         "seed",
         "tenants",
@@ -1238,8 +1549,9 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         "queue-depth",
         "admit-per-tick",
         "no-cache",
-    ])
-    .map_err(|e| e.to_string())?;
+    ];
+    known.extend_from_slice(CHECKPOINT_OPTS);
+    args.ensure_known(&known).map_err(|e| e.to_string())?;
     let nodes: usize = args
         .get_or("nodes", 80, "integer")
         .map_err(|e| e.to_string())?;
@@ -1282,29 +1594,65 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
         .map_err(|e| e.to_string())?;
     cfg.plan_cache = !args.flag("no-cache");
 
-    let mut server = Server::new(cfg);
-    for d in 0..deployments {
-        server
-            .add_deployment(&DeploymentSpec::new(
-                format!("dep{d}"),
-                nodes,
-                seed.wrapping_add(d as u64),
-            ))
-            .map_err(|e| e.to_string())?;
+    let mut ckpt = checkpoint_args(args)?;
+    let specs: Vec<DeploymentSpec> = (0..deployments)
+        .map(|d| DeploymentSpec::new(format!("dep{d}"), nodes, seed.wrapping_add(d as u64)))
+        .collect();
+    let mut start_tick = 0u64;
+    let mut next_tenant = 0u64;
+    let mut wal_digests = std::collections::BTreeMap::new();
+    let mut restored = None;
+    if ckpt.resume {
+        let store = ckpt.store.as_ref().expect("--resume implies a store");
+        let rec = store.recover().map_err(|e| e.to_string())?;
+        if rec.degraded {
+            eprintln!("warning: corrupt checkpoint artifacts skipped; resuming from older state");
+        }
+        if let Some((seq, payload)) = rec.snapshot {
+            let mut r = Reader::new(&payload);
+            let mut restore = || -> Result<(u64, Server), persist::CodecError> {
+                let nt = r.get_u64()?;
+                let bytes = r.get_bytes()?;
+                let server = Server::restore_state(cfg.clone(), &specs, &bytes)?;
+                r.expect_end()?;
+                Ok((nt, server))
+            };
+            let (nt, server) =
+                restore().map_err(|e| format!("snapshot state decode failed: {e}"))?;
+            next_tenant = nt;
+            restored = Some(server);
+            start_tick = seq;
+        }
+        wal_digests = wal_round_digests(&rec.wal, start_tick)?;
     }
+    let mut server = match restored {
+        Some(server) => server,
+        None => {
+            let mut server = Server::new(cfg);
+            for spec in &specs {
+                server.add_deployment(spec).map_err(|e| e.to_string())?;
+            }
+            server
+        }
+    };
     println!(
         "serving {deployments} deployments × {nodes} nodes; {tenants} tenants, \
          {qps} submissions/s for {duration_s} s (epoch every {period_s} s)"
     );
+    if start_tick > 0 {
+        println!(
+            "resumed from checkpoint: {start_tick} ticks restored, {} logged ticks to replay",
+            wal_digests.len()
+        );
+    }
 
     let ticks = duration_s.div_ceil(period_s);
     let per_tick = (qps * period_s as f64).round().max(0.0) as u64;
-    let mut next_tenant = 0u64;
     println!(
         "\n{:>5} {:>9} {:>9} {:>9} {:>6} {:>6} {:>7}",
         "tick", "submitted", "admitted", "rejected", "shed", "queue", "epochs"
     );
-    for t in 0..ticks {
+    for t in start_tick..ticks {
         let mut submitted = 0u64;
         let mut shed = 0u64;
         while submitted < per_tick && next_tenant < tenants {
@@ -1348,6 +1696,31 @@ fn cmd_serve(args: &Args) -> Result<(), String> {
             server.queue_len(),
             report.epochs.len()
         );
+        if let Some(store) = &mut ckpt.store {
+            store
+                .crash_check(CrashPoint::PostRound)
+                .map_err(|e| e.to_string())?;
+            let mut w = Writer::new();
+            w.put_u64(submitted);
+            w.put_u64(shed);
+            w.put_usize(admitted);
+            w.put_usize(rejected);
+            w.put_usize(server.queue_len());
+            w.put_usize(report.epochs.len());
+            for e in &report.epochs {
+                w.put_u64(e.tenant.0);
+                w.put_usize(e.outcome.result.len());
+            }
+            log_or_verify_round(store, &wal_digests, t, persist::fnv1a(&w.into_bytes()))?;
+            if (t + 1) % ckpt.every == 0 {
+                let mut w = Writer::new();
+                w.put_u64(next_tenant);
+                w.put_bytes(&server.export_state());
+                store
+                    .save_snapshot(t + 1, &w.into_bytes())
+                    .map_err(|e| e.to_string())?;
+            }
+        }
     }
 
     let m = server.metrics();
@@ -1419,6 +1792,80 @@ mod tests {
         assert_eq!(dispatch(&a), 0);
         assert_ne!(dispatch(&args("serve --bogus 1")), 0);
         assert_ne!(dispatch(&args("serve --deployments 0")), 0);
+    }
+
+    #[test]
+    fn checkpoint_flags_require_dir_and_sane_values() {
+        let sql = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                   WHERE A.temp - B.temp > 4.0 SAMPLE PERIOD 30";
+        let with_sql = |spec: &str| {
+            let mut a = args(spec);
+            a.options.insert("sql".into(), sql.into());
+            a
+        };
+        // Dependent flags without --checkpoint-dir are structured errors.
+        assert_ne!(
+            dispatch(&with_sql("continuous --nodes 40 --rounds 2 --resume")),
+            0
+        );
+        assert_ne!(
+            dispatch(&with_sql(
+                "continuous --nodes 40 --rounds 2 --checkpoint-every 2"
+            )),
+            0
+        );
+        assert_ne!(
+            dispatch(&with_sql(
+                "continuous --nodes 40 --rounds 2 --crash-at PostRound"
+            )),
+            0
+        );
+        // Zero cadence and unknown crash points are rejected too.
+        let dir = std::env::temp_dir().join(format!("sensjoin-cli-ckpt-{}", std::process::id()));
+        let dirs = dir.to_string_lossy().into_owned();
+        assert_ne!(
+            dispatch(&with_sql(&format!(
+                "continuous --nodes 40 --rounds 2 --checkpoint-dir {dirs} --checkpoint-every 0"
+            ))),
+            0
+        );
+        assert_ne!(
+            dispatch(&with_sql(&format!(
+                "continuous --nodes 40 --rounds 2 --checkpoint-dir {dirs} --crash-at Nowhere"
+            ))),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn continuous_crash_then_resume_completes() {
+        let sql = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                   WHERE A.temp - B.temp > 4.0 SAMPLE PERIOD 30";
+        let dir = std::env::temp_dir().join(format!("sensjoin-cli-resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dirs = dir.to_string_lossy().into_owned();
+        let with_sql = |spec: &str| {
+            let mut a = args(spec);
+            a.options.insert("sql".into(), sql.into());
+            a
+        };
+        // Injected crash exits nonzero but leaves durable state...
+        assert_ne!(
+            dispatch(&with_sql(&format!(
+                "continuous --nodes 40 --rounds 4 --checkpoint-dir {dirs} \
+                 --checkpoint-every 2 --crash-at PostRound:3"
+            ))),
+            0
+        );
+        // ...and --resume finishes the run cleanly.
+        assert_eq!(
+            dispatch(&with_sql(&format!(
+                "continuous --nodes 40 --rounds 4 --checkpoint-dir {dirs} --resume"
+            ))),
+            0
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -37,6 +37,7 @@ use crate::engine::JoinSpace;
 use crate::incremental::{CellCounts, FilterEngine};
 use crate::ingest::{StreamJoinEngine, StreamOp};
 use crate::outcome::{JoinOutcome, ProtocolError};
+use crate::persist;
 use crate::repr::{collect_node_data, project_to_schema, FullRec, JoinAttrMsg};
 use crate::snetwork::SensorNetwork;
 use crate::wave::{down_wave_sync, up_wave_sync, DownArrival};
@@ -341,6 +342,151 @@ impl ContinuousSensJoin {
     /// join work the base station performed across all rounds so far.
     pub fn delta_stats(&self) -> DeltaBatchStats {
         self.delta_stats
+    }
+
+    /// Serializes the executor's full mutable state (cumulative accounting
+    /// plus, when warm, the per-round [`State`]) for checkpointing. The
+    /// query and config are *not* serialized — the resuming process
+    /// reconstructs them deterministically and passes the query to
+    /// [`ContinuousSensJoin::restore_state`].
+    pub fn encode_state(&self, w: &mut persist::Writer) {
+        persist::put_delta_stats(w, &self.delta_stats);
+        w.put_u64(self.last_latency_us);
+        match &self.state {
+            None => w.put_bool(false),
+            Some(st) => {
+                w.put_bool(true);
+                persist::put_join_space(w, &st.space);
+                w.put_usize(st.last_cell.len());
+                for cell in &st.last_cell {
+                    match cell {
+                        None => w.put_bool(false),
+                        Some((z, f)) => {
+                            w.put_bool(true);
+                            w.put_u64(*z);
+                            w.put_u8(*f);
+                        }
+                    }
+                }
+                for values in &st.last_values {
+                    match values {
+                        None => w.put_bool(false),
+                        Some(v) => {
+                            w.put_bool(true);
+                            persist::put_f64_vec(w, v);
+                        }
+                    }
+                }
+                for &m in &st.matched {
+                    w.put_bool(m);
+                }
+                for f in &st.node_filter {
+                    persist::put_point_set(w, f);
+                }
+                for c in &st.subtree {
+                    persist::put_cell_counts(w, c);
+                }
+                persist::put_cell_counts(w, st.engine.counts());
+                persist::put_point_set(w, &st.filter);
+                w.put_usize(st.cache.len());
+                for (v, (flags, values)) in &st.cache {
+                    w.put_u32(v.0);
+                    w.put_u8(*flags);
+                    persist::put_f64_vec(w, values);
+                }
+                persist::put_stream_engine(w, &st.stream);
+                w.put_usize(st.drift_attrs.len());
+                for &a in &st.drift_attrs {
+                    w.put_usize(a);
+                }
+                w.put_u64(st.rounds);
+            }
+        }
+    }
+
+    /// Restores state serialized by [`ContinuousSensJoin::encode_state`].
+    /// `query` must be the same compiled query the state was saved under.
+    /// The filter engine is rebuilt by applying the saved counted population
+    /// as one delta from empty — bit-identical to the maintained engine by
+    /// the incremental filter's core guarantee.
+    pub fn restore_state(
+        &mut self,
+        r: &mut persist::Reader<'_>,
+        query: &CompiledQuery,
+    ) -> Result<(), persist::CodecError> {
+        use persist::CodecError;
+        self.delta_stats = persist::get_delta_stats(r)?;
+        self.last_latency_us = r.get_u64()?;
+        if !r.get_bool()? {
+            self.state = None;
+            return Ok(());
+        }
+        let space = persist::get_join_space(r)?;
+        let n = r.get_count(1)?;
+        let mut last_cell = Vec::new();
+        for _ in 0..n {
+            last_cell.push(if r.get_bool()? {
+                Some((r.get_u64()?, r.get_u8()?))
+            } else {
+                None
+            });
+        }
+        let mut last_values = Vec::new();
+        for _ in 0..n {
+            last_values.push(if r.get_bool()? {
+                Some(persist::get_f64_vec(r)?)
+            } else {
+                None
+            });
+        }
+        let mut matched = Vec::new();
+        for _ in 0..n {
+            matched.push(r.get_bool()?);
+        }
+        let mut node_filter = Vec::new();
+        for _ in 0..n {
+            node_filter.push(persist::get_point_set(r)?);
+        }
+        let mut subtree = Vec::new();
+        for _ in 0..n {
+            subtree.push(persist::get_cell_counts(r)?);
+        }
+        let counts = persist::get_cell_counts(r)?;
+        let mut engine = FilterEngine::new(query, &space);
+        engine.apply_delta(query, &space, &counts);
+        if engine.counts() != &counts {
+            return Err(CodecError::Invariant("filter engine counts diverged"));
+        }
+        let filter = persist::get_point_set(r)?;
+        let nc = r.get_count(8)?;
+        let mut cache = BTreeMap::new();
+        for _ in 0..nc {
+            let v = NodeId(r.get_u32()?);
+            let flags = r.get_u8()?;
+            cache.insert(v, (flags, persist::get_f64_vec(r)?));
+        }
+        let stream = persist::get_stream_engine(r, query.clone())?;
+        let na = r.get_count(8)?;
+        let mut drift_attrs = Vec::new();
+        for _ in 0..na {
+            drift_attrs.push(r.get_usize()?);
+        }
+        let rounds = r.get_u64()?;
+        self.state = Some(State {
+            space,
+            last_cell,
+            last_values,
+            matched,
+            node_filter,
+            subtree,
+            engine,
+            filter,
+            cache,
+            stream,
+            drift_attrs,
+            rounds,
+        });
+        Ok(())
     }
 
     /// Executes one round on the network's current snapshot.

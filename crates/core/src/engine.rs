@@ -78,6 +78,43 @@ impl JoinSpace {
         }
     }
 
+    /// Decomposes the space into plain data for checkpointing: per-dimension
+    /// `(name, min, max, resolution)`, the per-relation dimension maps, and
+    /// the shape's flag bits. A space must be *serialized*, never rebuilt
+    /// from resume-time readings — [`SensorNetwork::attr_bounds`] would see
+    /// different samples and yield a different quantization.
+    #[allow(clippy::type_complexity)]
+    pub fn to_parts(&self) -> (Vec<(String, f64, f64, f64)>, Vec<Vec<usize>>, u8) {
+        let dims = self
+            .zspace
+            .dims()
+            .iter()
+            .map(|d| (d.name().to_owned(), d.min(), d.max(), d.resolution()))
+            .collect();
+        (dims, self.maps.clone(), self.shape.flag_bits())
+    }
+
+    /// Rebuilds a space from [`JoinSpace::to_parts`] output.
+    /// [`Dimension::new`] stores its arguments verbatim, so the round trip
+    /// is exact.
+    pub fn from_parts(
+        dims: Vec<(String, f64, f64, f64)>,
+        maps: Vec<Vec<usize>>,
+        flag_bits: u8,
+    ) -> Self {
+        let dims: Vec<Dimension> = dims
+            .into_iter()
+            .map(|(name, min, max, res)| Dimension::new(name, min, max, res))
+            .collect();
+        let zspace = ZSpace::new(dims).expect("checkpointed join space fits 64 bits");
+        let shape = TreeShape::new(zspace.level_schedule(), flag_bits);
+        Self {
+            zspace,
+            maps,
+            shape,
+        }
+    }
+
     /// The underlying Z-order space.
     pub fn zspace(&self) -> &ZSpace {
         &self.zspace

@@ -210,6 +210,14 @@ impl Partition {
         if self.cold.len() <= PROMOTE_LEN {
             return false;
         }
+        self.promote(sub_width);
+        true
+    }
+
+    /// Splits the cold run into sub-bucket runs. Checkpoint restore also
+    /// forces this on partitions that were hot when snapshotted, since
+    /// replaying only the *live* tuples may not cross the threshold again.
+    fn promote(&mut self, sub_width: f64) {
         let mut sub: BTreeMap<i64, Run> = BTreeMap::new();
         for (&k, &s) in self.cold.keys.iter().zip(&self.cold.slots) {
             // Draining a sorted run in order keeps every sub-run sorted.
@@ -219,7 +227,6 @@ impl Partition {
         }
         self.cold = Run::default();
         self.hot = Some(sub);
-        true
     }
 
     fn remove(&mut self, key: f64, slot: u32, sub_width: f64) {
@@ -594,6 +601,97 @@ impl StreamJoinEngine {
             }
         }
         (total, promoted)
+    }
+
+    /// Every live tuple as `(origin, per-relation values)` in ascending
+    /// origin order — the checkpoint export. Replaying these through
+    /// [`StreamJoinEngine::apply_batch`] as one upsert batch rebuilds an
+    /// equivalent engine: result rows are keyed by origin vectors, so slot
+    /// numbering (which replay does not reproduce) is unobservable.
+    #[allow(clippy::type_complexity)]
+    pub fn live_tuples(&self) -> Vec<(NodeId, Vec<Option<Vec<f64>>>)> {
+        let mut origins: BTreeSet<NodeId> = BTreeSet::new();
+        for rs in &self.rels {
+            origins.extend(rs.by_origin.keys().copied());
+        }
+        origins
+            .into_iter()
+            .map(|o| {
+                let per_rel = self
+                    .rels
+                    .iter()
+                    .map(|rs| {
+                        rs.by_origin
+                            .get(&o)
+                            .map(|&slot| rs.values[slot as usize].clone())
+                    })
+                    .collect();
+                (o, per_rel)
+            })
+            .collect()
+    }
+
+    /// Per band index (relation-major order), per partition: `(bucket,
+    /// lifetime arrivals, promoted)`. Tuple replay alone cannot reproduce
+    /// this — arrivals count *lifetime* inserts, and a partition promoted by
+    /// long-expired traffic may hold fewer than [`PROMOTE_LEN`] live tuples.
+    pub fn band_state(&self) -> Vec<Vec<(i64, u64, bool)>> {
+        let mut out = Vec::new();
+        for ix in self.indexes.iter().flatten() {
+            if let IndexKind::Band { buckets, .. } = &ix.kind {
+                out.push(
+                    buckets
+                        .iter()
+                        .map(|(&b, p)| (b, p.arrivals, p.hot.is_some()))
+                        .collect(),
+                );
+            }
+        }
+        out
+    }
+
+    /// Restores band-index hotness exported by [`StreamJoinEngine::band_state`]
+    /// after live-tuple replay: arrivals counters are set back and partitions
+    /// that were promoted are force-promoted, so future promotion decisions
+    /// and [`StreamJoinEngine::index_depth`] match the uninterrupted engine.
+    pub fn restore_band_state(&mut self, state: &[Vec<(i64, u64, bool)>]) {
+        let mut it = state.iter();
+        for ix in self.indexes.iter_mut().flatten() {
+            if let IndexKind::Band { width, buckets, .. } = &mut ix.kind {
+                let Some(parts) = it.next() else { break };
+                let sub_width = *width / SUB_FACTOR;
+                for &(b, arrivals, hot) in parts {
+                    if let Some(part) = buckets.get_mut(&b) {
+                        part.arrivals = arrivals;
+                        if hot && part.hot.is_none() {
+                            part.promote(sub_width);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Rebuilds an engine from checkpointed parts: replay the live tuples,
+    /// then restore band-index hotness. The replay's [`BatchStats`] are
+    /// deliberately discarded — they are reconstruction work, not traffic.
+    #[allow(clippy::type_complexity)]
+    pub fn restore(
+        query: CompiledQuery,
+        tuples: &[(NodeId, Vec<Option<Vec<f64>>>)],
+        band: &[Vec<(i64, u64, bool)>],
+    ) -> Self {
+        let mut engine = Self::new(query);
+        let ops: Vec<StreamOp> = tuples
+            .iter()
+            .map(|(origin, per_rel)| StreamOp::Upsert {
+                origin: *origin,
+                per_rel: per_rel.clone(),
+            })
+            .collect();
+        let _ = engine.apply_batch(&ops);
+        engine.restore_band_state(band);
+        engine
     }
 
     /// Applies one delta batch and incrementally updates the cached result.

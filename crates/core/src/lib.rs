@@ -70,6 +70,7 @@ mod incremental;
 mod ingest;
 mod outcome;
 mod partition;
+pub mod persist;
 mod recovery;
 mod repr;
 mod scheduler;

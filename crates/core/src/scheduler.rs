@@ -274,6 +274,14 @@ impl PlanKey {
             config: config_sig,
         }
     }
+
+    /// Decomposes the key for checkpointing: `(deployment, snapshot,
+    /// canonical sql)`. The config component is not exposed — a restoring
+    /// server recomputes it from its own config, which must equal the one
+    /// the key was built under.
+    pub fn parts(&self) -> (u64, u64, &str) {
+        (self.deployment, self.snapshot, &self.sql)
+    }
 }
 
 /// A multi-query scheduler over one network: registered queries share each
@@ -433,6 +441,72 @@ impl QueryGroup {
             alive: true,
         });
         QueryId(self.queries.len() - 1)
+    }
+
+    /// Serializes the group's full mutable state: epoch position and, per
+    /// registered slot (dead ones included, to keep [`QueryId`]s stable),
+    /// schedule, quantization space, filter-engine population counts and
+    /// delta baseline. Compiled queries are *not* serialized — the resuming
+    /// process recompiles each slot's SQL deterministically and passes them
+    /// to [`QueryGroup::restore_state`] in slot order.
+    pub fn encode_state(&self, w: &mut crate::persist::Writer) {
+        use crate::persist;
+        w.put_u64(self.epoch);
+        w.put_u64(self.last_latency_us);
+        w.put_usize(self.queries.len());
+        for reg in &self.queries {
+            w.put_u64(reg.every);
+            w.put_u64(reg.offset);
+            w.put_bool(reg.alive);
+            persist::put_join_space(w, &reg.space);
+            persist::put_cell_counts(w, reg.engine.counts());
+            persist::put_point_set(w, &reg.population);
+        }
+    }
+
+    /// Rebuilds a group from [`QueryGroup::encode_state`] output. `queries`
+    /// must hold the recompiled query of every slot, in slot order. Each
+    /// slot's filter engine is rebuilt by applying its saved counted
+    /// population as one delta from empty — bit-identical to the maintained
+    /// engine by the incremental filter's core guarantee.
+    pub fn restore_state(
+        config: SensJoinConfig,
+        queries: Vec<CompiledQuery>,
+        r: &mut crate::persist::Reader<'_>,
+    ) -> Result<Self, crate::persist::CodecError> {
+        use crate::persist::{self, CodecError};
+        let epoch = r.get_u64()?;
+        let last_latency_us = r.get_u64()?;
+        let nslots = r.get_count(8)?;
+        if nslots != queries.len() {
+            return Err(CodecError::Invariant("slot count != recompiled queries"));
+        }
+        let mut regs = Vec::new();
+        for query in queries {
+            let every = r.get_u64()?;
+            let offset = r.get_u64()?;
+            let alive = r.get_bool()?;
+            let space = persist::get_join_space(r)?;
+            let counts = persist::get_cell_counts(r)?;
+            let mut engine = FilterEngine::new(&query, &space);
+            engine.apply_delta(&query, &space, &counts);
+            let population = persist::get_point_set(r)?;
+            regs.push(Registered {
+                query,
+                space,
+                engine,
+                population,
+                every: every.max(1),
+                offset,
+                alive,
+            });
+        }
+        Ok(Self {
+            config,
+            queries: regs,
+            epoch,
+            last_latency_us,
+        })
     }
 
     /// Removes a query from the group. Its engine and population are

@@ -1,0 +1,721 @@
+//! Crash-anywhere recovery equivalence.
+//!
+//! The durability subsystem's contract: a run that crashes at *any*
+//! registered [`CrashPoint`] and resumes from its checkpoint directory is
+//! bit-identical — results, stats, traces, RNG streams — to a run that
+//! never crashed. Recovery is replay-by-re-execution: the snapshot restores
+//! the full engine + network state, and the WAL's per-round digests pin the
+//! re-executed suffix to what the pre-crash run produced. Corruption
+//! (torn writes, bit flips, truncation) is detected by checksums and
+//! degrades honestly: fall back to an older snapshot, then to a cold
+//! start — never a panic, never a silently wrong answer.
+
+use proptest::prelude::*;
+use sensjoin_core::persist::{self, CheckpointStore, CrashPoint, Reader, RecoveryError, Writer};
+use sensjoin_core::{
+    exact_join, ContinuousSensJoin, JoinOutcome, JoinResult, SensorNetwork, SensorNetworkBuilder,
+    StreamJoinEngine, StreamOp,
+};
+use sensjoin_field::{presets, Area, FieldSpec, Placement};
+use sensjoin_query::{parse, CompiledQuery};
+use sensjoin_relation::NodeId;
+use sensjoin_sim::{ArqPolicy, Channel, ChurnTimeline};
+use std::collections::BTreeMap;
+
+const SQL_CONT: &str = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                        WHERE A.temp - B.temp > 2.0 SAMPLE PERIOD 30";
+const SQL_STREAM: &str = "SELECT A.hum, B.hum FROM Sensors A, Sensors B \
+                          WHERE A.temp - B.temp > 2.0 ONCE";
+
+const N: usize = 80;
+const ROUNDS: u64 = 6;
+const EVERY: u64 = 2;
+
+fn tmpdir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("sensjoin-recovery-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A deployment under both loss and churn, with tracing on so trace
+/// equality is part of the bit-identity claim.
+fn build(seed: u64) -> (SensorNetwork, CompiledQuery, Vec<FieldSpec>) {
+    let specs = presets::indoor_climate();
+    let mut snet = SensorNetworkBuilder::new()
+        .area(Area::new(300.0, 300.0))
+        .placement(Placement::UniformRandom { n: N })
+        .fields(specs.clone())
+        .seed(seed)
+        .build()
+        .unwrap();
+    snet.net_mut()
+        .set_channel(Some(Channel::bernoulli(0.05, 7)));
+    snet.net_mut()
+        .set_arq(ArqPolicy::AckRetransmit { max_retries: 8 });
+    let tl = ChurnTimeline::sample(N, snet.net().base(), 60e6, 30e6, 200_000_000, 13);
+    snet.net_mut().set_churn(Some(tl));
+    snet.net_mut().set_tracing(true);
+    let cq = snet.compile(&parse(SQL_CONT).unwrap()).unwrap();
+    (snet, cq, specs)
+}
+
+/// What the WAL records per round (mirrors the CLI driver).
+fn outcome_digest(out: &JoinOutcome) -> u64 {
+    let mut w = Writer::new();
+    match &out.result {
+        JoinResult::Rows(rows) => {
+            w.put_u8(0);
+            w.put_usize(rows.len());
+            for row in rows {
+                persist::put_f64_vec(&mut w, row);
+            }
+        }
+        JoinResult::Aggregate(vals) => {
+            w.put_u8(1);
+            w.put_usize(vals.len());
+            for v in vals {
+                match v {
+                    Some(v) => {
+                        w.put_bool(true);
+                        w.put_f64(*v);
+                    }
+                    None => w.put_bool(false),
+                }
+            }
+        }
+    }
+    w.put_u64(out.stats.total_tx_bytes());
+    w.put_u64(out.latency_us);
+    w.put_bool(out.complete);
+    persist::fnv1a(&w.into_bytes())
+}
+
+/// Full observable state: engine + network (stats, trace, RNG streams).
+fn full_state(cont: &ContinuousSensJoin, snet: &SensorNetwork) -> Vec<u8> {
+    let mut w = Writer::new();
+    cont.encode_state(&mut w);
+    persist::put_net_snapshot(&mut w, &snet.net().export_state());
+    w.into_bytes()
+}
+
+fn wal_digests(wal: &[Vec<u8>], start: u64) -> BTreeMap<u64, u64> {
+    let mut digests = BTreeMap::new();
+    for payload in wal {
+        let mut r = Reader::new(payload);
+        let round = r.get_u64().unwrap();
+        let digest = r.get_u64().unwrap();
+        r.expect_end().unwrap();
+        if round >= start {
+            digests.insert(round, digest);
+        }
+    }
+    digests
+}
+
+/// Runs rounds `start..rounds`, checkpointing at the `EVERY` cadence when a
+/// store is given; verifies replayed rounds against the WAL and logs fresh
+/// ones. Propagates injected crashes.
+#[allow(clippy::too_many_arguments)]
+fn run_span(
+    snet: &mut SensorNetwork,
+    cont: &mut ContinuousSensJoin,
+    cq: &CompiledQuery,
+    specs: &[FieldSpec],
+    seed: u64,
+    mut store: Option<&mut CheckpointStore>,
+    start: u64,
+    rounds: u64,
+    wal: &BTreeMap<u64, u64>,
+    digests: &mut Vec<u64>,
+) -> Result<(), RecoveryError> {
+    for r in start..rounds {
+        if r > 0 {
+            snet.resample(specs, seed.wrapping_add(r));
+        }
+        let out = cont.execute_round(snet, cq).expect("round executes");
+        let digest = outcome_digest(&out);
+        digests.push(digest);
+        if let Some(store) = store.as_deref_mut() {
+            store.crash_check(CrashPoint::PostRound)?;
+            match wal.get(&r) {
+                Some(&logged) => assert_eq!(logged, digest, "replay diverged at round {r}"),
+                None => {
+                    let mut w = Writer::new();
+                    w.put_u64(r);
+                    w.put_u64(digest);
+                    store.append_wal(&w.into_bytes())?;
+                }
+            }
+            if (r + 1) % EVERY == 0 {
+                snet.net_mut().note_checkpoint("continuous");
+                let mut w = Writer::new();
+                cont.encode_state(&mut w);
+                persist::put_net_snapshot(&mut w, &snet.net().export_state());
+                store.save_snapshot(r + 1, &w.into_bytes())?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Opens the directory fresh (as a restarted process would), restores the
+/// newest valid snapshot, re-executes the suffix against the WAL, and
+/// returns the replayed digests plus the final full state.
+fn recover_and_finish(dir: &std::path::Path, seed: u64, rounds: u64) -> (u64, Vec<u64>, Vec<u8>) {
+    let (mut snet, cq, specs) = build(seed);
+    let mut cont = ContinuousSensJoin::new();
+    let mut store = CheckpointStore::open(dir).unwrap();
+    let rec = store.recover().unwrap();
+    let mut start = 0;
+    if let Some((seq, payload)) = &rec.snapshot {
+        let mut r = Reader::new(payload);
+        cont.restore_state(&mut r, &cq).unwrap();
+        let snap = persist::get_net_snapshot(&mut r).unwrap();
+        snet.net_mut().restore_state(&snap);
+        r.expect_end().unwrap();
+        start = *seq;
+    }
+    let wal = wal_digests(&rec.wal, start);
+    let mut digests = Vec::new();
+    run_span(
+        &mut snet,
+        &mut cont,
+        &cq,
+        &specs,
+        seed,
+        Some(&mut store),
+        start,
+        rounds,
+        &wal,
+        &mut digests,
+    )
+    .unwrap();
+    (start, digests, full_state(&cont, &snet))
+}
+
+/// Reference: one uninterrupted run with checkpointing at the same cadence.
+fn reference_run(dir: &std::path::Path, seed: u64, rounds: u64) -> (Vec<u64>, Vec<u8>) {
+    let (mut snet, cq, specs) = build(seed);
+    let mut cont = ContinuousSensJoin::new();
+    let mut store = CheckpointStore::open(dir).unwrap();
+    let mut digests = Vec::new();
+    run_span(
+        &mut snet,
+        &mut cont,
+        &cq,
+        &specs,
+        seed,
+        Some(&mut store),
+        0,
+        rounds,
+        &BTreeMap::new(),
+        &mut digests,
+    )
+    .unwrap();
+    (digests, full_state(&cont, &snet))
+}
+
+/// Crash at (point, occurrence), then recover; returns the recovered run's
+/// final state and the digest trail `prefix + replay/suffix`.
+fn crash_and_recover(
+    tag: &str,
+    seed: u64,
+    point: CrashPoint,
+    occurrence: u32,
+) -> (Vec<u64>, Vec<u8>) {
+    let dir = tmpdir(tag);
+    let (mut snet, cq, specs) = build(seed);
+    let mut cont = ContinuousSensJoin::new();
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    store.arm_crash(point, occurrence);
+    let mut pre_crash = Vec::new();
+    let err = run_span(
+        &mut snet,
+        &mut cont,
+        &cq,
+        &specs,
+        seed,
+        Some(&mut store),
+        0,
+        ROUNDS,
+        &BTreeMap::new(),
+        &mut pre_crash,
+    )
+    .expect_err("armed crash must fire");
+    assert!(
+        matches!(err, RecoveryError::Crash(p) if p == point),
+        "unexpected error for {point}: {err}"
+    );
+    drop(store); // the "process" died; recovery opens the dir fresh
+    let (start, replayed, state) = recover_and_finish(&dir, seed, ROUNDS);
+    // The digest trail across crash + recovery covers every round exactly
+    // once: rounds before the restored snapshot ran pre-crash, the rest
+    // re-executed.
+    let mut trail: Vec<u64> = pre_crash[..start as usize].to_vec();
+    trail.extend(&replayed);
+    let _ = std::fs::remove_dir_all(&dir);
+    (trail, state)
+}
+
+#[test]
+fn crash_anywhere_sweep_is_bit_identical_under_loss_and_churn() {
+    let seed = 42;
+    let ref_dir = tmpdir("cont-ref");
+    let (ref_digests, ref_state) = reference_run(&ref_dir, seed, ROUNDS);
+    let _ = std::fs::remove_dir_all(&ref_dir);
+
+    // Checkpointing must not perturb the run it checkpoints (modulo the
+    // checkpoint trace rows, which the digests exclude).
+    let (mut snet, cq, specs) = build(seed);
+    let mut cont = ContinuousSensJoin::new();
+    let mut plain = Vec::new();
+    run_span(
+        &mut snet,
+        &mut cont,
+        &cq,
+        &specs,
+        seed,
+        None,
+        0,
+        ROUNDS,
+        &BTreeMap::new(),
+        &mut plain,
+    )
+    .unwrap();
+    assert_eq!(plain, ref_digests, "checkpointing perturbed the run");
+
+    for point in CrashPoint::ALL {
+        let (trail, state) = crash_and_recover("cont-sweep", seed, point, 2);
+        assert_eq!(
+            trail, ref_digests,
+            "digest trail diverged after crash at {point}"
+        );
+        assert_eq!(
+            state, ref_state,
+            "final state diverged after crash at {point}"
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random crash site, occurrence and deployment seed: recovery is
+    /// always bit-identical to the uninterrupted run.
+    #[test]
+    fn crash_recovery_bit_identical_proptest(
+        point_ix in 0usize..CrashPoint::ALL.len(),
+        occurrence in 1u32..3,
+        seed in 1u64..500,
+    ) {
+        let point = CrashPoint::ALL[point_ix];
+        let ref_dir = tmpdir("cont-prop-ref");
+        let (ref_digests, ref_state) = reference_run(&ref_dir, seed, ROUNDS);
+        let _ = std::fs::remove_dir_all(&ref_dir);
+        let (trail, state) = crash_and_recover("cont-prop", seed, point, occurrence);
+        prop_assert_eq!(trail, ref_digests);
+        prop_assert_eq!(state, ref_state);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Streaming engine
+// ---------------------------------------------------------------------------
+
+fn stream_build(seed: u64) -> (SensorNetwork, CompiledQuery, Vec<FieldSpec>) {
+    let specs = presets::indoor_climate();
+    let snet = SensorNetworkBuilder::new()
+        .area(Area::new(300.0, 300.0))
+        .placement(Placement::UniformRandom { n: N })
+        .fields(specs.clone())
+        .seed(seed)
+        .build()
+        .unwrap();
+    let cq = snet.compile(&parse(SQL_STREAM).unwrap()).unwrap();
+    (snet, cq, specs)
+}
+
+fn per_rel(snet: &SensorNetwork, cq: &CompiledQuery, v: NodeId) -> Vec<Option<Vec<f64>>> {
+    (0..cq.num_relations())
+        .map(|r| {
+            let schema = cq.schema(r);
+            if snet.belongs(v, schema.name()) {
+                let vals = snet.values_for(v, schema);
+                cq.eval_local(r, &vals).then_some(vals)
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn lcg(rng: &mut u64, m: u64) -> u64 {
+    *rng = rng
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    (*rng >> 33) % m.max(1)
+}
+
+type Shadow = BTreeMap<NodeId, Vec<Option<Vec<f64>>>>;
+
+struct StreamRun {
+    engine: StreamJoinEngine,
+    shadow: Shadow,
+    rng: u64,
+}
+
+fn stream_snapshot(run: &StreamRun) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.put_u64(run.rng);
+    w.put_usize(run.shadow.len());
+    for (v, pr) in &run.shadow {
+        w.put_u32(v.0);
+        w.put_usize(pr.len());
+        for p in pr {
+            match p {
+                Some(vals) => {
+                    w.put_bool(true);
+                    persist::put_f64_vec(&mut w, vals);
+                }
+                None => w.put_bool(false),
+            }
+        }
+    }
+    persist::put_stream_engine(&mut w, &run.engine);
+    w.into_bytes()
+}
+
+fn stream_restore(payload: &[u8], cq: &CompiledQuery) -> StreamRun {
+    let mut r = Reader::new(payload);
+    let rng = r.get_u64().unwrap();
+    let nshadow = r.get_count(5).unwrap();
+    let mut shadow = Shadow::new();
+    for _ in 0..nshadow {
+        let v = NodeId(r.get_u32().unwrap());
+        let nrel = r.get_count(1).unwrap();
+        let mut pr = Vec::with_capacity(nrel);
+        for _ in 0..nrel {
+            pr.push(match r.get_bool().unwrap() {
+                true => Some(persist::get_f64_vec(&mut r).unwrap()),
+                false => None,
+            });
+        }
+        shadow.insert(v, pr);
+    }
+    let engine = persist::get_stream_engine(&mut r, cq.clone()).unwrap();
+    r.expect_end().unwrap();
+    StreamRun {
+        engine,
+        shadow,
+        rng,
+    }
+}
+
+/// One delta batch of the stream driver (5 % upserts against a drifting
+/// field plus a couple of expirations), returning the batch digest.
+fn stream_batch(
+    run: &mut StreamRun,
+    snet: &mut SensorNetwork,
+    cq: &CompiledQuery,
+    specs: &[FieldSpec],
+    seed: u64,
+    b: u64,
+) -> u64 {
+    snet.resample(specs, seed.wrapping_add(b));
+    let n = snet.len() as u32;
+    let mut chosen = std::collections::BTreeSet::new();
+    while chosen.len() < 6 {
+        chosen.insert(NodeId(lcg(&mut run.rng, n as u64) as u32));
+    }
+    let expirable: Vec<NodeId> = run
+        .shadow
+        .keys()
+        .filter(|v| !chosen.contains(v))
+        .copied()
+        .collect();
+    let mut victims = std::collections::BTreeSet::new();
+    while victims.len() < 2.min(expirable.len()) {
+        victims.insert(expirable[lcg(&mut run.rng, expirable.len() as u64) as usize]);
+    }
+    let mut ops = Vec::new();
+    for &v in &chosen {
+        let pr = per_rel(snet, cq, v);
+        run.shadow.insert(v, pr.clone());
+        ops.push(StreamOp::Upsert {
+            origin: v,
+            per_rel: pr,
+        });
+    }
+    for &v in &victims {
+        run.shadow.remove(&v);
+        ops.push(StreamOp::Expire { origin: v });
+    }
+    let stats = run.engine.apply_batch(&ops);
+    let mut w = Writer::new();
+    persist::put_batch_stats(&mut w, &stats);
+    w.put_usize(run.engine.cached_rows());
+    persist::fnv1a(&w.into_bytes())
+}
+
+fn stream_cold(run: &mut StreamRun, snet: &SensorNetwork, cq: &CompiledQuery) {
+    let n = snet.len() as u32;
+    let ops: Vec<StreamOp> = (0..n)
+        .map(|i| {
+            let v = NodeId(i);
+            let pr = per_rel(snet, cq, v);
+            run.shadow.insert(v, pr.clone());
+            StreamOp::Upsert {
+                origin: v,
+                per_rel: pr,
+            }
+        })
+        .collect();
+    run.engine.apply_batch(&ops);
+}
+
+#[test]
+fn stream_crash_anywhere_sweep_is_bit_identical() {
+    let seed = 7;
+    let batches = 6u64;
+
+    // Reference: uninterrupted, checkpoint every other batch.
+    let run_reference = || -> (Vec<u64>, Vec<u8>) {
+        let (mut snet, cq, specs) = stream_build(seed);
+        let mut run = StreamRun {
+            engine: StreamJoinEngine::new(cq.clone()),
+            shadow: Shadow::new(),
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        stream_cold(&mut run, &snet, &cq);
+        let mut digests = Vec::new();
+        for b in 1..=batches {
+            digests.push(stream_batch(&mut run, &mut snet, &cq, &specs, seed, b));
+        }
+        (digests, stream_snapshot(&run))
+    };
+    let (ref_digests, ref_state) = run_reference();
+
+    for point in CrashPoint::ALL {
+        let dir = tmpdir("stream-sweep");
+        let (mut snet, cq, specs) = stream_build(seed);
+        let mut store = CheckpointStore::open(&dir).unwrap();
+        store.arm_crash(point, 2);
+        let mut run = StreamRun {
+            engine: StreamJoinEngine::new(cq.clone()),
+            shadow: Shadow::new(),
+            rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+        };
+        stream_cold(&mut run, &snet, &cq);
+        let mut trail = Vec::new();
+        let mut crashed = false;
+        for b in 1..=batches {
+            let digest = stream_batch(&mut run, &mut snet, &cq, &specs, seed, b);
+            trail.push(digest);
+            let mut step = || -> Result<(), RecoveryError> {
+                store.crash_check(CrashPoint::PostRound)?;
+                let mut w = Writer::new();
+                w.put_u64(b);
+                w.put_u64(digest);
+                store.append_wal(&w.into_bytes())?;
+                if b % EVERY == 0 {
+                    store.save_snapshot(b, &stream_snapshot(&run))?;
+                }
+                Ok(())
+            };
+            if let Err(err) = step() {
+                assert!(matches!(err, RecoveryError::Crash(p) if p == point));
+                crashed = true;
+                trail.truncate(0); // rebuilt below from the recovery split
+                break;
+            }
+        }
+        assert!(crashed, "armed crash at {point} never fired");
+
+        // Recover: fresh process, restore, replay.
+        let store = CheckpointStore::open(&dir).unwrap();
+        let rec = store.recover().unwrap();
+        let (mut run, start) = match &rec.snapshot {
+            Some((seq, payload)) => (stream_restore(payload, &cq), *seq),
+            None => {
+                let mut run = StreamRun {
+                    engine: StreamJoinEngine::new(cq.clone()),
+                    shadow: Shadow::new(),
+                    rng: seed ^ 0x9e37_79b9_7f4a_7c15,
+                };
+                let (snet0, _, _) = stream_build(seed);
+                stream_cold(&mut run, &snet0, &cq);
+                (run, 0)
+            }
+        };
+        let wal = wal_digests(&rec.wal, start + 1);
+        let (mut snet2, _, _) = stream_build(seed);
+        // Bring the field to the restored batch's readings version.
+        let mut snet = if start > 0 {
+            snet2.resample(&specs, seed.wrapping_add(start));
+            snet2
+        } else {
+            snet2
+        };
+        trail.extend(ref_digests[..start as usize].iter());
+        for b in (start + 1)..=batches {
+            let digest = stream_batch(&mut run, &mut snet, &cq, &specs, seed, b);
+            if let Some(&logged) = wal.get(&b) {
+                assert_eq!(logged, digest, "stream replay diverged at batch {b}");
+            }
+            trail.push(digest);
+        }
+        assert_eq!(trail, ref_digests, "digest trail diverged at {point}");
+        assert_eq!(
+            stream_snapshot(&run),
+            ref_state,
+            "stream state diverged at {point}"
+        );
+
+        // And the recovered engine still agrees with the batch join.
+        let tuples: Vec<Vec<(NodeId, Vec<f64>)>> = (0..cq.num_relations())
+            .map(|r| {
+                run.shadow
+                    .iter()
+                    .filter_map(|(&v, pr)| pr[r].clone().map(|vals| (v, vals)))
+                    .collect()
+            })
+            .collect();
+        let reference = exact_join(&cq, &tuples);
+        let streamed = run.engine.result();
+        assert!(streamed.result.same_result(&reference.result));
+        assert_eq!(streamed.contributors, reference.contributors);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Codec fuzzing: corruption yields structured errors, never panics and
+// never silently-wrong state.
+// ---------------------------------------------------------------------------
+
+/// A store with two snapshots and a few WAL records, for corruption tests.
+fn seeded_store(tag: &str) -> (std::path::PathBuf, Vec<u8>, Vec<u8>) {
+    let dir = tmpdir(tag);
+    let mut store = CheckpointStore::open(&dir).unwrap();
+    let snap1: Vec<u8> = (0u16..600).map(|i| (i % 251) as u8).collect();
+    let snap2: Vec<u8> = (0u16..700).map(|i| (i % 241) as u8).collect();
+    store.save_snapshot(1, &snap1).unwrap();
+    store.save_snapshot(2, &snap2).unwrap();
+    for round in 0..4u64 {
+        let mut w = Writer::new();
+        w.put_u64(round);
+        w.put_u64(round.wrapping_mul(0x9e37));
+        store.append_wal(&w.into_bytes()).unwrap();
+    }
+    (dir, snap1, snap2)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A single flipped byte anywhere in a snapshot file is always caught:
+    /// recovery returns an *intact* payload (the other snapshot) or none,
+    /// never the corrupted bytes.
+    #[test]
+    fn snapshot_bit_flips_never_yield_corrupt_state(
+        which in 1u64..3,
+        offset in 0u64..728,
+    ) {
+        let (dir, snap1, snap2) = seeded_store("fuzz-snap");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let path = store.snapshot_path(which);
+        let len = std::fs::metadata(&path).unwrap().len();
+        persist::flip_byte(&path, offset % len).unwrap();
+        let rec = store.recover().unwrap();
+        match rec.snapshot {
+            Some((2, payload)) => {
+                // Newest snapshot intact: the flip hit snapshot 1, which
+                // recovery never needed to inspect.
+                prop_assert_eq!(which, 1);
+                prop_assert_eq!(&payload, &snap2);
+            }
+            Some((1, payload)) => {
+                // Newest corrupted: honest fallback to the older snapshot.
+                prop_assert_eq!(which, 2);
+                prop_assert!(rec.degraded);
+                prop_assert_eq!(&payload, &snap1);
+            }
+            Some((seq, _)) => prop_assert!(false, "unexpected snapshot seq {}", seq),
+            None => prop_assert!(false, "an intact snapshot existed"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Truncating the WAL anywhere yields a valid prefix of the records and
+    /// at worst a degraded flag — every returned payload still decodes.
+    #[test]
+    fn wal_truncation_yields_valid_prefix(cut in 0u64..96) {
+        let (dir, _, _) = seeded_store("fuzz-wal-trunc");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let len = std::fs::metadata(store.wal_path()).unwrap().len();
+        persist::truncate_file(&store.wal_path(), cut % (len + 1)).unwrap();
+        let rec = store.recover().unwrap();
+        for (i, payload) in rec.wal.iter().enumerate() {
+            let mut r = Reader::new(payload);
+            prop_assert_eq!(r.get_u64().unwrap(), i as u64);
+            r.get_u64().unwrap();
+            r.expect_end().unwrap();
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// A flipped byte in the WAL stops the scan at the last good record —
+    /// structured degradation, not a panic or a garbled record.
+    #[test]
+    fn wal_bit_flips_stop_at_last_good_record(offset in 0u64..96) {
+        let (dir, _, _) = seeded_store("fuzz-wal-flip");
+        let store = CheckpointStore::open(&dir).unwrap();
+        let len = std::fs::metadata(store.wal_path()).unwrap().len();
+        persist::flip_byte(&store.wal_path(), offset % len).unwrap();
+        let rec = store.recover().unwrap();
+        prop_assert!(rec.wal.len() < 4, "corrupted WAL returned all records");
+        for (i, payload) in rec.wal.iter().enumerate() {
+            let mut r = Reader::new(payload);
+            prop_assert_eq!(r.get_u64().unwrap(), i as u64);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Arbitrary byte soup into the state decoders yields a structured
+    /// result — never a panic, never an absurd allocation. (A random prefix
+    /// may legitimately decode as a trivial value; the property is safety,
+    /// not rejection.)
+    #[test]
+    fn decoders_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..300)) {
+        let _ = persist::get_net_snapshot(&mut Reader::new(&bytes));
+        let _ = persist::get_join_space(&mut Reader::new(&bytes));
+        let _ = persist::get_point_set(&mut Reader::new(&bytes));
+        let _ = persist::get_cell_counts(&mut Reader::new(&bytes));
+        let _ = persist::get_network_stats(&mut Reader::new(&bytes));
+        let _ = persist::get_batch_stats(&mut Reader::new(&bytes));
+    }
+
+    /// Truncating a continuous-state snapshot payload anywhere yields a
+    /// structured decode error — the engine restore path never panics on a
+    /// short buffer.
+    #[test]
+    fn truncated_engine_state_is_structured_error(frac in 0.0f64..1.0) {
+        let (mut snet, cq, specs) = build(3);
+        let mut cont = ContinuousSensJoin::new();
+        let mut digests = Vec::new();
+        run_span(
+            &mut snet, &mut cont, &cq, &specs, 3, None, 0, 2, &BTreeMap::new(), &mut digests,
+        ).unwrap();
+        let full = full_state(&cont, &snet);
+        let cut = ((full.len() as f64) * frac) as usize;
+        if cut < full.len() {
+            let mut fresh = ContinuousSensJoin::new();
+            let mut r = Reader::new(&full[..cut]);
+            let res = fresh.restore_state(&mut r, &cq);
+            if res.is_ok() {
+                // The engine part happened to fit; the net snapshot can't.
+                prop_assert!(persist::get_net_snapshot(&mut r).is_err());
+            }
+        }
+    }
+}

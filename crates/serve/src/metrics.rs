@@ -11,6 +11,7 @@
 //! [`EpochReport`]: sensjoin_core::EpochReport
 
 use crate::server::TenantId;
+use sensjoin_core::persist::{CodecError, Reader, Writer};
 use std::collections::BTreeMap;
 
 /// Number of power-of-two buckets in a [`Histogram`]: bucket `i` holds
@@ -115,6 +116,34 @@ impl Histogram {
         self.max
     }
 
+    /// Serializes the histogram for checkpointing.
+    pub fn encode(&self, w: &mut Writer) {
+        for &b in &self.buckets {
+            w.put_u64(b);
+        }
+        w.put_u64(self.count);
+        w.put_u64((self.sum >> 64) as u64);
+        w.put_u64(self.sum as u64);
+        w.put_u64(self.max);
+    }
+
+    /// Decodes a histogram written by [`Histogram::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let mut buckets = [0u64; HISTOGRAM_BUCKETS];
+        for b in buckets.iter_mut() {
+            *b = r.get_u64()?;
+        }
+        let count = r.get_u64()?;
+        let sum = ((r.get_u64()? as u128) << 64) | r.get_u64()? as u128;
+        let max = r.get_u64()?;
+        Ok(Self {
+            buckets,
+            count,
+            sum,
+            max,
+        })
+    }
+
     /// Median (bucket-resolved; see [`Histogram::quantile`]).
     pub fn p50(&self) -> u64 {
         self.quantile(0.50)
@@ -158,6 +187,30 @@ impl AdmissionCounters {
             + self.rejected_invalid
             + self.rejected_full
     }
+
+    /// Serializes the counters for checkpointing.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.submitted);
+        w.put_u64(self.admitted);
+        w.put_u64(self.rejected_unknown_deployment);
+        w.put_u64(self.rejected_duplicate);
+        w.put_u64(self.rejected_invalid);
+        w.put_u64(self.rejected_full);
+        w.put_u64(self.shed);
+    }
+
+    /// Decodes counters written by [`AdmissionCounters::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            submitted: r.get_u64()?,
+            admitted: r.get_u64()?,
+            rejected_unknown_deployment: r.get_u64()?,
+            rejected_duplicate: r.get_u64()?,
+            rejected_invalid: r.get_u64()?,
+            rejected_full: r.get_u64()?,
+            shed: r.get_u64()?,
+        })
+    }
 }
 
 /// Per-deployment serving metrics.
@@ -180,6 +233,32 @@ pub struct DeploymentMetrics {
     pub epoch_latency_us: Histogram,
 }
 
+impl DeploymentMetrics {
+    /// Serializes the deployment metrics for checkpointing.
+    pub fn encode(&self, w: &mut Writer) {
+        self.admission.encode(w);
+        w.put_u64(self.epochs);
+        w.put_u64(self.query_epochs);
+        w.put_u64(self.result_rows);
+        w.put_u64(self.shared_bytes);
+        w.put_u64(self.solo_bytes);
+        self.epoch_latency_us.encode(w);
+    }
+
+    /// Decodes metrics written by [`DeploymentMetrics::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            admission: AdmissionCounters::decode(r)?,
+            epochs: r.get_u64()?,
+            query_epochs: r.get_u64()?,
+            result_rows: r.get_u64()?,
+            shared_bytes: r.get_u64()?,
+            solo_bytes: r.get_u64()?,
+            epoch_latency_us: Histogram::decode(r)?,
+        })
+    }
+}
+
 /// Per-tenant serving metrics.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct TenantMetrics {
@@ -197,6 +276,32 @@ pub struct TenantMetrics {
     pub result_rows: u64,
     /// Solo-equivalent bytes attributed to this tenant's due epochs.
     pub solo_bytes: u64,
+}
+
+impl TenantMetrics {
+    /// Serializes the tenant metrics for checkpointing.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_u64(self.submitted);
+        w.put_u64(self.admitted);
+        w.put_u64(self.rejected);
+        w.put_u64(self.shed);
+        w.put_u64(self.epochs);
+        w.put_u64(self.result_rows);
+        w.put_u64(self.solo_bytes);
+    }
+
+    /// Decodes metrics written by [`TenantMetrics::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        Ok(Self {
+            submitted: r.get_u64()?,
+            admitted: r.get_u64()?,
+            rejected: r.get_u64()?,
+            shed: r.get_u64()?,
+            epochs: r.get_u64()?,
+            result_rows: r.get_u64()?,
+            solo_bytes: r.get_u64()?,
+        })
+    }
 }
 
 /// The whole metrics surface of a [`Server`](crate::Server).
@@ -253,6 +358,44 @@ impl ServeMetrics {
             h.merge(&d.epoch_latency_us);
         }
         h
+    }
+
+    /// Serializes the whole metrics surface for checkpointing.
+    pub fn encode(&self, w: &mut Writer) {
+        w.put_usize(self.per_deployment.len());
+        for d in &self.per_deployment {
+            d.encode(w);
+        }
+        w.put_usize(self.per_tenant.len());
+        for (t, m) in &self.per_tenant {
+            w.put_u64(t.0);
+            m.encode(w);
+        }
+        self.totals.encode(w);
+        w.put_u64(self.cache_hits);
+        w.put_u64(self.cache_misses);
+    }
+
+    /// Decodes metrics written by [`ServeMetrics::encode`].
+    pub fn decode(r: &mut Reader<'_>) -> Result<Self, CodecError> {
+        let nd = r.get_count(8)?;
+        let mut per_deployment = Vec::new();
+        for _ in 0..nd {
+            per_deployment.push(DeploymentMetrics::decode(r)?);
+        }
+        let nt = r.get_count(8)?;
+        let mut per_tenant = BTreeMap::new();
+        for _ in 0..nt {
+            let t = TenantId(r.get_u64()?);
+            per_tenant.insert(t, TenantMetrics::decode(r)?);
+        }
+        Ok(Self {
+            per_deployment,
+            per_tenant,
+            totals: AdmissionCounters::decode(r)?,
+            cache_hits: r.get_u64()?,
+            cache_misses: r.get_u64()?,
+        })
     }
 
     /// Plan-cache hit rate over all admissions that consulted the cache

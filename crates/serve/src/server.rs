@@ -16,6 +16,7 @@
 //! repository root proves this property-based).
 
 use crate::metrics::ServeMetrics;
+use sensjoin_core::persist::{CodecError, Reader, Writer};
 use sensjoin_core::{
     EpochReport, GroupOutcome, PlanKey, ProtocolError, QueryGroup, QueryId, QueryPlan,
     SensJoinConfig, SensorNetwork, SensorNetworkBuilder, SensorNetworkError, MAX_GROUP_QUERIES,
@@ -261,6 +262,9 @@ struct Deployment {
     /// Per group: tenant of each slot, parallel to the group's queries
     /// (slots are never reused, so this only grows).
     tenants: Vec<Vec<TenantId>>,
+    /// Per group: SQL of each slot (dead slots included — restore needs a
+    /// query for every slot to keep [`QueryId`]s stable).
+    sqls: Vec<Vec<String>>,
 }
 
 impl Deployment {
@@ -323,6 +327,7 @@ impl Server {
             snapshot: 0,
             groups: Vec::new(),
             tenants: Vec::new(),
+            sqls: Vec::new(),
         });
         self.metrics.push_deployment();
         Ok(DeploymentId(self.deployments.len() - 1))
@@ -462,6 +467,7 @@ impl Server {
                 let dep = &mut self.deployments[dep_ix];
                 dep.groups.push(QueryGroup::new(self.cfg.protocol.clone()));
                 dep.tenants.push(Vec::new());
+                dep.sqls.push(Vec::new());
                 dep.groups.len() - 1
             }
             None => return reject(&mut self.metrics, RejectReason::DeploymentFull),
@@ -473,6 +479,7 @@ impl Server {
             .expect("bin-packing picked a group with a free slot");
         debug_assert_eq!(id.0, dep.tenants[group].len(), "slots are append-only");
         dep.tenants[group].push(tenant);
+        dep.sqls[group].push(sub.sql);
         let handle = QueryHandle {
             deployment: DeploymentId(dep_ix),
             group,
@@ -615,6 +622,214 @@ impl Server {
     /// Number of distinct plans currently cached.
     pub fn cached_plans(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Serializes the full server state — tick position, admission queue,
+    /// tenant handles, plan-cache keys, metrics, and every deployment's
+    /// groups — with the checkpoint codec. Networks are not serialized:
+    /// a deployment's readings are a pure function of `(spec, snapshot)`,
+    /// so [`Server::restore_state`] resamples them back instead.
+    pub fn export_state(&self) -> Vec<u8> {
+        let mut w = Writer::new();
+        w.put_u64(self.tick);
+        w.put_usize(self.queue.len());
+        for sub in &self.queue {
+            w.put_u64(sub.tenant.0);
+            w.put_str(&sub.deployment);
+            w.put_str(&sub.sql);
+            w.put_u64(sub.every);
+        }
+        w.put_usize(self.handles.len());
+        for (tenant, h) in &self.handles {
+            w.put_u64(tenant.0);
+            w.put_usize(h.deployment.0);
+            w.put_usize(h.group);
+            w.put_usize(h.id.0);
+        }
+        // Cache keys in sorted order (`HashMap` iteration order is not
+        // deterministic); the entries themselves are rebuilt on restore.
+        let mut keys: Vec<_> = self.cache.keys().map(|k| k.parts()).collect();
+        keys.sort_unstable();
+        w.put_usize(keys.len());
+        for (dep, snapshot, sql) in keys {
+            w.put_u64(dep);
+            w.put_u64(snapshot);
+            w.put_str(sql);
+        }
+        self.metrics.encode(&mut w);
+        w.put_usize(self.deployments.len());
+        for dep in &self.deployments {
+            w.put_str(&dep.name);
+            w.put_u64(dep.snapshot);
+            w.put_usize(dep.groups.len());
+            for (g, group) in dep.groups.iter().enumerate() {
+                w.put_usize(dep.tenants[g].len());
+                for t in &dep.tenants[g] {
+                    w.put_u64(t.0);
+                }
+                w.put_usize(dep.sqls[g].len());
+                for sql in &dep.sqls[g] {
+                    w.put_str(sql);
+                }
+                group.encode_state(&mut w);
+            }
+        }
+        w.into_bytes()
+    }
+
+    /// Rebuilds a server from [`Server::export_state`] bytes. `specs`
+    /// must be the same deployment specs (same order) the saved server
+    /// was built from, and `cfg` the same configuration — both are
+    /// validated where the state makes that possible.
+    ///
+    /// Deployment networks are reconstructed, not deserialized:
+    /// `spec.build()` gives readings version 0 and
+    /// [`SensorNetwork::resample`] is a pure function of
+    /// `(positions, fields, seed)`, so any historical version is
+    /// reachable directly. Cached plans are rebuilt by visiting each
+    /// key's registration snapshot in ascending order before bringing
+    /// the network to the deployment's live version.
+    pub fn restore_state(
+        cfg: ServeConfig,
+        specs: &[DeploymentSpec],
+        bytes: &[u8],
+    ) -> Result<Self, CodecError> {
+        let mut r = Reader::new(bytes);
+        let config_sig = PlanKey::config_sig(&cfg.protocol);
+        let tick = r.get_u64()?;
+        let nqueue = r.get_count(32)?;
+        let mut queue = VecDeque::with_capacity(nqueue);
+        for _ in 0..nqueue {
+            let tenant = TenantId(r.get_u64()?);
+            let deployment = r.get_str()?.to_string();
+            let sql = r.get_str()?.to_string();
+            let every = r.get_u64()?;
+            queue.push_back(Submission {
+                tenant,
+                deployment,
+                sql,
+                every,
+            });
+        }
+        let nhandles = r.get_count(32)?;
+        let mut handles = BTreeMap::new();
+        for _ in 0..nhandles {
+            let tenant = TenantId(r.get_u64()?);
+            let handle = QueryHandle {
+                deployment: DeploymentId(r.get_usize()?),
+                group: r.get_usize()?,
+                id: QueryId(r.get_usize()?),
+            };
+            handles.insert(tenant, handle);
+        }
+        let nkeys = r.get_count(24)?;
+        let mut keys = Vec::new();
+        for _ in 0..nkeys {
+            let dep = r.get_u64()?;
+            let snapshot = r.get_u64()?;
+            let sql = r.get_str()?.to_string();
+            keys.push((dep, snapshot, sql));
+        }
+        let metrics = ServeMetrics::decode(&mut r)?;
+        let ndeps = r.get_count(24)?;
+        if ndeps != specs.len() {
+            return Err(CodecError::Invariant("deployment count != provided specs"));
+        }
+        let mut deployments = Vec::with_capacity(ndeps);
+        let mut cache = HashMap::new();
+        for (dep_ix, spec) in specs.iter().enumerate() {
+            let name = r.get_str()?.to_string();
+            if name != spec.name {
+                return Err(CodecError::Invariant("deployment name != provided spec"));
+            }
+            let snapshot = r.get_u64()?;
+            let mut snet = spec
+                .build()
+                .map_err(|_| CodecError::Invariant("deployment rebuild failed"))?;
+            // Replay this deployment's cache entries. Keys are sorted by
+            // (deployment, snapshot, sql), so snapshots ascend and
+            // version 0 entries compile against the fresh build.
+            let mut ver = 0u64;
+            for (_, key_snapshot, sql) in keys.iter().filter(|k| k.0 == dep_ix as u64) {
+                if *key_snapshot != ver {
+                    snet.resample(&spec.fields, spec.seed.wrapping_add(*key_snapshot));
+                    ver = *key_snapshot;
+                }
+                let parsed = parse(sql)
+                    .map_err(|_| CodecError::Invariant("cached plan sql failed to parse"))?;
+                let query = snet
+                    .compile(&parsed)
+                    .map_err(|_| CodecError::Invariant("cached plan sql failed to compile"))?;
+                let plan = QueryPlan::build(&query, &snet, &cfg.protocol);
+                cache.insert(
+                    PlanKey::with_config_sig(dep_ix as u64, *key_snapshot, sql, config_sig.clone()),
+                    CachedPlan { query, plan },
+                );
+            }
+            // Bring the network to the deployment's live readings version.
+            if ver != snapshot {
+                if snapshot == 0 {
+                    snet = spec
+                        .build()
+                        .map_err(|_| CodecError::Invariant("deployment rebuild failed"))?;
+                } else {
+                    snet.resample(&spec.fields, spec.seed.wrapping_add(snapshot));
+                }
+            }
+            let ngroups = r.get_count(24)?;
+            let mut groups = Vec::with_capacity(ngroups);
+            let mut tenants = Vec::with_capacity(ngroups);
+            let mut sqls = Vec::with_capacity(ngroups);
+            for _ in 0..ngroups {
+                let ntenants = r.get_count(8)?;
+                let mut group_tenants = Vec::with_capacity(ntenants);
+                for _ in 0..ntenants {
+                    group_tenants.push(TenantId(r.get_u64()?));
+                }
+                let nsqls = r.get_count(8)?;
+                let mut group_sqls = Vec::with_capacity(nsqls);
+                for _ in 0..nsqls {
+                    group_sqls.push(r.get_str()?.to_string());
+                }
+                let mut queries = Vec::with_capacity(group_sqls.len());
+                for sql in &group_sqls {
+                    let parsed = parse(sql)
+                        .map_err(|_| CodecError::Invariant("slot sql failed to parse"))?;
+                    queries.push(
+                        snet.compile(&parsed)
+                            .map_err(|_| CodecError::Invariant("slot sql failed to compile"))?,
+                    );
+                }
+                groups.push(QueryGroup::restore_state(
+                    cfg.protocol.clone(),
+                    queries,
+                    &mut r,
+                )?);
+                tenants.push(group_tenants);
+                sqls.push(group_sqls);
+            }
+            deployments.push(Deployment {
+                name,
+                snet,
+                specs: spec.fields.clone(),
+                seed: spec.seed,
+                snapshot,
+                groups,
+                tenants,
+                sqls,
+            });
+        }
+        r.expect_end()?;
+        Ok(Self {
+            config_sig,
+            cfg,
+            deployments,
+            queue,
+            cache,
+            handles,
+            metrics,
+            tick,
+        })
     }
 }
 

@@ -247,6 +247,25 @@ pub mod rngs {
         s: [u64; 4],
     }
 
+    impl SmallRng {
+        /// The raw xoshiro256++ state words — the checkpoint/restore
+        /// surface. A generator rebuilt with [`SmallRng::from_state`] from
+        /// these words continues the exact output stream.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from state words previously exported with
+        /// [`SmallRng::state`]. An all-zero state (a xoshiro fixed point,
+        /// never produced by seeding) is remapped like `from_seed`.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            if s == [0; 4] {
+                return Self::seed_from_u64(0);
+            }
+            Self { s }
+        }
+    }
+
     impl RngCore for SmallRng {
         fn next_u64(&mut self) -> u64 {
             let result = self.s[0]

@@ -168,6 +168,50 @@ impl BatteryBank {
     pub fn death_order(&self) -> &[NodeId] {
         &self.death_order
     }
+
+    /// Exports the bank's full mutable state — the checkpoint/restore
+    /// surface.
+    pub fn export_state(&self) -> BatterySnapshot {
+        BatterySnapshot {
+            capacity_uj: self.capacity_uj.clone(),
+            debited_uj: self.debited_uj.clone(),
+            depleted: self.depleted.clone(),
+            pending: self.pending.clone(),
+            death_order: self.death_order.clone(),
+        }
+    }
+
+    /// Replaces the bank's state with a previously exported snapshot. The
+    /// snapshot must describe a bank of the same node count.
+    pub fn import_state(&mut self, s: &BatterySnapshot) {
+        assert_eq!(
+            s.capacity_uj.len(),
+            self.capacity_uj.len(),
+            "battery snapshot node count mismatch"
+        );
+        self.capacity_uj = s.capacity_uj.clone();
+        self.debited_uj = s.debited_uj.clone();
+        self.depleted = s.depleted.clone();
+        self.pending = s.pending.clone();
+        self.death_order = s.death_order.clone();
+    }
+}
+
+/// Plain-data export of a [`BatteryBank`]'s mutable state (see
+/// [`BatteryBank::export_state`]). All fields are per-node, indexed by id,
+/// except the two event-ordered traces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatterySnapshot {
+    /// Initial capacity per node (µJ; infinite for the base).
+    pub capacity_uj: Vec<f64>,
+    /// Cumulative debit per node (µJ).
+    pub debited_uj: Vec<f64>,
+    /// Whether each node has crossed its capacity.
+    pub depleted: Vec<bool>,
+    /// First-crossings not yet applied, in crossing order.
+    pub pending: Vec<NodeId>,
+    /// Applied exhaustions, in exhaustion order.
+    pub death_order: Vec<NodeId>,
 }
 
 /// When a [`LifetimeRun`] ends.

@@ -88,6 +88,10 @@ struct LinkState {
     bad: bool,
 }
 
+/// One exported per-link state: `(from, to, rng words, Markov bad flag)` —
+/// the checkpoint/restore surface of [`Channel::export_states`].
+pub type ChannelLinkState = (NodeId, NodeId, [u64; 4], bool);
+
 /// A lossy channel: per-packet survival draws for every directed link.
 ///
 /// Attach one to a [`crate::Network`] with [`crate::Network::set_channel`];
@@ -185,6 +189,33 @@ impl Channel {
     pub fn adopt_link_state(&mut self, other: &Channel, from: NodeId, to: NodeId) {
         if let Some(state) = other.states.get(&(from, to)) {
             self.states.insert((from, to), state.clone());
+        }
+    }
+
+    /// Exports the per-link generator and Markov states in link order — the
+    /// checkpoint/restore surface. Links never drawn on have no entry; their
+    /// streams are recreated lazily from the channel seed on first use, so
+    /// omitting them is lossless.
+    pub fn export_states(&self) -> Vec<ChannelLinkState> {
+        self.states
+            .iter()
+            .map(|(&(from, to), st)| (from, to, st.rng.state(), st.bad))
+            .collect()
+    }
+
+    /// Replaces the per-link states with ones previously exported from an
+    /// identically-configured channel (same models and seed): every stream
+    /// resumes exactly where the exporting channel left it.
+    pub fn import_states(&mut self, states: &[ChannelLinkState]) {
+        self.states.clear();
+        for &(from, to, words, bad) in states {
+            self.states.insert(
+                (from, to),
+                LinkState {
+                    rng: SmallRng::from_state(words),
+                    bad,
+                },
+            );
         }
     }
 

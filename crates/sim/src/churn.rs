@@ -195,6 +195,48 @@ impl ChurnTimeline {
         out
     }
 
+    /// Exports every event not yet drained by [`ChurnTimeline::due`]:
+    /// timed events in pop order and boundary events in boundary order —
+    /// the checkpoint/restore surface. Feeding the pair back through
+    /// [`ChurnTimeline::from_events`] reproduces the remaining schedule
+    /// exactly (drained history is gone by design; a restored run replays
+    /// only the future).
+    #[allow(clippy::type_complexity)]
+    pub fn export_events(
+        &self,
+    ) -> (
+        Vec<(Time, NodeId, ChurnAction)>,
+        Vec<(u32, Vec<(NodeId, ChurnAction)>)>,
+    ) {
+        let timed = self
+            .timed
+            .pending()
+            .into_iter()
+            .map(|(t, (node, action))| (t, node, action))
+            .collect();
+        let boundary = self
+            .at_boundary
+            .iter()
+            .map(|(&b, evs)| (b, evs.clone()))
+            .collect();
+        (timed, boundary)
+    }
+
+    /// Rebuilds a timeline from [`ChurnTimeline::export_events`] output.
+    pub fn from_events(
+        timed: Vec<(Time, NodeId, ChurnAction)>,
+        boundary: Vec<(u32, Vec<(NodeId, ChurnAction)>)>,
+    ) -> Self {
+        let mut timeline = Self::new();
+        for (t, node, action) in timed {
+            timeline.timed.schedule(t, (node, action));
+        }
+        for (b, evs) in boundary {
+            timeline.at_boundary.entry(b).or_default().extend(evs);
+        }
+        timeline
+    }
+
     /// Whether any events remain scheduled.
     pub fn is_exhausted(&self) -> bool {
         self.timed.is_empty() && self.at_boundary.is_empty()

@@ -101,8 +101,10 @@ mod stats;
 mod topology;
 mod trace;
 
-pub use battery::{BatteryBank, LifetimeEnd, LifetimeReport, LifetimeRun, LifetimeUntil};
-pub use channel::{Channel, LossModel};
+pub use battery::{
+    BatteryBank, BatterySnapshot, LifetimeEnd, LifetimeReport, LifetimeRun, LifetimeUntil,
+};
+pub use channel::{Channel, ChannelLinkState, LossModel};
 pub use churn::{
     stream_seed, ChurnAction, ChurnOutcome, ChurnTimeline, RepairStrategy, BEACON_BYTES,
     PHASE_REPAIR, STREAM_BATTERY, STREAM_CHURN, STREAM_LINK_FAILURE,
@@ -110,7 +112,8 @@ pub use churn::{
 pub use energy::EnergyModel;
 pub use failure::LinkFailures;
 pub use network::{
-    BaseChoice, DeliveryPort, LaneOutcome, LinkLane, Network, NetworkBuilder, NetworkError,
+    BaseChoice, DeliveryPort, LaneOutcome, LinkLane, NetSnapshot, Network, NetworkBuilder,
+    NetworkError,
 };
 pub use radio::RadioConfig;
 pub use reliability::{summary_bytes, ArqPolicy, BroadcastDelivery, Delivery, ACK_BYTES};

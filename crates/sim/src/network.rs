@@ -1,6 +1,6 @@
 //! The network facade protocols run against.
 
-use crate::battery::BatteryBank;
+use crate::battery::{BatteryBank, BatterySnapshot};
 use crate::churn::{
     ChurnAction, ChurnOutcome, ChurnTimeline, RepairStrategy, BEACON_BYTES, PHASE_REPAIR,
 };
@@ -8,11 +8,44 @@ use crate::reliability::{summary_bytes, ACK_BYTES};
 use crate::routing::{ParentPolicy, RepairReport};
 use crate::sink::{DirectSink, StatLedger, StatSink};
 use crate::{
-    ArqPolicy, BroadcastDelivery, Channel, Delivery, EnergyModel, NetworkStats, RadioConfig,
-    RoutingTree, Time, Topology, Trace,
+    ArqPolicy, BroadcastDelivery, Channel, ChannelLinkState, Delivery, EnergyModel, NetworkStats,
+    RadioConfig, RoutingTree, Time, Topology, Trace, TraceRecord,
 };
 use sensjoin_field::{Area, Position};
 use sensjoin_relation::NodeId;
+
+/// Plain-data export of a [`Network`]'s mutable state (see
+/// [`Network::export_state`]): liveness, routing tree, statistics, trace,
+/// per-link channel streams, the undrained churn schedule and boundary
+/// clock, and the battery bank. Construction-time configuration is *not*
+/// included — a restore replays this on top of an identically-configured
+/// network.
+#[derive(Debug, Clone)]
+pub struct NetSnapshot {
+    /// Per-node liveness flags.
+    pub alive: Vec<bool>,
+    /// Routing parents (`u32::MAX` for the base and unreachable nodes).
+    pub parent: Vec<u32>,
+    /// Routing hop counts (`u32::MAX` for unreachable nodes).
+    pub depth: Vec<u32>,
+    /// Accumulated statistics.
+    pub stats: NetworkStats,
+    /// Trace records, if tracing was enabled.
+    pub trace: Option<Vec<TraceRecord>>,
+    /// Per-link channel RNG/Markov states, if a channel is attached.
+    pub channel_states: Option<Vec<ChannelLinkState>>,
+    /// Undrained time-scoped churn events (pop order), if a timeline is
+    /// attached.
+    pub churn_timed: Option<Vec<(Time, NodeId, ChurnAction)>>,
+    /// Undrained boundary-scoped churn events (boundary order).
+    pub churn_boundary_events: Vec<(u32, Vec<(NodeId, ChurnAction)>)>,
+    /// Next boundary index [`Network::apply_churn`] will poll.
+    pub churn_boundary: u32,
+    /// Accumulated churn clock (µs).
+    pub churn_clock: Time,
+    /// Battery bank state, if a bank is attached.
+    pub battery: Option<BatterySnapshot>,
+}
 
 /// Errors constructing a [`Network`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -357,6 +390,85 @@ impl Network {
     /// The next boundary index [`Network::apply_churn`] will poll.
     pub fn churn_boundary(&self) -> u32 {
         self.churn_boundary
+    }
+
+    /// Appends a `checkpoint` event row to the trace (no-op when tracing
+    /// is off): marks — relative to the data traffic — where a durability
+    /// snapshot was taken, so a resumed trace shows its recovery point.
+    pub fn note_checkpoint(&mut self, phase: &str) {
+        let base = self.base;
+        if let Some(t) = &mut self.trace {
+            t.push_event(phase, "checkpoint", base, Vec::new());
+        }
+    }
+
+    /// Exports every piece of state a mid-run network mutates — the
+    /// checkpoint/restore surface. The static construction parameters
+    /// (topology, radio, energy model, base choice, ARQ policy, repair
+    /// strategy, parent policy, channel loss models and seed) are *not*
+    /// captured: a restoring run rebuilds the network from the same
+    /// configuration and then replays this snapshot on top via
+    /// [`Network::restore_state`].
+    pub fn export_state(&self) -> NetSnapshot {
+        let (parent, depth) = self.routing.export_tree();
+        let (churn_timed, churn_boundary_events) = match &self.churn {
+            Some(t) => {
+                let (timed, boundary) = t.export_events();
+                (Some(timed), boundary)
+            }
+            None => (None, Vec::new()),
+        };
+        NetSnapshot {
+            alive: self.alive.clone(),
+            parent,
+            depth,
+            stats: self.stats.clone(),
+            trace: self.trace.as_ref().map(|t| t.records().to_vec()),
+            channel_states: self.channel.as_ref().map(|c| c.export_states()),
+            churn_timed,
+            churn_boundary_events,
+            churn_boundary: self.churn_boundary,
+            churn_clock: self.churn_clock,
+            battery: self.battery.as_ref().map(|b| b.export_state()),
+        }
+    }
+
+    /// Restores a snapshot previously exported with
+    /// [`Network::export_state`] onto an identically-configured network
+    /// (same topology, radio, energy model, base, ARQ, channel models and
+    /// seed, repair strategy, parent policy). After the call the network's
+    /// future behavior — routing, liveness, loss draws, churn schedule,
+    /// battery debits, statistics and trace — is bit-identical to the
+    /// exporting network's.
+    ///
+    /// # Panics
+    /// Panics if the snapshot's node count does not match.
+    pub fn restore_state(&mut self, s: &NetSnapshot) {
+        assert_eq!(
+            s.alive.len(),
+            self.topology.len(),
+            "network snapshot node count mismatch"
+        );
+        self.alive = s.alive.clone();
+        self.routing.import_tree(s.parent.clone(), s.depth.clone());
+        self.stats = s.stats.clone();
+        if let Some(records) = &s.trace {
+            self.trace = Some(Trace::from_records(records.clone()));
+        }
+        if let (Some(channel), Some(states)) = (&mut self.channel, &s.channel_states) {
+            channel.import_states(states);
+        }
+        if let Some(timed) = &s.churn_timed {
+            self.churn = Some(ChurnTimeline::from_events(
+                timed.clone(),
+                s.churn_boundary_events.clone(),
+            ));
+        }
+        self.churn_boundary = s.churn_boundary;
+        self.churn_clock = s.churn_clock;
+        if let (Some(bank), Some(snap)) = (&mut self.battery, &s.battery) {
+            bank.import_state(snap);
+        }
     }
 
     /// Polls the churn timeline at the next protocol boundary: advances the

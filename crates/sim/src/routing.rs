@@ -502,6 +502,30 @@ impl RoutingTree {
         changed
     }
 
+    /// Exports the defining arrays of the tree — parent and hop count per
+    /// node ([`NO_PARENT`]/`u32::MAX` for the base and unreachable nodes) —
+    /// the checkpoint/restore surface. Everything else the tree holds is
+    /// derived from these two arrays.
+    pub fn export_tree(&self) -> (Vec<u32>, Vec<u32>) {
+        (self.parent.clone(), self.depth.clone())
+    }
+
+    /// Restores a tree previously exported with
+    /// [`RoutingTree::export_tree`], rebuilding the derived structures
+    /// (children CSR, post-order, descendant counts, maximum depth). The
+    /// arrays must describe the same node count.
+    pub fn import_tree(&mut self, parent: Vec<u32>, depth: Vec<u32>) {
+        assert_eq!(
+            parent.len(),
+            self.parent.len(),
+            "routing snapshot node count mismatch"
+        );
+        assert_eq!(depth.len(), parent.len(), "parent/depth length mismatch");
+        self.parent = parent;
+        self.depth = depth;
+        self.rebuild_derived();
+    }
+
     /// Rebuilds the children CSR, the cached post-order, descendant counts
     /// and the maximum depth from the parent/depth arrays — allocation-free
     /// O(n) passes over the reused flat buffers.

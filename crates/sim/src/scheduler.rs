@@ -116,6 +116,23 @@ impl<E> Scheduler<E> {
     }
 }
 
+impl<E: Clone> Scheduler<E> {
+    /// Pending events as `(time, payload)` pairs in pop order (time-ordered,
+    /// FIFO within equal timestamps) — the checkpoint/restore surface.
+    /// Re-scheduling the returned list *in order* into a fresh scheduler
+    /// reproduces the pop sequence exactly (fresh sequence numbers are
+    /// assigned in list order, preserving the FIFO tie-break).
+    pub fn pending(&self) -> Vec<(Time, E)> {
+        let mut entries: Vec<(Time, u64, E)> = self
+            .heap
+            .iter()
+            .map(|Reverse((t, s, EventBox(e)))| (*t, *s, e.clone()))
+            .collect();
+        entries.sort_by_key(|&(t, s, _)| (t, s));
+        entries.into_iter().map(|(t, _, e)| (t, e)).collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

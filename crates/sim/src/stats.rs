@@ -84,6 +84,16 @@ impl NetworkStats {
         }
     }
 
+    /// Rebuilds statistics from exported parts — the checkpoint/restore
+    /// surface, pairing with [`NetworkStats::per_node`] and
+    /// [`NetworkStats::phases`].
+    pub fn from_parts(per_node: Vec<NodeStats>, per_phase: Vec<(String, NodeStats)>) -> Self {
+        Self {
+            per_node,
+            per_phase: per_phase.into_iter().collect(),
+        }
+    }
+
     /// Records one transmitted packet at `node` with `payload` bytes and
     /// energy `uj`, under phase `phase`.
     pub fn record_tx(&mut self, node: NodeId, payload: usize, uj: f64, phase: &str) {

@@ -48,6 +48,13 @@ impl Trace {
         Self::default()
     }
 
+    /// Rebuilds a trace from records previously exported with
+    /// [`Trace::records`] — the checkpoint/restore surface. Sequence
+    /// numbers keep counting from `records.len()`.
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        Self { records }
+    }
+
     /// Appends a lossless record (no retransmissions, fully delivered),
     /// assigning the next sequence number.
     pub fn push(
